@@ -1,0 +1,156 @@
+// Engineering micro-benchmarks (google-benchmark): the solver and engine
+// kernels underlying the paper-reproduction benches, including the
+// dense-vs-sparse MNA ablation called out in DESIGN.md.
+
+#include <benchmark/benchmark.h>
+
+#include "ahdl/blocks.h"
+#include "ahdl/system.h"
+#include "bjtgen/generator.h"
+#include "bjtgen/ringosc.h"
+#include "celldb/database.h"
+#include "celldb/seed.h"
+#include "spice/analysis.h"
+#include "spice/circuit.h"
+#include "spice/linalg.h"
+#include "spice/passive.h"
+#include "spice/sources.h"
+#include "util/fft.h"
+#include "util/numeric.h"
+
+namespace sp = ahfic::spice;
+namespace ah = ahfic::ahdl;
+namespace bg = ahfic::bjtgen;
+namespace cd = ahfic::celldb;
+namespace u = ahfic::util;
+
+namespace {
+
+void fillSystem(int n, sp::DenseMatrix<double>& a,
+                sp::SparseMatrix<double>& s, std::vector<double>& b) {
+  u::Rng rng(static_cast<std::uint64_t>(n));
+  a = sp::DenseMatrix<double>(n, n);
+  s = sp::SparseMatrix<double>(n);
+  b.assign(static_cast<size_t>(n), 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      // MNA-like fill: strong diagonal, ~5 off-diagonals per row.
+      double v = 0.0;
+      if (i == j)
+        v = 10.0 + rng.uniform();
+      else if (rng.uniform() < 5.0 / n)
+        v = rng.uniform(-1, 1);
+      if (v != 0.0) {
+        a.at(i, j) = v;
+        s.add(i, j, v);
+      }
+    }
+    b[static_cast<size_t>(i)] = rng.uniform(-1, 1);
+  }
+}
+
+void BM_DenseLuSolve(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  sp::DenseMatrix<double> a;
+  sp::SparseMatrix<double> s;
+  std::vector<double> b;
+  fillSystem(n, a, s, b);
+  for (auto _ : state) {
+    auto aCopy = a;
+    std::vector<int> perm;
+    aCopy.luFactor(perm);
+    std::vector<double> x;
+    aCopy.luSolve(perm, b, x);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_DenseLuSolve)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_SparseSolve(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  sp::DenseMatrix<double> a;
+  sp::SparseMatrix<double> s;
+  std::vector<double> b;
+  fillSystem(n, a, s, b);
+  for (auto _ : state) {
+    auto sCopy = s;
+    auto bCopy = b;
+    std::vector<double> x;
+    sCopy.solveInPlace(bCopy, x);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_SparseSolve)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_SpiceOperatingPoint(benchmark::State& state) {
+  // The Fig. 11 ring oscillator's DC solve (~100 unknowns, 20 BJTs).
+  const auto gen = bg::ModelGenerator::withDefaultTechnology();
+  bg::RingOscillatorSpec spec;
+  spec.diffPairModel = gen.generate("N1.2-12D");
+  spec.followerModel = gen.generate("N1.2-6D");
+  for (auto _ : state) {
+    sp::Circuit ckt;
+    bg::buildRingOscillator(ckt, spec);
+    sp::Analyzer an(ckt);
+    auto x = an.op();
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_SpiceOperatingPoint);
+
+void BM_SpiceTransientRcStep(benchmark::State& state) {
+  for (auto _ : state) {
+    sp::Circuit ckt;
+    const int in = ckt.node("in"), out = ckt.node("out");
+    ckt.add<sp::VSource>("V1", in, 0,
+                         std::make_unique<sp::PulseWaveform>(
+                             0.0, 1.0, 0.0, 1e-12, 1e-12, 1.0, 2.0));
+    ckt.add<sp::Resistor>("R1", in, out, 1e3);
+    ckt.add<sp::Capacitor>("C1", out, 0, 1e-9);
+    sp::Analyzer an(ckt);
+    auto tr = an.transient(5e-6, 10e-9);
+    benchmark::DoNotOptimize(tr);
+  }
+}
+BENCHMARK(BM_SpiceTransientRcStep);
+
+void BM_AhdlStepThroughput(benchmark::State& state) {
+  ah::System sys;
+  sys.add<ah::SineSource>({}, {"rf"}, "src", 100e6, 1.0);
+  sys.add<ah::SineSource>({}, {"lo"}, "lo", 145e6, 1.0);
+  sys.add<ah::Mixer>({"rf", "lo"}, {"mix"}, "m", 2.0);
+  sys.add<ah::FilterBlock>({"mix"}, {"out"}, "f",
+                           ah::FilterBlock::Kind::kLowpass, 3, 80e6);
+  sys.probe("out");
+  for (auto _ : state) {
+    auto res = sys.run(10e-6, 2e9);
+    benchmark::DoNotOptimize(res);
+  }
+  state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_AhdlStepThroughput);
+
+void BM_CellDbSearch(benchmark::State& state) {
+  cd::CellDatabase db;
+  cd::seedExampleLibrary(db);
+  for (auto _ : state) {
+    auto hits = db.search("gain");
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_CellDbSearch);
+
+void BM_Fft4096(benchmark::State& state) {
+  u::Rng rng(1);
+  std::vector<double> sig(4096);
+  for (auto& x : sig) x = rng.normal();
+  for (auto _ : state) {
+    auto spec = u::amplitudeSpectrum(sig, 1e9);
+    benchmark::DoNotOptimize(spec);
+  }
+}
+BENCHMARK(BM_Fft4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+// Supplementary study for the paper's Sec. 2 remark that designers "have
+// to examine the performance of this system taking IC process variations
+// into account":
+//
+//   Part 1 — die-to-die spread of the Table 1 ring oscillator frequency
+//            under the synthetic process's variation model.
+//   Part 2 — image-rejection yield against the 30 dB system requirement
+//            for several (phase, gain) mismatch qualities — the Fig. 5
+//            curves turned into a manufacturing decision.
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "bjtgen/montecarlo.h"
+#include "bjtgen/ringosc.h"
+#include "tuner/irr.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace bg = ahfic::bjtgen;
+namespace tn = ahfic::tuner;
+namespace u = ahfic::util;
+
+int main() {
+  std::cout << "== Part 1: ring-oscillator frequency across dies ==\n"
+            << "(N1.2-12D differential pairs, nominal process +/- die "
+               "variation)\n\n";
+
+  bg::MonteCarloGenerator mc(bg::defaultTechnology(),
+                             bg::ProcessVariation{}, 20250706);
+  const int dies = 9;
+  std::vector<double> freqs;
+  u::Table dieTable({"die", "free-running frequency", "vs nominal"});
+
+  bg::RingOscillatorSpec nominalSpec;
+  {
+    const auto nominalGen = bg::ModelGenerator::withDefaultTechnology();
+    nominalSpec.diffPairModel = nominalGen.generate("N1.2-12D");
+    nominalSpec.followerModel = nominalGen.generate("N1.2-6D");
+  }
+  const auto nominal = bg::measureRingFrequency(nominalSpec, 10.0, 3.0);
+
+  for (int d = 0; d < dies; ++d) {
+    const auto gen = mc.sampleDie();
+    bg::RingOscillatorSpec spec;
+    spec.diffPairModel = mc.withLocalMismatch(gen.generate("N1.2-12D"));
+    spec.followerModel = gen.generate("N1.2-6D");
+    const auto m = bg::measureRingFrequency(spec, 10.0, 3.0);
+    if (m.oscillating) freqs.push_back(m.frequency);
+    dieTable.addRow(
+        {std::to_string(d + 1),
+         m.oscillating ? u::formatFrequency(m.frequency) : "no osc.",
+         m.oscillating
+             ? u::fixed((m.frequency / nominal.frequency - 1.0) * 100.0,
+                        1) +
+                   "%"
+             : "-"});
+  }
+  dieTable.print(std::cout);
+
+  if (!freqs.empty()) {
+    double mean = 0.0;
+    for (double f : freqs) mean += f;
+    mean /= static_cast<double>(freqs.size());
+    double var = 0.0;
+    for (double f : freqs) var += (f - mean) * (f - mean);
+    var /= static_cast<double>(freqs.size());
+    std::cout << "\nNominal: " << u::formatFrequency(nominal.frequency)
+              << ",  die mean: " << u::formatFrequency(mean)
+              << ",  sigma: " << u::fixed(std::sqrt(var) / mean * 100.0, 1)
+              << "%\n";
+  }
+
+  std::cout << "\n== Part 2: image-rejection yield vs mismatch quality ==\n"
+            << "(Monte-Carlo over quadrature phase / gain mismatch; "
+               "requirement: IRR >= 30 dB)\n\n";
+  u::Table yieldTable({"sigma phase [deg]", "sigma gain [%]", "mean IRR",
+                       "worst IRR", "yield"});
+  struct Corner {
+    double sp, sg;
+  };
+  for (const Corner c : {Corner{0.5, 0.005}, Corner{1.0, 0.01},
+                         Corner{2.0, 0.02}, Corner{4.0, 0.04},
+                         Corner{6.0, 0.08}}) {
+    const auto r = tn::irrYield(c.sp, c.sg, 30.0, 20000, 7);
+    yieldTable.addRow({u::fixed(c.sp, 1), u::fixed(c.sg * 100.0, 1),
+                       u::fixed(r.meanIrrDb, 1) + " dB",
+                       u::fixed(r.worstIrrDb, 1) + " dB",
+                       u::fixed(r.yield() * 100.0, 1) + "%"});
+  }
+  yieldTable.print(std::cout);
+  std::cout << "\nReading: to ship a 30 dB tuner the 90-degree shifters "
+               "must hold sigma_phase\n<= ~1 deg at ~1% gain matching — "
+               "exactly the specification the Fig. 5 sweep\nhands the "
+               "block designers.\n";
+  return 0;
+}

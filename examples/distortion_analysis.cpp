@@ -1,0 +1,67 @@
+// Distortion analysis of a tuner gain stage — "distortion, noise and
+// image signal are main concerns in circuit design" (paper Sec. 2.2).
+//
+// A two-tone test characterises a compressive IF amplifier, checks the
+// 3:1 IM3 slope, extrapolates OIP3, and then demonstrates the classic
+// cascade trade-off: adding a second gain stage raises gain but degrades
+// linearity in dBc.
+
+#include <iostream>
+
+#include "ahdl/blocks.h"
+#include "tuner/distortion.h"
+#include "util/numeric.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace tn = ahfic::tuner;
+namespace ah = ahfic::ahdl;
+namespace u = ahfic::util;
+
+int main() {
+  const double gain = 4.0, vsat = 1.0;
+
+  std::cout << "== Two-tone IM3 sweep of the IF amplifier ==\n"
+            << "(gain " << gain << "x, tanh compression at " << vsat
+            << " V; tones at 44/46 MHz)\n\n";
+
+  u::Table sweep({"input [dBV]", "fund [dBV]", "IM3 [dBV]", "IM3 [dBc]",
+                  "theory IM3 [dBV]"});
+  tn::TwoToneSpec spec;
+  for (double amp : {0.01, 0.02, 0.04, 0.08}) {
+    spec.inputAmplitude = amp;
+    const auto r = tn::twoToneTestAmplifier(gain, vsat, spec);
+    sweep.addRow({u::fixed(u::toDb(amp), 1),
+                  u::fixed(u::toDb(r.fundamental), 1),
+                  u::fixed(u::toDb(r.im3Low), 1),
+                  u::fixed(r.im3Dbc(), 1),
+                  u::fixed(u::toDb(tn::tanhIm3Theory(gain, vsat, amp)), 1)});
+  }
+  sweep.print(std::cout);
+  std::cout << "\n(IM3 rises 3 dB per input dB — the defining third-order "
+               "slope.)\n";
+
+  spec.inputAmplitude = 0.02;
+  const auto r = tn::twoToneTestAmplifier(gain, vsat, spec);
+  std::cout << "\nExtrapolated OIP3: "
+            << u::fixed(u::toDb(r.oip3Amplitude()), 1) << " dBV\n";
+
+  std::cout << "\n== Cascade trade-off ==\n";
+  const auto two = tn::twoToneTest(
+      [&](ah::System& sys, const std::string& in, const std::string& out) {
+        sys.add<ah::Amplifier>({in}, {"mid"}, "stage1", gain / 2, vsat);
+        sys.add<ah::Amplifier>({"mid"}, {out}, "stage2", 2.0, vsat);
+      },
+      spec);
+  u::Table cmp({"chain", "gain", "IM3 [dBc]"});
+  cmp.addRow({"single stage", u::fixed(r.fundamental / spec.inputAmplitude, 2) + "x",
+              u::fixed(r.im3Dbc(), 1)});
+  cmp.addRow({"two-stage cascade",
+              u::fixed(two.fundamental / spec.inputAmplitude, 2) + "x",
+              u::fixed(two.im3Dbc(), 1)});
+  cmp.print(std::cout);
+  std::cout << "\nThe behavioural sweep hands the designer the same "
+               "spec-budgeting data for\ndistortion that Fig. 5 provides "
+               "for image rejection.\n";
+  return 0;
+}

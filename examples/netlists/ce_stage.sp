@@ -1,0 +1,12 @@
+common-emitter stage (run with: spice_cli ce_stage.sp)
+.MODEL n1 NPN(IS=1e-16 BF=110 VAF=45 RB=200 RE=4 RC=30 CJE=12f CJC=15f TF=12p)
+VCC vcc 0 8
+VIN in 0 DC 1.8 AC 1
+RC vcc out 1k
+Q1 out in e n1
+RE2 e 0 200
+.OP
+.DC VIN 1.0 2.6 0.1
+.AC DEC 5 100k 20G
+.NOISE out DEC 5 1k 1G
+.END

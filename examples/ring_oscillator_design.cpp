@@ -1,0 +1,79 @@
+// The paper's Sec. 4 design flow: pick the transistor shape for a
+// high-speed circuit whose topology and operating current are fixed.
+//
+//   1. The ring oscillator's current budget fixes Ic per switch at 3 mA.
+//   2. Generate geometry-aware model cards for the candidate shapes.
+//   3. Compare fT at the operating current (Fig. 9 reading).
+//   4. Confirm with full transient simulations of the Fig. 11 oscillator
+//      (Table 1) and pick the winner.
+
+#include <algorithm>
+#include <iostream>
+
+#include "bjtgen/ft.h"
+#include "bjtgen/generator.h"
+#include "bjtgen/ringosc.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace bg = ahfic::bjtgen;
+namespace u = ahfic::util;
+
+int main() {
+  const auto gen = bg::ModelGenerator::withDefaultTechnology();
+  const double icOperating = 3e-3;
+
+  std::cout << "== Shape selection for the 5-stage ECL ring oscillator ==\n"
+            << "Fixed by the design: topology, VCC = 5 V, tail current "
+            << u::fixed(icOperating * 1e3, 0) << " mA.\n\n";
+
+  std::cout << "Step 1: generated cards and fT at the operating "
+               "current:\n\n";
+  u::Table shapeTable(
+      {"Shape", "RB [ohm]", "CJC [fF]", "fT @ 3 mA", "fT peak Ic"});
+  struct Candidate {
+    std::string name;
+    double ftAtIc;
+  };
+  std::vector<Candidate> candidates;
+  for (const auto& shape : bg::fig8Shapes()) {
+    const auto card = gen.generate(shape);
+    bg::FtExtractor fx(card);
+    const double ft = fx.measureAt(icOperating).ft;
+    const auto peak = fx.findPeak(0.1e-3, 30e-3, 15);
+    shapeTable.addRow({shape.name(), u::fixed(card.rb, 0),
+                       u::fixed(card.cjc * 1e15, 1),
+                       u::formatFrequency(ft),
+                       u::fixed(peak.icPeak * 1e3, 2) + " mA"});
+    candidates.push_back({shape.name(), ft});
+  }
+  shapeTable.print(std::cout);
+
+  std::cout << "\nStep 2: confirm with transient simulation of the full "
+               "oscillator:\n\n";
+  bg::RingOscillatorSpec spec;
+  spec.tailCurrent = icOperating;
+  spec.followerModel = gen.generate("N1.2-6D");
+  u::Table ringTable({"Shape", "free-running frequency"});
+  std::string best;
+  double bestF = 0.0;
+  for (const auto& shape : bg::fig8Shapes()) {
+    spec.diffPairModel = gen.generate(shape);
+    const auto m = bg::measureRingFrequency(spec, 10.0, 3.0);
+    ringTable.addRow({shape.name(), m.oscillating
+                                        ? u::formatFrequency(m.frequency)
+                                        : "no oscillation"});
+    if (m.oscillating && m.frequency > bestF) {
+      bestF = m.frequency;
+      best = shape.name();
+    }
+  }
+  ringTable.print(std::cout);
+
+  std::cout << "\nSelected shape: " << best << " ("
+            << u::formatFrequency(bestF) << ")\n"
+            << "\"Without this technique, it would have been difficult to "
+               "determine the\nshapes of the transistors which best fit "
+               "the circuit.\" (Sec. 4)\n";
+  return 0;
+}

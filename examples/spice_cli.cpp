@@ -1,0 +1,69 @@
+// A batch SPICE runner: parse a deck, run its .OP/.DC/.AC/.TRAN cards,
+// print listing-style results. The seventh runnable example, and a handy
+// standalone tool for poking at the simulator.
+//
+// Usage:
+//   ./spice_cli [deck.sp]
+// With no argument a built-in demo deck (the Fig. 11-style ECL gate) runs.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "spice/rundeck.h"
+
+namespace {
+
+const char* kDemoDeck = R"(ECL gate demo (one ring-oscillator stage)
+.MODEL n1 NPN(IS=1e-16 BF=110 VAF=45 RB=120 RE=3 RC=20 CJE=20f CJC=25f TF=12p)
+VCC vcc 0 5
+VIN inp 0 DC 3.8 AC 1
+VREF inn 0 DC 3.8
+
+.SUBCKT eclstage inp inn outp outn vcc
+RC1 vcc c1 170
+RC2 vcc c2 170
+Q1 c1 inp e n1
+Q2 c2 inn e n1
+IT e 0 3m
+Q3 vcc c1 outn n1
+Q4 vcc c2 outp n1
+RF1 outn 0 1.5k
+RF2 outp 0 1.5k
+.ENDS
+
+X1 inp inn outp outn vcc eclstage
+
+.OP
+.DC VIN 3.3 4.3 0.05
+.AC DEC 6 1MEG 20G
+.END
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string text;
+  if (argc > 1) {
+    std::ifstream f(argv[1]);
+    if (!f) {
+      std::cerr << "cannot open '" << argv[1] << "'\n";
+      return 1;
+    }
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    text = ss.str();
+  } else {
+    std::cout << "(no deck given; running the built-in ECL-stage demo)\n\n";
+    text = kDemoDeck;
+  }
+
+  try {
+    auto deck = ahfic::spice::parseDeck(text);
+    ahfic::spice::runDeck(deck, std::cout);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,302 @@
+#include "ahdl/expr.h"
+
+#include <cctype>
+#include <cmath>
+
+#include "util/error.h"
+#include "util/units.h"
+
+namespace ahfic::ahdl {
+
+namespace {
+
+class ExprParser {
+ public:
+  ExprParser(const std::string& text, size_t& pos)
+      : text_(text), pos_(pos) {}
+
+  ExprPtr parse() { return parseSum(); }
+
+ private:
+  void skipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  char peek() {
+    skipWs();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  bool consume(char c) {
+    if (peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  [[noreturn]] void fail(const std::string& msg) {
+    throw ParseError("expression: " + msg + " near '" +
+                     text_.substr(pos_, 12) + "'");
+  }
+
+  ExprPtr parseSum() {
+    ExprPtr lhs = parseTerm();
+    while (true) {
+      const char c = peek();
+      if (c != '+' && c != '-') return lhs;
+      ++pos_;
+      auto node = std::make_unique<ExprNode>();
+      node->kind = ExprNode::Kind::kBinary;
+      node->op = c;
+      node->args.push_back(std::move(lhs));
+      node->args.push_back(parseTerm());
+      lhs = std::move(node);
+    }
+  }
+
+  ExprPtr parseTerm() {
+    ExprPtr lhs = parseFactor();
+    while (true) {
+      const char c = peek();
+      if (c != '*' && c != '/') return lhs;
+      ++pos_;
+      auto node = std::make_unique<ExprNode>();
+      node->kind = ExprNode::Kind::kBinary;
+      node->op = c;
+      node->args.push_back(std::move(lhs));
+      node->args.push_back(parseFactor());
+      lhs = std::move(node);
+    }
+  }
+
+  ExprPtr parseFactor() {
+    ExprPtr base = parseUnary();
+    if (peek() == '^') {
+      ++pos_;
+      auto node = std::make_unique<ExprNode>();
+      node->kind = ExprNode::Kind::kBinary;
+      node->op = '^';
+      node->args.push_back(std::move(base));
+      node->args.push_back(parseFactor());  // right associative
+      return node;
+    }
+    return base;
+  }
+
+  ExprPtr parseUnary() {
+    const char c = peek();
+    if (c == '-' || c == '+') {
+      ++pos_;
+      auto node = std::make_unique<ExprNode>();
+      node->kind = ExprNode::Kind::kUnary;
+      node->op = c;
+      node->args.push_back(parseUnary());
+      return node;
+    }
+    return parsePrimary();
+  }
+
+  ExprPtr parsePrimary() {
+    const char c = peek();
+    if (c == '(') {
+      ++pos_;
+      ExprPtr e = parseSum();
+      if (!consume(')')) fail("expected ')'");
+      return e;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '.')
+      return parseNumber();
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_')
+      return parseNameOrCall();
+    fail("expected a value");
+  }
+
+  ExprPtr parseNumber() {
+    skipWs();
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.')) {
+      // 1e-9 / 2E+6 exponents: allow a sign right after e/E if digits
+      // follow.
+      if ((text_[pos_] == 'e' || text_[pos_] == 'E') &&
+          pos_ + 1 < text_.size() &&
+          (text_[pos_ + 1] == '+' || text_[pos_ + 1] == '-')) {
+        pos_ += 2;
+        continue;
+      }
+      ++pos_;
+    }
+    const std::string tok = text_.substr(start, pos_ - start);
+    const auto v = util::parseSpiceNumber(tok);
+    if (!v) fail("bad number '" + tok + "'");
+    auto node = std::make_unique<ExprNode>();
+    node->kind = ExprNode::Kind::kNumber;
+    node->number = *v;
+    return node;
+  }
+
+  ExprPtr parseNameOrCall() {
+    skipWs();
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_'))
+      ++pos_;
+    const std::string name = text_.substr(start, pos_ - start);
+
+    if (peek() == '(') {
+      ++pos_;
+      if (name == "V" || name == "v") {
+        // Signal reference V(name).
+        skipWs();
+        const size_t s0 = pos_;
+        while (pos_ < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '_'))
+          ++pos_;
+        const std::string sig = text_.substr(s0, pos_ - s0);
+        if (sig.empty()) fail("V() needs a signal name");
+        if (!consume(')')) fail("expected ')' after V(...)");
+        auto node = std::make_unique<ExprNode>();
+        node->kind = ExprNode::Kind::kSignal;
+        node->name = sig;
+        return node;
+      }
+      auto node = std::make_unique<ExprNode>();
+      node->kind = ExprNode::Kind::kCall;
+      node->name = name;
+      if (peek() != ')') {
+        node->args.push_back(parseSum());
+        while (consume(',')) node->args.push_back(parseSum());
+      }
+      if (!consume(')')) fail("expected ')' after call arguments");
+      return node;
+    }
+
+    auto node = std::make_unique<ExprNode>();
+    node->kind = ExprNode::Kind::kVar;
+    node->name = name;
+    return node;
+  }
+
+  const std::string& text_;
+  size_t& pos_;
+};
+
+double callFunction(const std::string& name, const std::vector<double>& a) {
+  auto need = [&](size_t n) {
+    if (a.size() != n)
+      throw Error("function '" + name + "' expects " + std::to_string(n) +
+                  " argument(s), got " + std::to_string(a.size()));
+  };
+  if (name == "sin") { need(1); return std::sin(a[0]); }
+  if (name == "cos") { need(1); return std::cos(a[0]); }
+  if (name == "tan") { need(1); return std::tan(a[0]); }
+  if (name == "exp") { need(1); return std::exp(a[0]); }
+  if (name == "log") { need(1); return std::log(a[0]); }
+  if (name == "sqrt") { need(1); return std::sqrt(a[0]); }
+  if (name == "abs") { need(1); return std::fabs(a[0]); }
+  if (name == "tanh") { need(1); return std::tanh(a[0]); }
+  if (name == "atan") { need(1); return std::atan(a[0]); }
+  if (name == "min") { need(2); return std::min(a[0], a[1]); }
+  if (name == "max") { need(2); return std::max(a[0], a[1]); }
+  if (name == "pow") { need(2); return std::pow(a[0], a[1]); }
+  if (name == "atan2") { need(2); return std::atan2(a[0], a[1]); }
+  throw Error("unknown function '" + name + "'");
+}
+
+void collectSignalsInto(const ExprNode& e, std::vector<std::string>& out) {
+  if (e.kind == ExprNode::Kind::kSignal) {
+    for (const auto& s : out)
+      if (s == e.name) return;
+    out.push_back(e.name);
+    return;
+  }
+  for (const auto& a : e.args) collectSignalsInto(*a, out);
+}
+
+}  // namespace
+
+ExprPtr parseExpression(const std::string& text, size_t& pos) {
+  ExprParser p(text, pos);
+  return p.parse();
+}
+
+ExprPtr parseExpression(const std::string& text) {
+  size_t pos = 0;
+  ExprPtr e = parseExpression(text, pos);
+  while (pos < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[pos])))
+    ++pos;
+  if (pos != text.size())
+    throw ParseError("expression: trailing characters '" +
+                     text.substr(pos) + "'");
+  return e;
+}
+
+double evalExpr(const ExprNode& e, const EvalContext& ctx) {
+  switch (e.kind) {
+    case ExprNode::Kind::kNumber:
+      return e.number;
+    case ExprNode::Kind::kVar: {
+      if (e.name == "t") return ctx.t;
+      if (e.name == "pi") return 3.14159265358979323846;
+      if (ctx.params != nullptr) {
+        auto it = ctx.params->find(e.name);
+        if (it != ctx.params->end()) return it->second;
+      }
+      throw Error("unknown identifier '" + e.name + "' in expression");
+    }
+    case ExprNode::Kind::kSignal: {
+      if (!ctx.signalValue)
+        throw Error("signal reference V(" + e.name +
+                    ") outside a simulation context");
+      return ctx.signalValue(e.name);
+    }
+    case ExprNode::Kind::kUnary: {
+      const double v = evalExpr(*e.args[0], ctx);
+      return e.op == '-' ? -v : v;
+    }
+    case ExprNode::Kind::kBinary: {
+      const double a = evalExpr(*e.args[0], ctx);
+      const double b = evalExpr(*e.args[1], ctx);
+      switch (e.op) {
+        case '+': return a + b;
+        case '-': return a - b;
+        case '*': return a * b;
+        case '/': return a / b;
+        case '^': return std::pow(a, b);
+      }
+      throw Error("bad binary operator");
+    }
+    case ExprNode::Kind::kCall: {
+      std::vector<double> args;
+      args.reserve(e.args.size());
+      for (const auto& a : e.args) args.push_back(evalExpr(*a, ctx));
+      return callFunction(e.name, args);
+    }
+  }
+  throw Error("bad expression node");
+}
+
+std::vector<std::string> collectSignals(const ExprNode& e) {
+  std::vector<std::string> out;
+  collectSignalsInto(e, out);
+  return out;
+}
+
+ExprPtr cloneExpr(const ExprNode& e) {
+  auto n = std::make_unique<ExprNode>();
+  n->kind = e.kind;
+  n->number = e.number;
+  n->name = e.name;
+  n->op = e.op;
+  for (const auto& a : e.args) n->args.push_back(cloneExpr(*a));
+  return n;
+}
+
+}  // namespace ahfic::ahdl

@@ -1,0 +1,63 @@
+#pragma once
+// Expression engine for the AHDL language: the right-hand sides of
+// `V(out) <- gain * V(in);` analog assignments.
+//
+// Grammar (precedence climbing):
+//   expr    := term  (('+'|'-') term)*
+//   term    := factor (('*'|'/') factor)*
+//   factor  := unary ('^' factor)?          (right associative)
+//   unary   := ('-'|'+') unary | primary
+//   primary := NUMBER | 'V' '(' NAME ')' | NAME '(' expr {',' expr} ')'
+//            | NAME | '(' expr ')'
+//
+// NUMBER accepts SPICE engineering suffixes (45MEG, 1.2u). NAME resolves
+// to a parameter, the time variable `t`, or the constant `pi`. Functions:
+// sin cos tan exp log sqrt abs tanh atan min max pow atan2.
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ahfic::ahdl {
+
+/// Expression AST node.
+struct ExprNode {
+  enum class Kind { kNumber, kVar, kSignal, kUnary, kBinary, kCall };
+  Kind kind = Kind::kNumber;
+  double number = 0.0;     ///< kNumber
+  std::string name;        ///< kVar / kSignal / kCall
+  char op = 0;             ///< kUnary / kBinary
+  std::vector<std::unique_ptr<ExprNode>> args;
+};
+
+using ExprPtr = std::unique_ptr<ExprNode>;
+
+/// Values an expression can see during evaluation.
+struct EvalContext {
+  double t = 0.0;                              ///< simulation time
+  const std::map<std::string, double>* params = nullptr;
+  /// Resolves V(name); may be null when the expression has no signals.
+  std::function<double(const std::string&)> signalValue;
+};
+
+/// Parses an expression from `text` starting at `pos`; advances `pos` to
+/// the first unconsumed character. Throws ahfic::ParseError on syntax
+/// errors.
+ExprPtr parseExpression(const std::string& text, size_t& pos);
+
+/// Parses a complete expression (whole string must be consumed).
+ExprPtr parseExpression(const std::string& text);
+
+/// Evaluates; throws ahfic::Error on unknown names.
+double evalExpr(const ExprNode& e, const EvalContext& ctx);
+
+/// Collects the distinct signal names referenced via V(...), in first-use
+/// order.
+std::vector<std::string> collectSignals(const ExprNode& e);
+
+/// Deep copy.
+ExprPtr cloneExpr(const ExprNode& e);
+
+}  // namespace ahfic::ahdl

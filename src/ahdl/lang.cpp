@@ -1,0 +1,482 @@
+#include "ahdl/lang.h"
+
+#include <cctype>
+
+#include "ahdl/blocks.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace ahfic::ahdl {
+
+SimResult AhdlNetlist::run() {
+  if (!runSpec.has_value())
+    throw Error("AhdlNetlist::run: netlist has no 'run' statement");
+  return system.run(runSpec->tstop, runSpec->sampleRate,
+                    runSpec->recordFrom);
+}
+
+ExprBlock::ExprBlock(std::string name, ExprPtr expr,
+                     std::vector<std::string> inputs,
+                     std::map<std::string, double> params)
+    : Block(std::move(name), static_cast<int>(inputs.size()), 1),
+      expr_(std::move(expr)),
+      inputs_(std::move(inputs)),
+      params_(std::move(params)) {}
+
+void ExprBlock::step(std::span<const double> in, std::span<double> out,
+                     double t) {
+  EvalContext ctx;
+  ctx.t = t;
+  ctx.params = &params_;
+  ctx.signalValue = [&](const std::string& sig) -> double {
+    for (size_t i = 0; i < inputs_.size(); ++i)
+      if (inputs_[i] == sig) return in[i];
+    throw Error("ExprBlock '" + name() + "': unbound signal '" + sig + "'");
+  };
+  out[0] = evalExpr(*expr_, ctx);
+}
+
+namespace {
+
+/// One `V(port) <- expr` assignment inside a module body.
+struct Assignment {
+  std::string targetPort;
+  ExprPtr expr;
+};
+
+/// A user module definition.
+struct ModuleDef {
+  std::string name;
+  std::vector<std::string> ports;
+  std::map<std::string, double> paramDefaults;
+  std::vector<Assignment> assignments;
+};
+
+class AhdlParser {
+ public:
+  explicit AhdlParser(const std::string& text) : text_(stripComments(text)) {}
+
+  AhdlNetlist parse() {
+    AhdlNetlist out;
+    while (!atEnd()) {
+      const std::string kw = peekWord();
+      if (kw.empty()) break;
+      if (kw == "module")
+        parseModule();
+      else if (kw == "signal")
+        parseSignal(out);
+      else if (kw == "parameter")
+        parseGlobalParameter();
+      else if (kw == "instance")
+        parseInstance(out);
+      else if (kw == "probe")
+        parseProbe(out);
+      else if (kw == "run")
+        parseRun(out);
+      else
+        fail("unexpected keyword '" + kw + "'");
+    }
+    return out;
+  }
+
+ private:
+  static std::string stripComments(const std::string& text) {
+    std::string out;
+    out.reserve(text.size());
+    size_t i = 0;
+    while (i < text.size()) {
+      if (text[i] == '#' ||
+          (text[i] == '/' && i + 1 < text.size() && text[i + 1] == '/')) {
+        while (i < text.size() && text[i] != '\n') ++i;
+      } else {
+        out += text[i++];
+      }
+    }
+    return out;
+  }
+
+  int lineAt(size_t pos) const {
+    int line = 1;
+    for (size_t i = 0; i < pos && i < text_.size(); ++i)
+      if (text_[i] == '\n') ++line;
+    return line;
+  }
+
+  [[noreturn]] void fail(const std::string& msg) {
+    throw ParseError(msg, lineAt(pos_));
+  }
+
+  void skipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  bool atEnd() {
+    skipWs();
+    return pos_ >= text_.size();
+  }
+
+  char peek() {
+    skipWs();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    if (peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string peekWord() {
+    skipWs();
+    size_t p = pos_;
+    std::string w;
+    while (p < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[p])) ||
+            text_[p] == '_'))
+      w += text_[p++];
+    return w;
+  }
+
+  std::string readWord() {
+    skipWs();
+    std::string w;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_'))
+      w += text_[pos_++];
+    if (w.empty()) fail("expected an identifier");
+    return w;
+  }
+
+  double readConstExpr() {
+    ExprPtr e = parseExpression(text_, pos_);
+    EvalContext ctx;
+    ctx.params = &globals_;
+    return evalExpr(*e, ctx);
+  }
+
+  // ---- statements ----
+
+  void parseModule() {
+    readWord();  // 'module'
+    ModuleDef def;
+    def.name = readWord();
+    expect('(');
+    if (peek() != ')') {
+      def.ports.push_back(readWord());
+      while (consume(',')) def.ports.push_back(readWord());
+    }
+    expect(')');
+    expect('{');
+    while (peek() != '}') {
+      const std::string kw = peekWord();
+      if (kw == "parameter") {
+        readWord();
+        const std::string type = readWord();
+        if (type != "real") fail("only 'parameter real' is supported");
+        const std::string pname = readWord();
+        double dflt = 0.0;
+        if (consume('=')) dflt = readConstExpr();
+        expect(';');
+        def.paramDefaults[pname] = dflt;
+      } else if (kw == "analog") {
+        readWord();
+        expect('{');
+        while (peek() != '}') {
+          // V(port) <- expr ;
+          const std::string v = readWord();
+          if (v != "V" && v != "v") fail("expected V(port) assignment");
+          expect('(');
+          Assignment a;
+          a.targetPort = readWord();
+          expect(')');
+          expect('<');
+          expect('-');
+          a.expr = parseExpression(text_, pos_);
+          expect(';');
+          def.assignments.push_back(std::move(a));
+        }
+        expect('}');
+      } else {
+        fail("expected 'parameter' or 'analog' in module body");
+      }
+    }
+    expect('}');
+    if (modules_.count(def.name)) fail("duplicate module '" + def.name + "'");
+    modules_[def.name] = std::move(def);
+  }
+
+  void parseSignal(AhdlNetlist& out) {
+    readWord();  // 'signal'
+    out.system.signal(readWord());
+    while (consume(',')) out.system.signal(readWord());
+    expect(';');
+  }
+
+  void parseGlobalParameter() {
+    readWord();  // 'parameter'
+    const std::string type = readWord();
+    if (type != "real") fail("only 'parameter real' is supported");
+    const std::string name = readWord();
+    expect('=');
+    globals_[name] = readConstExpr();
+    expect(';');
+  }
+
+  void parseProbe(AhdlNetlist& out) {
+    readWord();  // 'probe'
+    auto add = [&](const std::string& s) {
+      out.probes.push_back(s);
+      out.system.probe(s);
+    };
+    add(readWord());
+    while (consume(',')) add(readWord());
+    expect(';');
+  }
+
+  void parseRun(AhdlNetlist& out) {
+    readWord();  // 'run'
+    RunSpec spec;
+    bool haveTstop = false, haveFs = false;
+    do {
+      const std::string key = readWord();
+      expect('=');
+      const double v = readConstExpr();
+      if (key == "tstop") {
+        spec.tstop = v;
+        haveTstop = true;
+      } else if (key == "fs") {
+        spec.sampleRate = v;
+        haveFs = true;
+      } else if (key == "record_from") {
+        spec.recordFrom = v;
+      } else {
+        fail("unknown run option '" + key + "'");
+      }
+    } while (consume(','));
+    expect(';');
+    if (!haveTstop || !haveFs) fail("run needs tstop and fs");
+    out.runSpec = spec;
+  }
+
+  void parseInstance(AhdlNetlist& out) {
+    readWord();  // 'instance'
+    const std::string instName = readWord();
+    expect('=');
+    const std::string typeName = readWord();
+    // Named arguments.
+    std::map<std::string, double> args;
+    expect('(');
+    if (peek() != ')') {
+      do {
+        const std::string key = readWord();
+        expect('=');
+        args[key] = readConstExpr();
+      } while (consume(','));
+    }
+    expect(')');
+    // Port connections.
+    std::vector<std::string> conns;
+    expect('(');
+    if (peek() != ')') {
+      conns.push_back(readWord());
+      while (consume(',')) conns.push_back(readWord());
+    }
+    expect(')');
+    expect(';');
+
+    auto it = modules_.find(typeName);
+    if (it != modules_.end())
+      elaborateModule(out, instName, it->second, args, conns);
+    else
+      elaborateBuiltin(out, instName, typeName, args, conns);
+  }
+
+  // ---- elaboration ----
+
+  void elaborateModule(AhdlNetlist& out, const std::string& instName,
+                       const ModuleDef& def,
+                       const std::map<std::string, double>& args,
+                       const std::vector<std::string>& conns) {
+    if (conns.size() != def.ports.size())
+      fail("instance '" + instName + "': module '" + def.name + "' has " +
+           std::to_string(def.ports.size()) + " ports, got " +
+           std::to_string(conns.size()));
+    std::map<std::string, std::string> portMap;
+    for (size_t i = 0; i < conns.size(); ++i)
+      portMap[def.ports[i]] = conns[i];
+
+    std::map<std::string, double> params = def.paramDefaults;
+    for (const auto& [k, v] : args) {
+      if (!params.count(k))
+        fail("instance '" + instName + "': module '" + def.name +
+             "' has no parameter '" + k + "'");
+      params[k] = v;
+    }
+    // Globals are visible inside module expressions unless shadowed.
+    for (const auto& [k, v] : globals_)
+      params.emplace(k, v);
+
+    int idx = 0;
+    for (const auto& a : def.assignments) {
+      auto target = portMap.find(a.targetPort);
+      if (target == portMap.end())
+        fail("module '" + def.name + "': assignment to unknown port '" +
+             a.targetPort + "'");
+      // Map referenced ports to connected signals.
+      std::vector<std::string> refPorts = collectSignals(*a.expr);
+      std::vector<std::string> inputSignals;
+      ExprPtr expr = cloneExpr(*a.expr);
+      remapSignals(*expr, portMap);
+      for (const auto& rp : refPorts) {
+        auto pm = portMap.find(rp);
+        if (pm == portMap.end())
+          fail("module '" + def.name + "': V(" + rp +
+               ") does not name a port");
+        inputSignals.push_back(pm->second);
+      }
+      out.system.addBlock(
+          std::make_unique<ExprBlock>(
+              instName + "." + std::to_string(idx++), std::move(expr),
+              inputSignals, params),
+          inputSignals, {target->second});
+    }
+  }
+
+  static void remapSignals(ExprNode& e,
+                           const std::map<std::string, std::string>& map) {
+    if (e.kind == ExprNode::Kind::kSignal) {
+      auto it = map.find(e.name);
+      if (it != map.end()) e.name = it->second;
+      return;
+    }
+    for (auto& a : e.args) remapSignals(*a, map);
+  }
+
+  void elaborateBuiltin(AhdlNetlist& out, const std::string& instName,
+                        const std::string& type,
+                        const std::map<std::string, double>& args,
+                        const std::vector<std::string>& conns) {
+    auto arg = [&](const char* key, double dflt) {
+      auto it = args.find(key);
+      return it == args.end() ? dflt : it->second;
+    };
+    auto need = [&](const char* key) {
+      auto it = args.find(key);
+      if (it == args.end())
+        fail("builtin '" + type + "': missing argument '" + key + "'");
+      return it->second;
+    };
+    auto ports = [&](size_t n) {
+      if (conns.size() != n)
+        fail("builtin '" + type + "' expects " + std::to_string(n) +
+             " connections, got " + std::to_string(conns.size()));
+    };
+    auto& sys = out.system;
+
+    if (type == "sine") {
+      ports(1);
+      sys.add<SineSource>({}, {conns[0]}, instName, need("freq"),
+                          need("amp"), arg("phase", 0.0),
+                          arg("offset", 0.0));
+    } else if (type == "dc") {
+      ports(1);
+      sys.add<DcSource>({}, {conns[0]}, instName, need("value"));
+    } else if (type == "noise") {
+      ports(1);
+      sys.add<NoiseSource>({}, {conns[0]}, instName, need("sigma"),
+                           static_cast<std::uint64_t>(arg("seed", 1.0)));
+    } else if (type == "amp") {
+      ports(2);
+      sys.add<Amplifier>({conns[0]}, {conns[1]}, instName, need("gain"),
+                         arg("vsat", 0.0));
+    } else if (type == "mixer") {
+      ports(3);
+      sys.add<Mixer>({conns[0], conns[1]}, {conns[2]}, instName,
+                     arg("gain", 1.0));
+    } else if (type == "adder2") {
+      ports(3);
+      sys.add<Adder>({conns[0], conns[1]}, {conns[2]}, instName, 2);
+    } else if (type == "adder3") {
+      ports(4);
+      sys.add<Adder>({conns[0], conns[1], conns[2]}, {conns[3]}, instName,
+                     3);
+    } else if (type == "subtract") {
+      ports(3);
+      sys.add<Adder>({conns[0], conns[1]}, {conns[2]}, instName,
+                     std::vector<double>{1.0, -1.0});
+    } else if (type == "quadlo") {
+      ports(2);
+      sys.add<QuadratureOscillator>(
+          {}, {conns[0], conns[1]}, instName, need("freq"), arg("amp", 1.0),
+          arg("phase_error", 0.0), arg("gain_imbalance", 0.0));
+    } else if (type == "phase90") {
+      ports(2);
+      sys.add<PhaseShifter90>({conns[0]}, {conns[1]}, instName, need("fc"),
+                              arg("error", 0.0));
+    } else if (type == "lowpass" || type == "highpass") {
+      ports(2);
+      sys.add<FilterBlock>({conns[0]}, {conns[1]}, instName,
+                           type == "lowpass" ? FilterBlock::Kind::kLowpass
+                                             : FilterBlock::Kind::kHighpass,
+                           static_cast<int>(need("order")), need("fc"));
+    } else if (type == "bandpass") {
+      ports(2);
+      sys.add<FilterBlock>({conns[0]}, {conns[1]}, instName,
+                           FilterBlock::Kind::kBandpass,
+                           static_cast<int>(need("order")), need("f1"),
+                           need("f2"));
+    } else if (type == "limiter") {
+      ports(2);
+      sys.add<Limiter>({conns[0]}, {conns[1]}, instName, need("level"));
+    } else if (type == "attenuator") {
+      ports(2);
+      sys.add<AttenuatorDb>({conns[0]}, {conns[1]}, instName, need("db"));
+    } else if (type == "vco") {
+      ports(3);
+      sys.add<Vco>({conns[0]}, {conns[1], conns[2]}, instName,
+                   need("freq"), arg("kvco", 0.0), arg("amp", 1.0));
+    } else if (type == "integrator") {
+      ports(2);
+      sys.add<IntegratorBlock>({conns[0]}, {conns[1]}, instName,
+                               arg("gain", 1.0), arg("initial", 0.0));
+    } else if (type == "comparator") {
+      ports(2);
+      sys.add<Comparator>({conns[0]}, {conns[1]}, instName,
+                          arg("threshold", 0.0), arg("hyst", 0.0),
+                          arg("low", 0.0), arg("high", 1.0));
+    } else if (type == "samplehold") {
+      ports(3);
+      sys.add<SampleHold>({conns[0], conns[1]}, {conns[2]}, instName);
+    } else if (type == "divider") {
+      ports(2);
+      sys.add<FrequencyDivider>({conns[0]}, {conns[1]}, instName,
+                                static_cast<int>(need("n")));
+    } else {
+      fail("unknown module or builtin '" + type + "'");
+    }
+  }
+
+  std::string text_;
+  size_t pos_ = 0;
+  std::map<std::string, ModuleDef> modules_;
+  std::map<std::string, double> globals_;
+};
+
+}  // namespace
+
+AhdlNetlist parseAhdl(const std::string& text) {
+  AhdlParser parser(text);
+  return parser.parse();
+}
+
+}  // namespace ahfic::ahdl

@@ -1,0 +1,94 @@
+#pragma once
+// The AHDL netlist language: behavioural module definitions in the style
+// of the paper's Fig. 1 snippet, plus instantiation of built-in blocks.
+//
+//   // behavioural amplifier, as in the paper:
+//   module amp (in, out) {
+//     parameter real gain = 1;
+//     analog { V(out) <- gain * V(in); }
+//   }
+//
+//   signal rf, ifo;
+//   instance src = sine(freq=45MEG, amp=1) (rf);
+//   instance a1  = amp(gain=4) (rf, ifo);
+//   probe ifo;
+//   run tstop=1u, fs=2G;
+//
+// Built-in block types (port order in parentheses):
+//   sine(freq, amp, phase=0, offset=0)        (out)
+//   dc(value)                                 (out)
+//   noise(sigma, seed=1)                      (out)
+//   amp(gain, vsat=0)                         (in, out)
+//   mixer(gain=1)                             (a, b, out)
+//   adder2()                                  (a, b, out)
+//   adder3()                                  (a, b, c, out)
+//   subtract()                                (a, b, out)   [out = a - b]
+//   quadlo(freq, amp=1, phase_error=0, gain_imbalance=0)  (i, q)
+//   phase90(fc, error=0)                      (in, out)
+//   lowpass(order, fc)                        (in, out)
+//   highpass(order, fc)                       (in, out)
+//   bandpass(order, f1, f2)                   (in, out)
+//   limiter(level)                            (in, out)
+//   attenuator(db)                            (in, out)
+//   vco(freq, kvco=0, amp=1)                  (ctl, sin, cos)
+//   integrator(gain=1, initial=0)             (in, out)
+//   comparator(threshold=0, hyst=0, low=0, high=1)  (in, out)
+//   samplehold()                              (signal, clock, out)
+//   divider(n)                                (in, out)   [even n]
+//
+// `//` and `#` start comments. Statements end with ';'. Numbers accept
+// SPICE suffixes. A module's analog body may contain several assignments;
+// each becomes one expression block at elaboration.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ahdl/expr.h"
+#include "ahdl/system.h"
+
+namespace ahfic::ahdl {
+
+/// Requested simulation run (the `run` statement).
+struct RunSpec {
+  double tstop = 0.0;
+  double sampleRate = 0.0;
+  double recordFrom = 0.0;
+};
+
+/// A parsed + elaborated AHDL netlist, ready to run.
+struct AhdlNetlist {
+  System system;
+  std::vector<std::string> probes;
+  std::optional<RunSpec> runSpec;
+
+  /// Runs with the netlist's own run spec; throws when none was given.
+  SimResult run();
+};
+
+/// Parses and elaborates an AHDL netlist. Throws ahfic::ParseError with
+/// line information on malformed input.
+AhdlNetlist parseAhdl(const std::string& text);
+
+/// Expression block: evaluates `V(out) <- expr` each step. Public so the
+/// C++ API can use behavioural expressions directly.
+class ExprBlock final : public Block {
+ public:
+  /// `inputs` are the signal names the expression references, in the
+  /// order they will be wired to this block's input ports.
+  ExprBlock(std::string name, ExprPtr expr, std::vector<std::string> inputs,
+            std::map<std::string, double> params);
+
+  void step(std::span<const double> in, std::span<double> out,
+            double t) override;
+
+  const std::vector<std::string>& inputSignals() const { return inputs_; }
+
+ private:
+  ExprPtr expr_;
+  std::vector<std::string> inputs_;
+  std::map<std::string, double> params_;
+};
+
+}  // namespace ahfic::ahdl

@@ -1,0 +1,176 @@
+#include "bjtgen/ft.h"
+
+#include <cmath>
+
+#include "spice/analysis.h"
+#include "spice/bjt.h"
+#include "spice/circuit.h"
+#include "spice/sources.h"
+#include "util/error.h"
+#include "util/numeric.h"
+
+namespace ahfic::bjtgen {
+
+namespace sp = ahfic::spice;
+
+FtExtractor::FtExtractor(spice::BjtModel model, double vce)
+    : model_(model), vce_(vce) {
+  if (vce <= 0.0) throw Error("FtExtractor: vce must be > 0");
+}
+
+namespace {
+
+/// Collector current of a voltage-driven common-emitter bias cell.
+double icAtVbe(const spice::BjtModel& model, double vbe, double vce) {
+  sp::Circuit ckt;
+  const int c = ckt.node("c"), b = ckt.node("b");
+  ckt.add<sp::VSource>("VB", b, 0, vbe);
+  auto& vc = ckt.add<sp::VSource>("VC", c, 0, vce);
+  ckt.add<sp::Bjt>("Q1", ckt, c, b, 0, model);
+  sp::Analyzer an(ckt);
+  const auto x = an.op();
+  sp::Solution s(&x);
+  return -s.at(vc.branchId());
+}
+
+}  // namespace
+
+double FtExtractor::solveBias(double icTarget) const {
+  if (icTarget <= 0.0) throw Error("FtExtractor: ic must be > 0");
+  double lo = 0.3, hi = 1.15;
+  double iLo = icAtVbe(model_, lo, vce_);
+  double iHi = icAtVbe(model_, hi, vce_);
+  if (icTarget <= iLo || icTarget >= iHi)
+    throw Error("FtExtractor: target current out of bias range");
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    const double iMid = icAtVbe(model_, mid, vce_);
+    if (std::fabs(iMid - icTarget) < 1e-3 * icTarget) return mid;
+    if (iMid < icTarget)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+FtPoint FtExtractor::measureAt(double ic) const {
+  FtPoint pt;
+  pt.ic = ic;
+  pt.vbe = solveBias(ic);
+
+  // Current-driven base reproducing the same operating point: ib from a
+  // preliminary OP of the voltage-driven cell.
+  sp::Circuit vckt;
+  {
+    const int c = vckt.node("c"), b = vckt.node("b");
+    vckt.add<sp::VSource>("VB", b, 0, pt.vbe);
+    vckt.add<sp::VSource>("VC", c, 0, vce_);
+    vckt.add<sp::Bjt>("Q1", vckt, c, b, 0, model_);
+  }
+  double ib = 0.0;
+  {
+    sp::Analyzer an(vckt);
+    const auto x = an.op();
+    sp::Solution s(&x);
+    auto* vb = dynamic_cast<sp::VSource*>(vckt.findDevice("VB"));
+    ib = -s.at(vb->branchId());
+  }
+  if (ib <= 0.0) throw Error("FtExtractor: non-positive base current");
+
+  sp::Circuit ckt;
+  const int c = ckt.node("c"), b = ckt.node("b");
+  ckt.add<sp::ISource>("IB", 0, b, ib, /*acMag=*/1.0);
+  auto& vc = ckt.add<sp::VSource>("VC", c, 0, vce_);
+  ckt.add<sp::Bjt>("Q1", ckt, c, b, 0, model_);
+  sp::Analyzer an(ckt);
+  const auto op = an.op();
+
+  auto h21At = [&](double f) {
+    const auto ac = an.ac({f}, op);
+    return std::abs(ac.unknown(0, vc.branchId()));
+  };
+
+  // Find a probe frequency inside the -20 dB/decade region: |h21| must
+  // halve per octave (within 12%) and still be comfortably above unity
+  // extrapolation noise.
+  double f = 0.5e9;
+  double ft = 0.0;
+  for (int iter = 0; iter < 24; ++iter) {
+    const double h1 = h21At(f);
+    const double h2 = h21At(2.0 * f);
+    const double octaveRatio = h1 / h2;
+    if (std::fabs(octaveRatio - 2.0) < 0.24) {
+      ft = f * h1;
+      break;
+    }
+    if (octaveRatio < 2.0) {
+      f *= 2.0;  // still on the flat beta plateau
+    } else {
+      f *= 0.5;  // beyond the single-pole region (higher-order rolloff)
+    }
+    if (f < 1e6 || f > 1e12) break;
+  }
+  if (ft == 0.0) {
+    // Fall back to direct unity-gain search.
+    double fLo = 1e6, fHi = 1e12;
+    for (int i = 0; i < 48; ++i) {
+      const double mid = std::sqrt(fLo * fHi);
+      if (h21At(mid) > 1.0)
+        fLo = mid;
+      else
+        fHi = mid;
+    }
+    ft = std::sqrt(fLo * fHi);
+  }
+  pt.ft = ft;
+  return pt;
+}
+
+FtPoint FtExtractor::measureAnalyticAt(double ic) const {
+  FtPoint pt;
+  pt.ic = ic;
+  pt.vbe = solveBias(ic);
+  sp::Circuit ckt;
+  const int c = ckt.node("c"), b = ckt.node("b");
+  ckt.add<sp::VSource>("VB", b, 0, pt.vbe);
+  ckt.add<sp::VSource>("VC", c, 0, vce_);
+  auto& q = ckt.add<sp::Bjt>("Q1", ckt, c, b, 0, model_);
+  sp::Analyzer an(ckt);
+  const auto x = an.op();
+  sp::Solution s(&x);
+  pt.ft = q.opInfo(s).ft();
+  return pt;
+}
+
+std::vector<FtPoint> FtExtractor::sweep(
+    const std::vector<double>& currents) const {
+  std::vector<FtPoint> out;
+  out.reserve(currents.size());
+  for (double ic : currents) out.push_back(measureAt(ic));
+  return out;
+}
+
+double FtExtractor::maxBiasCurrent() const {
+  return icAtVbe(model_, 1.15, vce_);
+}
+
+FtPeak FtExtractor::findPeak(double icMin, double icMax, int points) const {
+  if (!(icMin > 0.0) || icMax <= icMin || points < 3)
+    throw Error("FtExtractor::findPeak: bad scan range");
+  icMax = std::min(icMax, 0.9 * maxBiasCurrent());
+  if (icMax <= icMin)
+    throw Error("FtExtractor::findPeak: range above device capability");
+  std::vector<double> ics, fts;
+  const double ratio = std::pow(icMax / icMin, 1.0 / (points - 1));
+  double ic = icMin;
+  for (int i = 0; i < points; ++i, ic *= ratio) {
+    const auto pt = measureAt(ic);
+    ics.push_back(pt.ic);
+    fts.push_back(pt.ft);
+  }
+  const auto peak = util::findCurvePeak(ics, fts);
+  return {peak.x, peak.y};
+}
+
+}  // namespace ahfic::bjtgen

@@ -1,0 +1,76 @@
+#include "bjtgen/generator.h"
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace ahfic::bjtgen {
+
+namespace {
+
+double ratio(double target, double reference, const char* what) {
+  if (reference <= 0.0)
+    throw Error(std::string("ModelGenerator: reference ") + what +
+                " must be > 0");
+  return target / reference;
+}
+
+}  // namespace
+
+ModelGenerator::ModelGenerator(Technology tech, TransistorShape refShape,
+                               spice::BjtModel refCard)
+    : tech_(tech),
+      refShape_(refShape),
+      refCard_(refCard),
+      refGeom_(computeElectrical(refShape, tech)) {}
+
+ModelGenerator ModelGenerator::withDefaultTechnology() {
+  return ModelGenerator(defaultTechnology(),
+                        TransistorShape::fromName("N1.2-6S"),
+                        referenceModel());
+}
+
+spice::BjtModel ModelGenerator::generate(const TransistorShape& shape) const {
+  const ElectricalGeometry g = computeElectrical(shape, tech_);
+  spice::BjtModel m = refCard_;  // copy shape-independent parameters
+
+  m.is = refCard_.is * ratio(g.is, refGeom_.is, "IS");
+  m.ise = refCard_.ise * ratio(g.ise, refGeom_.ise, "ISE");
+  m.ikf = refCard_.ikf * ratio(g.ikf, refGeom_.ikf, "IKF");
+  m.irb = refCard_.irb * ratio(g.irb, refGeom_.irb, "IRB");
+  m.itf = refCard_.itf * ratio(g.itf, refGeom_.itf, "ITF");
+  // ISC tracks the B-C junction size (cjc geometry).
+  m.isc = refCard_.isc * ratio(g.cjc, refGeom_.cjc, "CJC");
+
+  m.cje = refCard_.cje * ratio(g.cje, refGeom_.cje, "CJE");
+  m.cjc = refCard_.cjc * ratio(g.cjc, refGeom_.cjc, "CJC");
+  m.cjs = refCard_.cjs * ratio(g.cjs, refGeom_.cjs, "CJS");
+  m.xcjc = g.xcjc;  // a fraction: taken directly from the target layout
+
+  m.rb = refCard_.rb * ratio(g.rb, refGeom_.rb, "RB");
+  m.rbm = refCard_.rbm * ratio(g.rbm, refGeom_.rbm, "RBM");
+  m.re = refCard_.re * ratio(g.re, refGeom_.re, "RE");
+  m.rc = refCard_.rc * ratio(g.rc, refGeom_.rc, "RC");
+  return m;
+}
+
+spice::BjtModel ModelGenerator::generate(const std::string& shapeName) const {
+  return generate(TransistorShape::fromName(shapeName));
+}
+
+double ModelGenerator::areaFactor(const TransistorShape& shape) const {
+  return shape.emitterArea() / refShape_.emitterArea();
+}
+
+std::string ModelGenerator::modelName(const TransistorShape& shape) {
+  std::string n = "Q" + shape.name();
+  n = util::replaceAll(n, ".", "p");
+  n = util::replaceAll(n, "-", "_");
+  return n;
+}
+
+std::string ModelGenerator::generateSpiceLine(
+    const TransistorShape& shape) const {
+  return generate(shape).toSpiceLine(modelName(shape));
+}
+
+}  // namespace ahfic::bjtgen

@@ -1,0 +1,103 @@
+#include "bjtgen/geometry.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace ahfic::bjtgen {
+
+GeometrySummary computeGeometry(const TransistorShape& shape,
+                                const Technology& tech) {
+  const int nE = shape.emitterStripes;
+  const int nB = shape.baseStripes;
+  if (nE < 1 || nB < 1)
+    throw Error("computeGeometry: stripe counts must be >= 1");
+  if (nB > nE + 1)
+    throw Error("computeGeometry: at most " + std::to_string(nE + 1) +
+                " base stripes fit an alternating layout with " +
+                std::to_string(nE) + " emitter stripe(s)");
+  const double we = shape.emitterWidth;
+  const double le = shape.emitterLength;
+  const DesignRules& dr = tech.rules;
+  const ProcessData& p = tech.process;
+
+  GeometrySummary g;
+  g.emitterArea = shape.emitterArea();
+  g.emitterPerimeter = shape.emitterPerimeter();
+
+  // Alternating stripe layout (B E B E ... ). Horizontal extent covers all
+  // stripes plus inter-stripe spacings; vertical extent is the emitter
+  // length plus base overlap at both ends.
+  const int nStripes = nE + nB;
+  const double extentW = nE * we + nB * dr.baseContactWidth +
+                         (nStripes - 1) * dr.emitterBaseSpace;
+  const double extentL = le + 2.0 * dr.baseOverlapEnd;
+  g.baseArea = extentW * extentL;
+  g.basePerimeter = 2.0 * (extentW + extentL);
+
+  // Collector tub: base footprint plus the sinker stripe along one side.
+  const double collW = extentW + dr.collectorWallSpace + dr.sinkerWidth;
+  g.collectorArea = collW * extentL;
+  g.collectorPerimeter = 2.0 * (collW + extentL);
+
+  // Each emitter/base adjacency contacts one emitter side; an alternating
+  // layout with nE + nB stripes has nE + nB - 1 adjacencies.
+  const double sides =
+      std::min(2.0, static_cast<double>(nE + nB - 1) / nE);
+  g.contactedSidesPerStripe = sides;
+
+  // Intrinsic (pinched) base spreading resistance. For a stripe contacted
+  // on one side: rho_s * W / (3 L); on both sides: rho_s * W / (12 L)
+  // (Gray & Meyer [3]). A smooth interpolation rho_s*W/(3*s^2*L) matches
+  // both endpoints. Stripes are in parallel.
+  g.rbIntrinsic =
+      p.pinchedBaseSheet * we / (3.0 * sides * sides * le) / nE;
+
+  // Extrinsic: link resistance under each adjacency (spacing plus half the
+  // contact width, in parallel across adjacencies) plus contact resistance.
+  const int nAdj = nE + nB - 1;
+  const double linkLen = dr.emitterBaseSpace + 0.5 * dr.baseContactWidth;
+  const double rLink = p.extrinsicBaseSheet * linkLen / extentL / nAdj;
+  const double rContact =
+      p.baseContactRho / (dr.baseContactWidth * extentL * nB);
+  g.rbExtrinsic = rLink + rContact;
+
+  // Emitter: contact/poly resistivity over the emitter area.
+  g.re = p.emitterContactRho / g.emitterArea;
+
+  // Collector: vertical pedestal under the emitter plus the buried-layer
+  // path from the device centre to the sinker.
+  const double rVertical = p.collectorVerticalRho / g.emitterArea;
+  const double buriedPath =
+      0.5 * extentW + dr.collectorWallSpace + 0.5 * dr.sinkerWidth;
+  const double rBuried = p.buriedLayerSheet * buriedPath / extentL;
+  g.rc = rVertical + rBuried;
+  return g;
+}
+
+ElectricalGeometry computeElectrical(const TransistorShape& shape,
+                                     const Technology& tech) {
+  const GeometrySummary g = computeGeometry(shape, tech);
+  const ProcessData& p = tech.process;
+
+  ElectricalGeometry e;
+  e.is = p.jsArea * g.emitterArea + p.jsPerim * g.emitterPerimeter;
+  e.ise = p.jseePerim * g.emitterPerimeter;
+  e.ikf = p.jKnee * g.emitterArea;
+  e.irb = p.jIrb * g.emitterArea;
+  e.itf = p.jItf * g.emitterArea;
+  e.cje = p.cjeArea * g.emitterArea + p.cjePerim * g.emitterPerimeter;
+  e.cjc = p.cjcArea * g.baseArea + p.cjcPerim * g.basePerimeter;
+  e.cjs = p.cjsArea * g.collectorArea + p.cjsPerim * g.collectorPerimeter;
+  // The internal-node fraction of CJC is the part directly under the
+  // emitter stripes.
+  e.xcjc = std::clamp(p.cjcArea * g.emitterArea / e.cjc, 0.05, 1.0);
+  e.rb = g.rbTotal();
+  e.rbm = g.rbMin();
+  e.re = g.re;
+  e.rc = g.rc;
+  return e;
+}
+
+}  // namespace ahfic::bjtgen

@@ -1,0 +1,64 @@
+#pragma once
+// Geometry engine: derives layout areas, perimeters and parasitic
+// resistances from a transistor shape and the technology's design rules.
+//
+// This is the core of the paper's Sec. 4 argument: RB, RE, RC, CJE, CJC
+// and CJS "depend not only on the emitter area but also on their perimeter
+// and their specific device geometry" — so they are computed here from the
+// stripe topology, not scaled by a single area factor.
+
+#include "bjtgen/process.h"
+#include "bjtgen/shape.h"
+
+namespace ahfic::bjtgen {
+
+/// Geometry-dependent quantities of one laid-out transistor.
+struct GeometrySummary {
+  // Junction geometry.
+  double emitterArea = 0.0;       ///< [m^2]
+  double emitterPerimeter = 0.0;  ///< [m]
+  double baseArea = 0.0;          ///< B-C junction footprint [m^2]
+  double basePerimeter = 0.0;     ///< [m]
+  double collectorArea = 0.0;     ///< C-substrate footprint [m^2]
+  double collectorPerimeter = 0.0;///< [m]
+
+  // Stripe topology.
+  double contactedSidesPerStripe = 1.0;  ///< 1 (single) .. 2 (interdig.)
+
+  // Parasitic resistances.
+  double rbIntrinsic = 0.0;  ///< pinched-base spreading resistance [ohm]
+  double rbExtrinsic = 0.0;  ///< link + contact resistance [ohm]
+  double re = 0.0;           ///< emitter contact/poly resistance [ohm]
+  double rc = 0.0;           ///< vertical + buried-layer resistance [ohm]
+
+  /// Zero-bias SPICE RB (intrinsic + extrinsic).
+  double rbTotal() const { return rbIntrinsic + rbExtrinsic; }
+  /// High-current SPICE RBM: crowding removes most of the intrinsic part.
+  double rbMin() const { return rbExtrinsic + 0.15 * rbIntrinsic; }
+};
+
+/// Evaluates the layout geometry of `shape` under `tech`'s design rules.
+/// Throws ahfic::Error for non-physical shapes (e.g. more base stripes
+/// than the alternating layout allows).
+GeometrySummary computeGeometry(const TransistorShape& shape,
+                                const Technology& tech);
+
+/// Geometry-dependent model quantities used for parameter scaling.
+struct ElectricalGeometry {
+  double is = 0.0;    ///< saturation current (area + perimeter) [A]
+  double ise = 0.0;   ///< B-E perimeter recombination [A]
+  double ikf = 0.0;   ///< high-injection knee [A]
+  double irb = 0.0;   ///< base-resistance knee [A]
+  double itf = 0.0;   ///< TF bias-dependence current [A]
+  double cje = 0.0;   ///< [F]
+  double cjc = 0.0;   ///< [F]
+  double cjs = 0.0;   ///< [F]
+  double xcjc = 1.0;  ///< fraction of CJC under the emitter
+  double rb = 0.0, rbm = 0.0, re = 0.0, rc = 0.0;  ///< [ohm]
+};
+
+/// Evaluates the electrical geometry quantities for `shape`.
+ElectricalGeometry computeElectrical(const TransistorShape& shape,
+                                     const Technology& tech);
+
+}  // namespace ahfic::bjtgen

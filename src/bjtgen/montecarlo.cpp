@@ -1,0 +1,109 @@
+#include "bjtgen/montecarlo.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace ahfic::bjtgen {
+
+namespace {
+
+/// Lognormal factor exp(sigma * N(0,1)): always positive, median 1.
+double factor(util::Rng& rng, double sigma) {
+  return std::exp(sigma * rng.normal());
+}
+
+}  // namespace
+
+Technology sampleTechnology(const Technology& nominal,
+                            const ProcessVariation& var, util::Rng& rng) {
+  Technology t = nominal;
+  ProcessData& p = t.process;
+
+  // Resistive layers move together (shared implant/anneal steps), with a
+  // smaller independent component per layer.
+  const double rhoCommon = factor(rng, var.sheetResistance);
+  p.pinchedBaseSheet *= rhoCommon * factor(rng, var.sheetResistance / 3.0);
+  p.extrinsicBaseSheet *= rhoCommon * factor(rng, var.sheetResistance / 3.0);
+  p.buriedLayerSheet *= rhoCommon * factor(rng, var.sheetResistance / 3.0);
+  p.baseContactRho *= factor(rng, var.contactRho);
+  p.emitterContactRho *= factor(rng, var.contactRho);
+  p.collectorVerticalRho *= factor(rng, var.contactRho);
+
+  const double capCommon = factor(rng, var.capDensity);
+  p.cjeArea *= capCommon;
+  p.cjePerim *= capCommon;
+  p.cjcArea *= capCommon;
+  p.cjcPerim *= capCommon;
+  p.cjsArea *= capCommon;
+  p.cjsPerim *= capCommon;
+
+  const double jCommon = factor(rng, var.currentDensity);
+  p.jsArea *= jCommon;
+  p.jsPerim *= jCommon;
+  p.jseePerim *= factor(rng, var.currentDensity);
+  p.jKnee *= factor(rng, var.currentDensity);
+  p.jIrb *= factor(rng, var.currentDensity);
+  p.jItf *= factor(rng, var.currentDensity);
+
+  p.tf0 *= factor(rng, var.transitTime);
+  return t;
+}
+
+Technology cornerTechnology(const Technology& nominal,
+                            const ProcessVariation& var, Corner corner,
+                            double sigmas) {
+  if (corner == Corner::kTypical) return nominal;
+  // Slow silicon: everything that hurts speed moves out together.
+  const double dir = (corner == Corner::kSlow) ? +1.0 : -1.0;
+  auto f = [&](double sigma) { return std::exp(dir * sigmas * sigma); };
+
+  Technology t = nominal;
+  ProcessData& p = t.process;
+  p.pinchedBaseSheet *= f(var.sheetResistance);
+  p.extrinsicBaseSheet *= f(var.sheetResistance);
+  p.buriedLayerSheet *= f(var.sheetResistance);
+  p.baseContactRho *= f(var.contactRho);
+  p.emitterContactRho *= f(var.contactRho);
+  p.collectorVerticalRho *= f(var.contactRho);
+  p.cjeArea *= f(var.capDensity);
+  p.cjePerim *= f(var.capDensity);
+  p.cjcArea *= f(var.capDensity);
+  p.cjcPerim *= f(var.capDensity);
+  p.cjsArea *= f(var.capDensity);
+  p.cjsPerim *= f(var.capDensity);
+  p.tf0 *= f(var.transitTime);
+  // Current densities move the other way on slow silicon (lower knee =
+  // earlier droop).
+  p.jKnee /= f(var.currentDensity);
+  p.jItf /= f(var.currentDensity);
+  return t;
+}
+
+ModelGenerator cornerGenerator(Corner corner, double sigmas) {
+  const Technology tech = cornerTechnology(
+      defaultTechnology(), ProcessVariation{}, corner, sigmas);
+  return ModelGenerator(tech, TransistorShape::fromName("N1.2-6S"),
+                        referenceModelFor(tech));
+}
+
+MonteCarloGenerator::MonteCarloGenerator(Technology nominal,
+                                         ProcessVariation var,
+                                         std::uint64_t seed)
+    : nominal_(nominal), var_(var), rng_(seed) {}
+
+ModelGenerator MonteCarloGenerator::sampleDie() {
+  const Technology die = sampleTechnology(nominal_, var_, rng_);
+  return ModelGenerator(die, TransistorShape::fromName("N1.2-6S"),
+                        referenceModelFor(die));
+}
+
+spice::BjtModel MonteCarloGenerator::withLocalMismatch(
+    const spice::BjtModel& card) {
+  spice::BjtModel m = card;
+  m.is *= factor(rng_, var_.localMismatch);
+  m.bf *= factor(rng_, var_.localMismatch);
+  return m;
+}
+
+}  // namespace ahfic::bjtgen

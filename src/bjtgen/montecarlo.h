@@ -1,0 +1,71 @@
+#pragma once
+// Monte-Carlo process variation. The paper's Sec. 2 motivates system-level
+// simulation with "IC process variations" in mind; this module provides
+// the die-to-die variation model for the bipolar process so those studies
+// can be run against the transistor-level substrate too.
+//
+// Variation model: each die draws one correlated set of process
+// perturbations (sheet resistances, contact resistivities, capacitance and
+// current densities, transit time); every transistor generated for that
+// die uses the perturbed technology. Local (device-to-device) mismatch is
+// modelled as a small independent perturbation of IS and BF per generated
+// card.
+
+#include <cstdint>
+
+#include "bjtgen/generator.h"
+#include "bjtgen/process.h"
+#include "util/numeric.h"
+
+namespace ahfic::bjtgen {
+
+/// Relative 1-sigma die-to-die variations (lognormal-ish via exp(N*s)).
+struct ProcessVariation {
+  double sheetResistance = 0.10;  ///< all resistive layers (correlated)
+  double contactRho = 0.15;
+  double capDensity = 0.06;       ///< junction capacitance densities
+  double currentDensity = 0.12;   ///< saturation/knee current densities
+  double transitTime = 0.05;      ///< tf0
+  /// Local device-to-device mismatch (1-sigma, relative) applied to IS
+  /// and BF of each generated card.
+  double localMismatch = 0.01;
+};
+
+/// Draws one die: the nominal technology with correlated perturbations.
+Technology sampleTechnology(const Technology& nominal,
+                            const ProcessVariation& var, util::Rng& rng);
+
+/// Named worst-case corners, the deterministic companions of the
+/// Monte-Carlo draw. kSlow: high resistances/capacitances, long transit
+/// time; kFast: the opposite. `sigmas` sets how far out the corner sits
+/// (the usual practice is 3).
+enum class Corner { kSlow, kTypical, kFast };
+Technology cornerTechnology(const Technology& nominal,
+                            const ProcessVariation& var, Corner corner,
+                            double sigmas = 3.0);
+
+/// A ModelGenerator anchored on the given corner of the default process.
+ModelGenerator cornerGenerator(Corner corner, double sigmas = 3.0);
+
+/// Per-die model generator factory.
+class MonteCarloGenerator {
+ public:
+  MonteCarloGenerator(Technology nominal, ProcessVariation var,
+                      std::uint64_t seed = 1);
+
+  /// Next die: a ModelGenerator whose technology and reference card are
+  /// both perturbed (the reference device sits on the same die).
+  ModelGenerator sampleDie();
+
+  /// Applies local mismatch to a generated card (call per instance).
+  spice::BjtModel withLocalMismatch(const spice::BjtModel& card);
+
+  const ProcessVariation& variation() const { return var_; }
+
+ private:
+  Technology nominal_;
+  ProcessVariation var_;
+  util::Rng rng_;
+};
+
+}  // namespace ahfic::bjtgen

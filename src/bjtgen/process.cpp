@@ -1,0 +1,62 @@
+#include "bjtgen/process.h"
+
+#include "bjtgen/geometry.h"
+#include "bjtgen/shape.h"
+
+namespace ahfic::bjtgen {
+
+Technology defaultTechnology() {
+  return Technology{};  // field defaults are the calibrated process
+}
+
+spice::BjtModel referenceModel() {
+  return referenceModelFor(defaultTechnology());
+}
+
+spice::BjtModel referenceModelFor(const Technology& tech) {
+  const TransistorShape ref = TransistorShape::fromName("N1.2-6S");
+  const ElectricalGeometry g = computeElectrical(ref, tech);
+
+  spice::BjtModel m;
+  // Shape-independent (vertical profile) parameters of the synthetic
+  // process: gains, Early voltages, junction potentials, transit times.
+  m.bf = 110.0;
+  m.br = 8.0;
+  m.nf = 1.0;
+  m.nr = 1.0;
+  m.vaf = 45.0;
+  m.var = 12.0;
+  m.ne = 1.8;
+  m.nc = 1.9;
+  m.vje = 0.85;
+  m.mje = 0.35;
+  m.vjc = 0.65;
+  m.mjc = 0.33;
+  m.vjs = 0.55;
+  m.mjs = 0.40;
+  m.fc = 0.5;
+  m.tf = tech.process.tf0;
+  m.xtf = 4.0;    // fT droop shaping beyond the knee
+  m.vtf = 2.5;
+  m.tr = tech.process.tr0;
+  m.isc = 5e-16;
+
+  // Geometry-dependent values at the reference shape (the synthetic
+  // stand-in for measurements on the reference device).
+  m.is = g.is;
+  m.ise = g.ise;
+  m.ikf = g.ikf;
+  m.irb = g.irb;
+  m.itf = g.itf;
+  m.cje = g.cje;
+  m.cjc = g.cjc;
+  m.cjs = g.cjs;
+  m.xcjc = g.xcjc;
+  m.rb = g.rb;
+  m.rbm = g.rbm;
+  m.re = g.re;
+  m.rc = g.rc;
+  return m;
+}
+
+}  // namespace ahfic::bjtgen

@@ -1,0 +1,78 @@
+#pragma once
+// Synthetic bipolar process description and mask design rules.
+//
+// The paper's generator consumes (1) a reference transistor model card
+// "based on actual measurements", (2) "transistor process data" and (3)
+// "its mask design rule" (Fig. 10). Toshiba's data is proprietary, so this
+// module defines a self-consistent synthetic 0.8 um-class double-poly
+// bipolar process, calibrated so the reference device N1.2-6S peaks near
+// 9 GHz fT — consistent with the 5..10 GHz axis of the paper's Fig. 9.
+
+#include "spice/models.h"
+
+namespace ahfic::bjtgen {
+
+/// Electrical process data: sheet resistances, contact resistivities and
+/// junction capacitance/current densities. All SI (ohm/sq, ohm*m^2, F/m^2,
+/// F/m, A/m^2, A/m).
+struct ProcessData {
+  // Resistive layers.
+  double pinchedBaseSheet = 12e3;   ///< intrinsic base under the emitter [ohm/sq]
+  double extrinsicBaseSheet = 180.0;///< extrinsic base link [ohm/sq]
+  double baseContactRho = 60e-12;   ///< base contact resistivity [ohm*m^2]
+  double emitterContactRho = 40e-12;///< emitter poly+contact [ohm*m^2]
+  double buriedLayerSheet = 25.0;   ///< n+ buried layer [ohm/sq]
+  double collectorVerticalRho = 90e-12;  ///< epi pedestal [ohm*m^2]
+
+  // Junction capacitance densities.
+  double cjeArea = 1.0e-3;   ///< B-E depletion [F/m^2] (= 1.0 fF/um^2)
+  double cjePerim = 0.25e-9; ///< B-E sidewall [F/m]    (= 0.25 fF/um)
+  double cjcArea = 0.45e-3;  ///< B-C depletion [F/m^2]
+  double cjcPerim = 0.12e-9; ///< B-C sidewall [F/m]
+  double cjsArea = 0.10e-3;  ///< C-substrate [F/m^2]
+  double cjsPerim = 0.10e-9; ///< C-substrate sidewall [F/m]
+
+  // Current densities.
+  double jsArea = 9.0e-6;    ///< transport saturation density [A/m^2]
+  double jsPerim = 2.0e-12;  ///< perimeter injection [A/m]
+  double jseePerim = 1.2e-9; ///< B-E perimeter recombination (ISE) [A/m]
+  double jKnee = 5.0e8;      ///< Kirk/high-injection knee density [A/m^2]
+  double jIrb = 6.0e7;       ///< IRB current density [A/m^2]
+  double jItf = 1.2e9;       ///< ITF density for TF bias dependence [A/m^2]
+
+  // Shape-independent vertical parameters.
+  double tf0 = 12.0e-12;     ///< ideal forward transit time [s]
+  double tr0 = 2.0e-9;       ///< reverse transit time [s]
+};
+
+/// Mask design rules (minimum widths and spacings) [m].
+struct DesignRules {
+  double baseContactWidth = 1.0e-6;   ///< base contact stripe width
+  double emitterBaseSpace = 0.8e-6;   ///< emitter edge to base contact
+  double baseOverlapEnd = 1.2e-6;     ///< base diffusion past emitter ends
+  double collectorWallSpace = 2.0e-6; ///< base to collector sinker
+  double sinkerWidth = 1.5e-6;        ///< collector sinker stripe width
+};
+
+/// Everything the generator needs about the target technology.
+struct Technology {
+  ProcessData process;
+  DesignRules rules;
+};
+
+/// The synthetic process used throughout the reproduction.
+Technology defaultTechnology();
+
+/// The measured reference device: shape N1.2-6S on defaultTechnology().
+/// This is the anchor card the generator scales from; its values are the
+/// geometry model evaluated at the reference shape (i.e. the synthetic
+/// stand-in for the paper's "reference transistor model parameters ...
+/// based on actual measurements" [5]).
+spice::BjtModel referenceModel();
+
+/// The reference device as it would measure on a *different* die: the
+/// same N1.2-6S layout evaluated on `tech`. Used by the Monte-Carlo
+/// process-variation study.
+spice::BjtModel referenceModelFor(const Technology& tech);
+
+}  // namespace ahfic::bjtgen

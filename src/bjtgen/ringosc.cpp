@@ -1,0 +1,91 @@
+#include "bjtgen/ringosc.h"
+
+#include <memory>
+
+#include "spice/analysis.h"
+#include "spice/bjt.h"
+#include "spice/passive.h"
+#include "spice/sources.h"
+#include "util/error.h"
+#include "util/numeric.h"
+
+namespace ahfic::bjtgen {
+
+namespace sp = ahfic::spice;
+
+RingOscillatorNodes buildRingOscillator(spice::Circuit& ckt,
+                                        const RingOscillatorSpec& spec) {
+  if (spec.stages < 3 || spec.stages % 2 == 0)
+    throw Error("ring oscillator needs an odd stage count >= 3");
+  if (spec.tailCurrent <= 0.0 || spec.collectorLoad <= 0.0 ||
+      spec.followerLoad <= 0.0)
+    throw Error("ring oscillator: currents and loads must be > 0");
+
+  const int vcc = ckt.node("vcc");
+  ckt.add<sp::VSource>("VCC", vcc, 0, spec.vcc);
+
+  auto stageNode = [&](int stage, const char* base) {
+    return ckt.node(std::string(base) + std::to_string(stage));
+  };
+
+  // Stage s reads inputs from stage s-1's follower outputs (fp/fn); the
+  // ring closes from the last stage back to stage 0.
+  for (int s = 0; s < spec.stages; ++s) {
+    const int prev = (s + spec.stages - 1) % spec.stages;
+    const int inp = stageNode(prev, "fp");
+    const int inn = stageNode(prev, "fn");
+    const int c1 = stageNode(s, "cp");
+    const int c2 = stageNode(s, "cn");
+    const int e = stageNode(s, "e");
+    const int f1 = stageNode(s, "fp");
+    const int f2 = stageNode(s, "fn");
+    const std::string id = std::to_string(s);
+
+    // Collector loads.
+    ckt.add<sp::Resistor>("Rc1_" + id, vcc, c1, spec.collectorLoad);
+    ckt.add<sp::Resistor>("Rc2_" + id, vcc, c2, spec.collectorLoad);
+    // Differential pair (the optimised shape).
+    ckt.add<sp::Bjt>("Qd1_" + id, ckt, c1, inp, e, spec.diffPairModel);
+    ckt.add<sp::Bjt>("Qd2_" + id, ckt, c2, inn, e, spec.diffPairModel);
+    // Tail current.
+    ckt.add<sp::ISource>("Itail_" + id, e, 0, spec.tailCurrent);
+    // Emitter followers (fixed shape) with pull-down loads.
+    ckt.add<sp::Bjt>("Qf1_" + id, ckt, vcc, c1, f1, spec.followerModel);
+    ckt.add<sp::Bjt>("Qf2_" + id, ckt, vcc, c2, f2, spec.followerModel);
+    ckt.add<sp::Resistor>("Rf1_" + id, f1, 0, spec.followerLoad);
+    ckt.add<sp::Resistor>("Rf2_" + id, f2, 0, spec.followerLoad);
+  }
+
+  // Start-up kick: a brief current pulse unbalances stage 0's collector.
+  ckt.add<sp::ISource>(
+      "Ikick", stageNode(0, "cp"), 0,
+      std::make_unique<sp::PulseWaveform>(0.0, 0.5e-3, 0.0, 10e-12, 10e-12,
+                                          150e-12, 1.0));
+
+  RingOscillatorNodes nodes;
+  nodes.vcc = "vcc";
+  nodes.output = "fp" + std::to_string(spec.stages - 1);
+  return nodes;
+}
+
+RingMeasurement measureRingFrequency(const RingOscillatorSpec& spec,
+                                     double windowNs, double stepPs) {
+  sp::Circuit ckt;
+  const auto nodes = buildRingOscillator(ckt, spec);
+  sp::Analyzer an(ckt);
+  const double tstop = windowNs * 1e-9;
+  const auto tr = an.transient(tstop, stepPs * 1e-12,
+                               /*recordFrom=*/tstop * 0.25);
+  const auto v = tr.voltage(ckt.findNode(nodes.output));
+
+  RingMeasurement m;
+  m.peakToPeak = util::steadyStatePeakToPeak(tr.time, v, 0.3);
+  const auto f = util::oscillationFrequency(tr.time, v, 0.3);
+  if (f.has_value() && m.peakToPeak > 0.05) {
+    m.frequency = *f;
+    m.oscillating = true;
+  }
+  return m;
+}
+
+}  // namespace ahfic::bjtgen

@@ -1,0 +1,56 @@
+#pragma once
+// The paper's Fig. 11 test vehicle: a five-stage ECL ring oscillator.
+//
+// Each stage is a resistor-loaded differential pair followed by two
+// emitter followers; stage outputs feed the next stage's differential
+// inputs and the last stage closes the ring (the odd number of stages
+// supplies the net inversion). Table 1 varies the *differential pair*
+// transistor shape only — followers and passives stay fixed — exactly as
+// the paper's optimisation did.
+
+#include <string>
+
+#include "spice/circuit.h"
+#include "spice/models.h"
+
+namespace ahfic::bjtgen {
+
+/// Electrical configuration of the Fig. 11 oscillator.
+struct RingOscillatorSpec {
+  int stages = 5;
+  double vcc = 5.0;               ///< supply [V]
+  double tailCurrent = 3.0e-3;    ///< per-stage switch current [A]
+  double collectorLoad = 170.0;   ///< R1/R2 [ohm] (~0.5 V swing)
+  double followerLoad = 1.5e3;    ///< R3/R4 [ohm]
+  spice::BjtModel diffPairModel;  ///< Q1/Q2... — the optimised shape
+  spice::BjtModel followerModel;  ///< Q3/Q4... — fixed buffer shape
+};
+
+/// Node names of interest in a built oscillator.
+struct RingOscillatorNodes {
+  std::string vcc;
+  std::string output;  ///< follower output of the last stage
+};
+
+/// Builds the oscillator into `ckt`. A short start-up current pulse on the
+/// first stage breaks the symmetric (metastable) operating point.
+RingOscillatorNodes buildRingOscillator(spice::Circuit& ckt,
+                                        const RingOscillatorSpec& spec);
+
+/// Result of a free-running frequency measurement.
+struct RingMeasurement {
+  double frequency = 0.0;      ///< fundamental [Hz]; 0 when no oscillation
+  double peakToPeak = 0.0;     ///< steady-state output swing [V]
+  bool oscillating = false;
+};
+
+/// Builds and transient-simulates the oscillator, measuring the
+/// free-running frequency from rising zero crossings of the output.
+/// `settle` and `observe` are expressed in estimated periods
+/// (estimate: 8 gate delays of ~0.6/fT each... practically, the simulation
+/// window is `windowNs` nanoseconds with `stepPs` picosecond step cap).
+RingMeasurement measureRingFrequency(const RingOscillatorSpec& spec,
+                                     double windowNs = 8.0,
+                                     double stepPs = 3.0);
+
+}  // namespace ahfic::bjtgen

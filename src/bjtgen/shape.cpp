@@ -1,0 +1,128 @@
+#include "bjtgen/shape.h"
+
+#include <cctype>
+#include <cstdio>
+#include <vector>
+
+#include "util/error.h"
+
+namespace ahfic::bjtgen {
+
+double TransistorShape::emitterArea() const {
+  return emitterWidth * emitterLength * emitterStripes;
+}
+
+double TransistorShape::emitterPerimeter() const {
+  return 2.0 * (emitterWidth + emitterLength) * emitterStripes;
+}
+
+bool TransistorShape::fullyInterdigitated() const {
+  return baseStripes >= emitterStripes + 1;
+}
+
+namespace {
+
+std::string trimZeros(double microns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", microns);
+  return buf;
+}
+
+char baseCode(int stripes) {
+  switch (stripes) {
+    case 1:
+      return 'S';
+    case 2:
+      return 'D';
+    case 3:
+      return 'T';
+    default:
+      throw ahfic::Error("unsupported base stripe count " +
+                         std::to_string(stripes));
+  }
+}
+
+int baseStripesFromCode(char c) {
+  switch (c) {
+    case 'S':
+    case 's':
+      return 1;
+    case 'D':
+    case 'd':
+      return 2;
+    case 'T':
+    case 't':
+      return 3;
+    default:
+      throw ahfic::ParseError(std::string("bad base code '") + c +
+                              "' (expected S, D or T)");
+  }
+}
+
+}  // namespace
+
+std::string TransistorShape::name() const {
+  std::string out = "N" + trimZeros(emitterWidth * 1e6);
+  if (emitterStripes > 1) out += "x" + std::to_string(emitterStripes);
+  out += "-" + trimZeros(emitterLength * 1e6);
+  out += baseCode(baseStripes);
+  return out;
+}
+
+TransistorShape TransistorShape::fromName(const std::string& name) {
+  // N<width>[x<stripes>]-<length><S|D|T>
+  if (name.size() < 5 || (name[0] != 'N' && name[0] != 'n'))
+    throw ahfic::ParseError("shape name must start with 'N': " + name);
+  size_t i = 1;
+  auto readNumber = [&]() {
+    size_t start = i;
+    while (i < name.size() &&
+           (std::isdigit(static_cast<unsigned char>(name[i])) ||
+            name[i] == '.'))
+      ++i;
+    if (i == start)
+      throw ahfic::ParseError("expected a number in shape name: " + name);
+    return std::stod(name.substr(start, i - start));
+  };
+
+  TransistorShape s;
+  s.emitterWidth = readNumber() * 1e-6;
+  if (i < name.size() && (name[i] == 'x' || name[i] == 'X')) {
+    ++i;
+    s.emitterStripes = static_cast<int>(readNumber());
+    if (s.emitterStripes < 1 || s.emitterStripes > 16)
+      throw ahfic::ParseError("emitter stripe count out of range: " + name);
+  }
+  if (i >= name.size() || name[i] != '-')
+    throw ahfic::ParseError("expected '-' in shape name: " + name);
+  ++i;
+  s.emitterLength = readNumber() * 1e-6;
+  if (i + 1 != name.size())
+    throw ahfic::ParseError("trailing characters in shape name: " + name);
+  s.baseStripes = baseStripesFromCode(name[i]);
+  if (s.emitterWidth <= 0 || s.emitterLength <= 0)
+    throw ahfic::ParseError("shape dimensions must be positive: " + name);
+  return s;
+}
+
+std::vector<TransistorShape> fig8Shapes() {
+  return {
+      TransistorShape::fromName("N1.2-6S"),    // (a)
+      TransistorShape::fromName("N1.2-6D"),    // (b)
+      TransistorShape::fromName("N2.4-6D"),    // (c)
+      TransistorShape::fromName("N1.2x2-6S"),  // (d)
+      TransistorShape::fromName("N1.2-12D"),   // (e)
+      TransistorShape::fromName("N1.2x2-6T"),  // (f)
+  };
+}
+
+std::vector<TransistorShape> fig9Shapes() {
+  return {
+      TransistorShape::fromName("N1.2-6D"),
+      TransistorShape::fromName("N1.2-12D"),
+      TransistorShape::fromName("N1.2-24D"),
+      TransistorShape::fromName("N1.2-48D"),
+  };
+}
+
+}  // namespace ahfic::bjtgen

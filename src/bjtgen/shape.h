@@ -1,0 +1,57 @@
+#pragma once
+// Transistor shape descriptors and the paper's shape-name codec.
+//
+// The paper (Fig. 8) selects bipolar transistor shapes by emitter stripe
+// width/length, the number of emitter stripes, and the number of base
+// stripes ("single", "double", "triple" base). Names follow the paper's
+// convention:
+//
+//   N<width>[x<stripes>]-<length><S|D|T>
+//
+//   N1.2-6S    single 1.2 um x 6 um emitter, single base stripe
+//   N1.2-6D    same emitter, base stripes on both sides
+//   N2.4-6D    wider (2.4 um) emitter, double base
+//   N1.2x2-6S  two 1.2 um x 6 um emitter stripes, single-base pattern
+//   N1.2-12D   longer (12 um) emitter, double base
+//   N1.2x2-6T  two emitter stripes fully interdigitated (triple base)
+//
+// Dimensions are stored in metres.
+
+#include <string>
+#include <vector>
+
+namespace ahfic::bjtgen {
+
+/// Geometric description of an NPN transistor layout.
+struct TransistorShape {
+  double emitterWidth = 1.2e-6;   ///< stripe width [m]
+  double emitterLength = 6.0e-6;  ///< stripe length [m]
+  int emitterStripes = 1;         ///< parallel emitter stripes
+  int baseStripes = 1;            ///< base contact stripes (1..stripes+1)
+
+  /// Total emitter area [m^2].
+  double emitterArea() const;
+  /// Total emitter perimeter [m].
+  double emitterPerimeter() const;
+  /// True when every emitter stripe sees base contacts on both sides
+  /// (fully interdigitated: baseStripes == emitterStripes + 1).
+  bool fullyInterdigitated() const;
+
+  /// Canonical paper-style name, e.g. "N1.2x2-6T".
+  std::string name() const;
+
+  /// Parses a paper-style name; throws ahfic::ParseError on bad syntax.
+  static TransistorShape fromName(const std::string& name);
+
+  bool operator==(const TransistorShape& o) const = default;
+};
+
+/// The six shapes of the paper's Fig. 8 (a)-(f), in order.
+/// (d) and (f) are the "double emitter" variants with each stripe equal to
+/// shape (a)'s emitter; (f) is fully interdigitated (triple base).
+std::vector<TransistorShape> fig8Shapes();
+
+/// The four shapes whose fT-Ic curves appear in Fig. 9.
+std::vector<TransistorShape> fig9Shapes();
+
+}  // namespace ahfic::bjtgen

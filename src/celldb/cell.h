@@ -1,0 +1,45 @@
+#pragma once
+// The analog cell record of the paper's Fig. 7: schematic, behavioural
+// description, symbol, documentation and simulation data, organised as
+// Library -> Category1 -> Category2 -> Cell (Fig. 6).
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ahfic::celldb {
+
+/// One re-usable analog circuit, as stored by the Analog Cell-based
+/// Design Supporting System.
+struct Cell {
+  // Identity and taxonomy (Fig. 6).
+  std::string name;       ///< cell name, e.g. "ACC1"
+  std::string library;    ///< application field, e.g. "TV"
+  std::string category1;  ///< e.g. "Croma"
+  std::string category2;  ///< e.g. "ACC"
+
+  // Content (Fig. 7).
+  std::string document;    ///< operation description for the re-user
+  std::string schematic;   ///< primitive-element SPICE netlist body
+  std::string behavioral;  ///< AHDL module definition (optional)
+  std::string symbol;      ///< block symbol name for top-down schematics
+  std::map<std::string, std::string> simulationData;  ///< name -> data
+
+  /// External connection nodes of the schematic, in symbol order. When
+  /// non-empty the cell can be dropped into a host circuit as a
+  /// subcircuit (see instantiateCell in database.h).
+  std::vector<std::string> ports;
+
+  // Search aids and provenance.
+  std::vector<std::string> keywords;
+  std::string author;
+  std::string registeredOn;  ///< ISO date string
+
+  // Re-use bookkeeping.
+  int reuseCount = 0;
+
+  /// "library/name" — the unique key within a database.
+  std::string key() const { return library + "/" + name; }
+};
+
+}  // namespace ahfic::celldb

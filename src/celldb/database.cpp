@@ -1,0 +1,385 @@
+#include "celldb/database.h"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "ahdl/lang.h"
+#include "spice/circuit.h"
+#include "spice/parser.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace ahfic::celldb {
+
+namespace util = ahfic::util;
+
+namespace {
+
+void validateCell(const Cell& cell) {
+  if (cell.name.empty() || cell.library.empty())
+    throw Error("cell registration: name and library are required");
+  if (cell.category1.empty())
+    throw Error("cell '" + cell.name + "': category1 is required");
+  if (cell.schematic.empty() && cell.behavioral.empty())
+    throw Error("cell '" + cell.name +
+                "': needs a schematic or a behavioural view");
+  if (!cell.schematic.empty()) {
+    try {
+      spice::Circuit scratch;
+      spice::parseInto(scratch, cell.schematic);
+    } catch (const Error& e) {
+      throw Error("cell '" + cell.name +
+                  "': schematic does not parse: " + e.what());
+    }
+  }
+  if (!cell.behavioral.empty()) {
+    try {
+      ahdl::parseAhdl(cell.behavioral);
+    } catch (const Error& e) {
+      throw Error("cell '" + cell.name +
+                  "': behavioural view does not parse: " + e.what());
+    }
+  }
+}
+
+std::string escapeHtml(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '&': out += "&amp;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int CellDatabase::indexOf(const std::string& library,
+                          const std::string& name) const {
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    if (util::equalsNoCase(cells_[i].library, library) &&
+        util::equalsNoCase(cells_[i].name, name))
+      return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void CellDatabase::registerCell(Cell cell) {
+  validateCell(cell);
+  if (indexOf(cell.library, cell.name) >= 0)
+    throw Error("cell '" + cell.key() + "' already registered");
+  cells_.push_back(std::move(cell));
+}
+
+void CellDatabase::updateCell(Cell cell) {
+  validateCell(cell);
+  const int idx = indexOf(cell.library, cell.name);
+  if (idx < 0)
+    throw Error("cell '" + cell.key() + "' not found for update");
+  cells_[static_cast<size_t>(idx)] = std::move(cell);
+}
+
+bool CellDatabase::removeCell(const std::string& library,
+                              const std::string& name) {
+  const int idx = indexOf(library, name);
+  if (idx < 0) return false;
+  cells_.erase(cells_.begin() + idx);
+  return true;
+}
+
+const Cell* CellDatabase::find(const std::string& library,
+                               const std::string& name) const {
+  const int idx = indexOf(library, name);
+  return idx < 0 ? nullptr : &cells_[static_cast<size_t>(idx)];
+}
+
+std::vector<const Cell*> CellDatabase::byCategory(
+    const std::string& library, const std::string& category1,
+    const std::string& category2) const {
+  std::vector<const Cell*> out;
+  for (const auto& c : cells_) {
+    if (!util::equalsNoCase(c.library, library)) continue;
+    if (!category1.empty() && !util::equalsNoCase(c.category1, category1))
+      continue;
+    if (!category2.empty() && !util::equalsNoCase(c.category2, category2))
+      continue;
+    out.push_back(&c);
+  }
+  return out;
+}
+
+std::vector<const Cell*> CellDatabase::search(
+    const std::string& query) const {
+  std::vector<const Cell*> out;
+  for (const auto& c : cells_) {
+    bool hit = util::containsNoCase(c.name, query) ||
+               util::containsNoCase(c.category1, query) ||
+               util::containsNoCase(c.category2, query) ||
+               util::containsNoCase(c.document, query);
+    for (const auto& k : c.keywords)
+      hit = hit || util::containsNoCase(k, query);
+    if (hit) out.push_back(&c);
+  }
+  return out;
+}
+
+Cell CellDatabase::checkout(const std::string& library,
+                            const std::string& name) {
+  const int idx = indexOf(library, name);
+  if (idx < 0)
+    throw Error("checkout: cell '" + library + "/" + name + "' not found");
+  Cell& c = cells_[static_cast<size_t>(idx)];
+  ++c.reuseCount;
+  return c;
+}
+
+std::vector<std::string> CellDatabase::libraries() const {
+  std::set<std::string> s;
+  for (const auto& c : cells_) s.insert(c.library);
+  return {s.begin(), s.end()};
+}
+
+std::vector<std::string> CellDatabase::categories(
+    const std::string& library) const {
+  std::set<std::string> s;
+  for (const auto& c : cells_)
+    if (util::equalsNoCase(c.library, library)) s.insert(c.category1);
+  return {s.begin(), s.end()};
+}
+
+std::vector<std::string> CellDatabase::subcategories(
+    const std::string& library, const std::string& category1) const {
+  std::set<std::string> s;
+  for (const auto& c : cells_) {
+    if (util::equalsNoCase(c.library, library) &&
+        util::equalsNoCase(c.category1, category1) && !c.category2.empty())
+      s.insert(c.category2);
+  }
+  return {s.begin(), s.end()};
+}
+
+DatabaseStats CellDatabase::stats() const {
+  DatabaseStats st;
+  st.cellCount = cells_.size();
+  st.libraryCount = libraries().size();
+  for (const auto& c : cells_) {
+    st.totalCheckouts += c.reuseCount;
+    if (!c.behavioral.empty()) ++st.cellsWithBehavioralView;
+    if (!c.simulationData.empty()) ++st.cellsWithSimulationData;
+  }
+  return st;
+}
+
+// ---- persistence ----
+
+namespace {
+
+void emitBlock(std::ostream& os, const std::string& key,
+               const std::string& value) {
+  if (value.empty()) return;
+  os << key << " <<END\n" << value;
+  if (value.back() != '\n') os << '\n';
+  os << "END\n";
+}
+
+}  // namespace
+
+std::string CellDatabase::toText() const {
+  std::ostringstream os;
+  os << "# ahfic analog cell database v1\n";
+  for (const auto& c : cells_) {
+    os << "cell " << c.name << '\n';
+    os << "library " << c.library << '\n';
+    os << "category1 " << c.category1 << '\n';
+    if (!c.category2.empty()) os << "category2 " << c.category2 << '\n';
+    if (!c.symbol.empty()) os << "symbol " << c.symbol << '\n';
+    if (!c.author.empty()) os << "author " << c.author << '\n';
+    if (!c.registeredOn.empty())
+      os << "registered " << c.registeredOn << '\n';
+    if (c.reuseCount != 0) os << "reuse_count " << c.reuseCount << '\n';
+    if (!c.keywords.empty())
+      os << "keywords " << util::join(c.keywords, ", ") << '\n';
+    if (!c.ports.empty())
+      os << "ports " << util::join(c.ports, " ") << '\n';
+    emitBlock(os, "document", c.document);
+    emitBlock(os, "schematic", c.schematic);
+    emitBlock(os, "behavioral", c.behavioral);
+    for (const auto& [name, data] : c.simulationData)
+      emitBlock(os, "simdata " + name, data);
+    os << "end\n\n";
+  }
+  return os.str();
+}
+
+CellDatabase CellDatabase::fromText(const std::string& text) {
+  CellDatabase db;
+  std::istringstream is(text);
+  std::string line;
+  int lineNo = 0;
+  std::optional<Cell> cur;
+
+  auto readHeredoc = [&](void) {
+    std::string body;
+    while (std::getline(is, line)) {
+      ++lineNo;
+      if (util::trim(line) == "END") return body;
+      body += line;
+      body += '\n';
+    }
+    throw ParseError("unterminated heredoc block", lineNo);
+  };
+
+  while (std::getline(is, line)) {
+    ++lineNo;
+    const std::string t{util::trim(line)};
+    if (t.empty() || t[0] == '#') continue;
+
+    const size_t sp = t.find(' ');
+    const std::string key = t.substr(0, sp);
+    std::string rest =
+        sp == std::string::npos ? "" : std::string(util::trim(t.substr(sp)));
+
+    if (key == "cell") {
+      if (cur.has_value())
+        throw ParseError("nested 'cell' without 'end'", lineNo);
+      cur = Cell{};
+      cur->name = rest;
+      continue;
+    }
+    if (!cur.has_value())
+      throw ParseError("'" + key + "' outside a cell block", lineNo);
+
+    const bool heredoc = rest.size() >= 5 && rest.ends_with("<<END");
+    if (heredoc)
+      rest = std::string(util::trim(rest.substr(0, rest.size() - 5)));
+
+    if (key == "library") cur->library = rest;
+    else if (key == "category1") cur->category1 = rest;
+    else if (key == "category2") cur->category2 = rest;
+    else if (key == "symbol") cur->symbol = rest;
+    else if (key == "author") cur->author = rest;
+    else if (key == "registered") cur->registeredOn = rest;
+    else if (key == "reuse_count") cur->reuseCount = std::stoi(rest);
+    else if (key == "keywords") cur->keywords = util::split(rest, ",");
+    else if (key == "ports") cur->ports = util::split(rest, " \t");
+    else if (key == "document") cur->document = readHeredoc();
+    else if (key == "schematic") cur->schematic = readHeredoc();
+    else if (key == "behavioral") cur->behavioral = readHeredoc();
+    else if (key == "simdata") cur->simulationData[rest] = readHeredoc();
+    else if (key == "end") {
+      db.registerCell(std::move(*cur));
+      cur.reset();
+    } else {
+      throw ParseError("unknown cell field '" + key + "'", lineNo);
+    }
+  }
+  if (cur.has_value()) throw ParseError("missing final 'end'", lineNo);
+
+  // Trim whitespace that crept into keyword lists.
+  for (auto& c : db.cells_)
+    for (auto& k : c.keywords) k = std::string(util::trim(k));
+  return db;
+}
+
+void CellDatabase::save(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) throw Error("cannot write cell database to '" + path + "'");
+  os << toText();
+}
+
+CellDatabase CellDatabase::load(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw Error("cannot read cell database from '" + path + "'");
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return fromText(ss.str());
+}
+
+// ---- WWW view ----
+
+std::string CellDatabase::toHtml() const {
+  std::ostringstream os;
+  os << "<!DOCTYPE html>\n<html><head><title>Analog Cell Library"
+        "</title></head>\n<body>\n";
+  os << "<h1>Analog Cell Library</h1>\n";
+  const auto st = stats();
+  os << "<p>" << st.cellCount << " cells in " << st.libraryCount
+     << " libraries; " << st.totalCheckouts << " checkouts recorded.</p>\n";
+  for (const auto& lib : libraries()) {
+    os << "<h2>Library " << escapeHtml(lib) << "</h2>\n";
+    for (const auto& cat : categories(lib)) {
+      os << "<h3>" << escapeHtml(cat) << "</h3>\n<ul>\n";
+      for (const Cell* c : byCategory(lib, cat)) {
+        os << "<li><b>" << escapeHtml(c->name) << "</b>";
+        if (!c->category2.empty())
+          os << " <i>(" << escapeHtml(c->category2) << ")</i>";
+        if (!c->document.empty())
+          os << "<br/><pre>" << escapeHtml(c->document) << "</pre>";
+        if (!c->schematic.empty())
+          os << "<details><summary>schematic</summary><pre>"
+             << escapeHtml(c->schematic) << "</pre></details>";
+        os << "</li>\n";
+      }
+      os << "</ul>\n";
+    }
+  }
+  os << "</body></html>\n";
+  return os.str();
+}
+
+void instantiateCell(spice::Circuit& ckt, const Cell& cell,
+                     const std::string& instanceName,
+                     const std::vector<std::string>& nodes) {
+  if (cell.ports.empty())
+    throw Error("instantiateCell: cell '" + cell.key() +
+                "' declares no ports");
+  if (nodes.size() != cell.ports.size())
+    throw Error("instantiateCell: cell '" + cell.key() + "' has " +
+                std::to_string(cell.ports.size()) + " ports, got " +
+                std::to_string(nodes.size()));
+
+  // Split the schematic into control cards (.MODEL etc., which must stay
+  // at deck top level) and element lines (which go inside the subcircuit
+  // wrapper). '+' continuations follow their opening line.
+  std::string controls, elements;
+  bool lastWasControl = false;
+  std::istringstream is(cell.schematic);
+  std::string line;
+  while (std::getline(is, line)) {
+    const auto t = util::trim(line);
+    const bool continuation = !t.empty() && t.front() == '+';
+    const bool control = (!t.empty() && t.front() == '.') ||
+                         (continuation && lastWasControl);
+    if (control) {
+      controls += line;
+      controls += '\n';
+      lastWasControl = true;
+    } else {
+      elements += line;
+      elements += '\n';
+      if (!t.empty()) lastWasControl = false;
+    }
+  }
+
+  const std::string subName = "cell_" + cell.library + "_" + cell.name;
+  std::string deck = controls;
+  deck += ".SUBCKT " + subName;
+  for (const auto& port : cell.ports) deck += " " + port;
+  deck += '\n';
+  deck += elements;
+  deck += ".ENDS\n";
+  deck += instanceName;
+  if (instanceName.empty() || (instanceName[0] != 'X' &&
+                               instanceName[0] != 'x'))
+    throw Error("instantiateCell: instance name must start with 'X'");
+  for (const auto& node : nodes) deck += " " + node;
+  deck += " " + subName + "\n";
+  spice::parseInto(ckt, deck);
+}
+
+}  // namespace ahfic::celldb

@@ -1,0 +1,124 @@
+#pragma once
+// The Analog Cell-based Design Supporting System (paper Sec. 3).
+//
+// Two faces, as in the paper: a *registration* side for designers who
+// contribute circuits (with content validation — the schematic must be a
+// parsable SPICE body and the behavioural view a parsable AHDL module),
+// and a *search/copy* side for designers re-using them. A static-HTML
+// report reproduces the "library of circuits by a WWW server" view.
+//
+// Persistence is a line-oriented text format with heredoc blocks, designed
+// to diff well under version control:
+//
+//   cell ACC1
+//   library TV
+//   category1 Croma
+//   category2 ACC
+//   keywords agc, chroma
+//   author tanaka
+//   registered 1995-06-01
+//   reuse_count 3
+//   document <<END
+//   ...
+//   END
+//   schematic <<END
+//   ...
+//   END
+//   end
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "celldb/cell.h"
+#include "spice/circuit.h"
+
+namespace ahfic::celldb {
+
+/// Aggregate statistics for the Sec. 3 re-use claims.
+struct DatabaseStats {
+  size_t cellCount = 0;
+  size_t libraryCount = 0;
+  int totalCheckouts = 0;
+  size_t cellsWithBehavioralView = 0;
+  size_t cellsWithSimulationData = 0;
+};
+
+/// In-memory cell store with text-file persistence.
+class CellDatabase {
+ public:
+  CellDatabase() = default;
+
+  // ---- registration side ----
+
+  /// Registers a cell after validating identity fields and content: a
+  /// non-empty schematic must parse as a SPICE netlist body, a non-empty
+  /// behavioural view as an AHDL netlist. Throws ahfic::Error on invalid
+  /// cells or duplicate library/name keys.
+  void registerCell(Cell cell);
+
+  /// Replaces an existing cell (same key must exist).
+  void updateCell(Cell cell);
+
+  /// Removes a cell; returns false when it did not exist.
+  bool removeCell(const std::string& library, const std::string& name);
+
+  // ---- search / re-use side ----
+
+  const Cell* find(const std::string& library,
+                   const std::string& name) const;
+
+  /// All cells of a library, optionally filtered by categories.
+  std::vector<const Cell*> byCategory(const std::string& library,
+                                      const std::string& category1 = "",
+                                      const std::string& category2 = "") const;
+
+  /// Case-insensitive keyword search over name, categories, keywords and
+  /// document text.
+  std::vector<const Cell*> search(const std::string& query) const;
+
+  /// Copy-for-reuse: returns a copy of the cell and increments its re-use
+  /// counter. Throws when the cell is absent.
+  Cell checkout(const std::string& library, const std::string& name);
+
+  /// Distinct library names, sorted.
+  std::vector<std::string> libraries() const;
+  /// Distinct category1 values within a library, sorted.
+  std::vector<std::string> categories(const std::string& library) const;
+  /// Distinct category2 values within library/category1, sorted.
+  std::vector<std::string> subcategories(const std::string& library,
+                                         const std::string& category1) const;
+
+  size_t size() const { return cells_.size(); }
+  const std::vector<Cell>& cells() const { return cells_; }
+
+  DatabaseStats stats() const;
+
+  // ---- persistence ----
+
+  std::string toText() const;
+  static CellDatabase fromText(const std::string& text);
+  void save(const std::string& path) const;
+  static CellDatabase load(const std::string& path);
+
+  // ---- WWW view ----
+
+  /// Renders the browsable library page (paper's Toshiba WWW server):
+  /// library -> category tree with per-cell documents and schematics.
+  std::string toHtml() const;
+
+ private:
+  int indexOf(const std::string& library, const std::string& name) const;
+  std::vector<Cell> cells_;
+};
+
+/// Splices a checked-out cell into a host circuit as a subcircuit: the
+/// cell's schematic becomes a .SUBCKT over its declared ports, connected
+/// to `nodes` (host node names, same order as cell.ports). Devices land
+/// in the host with "instanceName." prefixes. Throws ahfic::Error when
+/// the cell declares no ports or the arity mismatches.
+void instantiateCell(spice::Circuit& ckt, const Cell& cell,
+                     const std::string& instanceName,
+                     const std::vector<std::string>& nodes);
+
+}  // namespace ahfic::celldb

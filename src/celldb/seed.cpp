@@ -1,0 +1,247 @@
+#include "celldb/seed.h"
+
+namespace ahfic::celldb {
+
+namespace {
+
+const char* kNpnModel =
+    ".MODEL nref NPN(IS=1e-16 BF=110 VAF=45 RB=200 RE=4 RC=30 CJE=12f "
+    "CJC=15f TF=12p)\n";
+
+Cell makeCell(const char* lib, const char* cat1, const char* cat2,
+              const char* name, const char* symbol, const char* doc,
+              std::string schematic, std::string behavioral = "") {
+  Cell c;
+  c.library = lib;
+  c.category1 = cat1;
+  c.category2 = cat2;
+  c.name = name;
+  c.symbol = symbol;
+  c.document = doc;
+  c.schematic = std::move(schematic);
+  c.behavioral = std::move(behavioral);
+  c.author = "library";
+  c.registeredOn = "1995-06-01";
+  return c;
+}
+
+}  // namespace
+
+size_t seedExampleLibrary(CellDatabase& db) {
+  const size_t before = db.size();
+
+  // --- TV / Croma / ACC -------------------------------------------------
+  {
+    Cell c = makeCell(
+        "TV", "Croma", "ACC", "ACC1", "acc",
+        "Automatic colour control amplifier. Input signal is IN1 and "
+        "IN2. DC voltage is 5 to 8 V. Output impedance is very low and "
+        "input impedance is 50 ohm. This circuit operates like a gain "
+        "controlled amp.",
+        std::string(kNpnModel) +
+            "VCC vcc 0 8\n"
+            "RC1 vcc c1 2k\n"
+            "RC2 vcc c2 2k\n"
+            "Q1 c1 in1 e nref\n"
+            "Q2 c2 in2 e nref\n"
+            "IT e 0 1m\n",
+        "module acc (in, out) {\n"
+        "  parameter real gain = 10;\n"
+        "  parameter real vsat = 1;\n"
+        "  analog { V(out) <- vsat * tanh(gain * V(in) / vsat); }\n"
+        "}\n");
+    c.keywords = {"agc", "chroma", "gain control"};
+    c.ports = {"in1", "in2", "c1", "c2"};
+    c.simulationData["gain_sweep"] = "vctl,gain\n0.1,2.0\n0.5,6.5\n1.0,10\n";
+    db.registerCell(std::move(c));
+  }
+  {
+    Cell c = makeCell(
+        "TV", "Croma", "ACC", "ACC2", "acc",
+        "ACC amplifier variant with emitter degeneration for improved "
+        "linearity at reduced gain.",
+        std::string(kNpnModel) +
+            "VCC vcc 0 8\n"
+            "RC1 vcc c1 2k\n"
+            "RC2 vcc c2 2k\n"
+            "Q1 c1 in1 e1 nref\n"
+            "Q2 c2 in2 e2 nref\n"
+            "RE1 e1 e 100\n"
+            "RE2 e2 e 100\n"
+            "IT e 0 1m\n");
+    c.keywords = {"agc", "chroma", "linear"};
+    db.registerCell(std::move(c));
+  }
+
+  // --- TV / Croma / Color control ----------------------------------------
+  {
+    Cell c = makeCell(
+        "TV", "Croma", "Color control", "GCA1", "gca",
+        "Gain controlled amplifier used for TV video. A Gilbert-style "
+        "variable gain stage; control voltage on node ctl steers the "
+        "tail current.",
+        std::string(kNpnModel) +
+            "VCC vcc 0 8\n"
+            "RL1 vcc o1 1.5k\n"
+            "RL2 vcc o2 1.5k\n"
+            "Q1 o1 in1 e nref\n"
+            "Q2 o2 in2 e nref\n"
+            "Q3 e ctl t nref\n"
+            "RT t 0 500\n",
+        "module gca (in, ctl, out) {\n"
+        "  parameter real maxgain = 8;\n"
+        "  analog { V(out) <- maxgain * V(ctl) * V(in); }\n"
+        "}\n");
+    c.keywords = {"vga", "video", "gain"};
+    db.registerCell(std::move(c));
+  }
+  {
+    Cell c = makeCell(
+        "TV", "Croma", "Color limitter", "CLIM1", "clim",
+        "Colour signal limiter: back-to-back diode clamp with buffer.",
+        ".MODEL dlim D(IS=1e-14)\n"
+        "RIN in x 1k\n"
+        "D1 x 0 dlim\n"
+        "D2 0 x dlim\n",
+        "module clim (in, out) {\n"
+        "  parameter real level = 0.65;\n"
+        "  analog { V(out) <- max(min(V(in), level), -level); }\n"
+        "}\n");
+    c.keywords = {"limiter", "clamp"};
+    db.registerCell(std::move(c));
+  }
+
+  // --- TV / Video --------------------------------------------------------
+  {
+    Cell c = makeCell(
+        "TV", "Video", "Buffer", "EF1", "ef",
+        "Emitter follower output buffer. Very low output impedance; "
+        "drives 150 ohm loads.",
+        std::string(kNpnModel) +
+            "VCC vcc 0 8\n"
+            "Q1 vcc in out nref\n"
+            "RE out 0 1k\n",
+        "module ef (in, out) {\n"
+        "  analog { V(out) <- V(in) - 0.75; }\n"
+        "}\n");
+    c.keywords = {"buffer", "follower", "output"};
+    c.ports = {"in", "out"};
+    db.registerCell(std::move(c));
+  }
+  {
+    Cell c = makeCell(
+        "TV", "Video", "Clamp", "CLAMP1", "clamp",
+        "DC restoration clamp for the video path.",
+        ".MODEL dcl D(IS=1e-14)\n"
+        "CIN in x 100n\n"
+        "D1 0 x dcl\n"
+        "RB x 0 100k\n");
+    c.keywords = {"clamp", "dc restore"};
+    db.registerCell(std::move(c));
+  }
+
+  // --- TV / Deflection ---------------------------------------------------
+  {
+    Cell c = makeCell(
+        "TV", "Deflection", "Ramp", "RAMP1", "ramp",
+        "Horizontal deflection ramp generator (RC integrator driven by a "
+        "switching source).",
+        "VSW in 0 PULSE(0 5 0 10n 10n 30u 64u)\n"
+        "R1 in x 10k\n"
+        "C1 x 0 1n\n");
+    c.keywords = {"deflection", "ramp", "sawtooth"};
+    db.registerCell(std::move(c));
+  }
+
+  // --- TVR / IF ------------------------------------------------------------
+  {
+    Cell c = makeCell(
+        "TVR", "IF", "Mixer", "MIX1", "mix",
+        "Double-balanced mixer core (Gilbert cell) for IF conversion.",
+        std::string(kNpnModel) +
+            "VCC vcc 0 8\n"
+            "RL1 vcc o1 1k\n"
+            "RL2 vcc o2 1k\n"
+            "Q1 o1 loP a nref\n"
+            "Q2 o2 loN a nref\n"
+            "Q3 o2 loP b nref\n"
+            "Q4 o1 loN b nref\n"
+            "Q5 a rfP e nref\n"
+            "Q6 b rfN e nref\n"
+            "IT e 0 2m\n",
+        "module mix (a, b, out) {\n"
+        "  parameter real gain = 1;\n"
+        "  analog { V(out) <- gain * V(a) * V(b); }\n"
+        "}\n");
+    c.keywords = {"mixer", "gilbert", "converter"};
+    c.ports = {"rfP", "rfN", "loP", "loN", "o1", "o2"};
+    db.registerCell(std::move(c));
+  }
+  {
+    Cell c = makeCell(
+        "TVR", "IF", "Oscillator", "VCO1", "vco",
+        "Emitter-coupled multivibrator VCO core for the 2nd local "
+        "oscillator; quadrature outputs derived from the timing "
+        "capacitor.",
+        std::string(kNpnModel) +
+            "VCC vcc 0 5\n"
+            "R1 vcc c1 300\n"
+            "R2 vcc c2 300\n"
+            "Q1 c1 c2 e1 nref\n"
+            "Q2 c2 c1 e2 nref\n"
+            "CT e1 e2 10p\n"
+            "I1 e1 0 1m\n"
+            "I2 e2 0 1m\n",
+        "module vco (i, q) {\n"
+        "  parameter real freq = 1.255e9;\n"
+        "  analog {\n"
+        "    V(i) <- cos(2*pi*freq*t);\n"
+        "    V(q) <- sin(2*pi*freq*t);\n"
+        "  }\n"
+        "}\n");
+    c.keywords = {"vco", "oscillator", "quadrature"};
+    db.registerCell(std::move(c));
+  }
+  {
+    Cell c = makeCell(
+        "TVR", "IF", "Opamp", "OTA1", "ota",
+        "Five-transistor operational transconductance amplifier with PNP "
+        "current-mirror load and emitter-follower output. Open-loop "
+        "differential gain well above 40 dB; inputs bias near VCC/2.",
+        std::string(kNpnModel) +
+            ".MODEL pref PNP(IS=1e-16 BF=50 VAF=30 RB=300 RE=6 RC=50 "
+            "CJE=14f CJC=18f TF=80p)\n"
+            "VCC vcc 0 8\n"
+            "Q3 o1 o1 vcc pref\n"
+            "Q4 o2 o1 vcc pref\n"
+            "Q1 o1 inp e nref\n"
+            "Q2 o2 inn e nref\n"
+            "IT e 0 0.5m\n"
+            "Q5 vcc o2 out nref\n"
+            "RO out 0 5k\n",
+        "module ota (inp, inn, out) {\n"
+        "  parameter real gain = 300;\n"
+        "  parameter real vsat = 3;\n"
+        "  analog { V(out) <- vsat * tanh(gain * (V(inp) - V(inn)) / vsat); }\n"
+        "}\n");
+    c.keywords = {"opamp", "ota", "amplifier"};
+    c.ports = {"inp", "inn", "out"};
+    db.registerCell(std::move(c));
+  }
+  {
+    Cell c = makeCell(
+        "TVR", "IF", "Phase shifter", "PS90", "ps90",
+        "90 degree phase shifter for the image rejection combiner; RC-CR "
+        "bridge at the 2nd IF.",
+        "RIN in a 1k\n"
+        "C1 a 0 3.5p\n"
+        "C2 in b 3.5p\n"
+        "R2 b 0 1k\n");
+    c.keywords = {"phase", "quadrature", "image rejection"};
+    db.registerCell(std::move(c));
+  }
+
+  return db.size() - before;
+}
+
+}  // namespace ahfic::celldb

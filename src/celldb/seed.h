@@ -1,0 +1,14 @@
+#pragma once
+// Example cell library seeding: populates a database with the paper's
+// Fig. 6 taxonomy (TV / TVR libraries, Croma / Video / Deflection
+// categories, ACC / Color control / ... subcategories) and working
+// circuit content — every schematic parses and simulates.
+
+#include "celldb/database.h"
+
+namespace ahfic::celldb {
+
+/// Registers the example cells; returns the number added.
+size_t seedExampleLibrary(CellDatabase& db);
+
+}  // namespace ahfic::celldb

@@ -1,0 +1,136 @@
+#include "core/characterize.h"
+
+#include <cmath>
+
+#include "ahdl/blocks.h"
+#include "spice/analysis.h"
+#include "spice/parser.h"
+#include "spice/sources.h"
+#include "util/error.h"
+#include "util/units.h"
+
+namespace ahfic::core {
+
+namespace sp = ahfic::spice;
+namespace ah = ahfic::ahdl;
+
+ExtractedAmplifier characterizeAmplifier(
+    const CharacterizationSetup& setup) {
+  if (setup.f0 <= 0.0 || setup.dcSweepPoints < 3)
+    throw Error("characterizeAmplifier: bad setup");
+
+  // Build the circuit once to locate the ports, then again per analysis
+  // (analyses mutate source waveforms).
+  sp::Circuit ckt;
+  sp::parseInto(ckt, setup.netlist);
+  auto* input = dynamic_cast<sp::VSource*>(ckt.findDevice(setup.inputSource));
+  if (input == nullptr)
+    throw Error("characterizeAmplifier: input source '" +
+                setup.inputSource + "' not found or not a V source");
+  const int outNode = ckt.findNode(setup.outputNode);
+  if (outNode <= 0)
+    throw Error("characterizeAmplifier: output node '" + setup.outputNode +
+                "' not found");
+  const double bias = input->waveform().dcValue();
+
+  ExtractedAmplifier model;
+
+  // --- AC: gain/phase at f0 and -3 dB bandwidth -------------------------
+  {
+    sp::Circuit ac;
+    sp::parseInto(ac, setup.netlist);
+    auto* vin = dynamic_cast<sp::VSource*>(ac.findDevice(setup.inputSource));
+    // Re-create the input source with an AC magnitude of 1.
+    const int p = vin->nodes()[0], n = vin->nodes()[1];
+    const std::string inName = vin->name();
+    ac.removeDevice(inName);
+    ac.add<sp::VSource>(inName, p, n, bias, /*acMag=*/1.0);
+
+    sp::Analyzer an(ac);
+    const auto op = an.op();
+    const int node = ac.findNode(setup.outputNode);
+
+    // Low-frequency anchor, f0 point, then a log sweep for bandwidth.
+    auto freqs = sp::logspace(setup.f0 / 1e4, setup.fMax, 12);
+    freqs.insert(freqs.begin(), setup.f0);
+    const auto res = an.ac(freqs, op);
+
+    const auto h0 = res.voltage(0, node);
+    model.gainAtF0 = std::abs(h0);
+    model.phaseDegAtF0 =
+        std::arg(h0) * 180.0 / util::constants::kPi;
+    model.dcGain = std::abs(res.voltage(1, node));  // lowest frequency
+
+    const double target = model.dcGain / std::sqrt(2.0);
+    for (size_t k = 2; k < res.frequency.size(); ++k) {
+      const double mag = std::abs(res.voltage(k, node));
+      if (mag < target) {
+        // Log interpolation between k-1 and k.
+        const double m0 = std::abs(res.voltage(k - 1, node));
+        const double f0k = res.frequency[k - 1], f1k = res.frequency[k];
+        const double u = (m0 - target) / std::max(m0 - mag, 1e-30);
+        model.bandwidth3Db = f0k * std::pow(f1k / f0k, u);
+        break;
+      }
+    }
+  }
+
+  // --- DC transfer: output swing and bias --------------------------------
+  {
+    sp::Circuit dc;
+    sp::parseInto(dc, setup.netlist);
+    sp::Analyzer an(dc);
+    const double lo = bias - setup.dcSweepSpan / 2.0;
+    const double hi = bias + setup.dcSweepSpan / 2.0;
+    const double step = (hi - lo) / (setup.dcSweepPoints - 1);
+    const auto sweep = an.dcSweep(setup.inputSource, lo, hi, step);
+    const int node = dc.findNode(setup.outputNode);
+    double vMin = 1e300, vMax = -1e300;
+    for (size_t k = 0; k < sweep.sweep.size(); ++k) {
+      const double v = sweep.voltage(k, node);
+      vMin = std::min(vMin, v);
+      vMax = std::max(vMax, v);
+      if (std::fabs(sweep.sweep[k] - bias) < step / 2.0)
+        model.outputBias = v;
+    }
+    model.outputSwing = (vMax - vMin) / 2.0;
+  }
+  return model;
+}
+
+void addExtractedAmplifier(ahdl::System& sys, const std::string& name,
+                           const std::string& in, const std::string& out,
+                           const ExtractedAmplifier& model) {
+  // Sign of the gain from the measured phase (inverting stages sit near
+  // 180 degrees at low frequency).
+  const double phase = std::fabs(model.phaseDegAtF0);
+  const double sign = (phase > 90.0 && phase < 270.0) ? -1.0 : 1.0;
+  const double vsat = model.outputSwing > 0.0 ? model.outputSwing : 0.0;
+
+  // Order: linear gain, then the bandwidth pole, then the output-stage
+  // swing limit — so the output is strictly bounded even when the
+  // bilinear pole rings on clipped waveforms.
+  if (model.bandwidth3Db > 0.0) {
+    const std::string mid = name + "#bw";
+    sys.add<ah::Amplifier>({in}, {mid}, name + ".gain",
+                           sign * model.gainAtF0);
+    if (vsat > 0.0) {
+      const std::string mid2 = name + "#pole";
+      sys.add<ah::FilterBlock>({mid}, {mid2}, name + ".pole",
+                               ah::FilterBlock::Kind::kLowpass, 1,
+                               model.bandwidth3Db, 0.0,
+                               /*clampToNyquist=*/true);
+      sys.add<ah::Amplifier>({mid2}, {out}, name + ".sat", 1.0, vsat);
+    } else {
+      sys.add<ah::FilterBlock>({mid}, {out}, name + ".pole",
+                               ah::FilterBlock::Kind::kLowpass, 1,
+                               model.bandwidth3Db, 0.0,
+                               /*clampToNyquist=*/true);
+    }
+  } else {
+    sys.add<ah::Amplifier>({in}, {out}, name + ".gain",
+                           sign * model.gainAtF0, vsat);
+  }
+}
+
+}  // namespace ahfic::core

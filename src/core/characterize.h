@@ -1,0 +1,56 @@
+#pragma once
+// Transistor-level block characterisation: closes the loop of the paper's
+// Fig. 1. After a block is implemented at the primitive-element level, it
+// is measured with the circuit simulator and an equivalent behavioural
+// model is produced, so the block can be dropped back into the system-
+// level AHDL simulation and "circuit designers can easily find the
+// effects of primitive elements to the whole system".
+
+#include <string>
+
+#include "ahdl/system.h"
+#include "spice/circuit.h"
+
+namespace ahfic::core {
+
+/// Behavioural abstraction of a measured amplifier-like block.
+struct ExtractedAmplifier {
+  double dcGain = 0.0;        ///< small-signal gain at the bias point
+  double gainAtF0 = 0.0;      ///< |gain| at the measurement frequency
+  double phaseDegAtF0 = 0.0;  ///< phase at f0 [deg]
+  double bandwidth3Db = 0.0;  ///< -3 dB bandwidth [Hz] (0 = not found)
+  double outputSwing = 0.0;   ///< half peak-to-peak output range [V]
+  double outputBias = 0.0;    ///< DC output level at the bias point [V]
+};
+
+/// Measurement setup for characterisation.
+struct CharacterizationSetup {
+  /// SPICE netlist body (no title, no .END) containing the block, its
+  /// bias network and a driving V source.
+  std::string netlist;
+  /// Name of the input V source in the netlist; its DC value is the bias
+  /// and it will carry the AC probe.
+  std::string inputSource;
+  /// Output node name.
+  std::string outputNode;
+  /// AC measurement frequency [Hz].
+  double f0 = 45e6;
+  /// Input DC sweep span (+/- around the bias) for the transfer curve.
+  double dcSweepSpan = 1.0;
+  int dcSweepPoints = 81;
+  /// Frequency ceiling for the bandwidth search [Hz].
+  double fMax = 20e9;
+};
+
+/// Runs OP + AC + DC-sweep measurements on the block; throws ahfic::Error
+/// on setup problems (missing source/node) or non-convergent circuits.
+ExtractedAmplifier characterizeAmplifier(const CharacterizationSetup& setup);
+
+/// Installs an extracted model into a behavioural system between `in` and
+/// `out`: gain + single-pole bandwidth + tanh swing limit. The DC output
+/// bias is intentionally dropped (behavioural chains are AC-coupled).
+void addExtractedAmplifier(ahdl::System& sys, const std::string& name,
+                           const std::string& in, const std::string& out,
+                           const ExtractedAmplifier& model);
+
+}  // namespace ahfic::core

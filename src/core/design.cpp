@@ -1,0 +1,91 @@
+#include "core/design.h"
+
+#include "util/error.h"
+
+namespace ahfic::core {
+
+DesignChain::DesignChain(std::string name) : name_(std::move(name)) {}
+
+void DesignChain::addBlock(const std::string& blockName,
+                           BehavioralFactory behavioral) {
+  if (blockName.empty()) throw Error("DesignChain: block name required");
+  if (!behavioral)
+    throw Error("DesignChain: block '" + blockName +
+                "' needs a behavioural factory");
+  for (const auto& b : blocks_)
+    if (b.name == blockName)
+      throw Error("DesignChain: duplicate block '" + blockName + "'");
+  blocks_.push_back(BlockEntry{blockName, std::move(behavioral),
+                               std::nullopt, std::nullopt});
+}
+
+void DesignChain::setTransistorView(const std::string& blockName,
+                                    CharacterizationSetup setup) {
+  for (auto& b : blocks_) {
+    if (b.name == blockName) {
+      b.transistor = std::move(setup);
+      b.cache.reset();
+      return;
+    }
+  }
+  throw Error("DesignChain: no block '" + blockName + "'");
+}
+
+bool DesignChain::hasTransistorView(const std::string& blockName) const {
+  return entry(blockName).transistor.has_value();
+}
+
+std::vector<std::string> DesignChain::blockNames() const {
+  std::vector<std::string> out;
+  out.reserve(blocks_.size());
+  for (const auto& b : blocks_) out.push_back(b.name);
+  return out;
+}
+
+const DesignChain::BlockEntry& DesignChain::entry(
+    const std::string& blockName) const {
+  for (const auto& b : blocks_)
+    if (b.name == blockName) return b;
+  throw Error("DesignChain: no block '" + blockName + "'");
+}
+
+const ExtractedAmplifier& DesignChain::characterized(
+    const std::string& blockName) const {
+  const BlockEntry& b = entry(blockName);
+  if (!b.transistor.has_value())
+    throw Error("DesignChain: block '" + blockName +
+                "' has no transistor-level view");
+  if (!b.cache.has_value())
+    b.cache = characterizeAmplifier(*b.transistor);
+  return *b.cache;
+}
+
+void DesignChain::build(ahdl::System& sys, const std::string& input,
+                        const std::string& output,
+                        const std::set<std::string>& transistorLevel) const {
+  if (blocks_.empty()) throw Error("DesignChain: no blocks to build");
+  for (const auto& want : transistorLevel) {
+    const BlockEntry& b = entry(want);  // throws on unknown names
+    if (!b.transistor.has_value())
+      throw Error("DesignChain: block '" + want +
+                  "' has no transistor-level view to build");
+  }
+
+  std::string current = input;
+  for (size_t i = 0; i < blocks_.size(); ++i) {
+    const BlockEntry& b = blocks_[i];
+    const std::string next =
+        (i + 1 == blocks_.size())
+            ? output
+            : name_ + "#" + std::to_string(i) + "_" + b.name;
+    if (transistorLevel.count(b.name)) {
+      addExtractedAmplifier(sys, name_ + "." + b.name, current, next,
+                            characterized(b.name));
+    } else {
+      b.behavioral(sys, current, next);
+    }
+    current = next;
+  }
+}
+
+}  // namespace ahfic::core

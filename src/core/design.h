@@ -1,0 +1,74 @@
+#pragma once
+// The top-down design tree (paper Fig. 1): a signal chain of function
+// blocks, each carrying a behavioural view and, once implemented, a
+// transistor-level view. Building the system with a chosen mix of views
+// is the methodology's central move — start all-behavioural, derive
+// specs, implement blocks, then swap them in one at a time and watch the
+// system-level metrics.
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ahdl/system.h"
+#include "core/characterize.h"
+#include "core/spec.h"
+
+namespace ahfic::core {
+
+/// A chain of function blocks between one input and one output signal.
+class DesignChain {
+ public:
+  /// Installs a block's behavioural view into `sys` between the two named
+  /// signals (the factory may create internal signals/blocks freely).
+  using BehavioralFactory = std::function<void(
+      ahdl::System& sys, const std::string& in, const std::string& out)>;
+
+  explicit DesignChain(std::string name);
+
+  const std::string& name() const { return name_; }
+
+  /// Appends a function block. Order defines the signal chain.
+  void addBlock(const std::string& blockName, BehavioralFactory behavioral);
+
+  /// Attaches a transistor-level view to an existing block. The setup is
+  /// characterised lazily (and cached) when the block is first built at
+  /// transistor level.
+  void setTransistorView(const std::string& blockName,
+                         CharacterizationSetup setup);
+
+  bool hasTransistorView(const std::string& blockName) const;
+  std::vector<std::string> blockNames() const;
+
+  /// Builds the chain into `sys` from signal `input` to signal `output`.
+  /// Blocks named in `transistorLevel` use their characterised view;
+  /// names without a transistor view cause an error.
+  void build(ahdl::System& sys, const std::string& input,
+             const std::string& output,
+             const std::set<std::string>& transistorLevel = {}) const;
+
+  /// The characterised model of a block (runs the measurement on first
+  /// use). Throws when the block has no transistor view.
+  const ExtractedAmplifier& characterized(const std::string& blockName) const;
+
+  /// The chain's derived specification sheet.
+  SpecSheet& specs() { return specs_; }
+  const SpecSheet& specs() const { return specs_; }
+
+ private:
+  struct BlockEntry {
+    std::string name;
+    BehavioralFactory behavioral;
+    std::optional<CharacterizationSetup> transistor;
+    mutable std::optional<ExtractedAmplifier> cache;
+  };
+  const BlockEntry& entry(const std::string& blockName) const;
+
+  std::string name_;
+  std::vector<BlockEntry> blocks_;
+  SpecSheet specs_;
+};
+
+}  // namespace ahfic::core

@@ -1,0 +1,102 @@
+#include "core/spec.h"
+
+#include <sstream>
+
+#include "util/error.h"
+
+namespace ahfic::core {
+
+void SpecSheet::add(SpecItem item) {
+  if (item.block.empty() || item.name.empty())
+    throw Error("SpecSheet: block and name are required");
+  if (item.minValue.has_value() && item.maxValue.has_value() &&
+      *item.minValue > *item.maxValue)
+    throw Error("SpecSheet: min > max for '" + item.block + "/" +
+                item.name + "'");
+  items_.push_back(std::move(item));
+}
+
+void SpecSheet::addMax(const std::string& block, const std::string& name,
+                       const std::string& unit, double maxValue) {
+  add(SpecItem{block, name, unit, std::nullopt, maxValue});
+}
+
+void SpecSheet::addMin(const std::string& block, const std::string& name,
+                       const std::string& unit, double minValue) {
+  add(SpecItem{block, name, unit, minValue, std::nullopt});
+}
+
+void SpecSheet::addRange(const std::string& block, const std::string& name,
+                         const std::string& unit, double minValue,
+                         double maxValue) {
+  add(SpecItem{block, name, unit, minValue, maxValue});
+}
+
+const SpecItem* SpecSheet::find(const std::string& block,
+                                const std::string& name) const {
+  for (const auto& item : items_)
+    if (item.block == block && item.name == name) return &item;
+  return nullptr;
+}
+
+bool SpecSheet::check(const std::string& block, const std::string& name,
+                      double value) const {
+  const SpecItem* item = find(block, name);
+  if (item == nullptr)
+    throw Error("SpecSheet: no spec '" + block + "/" + name + "'");
+  return item->accepts(value);
+}
+
+std::string SpecSheet::complianceReport(
+    const std::vector<Measurement>& measurements) const {
+  std::ostringstream os;
+  std::vector<bool> specSeen(items_.size(), false);
+  os << "block / quantity : measured : spec : verdict\n";
+  for (const auto& m : measurements) {
+    const SpecItem* item = find(m.block, m.name);
+    os << m.block << " / " << m.name << " : " << m.value;
+    if (item == nullptr) {
+      os << " : (no spec) : -\n";
+      continue;
+    }
+    for (size_t i = 0; i < items_.size(); ++i)
+      if (&items_[i] == item) specSeen[i] = true;
+    os << " : ";
+    if (item->minValue.has_value() && item->maxValue.has_value())
+      os << "[" << *item->minValue << ", " << *item->maxValue << "]";
+    else if (item->minValue.has_value())
+      os << ">= " << *item->minValue;
+    else if (item->maxValue.has_value())
+      os << "<= " << *item->maxValue;
+    else
+      os << "(informative)";
+    if (!item->unit.empty()) os << " " << item->unit;
+    os << " : " << (item->accepts(m.value) ? "PASS" : "FAIL") << "\n";
+  }
+  for (size_t i = 0; i < items_.size(); ++i) {
+    if (!specSeen[i])
+      os << items_[i].block << " / " << items_[i].name
+         << " : (not measured) : : -\n";
+  }
+  return os.str();
+}
+
+std::string SpecSheet::toString() const {
+  std::ostringstream os;
+  for (const auto& i : items_) {
+    os << i.block << " :: " << i.name << " ";
+    if (i.minValue.has_value() && i.maxValue.has_value())
+      os << "in [" << *i.minValue << ", " << *i.maxValue << "]";
+    else if (i.minValue.has_value())
+      os << ">= " << *i.minValue;
+    else if (i.maxValue.has_value())
+      os << "<= " << *i.maxValue;
+    else
+      os << "(informative)";
+    if (!i.unit.empty()) os << " " << i.unit;
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace ahfic::core

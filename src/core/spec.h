@@ -1,0 +1,77 @@
+#pragma once
+// Block specification sheets — the artefact the top-down method produces.
+//
+// In the paper's flow (Sec. 2.1), system-level AHDL sweeps let the circuit
+// designer "determine the specifications of every block in the IC" before
+// any transistor-level work starts. A SpecSheet captures those derived
+// per-block requirements and later checks a candidate implementation
+// against them.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ahfic::core {
+
+/// One specification item with optional lower/upper bounds.
+struct SpecItem {
+  std::string block;   ///< function block the spec applies to
+  std::string name;    ///< quantity, e.g. "gain balance"
+  std::string unit;    ///< display unit, e.g. "%", "deg", "dB"
+  std::optional<double> minValue;
+  std::optional<double> maxValue;
+
+  /// True when `value` satisfies the bounds.
+  bool accepts(double value) const {
+    if (minValue.has_value() && value < *minValue) return false;
+    if (maxValue.has_value() && value > *maxValue) return false;
+    return true;
+  }
+};
+
+/// A collection of derived block specifications.
+class SpecSheet {
+ public:
+  /// Adds an item; bounds may be open on either side.
+  void add(SpecItem item);
+  /// Convenience helpers.
+  void addMax(const std::string& block, const std::string& name,
+              const std::string& unit, double maxValue);
+  void addMin(const std::string& block, const std::string& name,
+              const std::string& unit, double minValue);
+  void addRange(const std::string& block, const std::string& name,
+                const std::string& unit, double minValue, double maxValue);
+
+  /// Finds the item; nullptr when absent.
+  const SpecItem* find(const std::string& block,
+                       const std::string& name) const;
+
+  /// Checks a measured value against the named spec; throws ahfic::Error
+  /// when the spec does not exist.
+  bool check(const std::string& block, const std::string& name,
+             double value) const;
+
+  const std::vector<SpecItem>& items() const { return items_; }
+  size_t size() const { return items_.size(); }
+
+  /// Human-readable listing (for reports / the quickstart example).
+  std::string toString() const;
+
+  /// One measured value to check against a spec.
+  struct Measurement {
+    std::string block;
+    std::string name;
+    double value;
+  };
+
+  /// Checks measurements against their specs and renders a pass/fail
+  /// compliance table. Measurements without a matching spec are listed
+  /// as "no spec"; specs without a measurement as "not measured".
+  std::string complianceReport(
+      const std::vector<Measurement>& measurements) const;
+
+ private:
+  std::vector<SpecItem> items_;
+};
+
+}  // namespace ahfic::core

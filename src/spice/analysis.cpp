@@ -1,0 +1,498 @@
+#include "spice/analysis.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "spice/sources.h"
+#include "util/error.h"
+
+namespace ahfic::spice {
+
+std::vector<double> TranResult::voltage(int node) const {
+  return unknown(node);
+}
+
+std::vector<double> TranResult::unknown(int id) const {
+  std::vector<double> out(values.size());
+  for (size_t k = 0; k < values.size(); ++k)
+    out[k] = (id <= 0) ? 0.0 : values[k][static_cast<size_t>(id - 1)];
+  return out;
+}
+
+std::complex<double> AcResult::voltage(size_t point, int node) const {
+  return unknown(point, node);
+}
+
+std::complex<double> AcResult::unknown(size_t point, int id) const {
+  if (id <= 0) return {0.0, 0.0};
+  return values[point][static_cast<size_t>(id - 1)];
+}
+
+double AcResult::magnitudeDb(size_t point, int node) const {
+  const double mag = std::abs(voltage(point, node));
+  return mag < 1e-300 ? -6000.0 : 20.0 * std::log10(mag);
+}
+
+double DcSweepResult::voltage(size_t point, int node) const {
+  return unknown(point, node);
+}
+
+double DcSweepResult::unknown(size_t point, int id) const {
+  if (id <= 0) return 0.0;
+  return values[point][static_cast<size_t>(id - 1)];
+}
+
+std::vector<double> logspace(double fStart, double fStop,
+                             int pointsPerDecade) {
+  if (fStart <= 0.0 || fStop <= fStart || pointsPerDecade < 1)
+    throw Error("logspace: bad range");
+  std::vector<double> out;
+  const double decades = std::log10(fStop / fStart);
+  const int n = std::max(1, static_cast<int>(
+                                std::ceil(decades * pointsPerDecade)));
+  for (int i = 0; i <= n; ++i)
+    out.push_back(fStart * std::pow(10.0, decades * i / n));
+  return out;
+}
+
+std::vector<double> linspace(double start, double stop, int points) {
+  if (points < 2) return {start};
+  std::vector<double> out(static_cast<size_t>(points));
+  for (int i = 0; i < points; ++i)
+    out[static_cast<size_t>(i)] =
+        start + (stop - start) * i / (points - 1);
+  return out;
+}
+
+Analyzer::Analyzer(Circuit& ckt, AnalysisOptions opts)
+    : ckt_(ckt), opts_(opts) {
+  buildLayout();
+}
+
+void Analyzer::buildLayout() {
+  int nextBranch = ckt_.nodeCount();
+  int nextState = 0;
+  for (const auto& dev : ckt_.devices()) {
+    if (dev->branchCount() > 0) {
+      dev->assignBranchBase(nextBranch);
+      nextBranch += dev->branchCount();
+    }
+    if (dev->stateCount() > 0) {
+      dev->assignStateBase(nextState);
+      nextState += dev->stateCount();
+    }
+  }
+  unknownCount_ = nextBranch - 1;  // ground excluded
+  stateCount_ = nextState;
+  state_.assign(static_cast<size_t>(stateCount_), 0.0);
+  statePrev_.assign(static_cast<size_t>(stateCount_), 0.0);
+  dstatePrev_.assign(static_cast<size_t>(stateCount_), 0.0);
+}
+
+void Analyzer::assemble(Stamper& s, const Solution& x,
+                        const LoadContext& ctx) {
+  for (const auto& dev : ckt_.devices()) dev->load(s, x, ctx);
+}
+
+bool Analyzer::solveLinear(std::vector<double>& x) {
+  ++stats_.matrixSolves;
+  if (opts_.useSparse) {
+    std::vector<double> b = rhs_;
+    return as_.solveInPlace(b, x);
+  }
+  std::vector<int> perm;
+  if (!a_.luFactor(perm)) return false;
+  a_.luSolve(perm, rhs_, x);
+  return true;
+}
+
+Analyzer::NewtonOutcome Analyzer::newton(std::vector<double>& x,
+                                         LoadContext& ctx) {
+  NewtonOutcome out;
+  const int n = unknownCount_;
+  std::vector<double> xNew(static_cast<size_t>(n), 0.0);
+
+  {
+    Solution sx(&x);
+    for (const auto& dev : ckt_.devices()) dev->beginSolve(sx);
+  }
+
+  for (int iter = 0; iter < opts_.maxNewtonIters; ++iter) {
+    ++stats_.newtonIterations;
+    out.iterations = iter + 1;
+
+    if (opts_.useSparse) {
+      if (as_.size() != n) as_ = SparseMatrix<double>(n);
+      as_.setZero();
+    } else {
+      if (a_.rows() != n) a_ = DenseMatrix<double>(n, n);
+      a_.setZero();
+    }
+    rhs_.assign(static_cast<size_t>(n), 0.0);
+
+    bool anyLimited = false;
+    ctx.limited = &anyLimited;
+    Solution sx(&x);
+    if (opts_.useSparse) {
+      SparseStamper st(as_, rhs_);
+      assemble(st, sx, ctx);
+    } else {
+      DenseStamper st(a_, rhs_);
+      assemble(st, sx, ctx);
+    }
+    ctx.limited = nullptr;
+
+    if (!solveLinear(xNew)) return out;  // singular: not converged
+
+    // Convergence: every unknown moved less than its tolerance, and no
+    // device had to limit its junction voltage this iteration.
+    bool converged = !anyLimited;
+    for (int i = 0; i < n; ++i) {
+      const double oldV = x[static_cast<size_t>(i)];
+      const double newV = xNew[static_cast<size_t>(i)];
+      const bool isVoltage = (i + 1) < ckt_.nodeCount();
+      const double tol =
+          (isVoltage ? opts_.vntol : opts_.abstol) +
+          opts_.reltol * std::max(std::fabs(oldV), std::fabs(newV));
+      if (std::fabs(newV - oldV) > tol) {
+        converged = false;
+        break;
+      }
+    }
+    x = xNew;
+    if (converged && iter > 0) {
+      out.converged = true;
+      return out;
+    }
+    // Linear circuits converge in one iteration; detect by absence of
+    // nonlinear devices.
+    if (converged && iter == 0) {
+      bool anyNonlinear = false;
+      for (const auto& dev : ckt_.devices())
+        if (dev->isNonlinear()) {
+          anyNonlinear = true;
+          break;
+        }
+      if (!anyNonlinear) {
+        out.converged = true;
+        return out;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> Analyzer::opWithContext(LoadContext& ctx) {
+  std::vector<double> x(static_cast<size_t>(unknownCount_), 0.0);
+
+  // 1. Plain Newton from zero.
+  ctx.gmin = opts_.gmin;
+  ctx.srcScale = 1.0;
+  if (newton(x, ctx).converged) return x;
+
+  // 2. Gmin stepping: solve with a large junction shunt, then relax it.
+  {
+    std::vector<double> xg(static_cast<size_t>(unknownCount_), 0.0);
+    bool ok = true;
+    for (double g = 1e-2; g >= opts_.gmin * 0.99; g /= 10.0) {
+      ctx.gmin = g;
+      ++stats_.gminSteps;
+      if (!newton(xg, ctx).converged) {
+        ok = false;
+        break;
+      }
+    }
+    ctx.gmin = opts_.gmin;
+    if (ok && newton(xg, ctx).converged) return xg;
+  }
+
+  // 3. Source stepping: ramp all independent sources from zero.
+  {
+    std::vector<double> xs(static_cast<size_t>(unknownCount_), 0.0);
+    ctx.gmin = opts_.gmin;
+    bool ok = true;
+    for (double scale : {0.01, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 0.9, 1.0}) {
+      ctx.srcScale = scale;
+      ++stats_.sourceSteps;
+      if (!newton(xs, ctx).converged) {
+        ok = false;
+        break;
+      }
+    }
+    ctx.srcScale = 1.0;
+    if (ok) return xs;
+  }
+
+  throw ConvergenceError("operating point did not converge");
+}
+
+std::vector<double> Analyzer::op() {
+  LoadContext ctx;
+  ctx.mode = AnalysisMode::kDcOp;
+  ctx.c0 = 0.0;
+  ctx.state = &state_;
+  ctx.prevState = &statePrev_;
+  ctx.prevDstate = &dstatePrev_;
+
+  std::vector<double> x = opWithContext(ctx);
+
+  // One extra assemble so the recorded charge states match the converged
+  // solution (transient starts from these).
+  {
+    if (a_.rows() != unknownCount_)
+      a_ = DenseMatrix<double>(unknownCount_, unknownCount_);
+    a_.setZero();
+    rhs_.assign(static_cast<size_t>(unknownCount_), 0.0);
+    DenseStamper st(a_, rhs_);
+    Solution sx(&x);
+    assemble(st, sx, ctx);
+  }
+  statePrev_ = state_;
+  std::fill(dstatePrev_.begin(), dstatePrev_.end(), 0.0);
+  return x;
+}
+
+DcSweepResult Analyzer::dcSweep(const std::string& sourceName, double start,
+                                double stop, double step) {
+  if (step == 0.0 || (stop - start) * step < 0.0)
+    throw Error("dcSweep: inconsistent range/step");
+  Device* dev = ckt_.findDevice(sourceName);
+  if (dev == nullptr)
+    throw Error("dcSweep: no source named '" + sourceName + "'");
+  auto* vs = dynamic_cast<VSource*>(dev);
+  auto* is = dynamic_cast<ISource*>(dev);
+  if (vs == nullptr && is == nullptr)
+    throw Error("dcSweep: '" + sourceName + "' is not a V or I source");
+
+  LoadContext ctx;
+  ctx.mode = AnalysisMode::kDcOp;
+  ctx.state = &state_;
+  ctx.prevState = &statePrev_;
+  ctx.prevDstate = &dstatePrev_;
+
+  DcSweepResult result;
+  std::vector<double> x(static_cast<size_t>(unknownCount_), 0.0);
+  bool first = true;
+  const int nPoints =
+      static_cast<int>(std::floor((stop - start) / step + 1.5));
+  for (int k = 0; k < nPoints; ++k) {
+    const double v = start + step * k;
+    if (vs != nullptr)
+      vs->setWaveform(std::make_unique<DcWaveform>(v));
+    else
+      is->setWaveform(std::make_unique<DcWaveform>(v));
+
+    if (first) {
+      x = opWithContext(ctx);
+      first = false;
+    } else {
+      ctx.gmin = opts_.gmin;
+      ctx.srcScale = 1.0;
+      if (!newton(x, ctx).converged) {
+        // Cold restart with full homotopy at this point.
+        x = opWithContext(ctx);
+      }
+    }
+    result.sweep.push_back(v);
+    result.values.push_back(x);
+  }
+  return result;
+}
+
+AcResult Analyzer::ac(const std::vector<double>& frequencies) {
+  return ac(frequencies, op());
+}
+
+AcResult Analyzer::ac(const std::vector<double>& frequencies,
+                      const std::vector<double>& opSolution) {
+  AcResult result;
+  const int n = unknownCount_;
+  Solution sop(&opSolution);
+  for (double f : frequencies) {
+    const double omega = 2.0 * 3.14159265358979323846 * f;
+    DenseMatrix<std::complex<double>> a(n, n);
+    a.setZero();
+    std::vector<std::complex<double>> rhs(static_cast<size_t>(n),
+                                          {0.0, 0.0});
+    DenseAcStamper st(a, rhs);
+    for (const auto& dev : ckt_.devices()) dev->loadAc(st, sop, omega);
+
+    std::vector<int> perm;
+    if (!a.luFactor(perm))
+      throw Error("ac: singular system at f = " + std::to_string(f));
+    std::vector<std::complex<double>> x;
+    a.luSolve(perm, rhs, x);
+    result.frequency.push_back(f);
+    result.values.push_back(std::move(x));
+  }
+  return result;
+}
+
+double NoiseResult::totalVariance() const {
+  double v = 0.0;
+  for (size_t k = 1; k < frequency.size(); ++k)
+    v += 0.5 * (outputPsd[k] + outputPsd[k - 1]) *
+         (frequency[k] - frequency[k - 1]);
+  return v;
+}
+
+double NoiseResult::rmsVoltage() const { return std::sqrt(totalVariance()); }
+
+NoiseResult Analyzer::noise(const std::vector<double>& frequencies,
+                            const std::string& outputNode,
+                            const std::vector<double>& opSolution) {
+  const int out = ckt_.findNode(outputNode);
+  if (out <= 0)
+    throw Error("noise: output node '" + outputNode + "' not found");
+  if (frequencies.empty()) throw Error("noise: empty frequency list");
+
+  Solution sop(&opSolution);
+  const double tempK = ckt_.temperatureC() + 273.15;
+  std::vector<NoiseSourceDesc> sources;
+  for (const auto& dev : ckt_.devices())
+    dev->appendNoise(sources, sop, tempK);
+
+  NoiseResult result;
+  result.frequency = frequencies;
+  result.outputPsd.assign(frequencies.size(), 0.0);
+  std::vector<double> perSourcePsd(sources.size());
+  std::vector<double> perSourceVar(sources.size(), 0.0);
+  std::vector<double> prevPerSourcePsd(sources.size(), 0.0);
+
+  const int n = unknownCount_;
+  for (size_t k = 0; k < frequencies.size(); ++k) {
+    const double f = frequencies[k];
+    const double omega = 2.0 * 3.14159265358979323846 * f;
+    DenseMatrix<std::complex<double>> a(n, n);
+    a.setZero();
+    std::vector<std::complex<double>> dummyRhs(static_cast<size_t>(n),
+                                               {0.0, 0.0});
+    DenseAcStamper st(a, dummyRhs);
+    for (const auto& dev : ckt_.devices()) dev->loadAc(st, sop, omega);
+    std::vector<int> perm;
+    if (!a.luFactor(perm))
+      throw Error("noise: singular system at f = " + std::to_string(f));
+
+    // Transfer impedance from each source to the output, reusing the
+    // factorisation.
+    std::vector<std::complex<double>> rhs(static_cast<size_t>(n)),
+        x(static_cast<size_t>(n));
+    for (size_t si = 0; si < sources.size(); ++si) {
+      const auto& src = sources[si];
+      std::fill(rhs.begin(), rhs.end(), std::complex<double>{0.0, 0.0});
+      if (src.a > 0) rhs[static_cast<size_t>(src.a - 1)] += 1.0;
+      if (src.b > 0) rhs[static_cast<size_t>(src.b - 1)] -= 1.0;
+      a.luSolve(perm, rhs, x);
+      const double h2 = std::norm(x[static_cast<size_t>(out - 1)]);
+      const double psd = h2 * src.psdAt(f);
+      perSourcePsd[si] = psd;
+      result.outputPsd[k] += psd;
+    }
+    if (k > 0) {
+      const double df = frequencies[k] - frequencies[k - 1];
+      for (size_t si = 0; si < sources.size(); ++si)
+        perSourceVar[si] +=
+            0.5 * (perSourcePsd[si] + prevPerSourcePsd[si]) * df;
+    }
+    prevPerSourcePsd = perSourcePsd;
+  }
+  // Single-point analyses cannot integrate; rank by spot PSD instead
+  // (reported "variance" is then PSD * 1 Hz).
+  if (frequencies.size() == 1) perSourceVar = perSourcePsd;
+
+  for (size_t si = 0; si < sources.size(); ++si)
+    result.contributions.push_back(
+        {sources[si].label, perSourceVar[si]});
+  std::sort(result.contributions.begin(), result.contributions.end(),
+            [](const NoiseContribution& x, const NoiseContribution& y) {
+              return x.variance > y.variance;
+            });
+  return result;
+}
+
+TranResult Analyzer::transient(double tstop, double maxStep,
+                               double recordFrom) {
+  if (tstop <= 0.0 || maxStep <= 0.0)
+    throw Error("transient: tstop and maxStep must be > 0");
+
+  // Initial condition: DC operating point (records charge states).
+  std::vector<double> x = op();
+
+  LoadContext ctx;
+  ctx.mode = AnalysisMode::kTransient;
+  ctx.state = &state_;
+  ctx.prevState = &statePrev_;
+  ctx.prevDstate = &dstatePrev_;
+  ctx.gmin = opts_.gmin;
+
+  const bool trap = (opts_.method == IntegMethod::kTrapezoidal);
+
+  TranResult result;
+  if (recordFrom <= 0.0) {
+    result.time.push_back(0.0);
+    result.values.push_back(x);
+  }
+
+  double t = 0.0;
+  double h = maxStep * opts_.tranInitialStepFraction;
+  const double hMin = maxStep * 1e-9;
+  bool firstStep = true;
+
+  std::vector<double> xPrev = x;
+  std::vector<double> dstate(static_cast<size_t>(stateCount_), 0.0);
+
+  while (t < tstop - 1e-18) {
+    h = std::min(h, tstop - t);
+    bool accepted = false;
+    int retries = 0;
+    while (!accepted) {
+      const double tNew = t + h;
+      // First step is backward Euler (no dq/dt history yet beyond the
+      // OP's zero, which BE does not need). Later steps use damped
+      // trapezoidal: d = 0 is pure trap, d = 1 is BE.
+      const bool useTrap = trap && !firstStep;
+      const double d = std::clamp(opts_.trapDamping, 0.0, 1.0);
+      ctx.time = tNew;
+      ctx.c0 = (useTrap ? 2.0 / (1.0 + d) : 1.0) / h;
+      ctx.trapFactor = useTrap ? (1.0 - d) / (1.0 + d) : 0.0;
+
+      std::vector<double> xTry = x;  // predictor: previous value
+      const NewtonOutcome nw = newton(xTry, ctx);
+      if (nw.converged) {
+        accepted = true;
+        ++stats_.acceptedSteps;
+        // Differentiate states under the accepted rule.
+        for (int i = 0; i < stateCount_; ++i) {
+          const auto si = static_cast<size_t>(i);
+          dstate[si] = ctx.c0 * (state_[si] - statePrev_[si]) -
+                       ctx.trapFactor * dstatePrev_[si];
+        }
+        statePrev_ = state_;
+        dstatePrev_ = dstate;
+        xPrev = x;
+        x = xTry;
+        t = tNew;
+        firstStep = false;
+        if (t >= recordFrom) {
+          result.time.push_back(t);
+          result.values.push_back(x);
+        }
+        // Step growth on easy convergence.
+        if (nw.iterations <= 5)
+          h = std::min(h * 1.4, maxStep);
+        else if (nw.iterations > opts_.maxNewtonIters / 2)
+          h = std::max(h * 0.6, hMin);
+      } else {
+        ++stats_.rejectedSteps;
+        h *= 0.5;
+        if (h < hMin || ++retries > opts_.maxStepRetries)
+          throw ConvergenceError(
+              "transient: step rejected below minimum step at t = " +
+              std::to_string(t));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace ahfic::spice

@@ -1,0 +1,175 @@
+#pragma once
+// Analyses: operating point (Newton with gmin/source stepping), DC sweep,
+// AC small-signal, and adaptive-step transient (trapezoidal / backward
+// Euler).
+//
+// Usage:
+//   Circuit ckt; ... build ...
+//   Analyzer an(ckt);
+//   auto op = an.op();
+//   auto tr = an.transient(100e-9, 50e-12);
+//   auto vout = tr.voltage(ckt.findNode("out"));
+
+#include <complex>
+#include <string>
+#include <vector>
+
+#include "spice/circuit.h"
+#include "spice/solution.h"
+
+namespace ahfic::spice {
+
+/// Tolerances and iteration limits. Defaults follow SPICE conventions.
+struct AnalysisOptions {
+  double reltol = 1e-3;    ///< relative convergence tolerance
+  double vntol = 1e-6;     ///< absolute node-voltage tolerance [V]
+  double abstol = 1e-9;    ///< absolute branch-current tolerance [A]
+  double gmin = 1e-12;     ///< junction shunt conductance [S]
+  int maxNewtonIters = 100;
+  bool useSparse = false;  ///< sparse matrix backend for real solves
+  IntegMethod method = IntegMethod::kTrapezoidal;
+  /// Damped-trapezoidal blend: 0 = pure trapezoidal (can sustain
+  /// period-2 ringing on stiff switching circuits), 1 = backward Euler.
+  /// The default adds just enough dissipation to kill the ringing while
+  /// keeping near-second-order accuracy.
+  double trapDamping = 0.08;
+  double tranInitialStepFraction = 1e-3;  ///< first step = fraction of maxStep
+  int maxStepRetries = 12;  ///< transient step halvings before giving up
+};
+
+/// Transient waveform record: one solution vector per accepted time point.
+struct TranResult {
+  std::vector<double> time;
+  std::vector<std::vector<double>> values;  ///< [point][unknown id - 1]
+
+  /// Waveform of node voltage `node` (unknown id == node id).
+  std::vector<double> voltage(int node) const;
+  /// Waveform of arbitrary unknown id (e.g. a VSource branch current).
+  std::vector<double> unknown(int id) const;
+};
+
+/// AC sweep record: complex solution per frequency point.
+struct AcResult {
+  std::vector<double> frequency;  ///< Hz
+  std::vector<std::vector<std::complex<double>>> values;
+
+  std::complex<double> voltage(size_t point, int node) const;
+  std::complex<double> unknown(size_t point, int id) const;
+  /// |V(node)| in dB at `point`.
+  double magnitudeDb(size_t point, int node) const;
+};
+
+/// DC sweep record: swept source value per point plus solution.
+struct DcSweepResult {
+  std::vector<double> sweep;
+  std::vector<std::vector<double>> values;
+
+  double voltage(size_t point, int node) const;
+  double unknown(size_t point, int id) const;
+};
+
+/// Frequency grid helpers.
+std::vector<double> logspace(double fStart, double fStop, int pointsPerDecade);
+std::vector<double> linspace(double start, double stop, int points);
+
+/// One noise source's share of the output noise, integrated over the
+/// analysed band.
+struct NoiseContribution {
+  std::string label;     ///< e.g. "Q1 collector shot"
+  double variance = 0.0; ///< [V^2] over the analysed band
+};
+
+/// Output-referred noise analysis result.
+struct NoiseResult {
+  std::vector<double> frequency;   ///< Hz
+  std::vector<double> outputPsd;   ///< [V^2/Hz] at the output node
+  std::vector<NoiseContribution> contributions;  ///< sorted, descending
+
+  /// Total output noise variance over the analysed band (trapezoid).
+  double totalVariance() const;
+  /// RMS output noise voltage over the band.
+  double rmsVoltage() const;
+};
+
+/// Statistics of the most recent analysis (for the micro-benches and tests).
+struct AnalyzerStats {
+  long newtonIterations = 0;
+  long matrixSolves = 0;
+  long acceptedSteps = 0;
+  long rejectedSteps = 0;
+  long gminSteps = 0;
+  long sourceSteps = 0;
+};
+
+/// Analysis driver bound to one Circuit. Building the unknown layout
+/// happens at construction; do not add/remove devices afterwards (create a
+/// fresh Analyzer instead).
+class Analyzer {
+ public:
+  explicit Analyzer(Circuit& ckt, AnalysisOptions opts = {});
+
+  /// Total number of MNA unknowns (node voltages + branch currents).
+  int unknownCount() const { return unknownCount_; }
+
+  /// DC operating point. Tries plain Newton, then gmin stepping, then
+  /// source stepping. Throws ahfic::ConvergenceError when all fail.
+  /// The result vector is indexed by (unknown id - 1).
+  std::vector<double> op();
+
+  /// Sweeps the DC value of the named V or I source. Each point is a full
+  /// operating point, warm-started from the previous one.
+  DcSweepResult dcSweep(const std::string& sourceName, double start,
+                        double stop, double step);
+
+  /// AC small-signal analysis at the given frequencies, linearised about
+  /// `opSolution` (obtain it from op()).
+  AcResult ac(const std::vector<double>& frequencies,
+              const std::vector<double>& opSolution);
+  /// Convenience: computes the OP itself, then sweeps.
+  AcResult ac(const std::vector<double>& frequencies);
+
+  /// Transient from t=0 (operating point as the initial condition) to
+  /// `tstop`, with adaptive step capped at `maxStep`. Points before
+  /// `recordFrom` are simulated but not recorded (start-up settling).
+  TranResult transient(double tstop, double maxStep, double recordFrom = 0.0);
+
+  /// Small-signal noise analysis: the output-voltage noise spectral
+  /// density at `outputNode` over `frequencies`, from the thermal/shot
+  /// sources of every device linearised about `opSolution`. Device
+  /// contributions are integrated over the band and ranked.
+  NoiseResult noise(const std::vector<double>& frequencies,
+                    const std::string& outputNode,
+                    const std::vector<double>& opSolution);
+
+  const AnalyzerStats& stats() const { return stats_; }
+  const AnalysisOptions& options() const { return opts_; }
+
+ private:
+  struct NewtonOutcome {
+    bool converged = false;
+    int iterations = 0;
+  };
+
+  void buildLayout();
+  void assemble(Stamper& s, const Solution& x, const LoadContext& ctx);
+  /// One Newton solve at fixed context; x is both input guess and output.
+  NewtonOutcome newton(std::vector<double>& x, LoadContext& ctx);
+  bool solveLinear(std::vector<double>& x);
+  std::vector<double> opWithContext(LoadContext& ctx);
+
+  Circuit& ckt_;
+  AnalysisOptions opts_;
+  int unknownCount_ = 0;
+  int stateCount_ = 0;
+  AnalyzerStats stats_;
+
+  // Scratch for the real solves.
+  DenseMatrix<double> a_;
+  SparseMatrix<double> as_;
+  std::vector<double> rhs_;
+
+  // Charge/flux states.
+  std::vector<double> state_, statePrev_, dstatePrev_;
+};
+
+}  // namespace ahfic::spice

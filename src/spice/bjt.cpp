@@ -1,0 +1,380 @@
+#include "spice/bjt.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "spice/circuit.h"
+#include "spice/junction.h"
+#include "util/error.h"
+#include "util/units.h"
+
+namespace ahfic::spice {
+
+using util::constants::kPi;
+
+double BjtOpInfo::ft() const {
+  const double ctot = cpi + cmu;
+  if (gm <= 0.0 || ctot <= 0.0) return 0.0;
+  return gm / (2.0 * kPi * ctot);
+}
+
+namespace {
+
+/// Applies the SPICE area factor to a model card: currents and
+/// capacitances scale up with area, resistances scale down. This is the
+/// *baseline* scaling the paper criticises; the bjtgen library generates a
+/// per-shape card instead.
+BjtModel applyAreaFactor(BjtModel m, double area) {
+  m.is *= area;
+  m.ise *= area;
+  m.isc *= area;
+  if (m.ikf > 0.0) m.ikf *= area;
+  if (m.ikr > 0.0) m.ikr *= area;
+  if (m.irb > 0.0) m.irb *= area;
+  if (m.itf > 0.0) m.itf *= area;
+  m.cje *= area;
+  m.cjc *= area;
+  m.cjs *= area;
+  if (m.rb > 0.0) m.rb /= area;
+  if (m.rbm > 0.0) m.rbm /= area;
+  if (m.re > 0.0) m.re /= area;
+  if (m.rc > 0.0) m.rc /= area;
+  return m;
+}
+
+}  // namespace
+
+Bjt::Bjt(std::string name, Circuit& ckt, int c, int b, int e,
+         const BjtModel& model, double area, int substrate, double tempC)
+    : Device(std::move(name), {c, b, e, substrate}),
+      model_(model),
+      area_(area),
+      pol_(model.pnp ? -1.0 : 1.0),
+      ci_(c),
+      bi_(b),
+      ei_(e),
+      sub_(substrate) {
+  if (area <= 0.0) throw Error("bjt " + this->name() + ": area must be > 0");
+  m_ = applyAreaFactor(model_, area_);
+  if (m_.rbm <= 0.0) m_.rbm = m_.rb;  // SPICE default: RBM = RB
+  vt_ = util::constants::thermalVoltage(tempC);
+
+  // Temperature adjustment (Tnom = 27 C):
+  //   IS(T) = IS * (T/Tnom)^XTI * exp(EG/Vt * (T/Tnom - 1))
+  //   BF(T) = BF * (T/Tnom)^XTB (same for BR); leakage saturation
+  //   currents scale as IS^(1/N) per SPICE.
+  constexpr double kTnomC = 27.0;
+  if (tempC != kTnomC) {
+    const double tr = (tempC + util::constants::kZeroCelsiusInKelvin) /
+                      (kTnomC + util::constants::kZeroCelsiusInKelvin);
+    const double isFactor =
+        std::pow(tr, m_.xti) * std::exp(m_.eg / vt_ * (tr - 1.0));
+    m_.is *= isFactor;
+    if (m_.ise > 0.0)
+      m_.ise *= std::pow(isFactor, 1.0 / m_.ne) / std::pow(tr, m_.xtb);
+    if (m_.isc > 0.0)
+      m_.isc *= std::pow(isFactor, 1.0 / m_.nc) / std::pow(tr, m_.xtb);
+    m_.bf *= std::pow(tr, m_.xtb);
+    m_.br *= std::pow(tr, m_.xtb);
+  }
+  vcritE_ = junctionVcrit(m_.is, m_.nf * vt_);
+  vcritC_ = junctionVcrit(m_.is, m_.nr * vt_);
+  if (m_.rc > 0.0) ci_ = ckt.internalNode(this->name() + "#c");
+  if (m_.rb > 0.0) bi_ = ckt.internalNode(this->name() + "#b");
+  if (m_.re > 0.0) ei_ = ckt.internalNode(this->name() + "#e");
+}
+
+Bjt::Eval Bjt::evaluate(double vbe, double vbc, double gmin) const {
+  Eval r{};
+  const double vtf = m_.nf * vt_;
+  const double vtr = m_.nr * vt_;
+
+  // Ideal transport diodes.
+  {
+    auto [i, g] = junctionIV(vbe, m_.is, vtf);
+    r.ibe1 = i;
+    r.gbe1 = g;
+  }
+  {
+    auto [i, g] = junctionIV(vbc, m_.is, vtr);
+    r.ibc1 = i;
+    r.gbc1 = g;
+  }
+  // Leakage diodes.
+  if (m_.ise > 0.0) {
+    auto [i, g] = junctionIV(vbe, m_.ise, m_.ne * vt_);
+    r.ibe2 = i;
+    r.gbe2 = g;
+  }
+  if (m_.isc > 0.0) {
+    auto [i, g] = junctionIV(vbc, m_.isc, m_.nc * vt_);
+    r.ibc2 = i;
+    r.gbc2 = g;
+  }
+
+  // Base-charge modulation: Early effect (q1) and high injection (q2).
+  double q1 = 1.0;
+  double dq1Dvbe = 0.0, dq1Dvbc = 0.0;
+  {
+    double denom = 1.0;
+    if (m_.vaf > 0.0) denom -= vbc / m_.vaf;
+    if (m_.var > 0.0) denom -= vbe / m_.var;
+    denom = std::max(denom, 1e-3);
+    q1 = 1.0 / denom;
+    if (m_.vaf > 0.0) dq1Dvbc = q1 * q1 / m_.vaf;
+    if (m_.var > 0.0) dq1Dvbe = q1 * q1 / m_.var;
+  }
+  double q2 = 0.0, dq2Dvbe = 0.0, dq2Dvbc = 0.0;
+  if (m_.ikf > 0.0) {
+    q2 += r.ibe1 / m_.ikf;
+    dq2Dvbe += r.gbe1 / m_.ikf;
+  }
+  if (m_.ikr > 0.0) {
+    q2 += r.ibc1 / m_.ikr;
+    dq2Dvbc += r.gbc1 / m_.ikr;
+  }
+  const double sq = std::sqrt(1.0 + 4.0 * std::max(q2, -0.2499));
+  r.qb = q1 * (1.0 + sq) / 2.0;
+  r.qb = std::max(r.qb, 1e-4);
+  r.dqbDvbe = dq1Dvbe * (1.0 + sq) / 2.0 + q1 * dq2Dvbe / sq;
+  r.dqbDvbc = dq1Dvbc * (1.0 + sq) / 2.0 + q1 * dq2Dvbc / sq;
+
+  // Transport current and its derivatives.
+  r.icc = (r.ibe1 - r.ibc1) / r.qb;
+  r.gmf = (r.gbe1 - r.icc * r.dqbDvbe) / r.qb;
+  r.gmr = (-r.gbc1 - r.icc * r.dqbDvbc) / r.qb;
+
+  // Total base current (junction gmin leaks included by caller's stamps).
+  r.ibTotal = r.ibe1 / m_.bf + r.ibe2 + r.ibc1 / m_.br + r.ibc2 +
+              gmin * (vbe + vbc);
+
+  // Bias-dependent base resistance.
+  r.rbEff = m_.rb;
+  if (m_.rb > 0.0) {
+    if (m_.irb > 0.0) {
+      const double ib = std::max(std::fabs(r.ibTotal), 1e-15);
+      const double arg1 = ib / m_.irb;
+      const double z =
+          (-1.0 + std::sqrt(1.0 + 144.0 / (kPi * kPi) * arg1)) /
+          (24.0 / (kPi * kPi) * std::sqrt(arg1));
+      const double tz = std::tan(z);
+      r.rbEff = m_.rbm + 3.0 * (m_.rb - m_.rbm) * (tz - z) / (z * tz * tz);
+    } else {
+      r.rbEff = m_.rbm + (m_.rb - m_.rbm) / r.qb;
+    }
+    r.rbEff = std::max(r.rbEff, 1e-3);
+  }
+  return r;
+}
+
+Bjt::Charges Bjt::charges(double vbe, double vbc, double vcs,
+                          const Eval& e) const {
+  Charges c{};
+
+  // B-E: depletion + forward diffusion with XTF/VTF/ITF bias dependence.
+  {
+    const auto dep = depletionQC(vbe, m_.cje, m_.vje, m_.mje, m_.fc);
+    double qde = 0.0, cde = 0.0;
+    if (m_.tf > 0.0) {
+      double argtf = 0.0, arg2 = 0.0;
+      if (m_.xtf > 0.0) {
+        argtf = m_.xtf;
+        if (m_.vtf > 0.0)
+          argtf *= std::exp(std::min(vbc / (1.44 * m_.vtf), 40.0));
+        arg2 = argtf;
+        if (m_.itf > 0.0 && e.ibe1 > 0.0) {
+          const double temp = e.ibe1 / (e.ibe1 + m_.itf);
+          argtf *= temp * temp;
+          arg2 = argtf * (3.0 - 2.0 * temp);
+        }
+      }
+      qde = m_.tf * (1.0 + argtf) * e.ibe1 / e.qb;
+      cde = m_.tf *
+            (e.gbe1 * (1.0 + arg2) -
+             e.ibe1 * (1.0 + argtf) * e.dqbDvbe / e.qb) /
+            e.qb;
+      cde = std::max(cde, 0.0);
+    }
+    c.qbe = dep.q + qde;
+    c.cbe = dep.c + cde;
+  }
+
+  // B-C: XCJC fraction at the internal base, remainder at the external
+  // base; reverse diffusion charge TR * ibc1 on the internal part.
+  {
+    const auto depInt = depletionQC(vbc, m_.cjc * m_.xcjc, m_.vjc, m_.mjc,
+                                    m_.fc);
+    c.qbc = depInt.q + m_.tr * e.ibc1;
+    c.cbc = depInt.c + m_.tr * e.gbc1;
+    const auto depExt = depletionQC(vbc, m_.cjc * (1.0 - m_.xcjc), m_.vjc,
+                                    m_.mjc, m_.fc);
+    c.qbx = depExt.q;
+    c.cbx = depExt.c;
+  }
+
+  // Collector-substrate depletion (normally reverse biased).
+  {
+    const auto dep = depletionQC(vcs, m_.cjs, m_.vjs, m_.mjs, 0.0);
+    c.qcs = dep.q;
+    c.ccs = dep.c;
+  }
+  return c;
+}
+
+void Bjt::beginSolve(const Solution& x) {
+  vbeLimited_ = pol_ * x.diff(bi_, ei_);
+  vbcLimited_ = pol_ * x.diff(bi_, ci_);
+}
+
+void Bjt::load(Stamper& s, const Solution& x, const LoadContext& ctx) {
+  const int c = nodes()[0], b = nodes()[1], e = nodes()[2];
+
+  // Parasitic resistances (base resistance handled after evaluation).
+  if (m_.rc > 0.0) s.addConductance(c, ci_, 1.0 / m_.rc);
+  if (m_.re > 0.0) s.addConductance(e, ei_, 1.0 / m_.re);
+
+  // Junction voltages in model (NPN) polarity, with SPICE limiting.
+  const double vbeCand = pol_ * x.diff(bi_, ei_);
+  const double vbcCand = pol_ * x.diff(bi_, ci_);
+  const double vbe = pnjlim(vbeCand, vbeLimited_, m_.nf * vt_, vcritE_);
+  const double vbc = pnjlim(vbcCand, vbcLimited_, m_.nr * vt_, vcritC_);
+  ctx.noteLimited(vbe, vbeCand);
+  ctx.noteLimited(vbc, vbcCand);
+  vbeLimited_ = vbe;
+  vbcLimited_ = vbc;
+
+  const Eval ev = evaluate(vbe, vbc, ctx.gmin);
+
+  if (m_.rb > 0.0) s.addConductance(b, bi_, 1.0 / ev.rbEff);
+
+  // --- B-E junction branch (bi -> ei): i = ibe1/bf + ibe2 + gmin*vbe ---
+  {
+    const double g = ev.gbe1 / m_.bf + ev.gbe2 + ctx.gmin;
+    const double i = ev.ibe1 / m_.bf + ev.ibe2 + ctx.gmin * vbe;
+    s.addConductance(bi_, ei_, g);
+    const double ieq = pol_ * (i - g * vbe);
+    s.addRhs(bi_, -ieq);
+    s.addRhs(ei_, ieq);
+  }
+  // --- B-C junction branch (bi -> ci) ---
+  {
+    const double g = ev.gbc1 / m_.br + ev.gbc2 + ctx.gmin;
+    const double i = ev.ibc1 / m_.br + ev.ibc2 + ctx.gmin * vbc;
+    s.addConductance(bi_, ci_, g);
+    const double ieq = pol_ * (i - g * vbc);
+    s.addRhs(bi_, -ieq);
+    s.addRhs(ci_, ieq);
+  }
+  // --- Transport current source (ci -> ei): pol * icc ---
+  {
+    // d(pol*icc)/dV(bi) = gmf + gmr; /dV(ei) = -gmf; /dV(ci) = -gmr.
+    s.addA(ci_, bi_, ev.gmf + ev.gmr);
+    s.addA(ci_, ei_, -ev.gmf);
+    s.addA(ci_, ci_, -ev.gmr);
+    s.addA(ei_, bi_, -(ev.gmf + ev.gmr));
+    s.addA(ei_, ei_, ev.gmf);
+    s.addA(ei_, ci_, ev.gmr);
+    const double ieq = pol_ * (ev.icc - ev.gmf * vbe - ev.gmr * vbc);
+    s.addRhs(ci_, -ieq);
+    s.addRhs(ei_, ieq);
+  }
+
+  // --- Charge storage ---
+  const double vcs = pol_ * x.diff(sub_, ci_);
+  const Charges ch = charges(vbe, vbc, vcs, ev);
+  const double dqbe = ctx.integrate(stateBase() + 0, ch.qbe);
+  const double dqbc = ctx.integrate(stateBase() + 1, ch.qbc);
+  const double dqbx = ctx.integrate(stateBase() + 2, ch.qbx);
+  const double dqcs = ctx.integrate(stateBase() + 3, ch.qcs);
+  if (ctx.c0 != 0.0) {
+    auto stampCharge = [&](int p, int n, double cap, double dqdt, double v) {
+      const double geq = cap * ctx.c0;
+      s.addConductance(p, n, geq);
+      const double ieq = pol_ * (dqdt - geq * v);
+      s.addRhs(p, -ieq);
+      s.addRhs(n, ieq);
+    };
+    stampCharge(bi_, ei_, ch.cbe, dqbe, vbe);
+    stampCharge(bi_, ci_, ch.cbc, dqbc, vbc);
+    stampCharge(b, ci_, ch.cbx, dqbx, pol_ * x.diff(b, ci_));
+    stampCharge(sub_, ci_, ch.ccs, dqcs, vcs);
+  }
+}
+
+void Bjt::loadAc(AcStamper& s, const Solution& op, double omega) {
+  const int c = nodes()[0], b = nodes()[1], e = nodes()[2];
+  const double vbe = pol_ * op.diff(bi_, ei_);
+  const double vbc = pol_ * op.diff(bi_, ci_);
+  const double vcs = pol_ * op.diff(sub_, ci_);
+
+  const Eval ev = evaluate(vbe, vbc, 0.0);
+  const Charges ch = charges(vbe, vbc, vcs, ev);
+
+  if (m_.rc > 0.0) s.addAdmittance(c, ci_, {1.0 / m_.rc, 0.0});
+  if (m_.re > 0.0) s.addAdmittance(e, ei_, {1.0 / m_.re, 0.0});
+  if (m_.rb > 0.0) s.addAdmittance(b, bi_, {1.0 / ev.rbEff, 0.0});
+
+  const double gpi = ev.gbe1 / m_.bf + ev.gbe2;
+  const double gmu = ev.gbc1 / m_.br + ev.gbc2;
+  s.addAdmittance(bi_, ei_, {gpi, omega * ch.cbe});
+  s.addAdmittance(bi_, ci_, {gmu, omega * ch.cbc});
+  s.addAdmittance(b, ci_, {0.0, omega * ch.cbx});
+  s.addAdmittance(sub_, ci_, {0.0, omega * ch.ccs});
+
+  // Transport transconductances (polarity cancels: see load()).
+  s.addA(ci_, bi_, {ev.gmf + ev.gmr, 0.0});
+  s.addA(ci_, ei_, {-ev.gmf, 0.0});
+  s.addA(ci_, ci_, {-ev.gmr, 0.0});
+  s.addA(ei_, bi_, {-(ev.gmf + ev.gmr), 0.0});
+  s.addA(ei_, ei_, {ev.gmf, 0.0});
+  s.addA(ei_, ci_, {ev.gmr, 0.0});
+}
+
+void Bjt::appendNoise(std::vector<NoiseSourceDesc>& out,
+                      const Solution& op, double tempK) const {
+  const BjtOpInfo info = opInfo(op);
+  const double kT4 = 4.0 * 1.380649e-23 * tempK;
+  constexpr double kQ = 1.602176634e-19;
+
+  // Thermal noise of the parasitic resistances.
+  if (m_.rb > 0.0)
+    out.push_back({nodes()[1], bi_, kT4 / info.rbEff, 0.0,
+                   name() + " rb thermal"});
+  if (m_.re > 0.0)
+    out.push_back({nodes()[2], ei_, kT4 / m_.re, 0.0,
+                   name() + " re thermal"});
+  if (m_.rc > 0.0)
+    out.push_back({nodes()[0], ci_, kT4 / m_.rc, 0.0,
+                   name() + " rc thermal"});
+
+  // Shot noise of the junction currents.
+  out.push_back({bi_, ei_, 2.0 * kQ * std::fabs(info.ib), 0.0,
+                 name() + " base shot"});
+  out.push_back({ci_, ei_, 2.0 * kQ * std::fabs(info.ic), 0.0,
+                 name() + " collector shot"});
+}
+
+BjtOpInfo Bjt::opInfo(const Solution& op) const {
+  BjtOpInfo info;
+  info.vbe = pol_ * op.diff(bi_, ei_);
+  info.vbc = pol_ * op.diff(bi_, ci_);
+  const double vcs = pol_ * op.diff(sub_, ci_);
+
+  const Eval ev = evaluate(info.vbe, info.vbc, 0.0);
+  const Charges ch = charges(info.vbe, info.vbc, vcs, ev);
+
+  info.ic = ev.icc - ev.ibc1 / m_.br - ev.ibc2;
+  info.ib = ev.ibe1 / m_.bf + ev.ibe2 + ev.ibc1 / m_.br + ev.ibc2;
+  info.gm = ev.gmf;
+  info.gpi = ev.gbe1 / m_.bf + ev.gbe2;
+  info.gmu = ev.gbc1 / m_.br + ev.gbc2;
+  info.go = -ev.gmr + ev.gbc1 / m_.br + ev.gbc2;
+  info.cpi = ch.cbe;
+  info.cmu = ch.cbc + ch.cbx;
+  info.ccs = ch.ccs;
+  info.rbEff = ev.rbEff;
+  info.qb = ev.qb;
+  return info;
+}
+
+}  // namespace ahfic::spice

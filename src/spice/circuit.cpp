@@ -1,0 +1,97 @@
+#include "spice/circuit.h"
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace ahfic::spice {
+
+using util::toLower;
+
+Circuit::Circuit() {
+  nodeNames_.push_back("0");
+  nodeIds_["0"] = 0;
+  nodeIds_["gnd"] = 0;
+}
+
+int Circuit::node(const std::string& name) {
+  const std::string key = toLower(name);
+  auto it = nodeIds_.find(key);
+  if (it != nodeIds_.end()) return it->second;
+  const int id = static_cast<int>(nodeNames_.size());
+  nodeNames_.push_back(name);
+  nodeIds_[key] = id;
+  return id;
+}
+
+int Circuit::findNode(const std::string& name) const {
+  auto it = nodeIds_.find(toLower(name));
+  return it == nodeIds_.end() ? -1 : it->second;
+}
+
+const std::string& Circuit::nodeName(int id) const {
+  if (id < 0 || id >= nodeCount())
+    throw Error("Circuit::nodeName: bad node id " + std::to_string(id));
+  return nodeNames_[static_cast<size_t>(id)];
+}
+
+int Circuit::internalNode(const std::string& base) {
+  return node(base + "#" + std::to_string(internalCounter_++));
+}
+
+Device& Circuit::addDevice(std::unique_ptr<Device> dev) {
+  const std::string key = toLower(dev->name());
+  if (deviceIndex_.count(key))
+    throw Error("duplicate device name '" + dev->name() + "'");
+  deviceIndex_[key] = devices_.size();
+  devices_.push_back(std::move(dev));
+  return *devices_.back();
+}
+
+Device* Circuit::findDevice(const std::string& name) {
+  auto it = deviceIndex_.find(toLower(name));
+  return it == deviceIndex_.end() ? nullptr : devices_[it->second].get();
+}
+
+const Device* Circuit::findDevice(const std::string& name) const {
+  auto it = deviceIndex_.find(toLower(name));
+  return it == deviceIndex_.end() ? nullptr : devices_[it->second].get();
+}
+
+bool Circuit::removeDevice(const std::string& name) {
+  auto it = deviceIndex_.find(toLower(name));
+  if (it == deviceIndex_.end()) return false;
+  const size_t idx = it->second;
+  devices_.erase(devices_.begin() + static_cast<long>(idx));
+  deviceIndex_.erase(it);
+  for (auto& [k, v] : deviceIndex_)
+    if (v > idx) --v;
+  return true;
+}
+
+void Circuit::addBjtModel(const std::string& name, BjtModel model) {
+  bjtModels_[toLower(name)] = model;
+}
+
+void Circuit::addDiodeModel(const std::string& name, DiodeModel model) {
+  diodeModels_[toLower(name)] = model;
+}
+
+const BjtModel& Circuit::bjtModel(const std::string& name) const {
+  auto it = bjtModels_.find(toLower(name));
+  if (it == bjtModels_.end())
+    throw Error("unknown BJT model '" + name + "'");
+  return it->second;
+}
+
+const DiodeModel& Circuit::diodeModel(const std::string& name) const {
+  auto it = diodeModels_.find(toLower(name));
+  if (it == diodeModels_.end())
+    throw Error("unknown diode model '" + name + "'");
+  return it->second;
+}
+
+bool Circuit::hasBjtModel(const std::string& name) const {
+  return bjtModels_.count(toLower(name)) != 0;
+}
+
+}  // namespace ahfic::spice

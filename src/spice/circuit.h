@@ -1,0 +1,81 @@
+#pragma once
+// Circuit: the netlist container. Owns nodes, devices and model cards.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "spice/device.h"
+#include "spice/models.h"
+
+namespace ahfic::spice {
+
+/// A flat netlist: named nodes, devices and model cards.
+///
+/// Node id 0 is ground and answers to the names "0", "gnd" and "GND".
+/// Devices may allocate internal nodes (e.g. the BJT's intrinsic base);
+/// these get synthesised names like "q1#base".
+class Circuit {
+ public:
+  Circuit();
+
+  /// Returns the id for `name`, creating the node if needed.
+  int node(const std::string& name);
+  /// Returns the id for `name` or -1 when it does not exist (const lookup).
+  int findNode(const std::string& name) const;
+  /// Name of node `id`.
+  const std::string& nodeName(int id) const;
+  /// Total node count including ground.
+  int nodeCount() const { return static_cast<int>(nodeNames_.size()); }
+
+  /// Creates a fresh internal node with a unique, '#'-qualified name.
+  int internalNode(const std::string& base);
+
+  /// Adds a device; the circuit takes ownership. Device names must be
+  /// unique (case-insensitive); throws ahfic::Error on duplicates.
+  Device& addDevice(std::unique_ptr<Device> dev);
+
+  /// Typed convenience: `addDevice(std::make_unique<T>(args...))` returning T&.
+  template <typename T, typename... Args>
+  T& add(Args&&... args) {
+    auto dev = std::make_unique<T>(std::forward<Args>(args)...);
+    T& ref = *dev;
+    addDevice(std::move(dev));
+    return ref;
+  }
+
+  /// Finds a device by name (case-insensitive); nullptr when absent.
+  Device* findDevice(const std::string& name);
+  const Device* findDevice(const std::string& name) const;
+
+  /// Removes the device named `name`; returns true if it existed.
+  bool removeDevice(const std::string& name);
+
+  const std::vector<std::unique_ptr<Device>>& devices() const {
+    return devices_;
+  }
+
+  /// Model-card registries (keyed by lower-cased model name).
+  void addBjtModel(const std::string& name, BjtModel model);
+  void addDiodeModel(const std::string& name, DiodeModel model);
+  const BjtModel& bjtModel(const std::string& name) const;
+  const DiodeModel& diodeModel(const std::string& name) const;
+  bool hasBjtModel(const std::string& name) const;
+
+  /// Simulator temperature in Celsius (affects junction physics).
+  double temperatureC() const { return temperatureC_; }
+  void setTemperatureC(double t) { temperatureC_ = t; }
+
+ private:
+  std::vector<std::string> nodeNames_;
+  std::map<std::string, int> nodeIds_;  // lower-cased name -> id
+  std::vector<std::unique_ptr<Device>> devices_;
+  std::map<std::string, size_t> deviceIndex_;  // lower-cased name -> index
+  std::map<std::string, BjtModel> bjtModels_;
+  std::map<std::string, DiodeModel> diodeModels_;
+  double temperatureC_ = 27.0;
+  int internalCounter_ = 0;
+};
+
+}  // namespace ahfic::spice

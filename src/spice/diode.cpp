@@ -1,0 +1,94 @@
+#include "spice/diode.h"
+
+#include <cmath>
+
+#include "spice/circuit.h"
+#include "spice/junction.h"
+#include "util/units.h"
+
+namespace ahfic::spice {
+
+Diode::Diode(std::string name, Circuit& ckt, int anode, int cathode,
+             const DiodeModel& model, double area, double tempC)
+    : Device(std::move(name), {anode, cathode}),
+      model_(model),
+      area_(area),
+      aInt_(anode) {
+  const double vt = util::constants::thermalVoltage(tempC);
+  vte_ = model_.n * vt;
+  // IS(T), Tnom = 27 C.
+  constexpr double kTnomC = 27.0;
+  if (tempC != kTnomC) {
+    const double tr = (tempC + util::constants::kZeroCelsiusInKelvin) /
+                      (kTnomC + util::constants::kZeroCelsiusInKelvin);
+    model_.is *= std::pow(tr, model_.xti / model_.n) *
+                 std::exp(model_.eg / vte_ * (tr - 1.0));
+  }
+  vcrit_ = junctionVcrit(model_.is * area_, vte_);
+  if (model_.rs > 0.0) aInt_ = ckt.internalNode(this->name() + "#a");
+}
+
+double Diode::junctionVoltage(const Solution& x) const {
+  return x.diff(aInt_, nodes()[1]);
+}
+
+double Diode::current(const Solution& x) const {
+  return junctionIV(junctionVoltage(x), model_.is * area_, vte_).i;
+}
+
+void Diode::beginSolve(const Solution& x) {
+  vLimited_ = junctionVoltage(x);
+}
+
+void Diode::load(Stamper& s, const Solution& x, const LoadContext& ctx) {
+  const int a = nodes()[0], c = nodes()[1];
+  if (model_.rs > 0.0)
+    s.addConductance(a, aInt_, area_ / model_.rs);
+
+  // SPICE-style limiting: evaluate at a damped junction voltage.
+  const double vCand = x.diff(aInt_, c);
+  const double v = pnjlim(vCand, vLimited_, vte_, vcrit_);
+  ctx.noteLimited(v, vCand);
+  vLimited_ = v;
+
+  auto iv = junctionIV(v, model_.is * area_, vte_);
+  const double gd = iv.g + ctx.gmin;
+  const double id = iv.i + ctx.gmin * v;
+  s.addNonlinearBranch(aInt_, c, gd, id - gd * v);
+
+  // Charge: depletion + diffusion (tt * id).
+  const auto dep = depletionQC(v, model_.cj0 * area_, model_.vj, model_.m,
+                               model_.fc);
+  const double q = dep.q + model_.tt * iv.i;
+  const double cap = dep.c + model_.tt * iv.g;
+  const double dqdt = ctx.integrate(stateBase(), q);
+  if (ctx.c0 != 0.0) {
+    const double geq = cap * ctx.c0;
+    s.addNonlinearBranch(aInt_, c, geq, dqdt - geq * v);
+  }
+}
+
+void Diode::appendNoise(std::vector<NoiseSourceDesc>& out,
+                        const Solution& op, double tempK) const {
+  constexpr double kQ = 1.602176634e-19;
+  const double kT4 = 4.0 * 1.380649e-23 * tempK;
+  if (model_.rs > 0.0)
+    out.push_back({nodes()[0], aInt_, kT4 * area_ / model_.rs, 0.0,
+                   name() + " rs thermal"});
+  out.push_back({aInt_, nodes()[1], 2.0 * kQ * std::fabs(current(op)), 0.0,
+                 name() + " shot"});
+}
+
+void Diode::loadAc(AcStamper& s, const Solution& op, double omega) {
+  const int a = nodes()[0], c = nodes()[1];
+  if (model_.rs > 0.0)
+    s.addAdmittance(a, aInt_, {area_ / model_.rs, 0.0});
+  const double v = op.diff(aInt_, c);
+  const auto iv = junctionIV(v, model_.is * area_, vte_);
+  const auto dep =
+      depletionQC(v, model_.cj0 * area_, model_.vj, model_.m, model_.fc);
+  const double cap = dep.c + model_.tt * iv.g;
+  s.addAdmittance(aInt_, c, {iv.g, omega * cap});
+}
+
+}  // namespace ahfic::spice

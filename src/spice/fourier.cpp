@@ -1,0 +1,71 @@
+#include "spice/fourier.h"
+
+#include <cmath>
+
+#include "util/error.h"
+#include "util/numeric.h"
+#include "util/units.h"
+
+namespace ahfic::spice {
+
+using util::constants::kTwoPi;
+
+double FourierResult::thd() const {
+  if (amplitudes.empty() || amplitudes[0] <= 0.0) return 0.0;
+  double sum2 = 0.0;
+  for (size_t h = 1; h < amplitudes.size(); ++h)
+    sum2 += amplitudes[h] * amplitudes[h];
+  return std::sqrt(sum2) / amplitudes[0];
+}
+
+FourierResult fourierAnalysis(const TranResult& tran, int node,
+                              double fundamentalHz, int nHarmonics,
+                              int periods) {
+  if (fundamentalHz <= 0.0 || nHarmonics < 1 || periods < 1)
+    throw Error("fourierAnalysis: bad arguments");
+  if (tran.time.size() < 16)
+    throw Error("fourierAnalysis: transient record too short");
+
+  const double period = 1.0 / fundamentalHz;
+  const double tEnd = tran.time.back();
+  const double tStart = tEnd - periods * period;
+  if (tStart < tran.time.front())
+    throw Error("fourierAnalysis: record shorter than requested periods");
+
+  const auto wave = tran.voltage(node);
+
+  // Resample the (non-uniform) transient onto a uniform grid over the
+  // analysis window, then correlate. 256 samples per period is ample for
+  // <= ~20 harmonics.
+  const int perPeriod = 256;
+  const int n = perPeriod * periods;
+  FourierResult result;
+  result.fundamentalHz = fundamentalHz;
+  result.amplitudes.assign(static_cast<size_t>(nHarmonics), 0.0);
+  result.phasesDeg.assign(static_cast<size_t>(nHarmonics), 0.0);
+
+  std::vector<double> re(static_cast<size_t>(nHarmonics), 0.0);
+  std::vector<double> im(static_cast<size_t>(nHarmonics), 0.0);
+  double dc = 0.0;
+  for (int k = 0; k < n; ++k) {
+    const double t = tStart + (tEnd - tStart) * k / n;
+    const double v = util::interp1(tran.time, wave, t);
+    dc += v;
+    for (int h = 0; h < nHarmonics; ++h) {
+      const double ph = kTwoPi * fundamentalHz * (h + 1) * (t - tStart);
+      re[static_cast<size_t>(h)] += v * std::cos(ph);
+      im[static_cast<size_t>(h)] += v * std::sin(ph);
+    }
+  }
+  result.dcComponent = dc / n;
+  for (int h = 0; h < nHarmonics; ++h) {
+    const auto hs = static_cast<size_t>(h);
+    result.amplitudes[hs] =
+        2.0 * std::sqrt(re[hs] * re[hs] + im[hs] * im[hs]) / n;
+    result.phasesDeg[hs] =
+        std::atan2(im[hs], re[hs]) * 180.0 / util::constants::kPi;
+  }
+  return result;
+}
+
+}  // namespace ahfic::spice

@@ -1,0 +1,35 @@
+#pragma once
+// Fourier analysis of transient waveforms (the .FOUR analysis of classic
+// SPICE): harmonic amplitudes and total harmonic distortion of a node,
+// measured over the last full periods of a transient result.
+
+#include <vector>
+
+#include "spice/analysis.h"
+
+namespace ahfic::spice {
+
+/// Harmonic decomposition of a steady-state waveform.
+struct FourierResult {
+  double fundamentalHz = 0.0;
+  double dcComponent = 0.0;
+  /// amplitudes[0] is the fundamental, [1] the 2nd harmonic, ...
+  std::vector<double> amplitudes;
+  /// phases in degrees, matching `amplitudes`.
+  std::vector<double> phasesDeg;
+
+  /// Total harmonic distortion: sqrt(sum(h2..hN)^2) / h1.
+  double thd() const;
+  /// THD in percent.
+  double thdPercent() const { return thd() * 100.0; }
+};
+
+/// Computes `nHarmonics` harmonics of `fundamentalHz` from the waveform
+/// of `node` in `tran`, using quadrature correlation over the last
+/// `periods` full periods (the start-up transient is excluded
+/// automatically). Throws ahfic::Error when the record is too short.
+FourierResult fourierAnalysis(const TranResult& tran, int node,
+                              double fundamentalHz, int nHarmonics = 9,
+                              int periods = 4);
+
+}  // namespace ahfic::spice

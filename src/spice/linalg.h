@@ -1,0 +1,210 @@
+#pragma once
+// Linear-algebra kernels for MNA: a dense LU with partial pivoting and a
+// simple sparse (row-compressed) Gaussian elimination. Both are templated
+// over the scalar so the same code serves DC/transient (double) and AC
+// (std::complex<double>).
+//
+// Circuits in this project are small (tens to a few hundred unknowns), so a
+// robust dense solve is the default; the sparse path exists for the
+// dense-vs-sparse ablation (bench_micro) and for larger decks.
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "util/error.h"
+
+namespace ahfic::spice {
+
+/// Magnitude used for pivoting: |x| for real, abs for complex.
+inline double pivotMag(double x) { return std::fabs(x); }
+inline double pivotMag(const std::complex<double>& x) { return std::abs(x); }
+
+/// Dense row-major matrix.
+template <typename T>
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(int rows, int cols)
+      : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows) * cols) {}
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  T& at(int r, int c) { return data_[static_cast<size_t>(r) * cols_ + c]; }
+  const T& at(int r, int c) const {
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+
+  void setZero() { std::fill(data_.begin(), data_.end(), T{}); }
+
+  /// In-place LU factorisation with partial pivoting.
+  /// Returns false if the matrix is numerically singular.
+  bool luFactor(std::vector<int>& perm) {
+    if (rows_ != cols_) throw Error("luFactor: matrix must be square");
+    const int n = rows_;
+    perm.resize(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) perm[static_cast<size_t>(i)] = i;
+    for (int k = 0; k < n; ++k) {
+      int p = k;
+      double best = pivotMag(at(k, k));
+      for (int i = k + 1; i < n; ++i) {
+        const double m = pivotMag(at(i, k));
+        if (m > best) {
+          best = m;
+          p = i;
+        }
+      }
+      if (best < 1e-300) return false;
+      if (p != k) {
+        for (int c = 0; c < n; ++c) std::swap(at(k, c), at(p, c));
+        std::swap(perm[static_cast<size_t>(k)], perm[static_cast<size_t>(p)]);
+      }
+      const T pivot = at(k, k);
+      for (int i = k + 1; i < n; ++i) {
+        const T m = at(i, k) / pivot;
+        at(i, k) = m;
+        if (m != T{}) {
+          for (int c = k + 1; c < n; ++c) at(i, c) -= m * at(k, c);
+        }
+      }
+    }
+    return true;
+  }
+
+  /// Solves L U x = P b using factors produced by luFactor.
+  void luSolve(const std::vector<int>& perm, const std::vector<T>& b,
+               std::vector<T>& x) const {
+    const int n = rows_;
+    x.resize(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i)
+      x[static_cast<size_t>(i)] = b[static_cast<size_t>(perm[static_cast<size_t>(i)])];
+    for (int i = 1; i < n; ++i) {
+      T s = x[static_cast<size_t>(i)];
+      for (int j = 0; j < i; ++j) s -= at(i, j) * x[static_cast<size_t>(j)];
+      x[static_cast<size_t>(i)] = s;
+    }
+    for (int i = n - 1; i >= 0; --i) {
+      T s = x[static_cast<size_t>(i)];
+      for (int j = i + 1; j < n; ++j) s -= at(i, j) * x[static_cast<size_t>(j)];
+      x[static_cast<size_t>(i)] = s / at(i, i);
+    }
+  }
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<T> data_;
+};
+
+/// Sparse matrix with per-row sorted (column, value) entries. Supports
+/// incremental accumulation (add) and destructive Gaussian elimination with
+/// partial pivoting (solveInPlace).
+template <typename T>
+class SparseMatrix {
+ public:
+  SparseMatrix() = default;
+  explicit SparseMatrix(int n) : n_(n), rows_(static_cast<size_t>(n)) {}
+
+  int size() const { return n_; }
+
+  void setZero() {
+    for (auto& row : rows_) row.clear();
+  }
+
+  /// Accumulates `v` into entry (r, c).
+  void add(int r, int c, T v) {
+    auto& row = rows_[static_cast<size_t>(r)];
+    auto it = std::lower_bound(
+        row.begin(), row.end(), c,
+        [](const Entry& e, int col) { return e.col < col; });
+    if (it != row.end() && it->col == c)
+      it->val += v;
+    else
+      row.insert(it, Entry{c, v});
+  }
+
+  T get(int r, int c) const {
+    const auto& row = rows_[static_cast<size_t>(r)];
+    auto it = std::lower_bound(
+        row.begin(), row.end(), c,
+        [](const Entry& e, int col) { return e.col < col; });
+    return (it != row.end() && it->col == c) ? it->val : T{};
+  }
+
+  size_t nonzeros() const {
+    size_t n = 0;
+    for (const auto& row : rows_) n += row.size();
+    return n;
+  }
+
+  /// Destructive solve of (this) x = b by row-based Gaussian elimination
+  /// with partial pivoting. Returns false on numerical singularity.
+  bool solveInPlace(std::vector<T>& b, std::vector<T>& x) {
+    const int n = n_;
+    std::vector<int> rowOf(static_cast<size_t>(n));  // physical row of pivot k
+    std::vector<bool> used(static_cast<size_t>(n), false);
+    for (int k = 0; k < n; ++k) {
+      // Pick the unused row with the largest magnitude in column k.
+      int best = -1;
+      double bestMag = 1e-300;
+      for (int r = 0; r < n; ++r) {
+        if (used[static_cast<size_t>(r)]) continue;
+        const double m = pivotMag(get(r, k));
+        if (m > bestMag) {
+          bestMag = m;
+          best = r;
+        }
+      }
+      if (best < 0) return false;
+      used[static_cast<size_t>(best)] = true;
+      rowOf[static_cast<size_t>(k)] = best;
+      const T pivot = get(best, k);
+      for (int r = 0; r < n; ++r) {
+        if (used[static_cast<size_t>(r)] && r != best) continue;
+        if (r == best) continue;
+        const T a = get(r, k);
+        if (a == T{}) continue;
+        const T m = a / pivot;
+        // row_r -= m * row_best
+        for (const auto& e : rows_[static_cast<size_t>(best)]) {
+          if (e.col >= k) add(r, e.col, -m * e.val);
+        }
+        b[static_cast<size_t>(r)] -= m * b[static_cast<size_t>(best)];
+      }
+    }
+    // Back substitution in pivot order.
+    x.assign(static_cast<size_t>(n), T{});
+    for (int k = n - 1; k >= 0; --k) {
+      const int r = rowOf[static_cast<size_t>(k)];
+      T s = b[static_cast<size_t>(r)];
+      for (const auto& e : rows_[static_cast<size_t>(r)]) {
+        if (e.col > k) s -= e.val * x[static_cast<size_t>(e.col)];
+      }
+      x[static_cast<size_t>(k)] = s / get(r, k);
+    }
+    return true;
+  }
+
+ private:
+  struct Entry {
+    int col;
+    T val;
+  };
+  int n_ = 0;
+  std::vector<std::vector<Entry>> rows_;
+};
+
+/// Convenience one-shot dense solve: returns x with A x = b.
+/// Throws ahfic::Error on singular A.
+template <typename T>
+std::vector<T> solveDense(DenseMatrix<T> a, std::vector<T> b) {
+  std::vector<int> perm;
+  if (!a.luFactor(perm)) throw Error("solveDense: singular matrix");
+  std::vector<T> x;
+  a.luSolve(perm, b, x);
+  return x;
+}
+
+}  // namespace ahfic::spice

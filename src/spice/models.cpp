@@ -1,0 +1,57 @@
+#include "spice/models.h"
+
+#include <cstdio>
+#include <vector>
+
+namespace ahfic::spice {
+
+namespace {
+void appendParam(std::string& out, const char* key, double v, double dflt) {
+  if (v == dflt) return;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), " %s=%.6g", key, v);
+  out += buf;
+}
+}  // namespace
+
+std::string BjtModel::toSpiceLine(const std::string& name) const {
+  std::string out = ".MODEL " + name + (pnp ? " PNP(" : " NPN(");
+  appendParam(out, "IS", is, -1);
+  appendParam(out, "BF", bf, -1);
+  appendParam(out, "BR", br, 1.0);
+  appendParam(out, "NF", nf, 1.0);
+  appendParam(out, "NR", nr, 1.0);
+  appendParam(out, "VAF", vaf, 0.0);
+  appendParam(out, "VAR", var, 0.0);
+  appendParam(out, "IKF", ikf, 0.0);
+  appendParam(out, "IKR", ikr, 0.0);
+  appendParam(out, "ISE", ise, 0.0);
+  appendParam(out, "NE", ne, 1.5);
+  appendParam(out, "ISC", isc, 0.0);
+  appendParam(out, "NC", nc, 2.0);
+  appendParam(out, "RB", rb, 0.0);
+  appendParam(out, "IRB", irb, 0.0);
+  appendParam(out, "RBM", rbm, 0.0);
+  appendParam(out, "RE", re, 0.0);
+  appendParam(out, "RC", rc, 0.0);
+  appendParam(out, "CJE", cje, 0.0);
+  appendParam(out, "VJE", vje, 0.75);
+  appendParam(out, "MJE", mje, 0.33);
+  appendParam(out, "CJC", cjc, 0.0);
+  appendParam(out, "VJC", vjc, 0.75);
+  appendParam(out, "MJC", mjc, 0.33);
+  appendParam(out, "XCJC", xcjc, 1.0);
+  appendParam(out, "CJS", cjs, 0.0);
+  appendParam(out, "VJS", vjs, 0.75);
+  appendParam(out, "MJS", mjs, 0.5);
+  appendParam(out, "FC", fc, 0.5);
+  appendParam(out, "TF", tf, 0.0);
+  appendParam(out, "XTF", xtf, 0.0);
+  appendParam(out, "VTF", vtf, 0.0);
+  appendParam(out, "ITF", itf, 0.0);
+  appendParam(out, "TR", tr, 0.0);
+  out += " )";
+  return out;
+}
+
+}  // namespace ahfic::spice

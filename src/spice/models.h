@@ -1,0 +1,84 @@
+#pragma once
+// Model cards. Field names and defaults follow Berkeley SPICE 2G6 [2] so
+// that decks and generated cards read like ordinary .MODEL lines.
+
+#include <string>
+
+namespace ahfic::spice {
+
+/// Junction diode model (SPICE D model, subset sufficient for this project).
+struct DiodeModel {
+  double is = 1e-14;   ///< saturation current [A]
+  double n = 1.0;      ///< emission coefficient
+  double rs = 0.0;     ///< ohmic series resistance [ohm]
+  double cj0 = 0.0;    ///< zero-bias junction capacitance [F]
+  double vj = 1.0;     ///< junction potential [V]
+  double m = 0.5;      ///< grading coefficient
+  double tt = 0.0;     ///< transit time [s]
+  double fc = 0.5;     ///< forward-bias depletion-cap coefficient
+  double bv = 0.0;     ///< reverse breakdown voltage [V]; 0 = none
+  double ibv = 1e-3;   ///< current at breakdown [A]
+  double eg = 1.11;    ///< bandgap energy [eV] for IS(T)
+  double xti = 3.0;    ///< IS temperature exponent
+};
+
+/// Gummel-Poon BJT model (SPICE NPN/PNP card).
+///
+/// The geometry-dependent members — rb, rbm, re, rc, cje, cjc, cjs, is, ikf,
+/// ise, tf — are exactly the set the paper's Sec. 4 generator rewrites per
+/// transistor shape; everything else is shape-independent process data.
+struct BjtModel {
+  bool pnp = false;    ///< polarity; false = NPN
+
+  // DC currents and gains.
+  double is = 1e-16;   ///< transport saturation current [A]
+  double bf = 100.0;   ///< ideal maximum forward beta
+  double br = 1.0;     ///< ideal maximum reverse beta
+  double nf = 1.0;     ///< forward emission coefficient
+  double nr = 1.0;     ///< reverse emission coefficient
+  double vaf = 0.0;    ///< forward Early voltage [V]; 0 = infinite
+  double var = 0.0;    ///< reverse Early voltage [V]; 0 = infinite
+  double ikf = 0.0;    ///< forward-beta high-current knee [A]; 0 = none
+  double ikr = 0.0;    ///< reverse knee [A]; 0 = none
+  double ise = 0.0;    ///< B-E leakage saturation current [A]
+  double ne = 1.5;     ///< B-E leakage emission coefficient
+  double isc = 0.0;    ///< B-C leakage saturation current [A]
+  double nc = 2.0;     ///< B-C leakage emission coefficient
+
+  // Parasitic resistances (the shape-dependent set of Sec. 4).
+  double rb = 0.0;     ///< zero-bias base resistance [ohm]
+  double irb = 0.0;    ///< current where RB falls halfway to RBM [A]
+  double rbm = 0.0;    ///< minimum high-current base resistance [ohm]
+  double re = 0.0;     ///< emitter resistance [ohm]
+  double rc = 0.0;     ///< collector resistance [ohm]
+
+  // Junction capacitances.
+  double cje = 0.0;    ///< zero-bias B-E depletion capacitance [F]
+  double vje = 0.75;   ///< B-E built-in potential [V]
+  double mje = 0.33;   ///< B-E grading coefficient
+  double cjc = 0.0;    ///< zero-bias B-C depletion capacitance [F]
+  double vjc = 0.75;   ///< B-C built-in potential [V]
+  double mjc = 0.33;   ///< B-C grading coefficient
+  double xcjc = 1.0;   ///< fraction of CJC at the internal base node
+  double cjs = 0.0;    ///< zero-bias collector-substrate capacitance [F]
+  double vjs = 0.75;   ///< C-S built-in potential [V]
+  double mjs = 0.5;    ///< C-S grading coefficient
+  double fc = 0.5;     ///< forward-bias depletion-cap coefficient
+
+  // Temperature coefficients (Tnom = 27 C).
+  double eg = 1.11;    ///< bandgap energy [eV] for IS(T)
+  double xti = 3.0;    ///< IS temperature exponent
+  double xtb = 0.0;    ///< beta temperature exponent
+
+  // Transit times.
+  double tf = 0.0;     ///< ideal forward transit time [s]
+  double xtf = 0.0;    ///< TF bias-dependence coefficient
+  double vtf = 0.0;    ///< TF dependence on Vbc [V]; 0 = none
+  double itf = 0.0;    ///< TF dependence on Ic [A]; 0 = none
+  double tr = 0.0;     ///< reverse transit time [s]
+
+  /// Renders the card as a SPICE `.MODEL <name> NPN(...)` line.
+  std::string toSpiceLine(const std::string& name) const;
+};
+
+}  // namespace ahfic::spice

@@ -1,0 +1,79 @@
+#pragma once
+// Level-1 (Shichman-Hodges) MOSFET — SPICE M element.
+//
+// The paper's systems are bipolar, but the surrounding ICs it describes
+// (tuner + "converted to digital signals ... digital signal processing")
+// are BiCMOS-era parts; a MOS device rounds out the simulator so mixed
+// blocks can be modelled. Square-law model with bulk effect (GAMMA/PHI),
+// channel-length modulation (LAMBDA), overlap capacitances and fixed
+// junction capacitances.
+
+#include "spice/device.h"
+
+namespace ahfic::spice {
+
+class Circuit;
+
+/// Level-1 MOSFET model card (SPICE NMOS/PMOS).
+struct MosModel {
+  bool pmos = false;
+  double vto = 1.0;     ///< zero-bias threshold [V] (positive for NMOS)
+  double kp = 2e-5;     ///< transconductance parameter [A/V^2]
+  double gamma = 0.0;   ///< bulk threshold parameter [sqrt(V)]
+  double phi = 0.6;     ///< surface potential [V]
+  double lambda = 0.0;  ///< channel-length modulation [1/V]
+  double rd = 0.0;      ///< drain ohmic resistance [ohm]
+  double rs = 0.0;      ///< source ohmic resistance [ohm]
+  double cgso = 0.0;    ///< G-S overlap capacitance per width [F/m]
+  double cgdo = 0.0;    ///< G-D overlap capacitance per width [F/m]
+  double cgbo = 0.0;    ///< G-B overlap capacitance per length [F/m]
+  double cox = 0.0;     ///< gate oxide capacitance per area [F/m^2]
+  double cbd = 0.0;     ///< fixed B-D junction capacitance [F]
+  double cbs = 0.0;     ///< fixed B-S junction capacitance [F]
+};
+
+/// MOSFET instance. Node order: drain, gate, source, bulk.
+class Mosfet final : public Device {
+ public:
+  Mosfet(std::string name, Circuit& ckt, int d, int g, int s, int b,
+         const MosModel& model, double w = 10e-6, double l = 1e-6);
+
+  int stateCount() const override { return 4; }  // qgs, qgd, qgb, qbd+qbs
+  bool isNonlinear() const override { return true; }
+
+  void load(Stamper& s, const Solution& x, const LoadContext& ctx) override;
+  void loadAc(AcStamper& s, const Solution& op, double omega) override;
+  void appendNoise(std::vector<NoiseSourceDesc>& out, const Solution& op,
+                   double tempK) const override;
+
+  /// Drain current and small-signal parameters at the operating point.
+  struct OpInfo {
+    double id = 0.0;    ///< drain current (into drain for NMOS) [A]
+    double vgs = 0.0, vds = 0.0, vbs = 0.0;
+    double gm = 0.0, gds = 0.0, gmb = 0.0;
+    double vth = 0.0;
+    bool saturated = false;
+  };
+  OpInfo opInfo(const Solution& op) const;
+
+  const MosModel& model() const { return m_; }
+  double width() const { return w_; }
+  double length() const { return l_; }
+
+ private:
+  struct Eval {
+    double id;          ///< channel current drain->source (NMOS polarity)
+    double gm, gds, gmb;
+    double vth;
+    bool saturated;
+  };
+  /// Evaluates at NMOS-polarity voltages; handles vds < 0 by symmetry.
+  Eval evaluate(double vgs, double vds, double vbs) const;
+
+  MosModel m_;
+  double w_, l_;
+  double pol_;  ///< +1 NMOS, -1 PMOS
+  int di_, si_;  ///< internal drain/source (== d/s when rd/rs == 0)
+};
+
+}  // namespace ahfic::spice

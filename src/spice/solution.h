@@ -1,0 +1,33 @@
+#pragma once
+// Solution vector view used by device loads and analysis results.
+//
+// Unknown-id convention (shared across the spice library):
+//   id 0            — ground (always 0.0, never a matrix row)
+//   id 1..N-1       — node voltages
+//   id N..N+B-1     — branch currents (V sources, inductors, E/H sources)
+// Matrix row/column of unknown `id` is `id - 1`.
+
+#include <vector>
+
+namespace ahfic::spice {
+
+/// Read view over the current solution estimate.
+class Solution {
+ public:
+  Solution() = default;
+  explicit Solution(const std::vector<double>* values) : values_(values) {}
+
+  /// Value of unknown `id`; ground (id 0) is always 0.
+  double at(int id) const {
+    if (id <= 0 || values_ == nullptr) return 0.0;
+    return (*values_)[static_cast<size_t>(id - 1)];
+  }
+
+  /// Voltage difference at(a) - at(b).
+  double diff(int a, int b) const { return at(a) - at(b); }
+
+ private:
+  const std::vector<double>* values_ = nullptr;
+};
+
+}  // namespace ahfic::spice

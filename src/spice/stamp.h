@@ -1,0 +1,130 @@
+#pragma once
+// Stamping interfaces through which devices contribute to the MNA system.
+//
+// `Stamper` (real, DC/transient) and `AcStamper` (complex, AC) hide the
+// matrix backend (dense or sparse) and perform the unknown-id -> row
+// mapping, dropping any contribution that involves ground (id 0).
+
+#include <complex>
+
+#include "spice/linalg.h"
+
+namespace ahfic::spice {
+
+/// Real-valued stamping target for DC and transient loads.
+class Stamper {
+ public:
+  virtual ~Stamper() = default;
+
+  /// Adds `v` to matrix entry (row of `idRow`, column of `idCol`).
+  virtual void addA(int idRow, int idCol, double v) = 0;
+  /// Adds `v` to the right-hand side at `idRow`.
+  virtual void addRhs(int idRow, double v) = 0;
+
+  /// Conductance `g` between unknowns `a` and `b` (two-terminal element).
+  void addConductance(int a, int b, double g) {
+    addA(a, a, g);
+    addA(b, b, g);
+    addA(a, b, -g);
+    addA(b, a, -g);
+  }
+
+  /// Transconductance: current g*(v(cp)-v(cn)) flowing from `a` to `b`
+  /// (out of a, into b... specifically: into node a is -g*vc, into b +g*vc).
+  void addTransconductance(int a, int b, int cp, int cn, double g) {
+    addA(a, cp, g);
+    addA(a, cn, -g);
+    addA(b, cp, -g);
+    addA(b, cn, g);
+  }
+
+  /// Independent current `i` flowing *into* unknown `id`'s node.
+  void addCurrent(int id, double i) { addRhs(id, i); }
+
+  /// Companion-model stamp for a nonlinear branch from `a` to `b` carrying
+  /// current i(v) with v = v(a)-v(b): conductance g = di/dv and equivalent
+  /// source ieq = i(v*) - g*v*.
+  void addNonlinearBranch(int a, int b, double g, double ieq) {
+    addConductance(a, b, g);
+    addRhs(a, -ieq);
+    addRhs(b, ieq);
+  }
+};
+
+/// Complex-valued stamping target for AC small-signal loads.
+class AcStamper {
+ public:
+  virtual ~AcStamper() = default;
+
+  virtual void addA(int idRow, int idCol, std::complex<double> v) = 0;
+  virtual void addRhs(int idRow, std::complex<double> v) = 0;
+
+  void addAdmittance(int a, int b, std::complex<double> y) {
+    addA(a, a, y);
+    addA(b, b, y);
+    addA(a, b, -y);
+    addA(b, a, -y);
+  }
+
+  void addTransadmittance(int a, int b, int cp, int cn,
+                          std::complex<double> y) {
+    addA(a, cp, y);
+    addA(a, cn, -y);
+    addA(b, cp, -y);
+    addA(b, cn, y);
+  }
+};
+
+/// Dense-backed real stamper.
+class DenseStamper final : public Stamper {
+ public:
+  DenseStamper(DenseMatrix<double>& a, std::vector<double>& rhs)
+      : a_(a), rhs_(rhs) {}
+  void addA(int r, int c, double v) override {
+    if (r > 0 && c > 0) a_.at(r - 1, c - 1) += v;
+  }
+  void addRhs(int r, double v) override {
+    if (r > 0) rhs_[static_cast<size_t>(r - 1)] += v;
+  }
+
+ private:
+  DenseMatrix<double>& a_;
+  std::vector<double>& rhs_;
+};
+
+/// Sparse-backed real stamper.
+class SparseStamper final : public Stamper {
+ public:
+  SparseStamper(SparseMatrix<double>& a, std::vector<double>& rhs)
+      : a_(a), rhs_(rhs) {}
+  void addA(int r, int c, double v) override {
+    if (r > 0 && c > 0) a_.add(r - 1, c - 1, v);
+  }
+  void addRhs(int r, double v) override {
+    if (r > 0) rhs_[static_cast<size_t>(r - 1)] += v;
+  }
+
+ private:
+  SparseMatrix<double>& a_;
+  std::vector<double>& rhs_;
+};
+
+/// Dense-backed complex stamper for AC.
+class DenseAcStamper final : public AcStamper {
+ public:
+  DenseAcStamper(DenseMatrix<std::complex<double>>& a,
+                 std::vector<std::complex<double>>& rhs)
+      : a_(a), rhs_(rhs) {}
+  void addA(int r, int c, std::complex<double> v) override {
+    if (r > 0 && c > 0) a_.at(r - 1, c - 1) += v;
+  }
+  void addRhs(int r, std::complex<double> v) override {
+    if (r > 0) rhs_[static_cast<size_t>(r - 1)] += v;
+  }
+
+ private:
+  DenseMatrix<std::complex<double>>& a_;
+  std::vector<std::complex<double>>& rhs_;
+};
+
+}  // namespace ahfic::spice

@@ -1,0 +1,70 @@
+#include "tuner/distortion.h"
+
+#include <cmath>
+
+#include "ahdl/blocks.h"
+#include "util/error.h"
+#include "util/fft.h"
+#include "util/numeric.h"
+
+namespace ahfic::tuner {
+
+double TwoToneResult::im3Dbc() const {
+  const double worst = std::max(im3Low, im3High);
+  if (fundamental <= 0.0 || worst <= 0.0) return -300.0;
+  return 20.0 * std::log10(worst / fundamental);
+}
+
+double TwoToneResult::oip3Amplitude() const {
+  const double worst = std::max(im3Low, im3High);
+  if (fundamental <= 0.0 || worst <= 0.0) return 0.0;
+  // On log axes the fundamental rises 1:1 and IM3 3:1; they intersect
+  // half the current spacing above the fundamental (in dB):
+  // OIP3_dB = Pfund_dB + (Pfund_dB - Pim3_dB)/2.
+  return fundamental * std::sqrt(fundamental / worst);
+}
+
+TwoToneResult twoToneTest(const DutBuilder& dut, const TwoToneSpec& spec) {
+  if (!dut) throw Error("twoToneTest: null DUT builder");
+  if (spec.f1 <= 0.0 || spec.f2 <= spec.f1)
+    throw Error("twoToneTest: need 0 < f1 < f2");
+
+  ahdl::System sys;
+  sys.add<ahdl::SineSource>({}, {"t1"}, "tone1", spec.f1,
+                            spec.inputAmplitude);
+  sys.add<ahdl::SineSource>({}, {"t2"}, "tone2", spec.f2,
+                            spec.inputAmplitude);
+  sys.add<ahdl::Adder>({"t1", "t2"}, {"in"}, "sum", 2);
+  dut(sys, "in", "out");
+  sys.probe("out");
+
+  const auto res = sys.run(spec.settleSeconds + spec.measureSeconds,
+                           spec.sampleRate, spec.settleSeconds);
+  const auto& y = res.trace("out");
+
+  TwoToneResult r;
+  r.inputAmplitude = spec.inputAmplitude;
+  r.fundamental = util::toneAmplitude(y, spec.sampleRate, spec.f1);
+  r.im3Low =
+      util::toneAmplitude(y, spec.sampleRate, 2.0 * spec.f1 - spec.f2);
+  r.im3High =
+      util::toneAmplitude(y, spec.sampleRate, 2.0 * spec.f2 - spec.f1);
+  return r;
+}
+
+TwoToneResult twoToneTestAmplifier(double gain, double vsat,
+                                   const TwoToneSpec& spec) {
+  return twoToneTest(
+      [&](ahdl::System& sys, const std::string& in, const std::string& out) {
+        sys.add<ahdl::Amplifier>({in}, {out}, "dut", gain, vsat);
+      },
+      spec);
+}
+
+double tanhIm3Theory(double gain, double vsat, double inputAmplitude) {
+  if (vsat <= 0.0) return 0.0;
+  const double a3 = gain * gain * gain / (3.0 * vsat * vsat);
+  return 0.75 * a3 * std::pow(inputAmplitude, 3.0);
+}
+
+}  // namespace ahfic::tuner

@@ -1,0 +1,58 @@
+#pragma once
+// Distortion analysis — the paper names "distortion, noise and image
+// signal" as the CATV tuner's main circuit concerns; this module covers
+// the distortion leg with the standard two-tone intermodulation test.
+//
+// Two closely spaced tones drive the device under test; third-order
+// nonlinearity produces products at 2*f1 - f2 and 2*f2 - f1 that fall in
+// band. The extrapolated intercept point (IP3) is the headline metric.
+
+#include <functional>
+#include <string>
+
+#include "ahdl/system.h"
+
+namespace ahfic::tuner {
+
+/// Two-tone test configuration.
+struct TwoToneSpec {
+  double f1 = 44e6;          ///< first tone [Hz]
+  double f2 = 46e6;          ///< second tone [Hz]
+  double inputAmplitude = 0.1;  ///< per-tone input amplitude
+  double sampleRate = 2e9;
+  double measureSeconds = 4e-6;
+  double settleSeconds = 1e-6;
+};
+
+/// Measured two-tone response.
+struct TwoToneResult {
+  double fundamental = 0.0;  ///< output amplitude at f1
+  double im3Low = 0.0;       ///< output amplitude at 2*f1 - f2
+  double im3High = 0.0;      ///< output amplitude at 2*f2 - f1
+  double inputAmplitude = 0.0;
+
+  /// IM3 relative to the carrier [dBc] (negative for a sane DUT).
+  double im3Dbc() const;
+  /// Output-referred third-order intercept (single-pole extrapolation):
+  /// OIP3 = Pout + im3Dbc/2 expressed as an amplitude.
+  double oip3Amplitude() const;
+};
+
+/// A device under test: installs blocks between `in` and `out`.
+using DutBuilder = std::function<void(
+    ahdl::System& sys, const std::string& in, const std::string& out)>;
+
+/// Runs the two-tone test on the DUT.
+TwoToneResult twoToneTest(const DutBuilder& dut, const TwoToneSpec& spec);
+
+/// Convenience: two-tone test of a tanh-compressive amplifier
+/// (gain, vsat as in ahdl::Amplifier).
+TwoToneResult twoToneTestAmplifier(double gain, double vsat,
+                                   const TwoToneSpec& spec);
+
+/// Small-signal theory for the tanh amplifier
+/// y = vsat*tanh(gain*x/vsat) ~ gain*x - gain^3/(3*vsat^2) x^3:
+/// each IM3 product has amplitude (3/4)*|a3|*A^3 = gain^3 A^3/(4 vsat^2).
+double tanhIm3Theory(double gain, double vsat, double inputAmplitude);
+
+}  // namespace ahfic::tuner

@@ -1,0 +1,97 @@
+#include "tuner/doublesuper.h"
+
+#include "ahdl/blocks.h"
+
+namespace ahfic::tuner {
+
+using namespace ahfic::ahdl;
+
+namespace {
+
+/// Adds the common front half: composite RF source, up-conversion mixer
+/// and 1st IF band-pass filter. Returns the name of the 1st IF signal.
+std::string buildFrontEnd(System& sys, const FrequencyPlan& plan,
+                          const TunerStimulus& stim) {
+  plan.validate();
+
+  sys.add<SineSource>({}, {"rf_tuned"}, "src_tuned", stim.rfTuned,
+                      stim.tunedAmplitude);
+  if (stim.imageAmplitude > 0.0) {
+    sys.add<SineSource>({}, {"rf_image"}, "src_image",
+                        plan.rfImage(stim.rfTuned), stim.imageAmplitude);
+    sys.add<Adder>({"rf_tuned", "rf_image"}, {"rf_in"}, "rf_sum", 2);
+  } else {
+    sys.add<Amplifier>({"rf_tuned"}, {"rf_in"}, "rf_buf", 1.0);
+  }
+
+  // Up-conversion: 1st mixer with the PLL-controlled LO (Fig. 2 "PLL").
+  sys.add<SineSource>({}, {"lo_up"}, "lo_up_src", plan.upLo(stim.rfTuned),
+                      1.0);
+  sys.add<Mixer>({"rf_in", "lo_up"}, {"mix1_raw"}, "mix1", 2.0);
+
+  // 1st IF band-pass ("BPF" in Fig. 2). Wide enough that both the wanted
+  // 1st IF and the 2nd-conversion image pass — the point of Fig. 3.
+  sys.add<FilterBlock>({"mix1_raw"}, {"if1"}, "bpf1",
+                       FilterBlock::Kind::kBandpass, 3, plan.if1 * 0.85,
+                       plan.if1 * 1.15);
+  return "if1";
+}
+
+}  // namespace
+
+double recommendedSampleRate(const FrequencyPlan& plan,
+                             const TunerStimulus& stim) {
+  // Highest product: Fup + RF (sum term of the up-converter).
+  const double fMax = plan.upLo(stim.rfTuned) + stim.rfTuned;
+  return 3.2 * fMax;
+}
+
+TunerSignals buildConventionalTuner(ahdl::System& sys,
+                                    const FrequencyPlan& plan,
+                                    const TunerStimulus& stim) {
+  const std::string if1 = buildFrontEnd(sys, plan, stim);
+
+  // 2nd conversion: plain mixer (no image protection).
+  sys.add<SineSource>({}, {"lo_down"}, "lo_down_src", plan.downLo(), 1.0);
+  sys.add<Mixer>({if1, "lo_down"}, {"mix2_raw"}, "mix2", 2.0);
+  // 2nd IF low-pass removes the sum product.
+  sys.add<FilterBlock>({"mix2_raw"}, {"if2"}, "lpf2",
+                       FilterBlock::Kind::kLowpass, 3, plan.if2 * 4.0);
+
+  return TunerSignals{"rf_in", if1, "if2"};
+}
+
+TunerSignals buildImageRejectTuner(ahdl::System& sys,
+                                   const FrequencyPlan& plan,
+                                   const TunerStimulus& stim,
+                                   const ImageRejectImpairments& imp) {
+  const std::string if1 = buildFrontEnd(sys, plan, stim);
+
+  // Quadrature 2nd LO (the paper's VCO with two outputs 90 degrees apart,
+  // carrying the quadrature phase error).
+  sys.add<QuadratureOscillator>({}, {"lo_i", "lo_q"}, "vco", plan.downLo(),
+                                1.0, imp.loPhaseErrorDeg, 0.0);
+
+  // Two down-conversion paths; the gain imbalance sits in the Q path.
+  sys.add<Mixer>({if1, "lo_i"}, {"mixi_raw"}, "mix_i", 2.0);
+  sys.add<Mixer>({if1, "lo_q"}, {"mixq_raw"}, "mix_q",
+                 2.0 * (1.0 + imp.gainImbalance));
+  // Matched 2nd-IF low-pass filters.
+  sys.add<FilterBlock>({"mixi_raw"}, {"path_i"}, "lpf_i",
+                       FilterBlock::Kind::kLowpass, 3, plan.if2 * 4.0);
+  sys.add<FilterBlock>({"mixq_raw"}, {"path_q"}, "lpf_q",
+                       FilterBlock::Kind::kLowpass, 3, plan.if2 * 4.0);
+
+  // The I path passes through the 2nd-IF 90-degree phase shifter (with
+  // its own error), then the paths combine. With the wanted channel above
+  // the LO the combination is I_shifted - Q: the wanted tones add in
+  // phase while the image's reversed phase makes it cancel.
+  sys.add<PhaseShifter90>({"path_i"}, {"path_i_shifted"}, "shift90",
+                          plan.if2, imp.ifPhaseErrorDeg);
+  sys.add<Adder>({"path_i_shifted", "path_q"}, {"if2"}, "combine",
+                 std::vector<double>{1.0, -1.0});
+
+  return TunerSignals{"rf_in", if1, "if2"};
+}
+
+}  // namespace ahfic::tuner

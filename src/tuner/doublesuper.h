@@ -1,0 +1,56 @@
+#pragma once
+// Behavioural double-super tuner chains (Figs. 2 and 4), built from ahdl
+// blocks. Two variants:
+//   * buildConventionalTuner  — Fig. 2: up-convert, band-pass, down-convert
+//   * buildImageRejectTuner   — Fig. 4: quadrature down-conversion with a
+//     90-degree shifter and combiner; gain/phase impairments exposed
+//
+// Both return the names of the interesting signals so callers can probe
+// them.
+
+#include <string>
+
+#include "ahdl/system.h"
+#include "tuner/plan.h"
+
+namespace ahfic::tuner {
+
+/// Input scenario: the tuned channel plus (optionally) its image channel.
+struct TunerStimulus {
+  double rfTuned = 500e6;       ///< tuned RF carrier [Hz]
+  double tunedAmplitude = 1.0;  ///< wanted carrier amplitude
+  double imageAmplitude = 0.0;  ///< image-channel carrier amplitude
+};
+
+/// Impairments of the image-rejection path — the quantities Fig. 5 sweeps.
+struct ImageRejectImpairments {
+  double loPhaseErrorDeg = 0.0;   ///< 2nd-LO quadrature phase error
+  double ifPhaseErrorDeg = 0.0;   ///< 2nd-IF 90-degree shifter error
+  double gainImbalance = 0.0;     ///< relative I/Q path gain error (0.01 = 1%)
+};
+
+/// Signal names exposed by the builders.
+struct TunerSignals {
+  std::string rfInput;    ///< composite RF input
+  std::string firstIf;    ///< after the 1st mixer and band-pass
+  std::string secondIf;   ///< final 2nd-IF output
+};
+
+/// Fig. 2: conventional double-super chain. The second conversion has no
+/// image protection beyond the (too-wide) 1st IF band-pass.
+TunerSignals buildConventionalTuner(ahdl::System& sys,
+                                    const FrequencyPlan& plan,
+                                    const TunerStimulus& stim);
+
+/// Fig. 4: double-super chain with an image-rejection second mixer.
+TunerSignals buildImageRejectTuner(ahdl::System& sys,
+                                   const FrequencyPlan& plan,
+                                   const TunerStimulus& stim,
+                                   const ImageRejectImpairments& imp);
+
+/// Sample rate adequate for either chain (covers the up-converter sum
+/// products with margin).
+double recommendedSampleRate(const FrequencyPlan& plan,
+                             const TunerStimulus& stim);
+
+}  // namespace ahfic::tuner

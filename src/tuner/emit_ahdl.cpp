@@ -1,0 +1,44 @@
+#include "tuner/emit_ahdl.h"
+
+#include <sstream>
+
+namespace ahfic::tuner {
+
+std::string emitImageRejectAhdl(const FrequencyPlan& plan,
+                                const ImageRejectImpairments& imp,
+                                const AhdlEmitOptions& options) {
+  plan.validate();
+  const double fWanted = plan.downLo() + plan.if2;   // above the LO
+  const double fImage = plan.downLo() - plan.if2;    // below the LO
+
+  std::ostringstream os;
+  os.precision(12);
+  os << "// Fig. 4 image-rejection second conversion (generated)\n";
+  os << "signal rfin, wanted, image;\n";
+  os << "instance sw = sine(freq=" << fWanted << ", amp="
+     << (options.imageOnly ? 1e-30 : 1.0) << ") (wanted);\n";
+  os << "instance si = sine(freq=" << fImage << ", amp="
+     << (options.imageOnly ? 1.0 : 1e-30) << ") (image);\n";
+  os << "instance sum = adder2() (wanted, image, rfin);\n\n";
+
+  os << "signal loi, loq, mi, mq, pi2, pq, pqb, shifted, ifout;\n";
+  os << "instance vco = quadlo(freq=" << plan.downLo()
+     << ", amp=1, phase_error=" << imp.loPhaseErrorDeg << ") (loi, loq);\n";
+  os << "instance mx1 = mixer(gain=2) (rfin, loi, mi);\n";
+  os << "instance mx2 = mixer(gain=" << 2.0 * (1.0 + imp.gainImbalance)
+     << ") (rfin, loq, mq);\n";
+  os << "instance lp1 = lowpass(order=3, fc=" << plan.if2 * 4.0
+     << ") (mi, pi2);\n";
+  os << "instance lp2 = lowpass(order=3, fc=" << plan.if2 * 4.0
+     << ") (mq, pq);\n";
+  os << "instance ps = phase90(fc=" << plan.if2 << ", error="
+     << imp.ifPhaseErrorDeg << ") (pi2, shifted);\n";
+  os << "instance cmb = subtract() (shifted, pq, ifout);\n\n";
+
+  os << "probe ifout;\n";
+  os << "run tstop=" << options.tstop << ", fs=" << options.sampleRate
+     << ", record_from=" << options.recordFrom << ";\n";
+  return os.str();
+}
+
+}  // namespace ahfic::tuner

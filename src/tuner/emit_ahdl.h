@@ -1,0 +1,31 @@
+#pragma once
+// Emits the Fig. 4 image-rejection down-converter as an AHDL netlist —
+// the artefact a circuit designer would check into the cell database's
+// behavioural view. Bridges the C++-built tuner models and the textual
+// language: the emitted netlist must reproduce the same IRR as the
+// programmatic chain (tested in tuner_emit_test).
+
+#include <string>
+
+#include "tuner/doublesuper.h"
+
+namespace ahfic::tuner {
+
+/// Options for the emitted experiment.
+struct AhdlEmitOptions {
+  /// Which tone drives the chain: the wanted channel or the image.
+  bool imageOnly = false;
+  double tstop = 1.8e-6;
+  double sampleRate = 4e9;
+  double recordFrom = 0.6e-6;
+};
+
+/// Renders a runnable AHDL netlist of the second conversion of the
+/// Fig. 4 tuner (quadrature LO, matched low-pass filters, 90-degree
+/// shifter, combiner) with the given impairments, probing the 2nd IF as
+/// signal "ifout".
+std::string emitImageRejectAhdl(const FrequencyPlan& plan,
+                                const ImageRejectImpairments& imp,
+                                const AhdlEmitOptions& options = {});
+
+}  // namespace ahfic::tuner

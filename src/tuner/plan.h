@@ -1,0 +1,46 @@
+#pragma once
+// CATV double-super tuner frequency plan (the paper's Figs. 2-3).
+//
+// An RF channel in 90..770 MHz is up-converted to a 1st IF of 1.3 GHz by a
+// high-side local oscillator Fup, then down-converted to the 2nd IF of
+// 45 MHz by Fdown. The image of the second conversion sits 2 x 45 MHz away
+// from the wanted signal at the 1st IF — far too close for the 1st IF
+// band-pass filter, which is why Fig. 4 introduces the image-rejection
+// mixer.
+
+#include "util/error.h"
+
+namespace ahfic::tuner {
+
+/// Frequency plan with the paper's numbers as defaults. All Hz.
+struct FrequencyPlan {
+  double rfMin = 90e6;    ///< lowest RF channel
+  double rfMax = 770e6;   ///< highest RF channel
+  double if1 = 1.3e9;     ///< 1st IF
+  double if2 = 45e6;      ///< 2nd IF
+
+  /// Up-converter LO for a tuned RF channel (high-side injection).
+  double upLo(double rf) const { return rf + if1; }
+  /// Down-converter LO placing the wanted 1st IF above the LO:
+  /// if1 - Fdown = if2.
+  double downLo() const { return if1 - if2; }
+  /// 1st-IF image frequency of the second conversion:
+  /// Fdown - image = if2  =>  image = if1 - 2 * if2.
+  double if1Image() const { return if1 - 2.0 * if2; }
+  /// RF-domain image channel: the RF that up-converts onto if1Image().
+  /// With high-side up-conversion (Fup - RF = if1... see below) the image
+  /// channel lies 2 * if2 = 90 MHz from the tuned channel.
+  double rfImage(double rf) const { return rf + 2.0 * if2; }
+
+  /// Validates the plan invariants; throws ahfic::Error when violated.
+  void validate() const {
+    if (!(rfMin > 0.0) || rfMax <= rfMin)
+      throw Error("FrequencyPlan: bad RF range");
+    if (if1 <= rfMax)
+      throw Error("FrequencyPlan: 1st IF must sit above the RF band");
+    if (!(if2 > 0.0) || if2 >= if1 / 4.0)
+      throw Error("FrequencyPlan: 2nd IF must be well below the 1st IF");
+  }
+};
+
+}  // namespace ahfic::tuner

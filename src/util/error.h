@@ -1,0 +1,42 @@
+#pragma once
+// Error handling primitives shared by every ahfic library.
+//
+// The libraries throw `ahfic::Error` (or a subclass) for all user-facing
+// failure conditions: malformed netlists, non-convergent analyses, bad
+// parameter values. Internal logic errors use assertions.
+
+#include <stdexcept>
+#include <string>
+
+namespace ahfic {
+
+/// Base exception for all ahfic libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when parsing a textual input (SPICE deck, AHDL netlist, cell
+/// record) fails. Carries a human-readable location.
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& what, int line)
+      : Error("parse error at line " + std::to_string(line) + ": " + what),
+        line_(line) {}
+  explicit ParseError(const std::string& what) : Error(what), line_(-1) {}
+
+  /// 1-based source line of the failure, or -1 when unknown.
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Thrown when an iterative analysis (Newton, transient, homotopy) fails to
+/// converge within its iteration budget.
+class ConvergenceError : public Error {
+ public:
+  using Error::Error;
+};
+
+}  // namespace ahfic

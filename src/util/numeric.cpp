@@ -1,0 +1,202 @@
+#include "util/numeric.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+#include "util/units.h"
+
+namespace ahfic::util {
+
+double toDb(double linear) {
+  const double mag = std::fabs(linear);
+  if (mag < 1e-300) return -6000.0;
+  return 20.0 * std::log10(mag);
+}
+
+double fromDb(double db) { return std::pow(10.0, db / 20.0); }
+
+double toDbPower(double linear) {
+  if (linear < 1e-300) return -3000.0;
+  return 10.0 * std::log10(linear);
+}
+
+double interp1(const std::vector<double>& xs, const std::vector<double>& ys,
+               double x) {
+  if (xs.size() != ys.size() || xs.size() < 2)
+    throw Error("interp1: need >= 2 equal-length samples");
+  // Find the segment; extrapolate with edge segments.
+  size_t hi = 1;
+  if (x > xs.front()) {
+    auto it = std::lower_bound(xs.begin(), xs.end(), x);
+    if (it == xs.end())
+      hi = xs.size() - 1;
+    else
+      hi = std::max<size_t>(1, static_cast<size_t>(it - xs.begin()));
+  }
+  const size_t lo = hi - 1;
+  const double dx = xs[hi] - xs[lo];
+  if (dx == 0.0) return ys[lo];
+  const double t = (x - xs[lo]) / dx;
+  return ys[lo] + t * (ys[hi] - ys[lo]);
+}
+
+CurvePeak findCurvePeak(const std::vector<double>& xs,
+                        const std::vector<double>& ys) {
+  if (xs.size() != ys.size() || xs.empty())
+    throw Error("findCurvePeak: need equal-length non-empty samples");
+  size_t k = 0;
+  for (size_t i = 1; i < ys.size(); ++i)
+    if (ys[i] > ys[k]) k = i;
+  if (k == 0 || k + 1 == ys.size() || ys.size() < 3) return {xs[k], ys[k]};
+
+  // Parabola through (x_{k-1},y_{k-1}), (x_k,y_k), (x_{k+1},y_{k+1}) on a
+  // possibly non-uniform grid: Lagrange derivative = 0.
+  const double x0 = xs[k - 1], x1 = xs[k], x2 = xs[k + 1];
+  const double y0 = ys[k - 1], y1 = ys[k], y2 = ys[k + 1];
+  const double d0 = (x1 - x0) * (y1 - y2);
+  const double d2 = (x1 - x2) * (y1 - y0);
+  const double denom = 2.0 * (d0 - d2);
+  if (std::fabs(denom) < 1e-300) return {x1, y1};
+  double xp = x1 - ((x1 - x0) * d0 - (x1 - x2) * d2) / denom;
+  xp = std::clamp(xp, std::min(x0, x2), std::max(x0, x2));
+  // Evaluate the parabola at xp via Lagrange basis.
+  const double l0 = (xp - x1) * (xp - x2) / ((x0 - x1) * (x0 - x2));
+  const double l1 = (xp - x0) * (xp - x2) / ((x1 - x0) * (x1 - x2));
+  const double l2 = (xp - x0) * (xp - x1) / ((x2 - x0) * (x2 - x1));
+  return {xp, y0 * l0 + y1 * l1 + y2 * l2};
+}
+
+std::vector<double> risingCrossings(const std::vector<double>& times,
+                                    const std::vector<double>& signal,
+                                    double level) {
+  if (times.size() != signal.size())
+    throw Error("risingCrossings: length mismatch");
+  std::vector<double> out;
+  for (size_t i = 1; i < signal.size(); ++i) {
+    const double a = signal[i - 1] - level;
+    const double b = signal[i] - level;
+    if (a < 0.0 && b >= 0.0) {
+      const double t =
+          (b == a) ? times[i]
+                   : times[i - 1] + (times[i] - times[i - 1]) * (-a) / (b - a);
+      out.push_back(t);
+    }
+  }
+  return out;
+}
+
+std::optional<double> oscillationFrequency(const std::vector<double>& times,
+                                           const std::vector<double>& signal,
+                                           double skipFraction) {
+  if (times.size() != signal.size() || times.size() < 4) return std::nullopt;
+  const double t0 =
+      times.front() + skipFraction * (times.back() - times.front());
+
+  std::vector<double> t, v;
+  double mean = 0.0;
+  size_t n = 0;
+  for (size_t i = 0; i < times.size(); ++i) {
+    if (times[i] >= t0) {
+      t.push_back(times[i]);
+      v.push_back(signal[i]);
+      mean += signal[i];
+      ++n;
+    }
+  }
+  if (n < 4) return std::nullopt;
+  mean /= static_cast<double>(n);
+
+  // Hysteresis crossings: a rising crossing of the mean only counts after
+  // the signal has dipped at least 20% of the peak-to-peak below the
+  // mean, so step-scale numerical wiggle is not mistaken for cycles.
+  double lo = v[0], hi = v[0];
+  for (double x : v) {
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+  }
+  const double hyst = 0.2 * (hi - lo);
+  if (hyst <= 0.0) return std::nullopt;
+
+  std::vector<double> crossings;
+  bool armed = false;
+  for (size_t i = 1; i < v.size(); ++i) {
+    if (v[i] < mean - hyst) armed = true;
+    if (armed && v[i - 1] < mean && v[i] >= mean) {
+      const double a = v[i - 1] - mean;
+      const double b = v[i] - mean;
+      crossings.push_back(t[i - 1] +
+                          (t[i] - t[i - 1]) * (-a) / (b - a));
+      armed = false;
+    }
+  }
+  if (crossings.size() < 3) return std::nullopt;
+  // Mean period over all full cycles in the window.
+  const double span = crossings.back() - crossings.front();
+  if (span <= 0.0) return std::nullopt;
+  return static_cast<double>(crossings.size() - 1) / span;
+}
+
+double steadyStatePeakToPeak(const std::vector<double>& times,
+                             const std::vector<double>& signal,
+                             double skipFraction) {
+  if (times.size() != signal.size() || times.empty())
+    throw Error("steadyStatePeakToPeak: length mismatch");
+  const double t0 =
+      times.front() + skipFraction * (times.back() - times.front());
+  double lo = 0.0, hi = 0.0;
+  bool first = true;
+  for (size_t i = 0; i < times.size(); ++i) {
+    if (times[i] < t0) continue;
+    if (first) {
+      lo = hi = signal[i];
+      first = false;
+    } else {
+      lo = std::min(lo, signal[i]);
+      hi = std::max(hi, signal[i]);
+    }
+  }
+  return first ? 0.0 : hi - lo;
+}
+
+Rng::Rng(std::uint64_t seed) : state_(seed ? seed : 1) {}
+
+double Rng::uniform() {
+  state_ ^= state_ >> 12;
+  state_ ^= state_ << 25;
+  state_ ^= state_ >> 27;
+  const std::uint64_t r = state_ * 0x2545F4914F6CDD1Dull;
+  return static_cast<double>(r >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double Rng::uniform(double lo, double hi) {
+  return lo + (hi - lo) * uniform();
+}
+
+double Rng::normal() {
+  if (haveSpare_) {
+    haveSpare_ = false;
+    return spare_;
+  }
+  double u, v, s;
+  do {
+    u = 2.0 * uniform() - 1.0;
+    v = 2.0 * uniform() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double m = std::sqrt(-2.0 * std::log(s) / s);
+  spare_ = v * m;
+  haveSpare_ = true;
+  return u * m;
+}
+
+double Rng::normal(double mean, double sigma) {
+  return mean + sigma * normal();
+}
+
+std::uint64_t Rng::next(std::uint64_t n) {
+  if (n == 0) return 0;
+  return static_cast<std::uint64_t>(uniform() * static_cast<double>(n)) % n;
+}
+
+}  // namespace ahfic::util

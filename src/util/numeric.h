@@ -1,0 +1,80 @@
+#pragma once
+// Numeric helpers shared by the analyses and measurement code: dB
+// conversions, interpolation, waveform measurements (zero crossings,
+// oscillation frequency), curve-peak location and a deterministic RNG.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace ahfic::util {
+
+/// 20*log10(|x|) with a floor to avoid -inf on exact zero.
+double toDb(double linear);
+
+/// 10^(db/20).
+double fromDb(double db);
+
+/// 10*log10(x) for power quantities.
+double toDbPower(double linear);
+
+/// Linear interpolation of y(x) on sorted sample points. Extrapolates
+/// linearly with the edge segments. `xs` must be strictly increasing and the
+/// same length as `ys` (>= 2).
+double interp1(const std::vector<double>& xs, const std::vector<double>& ys,
+               double x);
+
+/// Location of the maximum of a sampled curve, refined by fitting a parabola
+/// through the peak sample and its neighbours. Returns {x, y} of the
+/// refined maximum. `xs` must be sorted and the same length as `ys` (>= 3
+/// for refinement; fewer points fall back to the raw maximum).
+struct CurvePeak {
+  double x;
+  double y;
+};
+CurvePeak findCurvePeak(const std::vector<double>& xs,
+                        const std::vector<double>& ys);
+
+/// Times of rising zero crossings of `signal - level`, linearly
+/// interpolated between samples. `times` and `signal` must be equal length.
+std::vector<double> risingCrossings(const std::vector<double>& times,
+                                    const std::vector<double>& signal,
+                                    double level);
+
+/// Estimates the fundamental frequency of a (quasi-)periodic waveform from
+/// the mean period between rising crossings of its mean value, skipping
+/// the first `skipFraction` of the record to let start-up transients die.
+/// Returns std::nullopt when fewer than 3 crossings are found.
+std::optional<double> oscillationFrequency(const std::vector<double>& times,
+                                           const std::vector<double>& signal,
+                                           double skipFraction = 0.3);
+
+/// Peak-to-peak amplitude over the last (1 - skipFraction) of the record.
+double steadyStatePeakToPeak(const std::vector<double>& times,
+                             const std::vector<double>& signal,
+                             double skipFraction = 0.3);
+
+/// Deterministic xorshift64* generator for reproducible synthetic
+/// workloads (cell-database population, Monte-Carlo mismatch draws).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Uniform in [0, 1).
+  double uniform();
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Standard normal (Box-Muller).
+  double normal();
+  /// Normal with given mean / standard deviation.
+  double normal(double mean, double sigma);
+  /// Uniform integer in [0, n).
+  std::uint64_t next(std::uint64_t n);
+
+ private:
+  std::uint64_t state_;
+  bool haveSpare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace ahfic::util

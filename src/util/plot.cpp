@@ -1,0 +1,148 @@
+#include "util/plot.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+#include "util/units.h"
+
+namespace ahfic::util {
+
+namespace {
+
+struct Frame {
+  std::vector<std::string> rows;  // height strings of width chars
+  double yMin, yMax, xMin, xMax;
+  int width, height;
+
+  Frame(int w, int h, double x0, double x1, double y0, double y1)
+      : rows(static_cast<size_t>(h), std::string(static_cast<size_t>(w), ' ')),
+        yMin(y0),
+        yMax(y1),
+        xMin(x0),
+        xMax(x1),
+        width(w),
+        height(h) {}
+
+  void mark(double x, double y, char c) {
+    if (yMax == yMin) return;
+    int col = static_cast<int>((x - xMin) / (xMax - xMin) * (width - 1) + 0.5);
+    int row = static_cast<int>((yMax - y) / (yMax - yMin) * (height - 1) + 0.5);
+    col = std::clamp(col, 0, width - 1);
+    row = std::clamp(row, 0, height - 1);
+    char& cell = rows[static_cast<size_t>(row)][static_cast<size_t>(col)];
+    if (cell == ' ' || cell == c)
+      cell = c;
+    else
+      cell = '#';
+  }
+
+  std::string render(const PlotOptions& opt) const {
+    std::string out;
+    if (!opt.yLabel.empty()) out += opt.yLabel + "\n";
+    const std::string top = formatEngineering(yMax, 3);
+    const std::string bot = formatEngineering(yMin, 3);
+    const size_t lab = std::max(top.size(), bot.size());
+    for (int r = 0; r < height; ++r) {
+      std::string prefix(lab, ' ');
+      if (r == 0)
+        prefix = top + std::string(lab - top.size(), ' ');
+      else if (r == height - 1)
+        prefix = bot + std::string(lab - bot.size(), ' ');
+      out += prefix + " |" + rows[static_cast<size_t>(r)] + "\n";
+    }
+    out += std::string(lab + 1, ' ') + "+" +
+           std::string(static_cast<size_t>(width), '-') + "\n";
+    const std::string x0 = formatEngineering(xMin, 3);
+    const std::string x1 = formatEngineering(xMax, 3);
+    std::string axis = std::string(lab + 2, ' ') + x0;
+    const size_t pad = lab + 2 + static_cast<size_t>(width);
+    if (axis.size() + x1.size() < pad)
+      axis += std::string(pad - axis.size() - x1.size(), ' ') + x1;
+    out += axis;
+    if (!opt.xLabel.empty()) out += "  " + opt.xLabel;
+    out += "\n";
+    return out;
+  }
+};
+
+void validate(const std::vector<double>& xs, const std::vector<double>& ys,
+              const PlotOptions& opt) {
+  if (xs.size() != ys.size() || xs.size() < 2)
+    throw Error("asciiChart: need >= 2 equal-length samples");
+  if (opt.width < 8 || opt.height < 4)
+    throw Error("asciiChart: plot area too small");
+}
+
+void range(const std::vector<double>& ys, double& lo, double& hi) {
+  lo = *std::min_element(ys.begin(), ys.end());
+  hi = *std::max_element(ys.begin(), ys.end());
+  if (hi == lo) {
+    hi += 1.0;
+    lo -= 1.0;
+  }
+}
+
+void drawSeries(Frame& f, const std::vector<double>& xs,
+                const std::vector<double>& ys, char c) {
+  // Per-column min/max banding so decimation cannot hide fast swings.
+  std::vector<double> colMin(static_cast<size_t>(f.width), 1e300);
+  std::vector<double> colMax(static_cast<size_t>(f.width), -1e300);
+  for (size_t k = 0; k < xs.size(); ++k) {
+    int col = static_cast<int>((xs[k] - f.xMin) / (f.xMax - f.xMin) *
+                                   (f.width - 1) +
+                               0.5);
+    col = std::clamp(col, 0, f.width - 1);
+    colMin[static_cast<size_t>(col)] =
+        std::min(colMin[static_cast<size_t>(col)], ys[k]);
+    colMax[static_cast<size_t>(col)] =
+        std::max(colMax[static_cast<size_t>(col)], ys[k]);
+  }
+  for (int col = 0; col < f.width; ++col) {
+    const auto cs = static_cast<size_t>(col);
+    if (colMin[cs] > colMax[cs]) continue;  // empty column
+    const double x = f.xMin + (f.xMax - f.xMin) * col / (f.width - 1);
+    // Draw the band from min to max in this column.
+    const int rowLo = static_cast<int>(
+        (f.yMax - colMin[cs]) / (f.yMax - f.yMin) * (f.height - 1) + 0.5);
+    const int rowHi = static_cast<int>(
+        (f.yMax - colMax[cs]) / (f.yMax - f.yMin) * (f.height - 1) + 0.5);
+    for (int r = std::clamp(rowHi, 0, f.height - 1);
+         r <= std::clamp(rowLo, 0, f.height - 1); ++r) {
+      const double y =
+          f.yMax - (f.yMax - f.yMin) * r / (f.height - 1);
+      f.mark(x, y, c);
+    }
+  }
+}
+
+}  // namespace
+
+std::string asciiChart(const std::vector<double>& xs,
+                       const std::vector<double>& ys,
+                       const PlotOptions& opt) {
+  validate(xs, ys, opt);
+  double lo, hi;
+  range(ys, lo, hi);
+  Frame f(opt.width, opt.height, xs.front(), xs.back(), lo, hi);
+  drawSeries(f, xs, ys, opt.mark);
+  return f.render(opt);
+}
+
+std::string asciiChart2(const std::vector<double>& xs,
+                        const std::vector<double>& y1,
+                        const std::vector<double>& y2,
+                        const PlotOptions& opt) {
+  validate(xs, y1, opt);
+  validate(xs, y2, opt);
+  double lo1, hi1, lo2, hi2;
+  range(y1, lo1, hi1);
+  range(y2, lo2, hi2);
+  Frame f(opt.width, opt.height, xs.front(), xs.back(),
+          std::min(lo1, lo2), std::max(hi1, hi2));
+  drawSeries(f, xs, y1, '*');
+  drawSeries(f, xs, y2, '+');
+  return f.render(opt);
+}
+
+}  // namespace ahfic::util

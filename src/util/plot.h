@@ -1,0 +1,34 @@
+#pragma once
+// ASCII waveform plotting — the .PLOT of classic SPICE listings. Used by
+// the deck runner and the netlist CLI so results are inspectable without
+// leaving the terminal.
+
+#include <string>
+#include <vector>
+
+namespace ahfic::util {
+
+/// Options for asciiChart.
+struct PlotOptions {
+  int width = 72;    ///< plot columns (excluding the y-axis labels)
+  int height = 18;   ///< plot rows
+  char mark = '*';
+  std::string xLabel;
+  std::string yLabel;
+};
+
+/// Renders y(x) as an ASCII chart with min/max axis annotations. `xs`
+/// must be non-decreasing and the same length as `ys` (>= 2). Values are
+/// binned per column; each column shows the span of samples it covers, so
+/// fast waveforms stay visible after decimation.
+std::string asciiChart(const std::vector<double>& xs,
+                       const std::vector<double>& ys,
+                       const PlotOptions& options = {});
+
+/// Two-series overlay ('*' and '+', '#' where they collide).
+std::string asciiChart2(const std::vector<double>& xs,
+                        const std::vector<double>& y1,
+                        const std::vector<double>& y2,
+                        const PlotOptions& options = {});
+
+}  // namespace ahfic::util

@@ -1,0 +1,121 @@
+#include "util/strings.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace ahfic::util {
+
+namespace {
+bool isSpace(char c) {
+  return std::isspace(static_cast<unsigned char>(c)) != 0;
+}
+char lower(char c) {
+  return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+}
+}  // namespace
+
+std::string_view trim(std::string_view s) {
+  size_t b = 0;
+  while (b < s.size() && isSpace(s[b])) ++b;
+  size_t e = s.size();
+  while (e > b && isSpace(s[e - 1])) --e;
+  return s.substr(b, e - b);
+}
+
+std::string toLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), lower);
+  return out;
+}
+
+std::string toUpper(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](char c) {
+    return static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  });
+  return out;
+}
+
+bool startsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool startsWithNoCase(std::string_view s, std::string_view prefix) {
+  if (s.size() < prefix.size()) return false;
+  return equalsNoCase(s.substr(0, prefix.size()), prefix);
+}
+
+bool equalsNoCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i)
+    if (lower(a[i]) != lower(b[i])) return false;
+  return true;
+}
+
+std::vector<std::string> split(std::string_view s, std::string_view delims) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || delims.find(s[i]) != std::string_view::npos) {
+      if (i > start) out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> tokenize(std::string_view s) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && isSpace(s[i])) ++i;
+    if (i >= s.size()) break;
+    if (s[i] == '"') {
+      size_t end = s.find('"', i + 1);
+      if (end == std::string_view::npos) end = s.size();
+      out.emplace_back(s.substr(i + 1, end - i - 1));
+      i = end + 1;
+    } else {
+      size_t start = i;
+      while (i < s.size() && !isSpace(s[i])) ++i;
+      out.emplace_back(s.substr(start, i - start));
+    }
+  }
+  return out;
+}
+
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+bool containsNoCase(std::string_view text, std::string_view needle) {
+  if (needle.empty()) return true;
+  if (text.size() < needle.size()) return false;
+  for (size_t i = 0; i + needle.size() <= text.size(); ++i)
+    if (equalsNoCase(text.substr(i, needle.size()), needle)) return true;
+  return false;
+}
+
+std::string replaceAll(std::string_view s, std::string_view from,
+                       std::string_view to) {
+  if (from.empty()) return std::string(s);
+  std::string out;
+  size_t i = 0;
+  while (i < s.size()) {
+    if (i + from.size() <= s.size() && s.substr(i, from.size()) == from) {
+      out += to;
+      i += from.size();
+    } else {
+      out += s[i++];
+    }
+  }
+  return out;
+}
+
+}  // namespace ahfic::util

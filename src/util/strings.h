@@ -1,0 +1,46 @@
+#pragma once
+// Small string utilities used by the SPICE and AHDL parsers and the cell
+// database. All functions are pure and allocation-conscious.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ahfic::util {
+
+/// Strips leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// ASCII lower-case copy.
+std::string toLower(std::string_view s);
+
+/// ASCII upper-case copy.
+std::string toUpper(std::string_view s);
+
+/// True if `s` starts with `prefix` (case sensitive).
+bool startsWith(std::string_view s, std::string_view prefix);
+
+/// True if `s` starts with `prefix`, compared case-insensitively.
+bool startsWithNoCase(std::string_view s, std::string_view prefix);
+
+/// Case-insensitive equality.
+bool equalsNoCase(std::string_view a, std::string_view b);
+
+/// Splits on any character in `delims`, dropping empty fields.
+std::vector<std::string> split(std::string_view s, std::string_view delims);
+
+/// Splits on unquoted whitespace; double-quoted substrings become single
+/// fields with the quotes removed. Used for cell-record and deck parsing.
+std::vector<std::string> tokenize(std::string_view s);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True if `text` contains `needle` irrespective of ASCII case.
+bool containsNoCase(std::string_view text, std::string_view needle);
+
+/// Replaces every occurrence of `from` with `to` (no overlap re-scan).
+std::string replaceAll(std::string_view s, std::string_view from,
+                       std::string_view to);
+
+}  // namespace ahfic::util

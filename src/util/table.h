@@ -1,0 +1,44 @@
+#pragma once
+// Text-table and CSV emission used by the benchmark harnesses to print
+// paper-style tables (Table 1) and figure series (Figs. 3, 5, 9).
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ahfic::util {
+
+/// A simple column-aligned text table.
+///
+/// Usage:
+///   Table t({"Shape", "fT peak", "Ic @ peak"});
+///   t.addRow({"N1.2-6D", "8.9 GHz", "1.2 mA"});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; must have the same arity as the header.
+  void addRow(std::vector<std::string> cells);
+
+  /// Number of data rows (excluding header).
+  size_t rowCount() const { return rows_.size(); }
+
+  /// Renders with column alignment and a header underline.
+  void print(std::ostream& os) const;
+
+  /// Renders as RFC-4180-ish CSV (fields with commas/quotes get quoted).
+  void printCsv(std::ostream& os) const;
+
+  /// Convenience: render to a string via print().
+  std::string toString() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (printf "%.*f").
+std::string fixed(double v, int decimals);
+
+}  // namespace ahfic::util

@@ -1,0 +1,127 @@
+#include "util/units.h"
+
+#include <array>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace ahfic::util {
+
+namespace {
+
+struct Suffix {
+  std::string_view text;
+  double scale;
+};
+
+// Longest match first: MEG must be tried before M.
+constexpr std::array<Suffix, 10> kSuffixes{{
+    {"MEG", 1e6},
+    {"MIL", 25.4e-6},
+    {"T", 1e12},
+    {"G", 1e9},
+    {"K", 1e3},
+    {"M", 1e-3},
+    {"U", 1e-6},
+    {"N", 1e-9},
+    {"P", 1e-12},
+    {"F", 1e-15},
+}};
+
+}  // namespace
+
+std::optional<double> parseSpiceNumber(std::string_view text) {
+  std::string_view s = trim(text);
+  if (s.empty()) return std::nullopt;
+
+  // Parse the numeric part with strtod.
+  std::string buf(s);
+  char* end = nullptr;
+  errno = 0;
+  double value = std::strtod(buf.c_str(), &end);
+  if (end == buf.c_str() || errno == ERANGE) return std::nullopt;
+
+  std::string_view rest = trim(std::string_view(end));
+  if (rest.empty()) return value;
+
+  // Engineering suffix, longest match first; anything after a matched
+  // suffix must be alphabetic unit text ("F", "Hz", "m") and is ignored,
+  // per SPICE convention.
+  auto isUnitTail = [](std::string_view t) {
+    for (char c : t)
+      if (!std::isalpha(static_cast<unsigned char>(c))) return false;
+    return true;
+  };
+
+  for (const auto& suf : kSuffixes) {
+    if (startsWithNoCase(rest, suf.text)) {
+      std::string_view tail = rest.substr(suf.text.size());
+      // Special case: "MEG" matched but text was e.g. "MEGX1"? tail must
+      // be alphabetic.
+      if (isUnitTail(tail)) return value * suf.scale;
+    }
+  }
+  // No scale suffix: allow a pure unit tail like "Hz" or "V".
+  if (isUnitTail(rest)) return value;
+  return std::nullopt;
+}
+
+double parseSpiceNumberOrThrow(std::string_view text, std::string_view what) {
+  auto v = parseSpiceNumber(text);
+  if (!v) {
+    throw ParseError("cannot parse number '" + std::string(text) + "' for " +
+                     std::string(what));
+  }
+  return *v;
+}
+
+std::string formatEngineering(double value, int digits) {
+  if (value == 0.0) return "0";
+  if (!std::isfinite(value)) return value > 0 ? "inf" : (std::isnan(value) ? "nan" : "-inf");
+
+  struct Prefix {
+    double scale;
+    const char* name;
+  };
+  static constexpr Prefix kPrefixes[] = {
+      {1e12, "T"}, {1e9, "G"}, {1e6, "M"},   {1e3, "k"},  {1.0, ""},
+      {1e-3, "m"}, {1e-6, "u"}, {1e-9, "n"}, {1e-12, "p"}, {1e-15, "f"},
+  };
+  double mag = std::fabs(value);
+  for (const auto& p : kPrefixes) {
+    if (mag >= p.scale * 0.9999999 || (&p == &kPrefixes[9])) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.*g%s", digits, value / p.scale,
+                    p.name);
+      return buf;
+    }
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", digits, value);
+  return buf;
+}
+
+std::string formatFrequency(double hertz, int digits) {
+  struct Prefix {
+    double scale;
+    const char* name;
+  };
+  static constexpr Prefix kPrefixes[] = {
+      {1e9, "GHz"}, {1e6, "MHz"}, {1e3, "kHz"}, {1.0, "Hz"}};
+  double mag = std::fabs(hertz);
+  for (const auto& p : kPrefixes) {
+    if (mag >= p.scale || p.scale == 1.0) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.*g %s", digits, hertz / p.scale,
+                    p.name);
+      return buf;
+    }
+  }
+  return "0 Hz";
+}
+
+}  // namespace ahfic::util

@@ -1,0 +1,44 @@
+#pragma once
+// Physical constants, SPICE-style engineering-suffix number parsing and
+// engineering-notation formatting.
+//
+// SPICE suffixes (case-insensitive): T G MEG K M U N P F. Note the classic
+// trap: `M` is milli, `MEG` is mega. Trailing unit letters after a suffix
+// ("10pF", "1.2um") are accepted and ignored, as in SPICE.
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace ahfic::util {
+
+/// Physical constants (SI).
+namespace constants {
+inline constexpr double kBoltzmann = 1.380649e-23;   ///< J/K
+inline constexpr double kElectronCharge = 1.602176634e-19;  ///< C
+inline constexpr double kZeroCelsiusInKelvin = 273.15;
+/// Thermal voltage kT/q at temperature `celsius`.
+inline double thermalVoltage(double celsius) {
+  return kBoltzmann * (celsius + kZeroCelsiusInKelvin) / kElectronCharge;
+}
+inline constexpr double kPi = 3.14159265358979323846;
+inline constexpr double kTwoPi = 2.0 * kPi;
+}  // namespace constants
+
+/// Parses a SPICE-style number with optional engineering suffix.
+/// Returns std::nullopt on malformed input. Examples: "1.2u" -> 1.2e-6,
+/// "45MEG" -> 4.5e7, "10pF" -> 1e-11, "3k3" is NOT supported.
+std::optional<double> parseSpiceNumber(std::string_view text);
+
+/// Like parseSpiceNumber but throws ahfic::ParseError on failure, naming
+/// `what` in the message (e.g. the parameter being parsed).
+double parseSpiceNumberOrThrow(std::string_view text, std::string_view what);
+
+/// Formats `value` in engineering notation with an SI prefix, e.g.
+/// 4.5e7 -> "45M", 1.2e-6 -> "1.2u". `digits` controls significant digits.
+std::string formatEngineering(double value, int digits = 4);
+
+/// Formats a frequency as e.g. "1.30 GHz", "45.0 MHz".
+std::string formatFrequency(double hertz, int digits = 3);
+
+}  // namespace ahfic::util

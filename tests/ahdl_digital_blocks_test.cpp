@@ -1,0 +1,113 @@
+// Comparator, sample-and-hold, frequency divider — plus a synthesiser PLL
+// that combines them (the tuner's channel-select PLL of Fig. 2).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ahdl/blocks.h"
+#include "ahdl/system.h"
+#include "util/error.h"
+#include "util/numeric.h"
+
+namespace ah = ahfic::ahdl;
+namespace u = ahfic::util;
+
+TEST(Comparator, ThresholdAndLevels) {
+  ah::System sys;
+  sys.add<ah::SineSource>({}, {"in"}, "src", 1e6, 1.0);
+  sys.add<ah::Comparator>({"in"}, {"out"}, "cmp", 0.0, 0.0, -1.0, 1.0);
+  sys.probe("out");
+  const auto res = sys.run(4e-6, 64e6);
+  for (double v : res.trace("out"))
+    EXPECT_TRUE(v == -1.0 || v == 1.0);
+  // Roughly half the time high.
+  int high = 0;
+  for (double v : res.trace("out"))
+    if (v > 0) ++high;
+  EXPECT_NEAR(high, static_cast<int>(res.time.size()) / 2,
+              static_cast<int>(res.time.size()) / 8);
+}
+
+TEST(Comparator, HysteresisRejectsSmallNoise) {
+  // A small ripple around the threshold must not toggle a comparator
+  // whose hysteresis exceeds the ripple.
+  ah::System sys;
+  sys.add<ah::SineSource>({}, {"in"}, "src", 1e6, 0.05);  // 0.1 Vpp ripple
+  sys.add<ah::Comparator>({"in"}, {"out"}, "cmp", 0.0, 0.3);
+  sys.probe("out");
+  const auto res = sys.run(4e-6, 64e6);
+  const auto& out = res.trace("out");
+  for (size_t k = 1; k < out.size(); ++k)
+    EXPECT_EQ(out[k], out[0]);  // never toggles
+}
+
+TEST(Comparator, RejectsNegativeHysteresis) {
+  EXPECT_THROW(ah::Comparator("c", 0.0, -0.1), ahfic::Error);
+}
+
+TEST(SampleHold, CapturesOnRisingEdge) {
+  ah::System sys;
+  sys.add<ah::SineSource>({}, {"sig"}, "src", 1e6, 1.0);
+  // Sampling clock: 8 MHz square from a comparator on a sine.
+  sys.add<ah::SineSource>({}, {"cksin"}, "cks", 8e6, 1.0);
+  sys.add<ah::Comparator>({"cksin"}, {"clk"}, "ckc", 0.0, 0.0, 0.0, 1.0);
+  sys.add<ah::SampleHold>({"sig", "clk"}, {"held"}, "sh");
+  sys.probe("sig");
+  sys.probe("held");
+  const auto res = sys.run(4e-6, 256e6);
+  // The held value is piecewise constant: between clock edges it does not
+  // move, and every held value equals some recent signal value.
+  const auto& held = res.trace("held");
+  int changes = 0;
+  for (size_t k = 1; k < held.size(); ++k)
+    if (held[k] != held[k - 1]) ++changes;
+  // ~8 MHz sampling over 4 us -> ~32 captures.
+  EXPECT_NEAR(changes, 32, 4);
+  for (double v : held) EXPECT_LE(std::fabs(v), 1.0 + 1e-9);
+}
+
+TEST(FrequencyDivider, DividesByN) {
+  for (int n : {2, 4, 10}) {
+    ah::System sys;
+    sys.add<ah::SineSource>({}, {"in"}, "src", 10e6, 1.0);
+    sys.add<ah::FrequencyDivider>({"in"}, {"out"}, "div", n);
+    sys.probe("out");
+    const auto res = sys.run(20e-6, 320e6);
+    const auto f = u::oscillationFrequency(res.time, res.trace("out"));
+    ASSERT_TRUE(f.has_value()) << n;
+    EXPECT_NEAR(*f, 10e6 / n, 10e6 / n * 0.05) << n;
+  }
+}
+
+TEST(FrequencyDivider, RejectsOddRatios) {
+  EXPECT_THROW(ah::FrequencyDivider("d", 3), ahfic::Error);
+  EXPECT_THROW(ah::FrequencyDivider("d", 0), ahfic::Error);
+}
+
+TEST(SynthesizerPll, LocksToReferenceTimesN) {
+  // The tuner's channel-select PLL: VCO output divided by N and phase
+  // compared against a crystal reference; lock puts the VCO at N * fref.
+  const int n = 4;
+  const double fRef = 2.5e6;  // VCO target: 10 MHz
+  ah::System sys;
+  sys.add<ah::SineSource>({}, {"ref"}, "ref", fRef, 1.0);
+  sys.add<ah::Mixer>({"ref", "fbq"}, {"pd"}, "pd", 1.0);
+  sys.add<ah::FilterBlock>({"pd"}, {"pdf"}, "lpf",
+                           ah::FilterBlock::Kind::kLowpass, 1, 0.3e6);
+  sys.add<ah::Amplifier>({"pdf"}, {"prop"}, "kp", 3.0);
+  sys.add<ah::IntegratorBlock>({"pdf"}, {"integ"}, "ki", 3e6);
+  sys.add<ah::Adder>({"prop", "integ"}, {"ctl"}, "sum", 2);
+  sys.add<ah::Vco>({"ctl"}, {"vs", "vq"}, "vco", 9.4e6, 1e6);
+  // Feedback path: divide the VCO by N, then a 90-degree-ish reference
+  // for the multiplier PD (divider output is already +-1 square).
+  sys.add<ah::FrequencyDivider>({"vs"}, {"fb"}, "divN", n);
+  sys.add<ah::PhaseShifter90>({"fb"}, {"fbq"}, "fbps", fRef);
+  sys.probe("vs");
+
+  const double fs = 400e6;
+  const auto res = sys.run(120e-6, fs, 90e-6);
+  const auto f = u::oscillationFrequency(res.time, res.trace("vs"));
+  ASSERT_TRUE(f.has_value());
+  EXPECT_NEAR(*f, n * fRef, 0.05e6);  // locked at N * fref = 10 MHz
+}

@@ -1,0 +1,106 @@
+// Expression engine tests.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ahdl/expr.h"
+#include "util/error.h"
+
+namespace ah = ahfic::ahdl;
+
+namespace {
+double eval(const std::string& text,
+            const std::map<std::string, double>& params = {},
+            double t = 0.0) {
+  const auto e = ah::parseExpression(text);
+  ah::EvalContext ctx;
+  ctx.t = t;
+  ctx.params = &params;
+  return ah::evalExpr(*e, ctx);
+}
+}  // namespace
+
+TEST(Expr, ArithmeticPrecedence) {
+  EXPECT_DOUBLE_EQ(eval("1 + 2 * 3"), 7.0);
+  EXPECT_DOUBLE_EQ(eval("(1 + 2) * 3"), 9.0);
+  EXPECT_DOUBLE_EQ(eval("10 - 4 - 3"), 3.0);   // left associative
+  EXPECT_DOUBLE_EQ(eval("12 / 4 / 3"), 1.0);
+  EXPECT_DOUBLE_EQ(eval("2 ^ 3 ^ 2"), 512.0);  // right associative
+  EXPECT_DOUBLE_EQ(eval("-2 ^ 2"), 4.0);       // unary binds tighter here
+}
+
+TEST(Expr, UnaryOperators) {
+  EXPECT_DOUBLE_EQ(eval("-5"), -5.0);
+  EXPECT_DOUBLE_EQ(eval("--5"), 5.0);
+  EXPECT_DOUBLE_EQ(eval("+5"), 5.0);
+  EXPECT_DOUBLE_EQ(eval("3 * -2"), -6.0);
+}
+
+TEST(Expr, SpiceSuffixNumbers) {
+  EXPECT_DOUBLE_EQ(eval("45MEG"), 45e6);
+  EXPECT_DOUBLE_EQ(eval("1.2u * 2"), 2.4e-6);
+  EXPECT_DOUBLE_EQ(eval("3k + 500"), 3500.0);
+  EXPECT_DOUBLE_EQ(eval("1e-9"), 1e-9);
+  EXPECT_DOUBLE_EQ(eval("2.5E+3"), 2500.0);
+}
+
+TEST(Expr, Functions) {
+  EXPECT_NEAR(eval("sin(pi/2)"), 1.0, 1e-12);
+  EXPECT_NEAR(eval("cos(0)"), 1.0, 1e-12);
+  EXPECT_NEAR(eval("exp(1)"), std::exp(1.0), 1e-12);
+  EXPECT_NEAR(eval("sqrt(2)^2"), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(eval("abs(-3)"), 3.0);
+  EXPECT_DOUBLE_EQ(eval("min(2, 5)"), 2.0);
+  EXPECT_DOUBLE_EQ(eval("max(2, 5)"), 5.0);
+  EXPECT_DOUBLE_EQ(eval("pow(2, 10)"), 1024.0);
+  EXPECT_NEAR(eval("tanh(100)"), 1.0, 1e-9);
+  EXPECT_NEAR(eval("atan2(1, 1)"), std::atan(1.0), 1e-12);
+}
+
+TEST(Expr, ParametersAndTime) {
+  EXPECT_DOUBLE_EQ(eval("gain * 2", {{"gain", 3.0}}), 6.0);
+  EXPECT_DOUBLE_EQ(eval("t * 10", {}, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(eval("a + b", {{"a", 1.0}, {"b", 2.0}}), 3.0);
+}
+
+TEST(Expr, SignalReferences) {
+  const auto e = ah::parseExpression("V(in1) * 2 + V(in2) - V(in1)");
+  const auto sigs = ah::collectSignals(*e);
+  ASSERT_EQ(sigs.size(), 2u);
+  EXPECT_EQ(sigs[0], "in1");
+  EXPECT_EQ(sigs[1], "in2");
+
+  ah::EvalContext ctx;
+  std::map<std::string, double> params;
+  ctx.params = &params;
+  ctx.signalValue = [](const std::string& s) {
+    return s == "in1" ? 10.0 : 1.0;
+  };
+  EXPECT_DOUBLE_EQ(ah::evalExpr(*e, ctx), 11.0);
+}
+
+TEST(Expr, CloneIsDeep) {
+  const auto e = ah::parseExpression("V(x) + gain");
+  auto c = ah::cloneExpr(*e);
+  // Mutate the clone's signal name; original unaffected.
+  c->args[0]->name = "y";
+  EXPECT_EQ(ah::collectSignals(*e)[0], "x");
+  EXPECT_EQ(ah::collectSignals(*c)[0], "y");
+}
+
+TEST(Expr, ErrorsAreReported) {
+  EXPECT_THROW(eval("1 +"), ahfic::ParseError);
+  EXPECT_THROW(eval("(1 + 2"), ahfic::ParseError);
+  EXPECT_THROW(eval("sin()"), ahfic::Error);        // arity
+  EXPECT_THROW(eval("bogus(1)"), ahfic::Error);     // unknown function
+  EXPECT_THROW(eval("unknown_var"), ahfic::Error);  // unknown identifier
+  EXPECT_THROW(eval("1 2"), ahfic::ParseError);     // trailing tokens
+  EXPECT_THROW(eval("V()"), ahfic::ParseError);
+}
+
+TEST(Expr, SignalOutsideSimulationContext) {
+  const auto e = ah::parseExpression("V(x)");
+  ah::EvalContext ctx;
+  EXPECT_THROW(ah::evalExpr(*e, ctx), ahfic::Error);
+}

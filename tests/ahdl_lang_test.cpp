@@ -1,0 +1,241 @@
+// AHDL netlist language: modules, builtins, elaboration, run statements.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ahdl/lang.h"
+#include "util/error.h"
+#include "util/fft.h"
+
+namespace ah = ahfic::ahdl;
+namespace u = ahfic::util;
+
+TEST(AhdlLang, PaperStyleAmpModule) {
+  // The module from the paper's Fig. 1.
+  auto nl = ah::parseAhdl(R"(
+    module amp (in, out) {
+      parameter real gain = 1;
+      analog { V(out) <- gain * V(in); }
+    }
+    signal a, b;
+    instance src = dc(value=0.5) (a);
+    instance a1 = amp(gain=4) (a, b);
+    probe b;
+    run tstop=1u, fs=10MEG;
+  )");
+  const auto res = nl.run();
+  EXPECT_DOUBLE_EQ(res.trace("b").back(), 2.0);
+}
+
+TEST(AhdlLang, ModuleParameterDefaultsApply) {
+  auto nl = ah::parseAhdl(R"(
+    module amp (in, out) {
+      parameter real gain = 7;
+      analog { V(out) <- gain * V(in); }
+    }
+    signal a, b;
+    instance src = dc(value=1) (a);
+    instance a1 = amp() (a, b);
+    probe b;
+    run tstop=1u, fs=10MEG;
+  )");
+  EXPECT_DOUBLE_EQ(nl.run().trace("b").back(), 7.0);
+}
+
+TEST(AhdlLang, NonlinearModuleExpression) {
+  auto nl = ah::parseAhdl(R"(
+    module softclip (in, out) {
+      parameter real vsat = 1;
+      analog { V(out) <- vsat * tanh(V(in) / vsat); }
+    }
+    signal x, y;
+    instance src = dc(value=10) (x);
+    instance c1 = softclip(vsat=2) (x, y);
+    probe y;
+    run tstop=1u, fs=10MEG;
+  )");
+  EXPECT_NEAR(nl.run().trace("y").back(), 2.0, 1e-3);
+}
+
+TEST(AhdlLang, MultipleAssignmentsPerModule) {
+  auto nl = ah::parseAhdl(R"(
+    module splitter (in, outp, outn) {
+      analog {
+        V(outp) <- V(in);
+        V(outn) <- -V(in);
+      }
+    }
+    signal a, p, n;
+    instance src = dc(value=3) (a);
+    instance s1 = splitter() (a, p, n);
+    probe p, n;
+    run tstop=1u, fs=10MEG;
+  )");
+  const auto res = nl.run();
+  EXPECT_DOUBLE_EQ(res.trace("p").back(), 3.0);
+  EXPECT_DOUBLE_EQ(res.trace("n").back(), -3.0);
+}
+
+TEST(AhdlLang, GlobalParametersVisibleInInstanceArgs) {
+  auto nl = ah::parseAhdl(R"(
+    parameter real vin = 2.5;
+    signal a;
+    instance src = dc(value=vin*2) (a);
+    probe a;
+    run tstop=1u, fs=10MEG;
+  )");
+  EXPECT_DOUBLE_EQ(nl.run().trace("a").back(), 5.0);
+}
+
+TEST(AhdlLang, BuiltinChainSineMixerFilter) {
+  auto nl = ah::parseAhdl(R"(
+    signal rf, lo, mixed, ifout;
+    instance s1 = sine(freq=100MEG, amp=1) (rf);
+    instance s2 = sine(freq=145MEG, amp=1) (lo);
+    instance m1 = mixer(gain=2) (rf, lo, mixed);
+    instance f1 = lowpass(order=3, fc=80MEG) (mixed, ifout);
+    probe ifout;
+    run tstop=2u, fs=2G, record_from=0.5u;
+  )");
+  const auto res = nl.run();
+  const double amp = u::toneAmplitude(res.trace("ifout"), 2e9, 45e6);
+  EXPECT_NEAR(amp, 1.0, 0.05);
+  EXPECT_LT(u::toneAmplitude(res.trace("ifout"), 2e9, 245e6), 0.05);
+}
+
+TEST(AhdlLang, QuadloAndSubtract) {
+  auto nl = ah::parseAhdl(R"(
+    signal i, q, d;
+    instance lo = quadlo(freq=10MEG, amp=2) (i, q);
+    instance s = subtract() (i, q, d);
+    probe i, q, d;
+    run tstop=1u, fs=1G;
+  )");
+  const auto res = nl.run();
+  // d = 2cos - 2sin has amplitude 2*sqrt(2).
+  const double amp = u::toneAmplitude(res.trace("d"), 1e9, 10e6);
+  EXPECT_NEAR(amp, 2.0 * std::sqrt(2.0), 0.05);
+}
+
+TEST(AhdlLang, VcoAndIntegratorBuiltins) {
+  auto nl = ah::parseAhdl(R"(
+    signal ctl, s, c, ramp;
+    instance vc = dc(value=1) (ctl);
+    instance osc = vco(freq=10MEG, kvco=2MEG) (ctl, s, c);
+    instance i1 = integrator(gain=2) (ctl, ramp);
+    probe s, ramp;
+    run tstop=2u, fs=500MEG;
+  )");
+  const auto res = nl.run();
+  // VCO runs at 12 MHz: count positive-going zero crossings.
+  int crossings = 0;
+  const auto& s = res.trace("s");
+  for (size_t k = 1; k < s.size(); ++k)
+    if (s[k - 1] < 0.0 && s[k] >= 0.0) ++crossings;
+  EXPECT_NEAR(crossings, 24, 1);
+  // Integrator ramps to gain * v * t = 2 * 1 * 2u.
+  EXPECT_NEAR(res.trace("ramp").back(), 4e-6, 2e-8);
+}
+
+TEST(AhdlLang, DigitalBuiltins) {
+  auto nl = ah::parseAhdl(R"(
+    signal s, sq, dv, held;
+    instance o = sine(freq=8MEG, amp=1) (s);
+    instance c = comparator(low=0, high=1) (s, sq);
+    instance d = divider(n=4) (s, dv);
+    instance h = samplehold() (s, sq, held);
+    probe sq, dv, held;
+    run tstop=4u, fs=256MEG;
+  )");
+  const auto res = nl.run();
+  for (double v : res.trace("sq")) EXPECT_TRUE(v == 0.0 || v == 1.0);
+  for (double v : res.trace("dv")) EXPECT_TRUE(v == -1.0 || v == 1.0);
+  // The divider output is 4x slower: count toggles.
+  int t1 = 0, t2 = 0;
+  const auto& sq = res.trace("sq");
+  const auto& dv = res.trace("dv");
+  for (size_t k = 1; k < sq.size(); ++k) {
+    if (sq[k] != sq[k - 1]) ++t1;
+    if (dv[k] != dv[k - 1]) ++t2;
+  }
+  EXPECT_NEAR(t1, 4 * t2, 4);
+}
+
+TEST(AhdlLang, CommentsAndWhitespace) {
+  auto nl = ah::parseAhdl(
+      "// comment line\n"
+      "# another comment\n"
+      "signal a;  // trailing\n"
+      "instance s = dc(value=1) (a);\n"
+      "probe a;\n"
+      "run tstop=1u, fs=1MEG;\n");
+  EXPECT_DOUBLE_EQ(nl.run().trace("a").back(), 1.0);
+}
+
+TEST(AhdlLang, RunSpecOptional) {
+  auto nl = ah::parseAhdl("signal a; instance s = dc(value=1) (a);");
+  EXPECT_FALSE(nl.runSpec.has_value());
+  EXPECT_THROW(nl.run(), ahfic::Error);
+  // But the system can still be run manually.
+  nl.system.probe("a");
+  EXPECT_NO_THROW(nl.system.run(1e-6, 1e6));
+}
+
+class AhdlLangErrorTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(AhdlLangErrorTest, Rejected) {
+  EXPECT_THROW(ah::parseAhdl(GetParam()), ahfic::ParseError);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Syntax, AhdlLangErrorTest,
+    ::testing::Values(
+        "bogus statement;",
+        "signal a; instance x = nosuchtype() (a);",
+        "signal a; instance s = sine(amp=1) (a);",       // missing freq
+        "signal a; instance s = dc(value=1) (a, a);",    // too many conns
+        "module m (p) { analog { V(q) <- 1; } } signal a; "
+        "instance i = m() (a);",                          // unknown port
+        "module m (p) { parameter int x = 1; }",          // not real
+        "module m (p) { analog { V(p) <- V(zz); } } signal a; "
+        "instance i = m() (a);",                          // V of non-port
+        "signal a; instance s = dc(value=1) (a); run tstop=1u;",  // no fs
+        "module m (in, out) { analog { V(out) <- V(in); } } "
+        "module m (in, out) { analog { V(out) <- V(in); } }"));  // dup
+
+TEST(AhdlLang, ErrorCarriesLineNumber) {
+  try {
+    ah::parseAhdl("signal a;\nsignal b;\nbogus;\n");
+    FAIL() << "expected ParseError";
+  } catch (const ahfic::ParseError& e) {
+    EXPECT_EQ(e.line(), 3);
+  }
+}
+
+TEST(AhdlLang, InstanceArgMustMatchModuleParameter) {
+  EXPECT_THROW(ah::parseAhdl(R"(
+    module amp (in, out) {
+      parameter real gain = 1;
+      analog { V(out) <- gain * V(in); }
+    }
+    signal a, b;
+    instance a1 = amp(nosuch=4) (a, b);
+  )"),
+               ahfic::ParseError);
+}
+
+TEST(AhdlLang, TimeVariableInModuleBody) {
+  auto nl = ah::parseAhdl(R"(
+    module ramp (out) {
+      parameter real slope = 2;
+      analog { V(out) <- slope * t; }
+    }
+    signal r;
+    instance r1 = ramp(slope=3) (r);
+    probe r;
+    run tstop=1, fs=1k;
+  )");
+  const auto res = nl.run();
+  EXPECT_NEAR(res.trace("r").back(), 3.0 * res.time.back(), 1e-9);
+}

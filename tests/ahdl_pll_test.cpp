@@ -1,0 +1,109 @@
+// VCO / integrator blocks and a behavioural PLL closing the loop through
+// the engine's one-sample feedback delay (the "PLL" box of Fig. 2).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ahdl/blocks.h"
+#include "ahdl/system.h"
+#include "util/error.h"
+#include "util/fft.h"
+#include "util/numeric.h"
+
+namespace ah = ahfic::ahdl;
+namespace u = ahfic::util;
+
+TEST(Vco, FreeRunsAtCenterFrequency) {
+  ah::System sys;
+  sys.add<ah::DcSource>({}, {"ctl"}, "vc", 0.0);
+  sys.add<ah::Vco>({"ctl"}, {"s", "c"}, "vco", 10e6, 1e6);
+  sys.probe("s");
+  const double fs = 1e9;
+  const auto res = sys.run(5e-6, fs);
+  const auto f = u::oscillationFrequency(res.time, res.trace("s"));
+  ASSERT_TRUE(f.has_value());
+  EXPECT_NEAR(*f, 10e6, 0.05e6);
+}
+
+TEST(Vco, ControlVoltageShiftsFrequency) {
+  ah::System sys;
+  sys.add<ah::DcSource>({}, {"ctl"}, "vc", 2.0);
+  sys.add<ah::Vco>({"ctl"}, {"s", "c"}, "vco", 10e6, 1e6);
+  sys.probe("s");
+  const auto res = sys.run(5e-6, 1e9);
+  const auto f = u::oscillationFrequency(res.time, res.trace("s"));
+  ASSERT_TRUE(f.has_value());
+  EXPECT_NEAR(*f, 12e6, 0.05e6);
+}
+
+TEST(Vco, QuadratureOutputs) {
+  ah::System sys;
+  sys.add<ah::DcSource>({}, {"ctl"}, "vc", 0.0);
+  sys.add<ah::Vco>({"ctl"}, {"s", "c"}, "vco", 5e6, 0.0, 2.0);
+  sys.probe("s");
+  sys.probe("c");
+  const auto res = sys.run(2e-6, 1e9);
+  const auto& s = res.trace("s");
+  const auto& c = res.trace("c");
+  for (size_t k = 0; k < s.size(); k += 53)
+    EXPECT_NEAR(s[k] * s[k] + c[k] * c[k], 4.0, 1e-6);
+}
+
+TEST(Vco, NegativeFrequencyClamped) {
+  // Large negative control: frequency clamps at 0 instead of going
+  // negative (phase must be monotone).
+  ah::System sys;
+  sys.add<ah::DcSource>({}, {"ctl"}, "vc", -100.0);
+  sys.add<ah::Vco>({"ctl"}, {"s", "c"}, "vco", 10e6, 1e6);
+  sys.probe("s");
+  const auto res = sys.run(1e-6, 1e9);
+  for (double v : res.trace("s")) EXPECT_NEAR(v, 0.0, 1e-2);
+}
+
+TEST(Integrator, RampsOnDc) {
+  ah::System sys;
+  sys.add<ah::DcSource>({}, {"x"}, "src", 3.0);
+  sys.add<ah::IntegratorBlock>({"x"}, {"y"}, "int", 2.0);
+  sys.probe("y");
+  const auto res = sys.run(1e-3, 1e6);
+  // y(T) ~ gain * x * T = 2 * 3 * 1e-3.
+  EXPECT_NEAR(res.trace("y").back(), 6e-3, 1e-4);
+}
+
+TEST(Pll, LocksToReferenceTone) {
+  // Classic multiplier PLL: phase detector (mixer) -> loop filter
+  // (lowpass + integrator via lag) -> VCO. Reference at 10.5 MHz, VCO
+  // centred at 10 MHz with 1 MHz/V gain: lock needs ~0.5 V of control.
+  ah::System sys;
+  const double fRef = 10.5e6;
+  sys.add<ah::SineSource>({}, {"ref"}, "ref", fRef, 1.0);
+  // Phase detector: multiply reference by VCO quadrature output (reads
+  // the previous sample of "vq" — the loop's implicit delay).
+  sys.add<ah::Mixer>({"ref", "vq"}, {"pd"}, "pd", 1.0);
+  sys.add<ah::FilterBlock>({"pd"}, {"pdf"}, "lpf",
+                           ah::FilterBlock::Kind::kLowpass, 1, 0.8e6);
+  // Proportional + integral control.
+  sys.add<ah::Amplifier>({"pdf"}, {"prop"}, "kp", 2.0);
+  sys.add<ah::IntegratorBlock>({"pdf"}, {"integ"}, "ki", 4e6);
+  sys.add<ah::Adder>({"prop", "integ"}, {"ctl"}, "sum", 2);
+  sys.add<ah::Vco>({"ctl"}, {"vs", "vq"}, "vco", 10e6, 1e6);
+  sys.probe("vs");
+  sys.probe("ctl");
+
+  const double fs = 400e6;
+  const auto res = sys.run(60e-6, fs, 40e-6);  // settle, then observe
+  const auto f = u::oscillationFrequency(res.time, res.trace("vs"));
+  ASSERT_TRUE(f.has_value());
+  EXPECT_NEAR(*f, fRef, 0.02e6);  // locked to the reference
+  // Control voltage settled near the expected 0.5 V.
+  const auto& ctl = res.trace("ctl");
+  double mean = 0.0;
+  for (double v : ctl) mean += v;
+  mean /= static_cast<double>(ctl.size());
+  EXPECT_NEAR(mean, 0.5, 0.1);
+}
+
+TEST(Vco, RejectsBadFrequency) {
+  EXPECT_THROW(ah::Vco("v", 0.0, 1.0), ahfic::Error);
+}

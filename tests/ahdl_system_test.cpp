@@ -1,0 +1,249 @@
+// Behavioural engine and standard block library tests.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ahdl/blocks.h"
+#include "ahdl/system.h"
+#include "util/error.h"
+#include "util/fft.h"
+#include "util/units.h"
+
+namespace ah = ahfic::ahdl;
+namespace u = ahfic::util;
+using u::constants::kTwoPi;
+
+TEST(AhdlSystem, SineSourceProducesExactTone) {
+  ah::System sys;
+  sys.add<ah::SineSource>({}, {"out"}, "s1", 10e6, 0.5);
+  sys.probe("out");
+  const auto res = sys.run(10e-6, 320e6);
+  const double amp = u::toneAmplitude(res.trace("out"), 320e6, 10e6);
+  EXPECT_NEAR(amp, 0.5, 0.01);
+}
+
+TEST(AhdlSystem, AmplifierGainAndCompression) {
+  ah::System sys;
+  sys.add<ah::SineSource>({}, {"in"}, "s1", 1e6, 1.0);
+  sys.add<ah::Amplifier>({"in"}, {"lin"}, "a1", 3.0);
+  sys.add<ah::Amplifier>({"in"}, {"sat"}, "a2", 10.0, /*vsat=*/1.0);
+  sys.probe("lin");
+  sys.probe("sat");
+  const auto res = sys.run(4e-6, 64e6);
+  double maxLin = 0.0, maxSat = 0.0;
+  for (double v : res.trace("lin")) maxLin = std::max(maxLin, v);
+  for (double v : res.trace("sat")) maxSat = std::max(maxSat, v);
+  EXPECT_NEAR(maxLin, 3.0, 0.02);
+  EXPECT_LE(maxSat, 1.0 + 1e-9);  // tanh limit
+  EXPECT_GT(maxSat, 0.9);
+}
+
+TEST(AhdlSystem, MixerProducesSumAndDifference) {
+  ah::System sys;
+  sys.add<ah::SineSource>({}, {"a"}, "s1", 30e6, 1.0);
+  sys.add<ah::SineSource>({}, {"b"}, "s2", 70e6, 1.0);
+  sys.add<ah::Mixer>({"a", "b"}, {"out"}, "m1", 2.0);
+  sys.probe("out");
+  const double fs = 1e9;
+  const auto res = sys.run(8e-6, fs);
+  EXPECT_NEAR(u::toneAmplitude(res.trace("out"), fs, 40e6), 1.0, 0.02);
+  EXPECT_NEAR(u::toneAmplitude(res.trace("out"), fs, 100e6), 1.0, 0.02);
+  EXPECT_LT(u::toneAmplitude(res.trace("out"), fs, 30e6), 0.02);
+}
+
+TEST(AhdlSystem, AdderWeights) {
+  ah::System sys;
+  sys.add<ah::DcSource>({}, {"a"}, "d1", 2.0);
+  sys.add<ah::DcSource>({}, {"b"}, "d2", 5.0);
+  sys.add<ah::Adder>({"a", "b"}, {"sum"}, "add",
+                     std::vector<double>{1.0, -1.0});
+  sys.probe("sum");
+  const auto res = sys.run(1e-6, 10e6);
+  EXPECT_DOUBLE_EQ(res.trace("sum").back(), -3.0);
+}
+
+TEST(AhdlSystem, QuadratureOscillatorPhases) {
+  ah::System sys;
+  sys.add<ah::QuadratureOscillator>({}, {"i", "q"}, "lo", 5e6, 1.0);
+  sys.probe("i");
+  sys.probe("q");
+  const double fs = 640e6;
+  const auto res = sys.run(2e-6, fs);
+  // i = cos, q = sin: i leads q by 90 degrees; i^2 + q^2 = 1.
+  const auto& i = res.trace("i");
+  const auto& q = res.trace("q");
+  for (size_t k = 0; k < i.size(); k += 37)
+    EXPECT_NEAR(i[k] * i[k] + q[k] * q[k], 1.0, 1e-9);
+  EXPECT_NEAR(i[0], 1.0, 1e-12);  // cos(0)
+  EXPECT_NEAR(q[0], 0.0, 1e-12);  // sin(0)
+}
+
+TEST(AhdlSystem, QuadratureImpairments) {
+  ah::System sys;
+  sys.add<ah::QuadratureOscillator>({}, {"i", "q"}, "lo", 5e6, 1.0,
+                                    /*phaseErrorDeg=*/0.0,
+                                    /*gainImbalance=*/0.1);
+  sys.probe("q");
+  const double fs = 640e6;
+  const auto res = sys.run(2e-6, fs);
+  EXPECT_NEAR(u::toneAmplitude(res.trace("q"), fs, 5e6), 1.1, 0.01);
+}
+
+TEST(AhdlSystem, PhaseShifter90ShiftsQuarterPeriod) {
+  ah::System sys;
+  const double f0 = 45e6;
+  sys.add<ah::SineSource>({}, {"in"}, "src", f0, 1.0);
+  sys.add<ah::PhaseShifter90>({"in"}, {"out"}, "ps", f0);
+  sys.probe("in");
+  sys.probe("out");
+  const double fs = 7.2e9;  // 160 samples per period
+  const auto res = sys.run(1e-6, fs, 0.2e-6);
+  // out(t) = sin(w(t - T/4)) = -cos(wt): correlate to verify.
+  const auto& in = res.trace("in");
+  const auto& out = res.trace("out");
+  double dot = 0.0, ref = 0.0;
+  for (size_t k = 0; k < in.size(); ++k) {
+    const double t = res.time[k];
+    dot += out[k] * (-std::cos(kTwoPi * f0 * t));
+    ref += std::cos(kTwoPi * f0 * t) * std::cos(kTwoPi * f0 * t);
+  }
+  EXPECT_NEAR(dot / ref, 1.0, 0.01);
+}
+
+TEST(AhdlSystem, PhaseShifterRejectsLowSampleRate) {
+  ah::System sys;
+  sys.add<ah::SineSource>({}, {"in"}, "src", 45e6, 1.0);
+  sys.add<ah::PhaseShifter90>({"in"}, {"out"}, "ps", 45e6);
+  sys.probe("out");
+  EXPECT_THROW(sys.run(1e-6, 100e6), ahfic::Error);
+}
+
+TEST(AhdlSystem, NoiseSourceIsDeterministicPerSeed) {
+  auto runOnce = [] {
+    ah::System sys;
+    sys.add<ah::NoiseSource>({}, {"n"}, "n1", 0.5, 42);
+    sys.probe("n");
+    return sys.run(1e-6, 100e6).trace("n");
+  };
+  const auto a = runOnce();
+  const auto b = runOnce();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+  // Sane statistics.
+  double s2 = 0.0;
+  for (double v : a) s2 += v * v;
+  EXPECT_NEAR(s2 / static_cast<double>(a.size()), 0.25, 0.05);
+}
+
+TEST(AhdlSystem, LimiterClamps) {
+  ah::System sys;
+  sys.add<ah::SineSource>({}, {"in"}, "src", 1e6, 2.0);
+  sys.add<ah::Limiter>({"in"}, {"out"}, "lim", 0.5);
+  sys.probe("out");
+  const auto res = sys.run(4e-6, 64e6);
+  for (double v : res.trace("out")) {
+    EXPECT_LE(v, 0.5);
+    EXPECT_GE(v, -0.5);
+  }
+}
+
+TEST(AhdlSystem, AttenuatorDb) {
+  ah::System sys;
+  sys.add<ah::SineSource>({}, {"in"}, "src", 1e6, 1.0);
+  sys.add<ah::AttenuatorDb>({"in"}, {"out"}, "att", -20.0);
+  sys.probe("out");
+  const double fs = 64e6;
+  const auto res = sys.run(8e-6, fs);
+  EXPECT_NEAR(u::toneAmplitude(res.trace("out"), fs, 1e6), 0.1, 0.005);
+}
+
+TEST(AhdlSystem, ArityMismatchRejected) {
+  ah::System sys;
+  EXPECT_THROW(sys.add<ah::Mixer>({"a"}, {"out"}, "m1", 1.0),
+               ahfic::Error);
+  EXPECT_THROW(sys.add<ah::SineSource>({}, {"o1", "o2"}, "s", 1e6, 1.0),
+               ahfic::Error);
+}
+
+TEST(AhdlSystem, ProbeOfMissingSignalRejected) {
+  ah::System sys;
+  sys.add<ah::DcSource>({}, {"a"}, "d1", 1.0);
+  sys.probe("nonexistent");
+  EXPECT_THROW(sys.run(1e-6, 1e6), ahfic::Error);
+}
+
+TEST(AhdlSystem, UnprobedTraceRejected) {
+  ah::System sys;
+  sys.add<ah::DcSource>({}, {"a"}, "d1", 1.0);
+  sys.probe("a");
+  const auto res = sys.run(1e-6, 1e6);
+  EXPECT_THROW(res.trace("a_typo"), ahfic::Error);
+  EXPECT_NO_THROW(res.trace("a"));
+}
+
+TEST(AhdlSystem, RecordFromDiscardsSettling) {
+  ah::System sys;
+  sys.add<ah::DcSource>({}, {"a"}, "d1", 1.0);
+  sys.probe("a");
+  const auto res = sys.run(1e-6, 100e6, 0.5e-6);
+  EXPECT_GE(res.time.front(), 0.5e-6);
+  EXPECT_NEAR(static_cast<double>(res.time.size()), 50.0, 2.0);
+}
+
+TEST(AhdlFilter, ButterworthLowpassResponse) {
+  const double fs = 1e9;
+  for (int order : {1, 2, 3, 4, 5}) {
+    auto f = ah::butterworthLowpass(order, 50e6, fs);
+    EXPECT_NEAR(f.magnitudeAt(1e6, fs), 1.0, 0.01) << order;
+    EXPECT_NEAR(f.magnitudeAt(50e6, fs), std::sqrt(0.5), 0.02) << order;
+    // One decade above: -20*order dB (bilinear warping helps, so >=).
+    const double db = 20.0 * std::log10(f.magnitudeAt(500e6 * 0.9, fs));
+    EXPECT_LT(db, -18.0 * order) << order;
+  }
+}
+
+TEST(AhdlFilter, ButterworthHighpassResponse) {
+  const double fs = 1e9;
+  auto f = ah::butterworthHighpass(3, 50e6, fs);
+  EXPECT_NEAR(f.magnitudeAt(250e6, fs), 1.0, 0.02);
+  EXPECT_NEAR(f.magnitudeAt(50e6, fs), std::sqrt(0.5), 0.02);
+  EXPECT_LT(f.magnitudeAt(5e6, fs), 0.01);
+}
+
+TEST(AhdlFilter, BandpassPassesBandOnly) {
+  const double fs = 8e9;
+  auto f = ah::butterworthBandpass(3, 1.1e9, 1.5e9, fs);
+  // HP+LP cascade: overlapping skirts cost a couple of dB at mid-band,
+  // which is fine for the tuner's wide IF filter.
+  EXPECT_GT(f.magnitudeAt(1.3e9, fs), 0.7);
+  EXPECT_LE(f.magnitudeAt(1.3e9, fs), 1.0);
+  EXPECT_LT(f.magnitudeAt(45e6, fs), 0.01);
+  EXPECT_LT(f.magnitudeAt(3.5e9, fs), 0.02);
+  // Out-of-band rejection is symmetric-ish: an octave out on either side
+  // is far below mid-band.
+  EXPECT_LT(f.magnitudeAt(0.55e9, fs), 0.12);
+  EXPECT_LT(f.magnitudeAt(3.0e9, fs), 0.12);
+}
+
+TEST(AhdlFilter, DesignRejectsBadArguments) {
+  EXPECT_THROW(ah::butterworthLowpass(0, 1e6, 1e9), ahfic::Error);
+  EXPECT_THROW(ah::butterworthLowpass(3, 6e8, 1e9), ahfic::Error);
+  EXPECT_THROW(ah::butterworthBandpass(3, 5e6, 4e6, 1e9), ahfic::Error);
+}
+
+TEST(AhdlFilter, TimeDomainMatchesMagnitudeResponse) {
+  // Drive the filter block with a tone and compare the measured gain with
+  // magnitudeAt.
+  const double fs = 1e9;
+  const double f0 = 80e6;
+  auto chain = ah::butterworthLowpass(4, 60e6, fs);
+  const double expected = chain.magnitudeAt(f0, fs);
+  ah::System sys;
+  sys.add<ah::SineSource>({}, {"in"}, "src", f0, 1.0);
+  sys.add<ah::FilterBlock>({"in"}, {"out"}, "flt", std::move(chain));
+  sys.probe("out");
+  const auto res = sys.run(2e-6, fs, 0.5e-6);
+  EXPECT_NEAR(u::toneAmplitude(res.trace("out"), fs, f0), expected,
+              expected * 0.03);
+}

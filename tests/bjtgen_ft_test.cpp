@@ -1,0 +1,92 @@
+// fT extraction harness: AC vs analytic agreement and the Fig. 9 physics
+// (peak-fT current tracks emitter area; curves roll off past the knee).
+
+#include <gtest/gtest.h>
+
+#include "bjtgen/ft.h"
+#include "bjtgen/generator.h"
+#include "util/error.h"
+
+namespace bg = ahfic::bjtgen;
+
+namespace {
+const bg::ModelGenerator& gen() {
+  static bg::ModelGenerator g = bg::ModelGenerator::withDefaultTechnology();
+  return g;
+}
+}  // namespace
+
+TEST(FtExtractor, AcAndAnalyticAgree) {
+  bg::FtExtractor fx(gen().generate("N1.2-6D"));
+  for (double ic : {0.2e-3, 0.8e-3, 2.0e-3}) {
+    const auto ac = fx.measureAt(ic);
+    const auto an = fx.measureAnalyticAt(ic);
+    EXPECT_NEAR(ac.ft, an.ft, an.ft * 0.12) << "ic=" << ic;
+    EXPECT_NEAR(ac.vbe, an.vbe, 1e-3);
+  }
+}
+
+TEST(FtExtractor, BiasSolveHitsTargetCurrent) {
+  bg::FtExtractor fx(gen().generate("N1.2-12D"));
+  const auto pt = fx.measureAt(1.0e-3);
+  EXPECT_NEAR(pt.ic, 1.0e-3, 1e-6);
+  EXPECT_GT(pt.vbe, 0.7);
+  EXPECT_LT(pt.vbe, 0.9);
+}
+
+TEST(FtExtractor, CurveRisesThenFalls) {
+  bg::FtExtractor fx(gen().generate("N1.2-6D"));
+  const auto pts = fx.sweep({0.05e-3, 0.5e-3, 5.0e-3});
+  EXPECT_LT(pts[0].ft, pts[1].ft);  // depletion-cap limited at low Ic
+  EXPECT_GT(pts[1].ft, pts[2].ft);  // high-injection droop past the knee
+}
+
+TEST(FtExtractor, PeakInCalibratedBand) {
+  // The synthetic process is calibrated for the reference family to peak
+  // in the upper half of Fig. 9's 5..10 GHz axis.
+  bg::FtExtractor fx(gen().generate("N1.2-6D"));
+  const auto peak = fx.findPeak(0.05e-3, 10e-3, 17);
+  EXPECT_GT(peak.ftPeak, 8.0e9);
+  EXPECT_LT(peak.ftPeak, 12.0e9);
+  EXPECT_GT(peak.icPeak, 0.1e-3);
+  EXPECT_LT(peak.icPeak, 3.0e-3);
+}
+
+TEST(FtExtractor, PeakCurrentScalesWithEmitterLength) {
+  // Fig. 9's headline: "the collector current which gives the peak ft
+  // changes depending on the shapes of the transistors."
+  double prevIc = 0.0;
+  for (const auto& shape : bg::fig9Shapes()) {
+    bg::FtExtractor fx(gen().generate(shape));
+    const auto peak = fx.findPeak(0.05e-3, 40e-3, 17);
+    EXPECT_GT(peak.icPeak, prevIc) << shape.name();
+    prevIc = peak.icPeak;
+  }
+}
+
+TEST(FtExtractor, PeakFtSimilarAcrossFamily) {
+  // Same vertical profile => similar peak fT across the Fig. 9 family.
+  std::vector<double> peaks;
+  for (const auto& shape : bg::fig9Shapes()) {
+    bg::FtExtractor fx(gen().generate(shape));
+    peaks.push_back(fx.findPeak(0.05e-3, 40e-3, 13).ftPeak);
+  }
+  const auto [mn, mx] = std::minmax_element(peaks.begin(), peaks.end());
+  EXPECT_LT(*mx / *mn, 1.4);
+}
+
+TEST(FtExtractor, RejectsBadInputs) {
+  bg::FtExtractor fx(gen().generate("N1.2-6D"));
+  EXPECT_THROW(fx.measureAt(0.0), ahfic::Error);
+  EXPECT_THROW(fx.measureAt(1.0), ahfic::Error);  // 1 A: beyond the cell
+  EXPECT_THROW(fx.findPeak(1e-3, 1e-4), ahfic::Error);
+  EXPECT_THROW(bg::FtExtractor(gen().generate("N1.2-6D"), -1.0),
+               ahfic::Error);
+}
+
+TEST(FtExtractor, MaxBiasCurrentIsFiniteAndScales) {
+  bg::FtExtractor small(gen().generate("N1.2-6D"));
+  bg::FtExtractor large(gen().generate("N1.2-24D"));
+  EXPECT_GT(small.maxBiasCurrent(), 1e-3);
+  EXPECT_GT(large.maxBiasCurrent(), 2.0 * small.maxBiasCurrent());
+}

@@ -1,0 +1,131 @@
+// Model parameter generator: reference-anchored scaling, baseline area
+// factor, and emitted SPICE cards.
+
+#include <gtest/gtest.h>
+
+#include "bjtgen/generator.h"
+#include "spice/analysis.h"
+#include "spice/parser.h"
+#include "util/error.h"
+
+namespace bg = ahfic::bjtgen;
+namespace sp = ahfic::spice;
+
+namespace {
+bg::ModelGenerator gen() { return bg::ModelGenerator::withDefaultTechnology(); }
+}  // namespace
+
+TEST(Generator, ReferenceShapeReproducesReferenceCard) {
+  const auto g = gen();
+  const auto m = g.generate(g.referenceShape());
+  const auto& ref = g.referenceCard();
+  EXPECT_NEAR(m.is, ref.is, ref.is * 1e-12);
+  EXPECT_NEAR(m.rb, ref.rb, ref.rb * 1e-12);
+  EXPECT_NEAR(m.cje, ref.cje, ref.cje * 1e-12);
+  EXPECT_NEAR(m.cjc, ref.cjc, ref.cjc * 1e-12);
+  EXPECT_NEAR(m.re, ref.re, ref.re * 1e-12);
+  EXPECT_NEAR(m.tf, ref.tf, 0.0);
+  EXPECT_NEAR(m.bf, ref.bf, 0.0);
+}
+
+TEST(Generator, AreaFactorIsEmitterAreaRatio) {
+  const auto g = gen();
+  EXPECT_NEAR(g.areaFactor(bg::TransistorShape::fromName("N1.2-12D")), 2.0,
+              1e-12);
+  EXPECT_NEAR(g.areaFactor(bg::TransistorShape::fromName("N1.2x2-6T")), 2.0,
+              1e-12);
+  EXPECT_NEAR(g.areaFactor(bg::TransistorShape::fromName("N2.4-6D")), 2.0,
+              1e-12);
+  EXPECT_NEAR(g.areaFactor(bg::TransistorShape::fromName("N1.2-48D")), 8.0,
+              1e-12);
+}
+
+TEST(Generator, GeneratedDiffersFromAreaFactorBaseline) {
+  // Three shapes with identical area factor 2.0 get three *different*
+  // geometry-aware cards — the point of the paper's Sec. 4.
+  const auto g = gen();
+  const auto m12d = g.generate("N1.2-12D");
+  const auto m24 = g.generate("N2.4-6D");
+  const auto mX2 = g.generate("N1.2x2-6T");
+  EXPECT_NE(m12d.rb, m24.rb);
+  EXPECT_NE(m12d.rb, mX2.rb);
+  EXPECT_NE(m12d.cjc, m24.cjc);
+  // The baseline would predict rb_ref/2 for all three.
+  const double baselineRb = g.referenceCard().rb / 2.0;
+  EXPECT_GT(std::abs(m12d.rb - baselineRb) / baselineRb, 0.3);
+}
+
+TEST(Generator, IsScalesWithAreaPlusPerimeter) {
+  const auto g = gen();
+  const auto m6 = g.generate("N1.2-6D");
+  const auto m12 = g.generate("N1.2-12D");
+  const double ratio = m12.is / m6.is;
+  EXPECT_GT(ratio, 1.8);
+  EXPECT_LT(ratio, 2.1);  // slightly below 2: end perimeter does not double
+}
+
+TEST(Generator, LongerEmitterLowersRbRaisesCjc) {
+  const auto g = gen();
+  const auto m6 = g.generate("N1.2-6D");
+  const auto m48 = g.generate("N1.2-48D");
+  EXPECT_LT(m48.rb, m6.rb / 4.0);
+  EXPECT_GT(m48.cjc, 2.0 * m6.cjc);
+  EXPECT_GT(m48.ikf, 7.0 * m6.ikf);
+}
+
+TEST(Generator, ShapeIndependentParametersUnchanged) {
+  const auto g = gen();
+  for (const auto& shape : bg::fig8Shapes()) {
+    const auto m = g.generate(shape);
+    EXPECT_EQ(m.bf, g.referenceCard().bf) << shape.name();
+    EXPECT_EQ(m.vaf, g.referenceCard().vaf) << shape.name();
+    EXPECT_EQ(m.tf, g.referenceCard().tf) << shape.name();
+    EXPECT_EQ(m.vje, g.referenceCard().vje) << shape.name();
+    EXPECT_EQ(m.mjc, g.referenceCard().mjc) << shape.name();
+  }
+}
+
+TEST(Generator, ModelNamesAreSpiceSafe) {
+  EXPECT_EQ(bg::ModelGenerator::modelName(
+                bg::TransistorShape::fromName("N1.2-6D")),
+            "QN1p2_6D");
+  EXPECT_EQ(bg::ModelGenerator::modelName(
+                bg::TransistorShape::fromName("N1.2x2-6T")),
+            "QN1p2x2_6T");
+}
+
+TEST(Generator, EmittedCardRoundTripsThroughParser) {
+  const auto g = gen();
+  const auto shape = bg::TransistorShape::fromName("N1.2-12D");
+  const auto direct = g.generate(shape);
+  auto deck =
+      sp::parseDeck("round trip\n" + g.generateSpiceLine(shape) + "\n");
+  const auto& parsed = deck.circuit.bjtModel("QN1p2_12D");
+  EXPECT_NEAR(parsed.is, direct.is, direct.is * 1e-4);
+  EXPECT_NEAR(parsed.rb, direct.rb, direct.rb * 1e-4);
+  EXPECT_NEAR(parsed.cjc, direct.cjc, direct.cjc * 1e-4);
+  EXPECT_NEAR(parsed.xcjc, direct.xcjc, 1e-4);
+}
+
+TEST(Generator, EmittedCardRunsEndToEnd) {
+  const auto g = gen();
+  const std::string card =
+      g.generateSpiceLine(bg::TransistorShape::fromName("N1.2-12D"));
+  auto deck = sp::parseDeck("generated card\n" + card +
+                            "\nIB 0 b 30u\nVC c 0 2\nQ1 c b 0 QN1p2_12D\n");
+  sp::Analyzer an(deck.circuit);
+  const auto x = an.op();
+  sp::Solution s(&x);
+  // Forward active: collector node held at 2 V, some mA flowing.
+  EXPECT_GT(-s.at(deck.circuit.findNode("c")), -3.0);
+}
+
+TEST(Generator, ZeroReferenceCardValueScalesToZero) {
+  // A parameter the reference card does not use stays absent in every
+  // generated card (the geometry only provides relative scaling).
+  auto card = bg::referenceModel();
+  card.cjs = 0.0;
+  bg::ModelGenerator g(bg::defaultTechnology(),
+                       bg::TransistorShape::fromName("N1.2-6S"), card);
+  EXPECT_DOUBLE_EQ(g.generate("N1.2-6D").cjs, 0.0);
+}

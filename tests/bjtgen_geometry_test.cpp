@@ -1,0 +1,134 @@
+// Geometry engine: layout physics the single AREA factor cannot capture.
+
+#include <gtest/gtest.h>
+
+#include "bjtgen/geometry.h"
+#include "util/error.h"
+
+namespace bg = ahfic::bjtgen;
+
+namespace {
+bg::GeometrySummary geom(const char* name) {
+  return bg::computeGeometry(bg::TransistorShape::fromName(name),
+                             bg::defaultTechnology());
+}
+bg::ElectricalGeometry elec(const char* name) {
+  return bg::computeElectrical(bg::TransistorShape::fromName(name),
+                               bg::defaultTechnology());
+}
+}  // namespace
+
+TEST(Geometry, DoubleBaseQuartersIntrinsicRb) {
+  // Both-side contact: rho*W/(12L) vs rho*W/(3L) -> factor 4.
+  const auto s = geom("N1.2-6S");
+  const auto d = geom("N1.2-6D");
+  EXPECT_NEAR(s.rbIntrinsic / d.rbIntrinsic, 4.0, 1e-9);
+}
+
+TEST(Geometry, LongerEmitterScalesRbInversely) {
+  const auto a = geom("N1.2-6D");
+  const auto b = geom("N1.2-12D");
+  EXPECT_NEAR(a.rbIntrinsic / b.rbIntrinsic, 2.0, 1e-9);
+}
+
+TEST(Geometry, WiderEmitterRaisesRb) {
+  EXPECT_GT(geom("N2.4-6D").rbIntrinsic, geom("N1.2-6D").rbIntrinsic);
+}
+
+TEST(Geometry, StripesReduceRb) {
+  // Interdigitated 2-stripe device: intrinsic halves vs single stripe.
+  const auto one = geom("N1.2-6D");
+  const auto two = geom("N1.2x2-6T");
+  EXPECT_NEAR(one.rbIntrinsic / two.rbIntrinsic, 2.0, 1e-9);
+}
+
+TEST(Geometry, ContactedSides) {
+  EXPECT_NEAR(geom("N1.2-6S").contactedSidesPerStripe, 1.0, 1e-12);
+  EXPECT_NEAR(geom("N1.2-6D").contactedSidesPerStripe, 2.0, 1e-12);
+  EXPECT_NEAR(geom("N1.2x2-6S").contactedSidesPerStripe, 1.0, 1e-12);
+  EXPECT_NEAR(geom("N1.2x2-6D").contactedSidesPerStripe, 1.5, 1e-12);
+  EXPECT_NEAR(geom("N1.2x2-6T").contactedSidesPerStripe, 2.0, 1e-12);
+}
+
+TEST(Geometry, BaseAreaGrowsWithBaseStripes) {
+  // The paper's interdigitation trade-off: extra base stripes buy RB at
+  // the cost of B-C junction area (CJC).
+  EXPECT_GT(geom("N1.2-6D").baseArea, geom("N1.2-6S").baseArea);
+  EXPECT_GT(geom("N1.2x2-6T").baseArea, geom("N1.2x2-6S").baseArea);
+}
+
+TEST(Geometry, CollectorContainsBase) {
+  for (const char* n : {"N1.2-6S", "N1.2-12D", "N1.2x2-6T"}) {
+    const auto g = geom(n);
+    EXPECT_GT(g.collectorArea, g.baseArea) << n;
+    EXPECT_GT(g.baseArea, g.emitterArea) << n;
+  }
+}
+
+TEST(Geometry, EmitterResistanceInverseInArea) {
+  const auto a = geom("N1.2-6S");
+  const auto b = geom("N1.2-12D");
+  EXPECT_NEAR(a.re / b.re, 2.0, 1e-9);
+}
+
+TEST(Geometry, RbmBelowRb) {
+  for (const char* n : {"N1.2-6S", "N1.2-6D", "N1.2-48D"}) {
+    const auto g = geom(n);
+    EXPECT_LT(g.rbMin(), g.rbTotal()) << n;
+    EXPECT_GT(g.rbMin(), 0.0) << n;
+  }
+}
+
+TEST(Geometry, RejectsImpossibleLayouts) {
+  bg::TransistorShape s = bg::TransistorShape::fromName("N1.2-6S");
+  s.baseStripes = 3;  // one emitter stripe cannot have three base stripes
+  EXPECT_THROW(bg::computeGeometry(s, bg::defaultTechnology()),
+               ahfic::Error);
+  s.baseStripes = 0;
+  EXPECT_THROW(bg::computeGeometry(s, bg::defaultTechnology()),
+               ahfic::Error);
+}
+
+TEST(ElectricalGeometry, IsHasPerimeterComponent) {
+  // A long-thin and a short-fat emitter with equal areas must differ in IS
+  // because of the perimeter term; a pure area factor would equate them.
+  bg::TransistorShape thin;   // 0.6 x 12 um
+  thin.emitterWidth = 0.6e-6;
+  thin.emitterLength = 12e-6;
+  bg::TransistorShape fat;    // 1.2 x 6 um
+  fat.emitterWidth = 1.2e-6;
+  fat.emitterLength = 6e-6;
+  ASSERT_NEAR(thin.emitterArea(), fat.emitterArea(), 1e-18);
+  const auto tech = bg::defaultTechnology();
+  const auto eThin = bg::computeElectrical(thin, tech);
+  const auto eFat = bg::computeElectrical(fat, tech);
+  EXPECT_GT(eThin.is, eFat.is);    // more perimeter injection
+  EXPECT_GT(eThin.cje, eFat.cje);  // more sidewall capacitance
+}
+
+TEST(ElectricalGeometry, XcjcIsAFraction) {
+  for (const char* n : {"N1.2-6S", "N1.2-6D", "N1.2x2-6T", "N1.2-48D"}) {
+    const auto e = elec(n);
+    EXPECT_GT(e.xcjc, 0.0) << n;
+    EXPECT_LE(e.xcjc, 1.0) << n;
+  }
+}
+
+TEST(ElectricalGeometry, KneeTracksEmitterArea) {
+  const auto a = elec("N1.2-6D");
+  const auto b = elec("N1.2-24D");
+  EXPECT_NEAR(b.ikf / a.ikf, 4.0, 1e-9);
+  EXPECT_NEAR(b.itf / a.itf, 4.0, 1e-9);
+  EXPECT_NEAR(b.irb / a.irb, 4.0, 1e-9);
+}
+
+TEST(ElectricalGeometry, CjcGrowsFasterThanAreaFactorPredicts) {
+  // Doubling emitter stripes with interdigitation doubles the area factor,
+  // but CJC grows by more than the emitter-area ratio predicts for the
+  // extra base stripe — the core of the paper's Sec. 4 argument.
+  const auto one = elec("N1.2-6D");
+  const auto two = elec("N1.2x2-6T");
+  EXPECT_GT(two.cjc / one.cjc, 1.0);
+  // And RB does NOT simply halve as the area factor would claim.
+  EXPECT_NE(two.rb, one.rb / 2.0);
+}

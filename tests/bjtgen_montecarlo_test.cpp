@@ -1,0 +1,131 @@
+// Monte-Carlo process variation tests.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bjtgen/ft.h"
+#include "bjtgen/montecarlo.h"
+#include "bjtgen/ringosc.h"
+#include "util/numeric.h"
+
+namespace bg = ahfic::bjtgen;
+namespace u = ahfic::util;
+
+TEST(MonteCarlo, SampledTechnologyPerturbsQuantities) {
+  u::Rng rng(11);
+  const auto nominal = bg::defaultTechnology();
+  const auto die = bg::sampleTechnology(nominal, bg::ProcessVariation{}, rng);
+  EXPECT_NE(die.process.pinchedBaseSheet, nominal.process.pinchedBaseSheet);
+  EXPECT_NE(die.process.cjeArea, nominal.process.cjeArea);
+  EXPECT_NE(die.process.tf0, nominal.process.tf0);
+  // All quantities stay positive (lognormal factors).
+  EXPECT_GT(die.process.pinchedBaseSheet, 0.0);
+  EXPECT_GT(die.process.jsArea, 0.0);
+}
+
+TEST(MonteCarlo, ZeroVariationIsIdentity) {
+  u::Rng rng(11);
+  const auto nominal = bg::defaultTechnology();
+  bg::ProcessVariation none;
+  none.sheetResistance = none.contactRho = none.capDensity =
+      none.currentDensity = none.transitTime = none.localMismatch = 0.0;
+  const auto die = bg::sampleTechnology(nominal, none, rng);
+  EXPECT_DOUBLE_EQ(die.process.pinchedBaseSheet,
+                   nominal.process.pinchedBaseSheet);
+  EXPECT_DOUBLE_EQ(die.process.tf0, nominal.process.tf0);
+}
+
+TEST(MonteCarlo, DieGeneratorsDiffer) {
+  bg::MonteCarloGenerator mc(bg::defaultTechnology(),
+                             bg::ProcessVariation{}, 5);
+  const auto die1 = mc.sampleDie();
+  const auto die2 = mc.sampleDie();
+  const auto card1 = die1.generate("N1.2-12D");
+  const auto card2 = die2.generate("N1.2-12D");
+  EXPECT_NE(card1.rb, card2.rb);
+  EXPECT_NE(card1.is, card2.is);
+}
+
+TEST(MonteCarlo, LocalMismatchPerturbsIsAndBf) {
+  bg::MonteCarloGenerator mc(bg::defaultTechnology(),
+                             bg::ProcessVariation{}, 7);
+  const auto die = mc.sampleDie();
+  const auto nominalCard = die.generate("N1.2-6D");
+  const auto a = mc.withLocalMismatch(nominalCard);
+  const auto b = mc.withLocalMismatch(nominalCard);
+  EXPECT_NE(a.is, b.is);
+  EXPECT_NE(a.bf, b.bf);
+  // Mismatch is small: within a few sigma of 1%.
+  EXPECT_NEAR(a.is / nominalCard.is, 1.0, 0.06);
+}
+
+TEST(MonteCarlo, DeterministicUnderSeed) {
+  bg::MonteCarloGenerator m1(bg::defaultTechnology(),
+                             bg::ProcessVariation{}, 42);
+  bg::MonteCarloGenerator m2(bg::defaultTechnology(),
+                             bg::ProcessVariation{}, 42);
+  EXPECT_DOUBLE_EQ(m1.sampleDie().generate("N1.2-6D").rb,
+                   m2.sampleDie().generate("N1.2-6D").rb);
+}
+
+TEST(Corners, SlowFastBracketTypical) {
+  // Ring-oscillator frequency: fast > typical > slow.
+  auto freqFor = [](bg::Corner c) {
+    const auto gen = bg::cornerGenerator(c);
+    bg::RingOscillatorSpec spec;
+    spec.diffPairModel = gen.generate("N1.2-12D");
+    spec.followerModel = gen.generate("N1.2-6D");
+    const auto m = bg::measureRingFrequency(spec, 10.0, 3.0);
+    EXPECT_TRUE(m.oscillating);
+    return m.frequency;
+  };
+  const double slow = freqFor(bg::Corner::kSlow);
+  const double typ = freqFor(bg::Corner::kTypical);
+  const double fast = freqFor(bg::Corner::kFast);
+  EXPECT_LT(slow, typ);
+  EXPECT_LT(typ, fast);
+  // 3-sigma corners spread meaningfully but not absurdly.
+  EXPECT_GT(fast / slow, 1.2);
+  EXPECT_LT(fast / slow, 4.0);
+}
+
+TEST(Corners, TypicalIsNominal) {
+  const auto typ = bg::cornerTechnology(bg::defaultTechnology(),
+                                        bg::ProcessVariation{},
+                                        bg::Corner::kTypical);
+  EXPECT_DOUBLE_EQ(typ.process.tf0, bg::defaultTechnology().process.tf0);
+}
+
+TEST(Corners, SlowRaisesResistancesAndTf) {
+  const auto nominal = bg::defaultTechnology();
+  const auto slow = bg::cornerTechnology(nominal, bg::ProcessVariation{},
+                                         bg::Corner::kSlow);
+  EXPECT_GT(slow.process.pinchedBaseSheet,
+            nominal.process.pinchedBaseSheet);
+  EXPECT_GT(slow.process.tf0, nominal.process.tf0);
+  EXPECT_LT(slow.process.jKnee, nominal.process.jKnee);
+  const auto fast = bg::cornerTechnology(nominal, bg::ProcessVariation{},
+                                         bg::Corner::kFast);
+  EXPECT_LT(fast.process.tf0, nominal.process.tf0);
+}
+
+TEST(MonteCarlo, FtSpreadIsPlausible) {
+  // Peak fT of the reference family spreads by roughly the tf/cap sigmas;
+  // it must vary but stay within a sane band.
+  bg::MonteCarloGenerator mc(bg::defaultTechnology(),
+                             bg::ProcessVariation{}, 3);
+  std::vector<double> fts;
+  for (int die = 0; die < 8; ++die) {
+    const auto gen = mc.sampleDie();
+    bg::FtExtractor fx(gen.generate("N1.2-6D"));
+    fts.push_back(fx.measureAt(0.5e-3).ft);
+  }
+  const auto [mn, mx] = std::minmax_element(fts.begin(), fts.end());
+  EXPECT_GT(*mx / *mn, 1.02);  // it actually varies
+  EXPECT_LT(*mx / *mn, 1.8);   // but not absurdly
+  for (double f : fts) {
+    EXPECT_GT(f, 5e9);
+    EXPECT_LT(f, 16e9);
+  }
+}

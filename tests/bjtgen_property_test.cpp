@@ -1,0 +1,109 @@
+// Property sweeps over the transistor shape space: relations that must
+// hold for ANY shape, not just the paper's six.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bjtgen/generator.h"
+#include "bjtgen/geometry.h"
+
+namespace bg = ahfic::bjtgen;
+
+namespace {
+bg::TransistorShape shape(double wUm, double lUm, int stripes, int bases) {
+  bg::TransistorShape s;
+  s.emitterWidth = wUm * 1e-6;
+  s.emitterLength = lUm * 1e-6;
+  s.emitterStripes = stripes;
+  s.baseStripes = bases;
+  return s;
+}
+}  // namespace
+
+class ShapeSweepTest
+    : public ::testing::TestWithParam<std::tuple<double, double, int>> {
+ protected:
+  const bg::Technology tech_ = bg::defaultTechnology();
+};
+
+TEST_P(ShapeSweepTest, GeometryInvariants) {
+  const auto [w, l, stripes] = GetParam();
+  for (int bases = 1; bases <= stripes + 1; ++bases) {
+    const auto s = shape(w, l, stripes, bases);
+    const auto g = bg::computeGeometry(s, tech_);
+    // Ordering of footprints.
+    EXPECT_GT(g.collectorArea, g.baseArea) << s.name();
+    EXPECT_GT(g.baseArea, g.emitterArea) << s.name();
+    // All parasitics positive.
+    EXPECT_GT(g.rbIntrinsic, 0.0) << s.name();
+    EXPECT_GT(g.rbExtrinsic, 0.0) << s.name();
+    EXPECT_GT(g.re, 0.0) << s.name();
+    EXPECT_GT(g.rc, 0.0) << s.name();
+    // RBM < RB always.
+    EXPECT_LT(g.rbMin(), g.rbTotal()) << s.name();
+    // Contacted sides within [1, 2].
+    EXPECT_GE(g.contactedSidesPerStripe, 1.0) << s.name();
+    EXPECT_LE(g.contactedSidesPerStripe, 2.0) << s.name();
+  }
+}
+
+TEST_P(ShapeSweepTest, MoreBaseStripesReduceRbRaiseCjc) {
+  const auto [w, l, stripes] = GetParam();
+  double prevRb = 1e300, prevCjc = 0.0;
+  for (int bases = 1; bases <= stripes + 1; ++bases) {
+    const auto e = bg::computeElectrical(shape(w, l, stripes, bases), tech_);
+    EXPECT_LT(e.rb, prevRb) << "bases=" << bases;
+    EXPECT_GT(e.cjc, prevCjc) << "bases=" << bases;
+    prevRb = e.rb;
+    prevCjc = e.cjc;
+  }
+}
+
+TEST_P(ShapeSweepTest, LongerEmitterMonotonicities) {
+  const auto [w, l, stripes] = GetParam();
+  const auto a = bg::computeElectrical(shape(w, l, stripes, stripes + 1),
+                                       tech_);
+  const auto b =
+      bg::computeElectrical(shape(w, 2 * l, stripes, stripes + 1), tech_);
+  EXPECT_LT(b.rb, a.rb);
+  EXPECT_LT(b.re, a.re);
+  EXPECT_GT(b.is, a.is);
+  EXPECT_GT(b.cje, a.cje);
+  EXPECT_GT(b.cjc, a.cjc);
+  EXPECT_GT(b.ikf, a.ikf);
+}
+
+TEST_P(ShapeSweepTest, GeneratedCardIsPhysical) {
+  const auto [w, l, stripes] = GetParam();
+  const auto gen = bg::ModelGenerator::withDefaultTechnology();
+  for (int bases = 1; bases <= stripes + 1; ++bases) {
+    const auto m = gen.generate(shape(w, l, stripes, bases));
+    EXPECT_GT(m.is, 0.0);
+    EXPECT_GT(m.ikf, 0.0);
+    EXPECT_GT(m.rb, m.rbm);
+    EXPECT_GT(m.cje, 0.0);
+    EXPECT_GT(m.cjc, 0.0);
+    EXPECT_GT(m.xcjc, 0.0);
+    EXPECT_LE(m.xcjc, 1.0);
+    EXPECT_GT(m.tf, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ShapeSweepTest,
+    ::testing::Combine(::testing::Values(0.8, 1.2, 2.4),   // width um
+                       ::testing::Values(4.0, 6.0, 24.0),  // length um
+                       ::testing::Values(1, 2, 4)));       // stripes
+
+TEST(ShapeScaling, InterdigitatedStripesApproachPerStripeLimit) {
+  // n fully interdigitated stripes of length L behave like one stripe of
+  // length n*L for RB (both fully double-sided): check within 20%.
+  const auto tech = bg::defaultTechnology();
+  const auto big = bg::computeElectrical(shape(1.2, 24.0, 1, 2), tech);
+  const auto multi = bg::computeElectrical(shape(1.2, 6.0, 4, 5), tech);
+  EXPECT_NEAR(multi.rb / big.rb, 1.0, 0.35);
+  // Same emitter area either way.
+  EXPECT_NEAR(shape(1.2, 24.0, 1, 2).emitterArea(),
+              shape(1.2, 6.0, 4, 5).emitterArea(), 1e-18);
+}

@@ -1,0 +1,65 @@
+// Shape descriptor and name-codec tests.
+
+#include <gtest/gtest.h>
+
+#include "bjtgen/shape.h"
+#include "util/error.h"
+
+namespace bg = ahfic::bjtgen;
+
+TEST(Shape, NameRoundTripCanonical) {
+  for (const char* nm :
+       {"N1.2-6S", "N1.2-6D", "N2.4-6D", "N1.2x2-6S", "N1.2-12D",
+        "N1.2x2-6T", "N1.2-24D", "N1.2-48D", "N0.8x4-10T"}) {
+    const auto s = bg::TransistorShape::fromName(nm);
+    EXPECT_EQ(s.name(), nm);
+  }
+}
+
+TEST(Shape, FromNameFields) {
+  const auto s = bg::TransistorShape::fromName("N1.2x2-6T");
+  EXPECT_DOUBLE_EQ(s.emitterWidth, 1.2e-6);
+  EXPECT_DOUBLE_EQ(s.emitterLength, 6e-6);
+  EXPECT_EQ(s.emitterStripes, 2);
+  EXPECT_EQ(s.baseStripes, 3);
+  EXPECT_TRUE(s.fullyInterdigitated());
+}
+
+TEST(Shape, SingleBaseIsNotInterdigitated) {
+  EXPECT_FALSE(bg::TransistorShape::fromName("N1.2-6S").fullyInterdigitated());
+  EXPECT_TRUE(bg::TransistorShape::fromName("N1.2-6D").fullyInterdigitated());
+}
+
+TEST(Shape, AreaAndPerimeter) {
+  const auto s = bg::TransistorShape::fromName("N1.2-6S");
+  EXPECT_NEAR(s.emitterArea(), 7.2e-12, 1e-18);
+  EXPECT_NEAR(s.emitterPerimeter(), 14.4e-6, 1e-12);
+  const auto d = bg::TransistorShape::fromName("N1.2x2-6S");
+  EXPECT_NEAR(d.emitterArea(), 14.4e-12, 1e-18);
+  EXPECT_NEAR(d.emitterPerimeter(), 28.8e-6, 1e-12);
+}
+
+class BadShapeNameTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BadShapeNameTest, Rejected) {
+  EXPECT_THROW(bg::TransistorShape::fromName(GetParam()),
+               ahfic::ParseError);
+}
+
+INSTANTIATE_TEST_SUITE_P(Garbage, BadShapeNameTest,
+                         ::testing::Values("", "N", "X1.2-6S", "N1.2-6",
+                                           "N1.2-6Q", "N-6S", "N1.2x-6S",
+                                           "N1.26S", "N1.2-6Sx",
+                                           "N1.2x99-6S"));
+
+TEST(Shape, PaperShapeLists) {
+  const auto f8 = bg::fig8Shapes();
+  ASSERT_EQ(f8.size(), 6u);
+  EXPECT_EQ(f8[0].name(), "N1.2-6S");
+  EXPECT_EQ(f8[4].name(), "N1.2-12D");
+  const auto f9 = bg::fig9Shapes();
+  ASSERT_EQ(f9.size(), 4u);
+  // Fig. 9 family: emitter length doubles along the list.
+  for (size_t i = 1; i < f9.size(); ++i)
+    EXPECT_NEAR(f9[i].emitterLength / f9[i - 1].emitterLength, 2.0, 1e-9);
+}

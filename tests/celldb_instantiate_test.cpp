@@ -1,0 +1,115 @@
+// Cell-as-subcircuit integration: checked-out cells splice into host
+// circuits through the .SUBCKT machinery.
+
+#include <gtest/gtest.h>
+
+#include "celldb/database.h"
+#include "celldb/seed.h"
+#include "spice/analysis.h"
+#include "spice/bjt.h"
+#include "spice/parser.h"
+#include "spice/passive.h"
+#include "spice/sources.h"
+#include "util/error.h"
+
+namespace cd = ahfic::celldb;
+namespace sp = ahfic::spice;
+
+TEST(CellInstantiate, EmitterFollowerCellInHostCircuit) {
+  cd::CellDatabase db;
+  cd::seedExampleLibrary(db);
+  const cd::Cell ef = db.checkout("TV", "EF1");
+  ASSERT_EQ(ef.ports.size(), 2u);
+
+  sp::Circuit ckt;
+  ckt.add<sp::VSource>("VDRIVE", ckt.node("sig"), 0, 3.0);
+  cd::instantiateCell(ckt, ef, "Xef", {"sig", "buffered"});
+  sp::Analyzer an(ckt);
+  const auto x = an.op();
+  sp::Solution s(&x);
+  // One Vbe below the 3 V drive.
+  EXPECT_NEAR(s.at(ckt.findNode("buffered")), 3.0 - 0.78, 0.1);
+  // Hierarchical device naming.
+  EXPECT_NE(ckt.findDevice("Xef.Q1"), nullptr);
+}
+
+TEST(CellInstantiate, TwoInstancesCoexist) {
+  cd::CellDatabase db;
+  cd::seedExampleLibrary(db);
+  const cd::Cell ef = db.checkout("TV", "EF1");
+
+  sp::Circuit ckt;
+  ckt.add<sp::VSource>("VDRIVE", ckt.node("sig"), 0, 3.5);
+  cd::instantiateCell(ckt, ef, "Xa", {"sig", "o1"});
+  cd::instantiateCell(ckt, ef, "Xb", {"o1", "o2"});
+  sp::Analyzer an(ckt);
+  const auto x = an.op();
+  sp::Solution s(&x);
+  // Cascaded followers: roughly two Vbe drops.
+  EXPECT_NEAR(s.at(ckt.findNode("o2")), 3.5 - 1.55, 0.2);
+}
+
+TEST(CellInstantiate, DifferentialCellPorts) {
+  cd::CellDatabase db;
+  cd::seedExampleLibrary(db);
+  const cd::Cell acc = db.checkout("TV", "ACC1");
+  ASSERT_EQ(acc.ports.size(), 4u);
+
+  sp::Circuit ckt;
+  ckt.add<sp::VSource>("VB1", ckt.node("p"), 0, 2.0);
+  ckt.add<sp::VSource>("VB2", ckt.node("n"), 0, 2.0);
+  cd::instantiateCell(ckt, acc, "Xacc", {"p", "n", "outp", "outn"});
+  sp::Analyzer an(ckt);
+  const auto x = an.op();
+  sp::Solution s(&x);
+  // Balanced: both collector outputs sit at Vcc - R*I/2 = 8 - 1 = 7 V.
+  EXPECT_NEAR(s.at(ckt.findNode("outp")), 7.0, 0.2);
+  EXPECT_NEAR(s.at(ckt.findNode("outp")), s.at(ckt.findNode("outn")),
+              1e-6);
+}
+
+TEST(CellInstantiate, PortsSurvivepersistence) {
+  cd::CellDatabase db;
+  cd::seedExampleLibrary(db);
+  const auto db2 = cd::CellDatabase::fromText(db.toText());
+  const cd::Cell* ef = db2.find("TV", "EF1");
+  ASSERT_NE(ef, nullptr);
+  ASSERT_EQ(ef->ports.size(), 2u);
+  EXPECT_EQ(ef->ports[0], "in");
+  EXPECT_EQ(ef->ports[1], "out");
+}
+
+TEST(CellInstantiate, OtaCellHasOpenLoopGain) {
+  cd::CellDatabase db;
+  cd::seedExampleLibrary(db);
+  const cd::Cell ota = db.checkout("TVR", "OTA1");
+  ASSERT_EQ(ota.ports.size(), 3u);
+
+  sp::Circuit ckt;
+  ckt.add<sp::VSource>("VINP", ckt.node("p"), 0, 4.0, /*acMag=*/1.0);
+  ckt.add<sp::VSource>("VINN", ckt.node("n"), 0, 4.0);
+  cd::instantiateCell(ckt, ota, "Xota", {"p", "n", "vout"});
+  sp::Analyzer an(ckt);
+  const auto op = an.op();
+  const auto ac = an.ac({10e3}, op);
+  const double gain =
+      std::abs(ac.voltage(0, ckt.findNode("vout")));
+  EXPECT_GT(gain, 100.0);  // > 40 dB open-loop
+}
+
+TEST(CellInstantiate, Validation) {
+  cd::CellDatabase db;
+  cd::seedExampleLibrary(db);
+  sp::Circuit ckt;
+
+  // No ports declared.
+  const cd::Cell noPorts = db.checkout("TV", "ACC2");
+  EXPECT_THROW(cd::instantiateCell(ckt, noPorts, "X1", {"a", "b"}),
+               ahfic::Error);
+  // Arity mismatch.
+  const cd::Cell ef = db.checkout("TV", "EF1");
+  EXPECT_THROW(cd::instantiateCell(ckt, ef, "X2", {"a"}), ahfic::Error);
+  // Instance name must start with X (it becomes a subcircuit call).
+  EXPECT_THROW(cd::instantiateCell(ckt, ef, "bad", {"a", "b"}),
+               ahfic::Error);
+}

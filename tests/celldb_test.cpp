@@ -1,0 +1,270 @@
+// Analog cell database: registration validation, search, checkout,
+// persistence round trip, HTML view, and the re-use study.
+
+#include <gtest/gtest.h>
+
+#include "celldb/database.h"
+#include "celldb/reuse.h"
+#include "celldb/seed.h"
+#include "spice/analysis.h"
+#include "spice/circuit.h"
+#include "spice/parser.h"
+#include "spice/passive.h"
+#include "util/error.h"
+
+namespace cd = ahfic::celldb;
+namespace sp = ahfic::spice;
+
+namespace {
+cd::Cell minimalCell(const char* name = "CELL1") {
+  cd::Cell c;
+  c.name = name;
+  c.library = "TV";
+  c.category1 = "Croma";
+  c.category2 = "ACC";
+  c.document = "A test cell.";
+  c.schematic = "R1 in out 1k\nC1 out 0 1p\n";
+  return c;
+}
+}  // namespace
+
+TEST(CellDb, RegisterAndFind) {
+  cd::CellDatabase db;
+  db.registerCell(minimalCell());
+  ASSERT_NE(db.find("TV", "CELL1"), nullptr);
+  EXPECT_EQ(db.find("TV", "CELL1")->category2, "ACC");
+  EXPECT_EQ(db.find("TV", "NOPE"), nullptr);
+  EXPECT_EQ(db.find("XX", "CELL1"), nullptr);
+  // Lookups are case-insensitive, as designers expect.
+  EXPECT_NE(db.find("tv", "cell1"), nullptr);
+}
+
+TEST(CellDb, RejectsDuplicatesAndJunk) {
+  cd::CellDatabase db;
+  db.registerCell(minimalCell());
+  EXPECT_THROW(db.registerCell(minimalCell()), ahfic::Error);
+
+  cd::Cell noName = minimalCell("X");
+  noName.name.clear();
+  EXPECT_THROW(db.registerCell(noName), ahfic::Error);
+
+  cd::Cell noContent = minimalCell("Y");
+  noContent.schematic.clear();
+  noContent.behavioral.clear();
+  EXPECT_THROW(db.registerCell(noContent), ahfic::Error);
+}
+
+TEST(CellDb, ValidatesSchematicParses) {
+  cd::Cell bad = minimalCell("BAD");
+  bad.schematic = "R1 in out not-a-number\n";
+  cd::CellDatabase db;
+  EXPECT_THROW(db.registerCell(bad), ahfic::Error);
+}
+
+TEST(CellDb, ValidatesBehavioralParses) {
+  cd::Cell bad = minimalCell("BAD");
+  bad.behavioral = "module broken ( { nonsense";
+  cd::CellDatabase db;
+  EXPECT_THROW(db.registerCell(bad), ahfic::Error);
+}
+
+TEST(CellDb, UpdateAndRemove) {
+  cd::CellDatabase db;
+  db.registerCell(minimalCell());
+  cd::Cell v2 = minimalCell();
+  v2.document = "updated";
+  db.updateCell(v2);
+  EXPECT_EQ(db.find("TV", "CELL1")->document, "updated");
+  EXPECT_THROW(db.updateCell(minimalCell("NOPE")), ahfic::Error);
+  EXPECT_TRUE(db.removeCell("TV", "CELL1"));
+  EXPECT_FALSE(db.removeCell("TV", "CELL1"));
+}
+
+TEST(CellDb, CategoryBrowsing) {
+  cd::CellDatabase db;
+  cd::seedExampleLibrary(db);
+  const auto libs = db.libraries();
+  ASSERT_EQ(libs.size(), 2u);  // TV and TVR, as in Fig. 6
+  EXPECT_EQ(libs[0], "TV");
+  EXPECT_EQ(libs[1], "TVR");
+  const auto cats = db.categories("TV");
+  EXPECT_NE(std::find(cats.begin(), cats.end(), "Croma"), cats.end());
+  EXPECT_NE(std::find(cats.begin(), cats.end(), "Video"), cats.end());
+  const auto subs = db.subcategories("TV", "Croma");
+  EXPECT_NE(std::find(subs.begin(), subs.end(), "ACC"), subs.end());
+  // Fig. 6 names both ACC1 and ACC2 under TV/Croma/ACC.
+  EXPECT_EQ(db.byCategory("TV", "Croma", "ACC").size(), 2u);
+}
+
+TEST(CellDb, SearchIsCaseInsensitiveAndBroad) {
+  cd::CellDatabase db;
+  cd::seedExampleLibrary(db);
+  EXPECT_FALSE(db.search("gain controlled").empty());  // document text
+  EXPECT_FALSE(db.search("GILBERT").empty());          // keyword
+  EXPECT_FALSE(db.search("acc").empty());              // name
+  EXPECT_TRUE(db.search("zebra-xylophone").empty());
+}
+
+TEST(CellDb, CheckoutCountsReuse) {
+  cd::CellDatabase db;
+  db.registerCell(minimalCell());
+  EXPECT_EQ(db.find("TV", "CELL1")->reuseCount, 0);
+  const cd::Cell copy = db.checkout("TV", "CELL1");
+  EXPECT_EQ(copy.name, "CELL1");
+  EXPECT_EQ(db.find("TV", "CELL1")->reuseCount, 1);
+  db.checkout("TV", "CELL1");
+  EXPECT_EQ(db.find("TV", "CELL1")->reuseCount, 2);
+  EXPECT_THROW(db.checkout("TV", "NOPE"), ahfic::Error);
+}
+
+TEST(CellDb, TextRoundTripPreservesEverything) {
+  cd::CellDatabase db;
+  cd::Cell c = minimalCell();
+  c.keywords = {"agc", "gain control"};
+  c.author = "tanaka";
+  c.registeredOn = "1995-06-01";
+  c.reuseCount = 7;
+  c.behavioral =
+      "module m (in, out) { analog { V(out) <- 2 * V(in); } }\n";
+  c.simulationData["sweep"] = "x,y\n1,2\n3,4\n";
+  db.registerCell(c);
+
+  const auto db2 = cd::CellDatabase::fromText(db.toText());
+  ASSERT_EQ(db2.size(), 1u);
+  const cd::Cell* r = db2.find("TV", "CELL1");
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->document, c.document + "\n");  // heredoc adds final newline
+  EXPECT_EQ(r->schematic, c.schematic);
+  EXPECT_EQ(r->behavioral, c.behavioral);
+  EXPECT_EQ(r->author, "tanaka");
+  EXPECT_EQ(r->registeredOn, "1995-06-01");
+  EXPECT_EQ(r->reuseCount, 7);
+  ASSERT_EQ(r->keywords.size(), 2u);
+  EXPECT_EQ(r->keywords[1], "gain control");
+  EXPECT_EQ(r->simulationData.at("sweep"), "x,y\n1,2\n3,4\n");
+}
+
+TEST(CellDb, SeededLibraryRoundTrips) {
+  cd::CellDatabase db;
+  const size_t n = cd::seedExampleLibrary(db);
+  EXPECT_GE(n, 8u);
+  const auto db2 = cd::CellDatabase::fromText(db.toText());
+  EXPECT_EQ(db2.size(), db.size());
+  EXPECT_EQ(db2.toText(), db.toText());  // stable serialisation
+}
+
+TEST(CellDb, FromTextDiagnostics) {
+  EXPECT_THROW(cd::CellDatabase::fromText("library TV\n"),
+               ahfic::ParseError);
+  EXPECT_THROW(cd::CellDatabase::fromText("cell A\ncell B\n"),
+               ahfic::ParseError);
+  EXPECT_THROW(cd::CellDatabase::fromText(
+                   "cell A\nlibrary L\ncategory1 C\nschematic <<END\nR1 a "
+                   "0 1k\n"),
+               ahfic::ParseError);  // unterminated heredoc
+  EXPECT_THROW(cd::CellDatabase::fromText("cell A\nbogusfield x\nend\n"),
+               ahfic::ParseError);
+}
+
+TEST(CellDb, SaveAndLoadFile) {
+  cd::CellDatabase db;
+  cd::seedExampleLibrary(db);
+  const std::string path = "/tmp/ahfic_celldb_test.txt";
+  db.save(path);
+  const auto db2 = cd::CellDatabase::load(path);
+  EXPECT_EQ(db2.size(), db.size());
+  EXPECT_THROW(cd::CellDatabase::load("/nonexistent/dir/db.txt"),
+               ahfic::Error);
+}
+
+TEST(CellDb, EverySeededSchematicSimulates) {
+  // Stronger than parse-validation: each seeded schematic must reach a DC
+  // operating point when spliced into a scratch circuit.
+  cd::CellDatabase db;
+  cd::seedExampleLibrary(db);
+  for (const auto& cell : db.cells()) {
+    if (cell.schematic.empty()) continue;
+    sp::Circuit ckt;
+    sp::parseInto(ckt, cell.schematic);
+    // Ground any floating input-ish nodes through large resistors so the
+    // OP is well-posed.
+    for (const char* n : {"in", "in1", "in2", "rfP", "rfN", "loP", "loN",
+                          "ctl", "x"}) {
+      const int id = ckt.findNode(n);
+      if (id > 0)
+        ckt.add<sp::Resistor>(std::string("Rtest_") + n, id, 0, 1e5);
+    }
+    sp::Analyzer an(ckt);
+    EXPECT_NO_THROW(an.op()) << cell.key();
+  }
+}
+
+TEST(CellDb, HtmlViewContainsTaxonomyAndContent) {
+  cd::CellDatabase db;
+  cd::seedExampleLibrary(db);
+  const std::string html = db.toHtml();
+  EXPECT_NE(html.find("<h2>Library TV</h2>"), std::string::npos);
+  EXPECT_NE(html.find("<h2>Library TVR</h2>"), std::string::npos);
+  EXPECT_NE(html.find("Croma"), std::string::npos);
+  EXPECT_NE(html.find("ACC1"), std::string::npos);
+  EXPECT_NE(html.find("gain controlled amp"), std::string::npos);
+  // Schematics are escaped, not raw.
+  EXPECT_EQ(html.find("<Q1"), std::string::npos);
+}
+
+TEST(CellDb, StatsAggregation) {
+  cd::CellDatabase db;
+  cd::seedExampleLibrary(db);
+  db.checkout("TV", "ACC1");
+  db.checkout("TV", "ACC1");
+  const auto st = db.stats();
+  EXPECT_EQ(st.cellCount, db.size());
+  EXPECT_EQ(st.libraryCount, 2u);
+  EXPECT_EQ(st.totalCheckouts, 2);
+  EXPECT_GE(st.cellsWithBehavioralView, 5u);
+}
+
+TEST(ReuseStudy, SteadyStateAboveSeventyPercent) {
+  // The paper's Sec. 3 claim: "above 70% of the circuits can be re-used".
+  cd::CellDatabase db;
+  cd::ReuseSimConfig cfg;
+  const auto res = cd::runReuseStudy(db, cfg);
+  EXPECT_EQ(static_cast<int>(res.projects.size()), cfg.projects);
+  EXPECT_GT(res.steadyStateReuseRatio(), 0.70);
+  // The library has grown but stays bounded by the taxonomy size.
+  EXPECT_LE(static_cast<int>(db.size()), cfg.distinctBlockKinds);
+  // First project necessarily designs everything from scratch.
+  EXPECT_EQ(res.projects.front().blocksReused, 0);
+}
+
+TEST(ReuseStudy, ReuseRatioImprovesOverTime) {
+  cd::CellDatabase db;
+  cd::ReuseSimConfig cfg;
+  const auto res = cd::runReuseStudy(db, cfg);
+  double early = 0.0, late = 0.0;
+  const size_t third = res.projects.size() / 3;
+  for (size_t i = 0; i < third; ++i)
+    early += res.projects[i].reuseRatio();
+  for (size_t i = res.projects.size() - third; i < res.projects.size(); ++i)
+    late += res.projects[i].reuseRatio();
+  EXPECT_GT(late, early);
+}
+
+TEST(ReuseStudy, DeterministicUnderSeed) {
+  cd::CellDatabase a, b;
+  cd::ReuseSimConfig cfg;
+  const auto ra = cd::runReuseStudy(a, cfg);
+  const auto rb = cd::runReuseStudy(b, cfg);
+  EXPECT_EQ(ra.totalNeeded, rb.totalNeeded);
+  EXPECT_EQ(ra.totalReused, rb.totalReused);
+}
+
+TEST(ReuseStudy, RejectsBadConfig) {
+  cd::CellDatabase db;
+  cd::ReuseSimConfig cfg;
+  cfg.projects = 0;
+  EXPECT_THROW(cd::runReuseStudy(db, cfg), ahfic::Error);
+  cfg = {};
+  cfg.blocksPerProjectMax = 1;  // below min
+  EXPECT_THROW(cd::runReuseStudy(db, cfg), ahfic::Error);
+}

@@ -1,0 +1,217 @@
+// Top-down methodology layer: spec sheets, characterisation, view
+// swapping.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ahdl/blocks.h"
+#include "core/design.h"
+#include "util/error.h"
+#include "util/fft.h"
+
+namespace co = ahfic::core;
+namespace ah = ahfic::ahdl;
+namespace u = ahfic::util;
+
+namespace {
+
+// A resistor-loaded common-emitter stage with emitter degeneration:
+// gain ~ -RC/RE = -5, well-defined swing, GHz-range bandwidth.
+const char* kCeStage =
+    ".MODEL nref NPN(IS=1e-16 BF=110 VAF=45 RB=200 RE=4 RC=30 CJE=12f "
+    "CJC=15f TF=12p)\n"
+    "VCC vcc 0 8\n"
+    "VIN in 0 DC 1.8\n"
+    "RC vcc out 1k\n"
+    "Q1 out in e nref\n"
+    "RED e 0 200\n";
+
+co::CharacterizationSetup ceSetup() {
+  co::CharacterizationSetup s;
+  s.netlist = kCeStage;
+  s.inputSource = "VIN";
+  s.outputNode = "out";
+  s.f0 = 10e6;
+  s.dcSweepSpan = 2.0;
+  return s;
+}
+
+}  // namespace
+
+TEST(SpecSheet, BoundsChecking) {
+  co::SpecSheet specs;
+  specs.addMax("shifter", "phase error", "deg", 3.0);
+  specs.addMin("system", "image rejection", "dB", 30.0);
+  specs.addRange("amp", "gain", "dB", 18.0, 22.0);
+
+  EXPECT_TRUE(specs.check("shifter", "phase error", 2.0));
+  EXPECT_FALSE(specs.check("shifter", "phase error", 4.0));
+  EXPECT_TRUE(specs.check("system", "image rejection", 35.0));
+  EXPECT_FALSE(specs.check("system", "image rejection", 25.0));
+  EXPECT_TRUE(specs.check("amp", "gain", 20.0));
+  EXPECT_FALSE(specs.check("amp", "gain", 25.0));
+  EXPECT_THROW(specs.check("nope", "gain", 1.0), ahfic::Error);
+}
+
+TEST(SpecSheet, Validation) {
+  co::SpecSheet specs;
+  EXPECT_THROW(specs.add(co::SpecItem{"", "x", "", 0.0, 1.0}),
+               ahfic::Error);
+  EXPECT_THROW(specs.addRange("b", "n", "", 5.0, 1.0), ahfic::Error);
+}
+
+TEST(SpecSheet, ToStringListsEverything) {
+  co::SpecSheet specs;
+  specs.addMax("shifter", "phase error", "deg", 3.0);
+  specs.addMin("system", "IRR", "dB", 30.0);
+  const std::string s = specs.toString();
+  EXPECT_NE(s.find("phase error"), std::string::npos);
+  EXPECT_NE(s.find("<= 3"), std::string::npos);
+  EXPECT_NE(s.find(">= 30"), std::string::npos);
+}
+
+TEST(SpecSheet, ComplianceReport) {
+  co::SpecSheet specs;
+  specs.addMax("shifter", "phase error", "deg", 3.0);
+  specs.addMin("system", "IRR", "dB", 30.0);
+  specs.addMax("paths", "gain balance", "%", 1.0);
+  const std::string report = specs.complianceReport({
+      {"shifter", "phase error", 2.1},
+      {"system", "IRR", 28.0},
+      {"other", "thing", 5.0},
+  });
+  EXPECT_NE(report.find("shifter / phase error : 2.1"), std::string::npos);
+  EXPECT_NE(report.find("PASS"), std::string::npos);
+  EXPECT_NE(report.find("FAIL"), std::string::npos);
+  EXPECT_NE(report.find("(no spec)"), std::string::npos);
+  EXPECT_NE(report.find("gain balance : (not measured)"),
+            std::string::npos);
+}
+
+TEST(Characterize, CommonEmitterStage) {
+  const auto model = co::characterizeAmplifier(ceSetup());
+  // Gain ~ RC / (RE_deg + re') ~ 1000 / ~225 = ~4.4, inverting.
+  EXPECT_GT(model.gainAtF0, 3.0);
+  EXPECT_LT(model.gainAtF0, 6.0);
+  EXPECT_GT(std::fabs(model.phaseDegAtF0), 150.0);  // inverting
+  EXPECT_GT(model.bandwidth3Db, 50e6);              // fast stage
+  EXPECT_GT(model.outputSwing, 1.0);                // healthy swing
+  EXPECT_GT(model.outputBias, 2.0);
+  EXPECT_LT(model.outputBias, 8.0);
+}
+
+TEST(Characterize, SetupErrors) {
+  auto s = ceSetup();
+  s.inputSource = "NOPE";
+  EXPECT_THROW(co::characterizeAmplifier(s), ahfic::Error);
+  s = ceSetup();
+  s.outputNode = "nope";
+  EXPECT_THROW(co::characterizeAmplifier(s), ahfic::Error);
+  s = ceSetup();
+  s.f0 = 0.0;
+  EXPECT_THROW(co::characterizeAmplifier(s), ahfic::Error);
+}
+
+TEST(Characterize, ExtractedModelMatchesCircuitInBehavioralSim) {
+  // The heart of Fig. 1's loop: the extracted behavioural model must
+  // reproduce the transistor-level small-signal gain.
+  const auto model = co::characterizeAmplifier(ceSetup());
+
+  ah::System sys;
+  sys.add<ah::SineSource>({}, {"in"}, "src", 1e6, 0.01);  // small signal
+  co::addExtractedAmplifier(sys, "ce", "in", "out", model);
+  sys.probe("out");
+  const double fs = 64e6;
+  const auto res = sys.run(8e-6, fs, 1e-6);
+  const double amp = u::toneAmplitude(res.trace("out"), fs, 1e6);
+  EXPECT_NEAR(amp, 0.01 * model.gainAtF0, 0.01 * model.gainAtF0 * 0.1);
+}
+
+TEST(Characterize, SwingLimitsLargeSignals) {
+  const auto model = co::characterizeAmplifier(ceSetup());
+  ah::System sys;
+  sys.add<ah::SineSource>({}, {"in"}, "src", 1e6, 10.0);  // huge input
+  co::addExtractedAmplifier(sys, "ce", "in", "out", model);
+  sys.probe("out");
+  const auto res = sys.run(4e-6, 64e6);
+  // 5% headroom: the bilinear-transformed pole near Nyquist rings a
+  // little on the saturated (square-ish) waveform.
+  for (double v : res.trace("out"))
+    EXPECT_LE(std::fabs(v), model.outputSwing * 1.05);
+}
+
+TEST(DesignChain, BuildBehavioralChain) {
+  co::DesignChain chain("rx");
+  chain.addBlock("lna", [](ah::System& sys, const std::string& in,
+                           const std::string& out) {
+    sys.add<ah::Amplifier>({in}, {out}, "lna", 4.0);
+  });
+  chain.addBlock("vga", [](ah::System& sys, const std::string& in,
+                           const std::string& out) {
+    sys.add<ah::Amplifier>({in}, {out}, "vga", 2.5);
+  });
+
+  ah::System sys;
+  sys.add<ah::DcSource>({}, {"x"}, "src", 1.0);
+  chain.build(sys, "x", "y");
+  sys.probe("y");
+  const auto res = sys.run(1e-6, 1e6);
+  EXPECT_DOUBLE_EQ(res.trace("y").back(), 10.0);
+}
+
+TEST(DesignChain, SwapInTransistorView) {
+  co::DesignChain chain("rx");
+  // Behavioural guess: gain of -5.
+  chain.addBlock("stage", [](ah::System& sys, const std::string& in,
+                             const std::string& out) {
+    sys.add<ah::Amplifier>({in}, {out}, "stage", -5.0);
+  });
+  chain.setTransistorView("stage", ceSetup());
+  EXPECT_TRUE(chain.hasTransistorView("stage"));
+
+  auto gainOf = [&](const std::set<std::string>& views) {
+    ah::System sys;
+    sys.add<ah::SineSource>({}, {"x"}, "src", 1e6, 0.01);
+    chain.build(sys, "x", "y", views);
+    sys.probe("y");
+    const double fs = 64e6;
+    const auto res = sys.run(8e-6, fs, 1e-6);
+    return u::toneAmplitude(res.trace("y"), fs, 1e6) / 0.01;
+  };
+
+  const double behavioral = gainOf({});
+  const double transistor = gainOf({"stage"});
+  EXPECT_NEAR(behavioral, 5.0, 0.1);
+  // Real circuit differs from the idealised guess — that is the insight
+  // the swap delivers.
+  EXPECT_GT(std::fabs(transistor - behavioral), 0.2);
+  EXPECT_NEAR(transistor, chain.characterized("stage").gainAtF0, 0.5);
+}
+
+TEST(DesignChain, Validation) {
+  co::DesignChain chain("rx");
+  EXPECT_THROW(chain.addBlock("", nullptr), ahfic::Error);
+  chain.addBlock("a", [](ah::System& sys, const std::string& in,
+                         const std::string& out) {
+    sys.add<ah::Amplifier>({in}, {out}, "a", 1.0);
+  });
+  EXPECT_THROW(chain.addBlock("a", [](ah::System&, const std::string&,
+                                      const std::string&) {}),
+               ahfic::Error);
+  EXPECT_THROW(chain.setTransistorView("nope", ceSetup()), ahfic::Error);
+  EXPECT_THROW(chain.characterized("a"), ahfic::Error);
+
+  ah::System sys;
+  sys.add<ah::DcSource>({}, {"x"}, "src", 1.0);
+  EXPECT_THROW(chain.build(sys, "x", "y", {"a"}), ahfic::Error);
+  EXPECT_THROW(chain.build(sys, "x", "y", {"ghost"}), ahfic::Error);
+}
+
+TEST(DesignChain, SpecsTravelWithTheChain) {
+  co::DesignChain chain("tuner");
+  chain.specs().addMax("shifter", "phase error", "deg", 3.0);
+  chain.specs().addMax("paths", "gain balance", "%", 1.0);
+  EXPECT_EQ(chain.specs().size(), 2u);
+  EXPECT_TRUE(chain.specs().check("shifter", "phase error", 2.5));
+}

@@ -1,0 +1,111 @@
+// Circuit container semantics: node registry, device registry, model
+// registries, removal.
+
+#include <gtest/gtest.h>
+
+#include "spice/circuit.h"
+#include "spice/passive.h"
+#include "util/error.h"
+
+namespace sp = ahfic::spice;
+
+TEST(Circuit, GroundAliases) {
+  sp::Circuit ckt;
+  EXPECT_EQ(ckt.node("0"), 0);
+  EXPECT_EQ(ckt.node("gnd"), 0);
+  EXPECT_EQ(ckt.node("GND"), 0);
+  EXPECT_EQ(ckt.nodeCount(), 1);
+}
+
+TEST(Circuit, NodeNamesAreCaseInsensitive) {
+  sp::Circuit ckt;
+  const int a = ckt.node("OutNode");
+  EXPECT_EQ(ckt.node("outnode"), a);
+  EXPECT_EQ(ckt.node("OUTNODE"), a);
+  EXPECT_EQ(ckt.nodeCount(), 2);
+  // The first-seen spelling is preserved for display.
+  EXPECT_EQ(ckt.nodeName(a), "OutNode");
+}
+
+TEST(Circuit, FindNodeIsConst) {
+  sp::Circuit ckt;
+  ckt.node("a");
+  const sp::Circuit& cref = ckt;
+  EXPECT_GT(cref.findNode("a"), 0);
+  EXPECT_EQ(cref.findNode("missing"), -1);
+  EXPECT_EQ(ckt.nodeCount(), 2);  // findNode did not create anything
+}
+
+TEST(Circuit, NodeNameBoundsChecked) {
+  sp::Circuit ckt;
+  EXPECT_THROW(ckt.nodeName(-1), ahfic::Error);
+  EXPECT_THROW(ckt.nodeName(99), ahfic::Error);
+}
+
+TEST(Circuit, InternalNodesAreUnique) {
+  sp::Circuit ckt;
+  const int a = ckt.internalNode("q1");
+  const int b = ckt.internalNode("q1");
+  EXPECT_NE(a, b);
+  EXPECT_NE(ckt.nodeName(a), ckt.nodeName(b));
+  EXPECT_NE(ckt.nodeName(a).find('#'), std::string::npos);
+}
+
+TEST(Circuit, DeviceRegistry) {
+  sp::Circuit ckt;
+  const int a = ckt.node("a");
+  ckt.add<sp::Resistor>("R1", a, 0, 1e3);
+  ckt.add<sp::Resistor>("R2", a, 0, 2e3);
+  EXPECT_NE(ckt.findDevice("r1"), nullptr);  // case-insensitive
+  EXPECT_EQ(ckt.findDevice("r3"), nullptr);
+  EXPECT_THROW(ckt.add<sp::Resistor>("r1", a, 0, 5e3), ahfic::Error);
+}
+
+TEST(Circuit, RemoveDeviceFixesIndex) {
+  sp::Circuit ckt;
+  const int a = ckt.node("a");
+  ckt.add<sp::Resistor>("R1", a, 0, 1e3);
+  ckt.add<sp::Resistor>("R2", a, 0, 2e3);
+  ckt.add<sp::Resistor>("R3", a, 0, 3e3);
+  EXPECT_TRUE(ckt.removeDevice("R2"));
+  EXPECT_FALSE(ckt.removeDevice("R2"));
+  EXPECT_EQ(ckt.devices().size(), 2u);
+  // R3 is still reachable after the index shift.
+  auto* r3 = dynamic_cast<sp::Resistor*>(ckt.findDevice("R3"));
+  ASSERT_NE(r3, nullptr);
+  EXPECT_DOUBLE_EQ(r3->resistance(), 3e3);
+  auto* r1 = dynamic_cast<sp::Resistor*>(ckt.findDevice("R1"));
+  ASSERT_NE(r1, nullptr);
+  EXPECT_DOUBLE_EQ(r1->resistance(), 1e3);
+}
+
+TEST(Circuit, ModelRegistries) {
+  sp::Circuit ckt;
+  sp::BjtModel q;
+  q.bf = 77.0;
+  ckt.addBjtModel("MyNpn", q);
+  EXPECT_TRUE(ckt.hasBjtModel("mynpn"));
+  EXPECT_FALSE(ckt.hasBjtModel("other"));
+  EXPECT_DOUBLE_EQ(ckt.bjtModel("MYNPN").bf, 77.0);
+  EXPECT_THROW(ckt.bjtModel("other"), ahfic::Error);
+
+  sp::DiodeModel d;
+  d.is = 3e-15;
+  ckt.addDiodeModel("dd", d);
+  EXPECT_DOUBLE_EQ(ckt.diodeModel("DD").is, 3e-15);
+  EXPECT_THROW(ckt.diodeModel("nope"), ahfic::Error);
+}
+
+TEST(Circuit, ResistorSetterValidates) {
+  sp::Circuit ckt;
+  auto& r = ckt.add<sp::Resistor>("R1", ckt.node("a"), 0, 1e3);
+  r.setResistance(2e3);
+  EXPECT_DOUBLE_EQ(r.resistance(), 2e3);
+  EXPECT_THROW(r.setResistance(0.0), ahfic::Error);
+  EXPECT_THROW(ckt.add<sp::Resistor>("R2", ckt.node("a"), 0, -5.0),
+               ahfic::Error);
+  EXPECT_THROW(ckt.add<sp::Capacitor>("C1", ckt.node("a"), 0, -1e-12),
+               ahfic::Error);
+  EXPECT_THROW(ckt.add<sp::Inductor>("L1", ckt.node("a"), 0, 0.0),
+               ahfic::Error);
+}

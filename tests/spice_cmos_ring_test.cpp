@@ -1,0 +1,101 @@
+// CMOS integration: inverter transfer curve and a 5-stage inverter ring
+// oscillator — exercising the MOSFET model in a switching circuit.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "spice/analysis.h"
+#include "spice/circuit.h"
+#include "spice/mosfet.h"
+#include "spice/passive.h"
+#include "spice/sources.h"
+#include "util/numeric.h"
+
+namespace sp = ahfic::spice;
+namespace u = ahfic::util;
+
+namespace {
+
+sp::MosModel nmos() {
+  sp::MosModel m;
+  m.vto = 0.8;
+  m.kp = 60e-6;
+  m.lambda = 0.05;
+  m.cgso = 0.25e-9;
+  m.cgdo = 0.25e-9;
+  m.cox = 2.5e-3;
+  return m;
+}
+
+sp::MosModel pmos() {
+  sp::MosModel m = nmos();
+  m.pmos = true;
+  m.kp = 25e-6;
+  return m;
+}
+
+/// Adds one inverter between `in` and `out`.
+void addInverter(sp::Circuit& ckt, int vdd, int in, int out,
+                 const std::string& id) {
+  ckt.add<sp::Mosfet>("MP" + id, ckt, out, in, vdd, vdd, pmos(), 24e-6,
+                      1e-6);
+  ckt.add<sp::Mosfet>("MN" + id, ckt, out, in, 0, 0, nmos(), 10e-6, 1e-6);
+}
+
+}  // namespace
+
+TEST(CmosInverter, TransferCurveSwitches) {
+  sp::Circuit ckt;
+  const int vdd = ckt.node("vdd"), in = ckt.node("in"),
+            out = ckt.node("out");
+  ckt.add<sp::VSource>("VDD", vdd, 0, 5.0);
+  ckt.add<sp::VSource>("VIN", in, 0, 0.0);
+  addInverter(ckt, vdd, in, out, "1");
+  sp::Analyzer an(ckt);
+  const auto sw = an.dcSweep("VIN", 0.0, 5.0, 0.1);
+  // Rails at the ends.
+  EXPECT_NEAR(sw.voltage(0, out), 5.0, 0.05);
+  EXPECT_NEAR(sw.voltage(sw.sweep.size() - 1, out), 0.0, 0.05);
+  // Output is monotonically non-increasing in Vin.
+  for (size_t k = 1; k < sw.sweep.size(); ++k)
+    EXPECT_LE(sw.voltage(k, out), sw.voltage(k - 1, out) + 1e-6) << k;
+  // The switching threshold sits mid-supply-ish.
+  double vm = 0.0;
+  for (size_t k = 0; k < sw.sweep.size(); ++k) {
+    if (sw.voltage(k, out) < sw.sweep[k]) {
+      vm = sw.sweep[k];
+      break;
+    }
+  }
+  EXPECT_GT(vm, 1.5);
+  EXPECT_LT(vm, 3.5);
+}
+
+TEST(CmosRing, FiveStageRingOscillates) {
+  sp::Circuit ckt;
+  const int vdd = ckt.node("vdd");
+  ckt.add<sp::VSource>("VDD", vdd, 0, 5.0);
+  const int stages = 5;
+  for (int s = 0; s < stages; ++s) {
+    const int in = ckt.node("n" + std::to_string(s));
+    const int out = ckt.node("n" + std::to_string((s + 1) % stages));
+    addInverter(ckt, vdd, in, out, std::to_string(s));
+    // Load capacitance per stage sets the frequency scale.
+    ckt.add<sp::Capacitor>("CL" + std::to_string(s), out, 0, 30e-15);
+  }
+  // Start-up kick.
+  ckt.add<sp::ISource>(
+      "Ik", ckt.node("n0"), 0,
+      std::make_unique<sp::PulseWaveform>(0.0, 0.5e-3, 0.0, 0.05e-9,
+                                          0.05e-9, 0.5e-9, 1.0));
+  sp::Analyzer an(ckt);
+  const auto tr = an.transient(80e-9, 0.05e-9, 20e-9);
+  const auto v = tr.voltage(ckt.findNode("n0"));
+  const auto f = u::oscillationFrequency(tr.time, v, 0.2);
+  ASSERT_TRUE(f.has_value());
+  // Rail-to-rail-ish swing at a plausible frequency for these devices.
+  EXPECT_GT(u::steadyStatePeakToPeak(tr.time, v, 0.2), 3.0);
+  EXPECT_GT(*f, 50e6);
+  EXPECT_LT(*f, 5e9);
+}

@@ -1,0 +1,376 @@
+// Physics checks of the diode and Gummel-Poon BJT models.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spice/analysis.h"
+#include "spice/bjt.h"
+#include "spice/circuit.h"
+#include "spice/diode.h"
+#include "spice/passive.h"
+#include "spice/sources.h"
+#include "util/numeric.h"
+#include "util/units.h"
+
+namespace sp = ahfic::spice;
+namespace u = ahfic::util;
+
+namespace {
+
+const double kVt = u::constants::thermalVoltage(27.0);
+
+sp::BjtModel simpleNpn() {
+  sp::BjtModel m;
+  m.is = 1e-16;
+  m.bf = 100.0;
+  m.br = 2.0;
+  m.vaf = 50.0;
+  return m;
+}
+
+}  // namespace
+
+TEST(DiodeDc, ForwardDropNearIdeal) {
+  // 1 mA through IS=1e-14 diode: V = Vt * ln(I/IS) ~ 0.655 V.
+  sp::Circuit ckt;
+  const int a = ckt.node("a");
+  sp::DiodeModel dm;
+  dm.is = 1e-14;
+  ckt.add<sp::ISource>("I1", 0, a, 1e-3);
+  ckt.add<sp::Diode>("D1", ckt, a, 0, dm);
+  sp::Analyzer an(ckt);
+  const auto x = an.op();
+  sp::Solution s(&x);
+  const double expected = kVt * std::log(1e-3 / 1e-14);
+  EXPECT_NEAR(s.at(a), expected, 1e-3);
+}
+
+TEST(DiodeDc, SeriesResistanceAddsDrop) {
+  sp::Circuit ckt;
+  const int a = ckt.node("a");
+  sp::DiodeModel dm;
+  dm.is = 1e-14;
+  dm.rs = 10.0;
+  ckt.add<sp::ISource>("I1", 0, a, 10e-3);
+  ckt.add<sp::Diode>("D1", ckt, a, 0, dm);
+  sp::Analyzer an(ckt);
+  const auto x = an.op();
+  sp::Solution s(&x);
+  const double junction = kVt * std::log(10e-3 / 1e-14);
+  EXPECT_NEAR(s.at(a), junction + 10e-3 * 10.0, 2e-3);
+}
+
+TEST(DiodeDc, ReverseLeakageIsMinusIs) {
+  sp::Circuit ckt;
+  const int a = ckt.node("a"), b = ckt.node("b");
+  sp::DiodeModel dm;
+  dm.is = 1e-12;
+  ckt.add<sp::VSource>("V1", a, 0, -5.0);
+  auto& d = ckt.add<sp::Diode>("D1", ckt, a, b, dm);
+  ckt.add<sp::Resistor>("R1", b, 0, 1.0);
+  sp::Analyzer an(ckt);
+  const auto x = an.op();
+  sp::Solution s(&x);
+  EXPECT_NEAR(d.current(s), -1e-12, 1e-13);
+}
+
+TEST(DiodeDc, AreaScalesCurrent) {
+  // Same drive current, x10 area -> Vt*ln(10) lower drop.
+  auto solveFor = [](double area) {
+    sp::Circuit ckt;
+    const int a = ckt.node("a");
+    sp::DiodeModel dm;
+    dm.is = 1e-14;
+    ckt.add<sp::ISource>("I1", 0, a, 1e-3);
+    ckt.add<sp::Diode>("D1", ckt, a, 0, dm, area);
+    sp::Analyzer an(ckt);
+    const auto x = an.op();
+    sp::Solution s(&x);
+    return s.at(a);
+  };
+  EXPECT_NEAR(solveFor(1.0) - solveFor(10.0), kVt * std::log(10.0), 1e-3);
+}
+
+TEST(DiodeTran, HalfWaveRectifier) {
+  sp::Circuit ckt;
+  const int in = ckt.node("in"), out = ckt.node("out");
+  sp::DiodeModel dm;
+  dm.is = 1e-14;
+  ckt.add<sp::VSource>("V1", in, 0,
+                       std::make_unique<sp::SinWaveform>(0.0, 5.0, 1e6));
+  ckt.add<sp::Diode>("D1", ckt, in, out, dm);
+  ckt.add<sp::Resistor>("RL", out, 0, 1e3);
+  sp::Analyzer an(ckt);
+  const auto tr = an.transient(2e-6, 2e-9);
+  const auto v = tr.voltage(out);
+  double vmin = 1e9, vmax = -1e9;
+  for (double vv : v) {
+    vmin = std::min(vmin, vv);
+    vmax = std::max(vmax, vv);
+  }
+  EXPECT_GT(vmax, 4.0);    // passes positive peaks minus a diode drop
+  EXPECT_GT(vmin, -0.1);   // blocks negative half-cycles
+}
+
+TEST(BjtDc, ForwardActiveBetaRelation) {
+  sp::Circuit ckt;
+  const int c = ckt.node("c"), b = ckt.node("b");
+  ckt.add<sp::ISource>("IB", 0, b, 10e-6);
+  ckt.add<sp::VSource>("VC", c, 0, 3.0);
+  auto& q = ckt.add<sp::Bjt>("Q1", ckt, c, b, 0, simpleNpn());
+  sp::Analyzer an(ckt);
+  const auto x = an.op();
+  sp::Solution s(&x);
+  const auto info = q.opInfo(s);
+  EXPECT_NEAR(info.ib, 10e-6, 1e-8);
+  // With VAF=50 and Vce=3: beta_eff ~ BF * (1 + Vce/VAF).
+  EXPECT_NEAR(info.ic / info.ib, 100.0 * (1.0 + 3.0 / 50.0), 2.0);
+}
+
+TEST(BjtDc, GummelSlope60mVPerDecade) {
+  // Ic(vbe) follows exp(vbe/Vt) over the ideal region.
+  auto icAt = [](double vbe) {
+    sp::Circuit ckt;
+    const int c = ckt.node("c"), b = ckt.node("b");
+    ckt.add<sp::VSource>("VB", b, 0, vbe);
+    auto& vc = ckt.add<sp::VSource>("VC", c, 0, 2.0);
+    ckt.add<sp::Bjt>("Q1", ckt, c, b, 0, simpleNpn());
+    sp::Analyzer an(ckt);
+    const auto x = an.op();
+    sp::Solution s(&x);
+    return -s.at(vc.branchId());  // current into the collector node
+  };
+  const double i1 = icAt(0.55);
+  const double i2 = icAt(0.55 + kVt * std::log(10.0));
+  EXPECT_NEAR(i2 / i1, 10.0, 0.15);
+}
+
+TEST(BjtDc, EarlyEffectSlope) {
+  // dIc/dVce ~ Ic/VAF in forward active.
+  auto icAt = [](double vce) {
+    sp::Circuit ckt;
+    const int c = ckt.node("c"), b = ckt.node("b");
+    ckt.add<sp::ISource>("IB", 0, b, 20e-6);
+    auto& vc = ckt.add<sp::VSource>("VC", c, 0, vce);
+    ckt.add<sp::Bjt>("Q1", ckt, c, b, 0, simpleNpn());
+    sp::Analyzer an(ckt);
+    const auto x = an.op();
+    sp::Solution s(&x);
+    return -s.at(vc.branchId());
+  };
+  const double ic2 = icAt(2.0), ic4 = icAt(4.0);
+  const double slope = (ic4 - ic2) / 2.0;
+  const double expected = ic2 / (50.0 + 2.0);
+  EXPECT_NEAR(slope, expected, expected * 0.1);
+}
+
+TEST(BjtDc, HighInjectionBetaDroop) {
+  // With IKF set, beta at Ic >> IKF falls well below BF.
+  sp::BjtModel m = simpleNpn();
+  m.ikf = 1e-3;
+  sp::Circuit ckt;
+  const int c = ckt.node("c"), b = ckt.node("b");
+  ckt.add<sp::VSource>("VB", b, 0, 0.85);  // hard drive
+  ckt.add<sp::VSource>("VC", c, 0, 2.0);
+  auto& q = ckt.add<sp::Bjt>("Q1", ckt, c, b, 0, m);
+  sp::Analyzer an(ckt);
+  const auto x = an.op();
+  sp::Solution s(&x);
+  const auto info = q.opInfo(s);
+  EXPECT_GT(info.ic, 1e-3);          // beyond the knee
+  EXPECT_LT(info.ic / info.ib, 60);  // substantially degraded beta
+  EXPECT_GT(info.qb, 2.0);           // base charge clearly modulated
+}
+
+TEST(BjtDc, LeakageDegradesLowCurrentBeta) {
+  sp::BjtModel m = simpleNpn();
+  m.ise = 1e-13;
+  m.ne = 2.0;
+  sp::Circuit ckt;
+  const int c = ckt.node("c"), b = ckt.node("b");
+  ckt.add<sp::VSource>("VB", b, 0, 0.45);  // weak drive
+  ckt.add<sp::VSource>("VC", c, 0, 2.0);
+  auto& q = ckt.add<sp::Bjt>("Q1", ckt, c, b, 0, m);
+  sp::Analyzer an(ckt);
+  const auto x = an.op();
+  sp::Solution s(&x);
+  const auto info = q.opInfo(s);
+  EXPECT_LT(info.ic / info.ib, 50.0);  // leakage dominates base current
+}
+
+TEST(BjtDc, SaturationPullsVceLow) {
+  // Heavy base drive with a large collector resistor: Vce < 0.3 V.
+  sp::Circuit ckt;
+  const int vcc = ckt.node("vcc"), c = ckt.node("c"), b = ckt.node("b");
+  ckt.add<sp::VSource>("VCC", vcc, 0, 5.0);
+  ckt.add<sp::Resistor>("RC", vcc, c, 10e3);
+  ckt.add<sp::ISource>("IB", 0, b, 1e-3);
+  ckt.add<sp::Bjt>("Q1", ckt, c, b, 0, simpleNpn());
+  sp::Analyzer an(ckt);
+  const auto x = an.op();
+  sp::Solution s(&x);
+  EXPECT_LT(s.at(c), 0.3);
+  EXPECT_GT(s.at(c), 0.0);
+}
+
+TEST(BjtDc, PnpMirrorsNpn) {
+  sp::BjtModel m = simpleNpn();
+  m.pnp = true;
+  sp::Circuit ckt;
+  const int c = ckt.node("c"), b = ckt.node("b"), e = ckt.node("e");
+  ckt.add<sp::VSource>("VE", e, 0, 5.0);
+  ckt.add<sp::ISource>("IB", b, 0, 10e-6);  // pull current out of base
+  ckt.add<sp::VSource>("VC", c, 0, 2.0);
+  auto& q = ckt.add<sp::Bjt>("Q1", ckt, c, b, e, m);
+  sp::Analyzer an(ckt);
+  const auto x = an.op();
+  sp::Solution s(&x);
+  const auto info = q.opInfo(s);
+  EXPECT_GT(info.ic, 0.5e-3);  // model-polarity collector current
+  // Junction drop consistent with the exponential law.
+  EXPECT_NEAR(info.vbe, kVt * std::log(info.ic / 1e-16), 0.02);
+}
+
+TEST(BjtDc, ParasiticResistancesDropVoltage) {
+  sp::BjtModel m = simpleNpn();
+  m.re = 10.0;
+  m.rc = 50.0;
+  m.rb = 200.0;
+  sp::Circuit ckt;
+  const int c = ckt.node("c"), b = ckt.node("b");
+  ckt.add<sp::ISource>("IB", 0, b, 50e-6);
+  ckt.add<sp::VSource>("VC", c, 0, 3.0);
+  auto& q = ckt.add<sp::Bjt>("Q1", ckt, c, b, 0, m);
+  sp::Analyzer an(ckt);
+  const auto x = an.op();
+  sp::Solution s(&x);
+  const auto info = q.opInfo(s);
+  // External base voltage exceeds the junction vbe by rb*ib + re*ie.
+  const double vbExt = s.at(b);
+  EXPECT_GT(vbExt, info.vbe + 0.005);
+}
+
+TEST(BjtOp, GmMatchesIcOverVt) {
+  sp::Circuit ckt;
+  const int c = ckt.node("c"), b = ckt.node("b");
+  ckt.add<sp::ISource>("IB", 0, b, 10e-6);
+  ckt.add<sp::VSource>("VC", c, 0, 3.0);
+  auto& q = ckt.add<sp::Bjt>("Q1", ckt, c, b, 0, simpleNpn());
+  sp::Analyzer an(ckt);
+  const auto x = an.op();
+  sp::Solution s(&x);
+  const auto info = q.opInfo(s);
+  EXPECT_NEAR(info.gm, info.ic / kVt, info.gm * 0.1);
+  EXPECT_NEAR(info.gpi, info.gm / 100.0, info.gpi * 0.15);
+}
+
+namespace {
+
+/// h21 test bench: base driven by 1 A AC current source, collector held by
+/// a DC voltage source (AC short). Returns |ic/ib| at each frequency.
+std::vector<double> h21Magnitudes(sp::Circuit& ckt, const sp::BjtModel& m,
+                                  double ibBias,
+                                  const std::vector<double>& freqs,
+                                  sp::Bjt** qOut = nullptr,
+                                  std::vector<double>* opOut = nullptr) {
+  const int c = ckt.node("c"), b = ckt.node("b");
+  ckt.add<sp::ISource>("IB", 0, b, ibBias, /*acMag=*/1.0);
+  auto& vc = ckt.add<sp::VSource>("VC", c, 0, 2.0);
+  auto& q = ckt.add<sp::Bjt>("Q1", ckt, c, b, 0, m);
+  sp::Analyzer an(ckt);
+  const auto op = an.op();
+  const auto ac = an.ac(freqs, op);
+  std::vector<double> h;
+  for (size_t k = 0; k < freqs.size(); ++k)
+    h.push_back(std::abs(ac.unknown(k, vc.branchId())));
+  if (qOut != nullptr) *qOut = &q;
+  if (opOut != nullptr) *opOut = op;
+  return h;
+}
+
+}  // namespace
+
+TEST(BjtAc, H21LowFrequencyEqualsBeta) {
+  sp::BjtModel m = simpleNpn();
+  m.tf = 20e-12;
+  m.cje = 50e-15;
+  m.cjc = 30e-15;
+  sp::Circuit ckt;
+  const auto h = h21Magnitudes(ckt, m, 10e-6, {1e3});
+  EXPECT_NEAR(h[0], 106.0, 8.0);  // BF * Early boost at Vce = 2
+}
+
+TEST(BjtAc, H21RollsOff20DbPerDecade) {
+  sp::BjtModel m = simpleNpn();
+  m.tf = 20e-12;
+  m.cje = 50e-15;
+  m.cjc = 30e-15;
+  sp::Circuit ckt;
+  const auto h = h21Magnitudes(ckt, m, 100e-6, {1e9, 2e9});
+  // Well above the beta corner: |h21| halves per octave.
+  EXPECT_NEAR(h[0] / h[1], 2.0, 0.1);
+}
+
+TEST(BjtAc, FtFromAcMatchesAnalytic) {
+  sp::BjtModel m = simpleNpn();
+  m.tf = 20e-12;
+  m.cje = 50e-15;
+  m.cjc = 30e-15;
+  sp::Circuit ckt;
+  sp::Bjt* q = nullptr;
+  std::vector<double> op;
+  const double fProbe = 1e9;
+  const auto h = h21Magnitudes(ckt, m, 100e-6, {fProbe}, &q, &op);
+  ASSERT_NE(q, nullptr);
+  // Single-pole extrapolation: fT = f * |h21(f)| in the -20 dB/dec region.
+  const double ftExtrapolated = fProbe * h[0];
+  sp::Solution s(&op);
+  const double ftAnalytic = q->opInfo(s).ft();
+  EXPECT_NEAR(ftExtrapolated, ftAnalytic, ftAnalytic * 0.1);
+  EXPECT_GT(ftAnalytic, 1e9);
+}
+
+TEST(BjtTran, EmitterFollowerTracksInput) {
+  sp::BjtModel m = simpleNpn();
+  m.tf = 20e-12;
+  m.cje = 50e-15;
+  m.cjc = 30e-15;
+  sp::Circuit ckt;
+  const int vcc = ckt.node("vcc"), in = ckt.node("in"), out = ckt.node("out");
+  ckt.add<sp::VSource>("VCC", vcc, 0, 5.0);
+  ckt.add<sp::VSource>("VIN", in, 0,
+                       std::make_unique<sp::SinWaveform>(2.5, 0.5, 50e6));
+  ckt.add<sp::Bjt>("Q1", ckt, vcc, in, out, m);
+  ckt.add<sp::Resistor>("RE", out, 0, 1e3);
+  sp::Analyzer an(ckt);
+  const auto tr = an.transient(60e-9, 0.1e-9);
+  const auto vin = tr.voltage(in);
+  const auto vout = tr.voltage(out);
+  // Output follows input shifted down one Vbe.
+  for (size_t k = tr.time.size() / 2; k < tr.time.size(); ++k) {
+    EXPECT_NEAR(vin[k] - vout[k], 0.72, 0.1) << "t=" << tr.time[k];
+  }
+}
+
+TEST(BjtModelCard, AreaFactorScalesResistances) {
+  sp::BjtModel m = simpleNpn();
+  m.rb = 100.0;
+  m.re = 4.0;
+  m.rc = 40.0;
+  m.cje = 10e-15;
+  sp::Circuit ckt;
+  auto& q = ckt.add<sp::Bjt>("Q1", ckt, ckt.node("c"), ckt.node("b"), 0, m,
+                             /*area=*/2.0);
+  EXPECT_DOUBLE_EQ(q.scaledModel().rb, 50.0);
+  EXPECT_DOUBLE_EQ(q.scaledModel().re, 2.0);
+  EXPECT_DOUBLE_EQ(q.scaledModel().cje, 20e-15);
+  EXPECT_DOUBLE_EQ(q.scaledModel().is, 2e-16);
+}
+
+TEST(BjtModelCard, RejectsBadArea) {
+  sp::Circuit ckt;
+  EXPECT_THROW(ckt.add<sp::Bjt>("Q1", ckt, ckt.node("c"), ckt.node("b"), 0,
+                                simpleNpn(), 0.0),
+               ahfic::Error);
+}

@@ -1,0 +1,82 @@
+// Fourier / THD analysis tests.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spice/analysis.h"
+#include "spice/circuit.h"
+#include "spice/diode.h"
+#include "spice/fourier.h"
+#include "spice/passive.h"
+#include "spice/sources.h"
+#include "util/error.h"
+
+namespace sp = ahfic::spice;
+
+TEST(Fourier, PureSineHasNoDistortion) {
+  sp::Circuit ckt;
+  const int in = ckt.node("in");
+  ckt.add<sp::VSource>("V1", in, 0,
+                       std::make_unique<sp::SinWaveform>(0.5, 2.0, 1e6));
+  ckt.add<sp::Resistor>("R1", in, 0, 1e3);
+  sp::Analyzer an(ckt);
+  const auto tr = an.transient(8e-6, 2e-9);
+  const auto f = sp::fourierAnalysis(tr, in, 1e6, 5);
+  EXPECT_NEAR(f.amplitudes[0], 2.0, 0.01);
+  EXPECT_NEAR(f.dcComponent, 0.5, 0.01);
+  EXPECT_LT(f.thdPercent(), 0.5);
+}
+
+TEST(Fourier, DiodeClipperIsRichInHarmonics) {
+  sp::Circuit ckt;
+  const int in = ckt.node("in"), out = ckt.node("out");
+  sp::DiodeModel dm;
+  dm.is = 1e-14;
+  ckt.add<sp::VSource>("V1", in, 0,
+                       std::make_unique<sp::SinWaveform>(0.0, 3.0, 1e6));
+  ckt.add<sp::Resistor>("R1", in, out, 1e3);
+  ckt.add<sp::Diode>("D1", ckt, out, 0, dm);
+  ckt.add<sp::Diode>("D2", ckt, 0, out, dm);  // back-to-back clamp
+  sp::Analyzer an(ckt);
+  const auto tr = an.transient(8e-6, 2e-9);
+  const auto f = sp::fourierAnalysis(tr, out, 1e6, 9);
+  // Symmetric clipping: strong odd harmonics, weak even ones.
+  EXPECT_GT(f.thdPercent(), 10.0);
+  EXPECT_GT(f.amplitudes[2], 5.0 * f.amplitudes[1]);  // H3 >> H2
+  EXPECT_GT(f.amplitudes[4], 5.0 * f.amplitudes[3]);  // H5 >> H4
+}
+
+TEST(Fourier, HalfWaveRectifierHasEvenHarmonicsAndDc) {
+  sp::Circuit ckt;
+  const int in = ckt.node("in"), out = ckt.node("out");
+  sp::DiodeModel dm;
+  dm.is = 1e-14;
+  ckt.add<sp::VSource>("V1", in, 0,
+                       std::make_unique<sp::SinWaveform>(0.0, 5.0, 1e6));
+  ckt.add<sp::Diode>("D1", ckt, in, out, dm);
+  ckt.add<sp::Resistor>("RL", out, 0, 1e3);
+  sp::Analyzer an(ckt);
+  const auto tr = an.transient(8e-6, 2e-9);
+  const auto f = sp::fourierAnalysis(tr, out, 1e6, 6);
+  EXPECT_GT(f.dcComponent, 0.8);                      // rectified mean
+  EXPECT_GT(f.amplitudes[1], 0.3 * f.amplitudes[0]);  // strong H2
+}
+
+TEST(Fourier, Validation) {
+  sp::TranResult tiny;
+  tiny.time = {0.0, 1e-9};
+  tiny.values = {{0.0}, {0.0}};
+  EXPECT_THROW(sp::fourierAnalysis(tiny, 1, 1e6), ahfic::Error);
+
+  sp::Circuit ckt;
+  const int in = ckt.node("in");
+  ckt.add<sp::VSource>("V1", in, 0,
+                       std::make_unique<sp::SinWaveform>(0.0, 1.0, 1e6));
+  ckt.add<sp::Resistor>("R1", in, 0, 1e3);
+  sp::Analyzer an(ckt);
+  const auto tr = an.transient(2e-6, 5e-9);
+  EXPECT_THROW(sp::fourierAnalysis(tr, in, 1e6, 5, /*periods=*/10),
+               ahfic::Error);  // record shorter than 10 periods
+  EXPECT_THROW(sp::fourierAnalysis(tr, in, 0.0), ahfic::Error);
+}

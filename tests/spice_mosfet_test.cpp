@@ -1,0 +1,187 @@
+// Level-1 MOSFET physics checks.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spice/analysis.h"
+#include "spice/circuit.h"
+#include "spice/mosfet.h"
+#include "spice/passive.h"
+#include "spice/sources.h"
+#include "util/error.h"
+
+namespace sp = ahfic::spice;
+
+namespace {
+
+sp::MosModel simpleNmos() {
+  sp::MosModel m;
+  m.vto = 0.8;
+  m.kp = 50e-6;
+  m.lambda = 0.02;
+  return m;
+}
+
+/// Drain current of a W/L = 10 device at the given bias.
+double idAt(const sp::MosModel& m, double vgs, double vds, double vbs = 0.0,
+            double w = 10e-6, double l = 1e-6) {
+  sp::Circuit ckt;
+  const int d = ckt.node("d"), g = ckt.node("g"), s = ckt.node("s"),
+            b = ckt.node("b");
+  ckt.add<sp::VSource>("VG", g, 0, vgs);
+  auto& vd = ckt.add<sp::VSource>("VD", d, 0, vds);
+  ckt.add<sp::VSource>("VS", s, 0, 0.0);
+  ckt.add<sp::VSource>("VB", b, 0, vbs);
+  ckt.add<sp::Mosfet>("M1", ckt, d, g, s, b, m, w, l);
+  sp::Analyzer an(ckt);
+  const auto x = an.op();
+  sp::Solution sol(&x);
+  return -sol.at(vd.branchId());
+}
+
+}  // namespace
+
+TEST(MosfetDc, CutoffBelowThreshold) {
+  const double id = idAt(simpleNmos(), 0.5, 3.0);
+  EXPECT_LT(std::fabs(id), 1e-8);  // only gmin leakage
+}
+
+TEST(MosfetDc, SaturationSquareLaw) {
+  // Id = 0.5 * KP * W/L * (Vgs - Vt)^2 * (1 + lambda*Vds).
+  const auto m = simpleNmos();
+  const double vgs = 1.8, vds = 3.0;
+  const double expected = 0.5 * m.kp * 10.0 * std::pow(vgs - m.vto, 2) *
+                          (1.0 + m.lambda * vds);
+  EXPECT_NEAR(idAt(m, vgs, vds), expected, expected * 1e-6);
+}
+
+TEST(MosfetDc, QuadraticInOverdrive) {
+  const auto m = simpleNmos();
+  const double i1 = idAt(m, m.vto + 0.5, 3.0);
+  const double i2 = idAt(m, m.vto + 1.0, 3.0);
+  EXPECT_NEAR(i2 / i1, 4.0, 0.01);
+}
+
+TEST(MosfetDc, TriodeRegion) {
+  const auto m = simpleNmos();
+  const double vgs = 2.8, vds = 0.1;  // deep triode
+  const double expected =
+      m.kp * 10.0 * (1.0 + m.lambda * vds) * (vgs - m.vto - vds / 2) * vds;
+  EXPECT_NEAR(idAt(m, vgs, vds), expected, expected * 1e-6);
+}
+
+TEST(MosfetDc, ChannelLengthModulationSlope) {
+  const auto m = simpleNmos();
+  const double i3 = idAt(m, 1.8, 3.0);
+  const double i5 = idAt(m, 1.8, 5.0);
+  const double slope = (i5 - i3) / 2.0;
+  const double gdsExpected = i3 / (1.0 / m.lambda + 3.0);
+  EXPECT_NEAR(slope, gdsExpected, gdsExpected * 0.05);
+}
+
+TEST(MosfetDc, BodyEffectRaisesThreshold) {
+  auto m = simpleNmos();
+  m.gamma = 0.4;
+  const double i0 = idAt(m, 1.8, 3.0, 0.0);
+  const double iRev = idAt(m, 1.8, 3.0, -2.0);  // reverse body bias
+  EXPECT_LT(iRev, i0 * 0.95);
+}
+
+TEST(MosfetDc, WOverLScaling) {
+  const auto m = simpleNmos();
+  const double i1 = idAt(m, 1.8, 3.0, 0.0, 10e-6, 1e-6);
+  const double i2 = idAt(m, 1.8, 3.0, 0.0, 20e-6, 1e-6);
+  const double i3 = idAt(m, 1.8, 3.0, 0.0, 10e-6, 2e-6);
+  // gmin leakage adds ~1e-8 relative.
+  EXPECT_NEAR(i2 / i1, 2.0, 1e-6);
+  EXPECT_NEAR(i3 / i1, 0.5, 1e-6);
+}
+
+TEST(MosfetDc, ReverseVdsBySymmetry) {
+  // Swapping drain and source voltages negates the current.
+  const auto m = simpleNmos();
+  sp::Circuit ckt;
+  const int d = ckt.node("d"), g = ckt.node("g"), s = ckt.node("s");
+  ckt.add<sp::VSource>("VG", g, 0, 2.5);
+  auto& vd = ckt.add<sp::VSource>("VD", d, 0, -1.0);  // drain BELOW source
+  ckt.add<sp::VSource>("VS", s, 0, 0.0);
+  ckt.add<sp::Mosfet>("M1", ckt, d, g, s, 0, m);
+  sp::Analyzer an(ckt);
+  const auto x = an.op();
+  sp::Solution sol(&x);
+  const double id = -sol.at(vd.branchId());
+  EXPECT_LT(id, -1e-6);  // current flows out of the 'drain' terminal
+}
+
+TEST(MosfetDc, PmosMirrorsNmos) {
+  sp::MosModel m = simpleNmos();
+  m.pmos = true;
+  sp::Circuit ckt;
+  const int d = ckt.node("d"), g = ckt.node("g"), s = ckt.node("s");
+  ckt.add<sp::VSource>("VS", s, 0, 5.0);
+  ckt.add<sp::VSource>("VG", g, 0, 3.0);   // vgs = -2 V
+  ckt.add<sp::VSource>("VD", d, 0, 1.0);   // vds = -4 V
+  auto& mq = ckt.add<sp::Mosfet>("M1", ckt, d, g, s, s, m);
+  sp::Analyzer an(ckt);
+  const auto x = an.op();
+  sp::Solution sol(&x);
+  const auto info = mq.opInfo(sol);
+  EXPECT_TRUE(info.saturated);
+  EXPECT_NEAR(info.vgs, 2.0, 1e-9);  // model polarity
+  EXPECT_GT(info.id, 1e-5);
+}
+
+TEST(MosfetDc, CommonSourceAmplifierGain) {
+  // Resistor-loaded common-source stage: |Av| = gm * (RD || ro).
+  const auto m = simpleNmos();
+  sp::Circuit ckt;
+  const int vdd = ckt.node("vdd"), d = ckt.node("d"), g = ckt.node("g");
+  ckt.add<sp::VSource>("VDD", vdd, 0, 5.0);
+  ckt.add<sp::VSource>("VG", g, 0, 1.5, /*acMag=*/1.0);
+  ckt.add<sp::Resistor>("RD", vdd, d, 10e3);
+  auto& mq = ckt.add<sp::Mosfet>("M1", ckt, d, g, 0, 0, m);
+  sp::Analyzer an(ckt);
+  const auto op = an.op();
+  sp::Solution sol(&op);
+  const auto info = mq.opInfo(sol);
+  const auto ac = an.ac({1e3}, op);
+  const double av = std::abs(ac.voltage(0, d));
+  const double expected = info.gm / (1.0 / 10e3 + info.gds);
+  EXPECT_NEAR(av, expected, expected * 0.01);
+}
+
+TEST(MosfetTran, SourceFollowerTracks) {
+  sp::MosModel m = simpleNmos();
+  m.cgso = 0.3e-9;
+  m.cgdo = 0.3e-9;
+  m.cox = 3e-3;
+  sp::Circuit ckt;
+  const int vdd = ckt.node("vdd"), in = ckt.node("in"), out = ckt.node("out");
+  ckt.add<sp::VSource>("VDD", vdd, 0, 5.0);
+  ckt.add<sp::VSource>("VIN", in, 0,
+                       std::make_unique<sp::SinWaveform>(3.0, 0.5, 10e6));
+  ckt.add<sp::Mosfet>("M1", ckt, vdd, in, out, 0, m, 50e-6, 1e-6);
+  ckt.add<sp::Resistor>("RS", out, 0, 2e3);
+  sp::Analyzer an(ckt);
+  const auto tr = an.transient(300e-9, 0.5e-9);
+  const auto vin = tr.voltage(in);
+  const auto vout = tr.voltage(out);
+  // Follows with a Vgs-sized drop; the drop breathes with bias current
+  // (sub-unity follower gain), so allow a band rather than a constant.
+  for (size_t k = tr.time.size() / 2; k < tr.time.size(); ++k) {
+    const double drop = vin[k] - vout[k];
+    EXPECT_GT(drop, 1.0) << tr.time[k];
+    EXPECT_LT(drop, 1.7) << tr.time[k];
+  }
+}
+
+TEST(MosfetValidation, RejectsBadGeometry) {
+  sp::Circuit ckt;
+  EXPECT_THROW(ckt.add<sp::Mosfet>("M1", ckt, 1, 2, 3, 0, simpleNmos(),
+                                   0.0, 1e-6),
+               ahfic::Error);
+  sp::MosModel m = simpleNmos();
+  m.kp = 0.0;
+  EXPECT_THROW(ckt.add<sp::Mosfet>("M2", ckt, 1, 2, 3, 0, m), ahfic::Error);
+}

@@ -1,0 +1,132 @@
+// Noise analysis tests against closed-form results.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spice/analysis.h"
+#include "spice/bjt.h"
+#include "spice/circuit.h"
+#include "spice/passive.h"
+#include "spice/sources.h"
+#include "util/error.h"
+
+namespace sp = ahfic::spice;
+
+namespace {
+constexpr double kBoltzmann = 1.380649e-23;
+constexpr double kQ = 1.602176634e-19;
+constexpr double kT300 = kBoltzmann * 300.15;  // 27 C
+}  // namespace
+
+TEST(Noise, SingleResistorGives4kTR) {
+  // A resistor to ground: output voltage PSD = 4kTR, flat.
+  sp::Circuit ckt;
+  const int a = ckt.node("a");
+  ckt.add<sp::Resistor>("R1", a, 0, 10e3);
+  sp::Analyzer an(ckt);
+  const auto op = an.op();
+  const auto res = an.noise({1e3, 1e6, 1e9}, "a", op);
+  const double expected = 4.0 * kT300 * 10e3;
+  for (double psd : res.outputPsd)
+    EXPECT_NEAR(psd, expected, expected * 1e-6);
+}
+
+TEST(Noise, ParallelResistorsCombine) {
+  // Two resistors in parallel: 4kT * (R1 || R2).
+  sp::Circuit ckt;
+  const int a = ckt.node("a");
+  ckt.add<sp::Resistor>("R1", a, 0, 3e3);
+  ckt.add<sp::Resistor>("R2", a, 0, 6e3);
+  sp::Analyzer an(ckt);
+  const auto op = an.op();
+  const auto res = an.noise({1e6}, "a", op);
+  EXPECT_NEAR(res.outputPsd[0], 4.0 * kT300 * 2e3, 4.0 * kT300 * 2e3 * 1e-6);
+}
+
+TEST(Noise, RcIntegratedNoiseIsKTOverC) {
+  // The classic: total noise of an RC filter = kT/C, independent of R.
+  for (double r : {1e3, 100e3}) {
+    sp::Circuit ckt;
+    const int in = ckt.node("in"), out = ckt.node("out");
+    ckt.add<sp::VSource>("V1", in, 0, 0.0);  // noiseless source
+    ckt.add<sp::Resistor>("R1", in, out, r);
+    const double c = 10e-12;
+    ckt.add<sp::Capacitor>("C1", out, 0, c);
+    sp::Analyzer an(ckt);
+    const auto op = an.op();
+    // Integrate far past the pole.
+    const double fPole = 1.0 / (2.0 * 3.14159265 * r * c);
+    const auto res =
+        an.noise(sp::logspace(fPole / 1e3, fPole * 1e4, 24), "out", op);
+    const double expected = kT300 / c;
+    EXPECT_NEAR(res.totalVariance(), expected, expected * 0.02) << r;
+  }
+}
+
+TEST(Noise, VoltageDividerAttenuatesSourceNoise) {
+  // Output PSD of a loaded divider equals 4kT * (R1 || R2) seen at the
+  // tap — same as the parallel combination.
+  sp::Circuit ckt;
+  const int top = ckt.node("top"), mid = ckt.node("mid");
+  ckt.add<sp::VSource>("V1", top, 0, 5.0);  // ideal source: no noise
+  ckt.add<sp::Resistor>("R1", top, mid, 1e3);
+  ckt.add<sp::Resistor>("R2", mid, 0, 1e3);
+  sp::Analyzer an(ckt);
+  const auto op = an.op();
+  const auto res = an.noise({1e6}, "mid", op);
+  EXPECT_NEAR(res.outputPsd[0], 4.0 * kT300 * 500.0,
+              4.0 * kT300 * 500.0 * 1e-6);
+}
+
+TEST(Noise, BjtCollectorShotDominatesCeStage) {
+  // Common-emitter stage: output noise contains 4kT*RC plus gm^2*RC^2 *
+  // 2q*Ic (collector shot amplified) — the shot term dominates.
+  sp::Circuit ckt;
+  const int vcc = ckt.node("vcc"), b = ckt.node("b"), c = ckt.node("c");
+  sp::BjtModel m;
+  m.is = 1e-16;
+  m.bf = 100.0;
+  ckt.add<sp::VSource>("VCC", vcc, 0, 5.0);
+  ckt.add<sp::VSource>("VB", b, 0, 0.75);
+  ckt.add<sp::Resistor>("RC", vcc, c, 1e3);
+  auto& q = ckt.add<sp::Bjt>("Q1", ckt, c, b, 0, m);
+  sp::Analyzer an(ckt);
+  const auto op = an.op();
+  sp::Solution s(&op);
+  const auto info = q.opInfo(s);
+  const auto res = an.noise({1e5}, "c", op);
+
+  const double rcThermal = 4.0 * kT300 * 1e-3 * 1e6;  // 4kT/RC * RC^2
+  const double shot = 2.0 * kQ * info.ic * 1e6;       // * RC^2
+  EXPECT_NEAR(res.outputPsd[0], rcThermal + shot,
+              (rcThermal + shot) * 0.05);
+  EXPECT_GT(shot, rcThermal);  // the amplified shot noise dominates? no:
+  // 2qIc*RC^2 vs 4kT*RC: ratio = Ic*RC/(2*25.9mV) = Vrc/52mV >> 1 here.
+  // Contribution ranking reflects that.
+  ASSERT_FALSE(res.contributions.empty());
+  EXPECT_EQ(res.contributions[0].label, "Q1 collector shot");
+}
+
+TEST(Noise, ColdResistorIsQuieter) {
+  auto psdAt = [](double tempC) {
+    sp::Circuit ckt;
+    ckt.setTemperatureC(tempC);
+    const int a = ckt.node("a");
+    ckt.add<sp::Resistor>("R1", a, 0, 1e3);
+    sp::Analyzer an(ckt);
+    const auto op = an.op();
+    return an.noise({1e6}, "a", op).outputPsd[0];
+  };
+  EXPECT_NEAR(psdAt(-73.0) / psdAt(27.0), 200.15 / 300.15, 1e-6);
+}
+
+TEST(Noise, Validation) {
+  sp::Circuit ckt;
+  const int a = ckt.node("a");
+  ckt.add<sp::Resistor>("R1", a, 0, 1e3);
+  sp::Analyzer an(ckt);
+  const auto op = an.op();
+  EXPECT_THROW(an.noise({1e6}, "nope", op), ahfic::Error);
+  EXPECT_THROW(an.noise({}, "a", op), ahfic::Error);
+}

@@ -1,0 +1,117 @@
+// Deck-runner tests: parsed analysis cards execute and print.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "spice/rundeck.h"
+#include "util/error.h"
+
+namespace sp = ahfic::spice;
+
+TEST(RunDeck, OpListsNodeVoltages) {
+  auto deck = sp::parseDeck("divider\nV1 in 0 10\nR1 in out 1k\n"
+                            "R2 out 0 1k\n.OP\n");
+  std::ostringstream os;
+  sp::runDeck(deck, os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("operating point"), std::string::npos);
+  EXPECT_NE(s.find("out"), std::string::npos);
+  EXPECT_NE(s.find("5.000000"), std::string::npos);
+}
+
+TEST(RunDeck, DcSweepTable) {
+  auto deck = sp::parseDeck(
+      "sweep\nV1 in 0 0\nR1 in out 1k\nR2 out 0 1k\n.DC V1 0 4 1\n");
+  std::ostringstream os;
+  sp::runDeck(deck, os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("dc sweep of V1"), std::string::npos);
+  EXPECT_NE(s.find("2.000000"), std::string::npos);  // V(out) at V1 = 4
+}
+
+TEST(RunDeck, AcTableHasMagnitudeAndPhase) {
+  auto deck = sp::parseDeck(
+      "rc\nV1 in 0 DC 0 AC 1\nR1 in out 1k\nC1 out 0 159p\n"
+      ".AC DEC 4 10k 100MEG\n");
+  std::ostringstream os;
+  sp::runDeck(deck, os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("ac analysis"), std::string::npos);
+  EXPECT_NE(s.find("|V(out)| dB"), std::string::npos);
+  EXPECT_NE(s.find("ph deg"), std::string::npos);
+}
+
+TEST(RunDeck, TranTableDecimated) {
+  auto deck = sp::parseDeck(
+      "rc step\nV1 in 0 PULSE(0 1 0 1p 1p 1 2)\nR1 in out 1k\n"
+      "C1 out 0 1n\n.TRAN 10n 5u\n");
+  std::ostringstream os;
+  sp::RunDeckOptions opt;
+  opt.maxTranRows = 10;
+  sp::runDeck(deck, os, opt);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("transient analysis"), std::string::npos);
+  // Decimation: table rows bounded (~12 rows + header) plus the ~21-line
+  // ASCII plot.
+  int lines = 0;
+  for (char c : s)
+    if (c == '\n') ++lines;
+  EXPECT_LT(lines, 45);
+  // The .PLOT-style chart is present.
+  EXPECT_NE(s.find("V(in) [V]"), std::string::npos);
+  EXPECT_NE(s.find('*'), std::string::npos);
+}
+
+TEST(RunDeck, NoiseCardRunsAndPrints) {
+  auto deck = sp::parseDeck(
+      "noisy divider\nV1 in 0 1\nR1 in out 10k\nR2 out 0 10k\n"
+      ".NOISE out DEC 3 1k 1MEG\n");
+  std::ostringstream os;
+  sp::runDeck(deck, os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("noise analysis at node out"), std::string::npos);
+  EXPECT_NE(s.find("nV/rtHz"), std::string::npos);
+  EXPECT_NE(s.find("top contributors"), std::string::npos);
+  EXPECT_NE(s.find("R1 thermal"), std::string::npos);
+}
+
+TEST(RunDeck, NoiseCardSyntaxErrors) {
+  EXPECT_THROW(sp::parseDeck("t\n.NOISE out 1k 1MEG\n"),
+               ahfic::ParseError);
+  EXPECT_THROW(sp::parseDeck("t\n.NOISE out DEC 3 1k\n"),
+               ahfic::ParseError);
+}
+
+TEST(RunDeck, NoAnalysesIsGraceful) {
+  auto deck = sp::parseDeck("empty\nR1 a 0 1k\n");
+  std::ostringstream os;
+  sp::runDeck(deck, os);
+  EXPECT_NE(os.str().find("nothing to do"), std::string::npos);
+}
+
+TEST(RunDeck, MultipleAnalysesRunInOrder) {
+  auto deck = sp::parseDeck(
+      "combo\nV1 in 0 DC 2 AC 1\nR1 in out 1k\nR2 out 0 1k\n"
+      ".OP\n.AC DEC 2 1k 1MEG\n");
+  std::ostringstream os;
+  sp::runDeck(deck, os);
+  const std::string s = os.str();
+  const size_t opPos = s.find("operating point");
+  const size_t acPos = s.find("ac analysis");
+  ASSERT_NE(opPos, std::string::npos);
+  ASSERT_NE(acPos, std::string::npos);
+  EXPECT_LT(opPos, acPos);
+}
+
+TEST(RunDeck, InternalNodesHiddenFromSweeps) {
+  auto deck = sp::parseDeck(
+      "subckt sweep\n.SUBCKT dv a b\nR1 a m 1k\nR2 m b 1k\n.ENDS\n"
+      "V1 in 0 1\nX1 in out dv\nRL out 0 1k\n.DC V1 0 1 0.5\n");
+  std::ostringstream os;
+  sp::runDeck(deck, os);
+  const std::string s = os.str();
+  // The scoped internal node x1.m is not a sweep column.
+  EXPECT_EQ(s.find("V(x1.m)"), std::string::npos);
+  EXPECT_NE(s.find("V(out)"), std::string::npos);
+}

@@ -1,0 +1,113 @@
+// Waveform unit tests.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spice/sources.h"
+#include "util/error.h"
+#include "util/units.h"
+
+namespace sp = ahfic::spice;
+using ahfic::util::constants::kTwoPi;
+
+TEST(Waveform, DcIsConstant) {
+  sp::DcWaveform w(3.3);
+  EXPECT_DOUBLE_EQ(w.value(0.0), 3.3);
+  EXPECT_DOUBLE_EQ(w.value(1e9), 3.3);
+  EXPECT_DOUBLE_EQ(w.dcValue(), 3.3);
+}
+
+TEST(Waveform, SinBasics) {
+  sp::SinWaveform w(1.0, 0.5, 1e6);
+  EXPECT_DOUBLE_EQ(w.value(0.0), 1.0);
+  EXPECT_NEAR(w.value(0.25e-6), 1.5, 1e-9);   // quarter period: peak
+  EXPECT_NEAR(w.value(0.75e-6), 0.5, 1e-9);   // three quarters: trough
+  EXPECT_DOUBLE_EQ(w.dcValue(), 1.0);
+}
+
+TEST(Waveform, SinDelayHoldsOffset) {
+  sp::SinWaveform w(2.0, 1.0, 1e6, /*delay=*/1e-6);
+  EXPECT_DOUBLE_EQ(w.value(0.5e-6), 2.0);
+  EXPECT_NEAR(w.value(1e-6 + 0.25e-6), 3.0, 1e-9);
+}
+
+TEST(Waveform, SinDamping) {
+  sp::SinWaveform w(0.0, 1.0, 1e6, 0.0, /*theta=*/1e6);
+  const double t = 2.25e-6;
+  EXPECT_NEAR(w.value(t), std::exp(-1e6 * t) * 1.0, 1e-9);
+}
+
+TEST(Waveform, SinRejectsBadFrequency) {
+  EXPECT_THROW(sp::SinWaveform(0, 1, 0.0), ahfic::Error);
+  EXPECT_THROW(sp::SinWaveform(0, 1, -5.0), ahfic::Error);
+}
+
+TEST(Waveform, PulseEdgesAndPeriodicity) {
+  // 0->1, delay 1n, rise 1n, width 3n, fall 1n, period 10n.
+  sp::PulseWaveform w(0.0, 1.0, 1e-9, 1e-9, 1e-9, 3e-9, 10e-9);
+  EXPECT_DOUBLE_EQ(w.value(0.0), 0.0);
+  EXPECT_NEAR(w.value(1.5e-9), 0.5, 1e-9);  // mid rise
+  EXPECT_DOUBLE_EQ(w.value(3e-9), 1.0);     // flat top
+  EXPECT_NEAR(w.value(5.5e-9), 0.5, 1e-9);  // mid fall
+  EXPECT_DOUBLE_EQ(w.value(8e-9), 0.0);     // back to low
+  // One period later the shape repeats.
+  EXPECT_NEAR(w.value(11.5e-9), 0.5, 1e-9);
+  EXPECT_DOUBLE_EQ(w.dcValue(), 0.0);
+}
+
+TEST(Waveform, PwlInterpolatesAndClamps) {
+  sp::PwlWaveform w({{0.0, 0.0}, {1e-9, 2.0}, {3e-9, -1.0}});
+  EXPECT_DOUBLE_EQ(w.value(-1.0), 0.0);
+  EXPECT_NEAR(w.value(0.5e-9), 1.0, 1e-12);
+  EXPECT_NEAR(w.value(2e-9), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(w.value(10e-9), -1.0);
+}
+
+TEST(Waveform, PwlRejectsBadPoints) {
+  EXPECT_THROW(sp::PwlWaveform({{0.0, 1.0}}), ahfic::Error);
+  EXPECT_THROW(sp::PwlWaveform({{0.0, 1.0}, {0.0, 2.0}}), ahfic::Error);
+  EXPECT_THROW(sp::PwlWaveform({{1.0, 1.0}, {0.5, 2.0}}), ahfic::Error);
+}
+
+TEST(Waveform, ExpRisesAndFalls) {
+  sp::ExpWaveform w(0.0, 1.0, 0.0, 1e-9, 10e-9, 1e-9);
+  EXPECT_DOUBLE_EQ(w.value(0.0), 0.0);
+  EXPECT_NEAR(w.value(1e-9), 1.0 - std::exp(-1.0), 1e-9);
+  EXPECT_NEAR(w.value(5e-9), 1.0, 1e-2);
+  EXPECT_LT(w.value(12e-9), w.value(9.9e-9));  // decaying after td2
+}
+
+TEST(Waveform, ExpRejectsBadTimeConstants) {
+  EXPECT_THROW(sp::ExpWaveform(0, 1, 0, 0.0, 0, 1e-9), ahfic::Error);
+}
+
+TEST(Waveform, SffmIsFrequencyModulated) {
+  sp::SffmWaveform w(0.0, 1.0, 100e6, 5.0, 1e6);
+  // Bounded by the amplitude; value matches the closed form.
+  for (double t : {0.0, 1e-9, 3.7e-8, 1e-7}) {
+    EXPECT_LE(std::fabs(w.value(t)), 1.0);
+    const double expected =
+        std::sin(kTwoPi * 100e6 * t + 5.0 * std::sin(kTwoPi * 1e6 * t));
+    EXPECT_NEAR(w.value(t), expected, 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(w.dcValue(), 0.0);
+  EXPECT_THROW(sp::SffmWaveform(0, 1, 0.0, 1, 1e6), ahfic::Error);
+}
+
+TEST(Waveform, AmEnvelopeModulates) {
+  sp::AmWaveform w(2.0, 1.0, 1e6, 50e6);
+  // Peak envelope 2*(1+1) = 4; never exceeds it.
+  double peak = 0.0;
+  for (double t = 0.0; t < 2e-6; t += 1e-9)
+    peak = std::max(peak, std::fabs(w.value(t)));
+  EXPECT_LE(peak, 4.0 + 1e-9);
+  EXPECT_GT(peak, 3.5);
+  EXPECT_DOUBLE_EQ(w.dcValue(), 0.0);
+  EXPECT_THROW(sp::AmWaveform(1, 0, 0.0, 1e6), ahfic::Error);
+}
+
+TEST(SourceDevices, NullWaveformRejected) {
+  EXPECT_THROW(sp::VSource("V1", 1, 0, nullptr), ahfic::Error);
+  EXPECT_THROW(sp::ISource("I1", 1, 0, nullptr), ahfic::Error);
+}

@@ -1,0 +1,198 @@
+// Subcircuit (.SUBCKT / X) flattening tests.
+
+#include <gtest/gtest.h>
+
+#include "spice/analysis.h"
+#include "spice/bjt.h"
+#include "spice/mosfet.h"
+#include "spice/parser.h"
+#include "spice/passive.h"
+#include "spice/sources.h"
+#include "util/error.h"
+
+namespace sp = ahfic::spice;
+
+TEST(Subckt, BasicDividerExpansion) {
+  auto deck = sp::parseDeck(R"(divider as subckt
+.SUBCKT div in out
+R1 in out 1k
+R2 out 0 1k
+.ENDS
+V1 a 0 10
+X1 a mid div
+.END
+)");
+  sp::Analyzer an(deck.circuit);
+  const auto x = an.op();
+  sp::Solution s(&x);
+  EXPECT_NEAR(s.at(deck.circuit.findNode("mid")), 5.0, 1e-9);
+  // Devices got hierarchical names.
+  EXPECT_NE(deck.circuit.findDevice("X1.R1"), nullptr);
+  EXPECT_NE(deck.circuit.findDevice("X1.R2"), nullptr);
+}
+
+TEST(Subckt, TwoInstancesAreIndependent) {
+  auto deck = sp::parseDeck(R"(two dividers
+.SUBCKT div in out
+R1 in out 1k
+R2 out 0 3k
+.ENDS
+V1 a 0 8
+X1 a m1 div
+X2 m1 m2 div
+)");
+  sp::Analyzer an(deck.circuit);
+  const auto x = an.op();
+  sp::Solution s(&x);
+  // Loading of the first divider by the second shifts m1 below 6 V.
+  EXPECT_LT(s.at(deck.circuit.findNode("m1")), 6.0);
+  EXPECT_GT(s.at(deck.circuit.findNode("m2")), 0.0);
+  EXPECT_NE(deck.circuit.findDevice("X2.R1"), nullptr);
+}
+
+TEST(Subckt, InternalNodesAreScoped) {
+  auto deck = sp::parseDeck(R"(internal node isolation
+.SUBCKT rr a b
+R1 a mid 1k
+R2 mid b 1k
+.ENDS
+V1 in 0 2
+X1 in out rr
+X2 in out rr
+RL out 0 1k
+)");
+  // Each instance has its own "mid": 2 instances in parallel halves the
+  // series resistance.
+  sp::Analyzer an(deck.circuit);
+  const auto x = an.op();
+  sp::Solution s(&x);
+  // Vout = 2 * 1k/(1k + 1k) = 1.0 (two parallel 2k paths = 1k).
+  EXPECT_NEAR(s.at(deck.circuit.findNode("out")), 1.0, 1e-9);
+  EXPECT_NE(deck.circuit.findNode("x1.mid"), -1);
+  EXPECT_NE(deck.circuit.findNode("x2.mid"), -1);
+  EXPECT_NE(deck.circuit.findNode("x1.mid"),
+            deck.circuit.findNode("x2.mid"));
+}
+
+TEST(Subckt, GroundIsGlobal) {
+  auto deck = sp::parseDeck(R"(ground stays global
+.SUBCKT g2 a
+R1 a 0 1k
+.ENDS
+V1 in 0 5
+X1 in g2
+)");
+  sp::Analyzer an(deck.circuit);
+  const auto x = an.op();
+  sp::Solution s(&x);
+  auto* v1 = dynamic_cast<sp::VSource*>(deck.circuit.findDevice("V1"));
+  EXPECT_NEAR(s.at(v1->branchId()), -5e-3, 1e-9);
+}
+
+TEST(Subckt, DefinitionAfterUse) {
+  auto deck = sp::parseDeck(R"(use before definition
+V1 a 0 1
+X1 a b div
+RL b 0 1k
+.SUBCKT div in out
+R1 in out 1k
+.ENDS
+)");
+  sp::Analyzer an(deck.circuit);
+  const auto x = an.op();
+  sp::Solution s(&x);
+  EXPECT_NEAR(s.at(deck.circuit.findNode("b")), 0.5, 1e-9);
+}
+
+TEST(Subckt, NestedCalls) {
+  auto deck = sp::parseDeck(R"(nested subcircuits
+.SUBCKT unit a b
+R1 a b 1k
+.ENDS
+.SUBCKT pair a b
+X1 a m unit
+X2 m b unit
+.ENDS
+V1 in 0 3
+X1 in out pair
+RL out 0 1k
+)");
+  sp::Analyzer an(deck.circuit);
+  const auto x = an.op();
+  sp::Solution s(&x);
+  // 2k series into 1k load: Vout = 1.0.
+  EXPECT_NEAR(s.at(deck.circuit.findNode("out")), 1.0, 1e-9);
+  EXPECT_NE(deck.circuit.findDevice("X1.X1.R1"), nullptr);
+  EXPECT_NE(deck.circuit.findDevice("X1.X2.R1"), nullptr);
+}
+
+TEST(Subckt, SemiconductorsInsideSubckt) {
+  auto deck = sp::parseDeck(R"(bjt stage as a cell
+.MODEL n1 NPN(IS=1e-16 BF=100)
+.SUBCKT ce in out vcc
+RC vcc out 1k
+Q1 out in e n1
+RE e 0 200
+.ENDS
+VCC vdd 0 8
+VIN b 0 1.8
+X1 b c vdd ce
+)");
+  sp::Analyzer an(deck.circuit);
+  const auto x = an.op();
+  sp::Solution s(&x);
+  const double vout = s.at(deck.circuit.findNode("c"));
+  EXPECT_GT(vout, 1.0);
+  EXPECT_LT(vout, 7.0);
+  auto* q = dynamic_cast<sp::Bjt*>(deck.circuit.findDevice("X1.Q1"));
+  ASSERT_NE(q, nullptr);
+}
+
+TEST(Subckt, MosfetCardParses) {
+  auto deck = sp::parseDeck(R"(mos divider
+.MODEL nm NMOS(VTO=0.8 KP=50u LAMBDA=0.02)
+VDD vdd 0 5
+VG g 0 1.5
+RD vdd d 10k
+M1 d g 0 0 nm W=20u L=2u
+)");
+  auto* m = dynamic_cast<sp::Mosfet*>(deck.circuit.findDevice("M1"));
+  ASSERT_NE(m, nullptr);
+  EXPECT_DOUBLE_EQ(m->width(), 20e-6);
+  EXPECT_DOUBLE_EQ(m->length(), 2e-6);
+  sp::Analyzer an(deck.circuit);
+  const auto x = an.op();
+  sp::Solution s(&x);
+  EXPECT_LT(s.at(deck.circuit.findNode("d")), 5.0);  // draws current
+}
+
+class SubcktErrorTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SubcktErrorTest, Rejected) {
+  EXPECT_THROW(sp::parseDeck(GetParam()), ahfic::ParseError);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Errors, SubcktErrorTest,
+    ::testing::Values(
+        "t\n.SUBCKT s a\nR1 a 0 1k\n",                    // missing .ENDS
+        "t\n.ENDS\n",                                      // stray .ENDS
+        "t\n.SUBCKT s a\n.SUBCKT t b\n.ENDS\n.ENDS\n",     // nested defs
+        "t\n.SUBCKT s\n.ENDS\n",                           // no ports
+        "t\nX1 a b nosuch\n",                              // unknown subckt
+        "t\n.SUBCKT s a b\nR1 a b 1k\n.ENDS\nX1 a s\n",    // arity
+        "t\n.SUBCKT s a\n.TRAN 1n 10n\n.ENDS\nX1 a s\n",   // card in body
+        "t\n.SUBCKT s a\nR1 a 0 1k\n.ENDS\n"
+        ".SUBCKT s a\nR1 a 0 2k\n.ENDS\n",                 // duplicate
+        "t\nM1 d g s nm\n",                                // M needs 4 nodes
+        "t\n.MODEL nm NMOS(VTO=1)\nM1 d g s b nm Q=1\n")); // bad param
+
+TEST(Subckt, RecursionGuard) {
+  EXPECT_THROW(sp::parseDeck(R"(self reference
+.SUBCKT loop a
+X1 a loop
+.ENDS
+X0 n loop
+)"),
+               ahfic::Error);
+}

@@ -1,0 +1,120 @@
+// Temperature physics: .TEMP changes junction behaviour the way silicon
+// does (about -2 mV/K forward-voltage tempco at fixed current).
+
+#include <gtest/gtest.h>
+
+#include "spice/analysis.h"
+#include "spice/bjt.h"
+#include "spice/circuit.h"
+#include "spice/diode.h"
+#include "spice/parser.h"
+#include "spice/sources.h"
+
+namespace sp = ahfic::spice;
+
+namespace {
+
+double diodeVfAt(double tempC) {
+  sp::Circuit ckt;
+  ckt.setTemperatureC(tempC);
+  const int a = ckt.node("a");
+  sp::DiodeModel dm;
+  dm.is = 1e-14;
+  ckt.add<sp::ISource>("I1", 0, a, 1e-3);
+  ckt.add<sp::Diode>("D1", ckt, a, 0, dm, 1.0, tempC);
+  sp::Analyzer an(ckt);
+  const auto x = an.op();
+  sp::Solution s(&x);
+  return s.at(a);
+}
+
+double bjtIcAt(double tempC, double xtb = 0.0) {
+  sp::Circuit ckt;
+  const int c = ckt.node("c"), b = ckt.node("b");
+  sp::BjtModel m;
+  m.is = 1e-16;
+  m.bf = 100.0;
+  m.xtb = xtb;
+  ckt.add<sp::VSource>("VB", b, 0, 0.7);
+  auto& vc = ckt.add<sp::VSource>("VC", c, 0, 2.0);
+  ckt.add<sp::Bjt>("Q1", ckt, c, b, 0, m, 1.0, 0, tempC);
+  sp::Analyzer an(ckt);
+  const auto x = an.op();
+  sp::Solution s(&x);
+  return -s.at(vc.branchId());
+}
+
+}  // namespace
+
+TEST(Temperature, DiodeForwardVoltageTempco) {
+  // Classic silicon behaviour: Vf falls roughly 1.7..2.3 mV/K at 1 mA.
+  const double v27 = diodeVfAt(27.0);
+  const double v77 = diodeVfAt(77.0);
+  const double tempco = (v77 - v27) / 50.0;
+  EXPECT_LT(tempco, -1.5e-3);
+  EXPECT_GT(tempco, -2.7e-3);
+}
+
+TEST(Temperature, DiodeAtNominalUnchanged) {
+  EXPECT_NEAR(diodeVfAt(27.0), 0.655, 5e-3);
+}
+
+TEST(Temperature, BjtCollectorCurrentRisesWithT) {
+  // At fixed Vbe, Ic grows strongly with temperature (IS(T) wins over
+  // the 1/Vt shrink at Vbe = 0.7 V).
+  const double i27 = bjtIcAt(27.0);
+  const double i85 = bjtIcAt(85.0);
+  EXPECT_GT(i85 / i27, 5.0);
+  EXPECT_LT(i85 / i27, 200.0);
+}
+
+TEST(Temperature, XtbScalesBeta) {
+  // Current gain follows (T/Tnom)^XTB; compare base currents at the same
+  // collector current drive.
+  sp::Circuit cold, hot;
+  for (auto* p : {&cold, &hot}) {
+    const double t = (p == &cold) ? 27.0 : 127.0;
+    const int c = p->node("c"), b = p->node("b");
+    sp::BjtModel m;
+    m.is = 1e-16;
+    m.bf = 100.0;
+    m.xtb = 1.5;
+    p->add<sp::ISource>("IB", 0, b, 10e-6);
+    p->add<sp::VSource>("VC", c, 0, 2.0);
+    p->add<sp::Bjt>("Q1", *p, c, b, 0, m, 1.0, 0, t);
+  }
+  auto icOf = [](sp::Circuit& ckt) {
+    sp::Analyzer an(ckt);
+    const auto x = an.op();
+    sp::Solution s(&x);
+    auto* q = dynamic_cast<sp::Bjt*>(ckt.findDevice("Q1"));
+    return q->opInfo(s).ic;
+  };
+  const double betaRatio = icOf(hot) / icOf(cold);
+  // (400/300)^1.5 ~ 1.54.
+  EXPECT_NEAR(betaRatio, 1.54, 0.12);
+}
+
+TEST(Temperature, TempCardFlowsThroughParser) {
+  auto deck = sp::parseDeck(
+      "hot divider\n"
+      ".TEMP 85\n"
+      ".MODEL dd D(IS=1e-14)\n"
+      "I1 0 a 1m\n"
+      "D1 a 0 dd\n");
+  EXPECT_DOUBLE_EQ(deck.circuit.temperatureC(), 85.0);
+  sp::Analyzer an(deck.circuit);
+  const auto x = an.op();
+  sp::Solution s(&x);
+  // Lower forward drop than the 27 C value.
+  EXPECT_LT(s.at(deck.circuit.findNode("a")), 0.62);
+}
+
+TEST(Temperature, ModelCardsAcceptTempParameters) {
+  auto deck = sp::parseDeck(
+      "t\n"
+      ".MODEL m1 NPN(IS=1e-16 BF=100 EG=1.12 XTI=3 XTB=1.5)\n"
+      ".MODEL d1 D(IS=1e-14 EG=1.11 XTI=3)\n");
+  EXPECT_DOUBLE_EQ(deck.circuit.bjtModel("m1").xtb, 1.5);
+  EXPECT_DOUBLE_EQ(deck.circuit.diodeModel("d1").xti, 3.0);
+}

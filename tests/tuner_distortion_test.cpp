@@ -1,0 +1,104 @@
+// Two-tone IM3 distortion tests plus the IRR yield study.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ahdl/blocks.h"
+#include "tuner/distortion.h"
+#include "tuner/irr.h"
+#include "util/error.h"
+
+namespace tn = ahfic::tuner;
+
+TEST(Distortion, Im3MatchesTanhTheory) {
+  tn::TwoToneSpec spec;
+  spec.inputAmplitude = 0.05;
+  const double gain = 4.0, vsat = 1.0;
+  const auto r = tn::twoToneTestAmplifier(gain, vsat, spec);
+  const double theory = tn::tanhIm3Theory(gain, vsat, spec.inputAmplitude);
+  EXPECT_NEAR(r.im3Low, theory, theory * 0.2);
+  EXPECT_NEAR(r.im3High, theory, theory * 0.2);
+  EXPECT_NEAR(r.fundamental, gain * spec.inputAmplitude,
+              gain * spec.inputAmplitude * 0.05);
+}
+
+TEST(Distortion, Im3GrowsCubically) {
+  // +6 dB input -> +18 dB IM3 (3:1 slope), the defining IP3 behaviour.
+  tn::TwoToneSpec spec;
+  spec.inputAmplitude = 0.03;
+  const auto r1 = tn::twoToneTestAmplifier(4.0, 1.0, spec);
+  spec.inputAmplitude = 0.06;
+  const auto r2 = tn::twoToneTestAmplifier(4.0, 1.0, spec);
+  EXPECT_NEAR(r2.im3Low / r1.im3Low, 8.0, 1.2);
+}
+
+TEST(Distortion, LinearAmplifierHasNoIm3) {
+  tn::TwoToneSpec spec;
+  spec.inputAmplitude = 0.1;
+  const auto r = tn::twoToneTestAmplifier(4.0, /*vsat=*/0.0, spec);
+  EXPECT_LT(r.im3Low / r.fundamental, 1e-4);
+  EXPECT_LT(r.im3Dbc(), -80.0);
+}
+
+TEST(Distortion, Oip3ExtrapolationConsistent) {
+  // OIP3 from two different drive levels must agree (within the cubic
+  // small-signal regime).
+  tn::TwoToneSpec spec;
+  spec.inputAmplitude = 0.02;
+  const auto r1 = tn::twoToneTestAmplifier(4.0, 1.0, spec);
+  spec.inputAmplitude = 0.04;
+  const auto r2 = tn::twoToneTestAmplifier(4.0, 1.0, spec);
+  EXPECT_NEAR(r1.oip3Amplitude(), r2.oip3Amplitude(),
+              r1.oip3Amplitude() * 0.1);
+}
+
+TEST(Distortion, CustomDutBuilder) {
+  // Cascade of two compressive stages has worse (lower) OIP3 than one.
+  tn::TwoToneSpec spec;
+  spec.inputAmplitude = 0.02;
+  const auto one = tn::twoToneTestAmplifier(2.0, 1.0, spec);
+  const auto two = tn::twoToneTest(
+      [](ahfic::ahdl::System& sys, const std::string& in,
+         const std::string& out) {
+        sys.add<ahfic::ahdl::Amplifier>({in}, {"mid"}, "s1", 2.0, 1.0);
+        sys.add<ahfic::ahdl::Amplifier>({"mid"}, {out}, "s2", 2.0, 1.0);
+      },
+      spec);
+  EXPECT_GT(two.fundamental, one.fundamental * 1.5);
+  EXPECT_GT(two.im3Dbc(), one.im3Dbc());  // dirtier in dBc
+}
+
+TEST(Distortion, Validation) {
+  tn::TwoToneSpec spec;
+  spec.f2 = spec.f1;  // degenerate
+  EXPECT_THROW(tn::twoToneTestAmplifier(1.0, 1.0, spec), ahfic::Error);
+  EXPECT_THROW(tn::twoToneTest(nullptr, tn::TwoToneSpec{}), ahfic::Error);
+}
+
+TEST(IrrYield, TightProcessYieldsHigh) {
+  const auto r = tn::irrYield(/*sigmaPhase=*/1.0, /*sigmaGain=*/0.01,
+                              /*target=*/30.0, 4000, 3);
+  EXPECT_GT(r.yield(), 0.95);
+  EXPECT_GT(r.meanIrrDb, 35.0);
+}
+
+TEST(IrrYield, SloppyProcessYieldsLow) {
+  const auto r = tn::irrYield(/*sigmaPhase=*/6.0, /*sigmaGain=*/0.08,
+                              /*target=*/30.0, 4000, 3);
+  EXPECT_LT(r.yield(), 0.6);
+  EXPECT_LT(r.worstIrrDb, 25.0);
+}
+
+TEST(IrrYield, MonotonicInSigma) {
+  double prev = 2.0;
+  for (double sig : {0.5, 1.5, 3.0, 6.0}) {
+    const auto r = tn::irrYield(sig, 0.02, 30.0, 3000, 9);
+    EXPECT_LE(r.yield(), prev + 0.02) << sig;
+    prev = r.yield();
+  }
+}
+
+TEST(IrrYield, Validation) {
+  EXPECT_THROW(tn::irrYield(1.0, 0.01, 30.0, 0), ahfic::Error);
+}

@@ -1,0 +1,162 @@
+// Tuner system models: frequency plan, Fig. 2/4 chains, IRR (Fig. 5).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tuner/doublesuper.h"
+#include "tuner/irr.h"
+#include "util/error.h"
+#include "util/fft.h"
+
+namespace tn = ahfic::tuner;
+namespace ah = ahfic::ahdl;
+namespace u = ahfic::util;
+
+TEST(FrequencyPlan, PaperNumbers) {
+  tn::FrequencyPlan plan;
+  plan.validate();
+  EXPECT_DOUBLE_EQ(plan.if1, 1.3e9);
+  EXPECT_DOUBLE_EQ(plan.if2, 45e6);
+  EXPECT_DOUBLE_EQ(plan.downLo(), 1.255e9);
+  EXPECT_DOUBLE_EQ(plan.if1Image(), 1.21e9);
+  EXPECT_DOUBLE_EQ(plan.upLo(500e6), 1.8e9);
+  // The RF image channel sits 2 x 45 MHz = 90 MHz from the tuned channel.
+  EXPECT_DOUBLE_EQ(plan.rfImage(500e6) - 500e6, 90e6);
+}
+
+TEST(FrequencyPlan, ValidationRejectsBadPlans) {
+  tn::FrequencyPlan p;
+  p.if1 = 500e6;  // inside the RF band
+  EXPECT_THROW(p.validate(), ahfic::Error);
+  p = tn::FrequencyPlan{};
+  p.if2 = 800e6;  // not well below if1
+  EXPECT_THROW(p.validate(), ahfic::Error);
+  p = tn::FrequencyPlan{};
+  p.rfMax = 10e6;  // below rfMin
+  EXPECT_THROW(p.validate(), ahfic::Error);
+}
+
+namespace {
+
+/// Runs a chain and returns the spectrum amplitude of `signal` at `freq`.
+double toneOf(ah::System& sys, const std::string& signal, double fs,
+              double freq) {
+  sys.probe(signal);
+  const auto res = sys.run(1.6e-6, fs, 0.6e-6);
+  return u::toneAmplitude(res.trace(signal), fs, freq);
+}
+
+}  // namespace
+
+TEST(ConventionalTuner, WantedChannelReaches2ndIf) {
+  tn::FrequencyPlan plan;
+  tn::TunerStimulus stim;
+  stim.rfTuned = 500e6;
+  ah::System sys;
+  const auto sigs = tn::buildConventionalTuner(sys, plan, stim);
+  const double fs = tn::recommendedSampleRate(plan, stim);
+  const double amp = toneOf(sys, sigs.secondIf, fs, plan.if2);
+  EXPECT_GT(amp, 0.5);  // conversion chain delivers the tone
+}
+
+TEST(ConventionalTuner, ImageChannelAliasesOnto2ndIf) {
+  // Fig. 3's problem: with only the (wide) 1st IF band-pass, the image
+  // channel lands on the same 45 MHz output.
+  tn::FrequencyPlan plan;
+  tn::TunerStimulus stim;
+  stim.rfTuned = 500e6;
+  stim.tunedAmplitude = 1e-30;  // image only
+  stim.imageAmplitude = 1.0;
+  ah::System sys;
+  const auto sigs = tn::buildConventionalTuner(sys, plan, stim);
+  const double fs = tn::recommendedSampleRate(plan, stim);
+  const double amp = toneOf(sys, sigs.secondIf, fs, plan.if2);
+  EXPECT_GT(amp, 0.3);  // the image is NOT rejected
+}
+
+TEST(ImageRejectTuner, ImageSuppressedWantedKept) {
+  tn::FrequencyPlan plan;
+  tn::ImageRejectImpairments perfect;  // no impairments
+
+  auto ampFor = [&](bool imageOnly) {
+    tn::TunerStimulus stim;
+    stim.rfTuned = 500e6;
+    stim.tunedAmplitude = imageOnly ? 1e-30 : 1.0;
+    stim.imageAmplitude = imageOnly ? 1.0 : 1e-30;
+    ah::System sys;
+    const auto sigs = tn::buildImageRejectTuner(sys, plan, stim, perfect);
+    const double fs = tn::recommendedSampleRate(plan, stim);
+    return toneOf(sys, sigs.secondIf, fs, plan.if2);
+  };
+  const double wanted = ampFor(false);
+  const double image = ampFor(true);
+  EXPECT_GT(wanted, 0.5);
+  EXPECT_GT(wanted / image, 100.0);  // > 40 dB with ideal hardware
+}
+
+TEST(Irr, AnalyticReferencePoints) {
+  // phi = 0: IRR = ((2+g)/g)^2 as a power ratio.
+  EXPECT_NEAR(tn::analyticImageRejectionDb(0.0, 0.01),
+              10.0 * std::log10(std::pow(2.01 / 0.01, 2)), 1e-9);
+  EXPECT_NEAR(tn::analyticImageRejectionDb(0.0, 0.09),
+              10.0 * std::log10(std::pow(2.09 / 0.09, 2)), 1e-9);
+  // Perfect hardware: unbounded rejection (capped).
+  EXPECT_GE(tn::analyticImageRejectionDb(0.0, 0.0), 150.0);
+}
+
+TEST(Irr, AnalyticMonotonicity) {
+  // IRR falls with phase error at fixed gain error...
+  double prev = 1e9;
+  for (double phi : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    const double v = tn::analyticImageRejectionDb(phi, 0.01);
+    EXPECT_LT(v, prev);
+    prev = v;
+  }
+  // ...and falls with gain error at fixed phase error.
+  prev = 1e9;
+  for (double g : {0.01, 0.03, 0.05, 0.07, 0.09}) {
+    const double v = tn::analyticImageRejectionDb(1.0, g);
+    EXPECT_LT(v, prev);
+    prev = v;
+  }
+}
+
+class IrrGridTest
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(IrrGridTest, SimulationMatchesAnalytic) {
+  const auto [phi, g] = GetParam();
+  tn::ImageRejectImpairments imp;
+  imp.loPhaseErrorDeg = phi;
+  imp.gainImbalance = g;
+  const double sim = tn::simulateImageRejectionDb(imp);
+  const double an = tn::analyticImageRejectionDb(phi, g);
+  EXPECT_NEAR(sim, an, 1.0) << "phi=" << phi << " g=" << g;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fig5Grid, IrrGridTest,
+    ::testing::Combine(::testing::Values(0.0, 2.0, 6.0, 10.0),
+                       ::testing::Values(0.01, 0.05, 0.09)));
+
+TEST(Irr, ShifterErrorEquivalentToLoError) {
+  // A 90-degree-shifter error and an LO quadrature error of the same size
+  // degrade the IRR comparably (the paper lumps them as "phase balance").
+  tn::ImageRejectImpairments loErr;
+  loErr.loPhaseErrorDeg = 4.0;
+  tn::ImageRejectImpairments ifErr;
+  ifErr.ifPhaseErrorDeg = 4.0;
+  const double a = tn::simulateImageRejectionDb(loErr);
+  const double b = tn::simulateImageRejectionDb(ifErr);
+  EXPECT_NEAR(a, b, 1.5);
+}
+
+TEST(Irr, SpecDerivationFor30Db) {
+  // The paper's usage: a system designer requests 30 dB image rejection;
+  // the circuit designer reads off feasible (gain, phase) pairs. Verify
+  // the 1%-gain curve still meets 30 dB at 3 degrees but the 9% curve
+  // does not.
+  EXPECT_GT(tn::analyticImageRejectionDb(3.0, 0.01), 30.0);
+  EXPECT_LT(tn::analyticImageRejectionDb(3.0, 0.09), 30.0);
+}

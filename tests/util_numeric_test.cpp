@@ -1,0 +1,126 @@
+#include "util/numeric.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.h"
+#include "util/units.h"
+
+namespace u = ahfic::util;
+
+TEST(Numeric, DbConversionsRoundTrip) {
+  EXPECT_NEAR(u::toDb(10.0), 20.0, 1e-12);
+  EXPECT_NEAR(u::fromDb(20.0), 10.0, 1e-12);
+  EXPECT_NEAR(u::toDbPower(100.0), 20.0, 1e-12);
+  for (double x : {0.01, 0.5, 1.0, 3.3, 1e4}) {
+    EXPECT_NEAR(u::fromDb(u::toDb(x)), x, 1e-9 * x);
+  }
+}
+
+TEST(Numeric, DbOfZeroIsFloored) {
+  EXPECT_LT(u::toDb(0.0), -1000.0);
+  EXPECT_LT(u::toDbPower(0.0), -1000.0);
+}
+
+TEST(Numeric, Interp1InsideAndOutside) {
+  const std::vector<double> xs{0.0, 1.0, 2.0};
+  const std::vector<double> ys{0.0, 10.0, 40.0};
+  EXPECT_DOUBLE_EQ(u::interp1(xs, ys, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(u::interp1(xs, ys, 1.5), 25.0);
+  // Linear extrapolation with edge segments.
+  EXPECT_DOUBLE_EQ(u::interp1(xs, ys, -1.0), -10.0);
+  EXPECT_DOUBLE_EQ(u::interp1(xs, ys, 3.0), 70.0);
+}
+
+TEST(Numeric, Interp1Throws) {
+  EXPECT_THROW(u::interp1({1.0}, {1.0}, 0.5), ahfic::Error);
+  EXPECT_THROW(u::interp1({1.0, 2.0}, {1.0}, 0.5), ahfic::Error);
+}
+
+TEST(Numeric, FindCurvePeakRefinesParabolically) {
+  // y = 5 - (x - 1.3)^2 sampled coarsely: true peak at x = 1.3.
+  std::vector<double> xs, ys;
+  for (double x = 0.0; x <= 3.01; x += 0.5) {
+    xs.push_back(x);
+    ys.push_back(5.0 - (x - 1.3) * (x - 1.3));
+  }
+  const auto peak = u::findCurvePeak(xs, ys);
+  EXPECT_NEAR(peak.x, 1.3, 1e-9);
+  EXPECT_NEAR(peak.y, 5.0, 1e-9);
+}
+
+TEST(Numeric, FindCurvePeakAtEdge) {
+  const auto peak = u::findCurvePeak({0.0, 1.0, 2.0}, {9.0, 5.0, 1.0});
+  EXPECT_DOUBLE_EQ(peak.x, 0.0);
+  EXPECT_DOUBLE_EQ(peak.y, 9.0);
+}
+
+TEST(Numeric, RisingCrossingsInterpolate) {
+  const std::vector<double> t{0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> v{-1.0, 1.0, -1.0, 1.0};
+  const auto c = u::risingCrossings(t, v, 0.0);
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_NEAR(c[0], 0.5, 1e-12);
+  EXPECT_NEAR(c[1], 2.5, 1e-12);
+}
+
+TEST(Numeric, OscillationFrequencyOfPureSine) {
+  const double f0 = 123.0e6;
+  std::vector<double> t, v;
+  const double dt = 1.0 / (f0 * 64.0);
+  for (int i = 0; i < 4096; ++i) {
+    t.push_back(i * dt);
+    v.push_back(0.7 + 0.3 * std::sin(u::constants::kTwoPi * f0 * i * dt));
+  }
+  const auto f = u::oscillationFrequency(t, v);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_NEAR(*f, f0, f0 * 1e-3);
+}
+
+TEST(Numeric, OscillationFrequencyNeedsCrossings) {
+  const std::vector<double> t{0, 1, 2, 3, 4, 5};
+  const std::vector<double> flat{1, 1, 1, 1, 1, 1};
+  EXPECT_FALSE(u::oscillationFrequency(t, flat).has_value());
+}
+
+TEST(Numeric, SteadyStatePeakToPeakSkipsStartup) {
+  // Huge start-up transient followed by a small steady ripple.
+  std::vector<double> t, v;
+  for (int i = 0; i < 100; ++i) {
+    t.push_back(i);
+    v.push_back(i < 20 ? 100.0 : std::sin(i * 0.7));
+  }
+  const double pp = u::steadyStatePeakToPeak(t, v, 0.3);
+  EXPECT_LT(pp, 2.1);
+  EXPECT_GT(pp, 1.5);
+}
+
+TEST(NumericRng, UniformInRangeAndDeterministic) {
+  u::Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = a.uniform();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+    EXPECT_DOUBLE_EQ(x, b.uniform());
+  }
+}
+
+TEST(NumericRng, NormalMomentsRoughlyCorrect) {
+  u::Rng rng(7);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(NumericRng, NextBounded) {
+  u::Rng rng(9);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next(17), 17u);
+  EXPECT_EQ(rng.next(0), 0u);
+}

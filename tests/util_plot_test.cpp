@@ -1,0 +1,95 @@
+// ASCII chart tests.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.h"
+#include "util/plot.h"
+#include "util/units.h"
+
+namespace u = ahfic::util;
+
+namespace {
+std::pair<std::vector<double>, std::vector<double>> sineWave(int n) {
+  std::vector<double> xs(static_cast<size_t>(n)), ys(static_cast<size_t>(n));
+  for (int k = 0; k < n; ++k) {
+    xs[static_cast<size_t>(k)] = k * 1e-9;
+    ys[static_cast<size_t>(k)] =
+        std::sin(u::constants::kTwoPi * 3.0 * k / n);
+  }
+  return {xs, ys};
+}
+}  // namespace
+
+TEST(AsciiChart, HasExpectedGeometry) {
+  const auto [xs, ys] = sineWave(500);
+  u::PlotOptions opt;
+  opt.width = 60;
+  opt.height = 12;
+  const std::string s = u::asciiChart(xs, ys, opt);
+  // height rows + axis + labels line.
+  int lines = 0;
+  for (char c : s)
+    if (c == '\n') ++lines;
+  EXPECT_EQ(lines, 12 + 2);
+  // Marks exist in both the top and bottom rows (full swing visible).
+  const size_t firstNl = s.find('\n');
+  EXPECT_NE(s.substr(0, firstNl).find('*'), std::string::npos);
+}
+
+TEST(AsciiChart, AxisLabelsShowRange) {
+  const auto [xs, ys] = sineWave(200);
+  u::PlotOptions opt;
+  opt.xLabel = "time";
+  opt.yLabel = "volts";
+  const std::string s = u::asciiChart(xs, ys, opt);
+  EXPECT_NE(s.find("volts"), std::string::npos);
+  EXPECT_NE(s.find("time"), std::string::npos);
+  EXPECT_NE(s.find("1"), std::string::npos);    // ymax
+  EXPECT_NE(s.find("-1"), std::string::npos);   // ymin
+}
+
+TEST(AsciiChart, ConstantSignalDoesNotDivideByZero) {
+  std::vector<double> xs{0.0, 1.0, 2.0}, ys{5.0, 5.0, 5.0};
+  EXPECT_NO_THROW(u::asciiChart(xs, ys));
+  const std::string s = u::asciiChart(xs, ys);
+  EXPECT_NE(s.find('*'), std::string::npos);
+}
+
+TEST(AsciiChart, FastSwingsSurviveDecimation) {
+  // A waveform much denser than the plot width: the per-column banding
+  // must still reach both extremes.
+  const auto [xs, ys] = sineWave(40000);
+  u::PlotOptions opt;
+  opt.width = 40;
+  opt.height = 10;
+  const std::string s = u::asciiChart(xs, ys, opt);
+  // Top and bottom plot rows both contain marks.
+  std::vector<std::string> lines;
+  size_t pos = 0;
+  while (pos < s.size()) {
+    const size_t nl = s.find('\n', pos);
+    lines.push_back(s.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  EXPECT_NE(lines[0].find('*'), std::string::npos);
+  EXPECT_NE(lines[9].find('*'), std::string::npos);
+}
+
+TEST(AsciiChart, TwoSeriesOverlayUsesDistinctMarks) {
+  const auto [xs, y1] = sineWave(300);
+  std::vector<double> y2(y1.size());
+  for (size_t k = 0; k < y2.size(); ++k) y2[k] = 0.25;
+  const std::string s = u::asciiChart2(xs, y1, y2);
+  EXPECT_NE(s.find('*'), std::string::npos);
+  EXPECT_NE(s.find('+'), std::string::npos);
+}
+
+TEST(AsciiChart, Validation) {
+  EXPECT_THROW(u::asciiChart({1.0}, {1.0}), ahfic::Error);
+  EXPECT_THROW(u::asciiChart({1.0, 2.0}, {1.0}), ahfic::Error);
+  u::PlotOptions tiny;
+  tiny.width = 2;
+  EXPECT_THROW(u::asciiChart({1.0, 2.0}, {1.0, 2.0}, tiny), ahfic::Error);
+}

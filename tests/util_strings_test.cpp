@@ -1,0 +1,73 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace u = ahfic::util;
+
+TEST(Strings, TrimRemovesSurroundingWhitespace) {
+  EXPECT_EQ(u::trim("  abc \t"), "abc");
+  EXPECT_EQ(u::trim("abc"), "abc");
+  EXPECT_EQ(u::trim("   "), "");
+  EXPECT_EQ(u::trim(""), "");
+}
+
+TEST(Strings, CaseConversion) {
+  EXPECT_EQ(u::toLower("AbC123"), "abc123");
+  EXPECT_EQ(u::toUpper("AbC123"), "ABC123");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(u::startsWith("hello world", "hello"));
+  EXPECT_FALSE(u::startsWith("hello", "hello world"));
+  EXPECT_TRUE(u::startsWithNoCase("HeLLo", "heLl"));
+  EXPECT_FALSE(u::startsWithNoCase("he", "hello"));
+}
+
+TEST(Strings, EqualsNoCase) {
+  EXPECT_TRUE(u::equalsNoCase("MEG", "meg"));
+  EXPECT_FALSE(u::equalsNoCase("MEG", "me"));
+  EXPECT_TRUE(u::equalsNoCase("", ""));
+}
+
+TEST(Strings, SplitDropsEmptyFields) {
+  const auto parts = u::split("a,,b, c", ", ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, SplitEmptyInput) {
+  EXPECT_TRUE(u::split("", ",").empty());
+  EXPECT_TRUE(u::split(",,,", ",").empty());
+}
+
+TEST(Strings, TokenizeHandlesQuotes) {
+  const auto toks = u::tokenize("alpha \"two words\" gamma");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[1], "two words");
+}
+
+TEST(Strings, TokenizeUnterminatedQuote) {
+  const auto toks = u::tokenize("a \"open ended");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[1], "open ended");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(u::join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(u::join({}, ","), "");
+  EXPECT_EQ(u::join({"solo"}, ","), "solo");
+}
+
+TEST(Strings, ContainsNoCase) {
+  EXPECT_TRUE(u::containsNoCase("The Quick Fox", "quick"));
+  EXPECT_FALSE(u::containsNoCase("The Quick Fox", "slow"));
+  EXPECT_TRUE(u::containsNoCase("anything", ""));
+}
+
+TEST(Strings, ReplaceAll) {
+  EXPECT_EQ(u::replaceAll("a=b=c", "=", " = "), "a = b = c");
+  EXPECT_EQ(u::replaceAll("aaaa", "aa", "b"), "bb");
+  EXPECT_EQ(u::replaceAll("xyz", "q", "r"), "xyz");
+}

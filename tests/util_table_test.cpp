@@ -1,0 +1,42 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.h"
+
+namespace u = ahfic::util;
+
+TEST(Table, AlignsColumns) {
+  u::Table t({"Name", "Value"});
+  t.addRow({"alpha", "1"});
+  t.addRow({"b", "22222"});
+  const std::string s = t.toString();
+  EXPECT_NE(s.find("Name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("-----"), std::string::npos);
+  EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  u::Table t({"a", "b"});
+  EXPECT_THROW(t.addRow({"only-one"}), ahfic::Error);
+  EXPECT_THROW(u::Table({}), ahfic::Error);
+}
+
+TEST(Table, CsvQuotesSpecialFields) {
+  u::Table t({"k", "v"});
+  t.addRow({"with,comma", "with\"quote"});
+  std::ostringstream ss;
+  t.printCsv(ss);
+  const std::string s = ss.str();
+  EXPECT_NE(s.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(s.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, FixedFormatsDecimals) {
+  EXPECT_EQ(u::fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(u::fixed(-1.0, 1), "-1.0");
+  EXPECT_EQ(u::fixed(2.0, 0), "2");
+}

@@ -1,0 +1,70 @@
+#include "util/units.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace u = ahfic::util;
+
+TEST(Units, ParsePlainNumbers) {
+  EXPECT_DOUBLE_EQ(*u::parseSpiceNumber("42"), 42.0);
+  EXPECT_DOUBLE_EQ(*u::parseSpiceNumber("-3.5"), -3.5);
+  EXPECT_DOUBLE_EQ(*u::parseSpiceNumber("1e-9"), 1e-9);
+  EXPECT_DOUBLE_EQ(*u::parseSpiceNumber("  7.25  "), 7.25);
+}
+
+TEST(Units, ParseEngineeringSuffixes) {
+  EXPECT_DOUBLE_EQ(*u::parseSpiceNumber("1.2u"), 1.2e-6);
+  EXPECT_DOUBLE_EQ(*u::parseSpiceNumber("45MEG"), 45e6);
+  EXPECT_DOUBLE_EQ(*u::parseSpiceNumber("45meg"), 45e6);
+  EXPECT_DOUBLE_EQ(*u::parseSpiceNumber("10p"), 10e-12);
+  EXPECT_DOUBLE_EQ(*u::parseSpiceNumber("3k"), 3e3);
+  EXPECT_DOUBLE_EQ(*u::parseSpiceNumber("2G"), 2e9);
+  EXPECT_DOUBLE_EQ(*u::parseSpiceNumber("1T"), 1e12);
+  EXPECT_DOUBLE_EQ(*u::parseSpiceNumber("5f"), 5e-15);
+  EXPECT_DOUBLE_EQ(*u::parseSpiceNumber("7n"), 7e-9);
+}
+
+TEST(Units, MIsMilliNotMega) {
+  // The classic SPICE trap.
+  EXPECT_DOUBLE_EQ(*u::parseSpiceNumber("1M"), 1e-3);
+  EXPECT_DOUBLE_EQ(*u::parseSpiceNumber("1m"), 1e-3);
+}
+
+TEST(Units, ParseUnitTails) {
+  EXPECT_DOUBLE_EQ(*u::parseSpiceNumber("10pF"), 10e-12);
+  EXPECT_DOUBLE_EQ(*u::parseSpiceNumber("1.2um"), 1.2e-6);
+  EXPECT_DOUBLE_EQ(*u::parseSpiceNumber("45MEGHz"), 45e6);
+  EXPECT_DOUBLE_EQ(*u::parseSpiceNumber("5V"), 5.0);
+}
+
+TEST(Units, ParseRejectsGarbage) {
+  EXPECT_FALSE(u::parseSpiceNumber("abc").has_value());
+  EXPECT_FALSE(u::parseSpiceNumber("").has_value());
+  EXPECT_FALSE(u::parseSpiceNumber("1.2.3").has_value());
+  EXPECT_FALSE(u::parseSpiceNumber("3k3").has_value());
+}
+
+TEST(Units, ParseOrThrowNamesTheContext) {
+  EXPECT_DOUBLE_EQ(u::parseSpiceNumberOrThrow("1k", "resistance"), 1000.0);
+  EXPECT_THROW(u::parseSpiceNumberOrThrow("oops", "resistance"),
+               ahfic::ParseError);
+}
+
+TEST(Units, FormatEngineering) {
+  EXPECT_EQ(u::formatEngineering(0.0), "0");
+  EXPECT_EQ(u::formatEngineering(4.5e7), "45M");
+  EXPECT_EQ(u::formatEngineering(1.2e-6), "1.2u");
+  EXPECT_EQ(u::formatEngineering(-3e3), "-3k");
+}
+
+TEST(Units, FormatFrequency) {
+  EXPECT_EQ(u::formatFrequency(1.3e9), "1.3 GHz");
+  EXPECT_EQ(u::formatFrequency(45e6), "45 MHz");
+  EXPECT_EQ(u::formatFrequency(999.0), "999 Hz");
+}
+
+TEST(Units, ThermalVoltageAt27C) {
+  const double vt = u::constants::thermalVoltage(27.0);
+  EXPECT_NEAR(vt, 0.02585, 1e-4);
+}
