@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_area_factor_ablation.dir/bench_area_factor_ablation.cpp.o"
+  "CMakeFiles/bench_area_factor_ablation.dir/bench_area_factor_ablation.cpp.o.d"
+  "bench_area_factor_ablation"
+  "bench_area_factor_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_area_factor_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

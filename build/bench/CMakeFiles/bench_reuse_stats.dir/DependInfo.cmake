@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_reuse_stats.cpp" "bench/CMakeFiles/bench_reuse_stats.dir/bench_reuse_stats.cpp.o" "gcc" "bench/CMakeFiles/bench_reuse_stats.dir/bench_reuse_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/celldb/CMakeFiles/ahfic_celldb.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ahfic_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/ahfic_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/ahdl/CMakeFiles/ahfic_ahdl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reuse_stats.dir/bench_reuse_stats.cpp.o"
+  "CMakeFiles/bench_reuse_stats.dir/bench_reuse_stats.cpp.o.d"
+  "bench_reuse_stats"
+  "bench_reuse_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reuse_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

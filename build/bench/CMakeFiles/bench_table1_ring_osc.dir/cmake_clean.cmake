@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_ring_osc.dir/bench_table1_ring_osc.cpp.o"
+  "CMakeFiles/bench_table1_ring_osc.dir/bench_table1_ring_osc.cpp.o.d"
+  "bench_table1_ring_osc"
+  "bench_table1_ring_osc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_ring_osc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahdl_netlist.dir/ahdl_netlist.cpp.o"
+  "CMakeFiles/ahdl_netlist.dir/ahdl_netlist.cpp.o.d"
+  "ahdl_netlist"
+  "ahdl_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahdl_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cell_reuse.dir/cell_reuse.cpp.o"
+  "CMakeFiles/cell_reuse.dir/cell_reuse.cpp.o.d"
+  "cell_reuse"
+  "cell_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cell_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

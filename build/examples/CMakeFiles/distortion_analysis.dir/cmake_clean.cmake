@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distortion_analysis.dir/distortion_analysis.cpp.o"
+  "CMakeFiles/distortion_analysis.dir/distortion_analysis.cpp.o.d"
+  "distortion_analysis"
+  "distortion_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distortion_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ring_oscillator_design.dir/ring_oscillator_design.cpp.o"
+  "CMakeFiles/ring_oscillator_design.dir/ring_oscillator_design.cpp.o.d"
+  "ring_oscillator_design"
+  "ring_oscillator_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ring_oscillator_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spice_cli.dir/spice_cli.cpp.o"
+  "CMakeFiles/spice_cli.dir/spice_cli.cpp.o.d"
+  "spice_cli"
+  "spice_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spice_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuner_topdown.dir/tuner_topdown.cpp.o"
+  "CMakeFiles/tuner_topdown.dir/tuner_topdown.cpp.o.d"
+  "tuner_topdown"
+  "tuner_topdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuner_topdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

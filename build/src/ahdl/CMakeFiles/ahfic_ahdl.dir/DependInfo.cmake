@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ahdl/blocks.cpp" "src/ahdl/CMakeFiles/ahfic_ahdl.dir/blocks.cpp.o" "gcc" "src/ahdl/CMakeFiles/ahfic_ahdl.dir/blocks.cpp.o.d"
+  "/root/repo/src/ahdl/expr.cpp" "src/ahdl/CMakeFiles/ahfic_ahdl.dir/expr.cpp.o" "gcc" "src/ahdl/CMakeFiles/ahfic_ahdl.dir/expr.cpp.o.d"
+  "/root/repo/src/ahdl/filter.cpp" "src/ahdl/CMakeFiles/ahfic_ahdl.dir/filter.cpp.o" "gcc" "src/ahdl/CMakeFiles/ahfic_ahdl.dir/filter.cpp.o.d"
+  "/root/repo/src/ahdl/lang.cpp" "src/ahdl/CMakeFiles/ahfic_ahdl.dir/lang.cpp.o" "gcc" "src/ahdl/CMakeFiles/ahfic_ahdl.dir/lang.cpp.o.d"
+  "/root/repo/src/ahdl/system.cpp" "src/ahdl/CMakeFiles/ahfic_ahdl.dir/system.cpp.o" "gcc" "src/ahdl/CMakeFiles/ahfic_ahdl.dir/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ahfic_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

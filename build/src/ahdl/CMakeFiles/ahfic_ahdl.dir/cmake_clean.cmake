@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahfic_ahdl.dir/blocks.cpp.o"
+  "CMakeFiles/ahfic_ahdl.dir/blocks.cpp.o.d"
+  "CMakeFiles/ahfic_ahdl.dir/expr.cpp.o"
+  "CMakeFiles/ahfic_ahdl.dir/expr.cpp.o.d"
+  "CMakeFiles/ahfic_ahdl.dir/filter.cpp.o"
+  "CMakeFiles/ahfic_ahdl.dir/filter.cpp.o.d"
+  "CMakeFiles/ahfic_ahdl.dir/lang.cpp.o"
+  "CMakeFiles/ahfic_ahdl.dir/lang.cpp.o.d"
+  "CMakeFiles/ahfic_ahdl.dir/system.cpp.o"
+  "CMakeFiles/ahfic_ahdl.dir/system.cpp.o.d"
+  "libahfic_ahdl.a"
+  "libahfic_ahdl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahfic_ahdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bjtgen/ft.cpp" "src/bjtgen/CMakeFiles/ahfic_bjtgen.dir/ft.cpp.o" "gcc" "src/bjtgen/CMakeFiles/ahfic_bjtgen.dir/ft.cpp.o.d"
+  "/root/repo/src/bjtgen/generator.cpp" "src/bjtgen/CMakeFiles/ahfic_bjtgen.dir/generator.cpp.o" "gcc" "src/bjtgen/CMakeFiles/ahfic_bjtgen.dir/generator.cpp.o.d"
+  "/root/repo/src/bjtgen/geometry.cpp" "src/bjtgen/CMakeFiles/ahfic_bjtgen.dir/geometry.cpp.o" "gcc" "src/bjtgen/CMakeFiles/ahfic_bjtgen.dir/geometry.cpp.o.d"
+  "/root/repo/src/bjtgen/montecarlo.cpp" "src/bjtgen/CMakeFiles/ahfic_bjtgen.dir/montecarlo.cpp.o" "gcc" "src/bjtgen/CMakeFiles/ahfic_bjtgen.dir/montecarlo.cpp.o.d"
+  "/root/repo/src/bjtgen/process.cpp" "src/bjtgen/CMakeFiles/ahfic_bjtgen.dir/process.cpp.o" "gcc" "src/bjtgen/CMakeFiles/ahfic_bjtgen.dir/process.cpp.o.d"
+  "/root/repo/src/bjtgen/ringosc.cpp" "src/bjtgen/CMakeFiles/ahfic_bjtgen.dir/ringosc.cpp.o" "gcc" "src/bjtgen/CMakeFiles/ahfic_bjtgen.dir/ringosc.cpp.o.d"
+  "/root/repo/src/bjtgen/shape.cpp" "src/bjtgen/CMakeFiles/ahfic_bjtgen.dir/shape.cpp.o" "gcc" "src/bjtgen/CMakeFiles/ahfic_bjtgen.dir/shape.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spice/CMakeFiles/ahfic_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ahfic_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

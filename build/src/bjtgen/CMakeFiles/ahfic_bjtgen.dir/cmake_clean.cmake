@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahfic_bjtgen.dir/ft.cpp.o"
+  "CMakeFiles/ahfic_bjtgen.dir/ft.cpp.o.d"
+  "CMakeFiles/ahfic_bjtgen.dir/generator.cpp.o"
+  "CMakeFiles/ahfic_bjtgen.dir/generator.cpp.o.d"
+  "CMakeFiles/ahfic_bjtgen.dir/geometry.cpp.o"
+  "CMakeFiles/ahfic_bjtgen.dir/geometry.cpp.o.d"
+  "CMakeFiles/ahfic_bjtgen.dir/montecarlo.cpp.o"
+  "CMakeFiles/ahfic_bjtgen.dir/montecarlo.cpp.o.d"
+  "CMakeFiles/ahfic_bjtgen.dir/process.cpp.o"
+  "CMakeFiles/ahfic_bjtgen.dir/process.cpp.o.d"
+  "CMakeFiles/ahfic_bjtgen.dir/ringosc.cpp.o"
+  "CMakeFiles/ahfic_bjtgen.dir/ringosc.cpp.o.d"
+  "CMakeFiles/ahfic_bjtgen.dir/shape.cpp.o"
+  "CMakeFiles/ahfic_bjtgen.dir/shape.cpp.o.d"
+  "libahfic_bjtgen.a"
+  "libahfic_bjtgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahfic_bjtgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

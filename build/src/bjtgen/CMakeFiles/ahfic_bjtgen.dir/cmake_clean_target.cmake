@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libahfic_bjtgen.a"
+)

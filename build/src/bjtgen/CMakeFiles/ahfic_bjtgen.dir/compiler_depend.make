@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ahfic_bjtgen.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/celldb/database.cpp" "src/celldb/CMakeFiles/ahfic_celldb.dir/database.cpp.o" "gcc" "src/celldb/CMakeFiles/ahfic_celldb.dir/database.cpp.o.d"
+  "/root/repo/src/celldb/reuse.cpp" "src/celldb/CMakeFiles/ahfic_celldb.dir/reuse.cpp.o" "gcc" "src/celldb/CMakeFiles/ahfic_celldb.dir/reuse.cpp.o.d"
+  "/root/repo/src/celldb/seed.cpp" "src/celldb/CMakeFiles/ahfic_celldb.dir/seed.cpp.o" "gcc" "src/celldb/CMakeFiles/ahfic_celldb.dir/seed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spice/CMakeFiles/ahfic_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/ahdl/CMakeFiles/ahfic_ahdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ahfic_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahfic_celldb.dir/database.cpp.o"
+  "CMakeFiles/ahfic_celldb.dir/database.cpp.o.d"
+  "CMakeFiles/ahfic_celldb.dir/reuse.cpp.o"
+  "CMakeFiles/ahfic_celldb.dir/reuse.cpp.o.d"
+  "CMakeFiles/ahfic_celldb.dir/seed.cpp.o"
+  "CMakeFiles/ahfic_celldb.dir/seed.cpp.o.d"
+  "libahfic_celldb.a"
+  "libahfic_celldb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahfic_celldb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/characterize.cpp" "src/core/CMakeFiles/ahfic_core.dir/characterize.cpp.o" "gcc" "src/core/CMakeFiles/ahfic_core.dir/characterize.cpp.o.d"
+  "/root/repo/src/core/design.cpp" "src/core/CMakeFiles/ahfic_core.dir/design.cpp.o" "gcc" "src/core/CMakeFiles/ahfic_core.dir/design.cpp.o.d"
+  "/root/repo/src/core/spec.cpp" "src/core/CMakeFiles/ahfic_core.dir/spec.cpp.o" "gcc" "src/core/CMakeFiles/ahfic_core.dir/spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spice/CMakeFiles/ahfic_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/ahdl/CMakeFiles/ahfic_ahdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ahfic_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahfic_core.dir/characterize.cpp.o"
+  "CMakeFiles/ahfic_core.dir/characterize.cpp.o.d"
+  "CMakeFiles/ahfic_core.dir/design.cpp.o"
+  "CMakeFiles/ahfic_core.dir/design.cpp.o.d"
+  "CMakeFiles/ahfic_core.dir/spec.cpp.o"
+  "CMakeFiles/ahfic_core.dir/spec.cpp.o.d"
+  "libahfic_core.a"
+  "libahfic_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahfic_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spice/analysis.cpp" "src/spice/CMakeFiles/ahfic_spice.dir/analysis.cpp.o" "gcc" "src/spice/CMakeFiles/ahfic_spice.dir/analysis.cpp.o.d"
+  "/root/repo/src/spice/bjt.cpp" "src/spice/CMakeFiles/ahfic_spice.dir/bjt.cpp.o" "gcc" "src/spice/CMakeFiles/ahfic_spice.dir/bjt.cpp.o.d"
+  "/root/repo/src/spice/circuit.cpp" "src/spice/CMakeFiles/ahfic_spice.dir/circuit.cpp.o" "gcc" "src/spice/CMakeFiles/ahfic_spice.dir/circuit.cpp.o.d"
+  "/root/repo/src/spice/diode.cpp" "src/spice/CMakeFiles/ahfic_spice.dir/diode.cpp.o" "gcc" "src/spice/CMakeFiles/ahfic_spice.dir/diode.cpp.o.d"
+  "/root/repo/src/spice/fourier.cpp" "src/spice/CMakeFiles/ahfic_spice.dir/fourier.cpp.o" "gcc" "src/spice/CMakeFiles/ahfic_spice.dir/fourier.cpp.o.d"
+  "/root/repo/src/spice/models.cpp" "src/spice/CMakeFiles/ahfic_spice.dir/models.cpp.o" "gcc" "src/spice/CMakeFiles/ahfic_spice.dir/models.cpp.o.d"
+  "/root/repo/src/spice/mosfet.cpp" "src/spice/CMakeFiles/ahfic_spice.dir/mosfet.cpp.o" "gcc" "src/spice/CMakeFiles/ahfic_spice.dir/mosfet.cpp.o.d"
+  "/root/repo/src/spice/parser.cpp" "src/spice/CMakeFiles/ahfic_spice.dir/parser.cpp.o" "gcc" "src/spice/CMakeFiles/ahfic_spice.dir/parser.cpp.o.d"
+  "/root/repo/src/spice/passive.cpp" "src/spice/CMakeFiles/ahfic_spice.dir/passive.cpp.o" "gcc" "src/spice/CMakeFiles/ahfic_spice.dir/passive.cpp.o.d"
+  "/root/repo/src/spice/rundeck.cpp" "src/spice/CMakeFiles/ahfic_spice.dir/rundeck.cpp.o" "gcc" "src/spice/CMakeFiles/ahfic_spice.dir/rundeck.cpp.o.d"
+  "/root/repo/src/spice/sources.cpp" "src/spice/CMakeFiles/ahfic_spice.dir/sources.cpp.o" "gcc" "src/spice/CMakeFiles/ahfic_spice.dir/sources.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ahfic_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahfic_spice.dir/analysis.cpp.o"
+  "CMakeFiles/ahfic_spice.dir/analysis.cpp.o.d"
+  "CMakeFiles/ahfic_spice.dir/bjt.cpp.o"
+  "CMakeFiles/ahfic_spice.dir/bjt.cpp.o.d"
+  "CMakeFiles/ahfic_spice.dir/circuit.cpp.o"
+  "CMakeFiles/ahfic_spice.dir/circuit.cpp.o.d"
+  "CMakeFiles/ahfic_spice.dir/diode.cpp.o"
+  "CMakeFiles/ahfic_spice.dir/diode.cpp.o.d"
+  "CMakeFiles/ahfic_spice.dir/fourier.cpp.o"
+  "CMakeFiles/ahfic_spice.dir/fourier.cpp.o.d"
+  "CMakeFiles/ahfic_spice.dir/models.cpp.o"
+  "CMakeFiles/ahfic_spice.dir/models.cpp.o.d"
+  "CMakeFiles/ahfic_spice.dir/mosfet.cpp.o"
+  "CMakeFiles/ahfic_spice.dir/mosfet.cpp.o.d"
+  "CMakeFiles/ahfic_spice.dir/parser.cpp.o"
+  "CMakeFiles/ahfic_spice.dir/parser.cpp.o.d"
+  "CMakeFiles/ahfic_spice.dir/passive.cpp.o"
+  "CMakeFiles/ahfic_spice.dir/passive.cpp.o.d"
+  "CMakeFiles/ahfic_spice.dir/rundeck.cpp.o"
+  "CMakeFiles/ahfic_spice.dir/rundeck.cpp.o.d"
+  "CMakeFiles/ahfic_spice.dir/sources.cpp.o"
+  "CMakeFiles/ahfic_spice.dir/sources.cpp.o.d"
+  "libahfic_spice.a"
+  "libahfic_spice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahfic_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libahfic_spice.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tuner/distortion.cpp" "src/tuner/CMakeFiles/ahfic_tuner.dir/distortion.cpp.o" "gcc" "src/tuner/CMakeFiles/ahfic_tuner.dir/distortion.cpp.o.d"
+  "/root/repo/src/tuner/doublesuper.cpp" "src/tuner/CMakeFiles/ahfic_tuner.dir/doublesuper.cpp.o" "gcc" "src/tuner/CMakeFiles/ahfic_tuner.dir/doublesuper.cpp.o.d"
+  "/root/repo/src/tuner/emit_ahdl.cpp" "src/tuner/CMakeFiles/ahfic_tuner.dir/emit_ahdl.cpp.o" "gcc" "src/tuner/CMakeFiles/ahfic_tuner.dir/emit_ahdl.cpp.o.d"
+  "/root/repo/src/tuner/irr.cpp" "src/tuner/CMakeFiles/ahfic_tuner.dir/irr.cpp.o" "gcc" "src/tuner/CMakeFiles/ahfic_tuner.dir/irr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ahdl/CMakeFiles/ahfic_ahdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ahfic_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

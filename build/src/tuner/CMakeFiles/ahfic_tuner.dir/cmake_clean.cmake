@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahfic_tuner.dir/distortion.cpp.o"
+  "CMakeFiles/ahfic_tuner.dir/distortion.cpp.o.d"
+  "CMakeFiles/ahfic_tuner.dir/doublesuper.cpp.o"
+  "CMakeFiles/ahfic_tuner.dir/doublesuper.cpp.o.d"
+  "CMakeFiles/ahfic_tuner.dir/emit_ahdl.cpp.o"
+  "CMakeFiles/ahfic_tuner.dir/emit_ahdl.cpp.o.d"
+  "CMakeFiles/ahfic_tuner.dir/irr.cpp.o"
+  "CMakeFiles/ahfic_tuner.dir/irr.cpp.o.d"
+  "libahfic_tuner.a"
+  "libahfic_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahfic_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

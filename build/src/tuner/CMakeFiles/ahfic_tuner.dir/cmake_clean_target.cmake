@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libahfic_tuner.a"
+)

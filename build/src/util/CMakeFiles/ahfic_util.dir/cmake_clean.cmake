@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahfic_util.dir/fft.cpp.o"
+  "CMakeFiles/ahfic_util.dir/fft.cpp.o.d"
+  "CMakeFiles/ahfic_util.dir/numeric.cpp.o"
+  "CMakeFiles/ahfic_util.dir/numeric.cpp.o.d"
+  "CMakeFiles/ahfic_util.dir/plot.cpp.o"
+  "CMakeFiles/ahfic_util.dir/plot.cpp.o.d"
+  "CMakeFiles/ahfic_util.dir/strings.cpp.o"
+  "CMakeFiles/ahfic_util.dir/strings.cpp.o.d"
+  "CMakeFiles/ahfic_util.dir/table.cpp.o"
+  "CMakeFiles/ahfic_util.dir/table.cpp.o.d"
+  "CMakeFiles/ahfic_util.dir/units.cpp.o"
+  "CMakeFiles/ahfic_util.dir/units.cpp.o.d"
+  "libahfic_util.a"
+  "libahfic_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahfic_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ahdl_digital_blocks_test.cpp" "tests/CMakeFiles/ahfic_tests.dir/ahdl_digital_blocks_test.cpp.o" "gcc" "tests/CMakeFiles/ahfic_tests.dir/ahdl_digital_blocks_test.cpp.o.d"
+  "/root/repo/tests/ahdl_expr_test.cpp" "tests/CMakeFiles/ahfic_tests.dir/ahdl_expr_test.cpp.o" "gcc" "tests/CMakeFiles/ahfic_tests.dir/ahdl_expr_test.cpp.o.d"
+  "/root/repo/tests/ahdl_lang_test.cpp" "tests/CMakeFiles/ahfic_tests.dir/ahdl_lang_test.cpp.o" "gcc" "tests/CMakeFiles/ahfic_tests.dir/ahdl_lang_test.cpp.o.d"
+  "/root/repo/tests/ahdl_pll_test.cpp" "tests/CMakeFiles/ahfic_tests.dir/ahdl_pll_test.cpp.o" "gcc" "tests/CMakeFiles/ahfic_tests.dir/ahdl_pll_test.cpp.o.d"
+  "/root/repo/tests/ahdl_system_test.cpp" "tests/CMakeFiles/ahfic_tests.dir/ahdl_system_test.cpp.o" "gcc" "tests/CMakeFiles/ahfic_tests.dir/ahdl_system_test.cpp.o.d"
+  "/root/repo/tests/bjtgen_ft_test.cpp" "tests/CMakeFiles/ahfic_tests.dir/bjtgen_ft_test.cpp.o" "gcc" "tests/CMakeFiles/ahfic_tests.dir/bjtgen_ft_test.cpp.o.d"
+  "/root/repo/tests/bjtgen_generator_test.cpp" "tests/CMakeFiles/ahfic_tests.dir/bjtgen_generator_test.cpp.o" "gcc" "tests/CMakeFiles/ahfic_tests.dir/bjtgen_generator_test.cpp.o.d"
+  "/root/repo/tests/bjtgen_geometry_test.cpp" "tests/CMakeFiles/ahfic_tests.dir/bjtgen_geometry_test.cpp.o" "gcc" "tests/CMakeFiles/ahfic_tests.dir/bjtgen_geometry_test.cpp.o.d"
+  "/root/repo/tests/bjtgen_montecarlo_test.cpp" "tests/CMakeFiles/ahfic_tests.dir/bjtgen_montecarlo_test.cpp.o" "gcc" "tests/CMakeFiles/ahfic_tests.dir/bjtgen_montecarlo_test.cpp.o.d"
+  "/root/repo/tests/bjtgen_property_test.cpp" "tests/CMakeFiles/ahfic_tests.dir/bjtgen_property_test.cpp.o" "gcc" "tests/CMakeFiles/ahfic_tests.dir/bjtgen_property_test.cpp.o.d"
+  "/root/repo/tests/bjtgen_ringosc_test.cpp" "tests/CMakeFiles/ahfic_tests.dir/bjtgen_ringosc_test.cpp.o" "gcc" "tests/CMakeFiles/ahfic_tests.dir/bjtgen_ringosc_test.cpp.o.d"
+  "/root/repo/tests/bjtgen_shape_test.cpp" "tests/CMakeFiles/ahfic_tests.dir/bjtgen_shape_test.cpp.o" "gcc" "tests/CMakeFiles/ahfic_tests.dir/bjtgen_shape_test.cpp.o.d"
+  "/root/repo/tests/celldb_instantiate_test.cpp" "tests/CMakeFiles/ahfic_tests.dir/celldb_instantiate_test.cpp.o" "gcc" "tests/CMakeFiles/ahfic_tests.dir/celldb_instantiate_test.cpp.o.d"
+  "/root/repo/tests/celldb_test.cpp" "tests/CMakeFiles/ahfic_tests.dir/celldb_test.cpp.o" "gcc" "tests/CMakeFiles/ahfic_tests.dir/celldb_test.cpp.o.d"
+  "/root/repo/tests/core_test.cpp" "tests/CMakeFiles/ahfic_tests.dir/core_test.cpp.o" "gcc" "tests/CMakeFiles/ahfic_tests.dir/core_test.cpp.o.d"
+  "/root/repo/tests/methodology_end_to_end_test.cpp" "tests/CMakeFiles/ahfic_tests.dir/methodology_end_to_end_test.cpp.o" "gcc" "tests/CMakeFiles/ahfic_tests.dir/methodology_end_to_end_test.cpp.o.d"
+  "/root/repo/tests/spice_analysis_test.cpp" "tests/CMakeFiles/ahfic_tests.dir/spice_analysis_test.cpp.o" "gcc" "tests/CMakeFiles/ahfic_tests.dir/spice_analysis_test.cpp.o.d"
+  "/root/repo/tests/spice_circuit_test.cpp" "tests/CMakeFiles/ahfic_tests.dir/spice_circuit_test.cpp.o" "gcc" "tests/CMakeFiles/ahfic_tests.dir/spice_circuit_test.cpp.o.d"
+  "/root/repo/tests/spice_cmos_ring_test.cpp" "tests/CMakeFiles/ahfic_tests.dir/spice_cmos_ring_test.cpp.o" "gcc" "tests/CMakeFiles/ahfic_tests.dir/spice_cmos_ring_test.cpp.o.d"
+  "/root/repo/tests/spice_device_test.cpp" "tests/CMakeFiles/ahfic_tests.dir/spice_device_test.cpp.o" "gcc" "tests/CMakeFiles/ahfic_tests.dir/spice_device_test.cpp.o.d"
+  "/root/repo/tests/spice_fourier_test.cpp" "tests/CMakeFiles/ahfic_tests.dir/spice_fourier_test.cpp.o" "gcc" "tests/CMakeFiles/ahfic_tests.dir/spice_fourier_test.cpp.o.d"
+  "/root/repo/tests/spice_junction_test.cpp" "tests/CMakeFiles/ahfic_tests.dir/spice_junction_test.cpp.o" "gcc" "tests/CMakeFiles/ahfic_tests.dir/spice_junction_test.cpp.o.d"
+  "/root/repo/tests/spice_linalg_test.cpp" "tests/CMakeFiles/ahfic_tests.dir/spice_linalg_test.cpp.o" "gcc" "tests/CMakeFiles/ahfic_tests.dir/spice_linalg_test.cpp.o.d"
+  "/root/repo/tests/spice_linear_test.cpp" "tests/CMakeFiles/ahfic_tests.dir/spice_linear_test.cpp.o" "gcc" "tests/CMakeFiles/ahfic_tests.dir/spice_linear_test.cpp.o.d"
+  "/root/repo/tests/spice_mosfet_test.cpp" "tests/CMakeFiles/ahfic_tests.dir/spice_mosfet_test.cpp.o" "gcc" "tests/CMakeFiles/ahfic_tests.dir/spice_mosfet_test.cpp.o.d"
+  "/root/repo/tests/spice_noise_test.cpp" "tests/CMakeFiles/ahfic_tests.dir/spice_noise_test.cpp.o" "gcc" "tests/CMakeFiles/ahfic_tests.dir/spice_noise_test.cpp.o.d"
+  "/root/repo/tests/spice_parser_test.cpp" "tests/CMakeFiles/ahfic_tests.dir/spice_parser_test.cpp.o" "gcc" "tests/CMakeFiles/ahfic_tests.dir/spice_parser_test.cpp.o.d"
+  "/root/repo/tests/spice_rundeck_test.cpp" "tests/CMakeFiles/ahfic_tests.dir/spice_rundeck_test.cpp.o" "gcc" "tests/CMakeFiles/ahfic_tests.dir/spice_rundeck_test.cpp.o.d"
+  "/root/repo/tests/spice_sources_test.cpp" "tests/CMakeFiles/ahfic_tests.dir/spice_sources_test.cpp.o" "gcc" "tests/CMakeFiles/ahfic_tests.dir/spice_sources_test.cpp.o.d"
+  "/root/repo/tests/spice_subckt_test.cpp" "tests/CMakeFiles/ahfic_tests.dir/spice_subckt_test.cpp.o" "gcc" "tests/CMakeFiles/ahfic_tests.dir/spice_subckt_test.cpp.o.d"
+  "/root/repo/tests/spice_temperature_test.cpp" "tests/CMakeFiles/ahfic_tests.dir/spice_temperature_test.cpp.o" "gcc" "tests/CMakeFiles/ahfic_tests.dir/spice_temperature_test.cpp.o.d"
+  "/root/repo/tests/tuner_distortion_test.cpp" "tests/CMakeFiles/ahfic_tests.dir/tuner_distortion_test.cpp.o" "gcc" "tests/CMakeFiles/ahfic_tests.dir/tuner_distortion_test.cpp.o.d"
+  "/root/repo/tests/tuner_emit_test.cpp" "tests/CMakeFiles/ahfic_tests.dir/tuner_emit_test.cpp.o" "gcc" "tests/CMakeFiles/ahfic_tests.dir/tuner_emit_test.cpp.o.d"
+  "/root/repo/tests/tuner_test.cpp" "tests/CMakeFiles/ahfic_tests.dir/tuner_test.cpp.o" "gcc" "tests/CMakeFiles/ahfic_tests.dir/tuner_test.cpp.o.d"
+  "/root/repo/tests/util_fft_test.cpp" "tests/CMakeFiles/ahfic_tests.dir/util_fft_test.cpp.o" "gcc" "tests/CMakeFiles/ahfic_tests.dir/util_fft_test.cpp.o.d"
+  "/root/repo/tests/util_numeric_test.cpp" "tests/CMakeFiles/ahfic_tests.dir/util_numeric_test.cpp.o" "gcc" "tests/CMakeFiles/ahfic_tests.dir/util_numeric_test.cpp.o.d"
+  "/root/repo/tests/util_plot_test.cpp" "tests/CMakeFiles/ahfic_tests.dir/util_plot_test.cpp.o" "gcc" "tests/CMakeFiles/ahfic_tests.dir/util_plot_test.cpp.o.d"
+  "/root/repo/tests/util_strings_test.cpp" "tests/CMakeFiles/ahfic_tests.dir/util_strings_test.cpp.o" "gcc" "tests/CMakeFiles/ahfic_tests.dir/util_strings_test.cpp.o.d"
+  "/root/repo/tests/util_table_test.cpp" "tests/CMakeFiles/ahfic_tests.dir/util_table_test.cpp.o" "gcc" "tests/CMakeFiles/ahfic_tests.dir/util_table_test.cpp.o.d"
+  "/root/repo/tests/util_units_test.cpp" "tests/CMakeFiles/ahfic_tests.dir/util_units_test.cpp.o" "gcc" "tests/CMakeFiles/ahfic_tests.dir/util_units_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ahfic_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/celldb/CMakeFiles/ahfic_celldb.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuner/CMakeFiles/ahfic_tuner.dir/DependInfo.cmake"
+  "/root/repo/build/src/ahdl/CMakeFiles/ahfic_ahdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/bjtgen/CMakeFiles/ahfic_bjtgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/ahfic_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ahfic_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
