@@ -6,21 +6,35 @@
 // (same vertical profile) while the collector current at the peak scales
 // with the emitter area — so a circuit running at a fixed current must
 // pick the shape whose peak sits at that current.
+//
+// The sweep runs through the batch runner (one job per shape x current
+// point plus one peak-search job per shape); results are identical for
+// any worker count. Usage: bench_fig9_ft_vs_ic [--jobs N]
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <vector>
 
-#include "bjtgen/ft.h"
 #include "bjtgen/generator.h"
+#include "runner/engine.h"
+#include "runner/workloads.h"
 #include "util/table.h"
 #include "util/units.h"
 
 namespace bg = ahfic::bjtgen;
+namespace rn = ahfic::runner;
 namespace u = ahfic::util;
 
-int main() {
+int main(int argc, char** argv) {
+  int jobs = 0;  // 0 = hardware concurrency
+  for (int k = 1; k < argc; ++k) {
+    if (std::strcmp(argv[k], "--jobs") == 0 && k + 1 < argc)
+      jobs = std::atoi(argv[++k]);
+  }
+
   const auto gen = bg::ModelGenerator::withDefaultTechnology();
   const auto shapes = bg::fig9Shapes();
 
@@ -33,19 +47,28 @@ int main() {
   for (double ic = 0.05e-3; ic <= 20.001e-3; ic *= std::pow(10.0, 0.125))
     currents.push_back(ic);
 
+  rn::RunnerOptions ropts;
+  ropts.threads = jobs;
+  ropts.useCache = false;  // one-shot sweep; nothing to reuse
+  rn::BatchRunner runner(ropts);
+
+  // Sweep points and the per-shape peak searches in one batch.
+  auto batchJobs = rn::fig9SweepJobs(gen, shapes, currents);
+  const size_t sweepCount = batchJobs.size();
+  for (auto& job : rn::ftPeakJobs(gen, shapes, 0.05e-3, 40e-3, 19))
+    batchJobs.push_back(std::move(job));
+  const auto batch = runner.run(batchJobs);
+
   std::vector<std::string> header = {"Ic [mA]"};
   for (const auto& s : shapes) header.push_back(s.name());
   u::Table table(header);
 
-  std::vector<bg::FtExtractor> extractors;
-  extractors.reserve(shapes.size());
-  for (const auto& s : shapes) extractors.emplace_back(gen.generate(s));
-
-  for (double ic : currents) {
-    std::vector<std::string> row = {u::fixed(ic * 1e3, 2)};
-    for (size_t k = 0; k < shapes.size(); ++k) {
-      if (ic < 0.9 * extractors[k].maxBiasCurrent()) {
-        row.push_back(u::fixed(extractors[k].measureAt(ic).ft / 1e9, 2));
+  for (size_t k = 0; k < currents.size(); ++k) {
+    std::vector<std::string> row = {u::fixed(currents[k] * 1e3, 2)};
+    for (size_t s = 0; s < shapes.size(); ++s) {
+      const auto& out = batch.outcomes[s * currents.size() + k];
+      if (out.ok() && !out.result.has("skipped")) {
+        row.push_back(u::fixed(out.result.get("ft") / 1e9, 2));
       } else {
         row.push_back("-");
       }
@@ -57,15 +80,25 @@ int main() {
   std::cout << "\n== Peak summary (the paper's point: peak-fT current "
                "depends on shape) ==\n\n";
   u::Table peaks({"Shape", "peak fT", "Ic @ peak", "emitter area"});
-  for (size_t k = 0; k < shapes.size(); ++k) {
-    const auto pk = extractors[k].findPeak(0.05e-3, 40e-3, 19);
-    peaks.addRow({shapes[k].name(), u::formatFrequency(pk.ftPeak),
-                  u::fixed(pk.icPeak * 1e3, 2) + " mA",
-                  u::fixed(shapes[k].emitterArea() * 1e12, 1) + " um^2"});
+  for (size_t s = 0; s < shapes.size(); ++s) {
+    const auto& out = batch.outcomes[sweepCount + s];
+    peaks.addRow({shapes[s].name(),
+                  out.ok() ? u::formatFrequency(out.result.get("ftPeak"))
+                           : "failed",
+                  u::fixed(out.result.get("icPeak") * 1e3, 2) + " mA",
+                  u::fixed(shapes[s].emitterArea() * 1e12, 1) + " um^2"});
   }
   peaks.print(std::cout);
+
+  const auto& m = batch.manifest;
   std::cout << "\nExpected shape (paper): peak fT roughly constant across "
                "the family;\npeak-current grows with emitter length "
                "(~2x per step).\n";
+  std::cout << "\n[runner] " << m.jobs.size() << " jobs on " << m.threads
+            << " thread(s): " << m.countWithStatus(rn::JobStatus::kOk)
+            << " ok, " << m.countWithStatus(rn::JobStatus::kRecovered)
+            << " recovered, " << m.countWithStatus(rn::JobStatus::kFailed)
+            << " failed, " << u::fixed(m.wallMs, 0) << " ms ("
+            << u::fixed(m.throughputJobsPerSec(), 1) << " jobs/s)\n";
   return 0;
 }

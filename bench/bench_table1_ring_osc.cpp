@@ -6,20 +6,34 @@
 // free-running frequency is measured from the transient waveform. The
 // paper's conclusion to reproduce: "the best shape for the transistors
 // was N1.2-12D".
+//
+// One transient job per candidate shape, executed by the batch runner.
+// Usage: bench_table1_ring_osc [--jobs N]
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <vector>
 
 #include "bjtgen/generator.h"
 #include "bjtgen/ringosc.h"
+#include "runner/engine.h"
+#include "runner/workloads.h"
 #include "util/table.h"
 #include "util/units.h"
 
 namespace bg = ahfic::bjtgen;
+namespace rn = ahfic::runner;
 namespace u = ahfic::util;
 
-int main() {
+int main(int argc, char** argv) {
+  int jobs = 0;
+  for (int k = 1; k < argc; ++k) {
+    if (std::strcmp(argv[k], "--jobs") == 0 && k + 1 < argc)
+      jobs = std::atoi(argv[++k]);
+  }
+
   const auto gen = bg::ModelGenerator::withDefaultTechnology();
 
   bg::RingOscillatorSpec spec;
@@ -31,6 +45,14 @@ int main() {
             << u::fixed(spec.tailCurrent * 1e3, 1)
             << " mA per stage, followers fixed at N1.2-6D)\n\n";
 
+  const auto shapes = bg::fig8Shapes();
+  rn::RunnerOptions ropts;
+  ropts.threads = jobs;
+  ropts.useCache = false;
+  rn::BatchRunner runner(ropts);
+  const auto batch =
+      runner.run(rn::ringShapeJobs(gen, shapes, spec, 10.0, 3.0));
+
   struct Row {
     std::string shape;
     double freq;
@@ -38,12 +60,12 @@ int main() {
     double emitterSizeUm2;
   };
   std::vector<Row> rows;
-
-  for (const auto& shape : bg::fig8Shapes()) {
-    spec.diffPairModel = gen.generate(shape);
-    const auto m = bg::measureRingFrequency(spec, 10.0, 3.0);
-    rows.push_back({shape.name(), m.oscillating ? m.frequency : 0.0,
-                    m.peakToPeak, shape.emitterArea() * 1e12});
+  for (size_t s = 0; s < shapes.size(); ++s) {
+    const auto& out = batch.outcomes[s];
+    const bool osc = out.ok() && out.result.get("oscillating") > 0.5;
+    rows.push_back({shapes[s].name(), osc ? out.result.get("frequency") : 0.0,
+                    out.result.get("peakToPeak"),
+                    shapes[s].emitterArea() * 1e12});
   }
 
   u::Table table(
@@ -65,5 +87,10 @@ int main() {
                "was N1.2-12D\" -> "
             << (best->shape == "N1.2-12D" ? "REPRODUCED" : "NOT reproduced")
             << "\n";
+
+  const auto& m = batch.manifest;
+  std::cout << "\n[runner] " << m.jobs.size() << " jobs on " << m.threads
+            << " thread(s), " << u::fixed(m.wallMs, 0) << " ms, "
+            << m.totalNewtonIterations() << " Newton iterations\n";
   return 0;
 }

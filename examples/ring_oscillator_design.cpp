@@ -6,66 +6,94 @@
 //   3. Compare fT at the operating current (Fig. 9 reading).
 //   4. Confirm with full transient simulations of the Fig. 11 oscillator
 //      (Table 1) and pick the winner.
+//
+// Steps 3 and 4 are independent per shape, so both run as batches on the
+// job engine. Usage: ring_oscillator_design [--jobs N]
 
-#include <algorithm>
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
+#include <vector>
 
 #include "bjtgen/ft.h"
 #include "bjtgen/generator.h"
 #include "bjtgen/ringosc.h"
+#include "runner/engine.h"
+#include "runner/workloads.h"
 #include "util/table.h"
 #include "util/units.h"
 
 namespace bg = ahfic::bjtgen;
+namespace rn = ahfic::runner;
 namespace u = ahfic::util;
 
-int main() {
+int main(int argc, char** argv) {
+  int jobs = 0;
+  for (int k = 1; k < argc; ++k) {
+    if (std::strcmp(argv[k], "--jobs") == 0 && k + 1 < argc)
+      jobs = std::atoi(argv[++k]);
+  }
+
   const auto gen = bg::ModelGenerator::withDefaultTechnology();
   const double icOperating = 3e-3;
+  const auto shapes = bg::fig8Shapes();
 
   std::cout << "== Shape selection for the 5-stage ECL ring oscillator ==\n"
             << "Fixed by the design: topology, VCC = 5 V, tail current "
             << u::fixed(icOperating * 1e3, 0) << " mA.\n\n";
 
+  rn::RunnerOptions ropts;
+  ropts.threads = jobs;
+  ropts.useCache = false;
+  rn::BatchRunner runner(ropts);
+
+  // Step 1 batch: fT at the operating current + peak location per shape.
+  auto ftJobs = rn::fig9SweepJobs(gen, shapes, {icOperating}, "sec4-ft");
+  const size_t atIcCount = ftJobs.size();
+  for (auto& job : rn::ftPeakJobs(gen, shapes, 0.1e-3, 30e-3, 15,
+                                  "sec4-peak"))
+    ftJobs.push_back(std::move(job));
+  const auto ftBatch = runner.run(ftJobs);
+
   std::cout << "Step 1: generated cards and fT at the operating "
                "current:\n\n";
   u::Table shapeTable(
       {"Shape", "RB [ohm]", "CJC [fF]", "fT @ 3 mA", "fT peak Ic"});
-  struct Candidate {
-    std::string name;
-    double ftAtIc;
-  };
-  std::vector<Candidate> candidates;
-  for (const auto& shape : bg::fig8Shapes()) {
-    const auto card = gen.generate(shape);
-    bg::FtExtractor fx(card);
-    const double ft = fx.measureAt(icOperating).ft;
-    const auto peak = fx.findPeak(0.1e-3, 30e-3, 15);
-    shapeTable.addRow({shape.name(), u::fixed(card.rb, 0),
-                       u::fixed(card.cjc * 1e15, 1),
-                       u::formatFrequency(ft),
-                       u::fixed(peak.icPeak * 1e3, 2) + " mA"});
-    candidates.push_back({shape.name(), ft});
+  for (size_t s = 0; s < shapes.size(); ++s) {
+    const auto card = gen.generate(shapes[s]);
+    const auto& atIc = ftBatch.outcomes[s];  // one current per shape
+    const auto& peak = ftBatch.outcomes[atIcCount + s];
+    shapeTable.addRow(
+        {shapes[s].name(), u::fixed(card.rb, 0),
+         u::fixed(card.cjc * 1e15, 1),
+         atIc.ok() && !atIc.result.has("skipped")
+             ? u::formatFrequency(atIc.result.get("ft"))
+             : "failed",
+         u::fixed(peak.result.get("icPeak") * 1e3, 2) + " mA"});
   }
   shapeTable.print(std::cout);
 
+  // Step 2 batch: one full transient per candidate shape.
   std::cout << "\nStep 2: confirm with transient simulation of the full "
                "oscillator:\n\n";
   bg::RingOscillatorSpec spec;
   spec.tailCurrent = icOperating;
   spec.followerModel = gen.generate("N1.2-6D");
+  const auto ringBatch =
+      runner.run(rn::ringShapeJobs(gen, shapes, spec, 10.0, 3.0, "sec4"));
+
   u::Table ringTable({"Shape", "free-running frequency"});
   std::string best;
   double bestF = 0.0;
-  for (const auto& shape : bg::fig8Shapes()) {
-    spec.diffPairModel = gen.generate(shape);
-    const auto m = bg::measureRingFrequency(spec, 10.0, 3.0);
-    ringTable.addRow({shape.name(), m.oscillating
-                                        ? u::formatFrequency(m.frequency)
-                                        : "no oscillation"});
-    if (m.oscillating && m.frequency > bestF) {
-      bestF = m.frequency;
-      best = shape.name();
+  for (size_t s = 0; s < shapes.size(); ++s) {
+    const auto& out = ringBatch.outcomes[s];
+    const bool osc = out.ok() && out.result.get("oscillating") > 0.5;
+    const double f = out.result.get("frequency");
+    ringTable.addRow(
+        {shapes[s].name(), osc ? u::formatFrequency(f) : "no oscillation"});
+    if (osc && f > bestF) {
+      bestF = f;
+      best = shapes[s].name();
     }
   }
   ringTable.print(std::cout);

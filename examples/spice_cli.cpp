@@ -1,16 +1,27 @@
-// A batch SPICE runner: parse a deck, run its .OP/.DC/.AC/.TRAN cards,
-// print listing-style results. The seventh runnable example, and a handy
-// standalone tool for poking at the simulator.
+// A batch SPICE runner: parse one or more decks, run their
+// .OP/.DC/.AC/.TRAN cards, print listing-style results. The seventh
+// runnable example, and a handy standalone tool for poking at the
+// simulator.
 //
 // Usage:
-//   ./spice_cli [deck.sp]
-// With no argument a built-in demo deck (the Fig. 11-style ECL gate) runs.
+//   ./spice_cli [--jobs N] [deck.sp ...]
+// With no deck a built-in demo deck (the Fig. 11-style ECL gate) runs.
+// Several decks are executed as one batch through the job engine — N
+// worker threads (default: hardware concurrency), each deck's listing
+// captured and printed in argument order, a parse/convergence failure in
+// one deck never aborting the others.
 
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <vector>
 
+#include "runner/engine.h"
 #include "spice/rundeck.h"
+
+namespace rn = ahfic::runner;
 
 namespace {
 
@@ -43,27 +54,84 @@ X1 inp inn outp outn vcc eclstage
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string text;
-  if (argc > 1) {
-    std::ifstream f(argv[1]);
+  int jobs = 0;
+  std::vector<std::string> deckPaths;
+  for (int k = 1; k < argc; ++k) {
+    if (std::strcmp(argv[k], "--jobs") == 0 && k + 1 < argc)
+      jobs = std::atoi(argv[++k]);
+    else
+      deckPaths.emplace_back(argv[k]);
+  }
+
+  std::vector<std::pair<std::string, std::string>> decks;  // label, text
+  for (const std::string& path : deckPaths) {
+    std::ifstream f(path);
     if (!f) {
-      std::cerr << "cannot open '" << argv[1] << "'\n";
+      std::cerr << "cannot open '" << path << "'\n";
       return 1;
     }
     std::ostringstream ss;
     ss << f.rdbuf();
-    text = ss.str();
-  } else {
+    decks.emplace_back(path, ss.str());
+  }
+  if (decks.empty()) {
     std::cout << "(no deck given; running the built-in ECL-stage demo)\n\n";
-    text = kDemoDeck;
+    decks.emplace_back("<demo>", kDemoDeck);
   }
 
-  try {
-    auto deck = ahfic::spice::parseDeck(text);
-    ahfic::spice::runDeck(deck, std::cout);
-  } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << "\n";
-    return 1;
+  if (decks.size() == 1) {
+    // Single deck: stream directly, exactly the classic behaviour.
+    try {
+      auto deck = ahfic::spice::parseDeck(decks[0].second);
+      ahfic::spice::runDeck(deck, std::cout);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 1;
+    }
+    return 0;
   }
-  return 0;
+
+  // Multiple decks: one job per deck. Each job renders its listing into
+  // its own slot; the engine guarantees a failed deck is reported in the
+  // manifest instead of killing the batch.
+  std::vector<std::string> listings(decks.size());
+  std::vector<rn::Job> batchJobs;
+  for (size_t k = 0; k < decks.size(); ++k) {
+    rn::Job job;
+    job.key = "deck/" + decks[k].first;
+    job.run = [&listings, &decks, k](rn::JobContext&) {
+      std::ostringstream out;
+      auto deck = ahfic::spice::parseDeck(decks[k].second);
+      ahfic::spice::runDeck(deck, out);
+      listings[k] = out.str();
+      return rn::JobResult{};
+    };
+    batchJobs.push_back(std::move(job));
+  }
+
+  rn::RunnerOptions ropts;
+  ropts.threads = jobs;
+  ropts.useCache = false;  // listings are text, not cacheable metrics
+  rn::BatchRunner runner(ropts);
+  const auto batch = runner.run(batchJobs);
+
+  int failures = 0;
+  for (size_t k = 0; k < decks.size(); ++k) {
+    std::cout << "===== " << decks[k].first << " =====\n";
+    const auto& out = batch.outcomes[k];
+    if (out.ok()) {
+      std::cout << listings[k];
+      if (out.record.status == rn::JobStatus::kRecovered)
+        std::cout << "(recovered on retry rung '" << out.record.rungName
+                  << "')\n";
+    } else {
+      ++failures;
+      std::cout << "error: " << out.record.error << "\n";
+    }
+    std::cout << "\n";
+  }
+  std::cout << "[runner] " << decks.size() << " deck(s) on "
+            << batch.manifest.threads << " thread(s), " << failures
+            << " failed\n";
+  return failures == 0 ? 0 : 1;
 }

@@ -13,22 +13,35 @@ namespace ahfic::bjtgen {
 
 namespace sp = ahfic::spice;
 
-FtExtractor::FtExtractor(spice::BjtModel model, double vce)
-    : model_(model), vce_(vce) {
+FtExtractor::FtExtractor(spice::BjtModel model, double vce,
+                         spice::AnalysisOptions opts)
+    : model_(model), vce_(vce), opts_(opts) {
   if (vce <= 0.0) throw Error("FtExtractor: vce must be > 0");
+}
+
+void FtExtractor::absorb(const spice::AnalyzerStats& s) const {
+  stats_.newtonIterations += s.newtonIterations;
+  stats_.matrixSolves += s.matrixSolves;
+  stats_.acceptedSteps += s.acceptedSteps;
+  stats_.rejectedSteps += s.rejectedSteps;
+  stats_.gminSteps += s.gminSteps;
+  stats_.sourceSteps += s.sourceSteps;
 }
 
 namespace {
 
 /// Collector current of a voltage-driven common-emitter bias cell.
-double icAtVbe(const spice::BjtModel& model, double vbe, double vce) {
+double icAtVbe(const spice::BjtModel& model, double vbe, double vce,
+               const sp::AnalysisOptions& opts,
+               sp::AnalyzerStats* statsOut) {
   sp::Circuit ckt;
   const int c = ckt.node("c"), b = ckt.node("b");
   ckt.add<sp::VSource>("VB", b, 0, vbe);
   auto& vc = ckt.add<sp::VSource>("VC", c, 0, vce);
   ckt.add<sp::Bjt>("Q1", ckt, c, b, 0, model);
-  sp::Analyzer an(ckt);
+  sp::Analyzer an(ckt, opts);
   const auto x = an.op();
+  if (statsOut != nullptr) *statsOut = an.stats();
   sp::Solution s(&x);
   return -s.at(vc.branchId());
 }
@@ -37,14 +50,20 @@ double icAtVbe(const spice::BjtModel& model, double vbe, double vce) {
 
 double FtExtractor::solveBias(double icTarget) const {
   if (icTarget <= 0.0) throw Error("FtExtractor: ic must be > 0");
+  sp::AnalyzerStats st;
+  auto icAt = [&](double vbe) {
+    const double ic = icAtVbe(model_, vbe, vce_, opts_, &st);
+    absorb(st);
+    return ic;
+  };
   double lo = 0.3, hi = 1.15;
-  double iLo = icAtVbe(model_, lo, vce_);
-  double iHi = icAtVbe(model_, hi, vce_);
+  double iLo = icAt(lo);
+  double iHi = icAt(hi);
   if (icTarget <= iLo || icTarget >= iHi)
     throw Error("FtExtractor: target current out of bias range");
   for (int iter = 0; iter < 60; ++iter) {
     const double mid = 0.5 * (lo + hi);
-    const double iMid = icAtVbe(model_, mid, vce_);
+    const double iMid = icAt(mid);
     if (std::fabs(iMid - icTarget) < 1e-3 * icTarget) return mid;
     if (iMid < icTarget)
       lo = mid;
@@ -70,8 +89,9 @@ FtPoint FtExtractor::measureAt(double ic) const {
   }
   double ib = 0.0;
   {
-    sp::Analyzer an(vckt);
+    sp::Analyzer an(vckt, opts_);
     const auto x = an.op();
+    absorb(an.stats());
     sp::Solution s(&x);
     auto* vb = dynamic_cast<sp::VSource*>(vckt.findDevice("VB"));
     ib = -s.at(vb->branchId());
@@ -83,8 +103,9 @@ FtPoint FtExtractor::measureAt(double ic) const {
   ckt.add<sp::ISource>("IB", 0, b, ib, /*acMag=*/1.0);
   auto& vc = ckt.add<sp::VSource>("VC", c, 0, vce_);
   ckt.add<sp::Bjt>("Q1", ckt, c, b, 0, model_);
-  sp::Analyzer an(ckt);
+  sp::Analyzer an(ckt, opts_);
   const auto op = an.op();
+  absorb(an.stats());
 
   auto h21At = [&](double f) {
     const auto ac = an.ac({f}, op);
@@ -136,8 +157,9 @@ FtPoint FtExtractor::measureAnalyticAt(double ic) const {
   ckt.add<sp::VSource>("VB", b, 0, pt.vbe);
   ckt.add<sp::VSource>("VC", c, 0, vce_);
   auto& q = ckt.add<sp::Bjt>("Q1", ckt, c, b, 0, model_);
-  sp::Analyzer an(ckt);
+  sp::Analyzer an(ckt, opts_);
   const auto x = an.op();
+  absorb(an.stats());
   sp::Solution s(&x);
   pt.ft = q.opInfo(s).ft();
   return pt;
@@ -152,7 +174,7 @@ std::vector<FtPoint> FtExtractor::sweep(
 }
 
 double FtExtractor::maxBiasCurrent() const {
-  return icAtVbe(model_, 1.15, vce_);
+  return icAtVbe(model_, 1.15, vce_, opts_, nullptr);
 }
 
 FtPeak FtExtractor::findPeak(double icMin, double icMax, int points) const {

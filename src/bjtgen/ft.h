@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "spice/analysis.h"
 #include "spice/models.h"
 
 namespace ahfic::bjtgen {
@@ -29,9 +30,13 @@ struct FtPeak {
 };
 
 /// Measures fT of one transistor model biased at Vce (default 2 V).
+/// `opts` is handed to every internal Analyzer, so callers (notably the
+/// runner's retry ladder) can loosen tolerances without rebuilding the
+/// harness.
 class FtExtractor {
  public:
-  explicit FtExtractor(spice::BjtModel model, double vce = 2.0);
+  explicit FtExtractor(spice::BjtModel model, double vce = 2.0,
+                       spice::AnalysisOptions opts = {});
 
   /// Solves for the Vbe that produces collector current `ic` (bisection on
   /// operating points), then extracts fT by the AC method.
@@ -52,12 +57,22 @@ class FtExtractor {
   /// injection); sweep requests above ~90% of this are rejected.
   double maxBiasCurrent() const;
 
+  /// Solver work accumulated over every measurement since construction
+  /// (or the last resetSolverStats) — the per-job observability feed for
+  /// the runner's manifests.
+  const spice::AnalyzerStats& solverStats() const { return stats_; }
+  void resetSolverStats() { stats_ = {}; }
+
  private:
   /// Finds vbe with ic(vbe) = target; returns vbe.
   double solveBias(double icTarget) const;
+  /// Adds one internal Analyzer's counters to the accumulator.
+  void absorb(const spice::AnalyzerStats& s) const;
 
   spice::BjtModel model_;
   double vce_;
+  spice::AnalysisOptions opts_;
+  mutable spice::AnalyzerStats stats_;
 };
 
 }  // namespace ahfic::bjtgen

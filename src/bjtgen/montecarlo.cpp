@@ -80,6 +80,24 @@ Technology cornerTechnology(const Technology& nominal,
   return t;
 }
 
+ModelGenerator dieGenerator(const Technology& nominal,
+                            const ProcessVariation& var,
+                            std::uint64_t dieSeed) {
+  util::Rng rng(dieSeed);
+  const Technology die = sampleTechnology(nominal, var, rng);
+  return ModelGenerator(die, TransistorShape::fromName("N1.2-6S"),
+                        referenceModelFor(die));
+}
+
+spice::BjtModel withLocalMismatch(const spice::BjtModel& card,
+                                  const ProcessVariation& var,
+                                  util::Rng& rng) {
+  spice::BjtModel m = card;
+  m.is *= factor(rng, var.localMismatch);
+  m.bf *= factor(rng, var.localMismatch);
+  return m;
+}
+
 ModelGenerator cornerGenerator(Corner corner, double sigmas) {
   const Technology tech = cornerTechnology(
       defaultTechnology(), ProcessVariation{}, corner, sigmas);
@@ -100,10 +118,7 @@ ModelGenerator MonteCarloGenerator::sampleDie() {
 
 spice::BjtModel MonteCarloGenerator::withLocalMismatch(
     const spice::BjtModel& card) {
-  spice::BjtModel m = card;
-  m.is *= factor(rng_, var_.localMismatch);
-  m.bf *= factor(rng_, var_.localMismatch);
-  return m;
+  return bjtgen::withLocalMismatch(card, var_, rng_);
 }
 
 }  // namespace ahfic::bjtgen

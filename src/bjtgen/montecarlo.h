@@ -35,6 +35,21 @@ struct ProcessVariation {
 Technology sampleTechnology(const Technology& nominal,
                             const ProcessVariation& var, util::Rng& rng);
 
+/// One die drawn from its own RNG stream seeded with `dieSeed`. Unlike
+/// MonteCarloGenerator::sampleDie (which advances shared sequential
+/// state), this is a pure function of its arguments — the building block
+/// the batch runner fans out so die k is identical no matter which worker
+/// thread draws it or in what order.
+ModelGenerator dieGenerator(const Technology& nominal,
+                            const ProcessVariation& var,
+                            std::uint64_t dieSeed);
+
+/// Local (device-to-device) IS/BF mismatch drawn from an explicit RNG
+/// stream; the per-die equivalent of MonteCarloGenerator::withLocalMismatch.
+spice::BjtModel withLocalMismatch(const spice::BjtModel& card,
+                                  const ProcessVariation& var,
+                                  util::Rng& rng);
+
 /// Named worst-case corners, the deterministic companions of the
 /// Monte-Carlo draw. kSlow: high resistances/capacitances, long transit
 /// time; kFast: the opposite. `sigmas` sets how far out the corner sits

@@ -69,13 +69,16 @@ RingOscillatorNodes buildRingOscillator(spice::Circuit& ckt,
 }
 
 RingMeasurement measureRingFrequency(const RingOscillatorSpec& spec,
-                                     double windowNs, double stepPs) {
+                                     double windowNs, double stepPs,
+                                     spice::AnalysisOptions opts,
+                                     spice::AnalyzerStats* statsOut) {
   sp::Circuit ckt;
   const auto nodes = buildRingOscillator(ckt, spec);
-  sp::Analyzer an(ckt);
+  sp::Analyzer an(ckt, opts);
   const double tstop = windowNs * 1e-9;
   const auto tr = an.transient(tstop, stepPs * 1e-12,
                                /*recordFrom=*/tstop * 0.25);
+  if (statsOut != nullptr) *statsOut = an.stats();
   const auto v = tr.voltage(ckt.findNode(nodes.output));
 
   RingMeasurement m;

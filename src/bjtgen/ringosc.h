@@ -10,6 +10,7 @@
 
 #include <string>
 
+#include "spice/analysis.h"
 #include "spice/circuit.h"
 #include "spice/models.h"
 
@@ -49,8 +50,13 @@ struct RingMeasurement {
 /// `settle` and `observe` are expressed in estimated periods
 /// (estimate: 8 gate delays of ~0.6/fT each... practically, the simulation
 /// window is `windowNs` nanoseconds with `stepPs` picosecond step cap).
+/// `opts` reaches the internal Analyzer (the runner's retry ladder relies
+/// on this); `statsOut`, when non-null, receives the solver counters of
+/// the measurement for per-job manifests.
 RingMeasurement measureRingFrequency(const RingOscillatorSpec& spec,
                                      double windowNs = 8.0,
-                                     double stepPs = 3.0);
+                                     double stepPs = 3.0,
+                                     spice::AnalysisOptions opts = {},
+                                     spice::AnalyzerStats* statsOut = nullptr);
 
 }  // namespace ahfic::bjtgen

@@ -1,0 +1,118 @@
+#include "runner/cache.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "util/error.h"
+#include "util/json.h"
+
+namespace ahfic::runner {
+
+namespace js = ahfic::util;
+
+std::optional<JobResult> ResultCache::lookup(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = map_.find(key);
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+void ResultCache::store(const std::string& key, const JobResult& result) {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_[key] = result;
+}
+
+size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+void ResultCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+}
+
+namespace {
+
+std::string hexFloat(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  return buf;
+}
+
+double parseHexFloat(const std::string& s) {
+  return std::strtod(s.c_str(), nullptr);
+}
+
+}  // namespace
+
+bool ResultCache::loadFile(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return false;
+  std::ostringstream ss;
+  ss << f.rdbuf();
+
+  const js::JsonValue doc = js::parseJson(ss.str());
+  if (!doc.isObject() ||
+      doc.get("schema").asString() != "ahfic-runner-cache-v1")
+    throw Error("ResultCache: '" + path + "' is not a runner cache file");
+
+  const js::JsonValue& entries = doc.get("entries");
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t k = 0; k < entries.size(); ++k) {
+    const js::JsonValue& e = entries.at(k);
+    JobResult r;
+    const js::JsonValue& metrics = e.get("metrics");
+    for (const std::string& name : metrics.keys()) {
+      const js::JsonValue& m = metrics.get(name);
+      // Prefer the exact hex encoding; fall back to the decimal value
+      // for hand-edited files.
+      if (m.isObject() && m.has("hex"))
+        r.metrics.emplace_back(name, parseHexFloat(m.get("hex").asString()));
+      else
+        r.metrics.emplace_back(name, m.asNumber());
+    }
+    map_[e.get("key").asString()] = std::move(r);
+  }
+  return true;
+}
+
+void ResultCache::saveFile(const std::string& path) const {
+  js::JsonValue doc = js::JsonValue::object();
+  doc.set("schema", "ahfic-runner-cache-v1");
+  js::JsonValue entries = js::JsonValue::array();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Sorted keys: byte-identical files for identical contents.
+    std::vector<std::string> keys;
+    keys.reserve(map_.size());
+    for (const auto& [key, result] : map_) keys.push_back(key);
+    std::sort(keys.begin(), keys.end());
+    for (const std::string& key : keys) {
+      const JobResult& result = map_.at(key);
+      js::JsonValue e = js::JsonValue::object();
+      e.set("key", key);
+      js::JsonValue metrics = js::JsonValue::object();
+      for (const auto& [name, value] : result.metrics) {
+        js::JsonValue m = js::JsonValue::object();
+        m.set("value", value);
+        m.set("hex", hexFloat(value));
+        metrics.set(name, std::move(m));
+      }
+      e.set("metrics", std::move(metrics));
+      entries.push(std::move(e));
+    }
+  }
+  doc.set("entries", std::move(entries));
+
+  std::ofstream f(path);
+  if (!f) throw Error("ResultCache: cannot write '" + path + "'");
+  f << doc.dump(1) << "\n";
+  if (!f.good()) throw Error("ResultCache: write to '" + path + "' failed");
+}
+
+}  // namespace ahfic::runner

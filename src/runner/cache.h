@@ -1,0 +1,44 @@
+#pragma once
+// Result cache for the batch engine: job key -> JobResult.
+//
+// In-memory, thread-safe, with optional on-disk JSON persistence so a
+// re-run of a sweep skips every already-solved point. Metric values are
+// stored in the file both as decimal (for humans) and C99 hex-float (for
+// exact round-trip), so a cache hit reproduces the original result
+// bit-for-bit.
+
+#include <cstdint>
+#include <optional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "runner/job.h"
+
+namespace ahfic::runner {
+
+class ResultCache {
+ public:
+  /// Returns the cached result for `key`, or nullopt.
+  std::optional<JobResult> lookup(const std::string& key) const;
+
+  /// Inserts or overwrites.
+  void store(const std::string& key, const JobResult& result);
+
+  size_t size() const;
+  void clear();
+
+  /// Merges entries from a cache file written by saveFile. Returns false
+  /// (leaving the cache unchanged) when the file does not exist; throws
+  /// on a malformed file.
+  bool loadFile(const std::string& path);
+
+  /// Writes every entry as JSON. Throws on I/O failure.
+  void saveFile(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, JobResult> map_;
+};
+
+}  // namespace ahfic::runner

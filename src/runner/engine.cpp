@@ -1,0 +1,148 @@
+#include "runner/engine.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "util/error.h"
+
+namespace ahfic::runner {
+
+namespace {
+
+double msSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Hex tag folded into the cache identity of seed-consuming jobs.
+std::string seedTag(std::uint64_t seed) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "@seed=%016llx",
+                static_cast<unsigned long long>(seed));
+  return buf;
+}
+
+}  // namespace
+
+BatchRunner::BatchRunner(RunnerOptions opts) : opts_(std::move(opts)) {
+  if (!opts_.cacheFile.empty()) cache_.loadFile(opts_.cacheFile);
+}
+
+int BatchRunner::effectiveThreads(size_t jobCount) const {
+  int n = opts_.threads;
+  if (n <= 0) n = static_cast<int>(std::thread::hardware_concurrency());
+  if (n <= 0) n = 1;
+  if (static_cast<size_t>(n) > jobCount)
+    n = static_cast<int>(jobCount == 0 ? 1 : jobCount);
+  return n;
+}
+
+JobOutcome BatchRunner::runOne(const Job& job, size_t index, int worker) {
+  JobOutcome out;
+  out.record.key = job.key;
+  out.record.worker = worker;
+
+  // Seed: fixed by (baseSeed, index) — never by thread or schedule.
+  const std::uint64_t seed = deriveJobSeed(opts_.baseSeed, index);
+  const std::string cacheKey =
+      job.usesSeed ? job.key + seedTag(seed) : job.key;
+
+  if (opts_.useCache) {
+    if (auto hit = cache_.lookup(cacheKey)) {
+      out.result = std::move(*hit);
+      out.record.status = JobStatus::kOk;
+      out.record.cacheHit = true;
+      out.record.rungName = "cache";
+      return out;
+    }
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int rung = 0; rung < opts_.ladder.rungCount(); ++rung) {
+    JobContext ctx;
+    ctx.options = opts_.ladder.rung(rung).options;
+    ctx.seed = seed;
+    ctx.rung = rung;
+    ++out.record.attempts;
+    try {
+      out.result = job.run(ctx);
+      out.record.status =
+          rung == 0 ? JobStatus::kOk : JobStatus::kRecovered;
+      out.record.rung = rung;
+      out.record.rungName = opts_.ladder.rung(rung).name;
+      out.record.newtonIterations = ctx.stats.newtonIterations;
+      out.record.matrixSolves = ctx.stats.matrixSolves;
+      out.record.acceptedSteps = ctx.stats.acceptedSteps;
+      out.record.rejectedSteps = ctx.stats.rejectedSteps;
+      out.record.wallMs = msSince(t0);
+      if (opts_.useCache) cache_.store(cacheKey, out.result);
+      return out;
+    } catch (const ConvergenceError& e) {
+      // Escalate; remember the message in case every rung fails.
+      out.record.error = e.what();
+    } catch (const std::exception& e) {
+      // Not a convergence problem: retrying cannot help.
+      out.record.status = JobStatus::kFailed;
+      out.record.rung = rung;
+      out.record.rungName = opts_.ladder.rung(rung).name;
+      out.record.error = e.what();
+      out.record.wallMs = msSince(t0);
+      out.result = JobResult{};
+      return out;
+    }
+  }
+
+  out.record.status = JobStatus::kFailed;
+  out.record.rung = opts_.ladder.rungCount() - 1;
+  out.record.rungName = opts_.ladder.rung(out.record.rung).name;
+  if (out.record.error.empty())
+    out.record.error = "convergence failure on every retry rung";
+  out.record.wallMs = msSince(t0);
+  out.result = JobResult{};
+  return out;
+}
+
+BatchResult BatchRunner::run(const std::vector<Job>& jobs) {
+  BatchResult batch;
+  const int threads = effectiveThreads(jobs.size());
+  batch.manifest.threads = threads;
+  batch.manifest.baseSeed = opts_.baseSeed;
+  batch.outcomes.resize(jobs.size());
+  if (jobs.empty()) return batch;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::atomic<size_t> next{0};
+
+  auto workerLoop = [&](int workerId) {
+    while (true) {
+      const size_t i = next.fetch_add(1);
+      if (i >= jobs.size()) return;
+      // Each worker writes only its own slot: no synchronisation needed
+      // beyond the cache's internal lock.
+      batch.outcomes[i] = runOne(jobs[i], i, workerId);
+    }
+  };
+
+  if (threads <= 1) {
+    workerLoop(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(threads));
+    for (int w = 0; w < threads; ++w) pool.emplace_back(workerLoop, w);
+    for (auto& t : pool) t.join();
+  }
+
+  batch.manifest.wallMs = msSince(t0);
+  batch.manifest.jobs.reserve(jobs.size());
+  for (const auto& out : batch.outcomes)
+    batch.manifest.jobs.push_back(out.record);
+
+  if (opts_.useCache && !opts_.cacheFile.empty())
+    cache_.saveFile(opts_.cacheFile);
+  return batch;
+}
+
+}  // namespace ahfic::runner

@@ -1,0 +1,84 @@
+#pragma once
+// BatchRunner: thread-pool execution of independent simulation jobs with
+// retry escalation, result caching, and a run manifest.
+//
+// Usage:
+//   RunnerOptions opts;
+//   opts.threads = 4;
+//   BatchRunner runner(opts);
+//   BatchResult batch = runner.run(jobs);
+//   batch.manifest.writeJsonFile("manifest.json");
+//   for (const JobOutcome& out : batch.outcomes) ...
+//
+// Guarantees:
+//  * Determinism — outcomes (results, statuses, rungs) are identical for
+//    any worker count, because jobs are independent, seeded per index
+//    from the base seed, and collected in submission order. Only wall
+//    times and worker ids vary.
+//  * No batch-killing exceptions — a job failure (ConvergenceError after
+//    ladder exhaustion, or any other error) is recorded as
+//    JobStatus::kFailed; run() itself only throws for engine-level
+//    problems (e.g. an unwritable cache file).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runner/cache.h"
+#include "runner/job.h"
+#include "runner/manifest.h"
+#include "runner/retry.h"
+
+namespace ahfic::runner {
+
+struct RunnerOptions {
+  /// Worker threads; 0 = std::thread::hardware_concurrency().
+  int threads = 0;
+  /// Base seed for deriveJobSeed(baseSeed, index).
+  std::uint64_t baseSeed = 1;
+  /// Escalation sequence applied on ConvergenceError.
+  RetryLadder ladder = RetryLadder::standard();
+  /// When false, every job is recomputed and nothing is stored.
+  bool useCache = true;
+  /// Optional on-disk cache: loaded before the batch (if present) and
+  /// rewritten after it. Empty = in-memory only.
+  std::string cacheFile;
+};
+
+/// What the batch hands back for one job.
+struct JobOutcome {
+  JobResult result;   ///< empty when the job failed
+  JobRecord record;
+
+  bool ok() const { return record.status != JobStatus::kFailed; }
+};
+
+struct BatchResult {
+  /// One outcome per submitted job, in submission order.
+  std::vector<JobOutcome> outcomes;
+  RunManifest manifest;
+};
+
+class BatchRunner {
+ public:
+  explicit BatchRunner(RunnerOptions opts = {});
+
+  /// Executes the batch. Thread count actually used is
+  /// min(options.threads, jobs.size()).
+  BatchResult run(const std::vector<Job>& jobs);
+
+  /// The in-memory cache (shared across run() calls on this runner).
+  ResultCache& cache() { return cache_; }
+  const RunnerOptions& options() const { return opts_; }
+
+  /// Resolved worker count for a batch of `jobCount` jobs.
+  int effectiveThreads(size_t jobCount) const;
+
+ private:
+  JobOutcome runOne(const Job& job, size_t index, int worker);
+
+  RunnerOptions opts_;
+  ResultCache cache_;
+};
+
+}  // namespace ahfic::runner

@@ -1,0 +1,81 @@
+#pragma once
+// Job model for the batch simulation engine.
+//
+// A job is one independent unit of simulation work: build a Circuit, run
+// an analysis, reduce the waveforms to a handful of scalar metrics. Jobs
+// carry a *key* — a stable, human-readable string that fully describes
+// the job's inputs — which doubles as the cache identity and the manifest
+// label. Two jobs with equal keys must compute equal results.
+//
+// Determinism contract: a job must derive all randomness from
+// `JobContext::seed` (never from shared RNG state, wall clock, or thread
+// id), so a batch produces bit-identical results regardless of worker
+// count or scheduling order.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "spice/analysis.h"
+
+namespace ahfic::runner {
+
+/// The small result struct a job reduces to: ordered name -> value
+/// metrics. Doubles only, so results round-trip exactly through the
+/// on-disk cache (hex float encoding) and stay comparable bit-for-bit.
+struct JobResult {
+  std::vector<std::pair<std::string, double>> metrics;
+
+  /// Appends or overwrites a metric.
+  void set(const std::string& name, double value);
+  /// Looks a metric up; returns `fallback` when absent.
+  double get(const std::string& name, double fallback = 0.0) const;
+  bool has(const std::string& name) const;
+
+  bool operator==(const JobResult& other) const {
+    return metrics == other.metrics;
+  }
+};
+
+/// Hands the engine's per-attempt environment to the job body.
+struct JobContext {
+  /// Analysis tolerances for this attempt — rung `rung` of the retry
+  /// ladder. Jobs constructing Analyzers should pass these through so
+  /// escalation actually changes the solve.
+  spice::AnalysisOptions options;
+  /// Deterministic per-job seed (base seed + job index, mixed). All job
+  /// randomness must come from here.
+  std::uint64_t seed = 0;
+  /// 0 = first attempt at default options.
+  int rung = 0;
+  /// Jobs may report solver work here (e.g. from Analyzer::stats());
+  /// the engine copies it into the manifest record.
+  spice::AnalyzerStats stats;
+
+  /// Accumulates an analyzer's counters into `stats`.
+  void noteStats(const spice::AnalyzerStats& s);
+};
+
+/// One schedulable unit.
+struct Job {
+  /// Stable identity: cache key and manifest label. Must encode every
+  /// input the result depends on (shape name, bias point, corner, ...).
+  std::string key;
+  /// True when the job consumes `JobContext::seed` (Monte-Carlo draws).
+  /// The engine then folds the batch base seed into the cache identity so
+  /// runs with different seeds do not alias.
+  bool usesSeed = false;
+  /// The work itself. May throw ConvergenceError to request escalation.
+  std::function<JobResult(JobContext&)> run;
+};
+
+/// SplitMix64-mixed per-job seed: decorrelated streams for adjacent
+/// indices, identical for identical (base, index) pairs.
+std::uint64_t deriveJobSeed(std::uint64_t baseSeed, std::uint64_t index);
+
+/// FNV-1a 64-bit hash of a key string: the stable cache-file identity.
+std::uint64_t stableKeyHash(const std::string& key);
+
+}  // namespace ahfic::runner

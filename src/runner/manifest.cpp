@@ -1,0 +1,103 @@
+#include "runner/manifest.h"
+
+#include <fstream>
+
+#include "util/error.h"
+
+namespace ahfic::runner {
+
+namespace js = ahfic::util;
+
+const char* jobStatusName(JobStatus status) {
+  switch (status) {
+    case JobStatus::kOk: return "ok";
+    case JobStatus::kRecovered: return "recovered";
+    case JobStatus::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+int RunManifest::countWithStatus(JobStatus status) const {
+  int n = 0;
+  for (const auto& j : jobs)
+    if (j.status == status) ++n;
+  return n;
+}
+
+int RunManifest::cacheHits() const {
+  int n = 0;
+  for (const auto& j : jobs)
+    if (j.cacheHit) ++n;
+  return n;
+}
+
+long RunManifest::totalRetries() const {
+  long n = 0;
+  for (const auto& j : jobs)
+    if (j.attempts > 1) n += j.attempts - 1;
+  return n;
+}
+
+long RunManifest::totalNewtonIterations() const {
+  long n = 0;
+  for (const auto& j : jobs) n += j.newtonIterations;
+  return n;
+}
+
+double RunManifest::throughputJobsPerSec() const {
+  if (jobs.empty() || wallMs <= 0.0) return 0.0;
+  return static_cast<double>(jobs.size()) / (wallMs * 1e-3);
+}
+
+util::JsonValue RunManifest::toJson() const {
+  js::JsonValue doc = js::JsonValue::object();
+  doc.set("schema", "ahfic-run-manifest-v1");
+  doc.set("threads", threads);
+  doc.set("baseSeed", static_cast<double>(baseSeed));
+  doc.set("wallMs", wallMs);
+
+  js::JsonValue agg = js::JsonValue::object();
+  agg.set("jobs", static_cast<double>(jobs.size()));
+  agg.set("ok", countWithStatus(JobStatus::kOk));
+  agg.set("recovered", countWithStatus(JobStatus::kRecovered));
+  agg.set("failed", countWithStatus(JobStatus::kFailed));
+  agg.set("cacheHits", cacheHits());
+  agg.set("retries", totalRetries());
+  agg.set("newtonIterations", totalNewtonIterations());
+  agg.set("throughputJobsPerSec", throughputJobsPerSec());
+  doc.set("aggregate", std::move(agg));
+
+  js::JsonValue arr = js::JsonValue::array();
+  for (const auto& j : jobs) {
+    js::JsonValue e = js::JsonValue::object();
+    e.set("key", j.key);
+    e.set("status", jobStatusName(j.status));
+    e.set("attempts", j.attempts);
+    e.set("rung", j.rung);
+    if (!j.rungName.empty()) e.set("rungName", j.rungName);
+    e.set("cacheHit", j.cacheHit);
+    e.set("wallMs", j.wallMs);
+    e.set("newtonIterations", j.newtonIterations);
+    e.set("matrixSolves", j.matrixSolves);
+    e.set("acceptedSteps", j.acceptedSteps);
+    e.set("rejectedSteps", j.rejectedSteps);
+    e.set("worker", j.worker);
+    if (!j.error.empty()) e.set("error", j.error);
+    arr.push(std::move(e));
+  }
+  doc.set("jobs", std::move(arr));
+  return doc;
+}
+
+std::string RunManifest::toJsonString(int indent) const {
+  return toJson().dump(indent);
+}
+
+void RunManifest::writeJsonFile(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) throw Error("RunManifest: cannot write '" + path + "'");
+  f << toJsonString() << "\n";
+  if (!f.good()) throw Error("RunManifest: write to '" + path + "' failed");
+}
+
+}  // namespace ahfic::runner

@@ -1,0 +1,65 @@
+#pragma once
+// Run manifest: the observability record of one batch execution.
+//
+// One JobRecord per job (in submission order) plus batch-level
+// aggregates; exportable as JSON ("ahfic-run-manifest-v1") for dashboards
+// and regression tracking. Statuses and results are deterministic across
+// worker counts; wall times and worker assignments are informational and
+// vary run to run.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace ahfic::runner {
+
+/// Final disposition of one job.
+enum class JobStatus {
+  kOk,         ///< succeeded on rung 0 (or served from cache)
+  kRecovered,  ///< succeeded after >= 1 ConvergenceError escalation
+  kFailed,     ///< exhausted the ladder or hit a non-retryable error
+};
+
+const char* jobStatusName(JobStatus status);
+
+/// Per-job manifest entry.
+struct JobRecord {
+  std::string key;
+  JobStatus status = JobStatus::kOk;
+  int attempts = 0;        ///< rungs actually executed (0 for cache hits)
+  int rung = 0;            ///< rung of the successful attempt
+  std::string rungName;    ///< ladder label of that rung
+  bool cacheHit = false;
+  double wallMs = 0.0;     ///< informational; varies run to run
+  long newtonIterations = 0;
+  long matrixSolves = 0;
+  long acceptedSteps = 0;
+  long rejectedSteps = 0;
+  int worker = 0;          ///< informational; varies run to run
+  std::string error;       ///< failure message when status == kFailed
+};
+
+/// Whole-batch record.
+struct RunManifest {
+  int threads = 1;
+  std::uint64_t baseSeed = 0;
+  double wallMs = 0.0;  ///< batch wall time (submission to last join)
+  std::vector<JobRecord> jobs;
+
+  int countWithStatus(JobStatus status) const;
+  int cacheHits() const;
+  long totalRetries() const;  ///< attempts beyond the first, summed
+  long totalNewtonIterations() const;
+  /// Completed jobs per wall-clock second (0 when the batch was empty).
+  double throughputJobsPerSec() const;
+
+  util::JsonValue toJson() const;
+  std::string toJsonString(int indent = 2) const;
+  /// Writes toJsonString to a file; throws on I/O failure.
+  void writeJsonFile(const std::string& path) const;
+};
+
+}  // namespace ahfic::runner

@@ -1,0 +1,47 @@
+#include "runner/retry.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace ahfic::runner {
+
+RetryLadder::RetryLadder(std::vector<RetryRung> rungs)
+    : rungs_(std::move(rungs)) {
+  if (rungs_.empty()) throw Error("RetryLadder: needs at least one rung");
+}
+
+const RetryRung& RetryLadder::rung(int k) const {
+  if (k < 0 || k >= rungCount())
+    throw Error("RetryLadder: rung index out of range");
+  return rungs_[static_cast<size_t>(k)];
+}
+
+RetryLadder RetryLadder::none(spice::AnalysisOptions base) {
+  return RetryLadder({{"default", base}});
+}
+
+RetryLadder RetryLadder::standard(spice::AnalysisOptions base) {
+  std::vector<RetryRung> rungs;
+  rungs.push_back({"default", base});
+
+  spice::AnalysisOptions loose = base;
+  loose.reltol = base.reltol * 10.0;
+  loose.vntol = base.vntol * 10.0;
+  loose.abstol = base.abstol * 10.0;
+  loose.maxNewtonIters = std::max(base.maxNewtonIters, 200);
+  rungs.push_back({"loose-tol", loose});
+
+  spice::AnalysisOptions shunted = loose;
+  shunted.gmin = std::max(base.gmin, 1e-9);
+  rungs.push_back({"high-gmin", shunted});
+
+  spice::AnalysisOptions damped = shunted;
+  damped.method = spice::IntegMethod::kBackwardEuler;
+  damped.maxStepRetries = std::max(base.maxStepRetries, 20);
+  rungs.push_back({"backward-euler", damped});
+
+  return RetryLadder(std::move(rungs));
+}
+
+}  // namespace ahfic::runner

@@ -1,0 +1,48 @@
+#pragma once
+// Retry-escalation ladder: the sequence of AnalysisOptions a job is
+// attempted with. Rung 0 is the caller's preferred (tight) setup; each
+// later rung trades accuracy for robustness, mirroring what a designer
+// does by hand when a corner die refuses to converge:
+//
+//   rung 0  caller options (SPICE-default tolerances)
+//   rung 1  10x looser reltol/vntol/abstol, more Newton iterations
+//   rung 2  rung 1 + gmin raised to 1e-9 S (stronger junction shunts)
+//   rung 3  rung 2 + backward Euler (maximum damping) + more step retries
+//
+// A job that throws ConvergenceError is retried on the next rung; success
+// on rung > 0 is reported as "recovered" in the manifest, exhaustion as
+// "failed". Any other exception fails the job immediately (a parse error
+// will not converge better at looser tolerances).
+
+#include <string>
+#include <vector>
+
+#include "spice/analysis.h"
+
+namespace ahfic::runner {
+
+/// One rung: a label (for manifests) plus the options to attempt with.
+struct RetryRung {
+  std::string name;
+  spice::AnalysisOptions options;
+};
+
+/// The escalation sequence. Always has at least one rung.
+class RetryLadder {
+ public:
+  /// Single-rung ladder: no retries, just `base`.
+  static RetryLadder none(spice::AnalysisOptions base = {});
+
+  /// The standard four-rung ladder described above, built on `base`.
+  static RetryLadder standard(spice::AnalysisOptions base = {});
+
+  explicit RetryLadder(std::vector<RetryRung> rungs);
+
+  int rungCount() const { return static_cast<int>(rungs_.size()); }
+  const RetryRung& rung(int k) const;
+
+ private:
+  std::vector<RetryRung> rungs_;
+};
+
+}  // namespace ahfic::runner

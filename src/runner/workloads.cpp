@@ -1,0 +1,280 @@
+#include "runner/workloads.h"
+
+#include <cstdio>
+
+#include "bjtgen/ft.h"
+#include "util/error.h"
+
+namespace ahfic::runner {
+
+namespace bg = ahfic::bjtgen;
+namespace tn = ahfic::tuner;
+
+namespace {
+
+/// Compact scientific tag for embedding a value in a job key. %.9e keeps
+/// enough digits that distinct sweep points never alias.
+std::string numTag(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.9e", v);
+  return buf;
+}
+
+}  // namespace
+
+std::vector<Job> fig9SweepJobs(
+    const bg::ModelGenerator& gen,
+    const std::vector<bg::TransistorShape>& shapes,
+    const std::vector<double>& currents, const std::string& keyPrefix) {
+  std::vector<Job> jobs;
+  jobs.reserve(shapes.size() * currents.size());
+  for (const auto& shape : shapes) {
+    const spice::BjtModel card = gen.generate(shape);
+    for (const double ic : currents) {
+      Job job;
+      job.key = keyPrefix + "/" + shape.name() + "/ic=" + numTag(ic);
+      job.run = [card, ic](JobContext& ctx) {
+        bg::FtExtractor fx(card, 2.0, ctx.options);
+        JobResult r;
+        if (ic >= 0.9 * fx.maxBiasCurrent()) {
+          r.set("skipped", 1.0);
+          return r;
+        }
+        const auto pt = fx.measureAt(ic);
+        ctx.noteStats(fx.solverStats());
+        r.set("ft", pt.ft);
+        r.set("vbe", pt.vbe);
+        r.set("ic", pt.ic);
+        return r;
+      };
+      jobs.push_back(std::move(job));
+    }
+  }
+  return jobs;
+}
+
+std::vector<Job> ftPeakJobs(const bg::ModelGenerator& gen,
+                            const std::vector<bg::TransistorShape>& shapes,
+                            double icMin, double icMax, int points,
+                            const std::string& keyPrefix) {
+  std::vector<Job> jobs;
+  jobs.reserve(shapes.size());
+  for (const auto& shape : shapes) {
+    const spice::BjtModel card = gen.generate(shape);
+    Job job;
+    job.key = keyPrefix + "/" + shape.name() + "/ic=" + numTag(icMin) +
+              ".." + numTag(icMax) + "/n=" + std::to_string(points);
+    job.run = [card, icMin, icMax, points](JobContext& ctx) {
+      bg::FtExtractor fx(card, 2.0, ctx.options);
+      const auto pk = fx.findPeak(icMin, icMax, points);
+      ctx.noteStats(fx.solverStats());
+      JobResult r;
+      r.set("ftPeak", pk.ftPeak);
+      r.set("icPeak", pk.icPeak);
+      return r;
+    };
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+namespace {
+
+JobResult ringMeasurementResult(const bg::RingOscillatorSpec& spec,
+                                double windowNs, double stepPs,
+                                JobContext& ctx) {
+  spice::AnalyzerStats stats;
+  const auto m =
+      bg::measureRingFrequency(spec, windowNs, stepPs, ctx.options, &stats);
+  ctx.noteStats(stats);
+  JobResult r;
+  r.set("frequency", m.frequency);
+  r.set("peakToPeak", m.peakToPeak);
+  r.set("oscillating", m.oscillating ? 1.0 : 0.0);
+  return r;
+}
+
+}  // namespace
+
+std::vector<Job> ringShapeJobs(const bg::ModelGenerator& gen,
+                               const std::vector<bg::TransistorShape>& shapes,
+                               bg::RingOscillatorSpec baseSpec,
+                               double windowNs, double stepPs,
+                               const std::string& keyPrefix) {
+  std::vector<Job> jobs;
+  jobs.reserve(shapes.size());
+  for (const auto& shape : shapes) {
+    bg::RingOscillatorSpec spec = baseSpec;
+    spec.diffPairModel = gen.generate(shape);
+    Job job;
+    job.key = keyPrefix + "/" + shape.name() +
+              "/it=" + numTag(baseSpec.tailCurrent) +
+              "/win=" + numTag(windowNs) + "/step=" + numTag(stepPs);
+    job.run = [spec, windowNs, stepPs](JobContext& ctx) {
+      return ringMeasurementResult(spec, windowNs, stepPs, ctx);
+    };
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+std::vector<Job> monteCarloRingJobs(const bg::Technology& nominal,
+                                    const bg::ProcessVariation& var,
+                                    int dies,
+                                    bg::RingOscillatorSpec baseSpec,
+                                    const std::string& diffPairShape,
+                                    const std::string& followerShape,
+                                    double windowNs, double stepPs,
+                                    const std::string& keyPrefix) {
+  if (dies < 1) throw Error("monteCarloRingJobs: dies must be >= 1");
+  std::vector<Job> jobs;
+  jobs.reserve(static_cast<size_t>(dies));
+  for (int d = 0; d < dies; ++d) {
+    Job job;
+    job.key = keyPrefix + "/die" + std::to_string(d) + "/" + diffPairShape +
+              "+" + followerShape;
+    job.usesSeed = true;
+    job.run = [nominal, var, baseSpec, diffPairShape, followerShape,
+               windowNs, stepPs](JobContext& ctx) {
+      const auto gen = bg::dieGenerator(nominal, var, ctx.seed);
+      // Mismatch stream decorrelated from the die draw by a fixed tweak.
+      util::Rng mismatchRng(ctx.seed ^ 0xD1E5EEDull);
+      bg::RingOscillatorSpec spec = baseSpec;
+      spec.diffPairModel = bg::withLocalMismatch(
+          gen.generate(diffPairShape), var, mismatchRng);
+      spec.followerModel = gen.generate(followerShape);
+      return ringMeasurementResult(spec, windowNs, stepPs, ctx);
+    };
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+namespace {
+
+JobResult ftAtBiasResult(const spice::BjtModel& card, double ic,
+                         JobContext& ctx) {
+  bg::FtExtractor fx(card, 2.0, ctx.options);
+  const auto pt = fx.measureAnalyticAt(ic);
+  ctx.noteStats(fx.solverStats());
+  JobResult r;
+  r.set("ft", pt.ft);
+  r.set("vbe", pt.vbe);
+  return r;
+}
+
+}  // namespace
+
+std::vector<Job> monteCarloFtJobs(const bg::Technology& nominal,
+                                  const bg::ProcessVariation& var,
+                                  int dies, const std::string& shapeName,
+                                  double ic, const std::string& keyPrefix) {
+  if (dies < 1) throw Error("monteCarloFtJobs: dies must be >= 1");
+  std::vector<Job> jobs;
+  jobs.reserve(static_cast<size_t>(dies));
+  for (int d = 0; d < dies; ++d) {
+    Job job;
+    job.key = keyPrefix + "/die" + std::to_string(d) + "/" + shapeName +
+              "/ic=" + numTag(ic);
+    job.usesSeed = true;
+    job.run = [nominal, var, shapeName, ic](JobContext& ctx) {
+      const auto gen = bg::dieGenerator(nominal, var, ctx.seed);
+      return ftAtBiasResult(gen.generate(shapeName), ic, ctx);
+    };
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+std::vector<Job> cornerFtJobs(const bg::Technology& nominal,
+                              const bg::ProcessVariation& var,
+                              const std::string& shapeName, double ic,
+                              double sigmas, const std::string& keyPrefix) {
+  const std::pair<bg::Corner, const char*> corners[] = {
+      {bg::Corner::kSlow, "slow"},
+      {bg::Corner::kTypical, "typical"},
+      {bg::Corner::kFast, "fast"},
+  };
+  std::vector<Job> jobs;
+  for (const auto& [corner, name] : corners) {
+    Job job;
+    job.key = keyPrefix + "/" + name + "/" + shapeName +
+              "/ic=" + numTag(ic) + "/sigmas=" + numTag(sigmas);
+    job.run = [nominal, var, corner, shapeName, ic, sigmas](JobContext& ctx) {
+      const bg::Technology tech =
+          bg::cornerTechnology(nominal, var, corner, sigmas);
+      const bg::ModelGenerator gen(
+          tech, bg::TransistorShape::fromName("N1.2-6S"),
+          bg::referenceModelFor(tech));
+      return ftAtBiasResult(gen.generate(shapeName), ic, ctx);
+    };
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+std::vector<Job> irrYieldJobs(const std::vector<IrrYieldCorner>& corners,
+                              double targetDb, int samplesPerCorner,
+                              int chunks, const std::string& keyPrefix) {
+  if (chunks < 1) throw Error("irrYieldJobs: chunks must be >= 1");
+  if (samplesPerCorner < chunks)
+    throw Error("irrYieldJobs: need at least one sample per chunk");
+  std::vector<Job> jobs;
+  jobs.reserve(corners.size() * static_cast<size_t>(chunks));
+  for (size_t c = 0; c < corners.size(); ++c) {
+    const IrrYieldCorner corner = corners[c];
+    // Spread the remainder over the leading chunks.
+    const int base = samplesPerCorner / chunks;
+    const int extra = samplesPerCorner % chunks;
+    for (int k = 0; k < chunks; ++k) {
+      const int n = base + (k < extra ? 1 : 0);
+      Job job;
+      job.key = keyPrefix + "/sp=" + numTag(corner.sigmaPhaseDeg) +
+                "/sg=" + numTag(corner.sigmaGain) +
+                "/target=" + numTag(targetDb) + "/chunk" +
+                std::to_string(k) + "of" + std::to_string(chunks) +
+                "/n=" + std::to_string(n);
+      job.usesSeed = true;
+      job.run = [corner, targetDb, n](JobContext& ctx) {
+        const auto y = tn::irrYield(corner.sigmaPhaseDeg, corner.sigmaGain,
+                                    targetDb, n, ctx.seed);
+        JobResult r;
+        r.set("samples", y.samples);
+        r.set("passing", y.passing);
+        r.set("meanIrrDb", y.meanIrrDb);
+        r.set("worstIrrDb", y.worstIrrDb);
+        return r;
+      };
+      jobs.push_back(std::move(job));
+    }
+  }
+  return jobs;
+}
+
+std::vector<tn::IrrYieldResult> reduceIrrYield(
+    const std::vector<JobOutcome>& outcomes, int corners, int chunks) {
+  if (corners < 0 || chunks < 1 ||
+      outcomes.size() != static_cast<size_t>(corners) * chunks)
+    throw Error("reduceIrrYield: outcome count does not match layout");
+  std::vector<tn::IrrYieldResult> out;
+  out.reserve(static_cast<size_t>(corners));
+  for (int c = 0; c < corners; ++c) {
+    tn::IrrYieldResult acc;
+    acc.worstIrrDb = 1e300;
+    for (int k = 0; k < chunks; ++k) {
+      const JobOutcome& o =
+          outcomes[static_cast<size_t>(c) * chunks + static_cast<size_t>(k)];
+      if (!o.ok()) continue;
+      tn::IrrYieldResult part;
+      part.samples = static_cast<int>(o.result.get("samples"));
+      part.passing = static_cast<int>(o.result.get("passing"));
+      part.meanIrrDb = o.result.get("meanIrrDb");
+      part.worstIrrDb = o.result.get("worstIrrDb");
+      acc = tn::mergeIrrYield(acc, part);
+    }
+    out.push_back(acc);
+  }
+  return out;
+}
+
+}  // namespace ahfic::runner

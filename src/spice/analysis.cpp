@@ -227,6 +227,7 @@ std::vector<double> Analyzer::opWithContext(LoadContext& ctx) {
 }
 
 std::vector<double> Analyzer::op() {
+  resetStats();
   LoadContext ctx;
   ctx.mode = AnalysisMode::kDcOp;
   ctx.c0 = 0.0;
@@ -264,6 +265,7 @@ DcSweepResult Analyzer::dcSweep(const std::string& sourceName, double start,
   if (vs == nullptr && is == nullptr)
     throw Error("dcSweep: '" + sourceName + "' is not a V or I source");
 
+  resetStats();
   LoadContext ctx;
   ctx.mode = AnalysisMode::kDcOp;
   ctx.state = &state_;
@@ -415,7 +417,9 @@ TranResult Analyzer::transient(double tstop, double maxStep,
   if (tstop <= 0.0 || maxStep <= 0.0)
     throw Error("transient: tstop and maxStep must be > 0");
 
-  // Initial condition: DC operating point (records charge states).
+  // Initial condition: DC operating point (records charge states). op()
+  // resets the stats window, so the whole transient — OP included — is
+  // counted as one call.
   std::vector<double> x = op();
 
   LoadContext ctx;

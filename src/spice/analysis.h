@@ -91,7 +91,12 @@ struct NoiseResult {
   double rmsVoltage() const;
 };
 
-/// Statistics of the most recent analysis (for the micro-benches and tests).
+/// Statistics of the most recent analysis. Counters are reset at the
+/// start of every top-level solve entry point — op(), dcSweep(),
+/// transient() — so stats() read after a call covers exactly that call
+/// (the runner's per-job manifests depend on this). ac()/noise() perform
+/// direct linear solves and do not touch these counters, except that the
+/// op-computing ac() overload resets them via its internal op().
 struct AnalyzerStats {
   long newtonIterations = 0;
   long matrixSolves = 0;
@@ -151,6 +156,8 @@ class Analyzer {
   };
 
   void buildLayout();
+  /// Starts a fresh per-call counter window (see AnalyzerStats).
+  void resetStats() { stats_ = AnalyzerStats{}; }
   void assemble(Stamper& s, const Solution& x, const LoadContext& ctx);
   /// One Newton solve at fixed context; x is both input guess and output.
   NewtonOutcome newton(std::vector<double>& x, LoadContext& ctx);

@@ -73,4 +73,17 @@ IrrYieldResult irrYield(double sigmaPhaseDeg, double sigmaGain,
   return r;
 }
 
+IrrYieldResult mergeIrrYield(const IrrYieldResult& a,
+                             const IrrYieldResult& b) {
+  if (a.samples == 0) return b;
+  if (b.samples == 0) return a;
+  IrrYieldResult r;
+  r.samples = a.samples + b.samples;
+  r.passing = a.passing + b.passing;
+  r.meanIrrDb = (a.meanIrrDb * a.samples + b.meanIrrDb * b.samples) /
+                static_cast<double>(r.samples);
+  r.worstIrrDb = std::min(a.worstIrrDb, b.worstIrrDb);
+  return r;
+}
+
 }  // namespace ahfic::tuner

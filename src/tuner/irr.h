@@ -52,4 +52,12 @@ IrrYieldResult irrYield(double sigmaPhaseDeg, double sigmaGain,
                         double targetDb, int samples,
                         std::uint64_t seed = 1);
 
+/// Combines two partial yield studies (sample-count weighted mean, min of
+/// worst cases, summed pass counts). Lets a large study be split into
+/// independently-seeded chunks, fanned out by the batch runner, and
+/// reduced back — deterministic for a fixed chunking regardless of the
+/// execution order.
+IrrYieldResult mergeIrrYield(const IrrYieldResult& a,
+                             const IrrYieldResult& b);
+
 }  // namespace ahfic::tuner

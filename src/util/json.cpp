@@ -1,0 +1,367 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.h"
+
+namespace ahfic::util {
+
+namespace {
+
+const JsonValue& sharedNull() {
+  static const JsonValue kNull;
+  return kNull;
+}
+
+}  // namespace
+
+JsonValue JsonValue::array() {
+  JsonValue v;
+  v.type_ = Type::kArray;
+  return v;
+}
+
+JsonValue JsonValue::object() {
+  JsonValue v;
+  v.type_ = Type::kObject;
+  return v;
+}
+
+bool JsonValue::asBool() const {
+  if (type_ != Type::kBool) throw Error("json: not a bool");
+  return bool_;
+}
+
+double JsonValue::asNumber() const {
+  if (type_ != Type::kNumber) throw Error("json: not a number");
+  return number_;
+}
+
+const std::string& JsonValue::asString() const {
+  if (type_ != Type::kString) throw Error("json: not a string");
+  return string_;
+}
+
+size_t JsonValue::size() const {
+  if (type_ == Type::kArray) return array_.size();
+  if (type_ == Type::kObject) return objectKeys_.size();
+  return 0;
+}
+
+const JsonValue& JsonValue::at(size_t index) const {
+  if (type_ != Type::kArray) throw Error("json: not an array");
+  if (index >= array_.size()) throw Error("json: array index out of range");
+  return array_[index];
+}
+
+void JsonValue::push(JsonValue v) {
+  if (type_ != Type::kArray) throw Error("json: push on non-array");
+  array_.push_back(std::move(v));
+}
+
+bool JsonValue::has(const std::string& key) const {
+  return type_ == Type::kObject && object_.count(key) > 0;
+}
+
+const JsonValue& JsonValue::get(const std::string& key) const {
+  if (type_ != Type::kObject) return sharedNull();
+  const auto it = object_.find(key);
+  return it == object_.end() ? sharedNull() : it->second;
+}
+
+void JsonValue::set(const std::string& key, JsonValue v) {
+  if (type_ != Type::kObject) throw Error("json: set on non-object");
+  if (object_.count(key) == 0) objectKeys_.push_back(key);
+  object_[key] = std::move(v);
+}
+
+const std::vector<std::string>& JsonValue::keys() const {
+  return objectKeys_;
+}
+
+namespace {
+
+void appendEscaped(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void appendNumber(std::string& out, double n) {
+  if (!std::isfinite(n)) {
+    // JSON has no inf/nan; null is the least-surprising encoding.
+    out += "null";
+    return;
+  }
+  if (n == std::floor(n) && std::fabs(n) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", n);
+    out += buf;
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", n);
+  out += buf;
+}
+
+}  // namespace
+
+void JsonValue::dumpTo(std::string& out, int indent, int depth) const {
+  const std::string pad(static_cast<size_t>(indent * (depth + 1)), ' ');
+  const std::string padEnd(static_cast<size_t>(indent * depth), ' ');
+  const char* nl = indent > 0 ? "\n" : "";
+  const char* colon = indent > 0 ? ": " : ":";
+
+  switch (type_) {
+    case Type::kNull: out += "null"; break;
+    case Type::kBool: out += bool_ ? "true" : "false"; break;
+    case Type::kNumber: appendNumber(out, number_); break;
+    case Type::kString: appendEscaped(out, string_); break;
+    case Type::kArray: {
+      if (array_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += "[";
+      out += nl;
+      for (size_t k = 0; k < array_.size(); ++k) {
+        out += pad;
+        array_[k].dumpTo(out, indent, depth + 1);
+        if (k + 1 < array_.size()) out += ",";
+        out += nl;
+      }
+      out += padEnd;
+      out += "]";
+      break;
+    }
+    case Type::kObject: {
+      if (objectKeys_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += "{";
+      out += nl;
+      for (size_t k = 0; k < objectKeys_.size(); ++k) {
+        out += pad;
+        appendEscaped(out, objectKeys_[k]);
+        out += colon;
+        object_.at(objectKeys_[k]).dumpTo(out, indent, depth + 1);
+        if (k + 1 < objectKeys_.size()) out += ",";
+        out += nl;
+      }
+      out += padEnd;
+      out += "}";
+      break;
+    }
+  }
+}
+
+std::string JsonValue::dump(int indent) const {
+  std::string out;
+  dumpTo(out, indent, 0);
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent parser over the raw text.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skipWs();
+    if (pos_ != s_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    int line = 1;
+    for (size_t k = 0; k < pos_ && k < s_.size(); ++k)
+      if (s_[k] == '\n') ++line;
+    throw ParseError("json: " + what, line);
+  }
+
+  void skipWs() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    skipWs();
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consumeLiteral(const char* lit) {
+    size_t n = 0;
+    while (lit[n] != '\0') ++n;
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  JsonValue value() {
+    const char c = peek();
+    switch (c) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return JsonValue(string());
+      case 't':
+        if (consumeLiteral("true")) return JsonValue(true);
+        fail("bad literal");
+      case 'f':
+        if (consumeLiteral("false")) return JsonValue(false);
+        fail("bad literal");
+      case 'n':
+        if (consumeLiteral("null")) return JsonValue();
+        fail("bad literal");
+      default: return number();
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= s_.size()) fail("unterminated escape");
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) fail("bad \\u escape");
+          unsigned code = 0;
+          for (int k = 0; k < 4; ++k) {
+            const char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9')
+              code += static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code += static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code += static_cast<unsigned>(h - 'A' + 10);
+            else
+              fail("bad hex digit in \\u escape");
+          }
+          // Encode as UTF-8 (surrogate pairs are not recombined; the
+          // runner's schemas never emit them).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue number() {
+    skipWs();
+    const size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    while (pos_ < s_.size() &&
+           ((s_[pos_] >= '0' && s_[pos_] <= '9') || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '-' ||
+            s_[pos_] == '+'))
+      ++pos_;
+    if (pos_ == start) fail("expected a value");
+    try {
+      return JsonValue(std::stod(s_.substr(start, pos_ - start)));
+    } catch (const std::exception&) {
+      fail("malformed number");
+    }
+  }
+
+  JsonValue array() {
+    expect('[');
+    JsonValue out = JsonValue::array();
+    if (peek() == ']') {
+      ++pos_;
+      return out;
+    }
+    while (true) {
+      out.push(value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return out;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  JsonValue object() {
+    expect('{');
+    JsonValue out = JsonValue::object();
+    if (peek() == '}') {
+      ++pos_;
+      return out;
+    }
+    while (true) {
+      skipWs();
+      std::string key = string();
+      expect(':');
+      out.set(key, value());
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return out;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue parseJson(const std::string& text) {
+  return Parser(text).parse();
+}
+
+}  // namespace ahfic::util

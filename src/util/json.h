@@ -1,0 +1,85 @@
+#pragma once
+// Minimal JSON value: parse, build, serialize. Covers the subset the
+// runner subsystem needs for run manifests and on-disk result caches —
+// null/bool/number/string/array/object with UTF-8 passthrough — without
+// pulling in an external dependency.
+//
+// Usage:
+//   JsonValue v = JsonValue::object();
+//   v.set("threads", 4.0);
+//   v.set("jobs", JsonValue::array());
+//   std::string text = v.dump(2);
+//   JsonValue back = parseJson(text);
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ahfic::util {
+
+/// A JSON document node. Numbers are stored as double (the manifest and
+/// cache schemas only carry metrics and counters; 53-bit integer precision
+/// is sufficient and matches what any JSON consumer will assume).
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : type_(Type::kNull) {}
+  JsonValue(bool b) : type_(Type::kBool), bool_(b) {}                // NOLINT
+  JsonValue(double n) : type_(Type::kNumber), number_(n) {}          // NOLINT
+  JsonValue(int n) : type_(Type::kNumber), number_(n) {}             // NOLINT
+  JsonValue(long n)                                                  // NOLINT
+      : type_(Type::kNumber), number_(static_cast<double>(n)) {}
+  JsonValue(const char* s) : type_(Type::kString), string_(s) {}     // NOLINT
+  JsonValue(std::string s)                                           // NOLINT
+      : type_(Type::kString), string_(std::move(s)) {}
+
+  static JsonValue array();
+  static JsonValue object();
+
+  Type type() const { return type_; }
+  bool isNull() const { return type_ == Type::kNull; }
+  bool isBool() const { return type_ == Type::kBool; }
+  bool isNumber() const { return type_ == Type::kNumber; }
+  bool isString() const { return type_ == Type::kString; }
+  bool isArray() const { return type_ == Type::kArray; }
+  bool isObject() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; throw ahfic::Error on type mismatch.
+  bool asBool() const;
+  double asNumber() const;
+  const std::string& asString() const;
+
+  /// Array access.
+  size_t size() const;
+  const JsonValue& at(size_t index) const;
+  void push(JsonValue v);
+
+  /// Object access. `get` returns a shared null for missing keys, so
+  /// chained lookups of optional fields do not throw.
+  bool has(const std::string& key) const;
+  const JsonValue& get(const std::string& key) const;
+  void set(const std::string& key, JsonValue v);
+  /// Object keys in insertion order.
+  const std::vector<std::string>& keys() const;
+
+  /// Serializes; `indent` > 0 pretty-prints with that many spaces.
+  std::string dump(int indent = 0) const;
+
+ private:
+  void dumpTo(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::string> objectKeys_;  // preserves insertion order
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Parses a JSON document. Throws ahfic::ParseError on malformed input.
+JsonValue parseJson(const std::string& text);
+
+}  // namespace ahfic::util

@@ -51,6 +51,46 @@ TEST(AnalysisStats, CountersAdvance) {
   EXPECT_GT(an.stats().matrixSolves, 2);
 }
 
+TEST(AnalysisStats, CountersResetBetweenCalls) {
+  // Per-call counter windows: the runner's manifests report stats() after
+  // each job's analysis, which is only accurate if repeated calls on one
+  // Analyzer do not accumulate.
+  sp::Circuit ckt;
+  const int a = ckt.node("a");
+  sp::DiodeModel dm;
+  dm.is = 1e-14;
+  ckt.add<sp::ISource>("I1", 0, a, 1e-3);
+  ckt.add<sp::Diode>("D1", ckt, a, 0, dm);
+  sp::Analyzer an(ckt);
+  an.op();
+  const long first = an.stats().newtonIterations;
+  EXPECT_GT(first, 0);
+  an.op();
+  // DC solves always start from zero, so the second call does identical
+  // work — and must report exactly it, not 2x.
+  EXPECT_EQ(an.stats().newtonIterations, first);
+}
+
+TEST(AnalysisStats, TransientWindowIncludesItsOperatingPoint) {
+  sp::Circuit ckt;
+  const int in = ckt.node("in"), out = ckt.node("out");
+  ckt.add<sp::VSource>("V1", in, 0, 1.0);
+  ckt.add<sp::Resistor>("R1", in, out, 1e3);
+  ckt.add<sp::Capacitor>("C1", out, 0, 1e-9);
+  sp::Analyzer an(ckt);
+  an.op();
+  const long opSolves = an.stats().matrixSolves;
+  EXPECT_GT(opSolves, 0);
+  an.transient(1e-7, 10e-9);
+  // The transient window covers its own initial OP plus the steps — and
+  // none of the earlier op() call's work.
+  EXPECT_GT(an.stats().matrixSolves, opSolves);
+  EXPECT_GT(an.stats().acceptedSteps, 0);
+  const long tranSolves = an.stats().matrixSolves;
+  an.op();
+  EXPECT_LT(an.stats().matrixSolves, tranSolves);
+}
+
 TEST(AnalysisStats, TransientStepAccounting) {
   sp::Circuit ckt;
   const int in = ckt.node("in"), out = ckt.node("out");

@@ -1,0 +1,86 @@
+// JSON value: build/serialize/parse round trips, escaping, and the
+// malformed-input failure modes the cache loader depends on.
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "util/json.h"
+
+namespace u = ahfic::util;
+
+TEST(Json, BuildAndAccess) {
+  u::JsonValue doc = u::JsonValue::object();
+  doc.set("name", "runner");
+  doc.set("threads", 4);
+  doc.set("enabled", true);
+  doc.set("ratio", 0.5);
+  u::JsonValue arr = u::JsonValue::array();
+  arr.push(1.0);
+  arr.push("two");
+  doc.set("list", std::move(arr));
+
+  EXPECT_EQ(doc.get("name").asString(), "runner");
+  EXPECT_EQ(doc.get("threads").asNumber(), 4.0);
+  EXPECT_TRUE(doc.get("enabled").asBool());
+  EXPECT_EQ(doc.get("list").size(), 2u);
+  EXPECT_EQ(doc.get("list").at(1).asString(), "two");
+  // Missing keys read as null without throwing; chaining stays safe.
+  EXPECT_TRUE(doc.get("absent").isNull());
+  EXPECT_TRUE(doc.get("absent").get("deeper").isNull());
+  // Type mismatches throw.
+  EXPECT_THROW(doc.get("name").asNumber(), ahfic::Error);
+}
+
+TEST(Json, RoundTripPreservesValuesAndKeyOrder) {
+  u::JsonValue doc = u::JsonValue::object();
+  doc.set("zeta", 1);
+  doc.set("alpha", -2.5e-12);
+  doc.set("text", "line1\nline2\t\"quoted\" back\\slash");
+  doc.set("big", 1234567890123.0);
+  doc.set("nothing", u::JsonValue());
+
+  const std::string compact = doc.dump();
+  const std::string pretty = doc.dump(2);
+  for (const std::string& text : {compact, pretty}) {
+    const u::JsonValue back = u::parseJson(text);
+    EXPECT_EQ(back.get("zeta").asNumber(), 1.0);
+    EXPECT_EQ(back.get("alpha").asNumber(), -2.5e-12);
+    EXPECT_EQ(back.get("text").asString(),
+              "line1\nline2\t\"quoted\" back\\slash");
+    EXPECT_EQ(back.get("big").asNumber(), 1234567890123.0);
+    EXPECT_TRUE(back.get("nothing").isNull());
+    // Insertion order survives the trip (manifest readability).
+    ASSERT_EQ(back.keys().size(), 5u);
+    EXPECT_EQ(back.keys()[0], "zeta");
+    EXPECT_EQ(back.keys()[1], "alpha");
+  }
+}
+
+TEST(Json, ParsesNestedDocumentsAndEscapes) {
+  const auto v = u::parseJson(
+      R"({"a": [1, 2.5, -3e2, true, false, null, "xAy"],)"
+      R"( "b": {"c": []}})");
+  EXPECT_EQ(v.get("a").size(), 7u);
+  EXPECT_EQ(v.get("a").at(2).asNumber(), -300.0);
+  EXPECT_FALSE(v.get("a").at(4).asBool());
+  EXPECT_EQ(v.get("a").at(6).asString(), "xAy");
+  EXPECT_TRUE(v.get("b").get("c").isArray());
+  EXPECT_EQ(v.get("b").get("c").size(), 0u);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(u::parseJson(""), ahfic::ParseError);
+  EXPECT_THROW(u::parseJson("{"), ahfic::ParseError);
+  EXPECT_THROW(u::parseJson("{\"a\": }"), ahfic::ParseError);
+  EXPECT_THROW(u::parseJson("[1, 2,]"), ahfic::ParseError);
+  EXPECT_THROW(u::parseJson("{} extra"), ahfic::ParseError);
+  EXPECT_THROW(u::parseJson("\"unterminated"), ahfic::ParseError);
+  EXPECT_THROW(u::parseJson("truthy"), ahfic::ParseError);
+}
+
+TEST(Json, NonFiniteNumbersSerializeAsNull) {
+  u::JsonValue doc = u::JsonValue::object();
+  doc.set("inf", 1.0 / 0.0);
+  const auto back = u::parseJson(doc.dump());
+  EXPECT_TRUE(back.get("inf").isNull());
+}
