@@ -16,6 +16,7 @@
 #include "bjtgen/ft.h"
 #include "bjtgen/generator.h"
 #include "bjtgen/ringosc.h"
+#include "obs/cli.h"
 #include "spice/bjt.h"
 #include "spice/circuit.h"
 #include "util/table.h"
@@ -39,7 +40,11 @@ sp::BjtModel baselineCard(const bg::ModelGenerator& gen, double area) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ahfic::obs::CliOptions obsOpts;
+  for (int k = 1; k < argc; ++k) obsOpts.consume(argc, argv, k);
+  obsOpts.begin();
+
   const auto gen = bg::ModelGenerator::withDefaultTechnology();
 
   std::cout << "== Ablation: SPICE AREA factor vs geometry-aware model "
@@ -105,5 +110,6 @@ int main() {
                "whose stripe topologies differ (N2.4-6D, N1.2x2-6S, "
                "N1.2-12D,\nN1.2x2-6T all collapse to the SAME baseline "
                "card while the geometry model\ndistinguishes them).\n";
+  obsOpts.finish(std::cout);
   return 0;
 }

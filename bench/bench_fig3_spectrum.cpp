@@ -12,6 +12,7 @@
 #include <iostream>
 
 #include "ahdl/system.h"
+#include "obs/cli.h"
 #include "tuner/doublesuper.h"
 #include "tuner/irr.h"
 #include "util/fft.h"
@@ -67,7 +68,11 @@ ChainResult measureChain(bool imageReject) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ahfic::obs::CliOptions obsOpts;
+  for (int k = 1; k < argc; ++k) obsOpts.consume(argc, argv, k);
+  obsOpts.begin();
+
   tn::FrequencyPlan plan;
   std::cout << "== Fig. 3: frequency plan of the double-super tuner ==\n"
             << "RF band:            " << u::formatFrequency(plan.rfMin)
@@ -115,5 +120,6 @@ int main() {
             << "\nExpected shape (paper): the conventional chain passes "
                "the image onto the\n2nd IF nearly unattenuated; the "
                "image-rejection mixer suppresses it by the IRR.\n";
+  obsOpts.finish(std::cout);
   return 0;
 }

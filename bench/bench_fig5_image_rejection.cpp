@@ -10,13 +10,18 @@
 #include <iostream>
 #include <vector>
 
+#include "obs/cli.h"
 #include "tuner/irr.h"
 #include "util/table.h"
 
 namespace tn = ahfic::tuner;
 namespace u = ahfic::util;
 
-int main() {
+int main(int argc, char** argv) {
+  ahfic::obs::CliOptions obsOpts;
+  for (int k = 1; k < argc; ++k) obsOpts.consume(argc, argv, k);
+  obsOpts.begin();
+
   std::cout << "== Fig. 5: image rejection ratio vs phase error ==\n"
             << "(simulated via the behavioural Fig. 4 tuner; analytic in "
                "parentheses; dB)\n\n";
@@ -61,5 +66,6 @@ int main() {
           "  gain balance %2.0f%%: cannot meet 30 dB at any phase error\n",
           g * 100.0);
   }
+  obsOpts.finish(std::cout);
   return 0;
 }

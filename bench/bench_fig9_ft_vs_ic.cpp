@@ -9,7 +9,8 @@
 //
 // The sweep runs through the batch runner (one job per shape x current
 // point plus one peak-search job per shape); results are identical for
-// any worker count. Usage: bench_fig9_ft_vs_ic [--jobs N]
+// any worker count.
+// Usage: bench_fig9_ft_vs_ic [--jobs N] [--trace FILE] [--metrics FILE]
 
 #include <cmath>
 #include <cstdio>
@@ -19,6 +20,7 @@
 #include <vector>
 
 #include "bjtgen/generator.h"
+#include "obs/cli.h"
 #include "runner/engine.h"
 #include "runner/workloads.h"
 #include "util/table.h"
@@ -30,10 +32,13 @@ namespace u = ahfic::util;
 
 int main(int argc, char** argv) {
   int jobs = 0;  // 0 = hardware concurrency
+  ahfic::obs::CliOptions obsOpts;
   for (int k = 1; k < argc; ++k) {
+    if (obsOpts.consume(argc, argv, k)) continue;
     if (std::strcmp(argv[k], "--jobs") == 0 && k + 1 < argc)
       jobs = std::atoi(argv[++k]);
   }
+  obsOpts.begin();
 
   const auto gen = bg::ModelGenerator::withDefaultTechnology();
   const auto shapes = bg::fig9Shapes();
@@ -100,5 +105,6 @@ int main(int argc, char** argv) {
             << " recovered, " << m.countWithStatus(rn::JobStatus::kFailed)
             << " failed, " << u::fixed(m.wallMs, 0) << " ms ("
             << u::fixed(m.throughputJobsPerSec(), 1) << " jobs/s)\n";
+  obsOpts.finish(std::cout);
   return 0;
 }

@@ -4,12 +4,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <iostream>
+#include <vector>
+
 #include "ahdl/blocks.h"
 #include "ahdl/system.h"
 #include "bjtgen/generator.h"
 #include "bjtgen/ringosc.h"
 #include "celldb/database.h"
 #include "celldb/seed.h"
+#include "obs/cli.h"
 #include "spice/analysis.h"
 #include "spice/circuit.h"
 #include "spice/linalg.h"
@@ -153,4 +157,24 @@ BENCHMARK(BM_Fft4096);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN(): the obs flags are stripped before
+// google-benchmark parses the remainder, so `--trace`/`--metrics` compose
+// with `--benchmark_filter=...` etc.
+int main(int argc, char** argv) {
+  ahfic::obs::CliOptions obsOpts;
+  std::vector<char*> rest = {argv[0]};
+  for (int k = 1; k < argc; ++k) {
+    if (!obsOpts.consume(argc, argv, k)) rest.push_back(argv[k]);
+  }
+  obsOpts.begin();
+
+  int restArgc = static_cast<int>(rest.size());
+  benchmark::Initialize(&restArgc, rest.data());
+  if (benchmark::ReportUnrecognizedArguments(restArgc, rest.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  obsOpts.finish(std::cout);
+  return 0;
+}

@@ -10,7 +10,9 @@
 //
 // Both parts fan out through the batch runner: each die and each yield
 // chunk is an independently-seeded job, so results are identical for any
-// worker count. Usage: bench_process_variation [--jobs N] [--dies N]
+// worker count.
+// Usage: bench_process_variation [--jobs N] [--dies N]
+//                                [--trace FILE] [--metrics FILE]
 
 #include <algorithm>
 #include <cmath>
@@ -22,6 +24,7 @@
 #include "bjtgen/generator.h"
 #include "bjtgen/montecarlo.h"
 #include "bjtgen/ringosc.h"
+#include "obs/cli.h"
 #include "runner/engine.h"
 #include "runner/workloads.h"
 #include "tuner/irr.h"
@@ -36,12 +39,15 @@ namespace u = ahfic::util;
 int main(int argc, char** argv) {
   int jobs = 0;
   int dies = 9;
+  ahfic::obs::CliOptions obsOpts;
   for (int k = 1; k < argc; ++k) {
+    if (obsOpts.consume(argc, argv, k)) continue;
     if (std::strcmp(argv[k], "--jobs") == 0 && k + 1 < argc)
       jobs = std::atoi(argv[++k]);
     else if (std::strcmp(argv[k], "--dies") == 0 && k + 1 < argc)
       dies = std::atoi(argv[++k]);
   }
+  obsOpts.begin();
 
   std::cout << "== Part 1: ring-oscillator frequency across dies ==\n"
             << "(N1.2-12D differential pairs, nominal process +/- die "
@@ -127,5 +133,6 @@ int main(int argc, char** argv) {
             << dieBatch.manifest.countWithStatus(rn::JobStatus::kFailed)
             << " failed), yield: " << yieldBatch.manifest.jobs.size()
             << " jobs, " << dieBatch.manifest.threads << " thread(s)\n";
+  obsOpts.finish(std::cout);
   return 0;
 }

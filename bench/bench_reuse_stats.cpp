@@ -11,12 +11,17 @@
 
 #include "celldb/reuse.h"
 #include "celldb/seed.h"
+#include "obs/cli.h"
 #include "util/table.h"
 
 namespace cd = ahfic::celldb;
 namespace u = ahfic::util;
 
-int main() {
+int main(int argc, char** argv) {
+  ahfic::obs::CliOptions obsOpts;
+  for (int k = 1; k < argc; ++k) obsOpts.consume(argc, argv, k);
+  obsOpts.begin();
+
   cd::CellDatabase db;
   cd::seedExampleLibrary(db);  // the Fig. 6 starter library
 
@@ -51,5 +56,6 @@ int main() {
   const auto st = db.stats();
   std::cout << "Final library: " << st.cellCount << " cells, "
             << st.totalCheckouts << " checkouts recorded.\n";
+  obsOpts.finish(std::cout);
   return 0;
 }

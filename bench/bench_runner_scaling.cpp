@@ -4,6 +4,7 @@
 // results bit-for-bit). Emits BENCH_runner_scaling.json.
 //
 // Usage: bench_runner_scaling [--out FILE] [--dies N]
+//                             [--trace FILE] [--metrics FILE]
 
 #include <cmath>
 #include <cstdlib>
@@ -14,6 +15,7 @@
 #include <vector>
 
 #include "bjtgen/generator.h"
+#include "obs/cli.h"
 #include "runner/engine.h"
 #include "runner/workloads.h"
 #include "util/json.h"
@@ -71,12 +73,15 @@ WorkloadReport scale(const std::string& name,
 int main(int argc, char** argv) {
   std::string outPath = "BENCH_runner_scaling.json";
   int dies = 64;
+  ahfic::obs::CliOptions obsOpts;
   for (int k = 1; k < argc; ++k) {
+    if (obsOpts.consume(argc, argv, k)) continue;
     if (std::strcmp(argv[k], "--out") == 0 && k + 1 < argc)
       outPath = argv[++k];
     else if (std::strcmp(argv[k], "--dies") == 0 && k + 1 < argc)
       dies = std::atoi(argv[++k]);
   }
+  obsOpts.begin();
 
   const unsigned hw = std::thread::hardware_concurrency();
   std::cout << "== Runner scaling: batch throughput vs worker threads ==\n"
@@ -145,5 +150,6 @@ int main(int argc, char** argv) {
   if (hw < 4)
     std::cout << "note: fewer than 4 hardware threads available; wall-clock "
                  "speedup is bounded by the host, not the engine.\n";
+  obsOpts.finish(std::cout);
   return 0;
 }

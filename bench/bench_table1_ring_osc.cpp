@@ -8,7 +8,7 @@
 // was N1.2-12D".
 //
 // One transient job per candidate shape, executed by the batch runner.
-// Usage: bench_table1_ring_osc [--jobs N]
+// Usage: bench_table1_ring_osc [--jobs N] [--trace FILE] [--metrics FILE]
 
 #include <algorithm>
 #include <cstdlib>
@@ -18,6 +18,7 @@
 
 #include "bjtgen/generator.h"
 #include "bjtgen/ringosc.h"
+#include "obs/cli.h"
 #include "runner/engine.h"
 #include "runner/workloads.h"
 #include "util/table.h"
@@ -29,10 +30,13 @@ namespace u = ahfic::util;
 
 int main(int argc, char** argv) {
   int jobs = 0;
+  ahfic::obs::CliOptions obsOpts;
   for (int k = 1; k < argc; ++k) {
+    if (obsOpts.consume(argc, argv, k)) continue;
     if (std::strcmp(argv[k], "--jobs") == 0 && k + 1 < argc)
       jobs = std::atoi(argv[++k]);
   }
+  obsOpts.begin();
 
   const auto gen = bg::ModelGenerator::withDefaultTechnology();
 
@@ -92,5 +96,6 @@ int main(int argc, char** argv) {
   std::cout << "\n[runner] " << m.jobs.size() << " jobs on " << m.threads
             << " thread(s), " << u::fixed(m.wallMs, 0) << " ms, "
             << m.totalNewtonIterations() << " Newton iterations\n";
+  obsOpts.finish(std::cout);
   return 0;
 }

@@ -4,7 +4,7 @@
 // simulator.
 //
 // Usage:
-//   ./spice_cli [--jobs N] [deck.sp ...]
+//   ./spice_cli [--jobs N] [--trace FILE] [--metrics FILE] [deck.sp ...]
 // With no deck a built-in demo deck (the Fig. 11-style ECL gate) runs.
 // Several decks are executed as one batch through the job engine — N
 // worker threads (default: hardware concurrency), each deck's listing
@@ -18,6 +18,7 @@
 #include <sstream>
 #include <vector>
 
+#include "obs/cli.h"
 #include "runner/engine.h"
 #include "spice/rundeck.h"
 
@@ -55,13 +56,16 @@ X1 inp inn outp outn vcc eclstage
 
 int main(int argc, char** argv) {
   int jobs = 0;
+  ahfic::obs::CliOptions obsOpts;
   std::vector<std::string> deckPaths;
   for (int k = 1; k < argc; ++k) {
+    if (obsOpts.consume(argc, argv, k)) continue;
     if (std::strcmp(argv[k], "--jobs") == 0 && k + 1 < argc)
       jobs = std::atoi(argv[++k]);
     else
       deckPaths.emplace_back(argv[k]);
   }
+  obsOpts.begin();
 
   std::vector<std::pair<std::string, std::string>> decks;  // label, text
   for (const std::string& path : deckPaths) {
@@ -88,6 +92,7 @@ int main(int argc, char** argv) {
       std::cerr << "error: " << e.what() << "\n";
       return 1;
     }
+    obsOpts.finish(std::cout);
     return 0;
   }
 
@@ -133,5 +138,6 @@ int main(int argc, char** argv) {
   std::cout << "[runner] " << decks.size() << " deck(s) on "
             << batch.manifest.threads << " thread(s), " << failures
             << " failed\n";
+  obsOpts.finish(std::cout);
   return failures == 0 ? 0 : 1;
 }

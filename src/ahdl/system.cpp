@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace ahfic::ahdl {
@@ -66,6 +68,11 @@ SimResult System::run(double tstop, double sampleRate, double recordFrom) {
       throw Error("System::run: probed signal '" + p + "' does not exist");
   }
 
+  static const obs::Counter runs = obs::counter("ahdl.runs");
+  static const obs::Counter blockEvals = obs::counter("ahdl.block_evals");
+  runs.add();
+  obs::ScopedSpan span("ahdl.run", "ahdl");
+
   for (auto& b : blocks_) b.block->prepare(sampleRate);
 
   const auto n = static_cast<size_t>(tstop * sampleRate);
@@ -95,6 +102,10 @@ SimResult System::run(double tstop, double sampleRate, double recordFrom) {
             values[static_cast<size_t>(findSignal(p))]);
     }
   }
+  // Flushed once: per-sample counter writes would dominate small blocks.
+  blockEvals.add(static_cast<long long>(n) *
+                 static_cast<long long>(blocks_.size()));
+  span.note("samples", static_cast<double>(n));
   return result;
 }
 

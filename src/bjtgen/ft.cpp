@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "spice/analysis.h"
 #include "spice/bjt.h"
 #include "spice/circuit.h"
@@ -74,6 +76,11 @@ double FtExtractor::solveBias(double icTarget) const {
 }
 
 FtPoint FtExtractor::measureAt(double ic) const {
+  static const obs::Counter extractions =
+      obs::counter("bjtgen.ft_extractions");
+  extractions.add();
+  obs::ScopedSpan span("bjtgen.ft_extract", "bjtgen");
+
   FtPoint pt;
   pt.ic = ic;
   pt.vbe = solveBias(ic);
@@ -109,6 +116,9 @@ FtPoint FtExtractor::measureAt(double ic) const {
 
   auto h21At = [&](double f) {
     const auto ac = an.ac({f}, op);
+    // Each reuse-path AC call opens a fresh stats window; fold it in so
+    // solverStats() keeps counting the whole extraction.
+    absorb(an.stats());
     return std::abs(ac.unknown(0, vc.branchId()));
   };
 
@@ -149,6 +159,11 @@ FtPoint FtExtractor::measureAt(double ic) const {
 }
 
 FtPoint FtExtractor::measureAnalyticAt(double ic) const {
+  static const obs::Counter extractions =
+      obs::counter("bjtgen.ft_extractions");
+  extractions.add();
+  obs::ScopedSpan span("bjtgen.ft_extract_analytic", "bjtgen");
+
   FtPoint pt;
   pt.ic = ic;
   pt.vbe = solveBias(ic);

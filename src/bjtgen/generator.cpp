@@ -1,5 +1,6 @@
 #include "bjtgen/generator.h"
 
+#include "obs/metrics.h"
 #include "util/error.h"
 #include "util/strings.h"
 
@@ -30,6 +31,8 @@ ModelGenerator ModelGenerator::withDefaultTechnology() {
 }
 
 spice::BjtModel ModelGenerator::generate(const TransistorShape& shape) const {
+  static const obs::Counter cards = obs::counter("bjtgen.model_cards");
+  cards.add();
   const ElectricalGeometry g = computeElectrical(shape, tech_);
   spice::BjtModel m = refCard_;  // copy shape-independent parameters
 

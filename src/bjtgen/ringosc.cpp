@@ -2,6 +2,8 @@
 
 #include <memory>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "spice/analysis.h"
 #include "spice/bjt.h"
 #include "spice/passive.h"
@@ -72,6 +74,11 @@ RingMeasurement measureRingFrequency(const RingOscillatorSpec& spec,
                                      double windowNs, double stepPs,
                                      spice::AnalysisOptions opts,
                                      spice::AnalyzerStats* statsOut) {
+  static const obs::Counter measurements =
+      obs::counter("bjtgen.ring_measurements");
+  measurements.add();
+  obs::ScopedSpan span("bjtgen.ring_measure", "bjtgen");
+
   sp::Circuit ckt;
   const auto nodes = buildRingOscillator(ckt, spec);
   sp::Analyzer an(ckt, opts);

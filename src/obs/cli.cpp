@@ -1,0 +1,58 @@
+#include "obs/cli.h"
+
+#include <cstring>
+#include <ostream>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/error.h"
+
+namespace ahfic::obs {
+
+bool CliOptions::consume(int argc, char** argv, int& k) {
+  const char* arg = argv[k];
+  std::string* target = nullptr;
+  if (std::strcmp(arg, "--trace") == 0)
+    target = &tracePath;
+  else if (std::strcmp(arg, "--metrics") == 0)
+    target = &metricsPath;
+  else
+    return false;
+  if (k + 1 >= argc)
+    throw Error(std::string("obs: ") + arg + " requires a FILE argument");
+  *target = argv[++k];
+  return true;
+}
+
+void CliOptions::begin() const {
+  if (!metricsPath.empty()) setMetricsEnabled(true);
+  if (!tracePath.empty()) {
+    setTracingEnabled(true);
+    nameCurrentThreadLane("main");
+  }
+}
+
+void CliOptions::finish(std::ostream& os) const {
+  if (!metricsPath.empty()) {
+    metrics().snapshot().writeJsonFile(metricsPath);
+    os << "[obs] wrote metrics to " << metricsPath << "\n";
+  }
+  if (!tracePath.empty()) {
+    writeTraceFile(tracePath);
+    os << "[obs] wrote trace to " << tracePath;
+    if (droppedTraceEvents() > 0)
+      os << " (" << droppedTraceEvents() << " events dropped at cap)";
+    os << "\n";
+  }
+  if (anyEnabled()) summary(os);
+}
+
+void summary(std::ostream& os) {
+  const std::string spans = spanSummary();
+  if (!spans.empty())
+    os << "\n[obs] top spans by cumulative time\n" << spans;
+  const std::string metricsTables = metrics().snapshot().summary();
+  if (!metricsTables.empty()) os << "\n[obs] metrics\n" << metricsTables;
+}
+
+}  // namespace ahfic::obs

@@ -1,0 +1,55 @@
+#pragma once
+// Shared command-line plumbing for the observability subsystem: every
+// bench_* binary and spice_cli accepts
+//
+//   --trace FILE     enable span tracing, write Chrome trace JSON to FILE
+//   --metrics FILE   enable the metrics registry, write a snapshot to FILE
+//
+// via this helper, so the flags parse and behave identically everywhere.
+//
+// Usage:
+//   obs::CliOptions obsOpts;
+//   for (int k = 1; k < argc; ++k) {
+//     if (obsOpts.consume(argc, argv, k)) continue;
+//     ... tool-specific flags ...
+//   }
+//   obsOpts.begin();
+//   ... workload ...
+//   obsOpts.finish(std::cout);
+
+#include <iosfwd>
+#include <string>
+
+namespace ahfic::obs {
+
+struct CliOptions {
+  std::string tracePath;    ///< empty = tracing stays disabled
+  std::string metricsPath;  ///< empty = metrics stay disabled
+
+  /// Consumes argv[k] (and its value argument) when it is an obs flag;
+  /// returns true and advances `k` past the value in that case. Throws
+  /// ahfic::Error when a flag is missing its FILE argument.
+  bool consume(int argc, char** argv, int& k);
+
+  /// Enables the requested subsystems and names the calling thread's
+  /// trace lane "main". Call once, before the workload.
+  void begin() const;
+
+  /// Writes the requested files and prints summary() to `os` when
+  /// anything was enabled. Call once, after the workload.
+  void finish(std::ostream& os) const;
+
+  bool anyEnabled() const {
+    return !tracePath.empty() || !metricsPath.empty();
+  }
+
+  /// Usage-string fragment for tools that print their own help.
+  static const char* usage() { return "[--trace FILE] [--metrics FILE]"; }
+};
+
+/// Prints the observability summary — top spans by cumulative time and
+/// the non-zero metrics tables — to `os`. No output when nothing was
+/// recorded.
+void summary(std::ostream& os);
+
+}  // namespace ahfic::obs

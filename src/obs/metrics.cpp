@@ -1,0 +1,391 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "util/error.h"
+#include "util/table.h"
+
+namespace ahfic::obs {
+
+namespace {
+
+std::atomic<bool> gMetricsEnabled{false};
+
+void atomicAddDouble(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void setMetricsEnabled(bool on) {
+  gMetricsEnabled.store(on, std::memory_order_relaxed);
+}
+
+bool metricsEnabled() {
+  return gMetricsEnabled.load(std::memory_order_relaxed);
+}
+
+double histogramBucketUpperBound(int bucket) {
+  if (bucket >= kHistogramBuckets - 1)
+    return std::numeric_limits<double>::infinity();
+  if (bucket < 0) bucket = 0;
+  return 1e-3 * std::pow(10.0, 0.25 * bucket);
+}
+
+int histogramBucketIndex(double value) {
+  if (!(value > 1e-3)) return 0;  // NaN and underflow
+  if (value > histogramBucketUpperBound(kHistogramBuckets - 2))
+    return kHistogramBuckets - 1;
+  int i = static_cast<int>(std::ceil(4.0 * (std::log10(value) + 3.0)));
+  i = std::clamp(i, 0, kHistogramBuckets - 2);
+  // log10 rounding can land one bucket off near a boundary; nudge until
+  // the closed-upper-bound invariant ub(i-1) < value <= ub(i) holds.
+  while (i > 0 && value <= histogramBucketUpperBound(i - 1)) --i;
+  while (value > histogramBucketUpperBound(i)) ++i;
+  return i;
+}
+
+// ---------------------------------------------------------------------------
+// Registry internals
+
+struct Registry::Shard {
+  std::array<std::atomic<long long>, kMaxCounters> counters{};
+  struct Hist {
+    std::array<std::atomic<long long>, kHistogramBuckets> buckets{};
+    std::atomic<double> sum{0.0};
+  };
+  std::array<Hist, kMaxHistograms> hists{};
+};
+
+struct Registry::Impl {
+  mutable std::mutex mu;  // registration, shard list, snapshot
+  std::vector<std::string> counterNames;
+  std::vector<std::string> gaugeNames;
+  std::vector<std::string> histNames;
+  std::map<std::string, int> counterIds;
+  std::map<std::string, int> gaugeIds;
+  std::map<std::string, int> histIds;
+  // Gauges are last-write-wins: one central slot, no sharding needed.
+  std::array<std::atomic<double>, kMaxGauges> gauges{};
+  std::vector<std::unique_ptr<Shard>> shards;
+  std::vector<Shard*> freeShards;
+};
+
+/// RAII thread-local lease: acquires a shard on a thread's first write and
+/// returns it to the free list when the thread exits (its accumulated
+/// values stay part of every later snapshot).
+struct Registry::ShardLease {
+  explicit ShardLease(Registry* r) : reg(r), shard(r->acquireShard()) {}
+  ~ShardLease() { reg->releaseShard(shard); }
+  Registry* reg;
+  Shard* shard;
+};
+
+Registry::Registry() : impl_(new Impl) {}
+Registry::~Registry() { delete impl_; }
+
+Registry& metrics() {
+  static Registry* r = new Registry;  // leaked: outlives thread-local leases
+  return *r;
+}
+
+Registry::Shard* Registry::acquireShard() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (!impl_->freeShards.empty()) {
+    Shard* s = impl_->freeShards.back();
+    impl_->freeShards.pop_back();
+    return s;
+  }
+  impl_->shards.push_back(std::make_unique<Shard>());
+  return impl_->shards.back().get();
+}
+
+void Registry::releaseShard(Shard* shard) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->freeShards.push_back(shard);
+}
+
+Registry::Shard& Registry::localShard() {
+  thread_local ShardLease lease(this);
+  return *lease.shard;
+}
+
+namespace {
+
+int registerName(std::map<std::string, int>& ids,
+                 std::vector<std::string>& names, const std::string& name,
+                 int capacity, const char* kind) {
+  if (name.empty()) throw Error("obs: empty metric name");
+  auto it = ids.find(name);
+  if (it != ids.end()) return it->second;
+  if (static_cast<int>(names.size()) >= capacity)
+    throw Error(std::string("obs: too many ") + kind + " metrics (cap " +
+                std::to_string(capacity) + ")");
+  const int id = static_cast<int>(names.size());
+  names.push_back(name);
+  ids[name] = id;
+  return id;
+}
+
+}  // namespace
+
+Counter Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return Counter(registerName(impl_->counterIds, impl_->counterNames, name,
+                              kMaxCounters, "counter"));
+}
+
+Gauge Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return Gauge(registerName(impl_->gaugeIds, impl_->gaugeNames, name,
+                            kMaxGauges, "gauge"));
+}
+
+Histogram Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return Histogram(registerName(impl_->histIds, impl_->histNames, name,
+                                kMaxHistograms, "histogram"));
+}
+
+void Registry::counterAdd(int id, long long delta) {
+  localShard().counters[static_cast<size_t>(id)].fetch_add(
+      delta, std::memory_order_relaxed);
+}
+
+void Registry::gaugeSet(int id, double value) {
+  impl_->gauges[static_cast<size_t>(id)].store(value,
+                                               std::memory_order_relaxed);
+}
+
+void Registry::histogramObserve(int id, double value) {
+  auto& h = localShard().hists[static_cast<size_t>(id)];
+  h.buckets[static_cast<size_t>(histogramBucketIndex(value))].fetch_add(
+      1, std::memory_order_relaxed);
+  atomicAddDouble(h.sum, value);
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  snap.counters.reserve(impl_->counterNames.size());
+  for (size_t c = 0; c < impl_->counterNames.size(); ++c) {
+    long long total = 0;
+    for (const auto& s : impl_->shards)
+      total += s->counters[c].load(std::memory_order_relaxed);
+    snap.counters.emplace_back(impl_->counterNames[c], total);
+  }
+  for (size_t g = 0; g < impl_->gaugeNames.size(); ++g)
+    snap.gauges.emplace_back(impl_->gaugeNames[g],
+                             impl_->gauges[g].load(std::memory_order_relaxed));
+  for (size_t h = 0; h < impl_->histNames.size(); ++h) {
+    HistogramSnapshot hs;
+    hs.name = impl_->histNames[h];
+    hs.buckets.assign(kHistogramBuckets, 0);
+    for (const auto& s : impl_->shards) {
+      const auto& sh = s->hists[h];
+      for (int b = 0; b < kHistogramBuckets; ++b)
+        hs.buckets[static_cast<size_t>(b)] +=
+            sh.buckets[static_cast<size_t>(b)].load(std::memory_order_relaxed);
+      hs.sum += sh.sum.load(std::memory_order_relaxed);
+    }
+    for (long long n : hs.buckets) hs.count += n;
+    snap.histograms.push_back(std::move(hs));
+  }
+  return snap;
+}
+
+void Registry::resetForTest() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (auto& s : impl_->shards) {
+    for (auto& c : s->counters) c.store(0, std::memory_order_relaxed);
+    for (auto& h : s->hists) {
+      for (auto& b : h.buckets) b.store(0, std::memory_order_relaxed);
+      h.sum.store(0.0, std::memory_order_relaxed);
+    }
+  }
+  for (auto& g : impl_->gauges) g.store(0.0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Handles
+
+void Counter::add(long long delta) const {
+  if (id_ < 0 || !metricsEnabled()) return;
+  metrics().counterAdd(id_, delta);
+}
+
+void Gauge::set(double value) const {
+  if (id_ < 0 || !metricsEnabled()) return;
+  metrics().gaugeSet(id_, value);
+}
+
+void Histogram::observe(double value) const {
+  if (id_ < 0 || !metricsEnabled()) return;
+  metrics().histogramObserve(id_, value);
+}
+
+Counter counter(const std::string& name) { return metrics().counter(name); }
+Gauge gauge(const std::string& name) { return metrics().gauge(name); }
+Histogram histogram(const std::string& name) {
+  return metrics().histogram(name);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count <= 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<long long>(
+      std::ceil(q * static_cast<double>(count)));
+  long long cum = 0;
+  for (int b = 0; b < kHistogramBuckets; ++b) {
+    cum += buckets[static_cast<size_t>(b)];
+    if (cum >= target && cum > 0) return histogramBucketUpperBound(b);
+  }
+  return histogramBucketUpperBound(kHistogramBuckets - 1);
+}
+
+MetricsSnapshot MetricsSnapshot::since(const MetricsSnapshot& earlier) const {
+  MetricsSnapshot out = *this;
+  for (auto& [name, value] : out.counters) value -= earlier.counterValue(name);
+  for (auto& h : out.histograms) {
+    const HistogramSnapshot* prev = earlier.findHistogram(h.name);
+    if (prev == nullptr) continue;
+    h.count -= prev->count;
+    h.sum -= prev->sum;
+    const size_t n = std::min(h.buckets.size(), prev->buckets.size());
+    for (size_t b = 0; b < n; ++b) h.buckets[b] -= prev->buckets[b];
+  }
+  return out;
+}
+
+long long MetricsSnapshot::counterValue(const std::string& name) const {
+  for (const auto& [n, v] : counters)
+    if (n == name) return v;
+  return 0;
+}
+
+const HistogramSnapshot* MetricsSnapshot::findHistogram(
+    const std::string& name) const {
+  for (const auto& h : histograms)
+    if (h.name == name) return &h;
+  return nullptr;
+}
+
+util::JsonValue MetricsSnapshot::toJson() const {
+  util::JsonValue doc = util::JsonValue::object();
+  doc.set("schema", "ahfic-metrics-v1");
+
+  util::JsonValue cs = util::JsonValue::object();
+  for (const auto& [name, value] : counters)
+    cs.set(name, static_cast<double>(value));
+  doc.set("counters", std::move(cs));
+
+  util::JsonValue gs = util::JsonValue::object();
+  for (const auto& [name, value] : gauges) gs.set(name, value);
+  doc.set("gauges", std::move(gs));
+
+  util::JsonValue hs = util::JsonValue::object();
+  for (const auto& h : histograms) {
+    util::JsonValue e = util::JsonValue::object();
+    e.set("count", static_cast<double>(h.count));
+    e.set("sum", h.sum);
+    e.set("mean", h.mean());
+    util::JsonValue bucketArr = util::JsonValue::array();
+    for (int b = 0; b < kHistogramBuckets; ++b) {
+      const long long n = h.buckets[static_cast<size_t>(b)];
+      if (n == 0) continue;
+      util::JsonValue be = util::JsonValue::object();
+      // Overflow bucket: "le" is null (JSON has no infinity).
+      if (b == kHistogramBuckets - 1)
+        be.set("le", util::JsonValue());
+      else
+        be.set("le", histogramBucketUpperBound(b));
+      be.set("n", static_cast<double>(n));
+      bucketArr.push(std::move(be));
+    }
+    e.set("buckets", std::move(bucketArr));
+    hs.set(h.name, std::move(e));
+  }
+  doc.set("histograms", std::move(hs));
+  return doc;
+}
+
+std::string MetricsSnapshot::toJsonString(int indent) const {
+  return toJson().dump(indent);
+}
+
+void MetricsSnapshot::writeJsonFile(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) throw Error("obs: cannot write metrics file '" + path + "'");
+  f << toJsonString() << "\n";
+  if (!f.good()) throw Error("obs: write to '" + path + "' failed");
+}
+
+namespace {
+
+std::string formatBound(double v) {
+  if (std::isinf(v)) return "inf";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.4g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::summary(size_t topN) const {
+  std::string out;
+
+  std::vector<std::pair<std::string, long long>> nonzero;
+  for (const auto& c : counters)
+    if (c.second != 0) nonzero.push_back(c);
+  std::sort(nonzero.begin(), nonzero.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  if (nonzero.size() > topN) nonzero.resize(topN);
+  if (!nonzero.empty()) {
+    util::Table t({"counter", "value"});
+    for (const auto& [name, value] : nonzero)
+      t.addRow({name, std::to_string(value)});
+    out += t.toString();
+  }
+
+  bool anyGauge = false;
+  for (const auto& [name, value] : gauges)
+    if (value != 0.0) anyGauge = true;
+  if (anyGauge) {
+    util::Table t({"gauge", "value"});
+    for (const auto& [name, value] : gauges)
+      t.addRow({name, util::fixed(value, 3)});
+    if (!out.empty()) out += "\n";
+    out += t.toString();
+  }
+
+  bool anyHist = false;
+  for (const auto& h : histograms)
+    if (h.count > 0) anyHist = true;
+  if (anyHist) {
+    util::Table t({"histogram", "count", "mean", "p50", "p95"});
+    for (const auto& h : histograms) {
+      if (h.count == 0) continue;
+      t.addRow({h.name, std::to_string(h.count), formatBound(h.mean()),
+                formatBound(h.quantile(0.5)), formatBound(h.quantile(0.95))});
+    }
+    if (!out.empty()) out += "\n";
+    out += t.toString();
+  }
+  return out;
+}
+
+}  // namespace ahfic::obs

@@ -1,0 +1,185 @@
+#pragma once
+// Process-wide metrics registry: counters, gauges, and histograms with
+// fixed log-scale buckets, designed to be zero-cost when disabled.
+//
+// Collection is off by default. Instrumentation points hold cheap value
+// handles (an integer id) obtained once; every write first checks one
+// relaxed atomic flag and returns immediately when metrics are off, so a
+// disabled hot path pays a single predictable branch.
+//
+// Writes go to per-thread shards (each slot an atomic written only by its
+// owning thread), so concurrent workers never contend; snapshot() merges
+// the shards. A thread that exits returns its shard to a free list for
+// the next thread, so long test runs do not grow the shard set.
+//
+// Naming convention (see docs/observability.md): `subsystem.metric_name`,
+// snake_case, unit suffix where not obvious (`_ms`, `_per_solve`).
+//
+// Usage:
+//   static const obs::Counter c = obs::counter("spice.newton_iterations");
+//   c.add(12);
+//   obs::setMetricsEnabled(true);
+//   obs::MetricsSnapshot snap = obs::metrics().snapshot();
+//   snap.toJson().dump(2);
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/json.h"
+
+namespace ahfic::obs {
+
+/// Master switch for metric collection (relaxed atomic; safe to flip from
+/// any thread, though enabling mid-batch only captures later writes).
+void setMetricsEnabled(bool on);
+bool metricsEnabled();
+
+/// Histogram bucket scheme: fixed log-scale, 4 buckets per decade.
+/// Bucket 0 is the underflow bucket (value <= 1e-3); the last bucket is
+/// the overflow bucket (upper bound +infinity); bucket i in between
+/// covers (ub(i-1), ub(i)] with ub(i) = 1e-3 * 10^(i/4). The span
+/// 1e-3 .. ~3.2e9 comfortably covers every metric the stack records
+/// (Newton iterations, wall milliseconds, step counts).
+inline constexpr int kHistogramBuckets = 52;
+
+/// Upper bound of bucket `bucket`; +infinity for the overflow bucket.
+double histogramBucketUpperBound(int bucket);
+/// Bucket index a value lands in (NaN and values <= 1e-3 underflow to 0).
+int histogramBucketIndex(double value);
+
+class Registry;
+/// The process-wide registry.
+Registry& metrics();
+
+/// Cheap copyable handle to a counter. Obtain via obs::counter(); writes
+/// are no-ops while metrics are disabled.
+class Counter {
+ public:
+  Counter() = default;
+  void add(long long delta = 1) const;
+
+ private:
+  friend class Registry;
+  explicit Counter(int id) : id_(id) {}
+  int id_ = -1;
+};
+
+/// Last-write-wins instantaneous value (e.g. queue depth).
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(double value) const;
+
+ private:
+  friend class Registry;
+  explicit Gauge(int id) : id_(id) {}
+  int id_ = -1;
+};
+
+/// Log-bucketed distribution (see bucket scheme above).
+class Histogram {
+ public:
+  Histogram() = default;
+  void observe(double value) const;
+
+ private:
+  friend class Registry;
+  explicit Histogram(int id) : id_(id) {}
+  int id_ = -1;
+};
+
+/// Registers (or finds) a metric by name. Registration is mutex-guarded
+/// and intended to happen once per call site (static local handle).
+Counter counter(const std::string& name);
+Gauge gauge(const std::string& name);
+Histogram histogram(const std::string& name);
+
+/// Merged view of one histogram.
+struct HistogramSnapshot {
+  std::string name;
+  long long count = 0;
+  double sum = 0.0;
+  std::vector<long long> buckets;  ///< kHistogramBuckets entries
+
+  double mean() const { return count > 0 ? sum / count : 0.0; }
+  /// Upper bound of the bucket holding the q-quantile (q in [0,1]).
+  /// Returns 0 for an empty histogram; +infinity when it lands in the
+  /// overflow bucket.
+  double quantile(double q) const;
+};
+
+/// Point-in-time merge of every shard. Counters and histograms are
+/// cumulative since process start (or resetForTest); use since() for a
+/// windowed view.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, long long>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  /// Counter/histogram deltas relative to `earlier` (gauges keep their
+  /// current value). Metrics absent from `earlier` pass through whole.
+  MetricsSnapshot since(const MetricsSnapshot& earlier) const;
+
+  /// Counter value by name (0 when absent).
+  long long counterValue(const std::string& name) const;
+  /// Histogram by name (nullptr when absent).
+  const HistogramSnapshot* findHistogram(const std::string& name) const;
+
+  /// "ahfic-metrics-v1" document: counters/gauges as name->value maps,
+  /// histograms with count/sum/mean and the non-empty buckets
+  /// ({"le": upperBound-or-null-for-overflow, "n": count}).
+  util::JsonValue toJson() const;
+  std::string toJsonString(int indent = 2) const;
+  /// Writes toJsonString to a file; throws ahfic::Error on I/O failure.
+  void writeJsonFile(const std::string& path) const;
+
+  /// Text tables (util::Table) of the top `topN` counters by value plus
+  /// every histogram (count/mean/p50/p95). Empty string when nothing was
+  /// recorded.
+  std::string summary(size_t topN = 12) const;
+};
+
+class Registry {
+ public:
+  /// Shard capacities; registration beyond these throws ahfic::Error.
+  /// Fixed so per-thread shards never reallocate under concurrent writes.
+  static constexpr int kMaxCounters = 160;
+  static constexpr int kMaxGauges = 32;
+  static constexpr int kMaxHistograms = 48;
+
+  Counter counter(const std::string& name);
+  Gauge gauge(const std::string& name);
+  Histogram histogram(const std::string& name);
+
+  MetricsSnapshot snapshot() const;
+
+  /// Zeroes every slot in every shard. Test-only: callers must ensure no
+  /// concurrent writers.
+  void resetForTest();
+
+ private:
+  friend class ::ahfic::obs::Counter;
+  friend class ::ahfic::obs::Gauge;
+  friend class ::ahfic::obs::Histogram;
+  friend Registry& metrics();
+
+  struct Shard;
+  struct ShardLease;
+
+  Registry();
+  ~Registry();
+
+  void counterAdd(int id, long long delta);
+  void gaugeSet(int id, double value);
+  void histogramObserve(int id, double value);
+
+  Shard& localShard();
+  Shard* acquireShard();
+  void releaseShard(Shard* shard);
+
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace ahfic::obs

@@ -1,0 +1,352 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "util/error.h"
+#include "util/table.h"
+
+namespace ahfic::obs {
+
+namespace {
+
+std::atomic<bool> gTracingEnabled{false};
+
+/// Hard cap on buffered events: a runaway transient with per-iteration
+/// spans tops out around 100 bytes/event, so 1M events bounds the
+/// collector at ~100 MB. Excess events are counted, not stored.
+constexpr long long kMaxEvents = 1'000'000;
+
+struct TraceEvent {
+  std::string name;
+  const char* category;
+  double tsUs;
+  double durUs;
+  struct {
+    const char* key;
+    double value;
+  } notes[2];
+  int noteCount;
+};
+
+/// One trace lane: owned by a single writer thread at a time, merged by
+/// the serializer. The mutex is per-lane so writers never contend with
+/// each other, only (briefly) with a concurrent serialization.
+struct Lane {
+  int id = 0;
+  std::mutex mu;
+  std::string name;
+  std::vector<TraceEvent> events;
+};
+
+struct Collector {
+  std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  std::mutex mu;  // lane list + free list
+  std::vector<std::unique_ptr<Lane>> lanes;
+  std::vector<Lane*> freeLanes;
+  std::atomic<long long> eventCount{0};
+  std::atomic<long long> dropped{0};
+
+  Lane* acquireLane() {
+    std::lock_guard<std::mutex> lock(mu);
+    if (!freeLanes.empty()) {
+      Lane* l = freeLanes.back();
+      freeLanes.pop_back();
+      return l;
+    }
+    lanes.push_back(std::make_unique<Lane>());
+    lanes.back()->id = static_cast<int>(lanes.size()) - 1;
+    return lanes.back().get();
+  }
+
+  void releaseLane(Lane* lane) {
+    std::lock_guard<std::mutex> lock(mu);
+    freeLanes.push_back(lane);
+  }
+
+  /// Names `cur`, or — when `cur` already carries a different owner's
+  /// named events (lane reuse across batches; renaming would
+  /// retroactively relabel them) — swaps to a lane this name can own:
+  /// a free lane with the same name, a pristine free lane, or a new one.
+  Lane* nameLane(Lane* cur, const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu);
+    {
+      std::lock_guard<std::mutex> laneLock(cur->mu);
+      if (cur->events.empty() || cur->name.empty() || cur->name == name) {
+        cur->name = name;
+        return cur;
+      }
+    }
+    Lane* pick = nullptr;
+    for (Lane* f : freeLanes) {
+      std::lock_guard<std::mutex> laneLock(f->mu);
+      if (f->name == name) {
+        pick = f;
+        break;
+      }
+    }
+    if (pick == nullptr) {
+      for (Lane* f : freeLanes) {
+        std::lock_guard<std::mutex> laneLock(f->mu);
+        if (f->name.empty() && f->events.empty()) {
+          pick = f;
+          break;
+        }
+      }
+    }
+    if (pick != nullptr) {
+      freeLanes.erase(
+          std::remove(freeLanes.begin(), freeLanes.end(), pick),
+          freeLanes.end());
+    } else {
+      lanes.push_back(std::make_unique<Lane>());
+      lanes.back()->id = static_cast<int>(lanes.size()) - 1;
+      pick = lanes.back().get();
+    }
+    freeLanes.push_back(cur);
+    std::lock_guard<std::mutex> laneLock(pick->mu);
+    pick->name = name;
+    return pick;
+  }
+
+  double nowUs() const {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - epoch)
+        .count();
+  }
+};
+
+Collector& collector() {
+  static Collector* c = new Collector;  // leaked: outlives thread locals
+  return *c;
+}
+
+struct LaneLease {
+  LaneLease() : lane(collector().acquireLane()) {}
+  ~LaneLease() { collector().releaseLane(lane); }
+  Lane* lane;
+};
+
+LaneLease& localLease() {
+  thread_local LaneLease lease;
+  return lease;
+}
+
+Lane& localLane() { return *localLease().lane; }
+
+/// Minimal JSON string escaping for event/lane names (the only
+/// user-influenced strings in a trace).
+void appendEscaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  out += '"';
+}
+
+void appendNumber(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  out += buf;
+}
+
+}  // namespace
+
+void setTracingEnabled(bool on) {
+  gTracingEnabled.store(on, std::memory_order_relaxed);
+}
+
+bool tracingEnabled() {
+  return gTracingEnabled.load(std::memory_order_relaxed);
+}
+
+ScopedSpan::ScopedSpan(const char* name, const char* category) {
+  if (!tracingEnabled()) return;
+  live_ = true;
+  staticName_ = name;
+  category_ = category;
+  startUs_ = collector().nowUs();
+}
+
+ScopedSpan::ScopedSpan(std::string name, const char* category) {
+  if (!tracingEnabled()) return;
+  live_ = true;
+  dynamicName_ = std::move(name);
+  category_ = category;
+  startUs_ = collector().nowUs();
+}
+
+void ScopedSpan::note(const char* key, double value) {
+  if (!live_ || noteCount_ >= 2) return;
+  notes_[noteCount_].key = key;
+  notes_[noteCount_].value = value;
+  ++noteCount_;
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!live_) return;
+  Collector& c = collector();
+  const double endUs = c.nowUs();
+  if (c.eventCount.fetch_add(1, std::memory_order_relaxed) >= kMaxEvents) {
+    c.dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  TraceEvent ev;
+  ev.name = staticName_ != nullptr ? std::string(staticName_)
+                                   : std::move(dynamicName_);
+  ev.category = category_;
+  ev.tsUs = startUs_;
+  ev.durUs = endUs - startUs_;
+  ev.noteCount = noteCount_;
+  for (int k = 0; k < noteCount_; ++k) ev.notes[k] = {notes_[k].key,
+                                                      notes_[k].value};
+  Lane& lane = localLane();
+  std::lock_guard<std::mutex> lock(lane.mu);
+  lane.events.push_back(std::move(ev));
+}
+
+void nameCurrentThreadLane(const std::string& name) {
+  if (!tracingEnabled()) return;
+  LaneLease& lease = localLease();
+  lease.lane = collector().nameLane(lease.lane, name);
+}
+
+std::vector<SpanTotal> spanTotals() {
+  Collector& c = collector();
+  std::map<std::string, SpanTotal> agg;
+  std::lock_guard<std::mutex> listLock(c.mu);
+  for (const auto& lane : c.lanes) {
+    std::lock_guard<std::mutex> lock(lane->mu);
+    for (const TraceEvent& ev : lane->events) {
+      SpanTotal& t = agg[ev.name];
+      t.name = ev.name;
+      ++t.count;
+      t.totalUs += ev.durUs;
+    }
+  }
+  std::vector<SpanTotal> out;
+  out.reserve(agg.size());
+  for (auto& [name, total] : agg) out.push_back(std::move(total));
+  std::sort(out.begin(), out.end(), [](const SpanTotal& a,
+                                       const SpanTotal& b) {
+    return a.totalUs > b.totalUs;
+  });
+  return out;
+}
+
+std::string spanSummary(size_t topN) {
+  std::vector<SpanTotal> totals = spanTotals();
+  if (totals.empty()) return "";
+  if (totals.size() > topN) totals.resize(topN);
+  util::Table t({"span", "count", "total [ms]", "mean [us]"});
+  for (const SpanTotal& s : totals) {
+    t.addRow({s.name, std::to_string(s.count),
+              util::fixed(s.totalUs * 1e-3, 2),
+              util::fixed(s.count > 0 ? s.totalUs / s.count : 0.0, 1)});
+  }
+  return t.toString();
+}
+
+std::string traceJson() {
+  Collector& c = collector();
+  std::string out;
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto comma = [&] {
+    if (!first) out += ',';
+    first = false;
+  };
+
+  comma();
+  out +=
+      "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+      "\"args\":{\"name\":\"ahfic\"}}";
+
+  std::lock_guard<std::mutex> listLock(c.mu);
+  out.reserve(out.size() + 96 * static_cast<size_t>(std::min(
+                               c.eventCount.load(), kMaxEvents)));
+  for (const auto& lane : c.lanes) {
+    std::lock_guard<std::mutex> lock(lane->mu);
+    comma();
+    out += "{\"ph\":\"M\",\"pid\":1,\"tid\":";
+    out += std::to_string(lane->id);
+    out += ",\"name\":\"thread_name\",\"args\":{\"name\":";
+    appendEscaped(out,
+                  lane->name.empty() ? "thread-" + std::to_string(lane->id)
+                                     : lane->name);
+    out += "}}";
+    for (const TraceEvent& ev : lane->events) {
+      comma();
+      out += "{\"ph\":\"X\",\"pid\":1,\"tid\":";
+      out += std::to_string(lane->id);
+      out += ",\"name\":";
+      appendEscaped(out, ev.name);
+      out += ",\"cat\":";
+      appendEscaped(out, ev.category);
+      out += ",\"ts\":";
+      appendNumber(out, ev.tsUs);
+      out += ",\"dur\":";
+      appendNumber(out, ev.durUs);
+      if (ev.noteCount > 0) {
+        out += ",\"args\":{";
+        for (int k = 0; k < ev.noteCount; ++k) {
+          if (k > 0) out += ',';
+          appendEscaped(out, ev.notes[k].key);
+          out += ':';
+          appendNumber(out, ev.notes[k].value);
+        }
+        out += '}';
+      }
+      out += '}';
+    }
+  }
+  out += "],\"otherData\":{\"droppedEvents\":";
+  out += std::to_string(c.dropped.load(std::memory_order_relaxed));
+  out += "}}";
+  return out;
+}
+
+void writeTraceFile(const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw Error("obs: cannot write trace file '" + path + "'");
+  f << traceJson() << "\n";
+  if (!f.good()) throw Error("obs: write to '" + path + "' failed");
+}
+
+void clearTrace() {
+  Collector& c = collector();
+  std::lock_guard<std::mutex> listLock(c.mu);
+  for (const auto& lane : c.lanes) {
+    std::lock_guard<std::mutex> lock(lane->mu);
+    lane->events.clear();
+  }
+  c.eventCount.store(0, std::memory_order_relaxed);
+  c.dropped.store(0, std::memory_order_relaxed);
+}
+
+long long droppedTraceEvents() {
+  return collector().dropped.load(std::memory_order_relaxed);
+}
+
+}  // namespace ahfic::obs

@@ -1,0 +1,96 @@
+#pragma once
+// Structured tracing: scoped-span RAII timers emitting Chrome trace-event
+// JSON, loadable in chrome://tracing or https://ui.perfetto.dev.
+//
+// Tracing is off by default; a disabled ScopedSpan costs one relaxed
+// atomic load. When enabled, each span records a complete ("ph":"X")
+// event into a per-thread buffer on destruction, so nested spans render
+// as a flame chart. Threads map to trace lanes; the runner names its
+// worker lanes ("worker-0", ...) so a batch renders one lane per worker.
+//
+// Usage:
+//   obs::setTracingEnabled(true);
+//   {
+//     obs::ScopedSpan span("spice.transient", "spice");
+//     span.note("steps", 1234);
+//     ... work ...
+//   }  // span emitted here
+//   obs::writeTraceFile("out.trace.json");
+
+#include <string>
+#include <vector>
+
+namespace ahfic::obs {
+
+/// Master switch for span collection (relaxed atomic).
+void setTracingEnabled(bool on);
+bool tracingEnabled();
+
+/// RAII timer: measures construction-to-destruction and emits one
+/// complete trace event on the current thread's lane. No-op (single
+/// atomic load) while tracing is disabled.
+class ScopedSpan {
+ public:
+  /// `name` must outlive the span (string literals at instrumentation
+  /// points). `category` groups events in the viewer.
+  explicit ScopedSpan(const char* name, const char* category = "app");
+  /// Dynamic label (e.g. a job key). The string is copied.
+  ScopedSpan(std::string name, const char* category = "app");
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Attaches a numeric argument shown in the viewer's detail pane.
+  /// At most 2 notes per span; later calls are dropped. `key` must
+  /// outlive the span (use string literals).
+  void note(const char* key, double value);
+
+ private:
+  bool live_ = false;
+  const char* staticName_ = nullptr;  ///< literal-name fast path
+  std::string dynamicName_;           ///< used when staticName_ == nullptr
+  const char* category_ = "app";
+  double startUs_ = 0.0;
+  struct Note {
+    const char* key;
+    double value;
+  } notes_[2];
+  int noteCount_ = 0;
+};
+
+/// Names the calling thread's trace lane (emitted as thread_name
+/// metadata). The runner calls this from each worker. No-op while
+/// tracing is disabled.
+void nameCurrentThreadLane(const std::string& name);
+
+/// Cumulative-time aggregate of all recorded spans sharing a name.
+struct SpanTotal {
+  std::string name;
+  long long count = 0;
+  double totalUs = 0.0;
+};
+
+/// Aggregates recorded spans, descending by cumulative time.
+std::vector<SpanTotal> spanTotals();
+
+/// util::Table rendering of the top `topN` spans by cumulative time;
+/// empty string when no spans were recorded.
+std::string spanSummary(size_t topN = 12);
+
+/// The full trace as a Chrome trace-event JSON object
+/// ({"traceEvents": [...], ...}).
+std::string traceJson();
+
+/// Writes traceJson() to `path`; throws ahfic::Error on I/O failure.
+void writeTraceFile(const std::string& path);
+
+/// Drops all recorded events and the dropped-event count (lanes and
+/// their names survive). Test helper.
+void clearTrace();
+
+/// Events dropped because the in-memory cap (~1M events) was reached.
+/// A non-zero value is also recorded in the trace file's otherData.
+long long droppedTraceEvents();
+
+}  // namespace ahfic::obs

@@ -5,11 +5,30 @@
 #include <cstdio>
 #include <thread>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace ahfic::runner {
 
 namespace {
+
+/// Engine-level metrics, registered once.
+struct EngineMetrics {
+  obs::Counter jobsCompleted = obs::counter("runner.jobs_completed");
+  obs::Counter jobsFailed = obs::counter("runner.jobs_failed");
+  obs::Counter cacheHits = obs::counter("runner.cache_hits");
+  obs::Counter cacheMisses = obs::counter("runner.cache_misses");
+  obs::Counter retries = obs::counter("runner.retries");
+  obs::Gauge queueDepth = obs::gauge("runner.queue_depth");
+  obs::Histogram jobWallMs = obs::histogram("runner.job_wall_ms");
+  obs::Histogram retryRung = obs::histogram("runner.retry_rung");
+};
+
+const EngineMetrics& engineMetrics() {
+  static const EngineMetrics m;
+  return m;
+}
 
 double msSince(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(
@@ -41,6 +60,12 @@ int BatchRunner::effectiveThreads(size_t jobCount) const {
 }
 
 JobOutcome BatchRunner::runOne(const Job& job, size_t index, int worker) {
+  const EngineMetrics& em = engineMetrics();
+  // Dynamic label only when tracing is live; the span renders one slice
+  // per job on the worker's lane.
+  obs::ScopedSpan span(
+      obs::tracingEnabled() ? "job:" + job.key : std::string(), "runner");
+
   JobOutcome out;
   out.record.key = job.key;
   out.record.worker = worker;
@@ -56,8 +81,11 @@ JobOutcome BatchRunner::runOne(const Job& job, size_t index, int worker) {
       out.record.status = JobStatus::kOk;
       out.record.cacheHit = true;
       out.record.rungName = "cache";
+      em.cacheHits.add();
+      em.jobsCompleted.add();
       return out;
     }
+    em.cacheMisses.add();
   }
 
   const auto t0 = std::chrono::steady_clock::now();
@@ -79,6 +107,11 @@ JobOutcome BatchRunner::runOne(const Job& job, size_t index, int worker) {
       out.record.rejectedSteps = ctx.stats.rejectedSteps;
       out.record.wallMs = msSince(t0);
       if (opts_.useCache) cache_.store(cacheKey, out.result);
+      em.jobsCompleted.add();
+      em.retries.add(out.record.retries());
+      em.jobWallMs.observe(out.record.wallMs);
+      em.retryRung.observe(rung);
+      span.note("rung", rung);
       return out;
     } catch (const ConvergenceError& e) {
       // Escalate; remember the message in case every rung fails.
@@ -91,6 +124,9 @@ JobOutcome BatchRunner::runOne(const Job& job, size_t index, int worker) {
       out.record.error = e.what();
       out.record.wallMs = msSince(t0);
       out.result = JobResult{};
+      em.jobsFailed.add();
+      em.retries.add(out.record.retries());
+      em.jobWallMs.observe(out.record.wallMs);
       return out;
     }
   }
@@ -102,6 +138,9 @@ JobOutcome BatchRunner::runOne(const Job& job, size_t index, int worker) {
     out.record.error = "convergence failure on every retry rung";
   out.record.wallMs = msSince(t0);
   out.result = JobResult{};
+  em.jobsFailed.add();
+  em.retries.add(out.record.retries());
+  em.jobWallMs.observe(out.record.wallMs);
   return out;
 }
 
@@ -113,13 +152,20 @@ BatchResult BatchRunner::run(const std::vector<Job>& jobs) {
   batch.outcomes.resize(jobs.size());
   if (jobs.empty()) return batch;
 
+  // Batch-window delta for the manifest's metrics section.
+  const bool withMetrics = obs::metricsEnabled();
+  const obs::MetricsSnapshot before =
+      withMetrics ? obs::metrics().snapshot() : obs::MetricsSnapshot{};
+
   const auto t0 = std::chrono::steady_clock::now();
   std::atomic<size_t> next{0};
 
   auto workerLoop = [&](int workerId) {
+    const obs::Gauge queueDepth = engineMetrics().queueDepth;
     while (true) {
       const size_t i = next.fetch_add(1);
       if (i >= jobs.size()) return;
+      queueDepth.set(static_cast<double>(jobs.size() - i - 1));
       // Each worker writes only its own slot: no synchronisation needed
       // beyond the cache's internal lock.
       batch.outcomes[i] = runOne(jobs[i], i, workerId);
@@ -127,11 +173,18 @@ BatchResult BatchRunner::run(const std::vector<Job>& jobs) {
   };
 
   if (threads <= 1) {
+    // Single-worker batches run on the caller's thread (and lane).
     workerLoop(0);
   } else {
     std::vector<std::thread> pool;
     pool.reserve(static_cast<size_t>(threads));
-    for (int w = 0; w < threads; ++w) pool.emplace_back(workerLoop, w);
+    for (int w = 0; w < threads; ++w)
+      pool.emplace_back([&workerLoop, w] {
+        // One trace lane per worker, so a batch renders as a flame chart
+        // with per-worker rows.
+        obs::nameCurrentThreadLane("worker-" + std::to_string(w));
+        workerLoop(w);
+      });
     for (auto& t : pool) t.join();
   }
 
@@ -139,6 +192,9 @@ BatchResult BatchRunner::run(const std::vector<Job>& jobs) {
   batch.manifest.jobs.reserve(jobs.size());
   for (const auto& out : batch.outcomes)
     batch.manifest.jobs.push_back(out.record);
+  if (withMetrics)
+    batch.manifest.metrics =
+        obs::metrics().snapshot().since(before).toJson();
 
   if (opts_.useCache && !opts_.cacheFile.empty())
     cache_.saveFile(opts_.cacheFile);

@@ -73,8 +73,11 @@ util::JsonValue RunManifest::toJson() const {
     e.set("key", j.key);
     e.set("status", jobStatusName(j.status));
     e.set("attempts", j.attempts);
+    // Explicit on every job — including first-try successes — so
+    // downstream parsing needs no null-handling.
+    e.set("retries", j.retries());
     e.set("rung", j.rung);
-    if (!j.rungName.empty()) e.set("rungName", j.rungName);
+    e.set("rungName", j.rungName.empty() ? "default" : j.rungName);
     e.set("cacheHit", j.cacheHit);
     e.set("wallMs", j.wallMs);
     e.set("newtonIterations", j.newtonIterations);
@@ -86,6 +89,7 @@ util::JsonValue RunManifest::toJson() const {
     arr.push(std::move(e));
   }
   doc.set("jobs", std::move(arr));
+  if (metrics.isObject()) doc.set("metrics", metrics);
   return doc;
 }
 

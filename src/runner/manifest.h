@@ -33,6 +33,10 @@ struct JobRecord {
   int rung = 0;            ///< rung of the successful attempt
   std::string rungName;    ///< ladder label of that rung
   bool cacheHit = false;
+  /// Escalations beyond the first attempt (0 on a first-try success or a
+  /// cache hit). Emitted explicitly in the JSON so downstream parsers
+  /// never need null-handling.
+  int retries() const { return attempts > 1 ? attempts - 1 : 0; }
   double wallMs = 0.0;     ///< informational; varies run to run
   long newtonIterations = 0;
   long matrixSolves = 0;
@@ -48,6 +52,11 @@ struct RunManifest {
   std::uint64_t baseSeed = 0;
   double wallMs = 0.0;  ///< batch wall time (submission to last join)
   std::vector<JobRecord> jobs;
+  /// Batch-window snapshot of the global metrics registry (counter and
+  /// histogram deltas over the run), set by the engine when metrics are
+  /// enabled (obs::setMetricsEnabled / --metrics). Null otherwise; when
+  /// set it is emitted as the manifest's "metrics" section.
+  util::JsonValue metrics;
 
   int countWithStatus(JobStatus status) const;
   int cacheHits() const;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "spice/sources.h"
 #include "util/error.h"
 
@@ -91,6 +93,13 @@ void Analyzer::buildLayout() {
 
 void Analyzer::assemble(Stamper& s, const Solution& x,
                         const LoadContext& ctx) {
+  // Runs once per Newton iteration: keep the disabled path at a single
+  // relaxed load, without span-object setup.
+  if (!obs::tracingEnabled()) {
+    for (const auto& dev : ckt_.devices()) dev->load(s, x, ctx);
+    return;
+  }
+  obs::ScopedSpan span("spice.assemble", "spice");
   for (const auto& dev : ckt_.devices()) dev->load(s, x, ctx);
 }
 
@@ -106,8 +115,58 @@ bool Analyzer::solveLinear(std::vector<double>& x) {
   return true;
 }
 
+void Analyzer::publishStats(const char* analysis) {
+  const AnalyzerStats delta{
+      stats_.newtonIterations - published_.newtonIterations,
+      stats_.matrixSolves - published_.matrixSolves,
+      stats_.acceptedSteps - published_.acceptedSteps,
+      stats_.rejectedSteps - published_.rejectedSteps,
+      stats_.gminSteps - published_.gminSteps,
+      stats_.sourceSteps - published_.sourceSteps,
+  };
+  published_ = stats_;
+  if (!obs::metricsEnabled()) return;
+  static const obs::Counter cNewton =
+      obs::counter("spice.newton_iterations");
+  static const obs::Counter cSolves = obs::counter("spice.matrix_solves");
+  static const obs::Counter cAccepted =
+      obs::counter("spice.tran_accepted_steps");
+  static const obs::Counter cRejected =
+      obs::counter("spice.tran_rejected_steps");
+  static const obs::Counter cGmin = obs::counter("spice.gmin_steps");
+  static const obs::Counter cSource = obs::counter("spice.source_steps");
+  cNewton.add(delta.newtonIterations);
+  cSolves.add(delta.matrixSolves);
+  cAccepted.add(delta.acceptedSteps);
+  cRejected.add(delta.rejectedSteps);
+  cGmin.add(delta.gminSteps);
+  cSource.add(delta.sourceSteps);
+  // Entry points are cold; a registry lookup per call is fine here. A
+  // full registry must never fail the analysis itself.
+  try {
+    obs::counter(std::string("spice.analyses.") + analysis).add(1);
+  } catch (const Error&) {
+  }
+}
+
 Analyzer::NewtonOutcome Analyzer::newton(std::vector<double>& x,
                                          LoadContext& ctx) {
+  // Runs once per solve (hundreds of times per transient): one combined
+  // check before any span/handle setup keeps the disabled path flat.
+  if (!obs::tracingEnabled() && !obs::metricsEnabled())
+    return newtonInner(x, ctx);
+  obs::ScopedSpan span("spice.newton", "spice");
+  const NewtonOutcome out = newtonInner(x, ctx);
+  span.note("iters", out.iterations);
+  span.note("converged", out.converged ? 1.0 : 0.0);
+  static const obs::Histogram hIters =
+      obs::histogram("spice.newton_iters_per_solve");
+  hIters.observe(out.iterations);
+  return out;
+}
+
+Analyzer::NewtonOutcome Analyzer::newtonInner(std::vector<double>& x,
+                                              LoadContext& ctx) {
   NewtonOutcome out;
   const int n = unknownCount_;
   std::vector<double> xNew(static_cast<size_t>(n), 0.0);
@@ -227,6 +286,7 @@ std::vector<double> Analyzer::opWithContext(LoadContext& ctx) {
 }
 
 std::vector<double> Analyzer::op() {
+  obs::ScopedSpan span("spice.op", "spice");
   resetStats();
   LoadContext ctx;
   ctx.mode = AnalysisMode::kDcOp;
@@ -250,6 +310,7 @@ std::vector<double> Analyzer::op() {
   }
   statePrev_ = state_;
   std::fill(dstatePrev_.begin(), dstatePrev_.end(), 0.0);
+  publishStats("op");
   return x;
 }
 
@@ -265,6 +326,7 @@ DcSweepResult Analyzer::dcSweep(const std::string& sourceName, double start,
   if (vs == nullptr && is == nullptr)
     throw Error("dcSweep: '" + sourceName + "' is not a V or I source");
 
+  obs::ScopedSpan span("spice.dc_sweep", "spice");
   resetStats();
   LoadContext ctx;
   ctx.mode = AnalysisMode::kDcOp;
@@ -298,19 +360,35 @@ DcSweepResult Analyzer::dcSweep(const std::string& sourceName, double start,
     result.sweep.push_back(v);
     result.values.push_back(x);
   }
+  span.note("points", static_cast<double>(result.sweep.size()));
+  publishStats("dc_sweep");
   return result;
 }
 
 AcResult Analyzer::ac(const std::vector<double>& frequencies) {
-  return ac(frequencies, op());
+  // The internal op() publishes its own slice; acLinear publishes the
+  // sweep's. stats() afterwards covers both (one window, no reset
+  // between them).
+  const std::vector<double> xop = op();
+  return acLinear(frequencies, xop, /*freshWindow=*/false);
 }
 
 AcResult Analyzer::ac(const std::vector<double>& frequencies,
                       const std::vector<double>& opSolution) {
+  return acLinear(frequencies, opSolution, /*freshWindow=*/true);
+}
+
+AcResult Analyzer::acLinear(const std::vector<double>& frequencies,
+                            const std::vector<double>& opSolution,
+                            bool freshWindow) {
+  obs::ScopedSpan span("spice.ac", "spice");
+  span.note("points", static_cast<double>(frequencies.size()));
+  if (freshWindow) resetStats();
   AcResult result;
   const int n = unknownCount_;
   Solution sop(&opSolution);
   for (double f : frequencies) {
+    ++stats_.matrixSolves;
     const double omega = 2.0 * 3.14159265358979323846 * f;
     DenseMatrix<std::complex<double>> a(n, n);
     a.setZero();
@@ -327,6 +405,7 @@ AcResult Analyzer::ac(const std::vector<double>& frequencies,
     result.frequency.push_back(f);
     result.values.push_back(std::move(x));
   }
+  publishStats("ac");
   return result;
 }
 
@@ -348,6 +427,10 @@ NoiseResult Analyzer::noise(const std::vector<double>& frequencies,
     throw Error("noise: output node '" + outputNode + "' not found");
   if (frequencies.empty()) throw Error("noise: empty frequency list");
 
+  obs::ScopedSpan span("spice.noise", "spice");
+  span.note("points", static_cast<double>(frequencies.size()));
+  resetStats();
+
   Solution sop(&opSolution);
   const double tempK = ckt_.temperatureC() + 273.15;
   std::vector<NoiseSourceDesc> sources;
@@ -363,6 +446,7 @@ NoiseResult Analyzer::noise(const std::vector<double>& frequencies,
 
   const int n = unknownCount_;
   for (size_t k = 0; k < frequencies.size(); ++k) {
+    ++stats_.matrixSolves;
     const double f = frequencies[k];
     const double omega = 2.0 * 3.14159265358979323846 * f;
     DenseMatrix<std::complex<double>> a(n, n);
@@ -409,6 +493,7 @@ NoiseResult Analyzer::noise(const std::vector<double>& frequencies,
             [](const NoiseContribution& x, const NoiseContribution& y) {
               return x.variance > y.variance;
             });
+  publishStats("noise");
   return result;
 }
 
@@ -416,6 +501,7 @@ TranResult Analyzer::transient(double tstop, double maxStep,
                                double recordFrom) {
   if (tstop <= 0.0 || maxStep <= 0.0)
     throw Error("transient: tstop and maxStep must be > 0");
+  obs::ScopedSpan span("spice.transient", "spice");
 
   // Initial condition: DC operating point (records charge states). op()
   // resets the stats window, so the whole transient — OP included — is
@@ -496,6 +582,9 @@ TranResult Analyzer::transient(double tstop, double maxStep,
       }
     }
   }
+  span.note("accepted", static_cast<double>(stats_.acceptedSteps));
+  span.note("rejected", static_cast<double>(stats_.rejectedSteps));
+  publishStats("transient");
   return result;
 }
 

@@ -93,10 +93,17 @@ struct NoiseResult {
 
 /// Statistics of the most recent analysis. Counters are reset at the
 /// start of every top-level solve entry point — op(), dcSweep(),
-/// transient() — so stats() read after a call covers exactly that call
-/// (the runner's per-job manifests depend on this). ac()/noise() perform
-/// direct linear solves and do not touch these counters, except that the
-/// op-computing ac() overload resets them via its internal op().
+/// transient(), ac(), noise() — so stats() read after a call covers
+/// exactly that call (the runner's per-job manifests depend on this).
+/// For ac()/noise(), matrixSolves counts one LU factorisation per
+/// frequency point; the op-computing ac() overload's window covers the
+/// internal op() plus the sweep.
+///
+/// This struct is the per-Analyzer façade over the global observability
+/// registry (obs/metrics.h): the same counters are published as
+/// `spice.*` registry metrics at the end of each entry point, so batch
+/// totals aggregate across analyzers and threads without touching the
+/// hot solver loop.
 struct AnalyzerStats {
   long newtonIterations = 0;
   long matrixSolves = 0;
@@ -127,10 +134,12 @@ class Analyzer {
                         double stop, double step);
 
   /// AC small-signal analysis at the given frequencies, linearised about
-  /// `opSolution` (obtain it from op()).
+  /// `opSolution` (obtain it from op()). Opens a fresh stats() window
+  /// counting one matrix solve per frequency point.
   AcResult ac(const std::vector<double>& frequencies,
               const std::vector<double>& opSolution);
-  /// Convenience: computes the OP itself, then sweeps.
+  /// Convenience: computes the OP itself, then sweeps. The stats()
+  /// window covers both the OP and the sweep.
   AcResult ac(const std::vector<double>& frequencies);
 
   /// Transient from t=0 (operating point as the initial condition) to
@@ -157,10 +166,23 @@ class Analyzer {
 
   void buildLayout();
   /// Starts a fresh per-call counter window (see AnalyzerStats).
-  void resetStats() { stats_ = AnalyzerStats{}; }
+  void resetStats() {
+    stats_ = AnalyzerStats{};
+    published_ = AnalyzerStats{};
+  }
+  /// Publishes the not-yet-published slice of stats_ to the global
+  /// metrics registry as `spice.*` counters (no-op when metrics are
+  /// disabled) and counts one `spice.analyses.<analysis>` invocation.
+  /// Called on successful completion only: work from an analysis that
+  /// threw stays unpublished (the next resetStats discards it).
+  void publishStats(const char* analysis);
   void assemble(Stamper& s, const Solution& x, const LoadContext& ctx);
   /// One Newton solve at fixed context; x is both input guess and output.
   NewtonOutcome newton(std::vector<double>& x, LoadContext& ctx);
+  NewtonOutcome newtonInner(std::vector<double>& x, LoadContext& ctx);
+  /// Shared AC sweep body; optionally opens a fresh stats window.
+  AcResult acLinear(const std::vector<double>& frequencies,
+                    const std::vector<double>& opSolution, bool freshWindow);
   bool solveLinear(std::vector<double>& x);
   std::vector<double> opWithContext(LoadContext& ctx);
 
@@ -169,6 +191,10 @@ class Analyzer {
   int unknownCount_ = 0;
   int stateCount_ = 0;
   AnalyzerStats stats_;
+  /// Watermark of stats_ already pushed to the metrics registry, so
+  /// nested entry points (transient's internal op()) publish each slice
+  /// of work exactly once.
+  AnalyzerStats published_;
 
   // Scratch for the real solves.
   DenseMatrix<double> a_;

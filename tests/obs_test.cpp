@@ -1,0 +1,392 @@
+// Observability subsystem: histogram bucket invariants, lock-free shard
+// merging under concurrent writers, Chrome trace well-formedness, and the
+// runner's manifest metrics section.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bjtgen/generator.h"
+#include "obs/cli.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "runner/engine.h"
+#include "runner/workloads.h"
+#include "spice/analysis.h"
+#include "spice/circuit.h"
+#include "spice/diode.h"
+#include "spice/sources.h"
+#include "util/error.h"
+#include "util/json.h"
+
+namespace bg = ahfic::bjtgen;
+namespace obs = ahfic::obs;
+namespace rn = ahfic::runner;
+namespace u = ahfic::util;
+
+namespace {
+
+/// RAII guard: enables metrics (and optionally tracing) for one test and
+/// restores the disabled default afterwards, so obs tests cannot leak
+/// global state into unrelated tests in the same process.
+struct ObsGuard {
+  explicit ObsGuard(bool tracing = false) {
+    obs::metrics().resetForTest();
+    obs::setMetricsEnabled(true);
+    if (tracing) {
+      obs::clearTrace();
+      obs::setTracingEnabled(true);
+    }
+  }
+  ~ObsGuard() {
+    obs::setMetricsEnabled(false);
+    obs::setTracingEnabled(false);
+    obs::clearTrace();
+    obs::metrics().resetForTest();
+  }
+};
+
+}  // namespace
+
+TEST(ObsHistogram, BucketBoundariesAreLogUniform) {
+  // ub(i) = 1e-3 * 10^(i/4): four buckets per decade, overflow at the
+  // end. Every boundary must index into its own bucket (inclusive upper
+  // bounds), and a nudge above it into the next.
+  EXPECT_NEAR(obs::histogramBucketUpperBound(0), 1e-3, 1e-12);
+  EXPECT_NEAR(obs::histogramBucketUpperBound(4), 1e-2, 1e-11);
+  EXPECT_NEAR(obs::histogramBucketUpperBound(8), 1e-1, 1e-10);
+  EXPECT_TRUE(std::isinf(
+      obs::histogramBucketUpperBound(obs::kHistogramBuckets - 1)));
+
+  for (int b = 0; b + 1 < obs::kHistogramBuckets; ++b) {
+    const double ub = obs::histogramBucketUpperBound(b);
+    EXPECT_EQ(obs::histogramBucketIndex(ub), b) << "boundary of bucket "
+                                                << b;
+    EXPECT_EQ(obs::histogramBucketIndex(ub * 1.0001), b + 1)
+        << "just above bucket " << b;
+    if (b > 0)
+      EXPECT_GT(ub, obs::histogramBucketUpperBound(b - 1))
+          << "bounds must be strictly increasing";
+  }
+
+  // Underflow, overflow, and junk all land in a valid bucket.
+  EXPECT_EQ(obs::histogramBucketIndex(0.0), 0);
+  EXPECT_EQ(obs::histogramBucketIndex(-5.0), 0);
+  EXPECT_EQ(obs::histogramBucketIndex(std::nan("")), 0);
+  EXPECT_EQ(obs::histogramBucketIndex(1e300),
+            obs::kHistogramBuckets - 1);
+  EXPECT_EQ(obs::histogramBucketIndex(
+                std::numeric_limits<double>::infinity()),
+            obs::kHistogramBuckets - 1);
+}
+
+TEST(ObsHistogram, ObservationsLandInTheRightBuckets) {
+  ObsGuard guard;
+  const obs::Histogram h = obs::histogram("test.hist_buckets");
+  h.observe(0.5);     // bucket for 0.5
+  h.observe(0.5);
+  h.observe(5000.0);  // a few decades up
+  const auto snap = obs::metrics().snapshot();
+  const auto* hs = snap.findHistogram("test.hist_buckets");
+  ASSERT_NE(hs, nullptr);
+  EXPECT_EQ(hs->count, 3);
+  EXPECT_NEAR(hs->sum, 5001.0, 1e-9);
+  EXPECT_EQ(hs->buckets[static_cast<size_t>(
+                obs::histogramBucketIndex(0.5))],
+            2);
+  EXPECT_EQ(hs->buckets[static_cast<size_t>(
+                obs::histogramBucketIndex(5000.0))],
+            1);
+  // The p50 bucket bound must bracket 0.5 from above.
+  EXPECT_GE(hs->quantile(0.5), 0.5);
+  EXPECT_LT(hs->quantile(0.5), 1.0);
+}
+
+TEST(ObsMetrics, DisabledWritesAreDropped) {
+  obs::metrics().resetForTest();
+  ASSERT_FALSE(obs::metricsEnabled());
+  const obs::Counter c = obs::counter("test.disabled_counter");
+  c.add(100);
+  EXPECT_EQ(obs::metrics().snapshot().counterValue(
+                "test.disabled_counter"),
+            0);
+}
+
+TEST(ObsMetrics, ConcurrentShardWritesMergeExactly) {
+  ObsGuard guard;
+  const obs::Counter c = obs::counter("test.concurrent_counter");
+  const obs::Histogram h = obs::histogram("test.concurrent_hist");
+
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 20000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&c, &h] {
+      for (int k = 0; k < kAddsPerThread; ++k) {
+        c.add(1);
+        h.observe(1.0);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+
+  const auto snap = obs::metrics().snapshot();
+  EXPECT_EQ(snap.counterValue("test.concurrent_counter"),
+            static_cast<long long>(kThreads) * kAddsPerThread);
+  const auto* hs = snap.findHistogram("test.concurrent_hist");
+  ASSERT_NE(hs, nullptr);
+  EXPECT_EQ(hs->count, static_cast<long long>(kThreads) * kAddsPerThread);
+  EXPECT_NEAR(hs->sum, static_cast<double>(kThreads) * kAddsPerThread,
+              1e-6);
+}
+
+TEST(ObsMetrics, SnapshotSinceWindowsCounters) {
+  ObsGuard guard;
+  const obs::Counter c = obs::counter("test.windowed_counter");
+  c.add(7);
+  const auto before = obs::metrics().snapshot();
+  c.add(5);
+  const auto delta = obs::metrics().snapshot().since(before);
+  EXPECT_EQ(delta.counterValue("test.windowed_counter"), 5);
+}
+
+TEST(ObsMetrics, JsonRoundTripsThroughParser) {
+  ObsGuard guard;
+  obs::counter("test.json_counter").add(3);
+  obs::gauge("test.json_gauge").set(2.5);
+  obs::histogram("test.json_hist").observe(10.0);
+
+  const auto doc = u::parseJson(obs::metrics().snapshot().toJsonString());
+  EXPECT_EQ(doc.get("schema").asString(), "ahfic-metrics-v1");
+  EXPECT_EQ(doc.get("counters").get("test.json_counter").asNumber(), 3.0);
+  EXPECT_EQ(doc.get("gauges").get("test.json_gauge").asNumber(), 2.5);
+  ASSERT_TRUE(doc.get("histograms").has("test.json_hist"));
+  const auto& e = doc.get("histograms").get("test.json_hist");
+  EXPECT_EQ(e.get("count").asNumber(), 1.0);
+  EXPECT_EQ(e.get("sum").asNumber(), 10.0);
+  ASSERT_GE(e.get("buckets").size(), 1u);
+  EXPECT_EQ(e.get("buckets").at(0).get("n").asNumber(), 1.0);
+  EXPECT_NEAR(e.get("buckets").at(0).get("le").asNumber(),
+              obs::histogramBucketUpperBound(
+                  obs::histogramBucketIndex(10.0)),
+              1e-9);
+}
+
+TEST(ObsMetrics, RunnerAt8JobsProducesConsistentManifestMetrics) {
+  // The satellite's concurrency check: a real batch at 8 workers with
+  // metrics enabled — the manifest's metrics section must agree exactly
+  // with the manifest's own per-job accounting.
+  ObsGuard guard;
+  const auto jobs = rn::monteCarloFtJobs(bg::defaultTechnology(),
+                                         bg::ProcessVariation{}, 24,
+                                         "N1.2-12D", 3e-3);
+  rn::RunnerOptions opts;
+  opts.threads = 8;
+  opts.useCache = false;
+  rn::BatchRunner runner(opts);
+  const auto batch = runner.run(jobs);
+
+  ASSERT_TRUE(batch.manifest.metrics.isObject());
+  const auto& m = batch.manifest.metrics;
+  EXPECT_EQ(m.get("counters").get("runner.jobs_completed").asNumber(),
+            24.0);
+  EXPECT_EQ(m.get("counters")
+                .get("spice.newton_iterations")
+                .asNumber(),
+            static_cast<double>(batch.manifest.totalNewtonIterations()));
+
+  // And the section survives the JSON round trip.
+  const auto doc = u::parseJson(batch.manifest.toJsonString());
+  ASSERT_TRUE(doc.has("metrics"));
+  EXPECT_EQ(doc.get("metrics")
+                .get("counters")
+                .get("runner.jobs_completed")
+                .asNumber(),
+            24.0);
+}
+
+TEST(ObsMetrics, ManifestOmitsMetricsSectionWhenDisabled) {
+  obs::metrics().resetForTest();
+  ASSERT_FALSE(obs::metricsEnabled());
+  const auto jobs = rn::monteCarloFtJobs(bg::defaultTechnology(),
+                                         bg::ProcessVariation{}, 4,
+                                         "N1.2-12D", 3e-3);
+  rn::RunnerOptions opts;
+  opts.threads = 2;
+  opts.useCache = false;
+  rn::BatchRunner runner(opts);
+  const auto batch = runner.run(jobs);
+  EXPECT_FALSE(batch.manifest.metrics.isObject());
+  EXPECT_FALSE(u::parseJson(batch.manifest.toJsonString()).has("metrics"));
+}
+
+TEST(ObsTrace, ChromeTraceJsonIsWellFormedWithNestingAndLanes) {
+  ObsGuard guard(/*tracing=*/true);
+  obs::nameCurrentThreadLane("main");
+
+  // A real multi-worker batch: spans nest job -> analysis -> Newton and
+  // every worker gets its own named lane. Each job sleeps long enough
+  // that all four workers participate before the queue drains (25 ms
+  // per job vs. microseconds of thread spawn skew).
+  std::vector<rn::Job> jobs;
+  for (int k = 0; k < 8; ++k) {
+    rn::Job job;
+    job.key = "trace/j" + std::to_string(k);
+    job.run = [](rn::JobContext&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+      ahfic::spice::Circuit ckt;
+      const int a = ckt.node("a");
+      ahfic::spice::DiodeModel dm;
+      dm.is = 1e-14;
+      ckt.add<ahfic::spice::ISource>("I1", 0, a, 1e-3);
+      ckt.add<ahfic::spice::Diode>("D1", ckt, a, 0, dm);
+      ahfic::spice::Analyzer an(ckt);
+      an.op();
+      return rn::JobResult{};
+    };
+    jobs.push_back(std::move(job));
+  }
+  rn::RunnerOptions opts;
+  opts.threads = 4;
+  opts.useCache = false;
+  rn::BatchRunner runner(opts);
+  runner.run(jobs);
+
+  const auto doc = u::parseJson(obs::traceJson());
+  ASSERT_TRUE(doc.has("traceEvents"));
+  const auto& evs = doc.get("traceEvents");
+  ASSERT_GT(evs.size(), 0u);
+
+  std::vector<std::string> laneNames;
+  struct Ev {
+    double ts, dur;
+    long tid;
+    std::string name;
+  };
+  std::vector<Ev> spans;
+  for (size_t k = 0; k < evs.size(); ++k) {
+    const auto& e = evs.at(k);
+    const std::string ph = e.get("ph").asString();
+    if (ph == "M" && e.get("name").asString() == "thread_name") {
+      laneNames.push_back(e.get("args").get("name").asString());
+    } else if (ph == "X") {
+      spans.push_back({e.get("ts").asNumber(), e.get("dur").asNumber(),
+                       static_cast<long>(e.get("tid").asNumber()),
+                       e.get("name").asString()});
+      EXPECT_GE(spans.back().dur, 0.0);
+    }
+  }
+  // One named lane per worker.
+  for (const char* want : {"worker-0", "worker-1", "worker-2", "worker-3"})
+    EXPECT_NE(std::find(laneNames.begin(), laneNames.end(), want),
+              laneNames.end())
+        << "missing lane " << want;
+
+  // Nesting: per lane, events are properly contained — and at least one
+  // chain reaches job -> extraction -> solver depth (>= 3).
+  int maxDepth = 0;
+  std::stable_sort(spans.begin(), spans.end(),
+                   [](const Ev& a, const Ev& b) {
+                     if (a.tid != b.tid) return a.tid < b.tid;
+                     if (a.ts != b.ts) return a.ts < b.ts;
+                     return a.dur > b.dur;
+                   });
+  std::vector<const Ev*> stack;
+  long tid = -1;
+  for (const Ev& e : spans) {
+    if (e.tid != tid) {
+      stack.clear();
+      tid = e.tid;
+    }
+    while (!stack.empty() &&
+           e.ts >= stack.back()->ts + stack.back()->dur)
+      stack.pop_back();
+    // Containment, not straddling: a nested span ends within its parent.
+    if (!stack.empty())
+      EXPECT_LE(e.ts + e.dur,
+                stack.back()->ts + stack.back()->dur + 1e-3);
+    stack.push_back(&e);
+    maxDepth = std::max(maxDepth, static_cast<int>(stack.size()));
+  }
+  EXPECT_GE(maxDepth, 3);
+}
+
+TEST(ObsTrace, WriteTraceFileRoundTrips) {
+  ObsGuard guard(/*tracing=*/true);
+  {
+    obs::ScopedSpan outer("test.outer", "test");
+    obs::ScopedSpan inner("test.inner", "test");
+    inner.note("k", 42.0);
+  }
+  const std::string path = "obs_test_trace.json";
+  obs::writeTraceFile(path);
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  std::remove(path.c_str());
+
+  const auto doc = u::parseJson(ss.str());
+  const auto& evs = doc.get("traceEvents");
+  bool sawInner = false;
+  for (size_t k = 0; k < evs.size(); ++k) {
+    const auto& e = evs.at(k);
+    if (e.get("ph").asString() == "X" &&
+        e.get("name").asString() == "test.inner") {
+      sawInner = true;
+      EXPECT_EQ(e.get("cat").asString(), "test");
+      EXPECT_EQ(e.get("args").get("k").asNumber(), 42.0);
+    }
+  }
+  EXPECT_TRUE(sawInner);
+  EXPECT_EQ(obs::droppedTraceEvents(), 0);
+}
+
+TEST(ObsTrace, SpanTotalsAggregateByName) {
+  ObsGuard guard(/*tracing=*/true);
+  for (int k = 0; k < 3; ++k) obs::ScopedSpan span("test.repeat", "test");
+  const auto totals = obs::spanTotals();
+  bool found = false;
+  for (const auto& t : totals) {
+    if (t.name != "test.repeat") continue;
+    found = true;
+    EXPECT_EQ(t.count, 3);
+    EXPECT_GE(t.totalUs, 0.0);
+  }
+  EXPECT_TRUE(found);
+  EXPECT_FALSE(obs::spanSummary().empty());
+}
+
+TEST(ObsCli, ConsumeParsesAndValidatesFlags) {
+  obs::CliOptions cli;
+  const char* argvIn[] = {"prog", "--trace", "t.json", "--other",
+                         "--metrics", "m.json"};
+  char* argv[6];
+  for (int k = 0; k < 6; ++k) argv[k] = const_cast<char*>(argvIn[k]);
+  std::vector<std::string> rest;
+  for (int k = 1; k < 6; ++k) {
+    if (cli.consume(6, argv, k)) continue;
+    rest.emplace_back(argv[k]);
+  }
+  EXPECT_EQ(cli.tracePath, "t.json");
+  EXPECT_EQ(cli.metricsPath, "m.json");
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_EQ(rest[0], "--other");
+  EXPECT_TRUE(cli.anyEnabled());
+
+  obs::CliOptions bad;
+  const char* argvBad[] = {"prog", "--trace"};
+  char* argv2[2];
+  for (int k = 0; k < 2; ++k) argv2[k] = const_cast<char*>(argvBad[k]);
+  int k = 1;
+  EXPECT_THROW(bad.consume(2, argv2, k), ahfic::Error);
+}

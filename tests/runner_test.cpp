@@ -262,6 +262,16 @@ TEST(RunnerManifest, JsonExportIsParseableAndAccurate) {
   EXPECT_GT(job0.get("newtonIterations").asNumber(), 0.0);
   EXPECT_NE(job0.get("key").asString().find("mc-ft/die0"),
             std::string::npos);
+
+  // First-try successes still carry explicit retry fields, so downstream
+  // parsers never need null-handling.
+  for (size_t k = 0; k < doc.get("jobs").size(); ++k) {
+    const auto& j = doc.get("jobs").at(k);
+    ASSERT_TRUE(j.has("retries"));
+    ASSERT_TRUE(j.has("rungName"));
+    EXPECT_EQ(j.get("retries").asNumber(), 0.0);
+    EXPECT_EQ(j.get("rungName").asString(), "default");
+  }
 }
 
 TEST(RunnerWorkloads, IrrYieldChunkingMatchesLayoutAndIsDeterministic) {

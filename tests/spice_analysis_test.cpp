@@ -91,6 +91,54 @@ TEST(AnalysisStats, TransientWindowIncludesItsOperatingPoint) {
   EXPECT_LT(an.stats().matrixSolves, tranSolves);
 }
 
+TEST(AnalysisStats, AcAndNoiseWindowsNeverAccumulate) {
+  // Regression guard for the per-call stats audit: every entry point —
+  // including the AC reuse path and noise() — opens a fresh window, so
+  // calling any of them in a loop reports constant, not growing, counts.
+  sp::Circuit ckt;
+  const int in = ckt.node("in"), out = ckt.node("out");
+  ckt.add<sp::VSource>("V1", in, 0, 1.0, /*acMag=*/1.0);
+  ckt.add<sp::Resistor>("R1", in, out, 1e3);
+  ckt.add<sp::Capacitor>("C1", out, 0, 1e-9);
+  sp::Analyzer an(ckt);
+
+  const auto freqs = sp::logspace(1e3, 1e6, 3);
+  an.ac(freqs);
+  const long full = an.stats().matrixSolves;
+  EXPECT_GT(full, 0);
+  an.ac(freqs);
+  EXPECT_EQ(an.stats().matrixSolves, full);
+
+  const auto xop = an.op();
+  an.ac(freqs, xop);
+  const long reuse = an.stats().matrixSolves;
+  // The reuse overload skips the OP: one factor+solve per frequency.
+  EXPECT_EQ(reuse, static_cast<long>(freqs.size()));
+  an.ac(freqs, xop);
+  EXPECT_EQ(an.stats().matrixSolves, reuse);
+
+  an.noise(freqs, "out", xop);
+  const long noise = an.stats().matrixSolves;
+  EXPECT_GT(noise, 0);
+  an.noise(freqs, "out", xop);
+  EXPECT_EQ(an.stats().matrixSolves, noise);
+}
+
+TEST(AnalysisStats, TransientWindowsNeverAccumulate) {
+  sp::Circuit ckt;
+  const int in = ckt.node("in"), out = ckt.node("out");
+  ckt.add<sp::VSource>("V1", in, 0, 1.0);
+  ckt.add<sp::Resistor>("R1", in, out, 1e3);
+  ckt.add<sp::Capacitor>("C1", out, 0, 1e-9);
+  sp::Analyzer an(ckt);
+  an.transient(1e-7, 10e-9);
+  const long first = an.stats().matrixSolves;
+  const long firstSteps = an.stats().acceptedSteps;
+  an.transient(1e-7, 10e-9);
+  EXPECT_EQ(an.stats().matrixSolves, first);
+  EXPECT_EQ(an.stats().acceptedSteps, firstSteps);
+}
+
 TEST(AnalysisStats, TransientStepAccounting) {
   sp::Circuit ckt;
   const int in = ckt.node("in"), out = ckt.node("out");
