@@ -1,0 +1,86 @@
+// Standalone static analyzer: lints SPICE decks and AHDL netlists
+// without ever running a solver.
+//
+// Usage:
+//   ./lint_cli [--json FILE] [--quiet] file.sp [file.ahdl ...]
+// Files ending in ".ahdl" go through the AHDL analyzers; everything else
+// is treated as a SPICE deck. Diagnostics print in compiler style, one
+// per line; `--json FILE` writes the merged "ahfic-lint-v1" document.
+// Exit status: 0 when no file has errors, 1 otherwise, 2 on usage or
+// I/O problems.
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/ahdl.h"
+#include "lint/netlist.h"
+
+namespace {
+
+bool endsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string jsonPath;
+  bool quiet = false;
+  std::vector<std::string> paths;
+  for (int k = 1; k < argc; ++k) {
+    if (std::strcmp(argv[k], "--json") == 0 && k + 1 < argc)
+      jsonPath = argv[++k];
+    else if (std::strcmp(argv[k], "--quiet") == 0)
+      quiet = true;
+    else if (argv[k][0] == '-') {
+      std::cerr << "unknown option '" << argv[k] << "'\n";
+      return 2;
+    } else {
+      paths.emplace_back(argv[k]);
+    }
+  }
+  if (paths.empty()) {
+    std::cerr << "usage: lint_cli [--json FILE] [--quiet] "
+                 "file.sp [file.ahdl ...]\n";
+    return 2;
+  }
+
+  ahfic::lint::LintReport merged;
+  for (const std::string& path : paths) {
+    std::ifstream f(path);
+    if (!f) {
+      std::cerr << "cannot open '" << path << "'\n";
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    const ahfic::lint::LintReport report =
+        endsWith(path, ".ahdl") ? ahfic::lint::lintAhdlText(ss.str())
+                                : ahfic::lint::lintDeckText(ss.str());
+    merged.merge(report, path);
+  }
+
+  if (!quiet && !merged.empty()) std::cout << merged.renderText();
+  if (!quiet)
+    std::cout << "[lint] " << paths.size() << " file(s): "
+              << merged.count(ahfic::lint::Severity::kError)
+              << " error(s), "
+              << merged.count(ahfic::lint::Severity::kWarning)
+              << " warning(s), "
+              << merged.count(ahfic::lint::Severity::kInfo) << " info\n";
+
+  if (!jsonPath.empty()) {
+    std::ofstream out(jsonPath);
+    if (!out) {
+      std::cerr << "cannot write '" << jsonPath << "'\n";
+      return 2;
+    }
+    out << merged.toJsonString() << "\n";
+  }
+  return merged.hasErrors() ? 1 : 0;
+}

@@ -1,0 +1,10 @@
+Deliberately broken deck: a non-physical BJT model card.
+* MJE > 1 (grading coefficient outside (0,1)) and a negative RB are
+* impossible for a real junction; lint_cli flags MOD_BJT_RANGE twice.
+.MODEL badnpn NPN(IS=1e-16 BF=100 RB=-5 CJE=20f MJE=1.4 TF=12p)
+VCC vcc 0 5
+VIN b 0 0.8
+Q1 vcc b e badnpn
+RE e 0 1k
+.OP
+.END

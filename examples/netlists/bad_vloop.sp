@@ -1,0 +1,15 @@
+Deliberately broken deck: a loop of ideal voltage sources.
+* Two ideal sources in parallel overdetermine KVL — the MNA matrix is
+* singular before Newton ever starts. lint_cli flags NET_VSRC_LOOP.
+V1 a 0 5
+V2 a 0 4.9
+R1 a b 1k
+RL b 0 1k
+
+* The inductor shorts node c to ground at DC while only a capacitor
+* feeds it — and C1's far side (node d) floats entirely.
+L1 c 0 10n
+C1 c d 1p
+
+.OP
+.END

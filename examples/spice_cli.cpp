@@ -4,12 +4,17 @@
 // simulator.
 //
 // Usage:
-//   ./spice_cli [--jobs N] [--trace FILE] [--metrics FILE] [deck.sp ...]
+//   ./spice_cli [--jobs N] [--trace FILE] [--metrics FILE]
+//               [--lint] [--lint-json FILE] [deck.sp ...]
 // With no deck a built-in demo deck (the Fig. 11-style ECL gate) runs.
 // Several decks are executed as one batch through the job engine — N
 // worker threads (default: hardware concurrency), each deck's listing
 // captured and printed in argument order, a parse/convergence failure in
-// one deck never aborting the others.
+// one deck never aborting the others. Every deck is statically linted
+// before it is simulated; decks with lint errors are rejected without
+// touching the solver. `--lint` stops after the lint stage (exit 1 on
+// any error) and `--lint-json FILE` additionally writes the merged
+// "ahfic-lint-v1" report.
 
 #include <cstdlib>
 #include <cstring>
@@ -18,6 +23,7 @@
 #include <sstream>
 #include <vector>
 
+#include "lint/netlist.h"
 #include "obs/cli.h"
 #include "runner/engine.h"
 #include "spice/rundeck.h"
@@ -56,14 +62,22 @@ X1 inp inn outp outn vcc eclstage
 
 int main(int argc, char** argv) {
   int jobs = 0;
+  bool lintOnly = false;
+  std::string lintJsonPath;
   ahfic::obs::CliOptions obsOpts;
   std::vector<std::string> deckPaths;
   for (int k = 1; k < argc; ++k) {
     if (obsOpts.consume(argc, argv, k)) continue;
     if (std::strcmp(argv[k], "--jobs") == 0 && k + 1 < argc)
       jobs = std::atoi(argv[++k]);
-    else
+    else if (std::strcmp(argv[k], "--lint") == 0)
+      lintOnly = true;
+    else if (std::strcmp(argv[k], "--lint-json") == 0 && k + 1 < argc) {
+      lintOnly = true;
+      lintJsonPath = argv[++k];
+    } else {
       deckPaths.emplace_back(argv[k]);
+    }
   }
   obsOpts.begin();
 
@@ -81,6 +95,28 @@ int main(int argc, char** argv) {
   if (decks.empty()) {
     std::cout << "(no deck given; running the built-in ECL-stage demo)\n\n";
     decks.emplace_back("<demo>", kDemoDeck);
+  }
+
+  if (lintOnly) {
+    // Static analysis only: no deck is ever simulated.
+    ahfic::lint::LintReport merged;
+    for (const auto& [label, text] : decks)
+      merged.merge(ahfic::lint::lintDeckText(text), label);
+    if (!merged.empty()) std::cout << merged.renderText();
+    std::cout << "[lint] " << decks.size() << " deck(s): "
+              << merged.count(ahfic::lint::Severity::kError) << " error(s), "
+              << merged.count(ahfic::lint::Severity::kWarning)
+              << " warning(s)\n";
+    if (!lintJsonPath.empty()) {
+      std::ofstream out(lintJsonPath);
+      if (!out) {
+        std::cerr << "cannot write '" << lintJsonPath << "'\n";
+        return 1;
+      }
+      out << merged.toJsonString() << "\n";
+    }
+    obsOpts.finish(std::cout);
+    return merged.hasErrors() ? 1 : 0;
   }
 
   if (decks.size() == 1) {
@@ -104,6 +140,9 @@ int main(int argc, char** argv) {
   for (size_t k = 0; k < decks.size(); ++k) {
     rn::Job job;
     job.key = "deck/" + decks[k].first;
+    job.preflight = [&decks, k] {
+      return ahfic::lint::lintDeckText(decks[k].second);
+    };
     job.run = [&listings, &decks, k](rn::JobContext&) {
       std::ostringstream out;
       auto deck = ahfic::spice::parseDeck(decks[k].second);
@@ -129,6 +168,10 @@ int main(int argc, char** argv) {
       if (out.record.status == rn::JobStatus::kRecovered)
         std::cout << "(recovered on retry rung '" << out.record.rungName
                   << "')\n";
+    } else if (out.record.status == rn::JobStatus::kRejected) {
+      ++failures;
+      std::cout << "rejected by pre-flight lint: " << out.record.error
+                << "\n";
     } else {
       ++failures;
       std::cout << "error: " << out.record.error << "\n";

@@ -111,6 +111,7 @@ class PhaseShifter90 final : public Block {
   PhaseShifter90(std::string name, double centerFreqHz,
                  double errorDeg = 0.0);
   void prepare(double sampleRate) override;
+  bool hasMemory() const override { return true; }
   void step(std::span<const double> in, std::span<double> out,
             double t) override;
 
@@ -139,6 +140,7 @@ class FilterBlock final : public Block {
               double f2 = 0.0, bool clampToNyquist = false);
 
   void prepare(double sampleRate) override;
+  bool hasMemory() const override { return true; }
   void step(std::span<const double> in, std::span<double> out,
             double t) override;
 
@@ -183,6 +185,7 @@ class Vco final : public Block {
   Vco(std::string name, double centerFreqHz, double kvcoHzPerVolt,
       double amplitude = 1.0);
   void prepare(double sampleRate) override;
+  bool hasMemory() const override { return true; }
   void step(std::span<const double> in, std::span<double> out,
             double t) override;
 
@@ -198,6 +201,7 @@ class IntegratorBlock final : public Block {
   IntegratorBlock(std::string name, double gain = 1.0,
                   double initial = 0.0);
   void prepare(double sampleRate) override;
+  bool hasMemory() const override { return true; }
   void step(std::span<const double> in, std::span<double> out,
             double t) override;
 
@@ -215,6 +219,7 @@ class Comparator final : public Block {
   Comparator(std::string name, double threshold = 0.0, double hyst = 0.0,
              double low = 0.0, double high = 1.0);
   void prepare(double sampleRate) override;
+  bool hasMemory() const override { return true; }
   void step(std::span<const double> in, std::span<double> out,
             double t) override;
 
@@ -229,6 +234,7 @@ class SampleHold final : public Block {
  public:
   explicit SampleHold(std::string name);
   void prepare(double sampleRate) override;
+  bool hasMemory() const override { return true; }
   void step(std::span<const double> in, std::span<double> out,
             double t) override;
 
@@ -248,6 +254,7 @@ class FrequencyDivider final : public Block {
   /// `divideBy` must be even and >= 2.
   FrequencyDivider(std::string name, int divideBy);
   void prepare(double sampleRate) override;
+  bool hasMemory() const override { return true; }
   void step(std::span<const double> in, std::span<double> out,
             double t) override;
 

@@ -84,6 +84,9 @@ class ExprBlock final : public Block {
             double t) override;
 
   const std::vector<std::string>& inputSignals() const { return inputs_; }
+  /// The parsed right-hand side, for inspection passes (lint).
+  const ExprNode& expr() const { return *expr_; }
+  const std::map<std::string, double>& params() const { return params_; }
 
  private:
   ExprPtr expr_;

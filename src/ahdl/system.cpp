@@ -55,6 +55,14 @@ Block& System::addBlock(std::unique_ptr<Block> block,
   return *blocks_.back().block;
 }
 
+std::vector<System::BlockView> System::blockViews() const {
+  std::vector<BlockView> views;
+  views.reserve(blocks_.size());
+  for (const auto& b : blocks_)
+    views.push_back(BlockView{b.block.get(), &b.in, &b.out});
+  return views;
+}
+
 void System::probe(const std::string& signal) {
   if (std::find(probes_.begin(), probes_.end(), signal) == probes_.end())
     probes_.push_back(signal);

@@ -39,6 +39,12 @@ class Block {
   virtual void step(std::span<const double> in, std::span<double> out,
                     double t) = 0;
 
+  /// True for blocks whose output depends on past samples (delay lines,
+  /// filter registers, accumulated phase, hysteresis). Memoryless blocks
+  /// inside a feedback loop rely entirely on the engine's implicit
+  /// one-sample declaration-order delay — the lint pass flags such loops.
+  virtual bool hasMemory() const { return false; }
+
  protected:
   /// Allows variable-arity blocks (e.g. adders) to fix their input count
   /// at construction.
@@ -92,6 +98,17 @@ class System {
   void probe(const std::string& signal);
 
   size_t blockCount() const { return blocks_.size(); }
+
+  /// Read-only view of one block and its signal wiring, for inspection
+  /// passes (lint) that must see the dataflow graph.
+  struct BlockView {
+    const Block* block = nullptr;
+    const std::vector<int>* inputs = nullptr;
+    const std::vector<int>* outputs = nullptr;
+  };
+  std::vector<BlockView> blockViews() const;
+
+  const std::vector<std::string>& probes() const { return probes_; }
 
   /// Simulates [0, tstop) at `sampleRate`, recording probed signals.
   /// `recordFrom` discards earlier samples (filter settling).

@@ -1,0 +1,367 @@
+#include "lint/ahdl.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/error.h"
+
+namespace ahfic::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Expression dimension lattice.
+
+/// Physical dimension of a subexpression. kUnknown is absorbing: a
+/// parameter can carry any unit, so everything it touches stays
+/// unconstrained and only *definite* conflicts are reported.
+enum class Dim { kUnknown, kNone, kVoltage, kTime };
+
+const char* dimName(Dim d) {
+  switch (d) {
+    case Dim::kNone: return "dimensionless";
+    case Dim::kVoltage: return "voltage";
+    case Dim::kTime: return "time";
+    default: return "unknown";
+  }
+}
+
+/// Short source-like rendering of a subtree for diagnostics.
+std::string render(const ahdl::ExprNode& e, int depth = 0) {
+  using Kind = ahdl::ExprNode::Kind;
+  if (depth > 3) return "...";
+  switch (e.kind) {
+    case Kind::kNumber: {
+      std::string s = std::to_string(e.number);
+      // Trim trailing zeros of the default %f rendering.
+      while (s.size() > 1 && s.back() == '0') s.pop_back();
+      if (!s.empty() && s.back() == '.') s.pop_back();
+      return s;
+    }
+    case Kind::kVar:
+      return e.name;
+    case Kind::kSignal:
+      return "V(" + e.name + ")";
+    case Kind::kUnary:
+      return std::string(1, e.op) + render(*e.args[0], depth + 1);
+    case Kind::kBinary:
+      return render(*e.args[0], depth + 1) + " " + e.op + " " +
+             render(*e.args[1], depth + 1);
+    case Kind::kCall: {
+      std::string s = e.name + "(";
+      for (size_t k = 0; k < e.args.size(); ++k) {
+        if (k) s += ", ";
+        s += render(*e.args[k], depth + 1);
+      }
+      return s + ")";
+    }
+  }
+  return "?";
+}
+
+/// Infers the dimension of `e`, reporting definite '+'/'-' conflicts.
+Dim inferDim(const ahdl::ExprNode& e, const std::string& context,
+             LintReport& report) {
+  using Kind = ahdl::ExprNode::Kind;
+  switch (e.kind) {
+    case Kind::kNumber:
+      return Dim::kNone;
+    case Kind::kVar:
+      if (e.name == "t") return Dim::kTime;
+      if (e.name == "pi") return Dim::kNone;
+      return Dim::kUnknown;  // parameters are polymorphic
+    case Kind::kSignal:
+      return Dim::kVoltage;
+    case Kind::kUnary:
+      return inferDim(*e.args[0], context, report);
+    case Kind::kBinary: {
+      const Dim a = inferDim(*e.args[0], context, report);
+      const Dim b = inferDim(*e.args[1], context, report);
+      if (e.op == '+' || e.op == '-') {
+        if (a != Dim::kUnknown && b != Dim::kUnknown && a != b) {
+          report.error(
+              "AHDL_DIM_MISMATCH",
+              "'" + context + "': '" + render(e) + "' " + e.op +
+                  "-combines a " + dimName(a) + " quantity with a " +
+                  dimName(b) + " quantity",
+              SourceLoc::forObject(context));
+          return Dim::kUnknown;
+        }
+        return a == Dim::kUnknown ? b : a;
+      }
+      if (e.op == '*') {
+        if (a == Dim::kNone) return b;
+        if (b == Dim::kNone) return a;
+        return Dim::kUnknown;  // compound units are not tracked
+      }
+      if (e.op == '/') {
+        if (b == Dim::kNone) return a;
+        if (a != Dim::kUnknown && a == b) return Dim::kNone;  // V/V, t/t
+        return Dim::kUnknown;
+      }
+      // '^': dimensionless base and exponent stay dimensionless.
+      if (a == Dim::kNone && b == Dim::kNone) return Dim::kNone;
+      return Dim::kUnknown;
+    }
+    case Kind::kCall: {
+      // min/max behave like '+': operands must be commensurable.
+      if (e.name == "min" || e.name == "max") {
+        Dim d = Dim::kUnknown;
+        for (const auto& arg : e.args) {
+          const Dim ad = inferDim(*arg, context, report);
+          if (ad == Dim::kUnknown) continue;
+          if (d != Dim::kUnknown && d != ad) {
+            report.error("AHDL_DIM_MISMATCH",
+                         "'" + context + "': '" + render(e) +
+                             "' compares a " + dimName(d) +
+                             " quantity with a " + dimName(ad) + " quantity",
+                         SourceLoc::forObject(context));
+            return Dim::kUnknown;
+          }
+          d = ad;
+        }
+        return d;
+      }
+      if (e.name == "abs") return inferDim(*e.args[0], context, report);
+      // Transcendentals (sin, exp, tanh, pow, atan2, ...) return plain
+      // numbers; their argument dimensions are not policed because the
+      // idiomatic sin(2*pi*f*t) only cancels through parameters.
+      for (const auto& arg : e.args) inferDim(*arg, context, report);
+      return Dim::kNone;
+    }
+  }
+  return Dim::kUnknown;
+}
+
+/// Joins up to four names as "'a', 'b', ...".
+std::string nameList(const std::vector<std::string>& names) {
+  std::string list;
+  for (size_t k = 0; k < names.size() && k < 4; ++k) {
+    if (k) list += ", ";
+    list += "'" + names[k] + "'";
+  }
+  if (names.size() > 4) list += ", ...";
+  return list;
+}
+
+}  // namespace
+
+void lintExpr(const ahdl::ExprNode& expr, const std::string& context,
+              LintReport& report) {
+  inferDim(expr, context, report);
+}
+
+LintReport lintSystem(const ahdl::System& system) {
+  static const obs::Counter cRuns = obs::counter("lint.ahdl_runs");
+  static const obs::Counter cDiags = obs::counter("lint.diagnostics");
+  cRuns.add();
+
+  LintReport report;
+  const auto views = system.blockViews();
+  const int nSignals = system.signalCount();
+  const size_t ns = static_cast<size_t>(nSignals);
+
+  std::vector<std::vector<int>> writers(ns), readers(ns);
+  for (size_t bi = 0; bi < views.size(); ++bi) {
+    for (int s : *views[bi].outputs)
+      writers[static_cast<size_t>(s)].push_back(static_cast<int>(bi));
+    for (int s : *views[bi].inputs)
+      readers[static_cast<size_t>(s)].push_back(static_cast<int>(bi));
+  }
+
+  std::set<int> probed;
+  for (const auto& p : system.probes()) {
+    const int id = system.findSignal(p);
+    if (id < 0) {
+      report.warning("AHDL_PROBE_UNDRIVEN",
+                     "probed signal '" + p +
+                         "' is not connected to any block and will fail "
+                         "at run time",
+                     SourceLoc::forObject(p));
+      continue;
+    }
+    probed.insert(id);
+    if (writers[static_cast<size_t>(id)].empty())
+      report.warning("AHDL_PROBE_UNDRIVEN",
+                     "probed signal '" + p +
+                         "' has no driver: its trace will be all zeros",
+                     SourceLoc::forObject(p));
+  }
+
+  // Signal-level verdicts.
+  for (int s = 0; s < nSignals; ++s) {
+    const size_t si = static_cast<size_t>(s);
+    const std::string& name = system.signalName(s);
+    if (writers[si].empty() && !readers[si].empty()) {
+      std::vector<std::string> consumers;
+      for (int bi : readers[si])
+        consumers.push_back(views[static_cast<size_t>(bi)].block->name());
+      report.error("AHDL_UNDRIVEN",
+                   "signal '" + name + "' is read by " +
+                       nameList(consumers) +
+                       " but no block drives it: it stays 0.0 for the "
+                       "whole run",
+                   SourceLoc::forObject(name));
+    }
+    if (writers[si].size() >= 2) {
+      std::vector<std::string> producers;
+      for (int bi : writers[si])
+        producers.push_back(views[static_cast<size_t>(bi)].block->name());
+      report.error("AHDL_MULTI_DRIVEN",
+                   "signal '" + name + "' is driven by " +
+                       std::to_string(writers[si].size()) + " blocks (" +
+                       nameList(producers) +
+                       "): the last writer per step silently wins",
+                   SourceLoc::forObject(name));
+    }
+  }
+
+  // Dead blocks: every output unread and unprobed. Sinks (no outputs)
+  // are exempt — their side effect is the point.
+  for (const auto& view : views) {
+    if (view.outputs->empty()) continue;
+    bool used = false;
+    for (int s : *view.outputs) {
+      if (!readers[static_cast<size_t>(s)].empty() || probed.count(s)) {
+        used = true;
+        break;
+      }
+    }
+    if (!used)
+      report.warning("AHDL_UNUSED_BLOCK",
+                     "block '" + view.block->name() +
+                         "' drives only signals that nothing reads or "
+                         "probes: dead computation",
+                     SourceLoc::forObject(view.block->name()));
+  }
+
+  // Feedback cycles. Edges run producer -> consumer; an SCC (or a
+  // self-loop) whose blocks are all memoryless closes only through the
+  // engine's implicit one-sample declaration-order delay, so its
+  // behaviour is an artefact of the sample rate.
+  const int nb = static_cast<int>(views.size());
+  std::vector<std::vector<int>> adj(static_cast<size_t>(nb));
+  std::vector<char> selfLoop(static_cast<size_t>(nb), 0);
+  for (size_t si = 0; si < ns; ++si) {
+    for (int w : writers[si]) {
+      for (int r : readers[si]) {
+        if (w == r)
+          selfLoop[static_cast<size_t>(w)] = 1;
+        else
+          adj[static_cast<size_t>(w)].push_back(r);
+      }
+    }
+  }
+
+  // Tarjan SCC, iterative to keep deep chains off the call stack.
+  std::vector<int> index(static_cast<size_t>(nb), -1);
+  std::vector<int> low(static_cast<size_t>(nb), 0);
+  std::vector<char> onStack(static_cast<size_t>(nb), 0);
+  std::vector<int> stack;
+  std::vector<std::vector<int>> sccs;
+  int nextIndex = 0;
+  struct Frame {
+    int v;
+    size_t edge;
+  };
+  for (int root = 0; root < nb; ++root) {
+    if (index[static_cast<size_t>(root)] >= 0) continue;
+    std::vector<Frame> frames{{root, 0}};
+    index[static_cast<size_t>(root)] = low[static_cast<size_t>(root)] =
+        nextIndex++;
+    stack.push_back(root);
+    onStack[static_cast<size_t>(root)] = 1;
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const size_t v = static_cast<size_t>(f.v);
+      if (f.edge < adj[v].size()) {
+        const int w = adj[v][f.edge++];
+        const size_t wi = static_cast<size_t>(w);
+        if (index[wi] < 0) {
+          index[wi] = low[wi] = nextIndex++;
+          stack.push_back(w);
+          onStack[wi] = 1;
+          frames.push_back({w, 0});
+        } else if (onStack[wi]) {
+          low[v] = std::min(low[v], index[wi]);
+        }
+      } else {
+        if (low[v] == index[v]) {
+          std::vector<int> scc;
+          int w;
+          do {
+            w = stack.back();
+            stack.pop_back();
+            onStack[static_cast<size_t>(w)] = 0;
+            scc.push_back(w);
+          } while (w != f.v);
+          sccs.push_back(std::move(scc));
+        }
+        const int parentLow = low[v];
+        frames.pop_back();
+        if (!frames.empty()) {
+          const size_t p = static_cast<size_t>(frames.back().v);
+          low[p] = std::min(low[p], parentLow);
+        }
+      }
+    }
+  }
+
+  for (const auto& scc : sccs) {
+    const bool isCycle =
+        scc.size() > 1 || selfLoop[static_cast<size_t>(scc.front())];
+    if (!isCycle) continue;
+    bool hasMemory = false;
+    std::vector<std::string> members;
+    for (int bi : scc) {
+      const ahdl::Block* blk = views[static_cast<size_t>(bi)].block;
+      members.push_back(blk->name());
+      if (blk->hasMemory()) hasMemory = true;
+    }
+    if (!hasMemory) {
+      std::sort(members.begin(), members.end());
+      report.warning(
+          "AHDL_COMB_CYCLE",
+          "feedback loop through " + nameList(members) +
+              " contains no block with memory: the loop closes only "
+              "through the implicit one-sample delay, so its behaviour "
+              "depends on the sample rate and declaration order",
+          SourceLoc::forObject(members.front()));
+    }
+  }
+
+  // Expression blocks: dimension checks on their right-hand sides.
+  for (const auto& view : views) {
+    if (const auto* eb = dynamic_cast<const ahdl::ExprBlock*>(view.block))
+      lintExpr(eb->expr(), eb->name(), report);
+  }
+
+  cDiags.add(static_cast<long long>(report.diagnostics().size()));
+  return report;
+}
+
+LintReport lintAhdlText(const std::string& text) {
+  ahdl::AhdlNetlist netlist;
+  try {
+    netlist = ahdl::parseAhdl(text);
+  } catch (const ParseError& e) {
+    LintReport report;
+    report.error("PARSE", e.what(), SourceLoc::forLine(e.line()));
+    return report;
+  } catch (const Error& e) {
+    LintReport report;
+    report.error("PARSE", e.what());
+    return report;
+  }
+  LintReport report = lintSystem(netlist.system);
+  if (!netlist.runSpec)
+    report.info("AHDL_NO_RUN",
+                "the netlist declares no `run` statement; nothing will be "
+                "simulated");
+  return report;
+}
+
+}  // namespace ahfic::lint

@@ -1,0 +1,50 @@
+#pragma once
+// Static checks on ahdl::System dataflow graphs and AHDL expressions —
+// the "verify structure before simulating" gate of the paper's Sec. 2
+// behavioural methodology.
+//
+// Codes:
+//   AHDL_UNDRIVEN      a signal is read by a block but no block drives it
+//                      (it stays 0.0 forever) — error
+//   AHDL_MULTI_DRIVEN  two or more blocks write the same signal; the last
+//                      writer per step silently wins — error
+//   AHDL_UNUSED_BLOCK  a block's outputs are neither read nor probed —
+//                      warning (dead computation)
+//   AHDL_PROBE_UNDRIVEN  a probed signal has no driver — warning
+//   AHDL_COMB_CYCLE    a feedback cycle contains no block with memory:
+//                      the loop closes only through the engine's implicit
+//                      one-sample delay, so its behaviour depends on the
+//                      sample rate and declaration order — warning
+//   AHDL_DIM_MISMATCH  an expression adds/subtracts operands of
+//                      incompatible physical dimension (e.g. V(x) + t) —
+//                      error
+//
+// Expression dimension rules: numbers are dimensionless, `t` carries
+// time, V(name) carries voltage, parameters are polymorphic (unknown).
+// '+'/'-' require both sides compatible; '*'/'/' combine exponents;
+// transcendental functions return dimensionless. Unknown absorbs
+// everything, so only definite conflicts are reported.
+
+#include <string>
+
+#include "ahdl/expr.h"
+#include "ahdl/lang.h"
+#include "ahdl/system.h"
+#include "lint/diagnostics.h"
+
+namespace ahfic::lint {
+
+/// Dataflow checks on a built system (plus expression checks on every
+/// ExprBlock it contains).
+LintReport lintSystem(const ahdl::System& system);
+
+/// Expression dimension check; `context` names the enclosing block or
+/// assignment in diagnostics.
+void lintExpr(const ahdl::ExprNode& expr, const std::string& context,
+              LintReport& report);
+
+/// Parses `text` as an AHDL netlist and lints the elaborated system;
+/// parse failures become PARSE diagnostics instead of exceptions.
+LintReport lintAhdlText(const std::string& text);
+
+}  // namespace ahfic::lint

@@ -1,0 +1,173 @@
+#include "lint/diagnostics.h"
+
+#include "util/error.h"
+
+namespace ahfic::lint {
+
+const char* severityName(Severity s) {
+  switch (s) {
+    case Severity::kError: return "error";
+    case Severity::kWarning: return "warning";
+    case Severity::kInfo: return "info";
+  }
+  return "unknown";
+}
+
+namespace {
+
+Severity severityFromName(const std::string& name) {
+  if (name == "error") return Severity::kError;
+  if (name == "warning") return Severity::kWarning;
+  if (name == "info") return Severity::kInfo;
+  throw Error("LintReport: unknown severity '" + name + "'");
+}
+
+}  // namespace
+
+void LintReport::add(Severity severity, std::string code, std::string message,
+                     SourceLoc loc) {
+  diags_.push_back(Diagnostic{severity, std::move(code), std::move(message),
+                              std::move(loc)});
+}
+
+void LintReport::error(std::string code, std::string message, SourceLoc loc) {
+  add(Severity::kError, std::move(code), std::move(message), std::move(loc));
+}
+
+void LintReport::warning(std::string code, std::string message,
+                         SourceLoc loc) {
+  add(Severity::kWarning, std::move(code), std::move(message),
+      std::move(loc));
+}
+
+void LintReport::info(std::string code, std::string message, SourceLoc loc) {
+  add(Severity::kInfo, std::move(code), std::move(message), std::move(loc));
+}
+
+void LintReport::merge(const LintReport& other, const std::string& file) {
+  for (const Diagnostic& d : other.diags_) {
+    diags_.push_back(d);
+    if (!file.empty() && diags_.back().loc.file.empty())
+      diags_.back().loc.file = file;
+  }
+}
+
+size_t LintReport::count(Severity s) const {
+  size_t n = 0;
+  for (const auto& d : diags_)
+    if (d.severity == s) ++n;
+  return n;
+}
+
+bool LintReport::hasCode(const std::string& code) const {
+  return find(code) != nullptr;
+}
+
+const Diagnostic* LintReport::find(const std::string& code) const {
+  for (const auto& d : diags_)
+    if (d.code == code) return &d;
+  return nullptr;
+}
+
+std::string LintReport::renderText() const {
+  std::string out;
+  for (const auto& d : diags_) {
+    if (!d.loc.file.empty()) {
+      out += d.loc.file;
+      out += ':';
+    }
+    if (d.loc.line >= 0) {
+      out += std::to_string(d.loc.line);
+      out += ':';
+    }
+    if (!d.loc.file.empty() || d.loc.line >= 0) out += ' ';
+    out += severityName(d.severity);
+    out += ' ';
+    out += d.code;
+    out += ": ";
+    out += d.message;
+    if (!d.loc.object.empty()) {
+      out += " [";
+      out += d.loc.object;
+      out += ']';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string LintReport::summaryLine(size_t maxItems) const {
+  const size_t errors = errorCount();
+  std::string out = std::to_string(errors) + " lint error(s)";
+  size_t shown = 0;
+  for (const auto& d : diags_) {
+    if (d.severity != Severity::kError) continue;
+    if (shown == maxItems) {
+      out += "; ...";
+      break;
+    }
+    out += shown == 0 ? ": " : "; ";
+    out += d.code;
+    if (!d.loc.object.empty()) {
+      out += ' ';
+      out += d.loc.object;
+    }
+    ++shown;
+  }
+  return out;
+}
+
+util::JsonValue LintReport::toJson() const {
+  util::JsonValue doc = util::JsonValue::object();
+  doc.set("schema", "ahfic-lint-v1");
+
+  util::JsonValue counts = util::JsonValue::object();
+  counts.set("error", static_cast<double>(count(Severity::kError)));
+  counts.set("warning", static_cast<double>(count(Severity::kWarning)));
+  counts.set("info", static_cast<double>(count(Severity::kInfo)));
+  doc.set("counts", std::move(counts));
+
+  util::JsonValue arr = util::JsonValue::array();
+  for (const auto& d : diags_) {
+    util::JsonValue e = util::JsonValue::object();
+    e.set("severity", severityName(d.severity));
+    e.set("code", d.code);
+    e.set("message", d.message);
+    util::JsonValue loc = util::JsonValue::object();
+    if (!d.loc.file.empty()) loc.set("file", d.loc.file);
+    if (d.loc.line >= 0) loc.set("line", d.loc.line);
+    if (!d.loc.object.empty()) loc.set("object", d.loc.object);
+    e.set("loc", std::move(loc));
+    arr.push(std::move(e));
+  }
+  doc.set("diagnostics", std::move(arr));
+  return doc;
+}
+
+std::string LintReport::toJsonString(int indent) const {
+  return toJson().dump(indent);
+}
+
+LintReport LintReport::fromJson(const util::JsonValue& doc) {
+  if (!doc.isObject() || !doc.has("schema") ||
+      doc.get("schema").asString() != "ahfic-lint-v1")
+    throw Error("LintReport::fromJson: not an ahfic-lint-v1 document");
+  LintReport report;
+  const util::JsonValue& arr = doc.get("diagnostics");
+  for (size_t k = 0; k < arr.size(); ++k) {
+    const util::JsonValue& e = arr.at(k);
+    Diagnostic d;
+    d.severity = severityFromName(e.get("severity").asString());
+    d.code = e.get("code").asString();
+    d.message = e.get("message").asString();
+    const util::JsonValue& loc = e.get("loc");
+    if (loc.has("file")) d.loc.file = loc.get("file").asString();
+    if (loc.has("line"))
+      d.loc.line = static_cast<int>(loc.get("line").asNumber());
+    if (loc.has("object")) d.loc.object = loc.get("object").asString();
+    report.diags_.push_back(std::move(d));
+  }
+  return report;
+}
+
+}  // namespace ahfic::lint

@@ -1,0 +1,101 @@
+#pragma once
+// Diagnostics engine for the pre-simulation static analyzers.
+//
+// Every analyzer family (netlist, model card, AHDL) appends Diagnostic
+// records to a LintReport. A diagnostic carries a severity, a stable
+// machine-readable code (the catalogue lives in docs/lint.md), a
+// human-readable message and a SourceLoc naming where the problem is —
+// the deck line when the parser knows it, otherwise the offending
+// object (device, node, model, signal or block name).
+//
+// Severity policy:
+//   kError   — the input is statically doomed: simulating it would yield
+//              a singular matrix, a Newton blow-up, or garbage results.
+//              Pre-flight gates (runner, --lint) reject on any error.
+//   kWarning — legal but almost certainly not what the author meant
+//              (zero capacitor, AC magnitude with no .AC card, ...).
+//   kInfo    — observations that aid debugging; never gate anything.
+//
+// Reports render as text (one line per diagnostic, compiler style) and
+// as the stable "ahfic-lint-v1" JSON document used by CI and tooling.
+
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace ahfic::lint {
+
+enum class Severity { kError, kWarning, kInfo };
+
+const char* severityName(Severity s);
+
+/// Where a diagnostic points. All fields optional: `line` is -1 when no
+/// deck line is known (e.g. programmatically built circuits), `file` is
+/// empty unless a CLI attached one, `object` names the offending device,
+/// node, model, signal or block.
+struct SourceLoc {
+  std::string file;
+  int line = -1;
+  std::string object;
+
+  static SourceLoc forObject(std::string name) {
+    SourceLoc loc;
+    loc.object = std::move(name);
+    return loc;
+  }
+  static SourceLoc forLine(int line, std::string object = {}) {
+    SourceLoc loc;
+    loc.line = line;
+    loc.object = std::move(object);
+    return loc;
+  }
+};
+
+/// One finding.
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  std::string code;     ///< stable identifier, e.g. "NET_VSRC_LOOP"
+  std::string message;  ///< human-readable explanation
+  SourceLoc loc;
+};
+
+/// An ordered collection of diagnostics with render helpers.
+class LintReport {
+ public:
+  void add(Severity severity, std::string code, std::string message,
+           SourceLoc loc = {});
+  void error(std::string code, std::string message, SourceLoc loc = {});
+  void warning(std::string code, std::string message, SourceLoc loc = {});
+  void info(std::string code, std::string message, SourceLoc loc = {});
+
+  /// Appends every diagnostic of `other`, stamping `file` into locations
+  /// that do not carry a file yet (multi-file CLI merging).
+  void merge(const LintReport& other, const std::string& file = {});
+
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+  bool empty() const { return diags_.empty(); }
+  size_t count(Severity s) const;
+  size_t errorCount() const { return count(Severity::kError); }
+  bool hasErrors() const { return errorCount() > 0; }
+  /// True when any diagnostic carries `code`.
+  bool hasCode(const std::string& code) const;
+  /// First diagnostic with `code`, or nullptr.
+  const Diagnostic* find(const std::string& code) const;
+
+  /// Compiler-style text: "file:line: severity CODE: message [object]".
+  std::string renderText() const;
+  /// One-line digest for job records: "N error(s): CODE obj; CODE obj".
+  std::string summaryLine(size_t maxItems = 3) const;
+
+  /// The stable "ahfic-lint-v1" document.
+  util::JsonValue toJson() const;
+  std::string toJsonString(int indent = 2) const;
+  /// Inverse of toJson; throws ahfic::Error on schema mismatch.
+  static LintReport fromJson(const util::JsonValue& doc);
+
+ private:
+  std::vector<Diagnostic> diags_;
+};
+
+}  // namespace ahfic::lint

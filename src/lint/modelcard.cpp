@@ -1,0 +1,199 @@
+#include "lint/modelcard.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace ahfic::lint {
+
+namespace {
+
+std::string fmt(double v) {
+  std::ostringstream ss;
+  ss << v;
+  return ss.str();
+}
+
+/// Rule helper bound to one card: emits "<card>: <param> = <value> ..."
+struct CardRules {
+  LintReport& report;
+  const std::string& card;
+  const char* rangeCode;
+  const char* suspectCode;
+
+  void check(bool ok, const char* param, double value,
+             const char* requirement, bool suspectOnly = false) const {
+    if (ok) return;
+    const std::string msg = "model '" + card + "': " + param + " = " +
+                            fmt(value) + " " + requirement;
+    if (suspectOnly)
+      report.warning(suspectCode, msg, SourceLoc::forObject(card));
+    else
+      report.error(rangeCode, msg, SourceLoc::forObject(card));
+  }
+};
+
+}  // namespace
+
+void lintBjtModel(const spice::BjtModel& m, const std::string& name,
+                  LintReport& report) {
+  const CardRules r{report, name, "MOD_BJT_RANGE", "MOD_BJT_SUSPECT"};
+
+  // Hard physical domains: violating any of these is not a transistor.
+  r.check(m.is > 0.0, "IS", m.is, "must be > 0 (saturation current)");
+  r.check(m.bf > 0.0, "BF", m.bf, "must be > 0 (forward beta)");
+  r.check(m.br > 0.0, "BR", m.br, "must be > 0 (reverse beta)");
+  r.check(m.nf > 0.0, "NF", m.nf, "must be > 0 (emission coefficient)");
+  r.check(m.nr > 0.0, "NR", m.nr, "must be > 0 (emission coefficient)");
+  r.check(m.ne > 0.0, "NE", m.ne, "must be > 0 (emission coefficient)");
+  r.check(m.nc > 0.0, "NC", m.nc, "must be > 0 (emission coefficient)");
+  r.check(m.rb >= 0.0, "RB", m.rb, "must be >= 0 (base resistance)");
+  r.check(m.rbm >= 0.0, "RBM", m.rbm, "must be >= 0");
+  r.check(m.re >= 0.0, "RE", m.re, "must be >= 0 (emitter resistance)");
+  r.check(m.rc >= 0.0, "RC", m.rc, "must be >= 0 (collector resistance)");
+  r.check(m.irb >= 0.0, "IRB", m.irb, "must be >= 0");
+  r.check(m.cje >= 0.0, "CJE", m.cje, "must be >= 0 (capacitance)");
+  r.check(m.cjc >= 0.0, "CJC", m.cjc, "must be >= 0 (capacitance)");
+  r.check(m.cjs >= 0.0, "CJS", m.cjs, "must be >= 0 (capacitance)");
+  r.check(m.vje > 0.0, "VJE", m.vje, "must be > 0 (built-in potential)");
+  r.check(m.vjc > 0.0, "VJC", m.vjc, "must be > 0 (built-in potential)");
+  r.check(m.vjs > 0.0, "VJS", m.vjs, "must be > 0 (built-in potential)");
+  r.check(m.mje > 0.0 && m.mje < 1.0, "MJE", m.mje,
+          "must be in (0, 1) (grading coefficient)");
+  r.check(m.mjc > 0.0 && m.mjc < 1.0, "MJC", m.mjc,
+          "must be in (0, 1) (grading coefficient)");
+  r.check(m.mjs > 0.0 && m.mjs < 1.0, "MJS", m.mjs,
+          "must be in (0, 1) (grading coefficient)");
+  r.check(m.fc >= 0.0 && m.fc < 1.0, "FC", m.fc, "must be in [0, 1)");
+  r.check(m.xcjc >= 0.0 && m.xcjc <= 1.0, "XCJC", m.xcjc,
+          "must be in [0, 1] (fraction of CJC)");
+  r.check(m.tf >= 0.0, "TF", m.tf, "must be >= 0 (transit time)");
+  r.check(m.tr >= 0.0, "TR", m.tr, "must be >= 0 (transit time)");
+  r.check(m.vaf >= 0.0, "VAF", m.vaf, "must be >= 0 (0 = infinite)");
+  r.check(m.var >= 0.0, "VAR", m.var, "must be >= 0 (0 = infinite)");
+  r.check(m.ikf >= 0.0, "IKF", m.ikf, "must be >= 0 (0 = none)");
+  r.check(m.ikr >= 0.0, "IKR", m.ikr, "must be >= 0 (0 = none)");
+  r.check(m.ise >= 0.0, "ISE", m.ise, "must be >= 0 (0 = none)");
+  r.check(m.isc >= 0.0, "ISC", m.isc, "must be >= 0 (0 = none)");
+  r.check(m.eg > 0.0, "EG", m.eg, "must be > 0 (bandgap energy)");
+
+  // Plausibility for an IC bipolar: generator outputs beyond these are
+  // almost certainly scaling bugs, not exotic devices.
+  if (m.is > 0.0)
+    r.check(m.is <= 1e-6, "IS", m.is,
+            "exceeds 1 uA: saturation currents of IC transistors are "
+            "orders of magnitude smaller (generator bug?)",
+            /*suspectOnly=*/true);
+  if (m.bf > 0.0)
+    r.check(m.bf <= 5000.0, "BF", m.bf, "exceeds 5000 (suspect)",
+            /*suspectOnly=*/true);
+  if (m.nf > 0.0)
+    r.check(m.nf >= 0.5 && m.nf <= 4.0, "NF", m.nf,
+            "outside [0.5, 4] (suspect emission coefficient)",
+            /*suspectOnly=*/true);
+  if (m.cje >= 0.0)
+    r.check(m.cje <= 1e-9, "CJE", m.cje,
+            "exceeds 1 nF: implausible junction capacitance for an IC "
+            "transistor (generator bug?)",
+            /*suspectOnly=*/true);
+  if (m.cjc >= 0.0)
+    r.check(m.cjc <= 1e-9, "CJC", m.cjc,
+            "exceeds 1 nF: implausible junction capacitance (suspect)",
+            /*suspectOnly=*/true);
+  if (m.tf >= 0.0)
+    r.check(m.tf <= 1e-6, "TF", m.tf,
+            "exceeds 1 us: implausible transit time (suspect)",
+            /*suspectOnly=*/true);
+  if (m.rbm >= 0.0 && m.rb >= 0.0)
+    r.check(m.rbm <= m.rb || m.rbm == 0.0, "RBM", m.rbm,
+            "exceeds RB: the high-current minimum base resistance cannot "
+            "be larger than the zero-bias value",
+            /*suspectOnly=*/true);
+}
+
+void lintDiodeModel(const spice::DiodeModel& m, const std::string& name,
+                    LintReport& report) {
+  const CardRules r{report, name, "MOD_DIODE_RANGE", "MOD_DIODE_SUSPECT"};
+  r.check(m.is > 0.0, "IS", m.is, "must be > 0 (saturation current)");
+  r.check(m.n > 0.0, "N", m.n, "must be > 0 (emission coefficient)");
+  r.check(m.rs >= 0.0, "RS", m.rs, "must be >= 0 (series resistance)");
+  r.check(m.cj0 >= 0.0, "CJO", m.cj0, "must be >= 0 (capacitance)");
+  r.check(m.vj > 0.0, "VJ", m.vj, "must be > 0 (junction potential)");
+  r.check(m.m > 0.0 && m.m < 1.0, "M", m.m,
+          "must be in (0, 1) (grading coefficient)");
+  r.check(m.tt >= 0.0, "TT", m.tt, "must be >= 0 (transit time)");
+  r.check(m.fc >= 0.0 && m.fc < 1.0, "FC", m.fc, "must be in [0, 1)");
+  r.check(m.bv >= 0.0, "BV", m.bv, "must be >= 0 (0 = none)");
+  if (m.bv > 0.0)
+    r.check(m.ibv > 0.0, "IBV", m.ibv,
+            "must be > 0 when BV is set (breakdown current)");
+  r.check(m.eg > 0.0, "EG", m.eg, "must be > 0 (bandgap energy)");
+  if (m.n > 0.0)
+    r.check(m.n >= 0.5 && m.n <= 4.0, "N", m.n,
+            "outside [0.5, 4] (suspect emission coefficient)",
+            /*suspectOnly=*/true);
+  if (m.is > 0.0)
+    r.check(m.is <= 1e-6, "IS", m.is, "exceeds 1 uA (suspect)",
+            /*suspectOnly=*/true);
+}
+
+LintReport lintBjtModel(const spice::BjtModel& model,
+                        const std::string& name) {
+  LintReport report;
+  lintBjtModel(model, name, report);
+  return report;
+}
+
+LintReport lintGeneratedSweep(
+    const bjtgen::ModelGenerator& gen,
+    const std::vector<bjtgen::TransistorShape>& shapes) {
+  LintReport report;
+  if (shapes.empty()) return report;
+
+  std::vector<bjtgen::TransistorShape> byArea = shapes;
+  std::sort(byArea.begin(), byArea.end(),
+            [](const auto& a, const auto& b) {
+              return a.emitterArea() < b.emitterArea();
+            });
+
+  struct Point {
+    std::string name;
+    double area, cje, cjc, is;
+  };
+  std::vector<Point> pts;
+  for (const auto& shape : byArea) {
+    const spice::BjtModel card = gen.generate(shape);
+    lintBjtModel(card, bjtgen::ModelGenerator::modelName(shape), report);
+    pts.push_back({shape.name(), shape.emitterArea(), card.cje, card.cjc,
+                   card.is});
+  }
+
+  // Junction capacitances and IS scale with junction area (+ perimeter):
+  // a larger emitter must never shrink them. Equal-area shapes (e.g.
+  // single vs double base at the same emitter) may reorder freely, so
+  // only strictly growing area pairs are compared, with a 0.1% slack for
+  // rounding in the geometry engine.
+  auto requireMonotone = [&](const char* param, double Point::*field) {
+    for (size_t k = 1; k < pts.size(); ++k) {
+      if (pts[k].area <= pts[k - 1].area * (1.0 + 1e-9)) continue;
+      const double prev = pts[k - 1].*field;
+      const double cur = pts[k].*field;
+      if (cur < prev * (1.0 - 1e-3)) {
+        report.error(
+            "MOD_NONMONOTONE",
+            std::string("generated ") + param + " drops from " +
+                fmt(prev) + " (" + pts[k - 1].name + ") to " + fmt(cur) +
+                " (" + pts[k].name +
+                ") although the emitter area grows: the geometry "
+                "generator is emitting non-physical cards",
+            SourceLoc::forObject(pts[k].name));
+      }
+    }
+  };
+  requireMonotone("CJE", &Point::cje);
+  requireMonotone("CJC", &Point::cjc);
+  requireMonotone("IS", &Point::is);
+  return report;
+}
+
+}  // namespace ahfic::lint

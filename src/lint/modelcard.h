@@ -1,0 +1,47 @@
+#pragma once
+// Physicality checks on SPICE model cards and bjtgen-generated card
+// sweeps. A generator bug (Sec. 4's geometry engine gone wrong) produces
+// cards that still converge and yield plausible-looking fT curves; these
+// rules make such runs fail loudly instead.
+//
+// Codes:
+//   MOD_BJT_RANGE      parameter outside its physical domain (error)
+//   MOD_BJT_SUSPECT    parameter legal but far outside device physics
+//                      for an IC transistor (warning)
+//   MOD_DIODE_RANGE    diode equivalents of the above (error)
+//   MOD_DIODE_SUSPECT  (warning)
+//   MOD_NONMONOTONE    a geometry-scaled parameter (CJE, CJC, IS) fails
+//                      to grow monotonically with emitter area across a
+//                      generated shape sweep (error — the generator is
+//                      emitting nonsense)
+
+#include <string>
+#include <vector>
+
+#include "bjtgen/generator.h"
+#include "bjtgen/shape.h"
+#include "lint/diagnostics.h"
+#include "spice/models.h"
+
+namespace ahfic::lint {
+
+/// Appends range/physicality diagnostics for one BJT card named `name`.
+void lintBjtModel(const spice::BjtModel& model, const std::string& name,
+                  LintReport& report);
+
+/// Appends range/physicality diagnostics for one diode card.
+void lintDiodeModel(const spice::DiodeModel& model, const std::string& name,
+                    LintReport& report);
+
+/// Convenience: a fresh report with just one card's diagnostics.
+LintReport lintBjtModel(const spice::BjtModel& model,
+                        const std::string& name);
+
+/// Generates a card per shape and checks (a) each card's physicality and
+/// (b) that CJE, CJC and IS grow monotonically with emitter area across
+/// the sweep (shapes are sorted by area internally). Use the Fig. 8 shape
+/// set to validate a generator before trusting its Fig. 9/Table 1 output.
+LintReport lintGeneratedSweep(const bjtgen::ModelGenerator& gen,
+                              const std::vector<bjtgen::TransistorShape>& shapes);
+
+}  // namespace ahfic::lint

@@ -1,0 +1,50 @@
+#pragma once
+// Static netlist/topology checks on spice::Circuit — no solver invocation.
+//
+// The analyzers predict, in O(devices * alpha) time, the failure modes
+// that otherwise surface as Newton non-convergence deep inside the
+// runner's retry ladder:
+//
+//   NET_DANGLING_NODE  node with exactly one device terminal attached
+//   NET_DISCONNECTED   node in a component with no path to ground at all
+//   NET_NO_DC_PATH     node with no DC-conductive path to ground
+//                      (capacitor-isolated, current-source-fed, MOS gate)
+//                      -> singular OP matrix
+//   NET_VSRC_LOOP      loop of voltage-defining branches containing a
+//                      V source / VCVS / CCVS -> singular MNA matrix
+//   NET_IND_LOOP       loop of inductors only (DC shorts) -> singular OP
+//   NET_ISRC_CUTSET    node fed exclusively by current sources -> KCL
+//                      overdetermined, singular MNA matrix
+//   NET_ZERO_CAP       zero-valued capacitor (legal, never does anything)
+//   NET_UNUSED_AC      source carries an AC spec but the deck requests no
+//                      .AC/.NOISE analysis
+//   NET_UNUSED_TRAN    source carries a time-varying waveform but the
+//                      deck requests no .TRAN analysis
+//   NET_NO_AC_SOURCE   .AC/.NOISE requested but no source has AC != 0
+//
+// Zero/negative R and L values and duplicate device names cannot occur in
+// a constructed Circuit (the constructors and Circuit::addDevice throw);
+// lintDeckText reports those construction failures as PARSE diagnostics.
+//
+// Diagnostics point at the deck line when the circuit came from the
+// parser (Circuit::deviceLine), at the device/node name otherwise.
+
+#include <string>
+
+#include "lint/diagnostics.h"
+#include "spice/parser.h"
+
+namespace ahfic::lint {
+
+/// Topology + model-card checks on one circuit.
+LintReport lintCircuit(const spice::Circuit& circuit);
+
+/// lintCircuit plus analysis-spec cross checks (unused AC/TRAN specs).
+LintReport lintDeck(const spice::Deck& deck);
+
+/// Parses `text` as a full deck and lints it; parse and construction
+/// failures become PARSE diagnostics instead of exceptions, so a lint
+/// pass never throws on bad input.
+LintReport lintDeckText(const std::string& text);
+
+}  // namespace ahfic::lint

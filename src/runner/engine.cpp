@@ -20,6 +20,8 @@ struct EngineMetrics {
   obs::Counter cacheHits = obs::counter("runner.cache_hits");
   obs::Counter cacheMisses = obs::counter("runner.cache_misses");
   obs::Counter retries = obs::counter("runner.retries");
+  obs::Counter lintPreflights = obs::counter("lint.preflights");
+  obs::Counter lintRejected = obs::counter("lint.rejected");
   obs::Gauge queueDepth = obs::gauge("runner.queue_depth");
   obs::Histogram jobWallMs = obs::histogram("runner.job_wall_ms");
   obs::Histogram retryRung = obs::histogram("runner.retry_rung");
@@ -74,6 +76,30 @@ JobOutcome BatchRunner::runOne(const Job& job, size_t index, int worker) {
   const std::uint64_t seed = deriveJobSeed(opts_.baseSeed, index);
   const std::string cacheKey =
       job.usesSeed ? job.key + seedTag(seed) : job.key;
+
+  // Static pre-flight gates even the cache: a cached result for a deck
+  // that lints as broken is a stale artefact, not an answer.
+  if (job.preflight) {
+    const auto tLint = std::chrono::steady_clock::now();
+    em.lintPreflights.add();
+    lint::LintReport report;
+    try {
+      report = job.preflight();
+    } catch (const std::exception& e) {
+      report.error("LINT_CRASH",
+                   std::string("pre-flight lint threw: ") + e.what());
+    }
+    if (report.hasErrors()) {
+      out.record.status = JobStatus::kRejected;
+      out.record.rungName = "preflight";
+      out.record.error = report.summaryLine();
+      out.record.wallMs = msSince(tLint);
+      out.result = JobResult{};
+      em.lintRejected.add();
+      span.note("rejected", 1.0);
+      return out;
+    }
+  }
 
   if (opts_.useCache) {
     if (auto hit = cache_.lookup(cacheKey)) {

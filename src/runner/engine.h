@@ -19,6 +19,9 @@
 //    ladder exhaustion, or any other error) is recorded as
 //    JobStatus::kFailed; run() itself only throws for engine-level
 //    problems (e.g. an unwritable cache file).
+//  * Static pre-flight — a job carrying a `preflight` hook is linted
+//    before the cache lookup and the first solver attempt; lint errors
+//    reject it (JobStatus::kRejected) with zero attempts consumed.
 
 #include <cstdint>
 #include <string>
@@ -50,7 +53,10 @@ struct JobOutcome {
   JobResult result;   ///< empty when the job failed
   JobRecord record;
 
-  bool ok() const { return record.status != JobStatus::kFailed; }
+  bool ok() const {
+    return record.status == JobStatus::kOk ||
+           record.status == JobStatus::kRecovered;
+  }
 };
 
 struct BatchResult {

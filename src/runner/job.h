@@ -18,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "lint/diagnostics.h"
 #include "spice/analysis.h"
 
 namespace ahfic::runner {
@@ -69,6 +70,11 @@ struct Job {
   bool usesSeed = false;
   /// The work itself. May throw ConvergenceError to request escalation.
   std::function<JobResult(JobContext&)> run;
+  /// Optional static pre-flight. When set, the engine runs it before the
+  /// cache lookup and the first solver attempt; a report with errors
+  /// rejects the job (JobStatus::kRejected) without consuming any retry
+  /// rung or Newton iteration. Warnings and infos never gate.
+  std::function<lint::LintReport()> preflight;
 };
 
 /// SplitMix64-mixed per-job seed: decorrelated streams for adjacent

@@ -12,6 +12,7 @@ const char* jobStatusName(JobStatus status) {
   switch (status) {
     case JobStatus::kOk: return "ok";
     case JobStatus::kRecovered: return "recovered";
+    case JobStatus::kRejected: return "rejected";
     case JobStatus::kFailed: return "failed";
   }
   return "unknown";
@@ -60,6 +61,7 @@ util::JsonValue RunManifest::toJson() const {
   agg.set("jobs", static_cast<double>(jobs.size()));
   agg.set("ok", countWithStatus(JobStatus::kOk));
   agg.set("recovered", countWithStatus(JobStatus::kRecovered));
+  agg.set("rejected", countWithStatus(JobStatus::kRejected));
   agg.set("failed", countWithStatus(JobStatus::kFailed));
   agg.set("cacheHits", cacheHits());
   agg.set("retries", totalRetries());

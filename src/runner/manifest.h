@@ -20,6 +20,7 @@ namespace ahfic::runner {
 enum class JobStatus {
   kOk,         ///< succeeded on rung 0 (or served from cache)
   kRecovered,  ///< succeeded after >= 1 ConvergenceError escalation
+  kRejected,   ///< pre-flight lint found errors; the solver never ran
   kFailed,     ///< exhausted the ladder or hit a non-retryable error
 };
 

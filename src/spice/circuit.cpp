@@ -68,6 +68,15 @@ bool Circuit::removeDevice(const std::string& name) {
   return true;
 }
 
+void Circuit::setDeviceLine(const std::string& name, int line) {
+  deviceLines_[toLower(name)] = line;
+}
+
+int Circuit::deviceLine(const std::string& name) const {
+  auto it = deviceLines_.find(toLower(name));
+  return it == deviceLines_.end() ? -1 : it->second;
+}
+
 void Circuit::addBjtModel(const std::string& name, BjtModel model) {
   bjtModels_[toLower(name)] = model;
 }

@@ -63,6 +63,20 @@ class Circuit {
   const DiodeModel& diodeModel(const std::string& name) const;
   bool hasBjtModel(const std::string& name) const;
 
+  /// Whole registries, for enumeration (lint, listings).
+  const std::map<std::string, BjtModel>& bjtModels() const {
+    return bjtModels_;
+  }
+  const std::map<std::string, DiodeModel>& diodeModels() const {
+    return diodeModels_;
+  }
+
+  /// Source-line bookkeeping: the deck parser records the 1-based line
+  /// each device came from so later passes (lint) can point at it.
+  void setDeviceLine(const std::string& name, int line);
+  /// Deck line of device `name`, or -1 when unknown / built in C++.
+  int deviceLine(const std::string& name) const;
+
   /// Simulator temperature in Celsius (affects junction physics).
   double temperatureC() const { return temperatureC_; }
   void setTemperatureC(double t) { temperatureC_ = t; }
@@ -74,6 +88,7 @@ class Circuit {
   std::map<std::string, size_t> deviceIndex_;  // lower-cased name -> index
   std::map<std::string, BjtModel> bjtModels_;
   std::map<std::string, DiodeModel> diodeModels_;
+  std::map<std::string, int> deviceLines_;  // lower-cased name -> deck line
   double temperatureC_ = 27.0;
   int internalCounter_ = 0;
 };

@@ -178,7 +178,7 @@ SourceSpec parseSourceSpec(const std::vector<std::string>& toks, size_t i,
       std::vector<std::string> args;
       size_t j = i;
       if (!parseSourceFn(toks, j, fn, args))
-        throw ParseError("malformed source function", line);
+        throw ParseError("malformed source function near '" + toks[i] + "'", line);
       spec.wave = buildWaveform(fn, args, line);
       i = j;
     } else {
@@ -413,16 +413,27 @@ class DeckParser {
 
     // Pass 3: instantiate deferred semiconductors.
     for (const auto& d : pendingDiodes_) {
+      if (!ckt_.diodeModels().count(util::toLower(d.model)))
+        throw ParseError("unknown diode model '" + d.model + "' on '" +
+                             d.name + "'",
+                         d.line);
       ckt_.add<Diode>(d.name, ckt_, d.a, d.c, ckt_.diodeModel(d.model),
                       d.area, ckt_.temperatureC());
+      ckt_.setDeviceLine(d.name, d.line);
     }
     for (const auto& q : pendingBjts_) {
+      if (!ckt_.hasBjtModel(q.model))
+        throw ParseError("unknown BJT model '" + q.model + "' on '" +
+                             q.name + "'",
+                         q.line);
       ckt_.add<Bjt>(q.name, ckt_, q.c, q.b, q.e, ckt_.bjtModel(q.model),
                     q.area, q.subs, ckt_.temperatureC());
+      ckt_.setDeviceLine(q.name, q.line);
     }
     for (const auto& mo : pendingMos_) {
       ckt_.add<Mosfet>(mo.name, ckt_, mo.d, mo.g, mo.s, mo.b,
                        mosModel(mo.model, mo.line), mo.w, mo.l);
+      ckt_.setDeviceLine(mo.name, mo.line);
     }
     return analyses_;
   }
@@ -481,20 +492,20 @@ class DeckParser {
     const std::string name = scope.prefix + toks[0];
     switch (kind) {
       case 'R': {
-        if (toks.size() < 4) throw ParseError("R needs n1 n2 value", line);
+        if (toks.size() < 4) throw ParseError("'" + toks[0] + "': R needs n1 n2 value", line);
         ckt_.add<Resistor>(name, node(scope, toks[1]), node(scope, toks[2]),
                            num(toks[3], line, "resistance"));
         break;
       }
       case 'C': {
-        if (toks.size() < 4) throw ParseError("C needs n1 n2 value", line);
+        if (toks.size() < 4) throw ParseError("'" + toks[0] + "': C needs n1 n2 value", line);
         ckt_.add<Capacitor>(name, node(scope, toks[1]),
                             node(scope, toks[2]),
                             num(toks[3], line, "capacitance"));
         break;
       }
       case 'L': {
-        if (toks.size() < 4) throw ParseError("L needs n1 n2 value", line);
+        if (toks.size() < 4) throw ParseError("'" + toks[0] + "': L needs n1 n2 value", line);
         ckt_.add<Inductor>(name, node(scope, toks[1]), node(scope, toks[2]),
                            num(toks[3], line, "inductance"));
         break;
@@ -502,7 +513,7 @@ class DeckParser {
       case 'V':
       case 'I': {
         if (toks.size() < 3)
-          throw ParseError("source needs two nodes", line);
+          throw ParseError("'" + toks[0] + "': source needs two nodes", line);
         auto spec = parseSourceSpec(toks, 3, line);
         const int p = node(scope, toks[1]);
         const int n = node(scope, toks[2]);
@@ -517,7 +528,7 @@ class DeckParser {
       case 'E':
       case 'G': {
         if (toks.size() < 6)
-          throw ParseError("E/G needs p n cp cn gain", line);
+          throw ParseError("'" + toks[0] + "': E/G needs p n cp cn gain", line);
         const int p = node(scope, toks[1]), n = node(scope, toks[2]);
         const int cp = node(scope, toks[3]), cn = node(scope, toks[4]);
         const double g = num(toks[5], line, "gain");
@@ -530,7 +541,7 @@ class DeckParser {
       case 'F':
       case 'H': {
         if (toks.size() < 5)
-          throw ParseError("F/H needs p n Vctrl gain", line);
+          throw ParseError("'" + toks[0] + "': F/H needs p n Vctrl gain", line);
         const int p = node(scope, toks[1]), n = node(scope, toks[2]);
         // The controlling source is looked up scope-locally first, then
         // globally.
@@ -549,7 +560,7 @@ class DeckParser {
         break;
       }
       case 'D': {
-        if (toks.size() < 4) throw ParseError("D needs a c model", line);
+        if (toks.size() < 4) throw ParseError("'" + toks[0] + "': D needs a c model", line);
         PendingDiode d{name, node(scope, toks[1]), node(scope, toks[2]),
                        toks[3], 1.0, line};
         if (toks.size() > 4) d.area = num(toks[4], line, "area");
@@ -557,7 +568,7 @@ class DeckParser {
         break;
       }
       case 'Q': {
-        if (toks.size() < 5) throw ParseError("Q needs c b e model", line);
+        if (toks.size() < 5) throw ParseError("'" + toks[0] + "': Q needs c b e model", line);
         PendingBjt q{name,
                      node(scope, toks[1]),
                      node(scope, toks[2]),
@@ -582,7 +593,7 @@ class DeckParser {
       }
       case 'M': {
         if (toks.size() < 6)
-          throw ParseError("M needs d g s b model", line);
+          throw ParseError("'" + toks[0] + "': M needs d g s b model", line);
         PendingMos m{name,
                      node(scope, toks[1]),
                      node(scope, toks[2]),
@@ -595,8 +606,9 @@ class DeckParser {
         for (size_t k = 6; k < toks.size(); ++k) {
           const auto kv = util::split(toks[k], "=");
           if (kv.size() != 2)
-            throw ParseError("MOS instance parameter must be W=... or "
-                             "L=...",
+            throw ParseError("'" + toks[k] +
+                             "': MOS instance parameter must be W=... "
+                             "or L=...",
                              line);
           if (util::equalsNoCase(kv[0], "w"))
             m.w = num(kv[1], line, "W");
@@ -612,8 +624,9 @@ class DeckParser {
       }
       case 'X': {
         if (toks.size() < 3)
-          throw ParseError("X needs at least one node and a subcircuit "
-                           "name",
+          throw ParseError("'" + toks[0] +
+                           "': X needs at least one node and a "
+                           "subcircuit name",
                            line);
         const std::string subName = util::toLower(toks.back());
         auto it = subckts_.find(subName);
@@ -637,6 +650,10 @@ class DeckParser {
       default:
         throw ParseError("unsupported element '" + toks[0] + "'", line);
     }
+    // Immediately-constructed devices get their deck line recorded here;
+    // pending D/Q/M record theirs at second-pass construction, and X
+    // expands to child devices that record their own lines.
+    if (ckt_.findDevice(name) != nullptr) ckt_.setDeviceLine(name, line);
   }
 
   void handleControlCard(const std::string& first,

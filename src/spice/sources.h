@@ -23,6 +23,9 @@ class Waveform {
   virtual double value(double t) const = 0;
   /// Value used by DC analyses (the SPICE "DC value" / t=0 convention).
   virtual double dcValue() const { return value(0.0); }
+  /// True for waveforms whose value changes with time (everything except
+  /// DC). Lint uses this to spot transient specs without a .TRAN card.
+  virtual bool isTimeVarying() const { return true; }
 };
 
 /// Constant value.
@@ -30,6 +33,7 @@ class DcWaveform final : public Waveform {
  public:
   explicit DcWaveform(double v) : v_(v) {}
   double value(double) const override { return v_; }
+  bool isTimeVarying() const override { return false; }
 
  private:
   double v_;
@@ -145,6 +149,7 @@ class ISource final : public Device {
 
   void setWaveform(std::unique_ptr<Waveform> wave) { wave_ = std::move(wave); }
   const Waveform& waveform() const { return *wave_; }
+  double acMagnitude() const { return acMag_; }
 
  private:
   std::unique_ptr<Waveform> wave_;

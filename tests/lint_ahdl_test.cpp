@@ -1,0 +1,155 @@
+// AHDL dataflow and expression-dimension checks.
+
+#include "lint/ahdl.h"
+
+#include <gtest/gtest.h>
+
+#include "ahdl/blocks.h"
+#include "ahdl/expr.h"
+#include "ahdl/lang.h"
+#include "ahdl/system.h"
+
+namespace lint = ahfic::lint;
+namespace ah = ahfic::ahdl;
+
+TEST(LintAhdl, CleanChainHasNoDiagnostics) {
+  ah::System sys;
+  sys.add<ah::SineSource>({}, {"rf"}, "src", 45e6, 1.0);
+  sys.add<ah::Amplifier>({"rf"}, {"out"}, "a1", 4.0);
+  sys.probe("out");
+  const auto r = lint::lintSystem(sys);
+  EXPECT_TRUE(r.empty()) << r.renderText();
+}
+
+TEST(LintAhdl, ReadButNeverWrittenSignalIsUndriven) {
+  ah::System sys;
+  sys.add<ah::Amplifier>({"ghost"}, {"out"}, "a1", 2.0);
+  sys.probe("out");
+  const auto r = lint::lintSystem(sys);
+  ASSERT_TRUE(r.hasCode("AHDL_UNDRIVEN")) << r.renderText();
+  const auto* d = r.find("AHDL_UNDRIVEN");
+  EXPECT_NE(d->message.find("ghost"), std::string::npos);
+  EXPECT_NE(d->message.find("a1"), std::string::npos);
+}
+
+TEST(LintAhdl, TwoWritersOfOneSignalAreMultiDriven) {
+  ah::System sys;
+  sys.add<ah::SineSource>({}, {"x"}, "s1", 1e6, 1.0);
+  sys.add<ah::SineSource>({}, {"x"}, "s2", 2e6, 1.0);
+  sys.probe("x");
+  const auto r = lint::lintSystem(sys);
+  ASSERT_TRUE(r.hasCode("AHDL_MULTI_DRIVEN")) << r.renderText();
+  EXPECT_NE(r.find("AHDL_MULTI_DRIVEN")->message.find("s2"),
+            std::string::npos);
+}
+
+TEST(LintAhdl, UnreadUnprobedOutputIsUnusedBlock) {
+  ah::System sys;
+  sys.add<ah::SineSource>({}, {"used"}, "s1", 1e6, 1.0);
+  sys.add<ah::SineSource>({}, {"dead"}, "s2", 2e6, 1.0);
+  sys.probe("used");
+  const auto r = lint::lintSystem(sys);
+  ASSERT_TRUE(r.hasCode("AHDL_UNUSED_BLOCK")) << r.renderText();
+  EXPECT_NE(r.find("AHDL_UNUSED_BLOCK")->message.find("s2"),
+            std::string::npos);
+  EXPECT_EQ(r.find("AHDL_UNUSED_BLOCK")->severity,
+            lint::Severity::kWarning);
+}
+
+TEST(LintAhdl, ProbedSignalWithoutDriverWarns) {
+  ah::System sys;
+  sys.add<ah::SineSource>({}, {"x"}, "s1", 1e6, 1.0);
+  sys.signal("silent");
+  sys.probe("x");
+  sys.probe("silent");
+  const auto r = lint::lintSystem(sys);
+  EXPECT_TRUE(r.hasCode("AHDL_PROBE_UNDRIVEN")) << r.renderText();
+}
+
+TEST(LintAhdl, MemorylessFeedbackLoopIsACombCycle) {
+  ah::System sys;
+  // adder -> amp -> back into the adder: no delay element anywhere.
+  sys.add<ah::SineSource>({}, {"in"}, "src", 1e6, 1.0);
+  sys.add<ah::Adder>({"in", "fb"}, {"sum"}, "add", 2);
+  sys.add<ah::Amplifier>({"sum"}, {"fb"}, "gain", 0.5);
+  sys.probe("sum");
+  const auto r = lint::lintSystem(sys);
+  ASSERT_TRUE(r.hasCode("AHDL_COMB_CYCLE")) << r.renderText();
+  const auto& msg = r.find("AHDL_COMB_CYCLE")->message;
+  EXPECT_NE(msg.find("add"), std::string::npos);
+  EXPECT_NE(msg.find("gain"), std::string::npos);
+}
+
+TEST(LintAhdl, LoopThroughIntegratorIsNotFlagged) {
+  ah::System sys;
+  sys.add<ah::SineSource>({}, {"in"}, "src", 1e6, 1.0);
+  sys.add<ah::Adder>({"in", "fb"}, {"sum"}, "add", 2);
+  sys.add<ah::IntegratorBlock>({"sum"}, {"fb"}, "int", 0.5);
+  sys.probe("sum");
+  const auto r = lint::lintSystem(sys);
+  EXPECT_FALSE(r.hasCode("AHDL_COMB_CYCLE")) << r.renderText();
+}
+
+TEST(LintAhdl, SelfLoopOnMemorylessBlockIsACombCycle) {
+  ah::System sys;
+  sys.add<ah::Amplifier>({"x"}, {"x"}, "osc", 1.01);
+  sys.probe("x");
+  const auto r = lint::lintSystem(sys);
+  EXPECT_TRUE(r.hasCode("AHDL_COMB_CYCLE")) << r.renderText();
+}
+
+TEST(LintAhdl, VoltagePlusTimeIsADimensionMismatch) {
+  const auto expr = ah::parseExpression("V(in) + t");
+  lint::LintReport r;
+  lint::lintExpr(*expr, "m1.out", r);
+  ASSERT_TRUE(r.hasCode("AHDL_DIM_MISMATCH")) << r.renderText();
+  EXPECT_NE(r.find("AHDL_DIM_MISMATCH")->message.find("voltage"),
+            std::string::npos);
+}
+
+TEST(LintAhdl, ParameterScaledMixesAreNotFlagged) {
+  // gain*V(in) + offset, sin(2*pi*f*t): parameters absorb dimensions.
+  lint::LintReport r;
+  lint::lintExpr(*ah::parseExpression("gain * V(in) + offset"), "m", r);
+  lint::lintExpr(*ah::parseExpression("sin(2*pi*f*t) * V(a)/2"), "m", r);
+  lint::lintExpr(*ah::parseExpression("V(a) - V(b)"), "m", r);
+  lint::lintExpr(*ah::parseExpression("V(a)/V(b) + 1"), "m", r);
+  EXPECT_TRUE(r.empty()) << r.renderText();
+}
+
+TEST(LintAhdl, DimensionlessPlusVoltageIsFlagged) {
+  lint::LintReport r;
+  lint::lintExpr(*ah::parseExpression("V(in) + 1"), "m", r);
+  EXPECT_TRUE(r.hasCode("AHDL_DIM_MISMATCH")) << r.renderText();
+}
+
+TEST(LintAhdl, ExprBlocksInsideSystemsAreChecked) {
+  const auto netlist = ah::parseAhdl(R"(
+module bad (in, out) {
+  analog { V(out) <- V(in) + t; }
+}
+signal a, b;
+instance src = sine(freq=1MEG, amp=1) (a);
+instance m = bad() (a, b);
+probe b;
+run tstop=1u, fs=100MEG;
+)");
+  const auto r = lint::lintSystem(netlist.system);
+  EXPECT_TRUE(r.hasCode("AHDL_DIM_MISMATCH")) << r.renderText();
+}
+
+TEST(LintAhdl, LintAhdlTextHandlesParseFailures) {
+  const auto r = lint::lintAhdlText("instance x = nosuchblock() (a);\n");
+  EXPECT_TRUE(r.hasCode("PARSE")) << r.renderText();
+  EXPECT_TRUE(r.hasErrors());
+}
+
+TEST(LintAhdl, LintAhdlTextFlagsMissingRunSpec) {
+  const auto r = lint::lintAhdlText(R"(
+signal a;
+instance src = sine(freq=1MEG, amp=1) (a);
+probe a;
+)");
+  EXPECT_TRUE(r.hasCode("AHDL_NO_RUN")) << r.renderText();
+  EXPECT_FALSE(r.hasErrors()) << r.renderText();
+}

@@ -1,0 +1,110 @@
+// LintReport container, renderers, and the ahfic-lint-v1 JSON schema.
+
+#include "lint/diagnostics.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "util/json.h"
+
+namespace lint = ahfic::lint;
+namespace util = ahfic::util;
+
+TEST(LintReport, CountsAndLookupBySeverityAndCode) {
+  lint::LintReport r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_FALSE(r.hasErrors());
+
+  r.error("NET_VSRC_LOOP", "loop", lint::SourceLoc::forObject("V2"));
+  r.warning("NET_ZERO_CAP", "zero cap");
+  r.info("NET_NO_ANALYSIS", "no analysis");
+
+  EXPECT_EQ(r.diagnostics().size(), 3u);
+  EXPECT_EQ(r.count(lint::Severity::kError), 1u);
+  EXPECT_EQ(r.count(lint::Severity::kWarning), 1u);
+  EXPECT_EQ(r.count(lint::Severity::kInfo), 1u);
+  EXPECT_TRUE(r.hasErrors());
+  EXPECT_TRUE(r.hasCode("NET_ZERO_CAP"));
+  EXPECT_FALSE(r.hasCode("NET_IND_LOOP"));
+  ASSERT_NE(r.find("NET_VSRC_LOOP"), nullptr);
+  EXPECT_EQ(r.find("NET_VSRC_LOOP")->loc.object, "V2");
+}
+
+TEST(LintReport, RenderTextIsCompilerStyle) {
+  lint::LintReport r;
+  lint::SourceLoc loc = lint::SourceLoc::forLine(7, "V2");
+  loc.file = "deck.sp";
+  r.error("NET_VSRC_LOOP", "sources in parallel", loc);
+  const std::string text = r.renderText();
+  EXPECT_NE(text.find("deck.sp:7:"), std::string::npos);
+  EXPECT_NE(text.find("error NET_VSRC_LOOP"), std::string::npos);
+  EXPECT_NE(text.find("sources in parallel"), std::string::npos);
+}
+
+TEST(LintReport, SummaryLineTruncates) {
+  lint::LintReport r;
+  for (int k = 0; k < 5; ++k)
+    r.error("CODE" + std::to_string(k), "msg",
+            lint::SourceLoc::forObject("obj" + std::to_string(k)));
+  const std::string s = r.summaryLine(2);
+  EXPECT_NE(s.find("5 lint error(s)"), std::string::npos);
+  EXPECT_NE(s.find("CODE0"), std::string::npos);
+  EXPECT_NE(s.find("CODE1"), std::string::npos);
+  EXPECT_EQ(s.find("CODE2"), std::string::npos);
+}
+
+TEST(LintReport, MergeStampsFileOntoBareLocations) {
+  lint::LintReport a;
+  a.error("X", "bare location");
+  lint::SourceLoc withFile;
+  withFile.file = "other.sp";
+  a.warning("Y", "already filed", withFile);
+
+  lint::LintReport merged;
+  merged.merge(a, "deck.sp");
+  EXPECT_EQ(merged.diagnostics()[0].loc.file, "deck.sp");
+  EXPECT_EQ(merged.diagnostics()[1].loc.file, "other.sp");
+}
+
+TEST(LintReport, JsonRoundTripPreservesEverything) {
+  lint::LintReport r;
+  lint::SourceLoc loc = lint::SourceLoc::forLine(12, "node d");
+  loc.file = "bad.sp";
+  r.error("NET_FLOATING_NODE", "no DC path", loc);
+  r.warning("NET_ZERO_CAP", "zero cap",
+            lint::SourceLoc::forObject("C1"));
+  r.info("NET_NO_ANALYSIS", "nothing to run");
+
+  const util::JsonValue doc = util::parseJson(r.toJsonString());
+  EXPECT_EQ(doc.get("schema").asString(), "ahfic-lint-v1");
+  const lint::LintReport back = lint::LintReport::fromJson(doc);
+  ASSERT_EQ(back.diagnostics().size(), r.diagnostics().size());
+  for (size_t k = 0; k < back.diagnostics().size(); ++k) {
+    const auto& x = r.diagnostics()[k];
+    const auto& y = back.diagnostics()[k];
+    EXPECT_EQ(x.severity, y.severity);
+    EXPECT_EQ(x.code, y.code);
+    EXPECT_EQ(x.message, y.message);
+    EXPECT_EQ(x.loc.file, y.loc.file);
+    EXPECT_EQ(x.loc.line, y.loc.line);
+    EXPECT_EQ(x.loc.object, y.loc.object);
+  }
+}
+
+TEST(LintReport, JsonCountsSectionMatches) {
+  lint::LintReport r;
+  r.error("A", "a");
+  r.error("B", "b");
+  r.warning("C", "c");
+  const util::JsonValue doc = r.toJson();
+  EXPECT_EQ(doc.get("counts").get("error").asNumber(), 2);
+  EXPECT_EQ(doc.get("counts").get("warning").asNumber(), 1);
+  EXPECT_EQ(doc.get("counts").get("info").asNumber(), 0);
+}
+
+TEST(LintReport, FromJsonRejectsWrongSchema) {
+  util::JsonValue doc = util::JsonValue::object();
+  doc.set("schema", "something-else");
+  doc.set("diagnostics", util::JsonValue::array());
+  EXPECT_THROW(lint::LintReport::fromJson(doc), ahfic::Error);
+}

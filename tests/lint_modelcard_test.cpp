@@ -1,0 +1,77 @@
+// Model-card physicality checks and the geometry-sweep monotonicity
+// guard over bjtgen-generated cards.
+
+#include "lint/modelcard.h"
+
+#include <gtest/gtest.h>
+
+#include "bjtgen/generator.h"
+#include "bjtgen/shape.h"
+#include "lint/netlist.h"
+
+namespace lint = ahfic::lint;
+namespace bg = ahfic::bjtgen;
+namespace sp = ahfic::spice;
+
+TEST(LintModelCard, DefaultBjtCardIsClean) {
+  const sp::BjtModel m;
+  const auto r = lint::lintBjtModel(m, "default");
+  EXPECT_TRUE(r.empty()) << r.renderText();
+}
+
+TEST(LintModelCard, OutOfRangeParametersAreErrors) {
+  sp::BjtModel m;
+  m.rb = -5.0;
+  m.mje = 1.4;
+  lint::LintReport r;
+  lint::lintBjtModel(m, "badnpn", r);
+  ASSERT_TRUE(r.hasCode("MOD_BJT_RANGE")) << r.renderText();
+  size_t n = 0;
+  for (const auto& d : r.diagnostics())
+    if (d.code == "MOD_BJT_RANGE") ++n;
+  EXPECT_EQ(n, 2u) << r.renderText();
+  EXPECT_NE(r.find("MOD_BJT_RANGE")->message.find("badnpn"),
+            std::string::npos);
+}
+
+TEST(LintModelCard, ImplausibleButLegalValuesAreSuspectWarnings) {
+  sp::BjtModel m;
+  m.is = 1e-3;   // legal sign, absurd magnitude for an IC device
+  m.bf = 9000.0;
+  lint::LintReport r;
+  lint::lintBjtModel(m, "weird", r);
+  EXPECT_FALSE(r.hasErrors()) << r.renderText();
+  EXPECT_TRUE(r.hasCode("MOD_BJT_SUSPECT")) << r.renderText();
+}
+
+TEST(LintModelCard, DiodeRangeViolationsAreErrors) {
+  sp::DiodeModel m;
+  m.m = 1.5;
+  m.rs = -1.0;
+  lint::LintReport r;
+  lint::lintDiodeModel(m, "badd", r);
+  size_t n = 0;
+  for (const auto& d : r.diagnostics())
+    if (d.code == "MOD_DIODE_RANGE") ++n;
+  EXPECT_EQ(n, 2u) << r.renderText();
+}
+
+TEST(LintModelCard, DeckModelCardsAreLinted) {
+  const auto r = lint::lintDeckText(R"(bad card deck
+.MODEL badnpn NPN(IS=1e-16 BF=100 RB=-5 MJE=1.4)
+V1 b 0 0.8
+Q1 b b 0 badnpn
+.OP
+.END
+)");
+  EXPECT_TRUE(r.hasCode("MOD_BJT_RANGE")) << r.renderText();
+}
+
+TEST(LintModelCard, GeneratedShapeSweepIsMonotoneAndClean) {
+  const auto gen = bg::ModelGenerator::withDefaultTechnology();
+  const auto shapes = bg::fig9Shapes();
+  ASSERT_GE(shapes.size(), 3u);
+  const auto r = lint::lintGeneratedSweep(gen, shapes);
+  EXPECT_FALSE(r.hasCode("MOD_NONMONOTONE")) << r.renderText();
+  EXPECT_FALSE(r.hasErrors()) << r.renderText();
+}

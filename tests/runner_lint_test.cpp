@@ -1,0 +1,155 @@
+// Pre-flight lint gating in the batch engine: a job whose preflight
+// reports errors must be rejected before the cache and the solver are
+// ever touched, consuming zero retry rungs and zero Newton iterations.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "lint/netlist.h"
+#include "obs/metrics.h"
+#include "runner/engine.h"
+
+namespace rn = ahfic::runner;
+namespace lint = ahfic::lint;
+namespace obs = ahfic::obs;
+
+namespace {
+
+const char* kBrokenDeck = R"(vloop
+V1 a 0 5
+V2 a 0 4.9
+R1 a 0 1k
+.OP
+.END
+)";
+
+const char* kGoodDeck = R"(divider
+V1 in 0 DC 5
+R1 in out 1k
+R2 out 0 1k
+.OP
+.END
+)";
+
+}  // namespace
+
+TEST(RunnerLint, RejectedJobNeverRunsAndConsumesNoRetries) {
+  obs::setMetricsEnabled(true);
+  obs::metrics().resetForTest();
+
+  std::atomic<int> bodyRuns{0};
+
+  rn::Job bad;
+  bad.key = "lint/broken";
+  bad.preflight = [] { return lint::lintDeckText(kBrokenDeck); };
+  bad.run = [&bodyRuns](rn::JobContext&) {
+    ++bodyRuns;
+    return rn::JobResult{};
+  };
+
+  rn::Job good;
+  good.key = "lint/good";
+  good.preflight = [] { return lint::lintDeckText(kGoodDeck); };
+  good.run = [](rn::JobContext&) {
+    rn::JobResult r;
+    r.set("answer", 42.0);
+    return r;
+  };
+
+  rn::RunnerOptions opts;
+  opts.threads = 1;
+  rn::BatchRunner runner(opts);
+  const auto batch = runner.run({bad, good});
+
+  const auto& rejected = batch.outcomes[0];
+  EXPECT_EQ(rejected.record.status, rn::JobStatus::kRejected);
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.record.attempts, 0);
+  EXPECT_EQ(rejected.record.rungName, "preflight");
+  EXPECT_EQ(rejected.record.newtonIterations, 0);
+  EXPECT_NE(rejected.record.error.find("NET_VSRC_LOOP"),
+            std::string::npos);
+  EXPECT_EQ(bodyRuns.load(), 0);
+
+  const auto& accepted = batch.outcomes[1];
+  EXPECT_TRUE(accepted.ok());
+  EXPECT_EQ(accepted.result.get("answer"), 42.0);
+
+  const auto snap = obs::metrics().snapshot();
+  EXPECT_EQ(snap.counterValue("lint.rejected"), 1);
+  EXPECT_EQ(snap.counterValue("lint.preflights"), 2);
+  // The rejected deck never reached a solver.
+  EXPECT_EQ(snap.counterValue("spice.newton_iterations"), 0);
+
+  obs::setMetricsEnabled(false);
+}
+
+TEST(RunnerLint, RejectionBypassesTheCache) {
+  // Even with caching on, a rejected job must not be served from or
+  // stored into the cache.
+  rn::Job bad;
+  bad.key = "lint/broken-cached";
+  bad.preflight = [] { return lint::lintDeckText(kBrokenDeck); };
+  bad.run = [](rn::JobContext&) { return rn::JobResult{}; };
+
+  rn::RunnerOptions opts;
+  opts.threads = 1;
+  opts.useCache = true;
+  rn::BatchRunner runner(opts);
+
+  const auto first = runner.run({bad});
+  const auto second = runner.run({bad});
+  EXPECT_EQ(first.outcomes[0].record.status, rn::JobStatus::kRejected);
+  EXPECT_EQ(second.outcomes[0].record.status, rn::JobStatus::kRejected);
+  EXPECT_FALSE(second.outcomes[0].record.cacheHit);
+}
+
+TEST(RunnerLint, WarningsDoNotGate) {
+  rn::Job warned;
+  warned.key = "lint/warned";
+  warned.preflight = [] {
+    lint::LintReport r;
+    r.warning("NET_ZERO_CAP", "suspicious but legal");
+    return r;
+  };
+  warned.run = [](rn::JobContext&) {
+    rn::JobResult r;
+    r.set("ran", 1.0);
+    return r;
+  };
+
+  rn::BatchRunner runner({.threads = 1});
+  const auto batch = runner.run({warned});
+  EXPECT_EQ(batch.outcomes[0].record.status, rn::JobStatus::kOk);
+  EXPECT_EQ(batch.outcomes[0].result.get("ran"), 1.0);
+}
+
+TEST(RunnerLint, ThrowingPreflightRejectsInsteadOfCrashing) {
+  rn::Job evil;
+  evil.key = "lint/throws";
+  evil.preflight = []() -> lint::LintReport {
+    throw std::runtime_error("lint pass exploded");
+  };
+  evil.run = [](rn::JobContext&) { return rn::JobResult{}; };
+
+  rn::BatchRunner runner({.threads = 1});
+  const auto batch = runner.run({evil});
+  EXPECT_EQ(batch.outcomes[0].record.status, rn::JobStatus::kRejected);
+  EXPECT_NE(batch.outcomes[0].record.error.find("LINT_CRASH"),
+            std::string::npos);
+}
+
+TEST(RunnerLint, RejectionAppearsInTheManifest) {
+  rn::Job bad;
+  bad.key = "lint/manifest";
+  bad.preflight = [] { return lint::lintDeckText(kBrokenDeck); };
+  bad.run = [](rn::JobContext&) { return rn::JobResult{}; };
+
+  rn::BatchRunner runner({.threads = 1});
+  const auto batch = runner.run({bad});
+  EXPECT_EQ(batch.manifest.countWithStatus(rn::JobStatus::kRejected), 1);
+  const std::string json = batch.manifest.toJsonString();
+  EXPECT_NE(json.find("\"status\": \"rejected\""), std::string::npos);
+  EXPECT_NE(json.find("\"rejected\": 1"), std::string::npos);
+}

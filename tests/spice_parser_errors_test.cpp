@@ -1,0 +1,80 @@
+// Parser diagnostics audit: every ParseError must carry the offending
+// token in its message and the 1-based deck line, so lint PARSE
+// diagnostics and CLI errors always point somewhere actionable.
+
+#include <gtest/gtest.h>
+
+#include "spice/parser.h"
+#include "util/error.h"
+
+namespace sp = ahfic::spice;
+
+namespace {
+
+/// Parses and returns the ParseError; fails the test when none is thrown.
+ahfic::ParseError parseFailure(const std::string& deck) {
+  try {
+    (void)sp::parseDeck(deck);
+  } catch (const ahfic::ParseError& e) {
+    return e;
+  }
+  ADD_FAILURE() << "deck parsed although it is malformed:\n" << deck;
+  return ahfic::ParseError("unreachable", -1);
+}
+
+void expectTokenAndLine(const std::string& deck, const std::string& token,
+                        int line) {
+  const auto e = parseFailure(deck);
+  EXPECT_NE(std::string(e.what()).find(token), std::string::npos)
+      << "message lacks token '" << token << "': " << e.what();
+  EXPECT_EQ(e.line(), line) << e.what();
+}
+
+}  // namespace
+
+TEST(ParserErrors, ShortElementCardsNameTheDevice) {
+  expectTokenAndLine("t\nR1 a b\n.END\n", "R1", 2);
+  expectTokenAndLine("t\nC1 a b\n.END\n", "C1", 2);
+  expectTokenAndLine("t\nL1 a b\n.END\n", "L1", 2);
+  expectTokenAndLine("t\nV1 a\n.END\n", "V1", 2);
+  expectTokenAndLine("t\nE1 a b c\n.END\n", "E1", 2);
+  expectTokenAndLine("t\nF1 a b\n.END\n", "F1", 2);
+  expectTokenAndLine("t\nD1 a b\n.END\n", "D1", 2);
+  expectTokenAndLine("t\nQ1 c b\n.END\n", "Q1", 2);
+  expectTokenAndLine("t\nM1 d g s\n.END\n", "M1", 2);
+  expectTokenAndLine("t\nX1 a\n.END\n", "X1", 2);
+}
+
+TEST(ParserErrors, UnsupportedElementNamesTheToken) {
+  expectTokenAndLine("t\nZ1 a b 5\n.END\n", "Z1", 2);
+}
+
+TEST(ParserErrors, UnknownModelsCarryDeviceLineNotThrowSite) {
+  // The model reference resolves in pass 3, but the error must still
+  // point at the instance line.
+  expectTokenAndLine("t\nV1 a 0 1\nQ1 a a 0 nosuchmodel\n.OP\n.END\n",
+                     "nosuchmodel", 3);
+  expectTokenAndLine("t\nV1 a 0 1\nD1 a 0 ghost\n.OP\n.END\n", "ghost", 3);
+}
+
+TEST(ParserErrors, BadMosInstanceParameterNamesTheToken) {
+  // Not key=value at all -> the whole token is named.
+  expectTokenAndLine(
+      "t\n.MODEL mn NMOS(VTO=0.7)\nM1 d g s b mn foo\n.END\n", "foo", 3);
+  // key=value with an unknown key -> the key is named.
+  expectTokenAndLine(
+      "t\n.MODEL mn NMOS(VTO=0.7)\nM1 d g s b mn Q=3\n.END\n", "'Q'", 3);
+}
+
+TEST(ParserErrors, MalformedSourceFunctionNamesTheToken) {
+  const auto e = parseFailure("t\nV1 a 0 SIN(\n.END\n");
+  EXPECT_EQ(e.line(), 2) << e.what();
+}
+
+TEST(ParserErrors, ContinuationLinesKeepTheOriginalLineNumber) {
+  // '+' continuation folds into the previous logical line; errors must
+  // report where that logical line started.
+  const auto e = parseFailure("t\nR1 a b\n+ bogus extra tokens\n.END\n");
+  EXPECT_NE(std::string(e.what()).find("bogus"), std::string::npos);
+  EXPECT_EQ(e.line(), 2) << e.what();
+}
