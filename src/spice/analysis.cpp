@@ -1,12 +1,26 @@
 #include "spice/analysis.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "spice/sources.h"
 #include "util/error.h"
+
+namespace {
+
+/// Monotonic nanoseconds for the solver-phase histograms; only sampled
+/// when metrics are enabled, so the hot path stays clock-free.
+double nowNs() {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
 
 namespace ahfic::spice {
 
@@ -69,6 +83,16 @@ std::vector<double> linspace(double start, double stop, int points) {
 Analyzer::Analyzer(Circuit& ckt, AnalysisOptions opts)
     : ckt_(ckt), opts_(opts) {
   buildLayout();
+  solver_ = opts_.solver;
+  if (solver_ == SolverKind::kAuto && opts_.useSparse)
+    solver_ = SolverKind::kSparseLegacy;
+  if (solver_ == SolverKind::kAuto)
+    solver_ = unknownCount_ > kDenseBackendMaxUnknowns ? SolverKind::kSparse
+                                                       : SolverKind::kDense;
+  // Priming mutates junction-limiting history (loads run at zero bias),
+  // so it happens here — before any solve seeds that history via
+  // beginSolve — rather than lazily inside the first Newton iteration.
+  if (solver_ == SolverKind::kSparse) primeSparsePattern();
 }
 
 void Analyzer::buildLayout() {
@@ -83,12 +107,121 @@ void Analyzer::buildLayout() {
       dev->assignStateBase(nextState);
       nextState += dev->stateCount();
     }
+    if (dev->isNonlinear())
+      nonlinearDevs_.push_back(dev.get());
+    else
+      linearDevs_.push_back(dev.get());
   }
   unknownCount_ = nextBranch - 1;  // ground excluded
   stateCount_ = nextState;
   state_.assign(static_cast<size_t>(stateCount_), 0.0);
   statePrev_.assign(static_cast<size_t>(stateCount_), 0.0);
   dstatePrev_.assign(static_cast<size_t>(stateCount_), 0.0);
+}
+
+void Analyzer::primeSparsePattern() {
+  // Run every device through a position recorder twice — once under a DC
+  // context, once under a transient one (c0 = 1) — so conditional stamps
+  // (capacitor companions, inductor geq, junction charge branches) all
+  // land in the pattern before the first assemble. Scratch state vectors
+  // keep the real charge history untouched.
+  std::vector<std::pair<int, int>> entries;
+  PatternStamper ps(entries);
+  std::vector<double> zeros(static_cast<size_t>(unknownCount_), 0.0);
+  Solution sx(&zeros);
+  std::vector<double> st(static_cast<size_t>(stateCount_), 0.0);
+  std::vector<double> stPrev(static_cast<size_t>(stateCount_), 0.0);
+  std::vector<double> dstPrev(static_cast<size_t>(stateCount_), 0.0);
+  LoadContext ctx;
+  ctx.state = &st;
+  ctx.prevState = &stPrev;
+  ctx.prevDstate = &dstPrev;
+  ctx.mode = AnalysisMode::kDcOp;
+  ctx.c0 = 0.0;
+  for (const auto& dev : ckt_.devices()) dev->load(ps, sx, ctx);
+  ctx.mode = AnalysisMode::kTransient;
+  ctx.c0 = 1.0;
+  for (const auto& dev : ckt_.devices()) dev->load(ps, sx, ctx);
+  pat_.build(unknownCount_, std::move(entries));
+  patternPrimed_ = true;
+  staticValid_ = false;
+}
+
+void Analyzer::growSparsePattern(CsrPattern& pat,
+                                 std::vector<std::pair<int, int>>& pending) {
+  // A device stamped a position the priming pass did not predict: fold
+  // it in and restamp. Counted so the regression suite can assert the
+  // steady state performs none.
+  stats_.sparsePatternInserts += static_cast<long>(pat.grow(pending));
+  pending.clear();
+  staticValid_ = false;
+}
+
+void Analyzer::prepareSparseStatic(const Solution& x,
+                                   const LoadContext& ctx) {
+  if (staticValid_ && staticEpoch_ == pat_.epoch() && staticC0_ == ctx.c0)
+    return;
+  for (;;) {
+    staticVals_.assign(pat_.nonzeros(), 0.0);
+    scratchRhs_.assign(static_cast<size_t>(unknownCount_), 0.0);
+    pending_.clear();
+    CsrStamper cs(pat_, staticVals_, scratchRhs_, &pending_);
+    for (Device* dev : linearDevs_) dev->load(cs, x, ctx);
+    if (pending_.empty()) break;
+    growSparsePattern(pat_, pending_);
+  }
+  staticValid_ = true;
+  staticEpoch_ = pat_.epoch();
+  staticC0_ = ctx.c0;
+}
+
+bool Analyzer::sparseIterate(const Solution& x, const LoadContext& ctx,
+                             std::vector<double>& xNew) {
+  ++stats_.matrixSolves;
+  const bool timed = obs::metricsEnabled();
+  const double tAssemble = timed ? nowNs() : 0.0;
+  for (;;) {
+    // Static baseline (linear-device matrix stamps) lands via memcpy;
+    // linear devices then contribute only their candidate-dependent RHS
+    // (and record charge states), and nonlinear devices restamp in full
+    // through their slot memos.
+    prepareSparseStatic(x, ctx);
+    vals_ = staticVals_;
+    rhs_.assign(static_cast<size_t>(unknownCount_), 0.0);
+    RhsOnlyStamper rhsOnly(rhs_);
+    for (Device* dev : linearDevs_) dev->load(rhsOnly, x, ctx);
+    CsrStamper cs(pat_, vals_, rhs_, &pending_);
+    for (Device* dev : nonlinearDevs_) dev->load(cs, x, ctx);
+    if (pending_.empty()) break;
+    growSparsePattern(pat_, pending_);
+  }
+  const double tFactor = timed ? nowNs() : 0.0;
+  if (!lu_.analyzedFor(pat_.epoch())) lu_.analyze(pat_);
+  switch (lu_.factor(vals_)) {
+    case SparseLU<double>::FactorOutcome::kSingular:
+      return false;
+    case SparseLU<double>::FactorOutcome::kFullFactor:
+      ++stats_.sparseFullFactors;
+      break;
+    case SparseLU<double>::FactorOutcome::kRefactor:
+      ++stats_.sparseRefactors;
+      break;
+  }
+  const double tSolve = timed ? nowNs() : 0.0;
+  lu_.solve(rhs_, xNew);
+  if (timed) {
+    static const obs::Histogram hAssemble =
+        obs::histogram("spice.sparse.assemble_ns");
+    static const obs::Histogram hFactor =
+        obs::histogram("spice.sparse.factor_ns");
+    static const obs::Histogram hSolve =
+        obs::histogram("spice.sparse.solve_ns");
+    const double tEnd = nowNs();
+    hAssemble.observe(tFactor - tAssemble);
+    hFactor.observe(tSolve - tFactor);
+    hSolve.observe(tEnd - tSolve);
+  }
+  return true;
 }
 
 void Analyzer::assemble(Stamper& s, const Solution& x,
@@ -105,7 +238,7 @@ void Analyzer::assemble(Stamper& s, const Solution& x,
 
 bool Analyzer::solveLinear(std::vector<double>& x) {
   ++stats_.matrixSolves;
-  if (opts_.useSparse) {
+  if (solver_ == SolverKind::kSparseLegacy) {
     std::vector<double> b = rhs_;
     return as_.solveInPlace(b, x);
   }
@@ -123,6 +256,9 @@ void Analyzer::publishStats(const char* analysis) {
       stats_.rejectedSteps - published_.rejectedSteps,
       stats_.gminSteps - published_.gminSteps,
       stats_.sourceSteps - published_.sourceSteps,
+      stats_.sparsePatternInserts - published_.sparsePatternInserts,
+      stats_.sparseFullFactors - published_.sparseFullFactors,
+      stats_.sparseRefactors - published_.sparseRefactors,
   };
   published_ = stats_;
   if (!obs::metricsEnabled()) return;
@@ -135,12 +271,21 @@ void Analyzer::publishStats(const char* analysis) {
       obs::counter("spice.tran_rejected_steps");
   static const obs::Counter cGmin = obs::counter("spice.gmin_steps");
   static const obs::Counter cSource = obs::counter("spice.source_steps");
+  static const obs::Counter cInserts =
+      obs::counter("spice.sparse.pattern_inserts");
+  static const obs::Counter cFull =
+      obs::counter("spice.sparse.full_factors");
+  static const obs::Counter cRefactor =
+      obs::counter("spice.sparse.refactors");
   cNewton.add(delta.newtonIterations);
   cSolves.add(delta.matrixSolves);
   cAccepted.add(delta.acceptedSteps);
   cRejected.add(delta.rejectedSteps);
   cGmin.add(delta.gminSteps);
   cSource.add(delta.sourceSteps);
+  cInserts.add(delta.sparsePatternInserts);
+  cFull.add(delta.sparseFullFactors);
+  cRefactor.add(delta.sparseRefactors);
   // Entry points are cold; a registry lookup per call is fine here. A
   // full registry must never fail the analysis itself.
   try {
@@ -180,28 +325,33 @@ Analyzer::NewtonOutcome Analyzer::newtonInner(std::vector<double>& x,
     ++stats_.newtonIterations;
     out.iterations = iter + 1;
 
-    if (opts_.useSparse) {
-      if (as_.size() != n) as_ = SparseMatrix<double>(n);
-      as_.setZero();
-    } else {
-      if (a_.rows() != n) a_ = DenseMatrix<double>(n, n);
-      a_.setZero();
-    }
-    rhs_.assign(static_cast<size_t>(n), 0.0);
-
     bool anyLimited = false;
     ctx.limited = &anyLimited;
     Solution sx(&x);
-    if (opts_.useSparse) {
-      SparseStamper st(as_, rhs_);
-      assemble(st, sx, ctx);
+    bool solved;
+    if (solver_ == SolverKind::kSparse) {
+      solved = sparseIterate(sx, ctx, xNew);
     } else {
-      DenseStamper st(a_, rhs_);
-      assemble(st, sx, ctx);
+      if (solver_ == SolverKind::kSparseLegacy) {
+        if (as_.size() != n) as_ = SparseMatrix<double>(n);
+        as_.setZero();
+      } else {
+        if (a_.rows() != n) a_ = DenseMatrix<double>(n, n);
+        a_.setZero();
+      }
+      rhs_.assign(static_cast<size_t>(n), 0.0);
+      if (solver_ == SolverKind::kSparseLegacy) {
+        SparseStamper st(as_, rhs_);
+        assemble(st, sx, ctx);
+      } else {
+        DenseStamper st(a_, rhs_);
+        assemble(st, sx, ctx);
+      }
+      solved = solveLinear(xNew);
     }
     ctx.limited = nullptr;
 
-    if (!solveLinear(xNew)) return out;  // singular: not converged
+    if (!solved) return out;  // singular: not converged
 
     // Convergence: every unknown moved less than its tolerance, and no
     // device had to limit its junction voltage this iteration.
@@ -225,17 +375,9 @@ Analyzer::NewtonOutcome Analyzer::newtonInner(std::vector<double>& x,
     }
     // Linear circuits converge in one iteration; detect by absence of
     // nonlinear devices.
-    if (converged && iter == 0) {
-      bool anyNonlinear = false;
-      for (const auto& dev : ckt_.devices())
-        if (dev->isNonlinear()) {
-          anyNonlinear = true;
-          break;
-        }
-      if (!anyNonlinear) {
-        out.converged = true;
-        return out;
-      }
+    if (converged && iter == 0 && nonlinearDevs_.empty()) {
+      out.converged = true;
+      return out;
     }
   }
   return out;
@@ -298,13 +440,11 @@ std::vector<double> Analyzer::op() {
   std::vector<double> x = opWithContext(ctx);
 
   // One extra assemble so the recorded charge states match the converged
-  // solution (transient starts from these).
+  // solution (transient starts from these). Only the integrate() side
+  // effects matter, so the stamps themselves are discarded — no matrix
+  // allocation regardless of backend.
   {
-    if (a_.rows() != unknownCount_)
-      a_ = DenseMatrix<double>(unknownCount_, unknownCount_);
-    a_.setZero();
-    rhs_.assign(static_cast<size_t>(unknownCount_), 0.0);
-    DenseStamper st(a_, rhs_);
+    StateOnlyStamper st;
     Solution sx(&x);
     assemble(st, sx, ctx);
   }
@@ -378,6 +518,46 @@ AcResult Analyzer::ac(const std::vector<double>& frequencies,
   return acLinear(frequencies, opSolution, /*freshWindow=*/true);
 }
 
+void Analyzer::primeAcSparsePattern(const Solution& op) {
+  if (patternAcPrimed_) return;
+  // One structural pass at a representative frequency: every AC stamp is
+  // either frequency-independent or scales with omega, so the touched
+  // positions are the same at any omega > 0.
+  std::vector<std::pair<int, int>> entries;
+  AcPatternStamper ps(entries);
+  for (const auto& dev : ckt_.devices()) dev->loadAc(ps, op, 1.0);
+  patAc_.build(unknownCount_, std::move(entries));
+  patternAcPrimed_ = true;
+}
+
+void Analyzer::acSparseFactor(const Solution& op, double omega,
+                              const char* what) {
+  primeAcSparsePattern(op);
+  for (;;) {
+    valsAc_.assign(patAc_.nonzeros(), {0.0, 0.0});
+    rhsAc_.assign(static_cast<size_t>(unknownCount_), {0.0, 0.0});
+    pendingAc_.clear();
+    CsrAcStamper st(patAc_, valsAc_, rhsAc_, &pendingAc_);
+    for (const auto& dev : ckt_.devices()) dev->loadAc(st, op, omega);
+    if (pendingAc_.empty()) break;
+    stats_.sparsePatternInserts += static_cast<long>(patAc_.grow(pendingAc_));
+    pendingAc_.clear();
+  }
+  if (!luAc_.analyzedFor(patAc_.epoch())) luAc_.analyze(patAc_);
+  switch (luAc_.factor(valsAc_)) {
+    case SparseLU<std::complex<double>>::FactorOutcome::kSingular:
+      throw Error(std::string(what) +
+                  ": singular system at f = " +
+                  std::to_string(omega / (2.0 * 3.14159265358979323846)));
+    case SparseLU<std::complex<double>>::FactorOutcome::kFullFactor:
+      ++stats_.sparseFullFactors;
+      break;
+    case SparseLU<std::complex<double>>::FactorOutcome::kRefactor:
+      ++stats_.sparseRefactors;
+      break;
+  }
+}
+
 AcResult Analyzer::acLinear(const std::vector<double>& frequencies,
                             const std::vector<double>& opSolution,
                             bool freshWindow) {
@@ -387,13 +567,30 @@ AcResult Analyzer::acLinear(const std::vector<double>& frequencies,
   AcResult result;
   const int n = unknownCount_;
   Solution sop(&opSolution);
+  if (solver_ == SolverKind::kSparse) {
+    // Pattern and ordering are computed once; every frequency point is a
+    // refactorization + solve against the cached structure.
+    for (double f : frequencies) {
+      ++stats_.matrixSolves;
+      const double omega = 2.0 * 3.14159265358979323846 * f;
+      acSparseFactor(sop, omega, "ac");
+      std::vector<std::complex<double>> x;
+      luAc_.solve(rhsAc_, x);
+      result.frequency.push_back(f);
+      result.values.push_back(std::move(x));
+    }
+    publishStats("ac");
+    return result;
+  }
+  // Dense path: matrix and RHS are allocated once and reused across the
+  // sweep (allocation per point used to dominate small sweeps).
+  DenseMatrix<std::complex<double>> a(n, n);
+  std::vector<std::complex<double>> rhs;
   for (double f : frequencies) {
     ++stats_.matrixSolves;
     const double omega = 2.0 * 3.14159265358979323846 * f;
-    DenseMatrix<std::complex<double>> a(n, n);
     a.setZero();
-    std::vector<std::complex<double>> rhs(static_cast<size_t>(n),
-                                          {0.0, 0.0});
+    rhs.assign(static_cast<size_t>(n), {0.0, 0.0});
     DenseAcStamper st(a, rhs);
     for (const auto& dev : ckt_.devices()) dev->loadAc(st, sop, omega);
 
@@ -445,30 +642,39 @@ NoiseResult Analyzer::noise(const std::vector<double>& frequencies,
   std::vector<double> prevPerSourcePsd(sources.size(), 0.0);
 
   const int n = unknownCount_;
+  const bool sparse = solver_ == SolverKind::kSparse;
+  // Dense scratch is hoisted out of the sweep; on the sparse path the
+  // per-frequency factorization reuses the cached pattern and ordering.
+  DenseMatrix<std::complex<double>> a(sparse ? 1 : n, sparse ? 1 : n);
+  std::vector<std::complex<double>> dummyRhs, rhs(static_cast<size_t>(n)),
+      x(static_cast<size_t>(n));
+  std::vector<int> perm;
   for (size_t k = 0; k < frequencies.size(); ++k) {
     ++stats_.matrixSolves;
     const double f = frequencies[k];
     const double omega = 2.0 * 3.14159265358979323846 * f;
-    DenseMatrix<std::complex<double>> a(n, n);
-    a.setZero();
-    std::vector<std::complex<double>> dummyRhs(static_cast<size_t>(n),
-                                               {0.0, 0.0});
-    DenseAcStamper st(a, dummyRhs);
-    for (const auto& dev : ckt_.devices()) dev->loadAc(st, sop, omega);
-    std::vector<int> perm;
-    if (!a.luFactor(perm))
-      throw Error("noise: singular system at f = " + std::to_string(f));
+    if (sparse) {
+      acSparseFactor(sop, omega, "noise");
+    } else {
+      a.setZero();
+      dummyRhs.assign(static_cast<size_t>(n), {0.0, 0.0});
+      DenseAcStamper st(a, dummyRhs);
+      for (const auto& dev : ckt_.devices()) dev->loadAc(st, sop, omega);
+      if (!a.luFactor(perm))
+        throw Error("noise: singular system at f = " + std::to_string(f));
+    }
 
     // Transfer impedance from each source to the output, reusing the
     // factorisation.
-    std::vector<std::complex<double>> rhs(static_cast<size_t>(n)),
-        x(static_cast<size_t>(n));
     for (size_t si = 0; si < sources.size(); ++si) {
       const auto& src = sources[si];
       std::fill(rhs.begin(), rhs.end(), std::complex<double>{0.0, 0.0});
       if (src.a > 0) rhs[static_cast<size_t>(src.a - 1)] += 1.0;
       if (src.b > 0) rhs[static_cast<size_t>(src.b - 1)] -= 1.0;
-      a.luSolve(perm, rhs, x);
+      if (sparse)
+        luAc_.solve(rhs, x);
+      else
+        a.luSolve(perm, rhs, x);
       const double h2 = std::norm(x[static_cast<size_t>(out - 1)]);
       const double psd = h2 * src.psdAt(f);
       perSourcePsd[si] = psd;

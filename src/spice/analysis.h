@@ -11,13 +11,32 @@
 //   auto vout = tr.voltage(ckt.findNode("out"));
 
 #include <complex>
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "spice/circuit.h"
+#include "spice/csr.h"
 #include "spice/solution.h"
+#include "spice/sparse_lu.h"
 
 namespace ahfic::spice {
+
+/// Matrix backend for the MNA solves.
+enum class SolverKind {
+  kAuto,          ///< dense up to kDenseBackendMaxUnknowns, else kSparse
+  kDense,         ///< dense LU (the correctness oracle)
+  kSparseLegacy,  ///< row-list SparseMatrix::solveInPlace (ablation baseline)
+  kSparse,        ///< structure-caching CSR SparseLU (csr.h / sparse_lu.h)
+};
+
+/// Unknown count above which kAuto switches from dense to the
+/// structure-caching sparse backend. Dense LU is O(n^3) per iteration
+/// but has unbeatable constants on small systems; the crossover sits
+/// around a hundred unknowns on current hardware (see BENCH_solver.json
+/// for the measured trajectory).
+inline constexpr int kDenseBackendMaxUnknowns = 128;
 
 /// Tolerances and iteration limits. Defaults follow SPICE conventions.
 struct AnalysisOptions {
@@ -26,7 +45,11 @@ struct AnalysisOptions {
   double abstol = 1e-9;    ///< absolute branch-current tolerance [A]
   double gmin = 1e-12;     ///< junction shunt conductance [S]
   int maxNewtonIters = 100;
-  bool useSparse = false;  ///< sparse matrix backend for real solves
+  /// Backend selection. kAuto picks dense or sparse by unknown count;
+  /// the legacy `useSparse` flag (kept for existing call sites) maps to
+  /// kSparseLegacy when `solver` is left at kAuto.
+  SolverKind solver = SolverKind::kAuto;
+  bool useSparse = false;  ///< legacy alias for solver = kSparseLegacy
   IntegMethod method = IntegMethod::kTrapezoidal;
   /// Damped-trapezoidal blend: 0 = pure trapezoidal (can sustain
   /// period-2 ringing on stiff switching circuits), 1 = backward Euler.
@@ -111,6 +134,14 @@ struct AnalyzerStats {
   long rejectedSteps = 0;
   long gminSteps = 0;
   long sourceSteps = 0;
+  /// kSparse backend only: positions added to the CSR pattern *after*
+  /// the initial structural priming pass (published as
+  /// `spice.sparse.pattern_inserts`). Steady-state Newton iteration
+  /// performs none — a nonzero value means a device stamped a position
+  /// the priming pass failed to predict.
+  long sparsePatternInserts = 0;
+  long sparseFullFactors = 0;  ///< pivoting factorizations (kSparse)
+  long sparseRefactors = 0;    ///< pattern-reusing refactorizations
 };
 
 /// Analysis driver bound to one Circuit. Building the unknown layout
@@ -157,6 +188,8 @@ class Analyzer {
 
   const AnalyzerStats& stats() const { return stats_; }
   const AnalysisOptions& options() const { return opts_; }
+  /// Backend actually in use (kAuto/useSparse resolved at construction).
+  SolverKind solverKind() const { return solver_; }
 
  private:
   struct NewtonOutcome {
@@ -186,8 +219,28 @@ class Analyzer {
   bool solveLinear(std::vector<double>& x);
   std::vector<double> opWithContext(LoadContext& ctx);
 
+  // kSparse backend (structure-caching CSR core).
+  /// Assemble + factor + solve for one Newton iteration; false on a
+  /// singular system.
+  bool sparseIterate(const Solution& x, const LoadContext& ctx,
+                     std::vector<double>& xNew);
+  /// Rebuilds the cached static (linear-device) value baseline when the
+  /// pattern epoch or the integrator coefficient changed.
+  void prepareSparseStatic(const Solution& x, const LoadContext& ctx);
+  /// Structural discovery: runs every device through a PatternStamper
+  /// under DC and transient contexts and builds the real-path pattern.
+  void primeSparsePattern();
+  /// Folds `pending` positions into `pat` (counts pattern inserts).
+  void growSparsePattern(CsrPattern& pat,
+                         std::vector<std::pair<int, int>>& pending);
+  void primeAcSparsePattern(const Solution& op);
+  /// Assembles the complex system at `omega` and factors it; throws on
+  /// singularity with `what` naming the analysis.
+  void acSparseFactor(const Solution& op, double omega, const char* what);
+
   Circuit& ckt_;
   AnalysisOptions opts_;
+  SolverKind solver_ = SolverKind::kDense;  ///< resolved backend
   int unknownCount_ = 0;
   int stateCount_ = 0;
   AnalyzerStats stats_;
@@ -200,6 +253,30 @@ class Analyzer {
   DenseMatrix<double> a_;
   SparseMatrix<double> as_;
   std::vector<double> rhs_;
+
+  // kSparse real path: pattern + slot-ordered values, the cached static
+  // baseline stamped by linear devices, and the solver bound to the
+  // pattern's current epoch.
+  CsrPattern pat_;
+  SparseLU<double> lu_;
+  std::vector<double> vals_, staticVals_, scratchRhs_;
+  std::vector<std::pair<int, int>> pending_;
+  bool patternPrimed_ = false;
+  bool staticValid_ = false;
+  std::uint64_t staticEpoch_ = 0;
+  double staticC0_ = 0.0;
+
+  // kSparse complex path (AC/noise sweeps).
+  CsrPattern patAc_;
+  SparseLU<std::complex<double>> luAc_;
+  std::vector<std::complex<double>> valsAc_, rhsAc_;
+  std::vector<std::pair<int, int>> pendingAc_;
+  bool patternAcPrimed_ = false;
+
+  // Device partition for the static/dynamic stamp split: linear devices
+  // have candidate-independent matrix stamps (static baseline + RHS-only
+  // pass per iteration); nonlinear devices restamp in full.
+  std::vector<Device*> linearDevs_, nonlinearDevs_;
 
   // Charge/flux states.
   std::vector<double> state_, statePrev_, dstatePrev_;

@@ -227,11 +227,12 @@ void Bjt::beginSolve(const Solution& x) {
 }
 
 void Bjt::load(Stamper& s, const Solution& x, const LoadContext& ctx) {
+  SlotWriter w(s, stampMemo());
   const int c = nodes()[0], b = nodes()[1], e = nodes()[2];
 
   // Parasitic resistances (base resistance handled after evaluation).
-  if (m_.rc > 0.0) s.addConductance(c, ci_, 1.0 / m_.rc);
-  if (m_.re > 0.0) s.addConductance(e, ei_, 1.0 / m_.re);
+  if (m_.rc > 0.0) w.addConductance(c, ci_, 1.0 / m_.rc);
+  if (m_.re > 0.0) w.addConductance(e, ei_, 1.0 / m_.re);
 
   // Junction voltages in model (NPN) polarity, with SPICE limiting.
   const double vbeCand = pol_ * x.diff(bi_, ei_);
@@ -245,38 +246,38 @@ void Bjt::load(Stamper& s, const Solution& x, const LoadContext& ctx) {
 
   const Eval ev = evaluate(vbe, vbc, ctx.gmin);
 
-  if (m_.rb > 0.0) s.addConductance(b, bi_, 1.0 / ev.rbEff);
+  if (m_.rb > 0.0) w.addConductance(b, bi_, 1.0 / ev.rbEff);
 
   // --- B-E junction branch (bi -> ei): i = ibe1/bf + ibe2 + gmin*vbe ---
   {
     const double g = ev.gbe1 / m_.bf + ev.gbe2 + ctx.gmin;
     const double i = ev.ibe1 / m_.bf + ev.ibe2 + ctx.gmin * vbe;
-    s.addConductance(bi_, ei_, g);
+    w.addConductance(bi_, ei_, g);
     const double ieq = pol_ * (i - g * vbe);
-    s.addRhs(bi_, -ieq);
-    s.addRhs(ei_, ieq);
+    w.addRhs(bi_, -ieq);
+    w.addRhs(ei_, ieq);
   }
   // --- B-C junction branch (bi -> ci) ---
   {
     const double g = ev.gbc1 / m_.br + ev.gbc2 + ctx.gmin;
     const double i = ev.ibc1 / m_.br + ev.ibc2 + ctx.gmin * vbc;
-    s.addConductance(bi_, ci_, g);
+    w.addConductance(bi_, ci_, g);
     const double ieq = pol_ * (i - g * vbc);
-    s.addRhs(bi_, -ieq);
-    s.addRhs(ci_, ieq);
+    w.addRhs(bi_, -ieq);
+    w.addRhs(ci_, ieq);
   }
   // --- Transport current source (ci -> ei): pol * icc ---
   {
     // d(pol*icc)/dV(bi) = gmf + gmr; /dV(ei) = -gmf; /dV(ci) = -gmr.
-    s.addA(ci_, bi_, ev.gmf + ev.gmr);
-    s.addA(ci_, ei_, -ev.gmf);
-    s.addA(ci_, ci_, -ev.gmr);
-    s.addA(ei_, bi_, -(ev.gmf + ev.gmr));
-    s.addA(ei_, ei_, ev.gmf);
-    s.addA(ei_, ci_, ev.gmr);
+    w.addA(ci_, bi_, ev.gmf + ev.gmr);
+    w.addA(ci_, ei_, -ev.gmf);
+    w.addA(ci_, ci_, -ev.gmr);
+    w.addA(ei_, bi_, -(ev.gmf + ev.gmr));
+    w.addA(ei_, ei_, ev.gmf);
+    w.addA(ei_, ci_, ev.gmr);
     const double ieq = pol_ * (ev.icc - ev.gmf * vbe - ev.gmr * vbc);
-    s.addRhs(ci_, -ieq);
-    s.addRhs(ei_, ieq);
+    w.addRhs(ci_, -ieq);
+    w.addRhs(ei_, ieq);
   }
 
   // --- Charge storage ---
@@ -289,10 +290,10 @@ void Bjt::load(Stamper& s, const Solution& x, const LoadContext& ctx) {
   if (ctx.c0 != 0.0) {
     auto stampCharge = [&](int p, int n, double cap, double dqdt, double v) {
       const double geq = cap * ctx.c0;
-      s.addConductance(p, n, geq);
+      w.addConductance(p, n, geq);
       const double ieq = pol_ * (dqdt - geq * v);
-      s.addRhs(p, -ieq);
-      s.addRhs(n, ieq);
+      w.addRhs(p, -ieq);
+      w.addRhs(n, ieq);
     };
     stampCharge(bi_, ei_, ch.cbe, dqbe, vbe);
     stampCharge(bi_, ci_, ch.cbc, dqbc, vbc);
@@ -302,6 +303,7 @@ void Bjt::load(Stamper& s, const Solution& x, const LoadContext& ctx) {
 }
 
 void Bjt::loadAc(AcStamper& s, const Solution& op, double omega) {
+  AcSlotWriter w(s, stampMemoAc());
   const int c = nodes()[0], b = nodes()[1], e = nodes()[2];
   const double vbe = pol_ * op.diff(bi_, ei_);
   const double vbc = pol_ * op.diff(bi_, ci_);
@@ -310,24 +312,24 @@ void Bjt::loadAc(AcStamper& s, const Solution& op, double omega) {
   const Eval ev = evaluate(vbe, vbc, 0.0);
   const Charges ch = charges(vbe, vbc, vcs, ev);
 
-  if (m_.rc > 0.0) s.addAdmittance(c, ci_, {1.0 / m_.rc, 0.0});
-  if (m_.re > 0.0) s.addAdmittance(e, ei_, {1.0 / m_.re, 0.0});
-  if (m_.rb > 0.0) s.addAdmittance(b, bi_, {1.0 / ev.rbEff, 0.0});
+  if (m_.rc > 0.0) w.addAdmittance(c, ci_, {1.0 / m_.rc, 0.0});
+  if (m_.re > 0.0) w.addAdmittance(e, ei_, {1.0 / m_.re, 0.0});
+  if (m_.rb > 0.0) w.addAdmittance(b, bi_, {1.0 / ev.rbEff, 0.0});
 
   const double gpi = ev.gbe1 / m_.bf + ev.gbe2;
   const double gmu = ev.gbc1 / m_.br + ev.gbc2;
-  s.addAdmittance(bi_, ei_, {gpi, omega * ch.cbe});
-  s.addAdmittance(bi_, ci_, {gmu, omega * ch.cbc});
-  s.addAdmittance(b, ci_, {0.0, omega * ch.cbx});
-  s.addAdmittance(sub_, ci_, {0.0, omega * ch.ccs});
+  w.addAdmittance(bi_, ei_, {gpi, omega * ch.cbe});
+  w.addAdmittance(bi_, ci_, {gmu, omega * ch.cbc});
+  w.addAdmittance(b, ci_, {0.0, omega * ch.cbx});
+  w.addAdmittance(sub_, ci_, {0.0, omega * ch.ccs});
 
   // Transport transconductances (polarity cancels: see load()).
-  s.addA(ci_, bi_, {ev.gmf + ev.gmr, 0.0});
-  s.addA(ci_, ei_, {-ev.gmf, 0.0});
-  s.addA(ci_, ci_, {-ev.gmr, 0.0});
-  s.addA(ei_, bi_, {-(ev.gmf + ev.gmr), 0.0});
-  s.addA(ei_, ei_, {ev.gmf, 0.0});
-  s.addA(ei_, ci_, {ev.gmr, 0.0});
+  w.addA(ci_, bi_, {ev.gmf + ev.gmr, 0.0});
+  w.addA(ci_, ei_, {-ev.gmf, 0.0});
+  w.addA(ci_, ci_, {-ev.gmr, 0.0});
+  w.addA(ei_, bi_, {-(ev.gmf + ev.gmr), 0.0});
+  w.addA(ei_, ei_, {ev.gmf, 0.0});
+  w.addA(ei_, ci_, {ev.gmr, 0.0});
 }
 
 void Bjt::appendNoise(std::vector<NoiseSourceDesc>& out,

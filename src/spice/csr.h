@@ -1,0 +1,103 @@
+#pragma once
+// Compressed-sparse-row sparsity pattern shared by the structure-caching
+// solver stack (sparse_lu.h) and the CSR stampers (stamp.h).
+//
+// The pattern is the piece of an MNA system that stays fixed while a
+// circuit is iterated: Newton iterations, transient steps and sweep
+// points all write different *values* into the same *positions*. A
+// CsrPattern therefore owns positions only; values live in a parallel
+// caller-owned array indexed by "slot" (the position of a column index
+// in colIdx()). Everything downstream — device stamp memos, the static
+// value baseline, the symbolic factorization — caches work keyed by the
+// pattern's epoch, a process-unique id bumped on every rebuild or
+// growth, so stale caches self-invalidate when the topology changes.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ahfic::spice {
+
+/// Sparsity pattern of an n x n matrix in CSR form (0-based rows/cols).
+class CsrPattern {
+ public:
+  CsrPattern() = default;
+
+  int size() const { return n_; }
+  size_t nonzeros() const { return colIdx_.size(); }
+
+  /// Process-unique id of this pattern revision; 0 only before the first
+  /// build(). Caches keyed by epoch never collide across patterns.
+  std::uint64_t epoch() const { return epoch_; }
+
+  const std::vector<int>& rowPtr() const { return rowPtr_; }
+  const std::vector<int>& colIdx() const { return colIdx_; }
+
+  /// Slot (value-array index) of entry (r, c), or -1 when the position
+  /// is outside the pattern.
+  int slot(int r, int c) const {
+    const auto first = colIdx_.begin() + rowPtr_[static_cast<size_t>(r)];
+    const auto last = colIdx_.begin() + rowPtr_[static_cast<size_t>(r) + 1];
+    const auto it = std::lower_bound(first, last, c);
+    if (it != last && *it == c)
+      return static_cast<int>(it - colIdx_.begin());
+    return -1;
+  }
+
+  /// (Re)builds the pattern from position pairs (duplicates are fine).
+  /// The full diagonal is always included so every pivot has a home even
+  /// when a device never stamps it. Bumps the epoch.
+  void build(int n, std::vector<std::pair<int, int>> entries) {
+    n_ = n;
+    for (int i = 0; i < n; ++i) entries.emplace_back(i, i);
+    std::sort(entries.begin(), entries.end());
+    entries.erase(std::unique(entries.begin(), entries.end()),
+                  entries.end());
+    rowPtr_.assign(static_cast<size_t>(n) + 1, 0);
+    colIdx_.clear();
+    colIdx_.reserve(entries.size());
+    for (const auto& [r, c] : entries) {
+      ++rowPtr_[static_cast<size_t>(r) + 1];
+      colIdx_.push_back(c);
+    }
+    for (int r = 0; r < n; ++r)
+      rowPtr_[static_cast<size_t>(r) + 1] += rowPtr_[static_cast<size_t>(r)];
+    epoch_ = nextEpoch();
+  }
+
+  /// Extends the pattern with additional positions, keeping existing
+  /// ones. Returns the number of genuinely new positions; bumps the
+  /// epoch only when something was added (all slots shift on growth).
+  size_t grow(const std::vector<std::pair<int, int>>& entries) {
+    std::vector<std::pair<int, int>> fresh;
+    for (const auto& [r, c] : entries)
+      if (slot(r, c) < 0) fresh.emplace_back(r, c);
+    std::sort(fresh.begin(), fresh.end());
+    fresh.erase(std::unique(fresh.begin(), fresh.end()), fresh.end());
+    if (fresh.empty()) return 0;
+    std::vector<std::pair<int, int>> all;
+    all.reserve(nonzeros() + fresh.size());
+    for (int r = 0; r < n_; ++r)
+      for (int p = rowPtr_[static_cast<size_t>(r)];
+           p < rowPtr_[static_cast<size_t>(r) + 1]; ++p)
+        all.emplace_back(r, colIdx_[static_cast<size_t>(p)]);
+    all.insert(all.end(), fresh.begin(), fresh.end());
+    build(n_, std::move(all));
+    return fresh.size();
+  }
+
+ private:
+  static std::uint64_t nextEpoch() {
+    static std::atomic<std::uint64_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  int n_ = 0;
+  std::vector<int> rowPtr_{0};
+  std::vector<int> colIdx_;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace ahfic::spice

@@ -141,11 +141,21 @@ class Device {
     (void)tempK;
   }
 
+ protected:
+  /// Slot memos for the CSR stamp path: load() and loadAc() wrap their
+  /// stamper in a SlotWriter bound to these, so each device caches the
+  /// value-array indices it stamps (one memo per scalar domain — the
+  /// real and complex patterns differ).
+  StampMemo& stampMemo() { return stampMemo_; }
+  StampMemo& stampMemoAc() { return stampMemoAc_; }
+
  private:
   std::string name_;
   std::vector<int> nodes_;
   int branchBase_ = -1;
   int stateBase_ = -1;
+  StampMemo stampMemo_;
+  StampMemo stampMemoAc_;
 };
 
 }  // namespace ahfic::spice

@@ -41,9 +41,10 @@ void Diode::beginSolve(const Solution& x) {
 }
 
 void Diode::load(Stamper& s, const Solution& x, const LoadContext& ctx) {
+  SlotWriter w(s, stampMemo());
   const int a = nodes()[0], c = nodes()[1];
   if (model_.rs > 0.0)
-    s.addConductance(a, aInt_, area_ / model_.rs);
+    w.addConductance(a, aInt_, area_ / model_.rs);
 
   // SPICE-style limiting: evaluate at a damped junction voltage.
   const double vCand = x.diff(aInt_, c);
@@ -54,7 +55,7 @@ void Diode::load(Stamper& s, const Solution& x, const LoadContext& ctx) {
   auto iv = junctionIV(v, model_.is * area_, vte_);
   const double gd = iv.g + ctx.gmin;
   const double id = iv.i + ctx.gmin * v;
-  s.addNonlinearBranch(aInt_, c, gd, id - gd * v);
+  w.addNonlinearBranch(aInt_, c, gd, id - gd * v);
 
   // Charge: depletion + diffusion (tt * id).
   const auto dep = depletionQC(v, model_.cj0 * area_, model_.vj, model_.m,
@@ -64,7 +65,7 @@ void Diode::load(Stamper& s, const Solution& x, const LoadContext& ctx) {
   const double dqdt = ctx.integrate(stateBase(), q);
   if (ctx.c0 != 0.0) {
     const double geq = cap * ctx.c0;
-    s.addNonlinearBranch(aInt_, c, geq, dqdt - geq * v);
+    w.addNonlinearBranch(aInt_, c, geq, dqdt - geq * v);
   }
 }
 
@@ -80,15 +81,16 @@ void Diode::appendNoise(std::vector<NoiseSourceDesc>& out,
 }
 
 void Diode::loadAc(AcStamper& s, const Solution& op, double omega) {
+  AcSlotWriter w(s, stampMemoAc());
   const int a = nodes()[0], c = nodes()[1];
   if (model_.rs > 0.0)
-    s.addAdmittance(a, aInt_, {area_ / model_.rs, 0.0});
+    w.addAdmittance(a, aInt_, {area_ / model_.rs, 0.0});
   const double v = op.diff(aInt_, c);
   const auto iv = junctionIV(v, model_.is * area_, vte_);
   const auto dep =
       depletionQC(v, model_.cj0 * area_, model_.vj, model_.m, model_.fc);
   const double cap = dep.c + model_.tt * iv.g;
-  s.addAdmittance(aInt_, c, {iv.g, omega * cap});
+  w.addAdmittance(aInt_, c, {iv.g, omega * cap});
 }
 
 }  // namespace ahfic::spice

@@ -81,10 +81,11 @@ Mosfet::Eval Mosfet::evaluate(double vgs, double vds, double vbs) const {
 }
 
 void Mosfet::load(Stamper& s, const Solution& x, const LoadContext& ctx) {
+  SlotWriter w(s, stampMemo());
   const int d = nodes()[0], g = nodes()[1], srcn = nodes()[2],
             b = nodes()[3];
-  if (m_.rd > 0.0) s.addConductance(d, di_, 1.0 / m_.rd);
-  if (m_.rs > 0.0) s.addConductance(srcn, si_, 1.0 / m_.rs);
+  if (m_.rd > 0.0) w.addConductance(d, di_, 1.0 / m_.rd);
+  if (m_.rs > 0.0) w.addConductance(srcn, si_, 1.0 / m_.rs);
 
   const double vgs = pol_ * x.diff(g, si_);
   const double vds = pol_ * x.diff(di_, si_);
@@ -96,19 +97,19 @@ void Mosfet::load(Stamper& s, const Solution& x, const LoadContext& ctx) {
   // d(pol*id)/dV(g) = gm; /dV(di) = gds; /dV(b) = gmb;
   // /dV(si) = -(gm + gds + gmb). Plus gmin to keep the matrix regular.
   const double gmin = ctx.gmin;
-  s.addA(di_, g, ev.gm);
-  s.addA(di_, di_, ev.gds + gmin);
-  s.addA(di_, b, ev.gmb);
-  s.addA(di_, si_, -(ev.gm + ev.gds + ev.gmb + gmin));
-  s.addA(si_, g, -ev.gm);
-  s.addA(si_, di_, -(ev.gds + gmin));
-  s.addA(si_, b, -ev.gmb);
-  s.addA(si_, si_, ev.gm + ev.gds + ev.gmb + gmin);
+  w.addA(di_, g, ev.gm);
+  w.addA(di_, di_, ev.gds + gmin);
+  w.addA(di_, b, ev.gmb);
+  w.addA(di_, si_, -(ev.gm + ev.gds + ev.gmb + gmin));
+  w.addA(si_, g, -ev.gm);
+  w.addA(si_, di_, -(ev.gds + gmin));
+  w.addA(si_, b, -ev.gmb);
+  w.addA(si_, si_, ev.gm + ev.gds + ev.gmb + gmin);
   const double iTot = ev.id + gmin * vds;
   const double ieq =
       pol_ * (iTot - ev.gm * vgs - ev.gds * vds - ev.gmb * vbs);
-  s.addRhs(di_, -ieq);
-  s.addRhs(si_, ieq);
+  w.addRhs(di_, -ieq);
+  w.addRhs(si_, ieq);
 
   // Charge storage: overlap + simplified intrinsic gate caps (2/3 C_ox in
   // saturation lumped onto G-S), fixed junction caps.
@@ -128,10 +129,10 @@ void Mosfet::load(Stamper& s, const Solution& x, const LoadContext& ctx) {
     auto stampCap = [&](int p, int n, double cap, double dqdt, double v) {
       if (cap <= 0.0) return;
       const double geq = cap * ctx.c0;
-      s.addConductance(p, n, geq);
+      w.addConductance(p, n, geq);
       const double ie = pol_ * (dqdt - geq * v);
-      s.addRhs(p, -ie);
-      s.addRhs(n, ie);
+      w.addRhs(p, -ie);
+      w.addRhs(n, ie);
     };
     stampCap(g, si_, cgs, dqgs, vgs);
     stampCap(g, di_, cgd, dqgd, vgd);
@@ -143,33 +144,34 @@ void Mosfet::load(Stamper& s, const Solution& x, const LoadContext& ctx) {
 }
 
 void Mosfet::loadAc(AcStamper& s, const Solution& op, double omega) {
+  AcSlotWriter w(s, stampMemoAc());
   const int d = nodes()[0], g = nodes()[1], srcn = nodes()[2],
             b = nodes()[3];
-  if (m_.rd > 0.0) s.addAdmittance(d, di_, {1.0 / m_.rd, 0.0});
-  if (m_.rs > 0.0) s.addAdmittance(srcn, si_, {1.0 / m_.rs, 0.0});
+  if (m_.rd > 0.0) w.addAdmittance(d, di_, {1.0 / m_.rd, 0.0});
+  if (m_.rs > 0.0) w.addAdmittance(srcn, si_, {1.0 / m_.rs, 0.0});
 
   const double vgs = pol_ * op.diff(g, si_);
   const double vds = pol_ * op.diff(di_, si_);
   const double vbs = pol_ * op.diff(b, si_);
   const Eval ev = evaluate(vgs, vds, vbs);
 
-  s.addA(di_, g, {ev.gm, 0.0});
-  s.addA(di_, di_, {ev.gds, 0.0});
-  s.addA(di_, b, {ev.gmb, 0.0});
-  s.addA(di_, si_, {-(ev.gm + ev.gds + ev.gmb), 0.0});
-  s.addA(si_, g, {-ev.gm, 0.0});
-  s.addA(si_, di_, {-ev.gds, 0.0});
-  s.addA(si_, b, {-ev.gmb, 0.0});
-  s.addA(si_, si_, {ev.gm + ev.gds + ev.gmb, 0.0});
+  w.addA(di_, g, {ev.gm, 0.0});
+  w.addA(di_, di_, {ev.gds, 0.0});
+  w.addA(di_, b, {ev.gmb, 0.0});
+  w.addA(di_, si_, {-(ev.gm + ev.gds + ev.gmb), 0.0});
+  w.addA(si_, g, {-ev.gm, 0.0});
+  w.addA(si_, di_, {-ev.gds, 0.0});
+  w.addA(si_, b, {-ev.gmb, 0.0});
+  w.addA(si_, si_, {ev.gm + ev.gds + ev.gmb, 0.0});
 
   const double cgs = m_.cgso * w_ + (2.0 / 3.0) * m_.cox * w_ * l_;
   const double cgd = m_.cgdo * w_;
   const double cgb = m_.cgbo * l_;
-  s.addAdmittance(g, si_, {0.0, omega * cgs});
-  s.addAdmittance(g, di_, {0.0, omega * cgd});
-  s.addAdmittance(g, b, {0.0, omega * cgb});
-  if (m_.cbd > 0.0) s.addAdmittance(b, di_, {0.0, omega * m_.cbd});
-  if (m_.cbs > 0.0) s.addAdmittance(b, si_, {0.0, omega * m_.cbs});
+  w.addAdmittance(g, si_, {0.0, omega * cgs});
+  w.addAdmittance(g, di_, {0.0, omega * cgd});
+  w.addAdmittance(g, b, {0.0, omega * cgb});
+  if (m_.cbd > 0.0) w.addAdmittance(b, di_, {0.0, omega * m_.cbd});
+  if (m_.cbs > 0.0) w.addAdmittance(b, si_, {0.0, omega * m_.cbs});
 }
 
 void Mosfet::appendNoise(std::vector<NoiseSourceDesc>& out,

@@ -716,6 +716,25 @@ class DeckParser {
     } else if (first == ".TEMP") {
       if (toks.size() < 2) throw ParseError(".TEMP needs a value", line);
       ckt_.setTemperatureC(num(toks[1], line, "temperature"));
+    } else if (first == ".OPTIONS" || first == ".OPTION") {
+      // Only the solver backend choice is interpreted; other options are
+      // tolerated (real-world decks carry plenty of simulator-specific
+      // flags).
+      for (size_t k = 1; k < toks.size(); ++k) {
+        const std::string up = util::toUpper(toks[k]);
+        if (up == "SPARSE") {
+          solverOption_ = "sparse";
+        } else if (up == "DENSE") {
+          solverOption_ = "dense";
+        } else if (up.rfind("SOLVER=", 0) == 0) {
+          const std::string v = util::toLower(up.substr(7));
+          if (v != "auto" && v != "dense" && v != "sparse" && v != "legacy")
+            throw ParseError("unknown SOLVER choice '" + v +
+                                 "' (auto/dense/sparse/legacy)",
+                             line);
+          solverOption_ = v;
+        }
+      }
     } else {
       throw ParseError("unsupported card '" + first + "'", line);
     }
@@ -729,15 +748,22 @@ class DeckParser {
   std::vector<PendingDiode> pendingDiodes_;
   std::vector<PendingMos> pendingMos_;
   std::vector<AnalysisRequest> analyses_;
+  std::string solverOption_;
   bool ended_ = false;
+
+ public:
+  const std::string& solverOption() const { return solverOption_; }
 };
 
 }  // namespace
 
 std::vector<AnalysisRequest> parseInto(Circuit& ckt, const std::string& text,
-                                       int lineOffset) {
+                                       int lineOffset,
+                                       std::string* solverOption) {
   DeckParser parser(ckt);
-  return parser.run(text, lineOffset);
+  auto analyses = parser.run(text, lineOffset);
+  if (solverOption != nullptr) *solverOption = parser.solverOption();
+  return analyses;
 }
 
 Deck parseDeck(const std::string& text) {
@@ -747,7 +773,7 @@ Deck parseDeck(const std::string& text) {
       util::trim(eol == std::string::npos ? text : text.substr(0, eol)));
   const std::string body =
       eol == std::string::npos ? std::string() : text.substr(eol + 1);
-  deck.analyses = parseInto(deck.circuit, body, 1);
+  deck.analyses = parseInto(deck.circuit, body, 1, &deck.solverOption);
   return deck;
 }
 

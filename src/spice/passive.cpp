@@ -17,11 +17,13 @@ void Resistor::setResistance(double ohms) {
 }
 
 void Resistor::load(Stamper& s, const Solution&, const LoadContext&) {
-  s.addConductance(nodes()[0], nodes()[1], 1.0 / ohms_);
+  SlotWriter w(s, stampMemo());
+  w.addConductance(nodes()[0], nodes()[1], 1.0 / ohms_);
 }
 
 void Resistor::loadAc(AcStamper& s, const Solution&, double) {
-  s.addAdmittance(nodes()[0], nodes()[1], {1.0 / ohms_, 0.0});
+  AcSlotWriter w(s, stampMemoAc());
+  w.addAdmittance(nodes()[0], nodes()[1], {1.0 / ohms_, 0.0});
 }
 
 void Resistor::appendNoise(std::vector<NoiseSourceDesc>& out,
@@ -49,11 +51,13 @@ void Capacitor::load(Stamper& s, const Solution& x, const LoadContext& ctx) {
   if (ctx.c0 == 0.0) return;  // DC: open circuit
   const double geq = farads_ * ctx.c0;
   // i = dqdt at v*, linearised: g = geq, ieq = dqdt - geq*v*
-  s.addNonlinearBranch(a, b, geq, dqdt - geq * v);
+  SlotWriter w(s, stampMemo());
+  w.addNonlinearBranch(a, b, geq, dqdt - geq * v);
 }
 
 void Capacitor::loadAc(AcStamper& s, const Solution&, double omega) {
-  s.addAdmittance(nodes()[0], nodes()[1], {0.0, omega * farads_});
+  AcSlotWriter w(s, stampMemoAc());
+  w.addAdmittance(nodes()[0], nodes()[1], {0.0, omega * farads_});
 }
 
 Inductor::Inductor(std::string name, int a, int b, double henries)
@@ -65,31 +69,33 @@ Inductor::Inductor(std::string name, int a, int b, double henries)
 void Inductor::load(Stamper& s, const Solution& x, const LoadContext& ctx) {
   const int a = nodes()[0], b = nodes()[1];
   const int br = branchId();
+  SlotWriter w(s, stampMemo());
   // KCL coupling: branch current leaves a, enters b.
-  s.addA(a, br, 1.0);
-  s.addA(b, br, -1.0);
+  w.addA(a, br, 1.0);
+  w.addA(b, br, -1.0);
   // Branch equation: v(a) - v(b) - dphi/dt = 0 with phi = L * I.
-  s.addA(br, a, 1.0);
-  s.addA(br, b, -1.0);
+  w.addA(br, a, 1.0);
+  w.addA(br, b, -1.0);
   const double current = x.at(br);
   const double phi = henries_ * current;
   const double dphidt = ctx.integrate(stateBase(), phi);
   if (ctx.c0 == 0.0) return;  // DC: short (v(a) - v(b) = 0)
   // dphi/dt linearised in I: d(dphidt)/dI = c0 * L.
   const double geq = ctx.c0 * henries_;
-  s.addA(br, br, -geq);
+  w.addA(br, br, -geq);
   // Residual constant: dphidt(I*) - geq*I* must move to the RHS.
-  s.addRhs(br, dphidt - geq * current);
+  w.addRhs(br, dphidt - geq * current);
 }
 
 void Inductor::loadAc(AcStamper& s, const Solution&, double omega) {
   const int a = nodes()[0], b = nodes()[1];
   const int br = branchId();
-  s.addA(a, br, {1.0, 0.0});
-  s.addA(b, br, {-1.0, 0.0});
-  s.addA(br, a, {1.0, 0.0});
-  s.addA(br, b, {-1.0, 0.0});
-  s.addA(br, br, {0.0, -omega * henries_});
+  AcSlotWriter w(s, stampMemoAc());
+  w.addA(a, br, {1.0, 0.0});
+  w.addA(b, br, {-1.0, 0.0});
+  w.addA(br, a, {1.0, 0.0});
+  w.addA(br, b, {-1.0, 0.0});
+  w.addA(br, br, {0.0, -omega * henries_});
 }
 
 }  // namespace ahfic::spice

@@ -142,6 +142,15 @@ void printNoise(const NoiseRequest& req, const NoiseResult& res,
   os << '\n';
 }
 
+/// Maps the deck's `.OPTIONS` solver string onto a backend; unknown or
+/// empty strings fall back to the size heuristic.
+SolverKind solverFromDeck(const std::string& option) {
+  if (option == "dense") return SolverKind::kDense;
+  if (option == "sparse") return SolverKind::kSparse;
+  if (option == "legacy") return SolverKind::kSparseLegacy;
+  return SolverKind::kAuto;
+}
+
 }  // namespace
 
 void runDeck(Deck& deck, std::ostream& os, const RunDeckOptions& options) {
@@ -150,8 +159,10 @@ void runDeck(Deck& deck, std::ostream& os, const RunDeckOptions& options) {
     os << "* no analyses requested; nothing to do\n";
     return;
   }
+  AnalysisOptions anOpts;
+  anOpts.solver = solverFromDeck(deck.solverOption);
   for (const auto& request : deck.analyses) {
-    Analyzer an(deck.circuit);
+    Analyzer an(deck.circuit, anOpts);
     if (std::holds_alternative<OpRequest>(request)) {
       printOp(deck.circuit, an.op(), os);
     } else if (const auto* dc = std::get_if<DcRequest>(&request)) {

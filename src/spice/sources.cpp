@@ -130,25 +130,27 @@ VSource::VSource(std::string name, int p, int n, double dc, double acMag,
               acPhaseDeg) {}
 
 void VSource::load(Stamper& s, const Solution&, const LoadContext& ctx) {
+  SlotWriter w(s, stampMemo());
   const int p = nodes()[0], n = nodes()[1], br = branchId();
-  s.addA(p, br, 1.0);
-  s.addA(n, br, -1.0);
-  s.addA(br, p, 1.0);
-  s.addA(br, n, -1.0);
+  w.addA(p, br, 1.0);
+  w.addA(n, br, -1.0);
+  w.addA(br, p, 1.0);
+  w.addA(br, n, -1.0);
   const double v = (ctx.mode == AnalysisMode::kTransient)
                        ? wave_->value(ctx.time)
                        : wave_->dcValue();
-  s.addRhs(br, ctx.srcScale * v);
+  w.addRhs(br, ctx.srcScale * v);
 }
 
 void VSource::loadAc(AcStamper& s, const Solution&, double) {
+  AcSlotWriter w(s, stampMemoAc());
   const int p = nodes()[0], n = nodes()[1], br = branchId();
-  s.addA(p, br, {1.0, 0.0});
-  s.addA(n, br, {-1.0, 0.0});
-  s.addA(br, p, {1.0, 0.0});
-  s.addA(br, n, {-1.0, 0.0});
+  w.addA(p, br, {1.0, 0.0});
+  w.addA(n, br, {-1.0, 0.0});
+  w.addA(br, p, {1.0, 0.0});
+  w.addA(br, n, {-1.0, 0.0});
   const double ph = acPhaseDeg_ * util::constants::kPi / 180.0;
-  s.addRhs(br, {acMag_ * std::cos(ph), acMag_ * std::sin(ph)});
+  w.addRhs(br, {acMag_ * std::cos(ph), acMag_ * std::sin(ph)});
 }
 
 ISource::ISource(std::string name, int p, int n,
@@ -167,58 +169,64 @@ ISource::ISource(std::string name, int p, int n, double dc, double acMag,
               acPhaseDeg) {}
 
 void ISource::load(Stamper& s, const Solution&, const LoadContext& ctx) {
+  SlotWriter w(s, stampMemo());
   const double i = ctx.srcScale * ((ctx.mode == AnalysisMode::kTransient)
                                        ? wave_->value(ctx.time)
                                        : wave_->dcValue());
   // Positive current flows p -> n through the source: out of node p's KCL,
   // into node n's.
-  s.addCurrent(nodes()[0], -i);
-  s.addCurrent(nodes()[1], i);
+  w.addCurrent(nodes()[0], -i);
+  w.addCurrent(nodes()[1], i);
 }
 
 void ISource::loadAc(AcStamper& s, const Solution&, double) {
+  AcSlotWriter w(s, stampMemoAc());
   const double ph = acPhaseDeg_ * util::constants::kPi / 180.0;
   const std::complex<double> i{acMag_ * std::cos(ph),
                                acMag_ * std::sin(ph)};
-  s.addRhs(nodes()[0], -i);
-  s.addRhs(nodes()[1], i);
+  w.addRhs(nodes()[0], -i);
+  w.addRhs(nodes()[1], i);
 }
 
 Vcvs::Vcvs(std::string name, int p, int n, int cp, int cn, double gain)
     : Device(std::move(name), {p, n, cp, cn}), gain_(gain) {}
 
 void Vcvs::load(Stamper& s, const Solution&, const LoadContext&) {
+  SlotWriter w(s, stampMemo());
   const int p = nodes()[0], n = nodes()[1], cp = nodes()[2], cn = nodes()[3];
   const int br = branchId();
-  s.addA(p, br, 1.0);
-  s.addA(n, br, -1.0);
-  s.addA(br, p, 1.0);
-  s.addA(br, n, -1.0);
-  s.addA(br, cp, -gain_);
-  s.addA(br, cn, gain_);
+  w.addA(p, br, 1.0);
+  w.addA(n, br, -1.0);
+  w.addA(br, p, 1.0);
+  w.addA(br, n, -1.0);
+  w.addA(br, cp, -gain_);
+  w.addA(br, cn, gain_);
 }
 
 void Vcvs::loadAc(AcStamper& s, const Solution&, double) {
+  AcSlotWriter w(s, stampMemoAc());
   const int p = nodes()[0], n = nodes()[1], cp = nodes()[2], cn = nodes()[3];
   const int br = branchId();
-  s.addA(p, br, {1.0, 0.0});
-  s.addA(n, br, {-1.0, 0.0});
-  s.addA(br, p, {1.0, 0.0});
-  s.addA(br, n, {-1.0, 0.0});
-  s.addA(br, cp, {-gain_, 0.0});
-  s.addA(br, cn, {gain_, 0.0});
+  w.addA(p, br, {1.0, 0.0});
+  w.addA(n, br, {-1.0, 0.0});
+  w.addA(br, p, {1.0, 0.0});
+  w.addA(br, n, {-1.0, 0.0});
+  w.addA(br, cp, {-gain_, 0.0});
+  w.addA(br, cn, {gain_, 0.0});
 }
 
 Vccs::Vccs(std::string name, int p, int n, int cp, int cn, double gm)
     : Device(std::move(name), {p, n, cp, cn}), gm_(gm) {}
 
 void Vccs::load(Stamper& s, const Solution&, const LoadContext&) {
+  SlotWriter w(s, stampMemo());
   // Current gm*v(cp,cn) flows p -> n through the source.
-  s.addTransconductance(nodes()[0], nodes()[1], nodes()[2], nodes()[3], gm_);
+  w.addTransconductance(nodes()[0], nodes()[1], nodes()[2], nodes()[3], gm_);
 }
 
 void Vccs::loadAc(AcStamper& s, const Solution&, double) {
-  s.addTransadmittance(nodes()[0], nodes()[1], nodes()[2], nodes()[3],
+  AcSlotWriter w(s, stampMemoAc());
+  w.addTransadmittance(nodes()[0], nodes()[1], nodes()[2], nodes()[3],
                        {gm_, 0.0});
 }
 
@@ -226,38 +234,42 @@ Cccs::Cccs(std::string name, int p, int n, const VSource& ctrl, double gain)
     : Device(std::move(name), {p, n}), ctrl_(ctrl), gain_(gain) {}
 
 void Cccs::load(Stamper& s, const Solution&, const LoadContext&) {
+  SlotWriter w(s, stampMemo());
   const int p = nodes()[0], n = nodes()[1], cbr = ctrl_.branchId();
-  s.addA(p, cbr, gain_);
-  s.addA(n, cbr, -gain_);
+  w.addA(p, cbr, gain_);
+  w.addA(n, cbr, -gain_);
 }
 
 void Cccs::loadAc(AcStamper& s, const Solution&, double) {
+  AcSlotWriter w(s, stampMemoAc());
   const int p = nodes()[0], n = nodes()[1], cbr = ctrl_.branchId();
-  s.addA(p, cbr, {gain_, 0.0});
-  s.addA(n, cbr, {-gain_, 0.0});
+  w.addA(p, cbr, {gain_, 0.0});
+  w.addA(n, cbr, {-gain_, 0.0});
 }
 
 Ccvs::Ccvs(std::string name, int p, int n, const VSource& ctrl, double r)
     : Device(std::move(name), {p, n}), ctrl_(ctrl), r_(r) {}
 
 void Ccvs::load(Stamper& s, const Solution&, const LoadContext&) {
+  SlotWriter w(s, stampMemo());
   const int p = nodes()[0], n = nodes()[1], br = branchId();
   const int cbr = ctrl_.branchId();
-  s.addA(p, br, 1.0);
-  s.addA(n, br, -1.0);
-  s.addA(br, p, 1.0);
-  s.addA(br, n, -1.0);
-  s.addA(br, cbr, -r_);
+  w.addA(p, br, 1.0);
+  w.addA(n, br, -1.0);
+  w.addA(br, p, 1.0);
+  w.addA(br, n, -1.0);
+  w.addA(br, cbr, -r_);
 }
 
 void Ccvs::loadAc(AcStamper& s, const Solution&, double) {
+  AcSlotWriter w(s, stampMemoAc());
   const int p = nodes()[0], n = nodes()[1], br = branchId();
   const int cbr = ctrl_.branchId();
-  s.addA(p, br, {1.0, 0.0});
-  s.addA(n, br, {-1.0, 0.0});
-  s.addA(br, p, {1.0, 0.0});
-  s.addA(br, n, {-1.0, 0.0});
-  s.addA(br, cbr, {-r_, 0.0});
+  w.addA(p, br, {1.0, 0.0});
+  w.addA(n, br, {-1.0, 0.0});
+  w.addA(br, p, {1.0, 0.0});
+  w.addA(br, n, {-1.0, 0.0});
+  w.addA(br, cbr, {-r_, 0.0});
 }
 
 }  // namespace ahfic::spice

@@ -254,3 +254,19 @@ TEST(ParseInto, SplicesIntoExistingCircuit) {
   sp::Solution s(&x);
   EXPECT_NEAR(s.at(ckt.findNode("mid")), 0.5, 1e-9);
 }
+
+TEST(ParserOptions, SolverChoiceReachesTheDeck) {
+  auto deck = sp::parseDeck(
+      "opts\nR1 in 0 1k\nV1 in 0 1\n.OPTIONS SOLVER=sparse\n.OP\n.END\n");
+  EXPECT_EQ(deck.solverOption, "sparse");
+  // Bare keyword spellings and the .OPTION singular both work; unknown
+  // options are tolerated (decks carry simulator-specific flags).
+  deck = sp::parseDeck(
+      "opts\nR1 in 0 1k\nV1 in 0 1\n.OPTION RELTOL=1e-4 DENSE\n.OP\n.END\n");
+  EXPECT_EQ(deck.solverOption, "dense");
+  deck = sp::parseDeck("opts\nR1 in 0 1k\nV1 in 0 1\n.OP\n.END\n");
+  EXPECT_TRUE(deck.solverOption.empty());
+  EXPECT_THROW(
+      sp::parseDeck("opts\nR1 in 0 1k\n.OPTIONS SOLVER=magic\n.END\n"),
+      ahfic::ParseError);
+}
