@@ -10,19 +10,23 @@
 // The sweep runs through the batch runner (one job per shape x current
 // point plus one peak-search job per shape); results are identical for
 // any worker count.
-// Usage: bench_fig9_ft_vs_ic [--jobs N] [--trace FILE] [--metrics FILE]
+// Usage: bench_fig9_ft_vs_ic [--jobs N] [--json FILE]
+//                            [--trace FILE] [--metrics FILE]
 
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "bjtgen/generator.h"
+#include "obs/bench.h"
 #include "obs/cli.h"
 #include "runner/engine.h"
 #include "runner/workloads.h"
+#include "util/json.h"
 #include "util/table.h"
 #include "util/units.h"
 
@@ -32,11 +36,14 @@ namespace u = ahfic::util;
 
 int main(int argc, char** argv) {
   int jobs = 0;  // 0 = hardware concurrency
+  std::string jsonPath;
   ahfic::obs::CliOptions obsOpts;
   for (int k = 1; k < argc; ++k) {
     if (obsOpts.consume(argc, argv, k)) continue;
     if (std::strcmp(argv[k], "--jobs") == 0 && k + 1 < argc)
       jobs = std::atoi(argv[++k]);
+    else if (std::strcmp(argv[k], "--json") == 0 && k + 1 < argc)
+      jsonPath = argv[++k];
   }
   obsOpts.begin();
 
@@ -94,6 +101,37 @@ int main(int argc, char** argv) {
                   u::fixed(shapes[s].emitterArea() * 1e12, 1) + " um^2"});
   }
   peaks.print(std::cout);
+
+  if (!jsonPath.empty()) {
+    // "ahfic-bench-fig9-v1" payload inside the common bench envelope:
+    // one entry per shape with its fT(Ic) curve and peak summary.
+    u::JsonValue payload = u::JsonValue::object();
+    payload.set("schema", "ahfic-bench-fig9-v1");
+    u::JsonValue jShapes = u::JsonValue::array();
+    for (size_t s = 0; s < shapes.size(); ++s) {
+      u::JsonValue e = u::JsonValue::object();
+      e.set("name", shapes[s].name());
+      e.set("emitterAreaUm2", shapes[s].emitterArea() * 1e12);
+      const auto& peak = batch.outcomes[sweepCount + s];
+      e.set("ftPeakHz", peak.ok() ? peak.result.get("ftPeak") : 0.0);
+      e.set("icPeakA", peak.ok() ? peak.result.get("icPeak") : 0.0);
+      u::JsonValue icArr = u::JsonValue::array();
+      u::JsonValue ftArr = u::JsonValue::array();
+      for (size_t k = 0; k < currents.size(); ++k) {
+        const auto& out = batch.outcomes[s * currents.size() + k];
+        if (!out.ok() || out.result.has("skipped")) continue;
+        icArr.push(currents[k]);
+        ftArr.push(out.result.get("ft"));
+      }
+      e.set("icA", std::move(icArr));
+      e.set("ftHz", std::move(ftArr));
+      jShapes.push(std::move(e));
+    }
+    payload.set("shapes", std::move(jShapes));
+    ahfic::obs::writeBenchFile(jsonPath, "fig9_ft_vs_ic", std::move(payload),
+                               ahfic::obs::benchTimestampUtc());
+    std::cout << "\nwrote " << jsonPath << "\n";
+  }
 
   const auto& m = batch.manifest;
   std::cout << "\nExpected shape (paper): peak fT roughly constant across "

@@ -20,6 +20,7 @@
 #include "bjtgen/ringosc.h"
 #include "celldb/database.h"
 #include "celldb/seed.h"
+#include "obs/bench.h"
 #include "obs/cli.h"
 #include "spice/analysis.h"
 #include "spice/circuit.h"
@@ -442,8 +443,8 @@ int runSolverAblation(const std::string& outPath) {
   ct.print(std::cout);
   std::cout << "\n";
 
-  std::ofstream f(outPath);
-  f << doc.dump(2) << "\n";
+  ahfic::obs::writeBenchFile(outPath, "solver_ablation", std::move(doc),
+                             ahfic::obs::benchTimestampUtc());
   std::cout << "wrote " << outPath << "\n";
   return 0;
 }

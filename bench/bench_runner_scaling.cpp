@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "bjtgen/generator.h"
+#include "obs/bench.h"
 #include "obs/cli.h"
 #include "runner/engine.h"
 #include "runner/workloads.h"
@@ -144,8 +145,8 @@ int main(int argc, char** argv) {
   }
   doc.set("workloads", std::move(workloads));
 
-  std::ofstream f(outPath);
-  f << doc.dump(2) << "\n";
+  ahfic::obs::writeBenchFile(outPath, "runner_scaling", std::move(doc),
+                             ahfic::obs::benchTimestampUtc());
   std::cout << "wrote " << outPath << "\n";
   if (hw < 4)
     std::cout << "note: fewer than 4 hardware threads available; wall-clock "

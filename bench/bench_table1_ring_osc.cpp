@@ -8,19 +8,23 @@
 // was N1.2-12D".
 //
 // One transient job per candidate shape, executed by the batch runner.
-// Usage: bench_table1_ring_osc [--jobs N] [--trace FILE] [--metrics FILE]
+// Usage: bench_table1_ring_osc [--jobs N] [--json FILE]
+//                              [--trace FILE] [--metrics FILE]
 
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "bjtgen/generator.h"
 #include "bjtgen/ringosc.h"
+#include "obs/bench.h"
 #include "obs/cli.h"
 #include "runner/engine.h"
 #include "runner/workloads.h"
+#include "util/json.h"
 #include "util/table.h"
 #include "util/units.h"
 
@@ -30,11 +34,14 @@ namespace u = ahfic::util;
 
 int main(int argc, char** argv) {
   int jobs = 0;
+  std::string jsonPath;
   ahfic::obs::CliOptions obsOpts;
   for (int k = 1; k < argc; ++k) {
     if (obsOpts.consume(argc, argv, k)) continue;
     if (std::strcmp(argv[k], "--jobs") == 0 && k + 1 < argc)
       jobs = std::atoi(argv[++k]);
+    else if (std::strcmp(argv[k], "--json") == 0 && k + 1 < argc)
+      jsonPath = argv[++k];
   }
   obsOpts.begin();
 
@@ -91,6 +98,27 @@ int main(int argc, char** argv) {
                "was N1.2-12D\" -> "
             << (best->shape == "N1.2-12D" ? "REPRODUCED" : "NOT reproduced")
             << "\n";
+
+  if (!jsonPath.empty()) {
+    u::JsonValue payload = u::JsonValue::object();
+    payload.set("schema", "ahfic-bench-table1-v1");
+    payload.set("bestShape", best->shape);
+    payload.set("bestFrequencyHz", best->freq);
+    u::JsonValue jRows = u::JsonValue::array();
+    for (const auto& r : rows) {
+      u::JsonValue e = u::JsonValue::object();
+      e.set("shape", r.shape);
+      e.set("frequencyHz", r.freq);
+      e.set("peakToPeakV", r.swing);
+      e.set("emitterAreaUm2", r.emitterSizeUm2);
+      jRows.push(std::move(e));
+    }
+    payload.set("shapes", std::move(jRows));
+    ahfic::obs::writeBenchFile(jsonPath, "table1_ring_osc",
+                               std::move(payload),
+                               ahfic::obs::benchTimestampUtc());
+    std::cout << "\nwrote " << jsonPath << "\n";
+  }
 
   const auto& m = batch.manifest;
   std::cout << "\n[runner] " << m.jobs.size() << " jobs on " << m.threads

@@ -2,12 +2,15 @@
 // without ever running a solver.
 //
 // Usage:
-//   ./lint_cli [--json FILE] [--quiet] file.sp [file.ahdl ...]
+//   ./lint_cli [--json FILE] [--quiet] [--diag FILE] [--explain]
+//              [file.sp file.ahdl ...]
 // Files ending in ".ahdl" go through the AHDL analyzers; everything else
 // is treated as a SPICE deck. Diagnostics print in compiler style, one
 // per line; `--json FILE` writes the merged "ahfic-lint-v1" document.
-// Exit status: 0 when no file has errors, 1 otherwise, 2 on usage or
-// I/O problems.
+// `--diag FILE` loads and validates an "ahfic-diag-v1" convergence
+// forensics report (as written by spice_cli --diag or the batch runner);
+// with `--explain` each report is rendered human-readably. Exit status:
+// 0 when no file has errors, 1 otherwise, 2 on usage or I/O problems.
 
 #include <cstring>
 #include <fstream>
@@ -18,6 +21,9 @@
 
 #include "lint/ahdl.h"
 #include "lint/netlist.h"
+#include "spice/forensics.h"
+#include "util/error.h"
+#include "util/json.h"
 
 namespace {
 
@@ -30,11 +36,17 @@ bool endsWith(const std::string& s, const std::string& suffix) {
 
 int main(int argc, char** argv) {
   std::string jsonPath;
+  std::string diagPath;
   bool quiet = false;
+  bool explain = false;
   std::vector<std::string> paths;
   for (int k = 1; k < argc; ++k) {
     if (std::strcmp(argv[k], "--json") == 0 && k + 1 < argc)
       jsonPath = argv[++k];
+    else if (std::strcmp(argv[k], "--diag") == 0 && k + 1 < argc)
+      diagPath = argv[++k];
+    else if (std::strcmp(argv[k], "--explain") == 0)
+      explain = true;
     else if (std::strcmp(argv[k], "--quiet") == 0)
       quiet = true;
     else if (argv[k][0] == '-') {
@@ -44,10 +56,36 @@ int main(int argc, char** argv) {
       paths.emplace_back(argv[k]);
     }
   }
-  if (paths.empty()) {
+  if (paths.empty() && diagPath.empty()) {
     std::cerr << "usage: lint_cli [--json FILE] [--quiet] "
-                 "file.sp [file.ahdl ...]\n";
+                 "[--diag FILE] [--explain] file.sp [file.ahdl ...]\n";
     return 2;
+  }
+
+  if (!diagPath.empty()) {
+    // Validate (and optionally explain) a convergence forensics report.
+    std::ifstream f(diagPath);
+    if (!f) {
+      std::cerr << "cannot open '" << diagPath << "'\n";
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    std::vector<ahfic::spice::DiagReport> reports;
+    try {
+      reports =
+          ahfic::spice::diagReportsFromJson(ahfic::util::parseJson(ss.str()));
+    } catch (const ahfic::Error& e) {
+      std::cerr << diagPath << ": invalid ahfic-diag-v1 document: "
+                << e.what() << "\n";
+      return 2;
+    }
+    if (!quiet)
+      std::cout << "[diag] " << diagPath << ": " << reports.size()
+                << " valid ahfic-diag-v1 report(s)\n";
+    if (explain)
+      for (const auto& r : reports) std::cout << r.renderText();
+    if (paths.empty()) return 0;
   }
 
   ahfic::lint::LintReport merged;

@@ -1,0 +1,11 @@
+Deliberately non-convergent deck (CI forensics smoke test)
+* Node "b" is reachable only through capacitors, so the DC operating
+* point matrix is singular at every homotopy rung: Newton, gmin
+* stepping and source stepping all fail, and the solver must emit an
+* "ahfic-diag-v1" report naming V(b) as the floating unknown.
+V1 in 0 DC 1
+R1 in a 1k
+C1 a b 1p
+C2 b 0 1p
+.OP
+.END

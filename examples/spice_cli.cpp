@@ -5,7 +5,8 @@
 //
 // Usage:
 //   ./spice_cli [--jobs N] [--trace FILE] [--metrics FILE]
-//               [--lint] [--lint-json FILE] [deck.sp ...]
+//               [--lint] [--lint-json FILE]
+//               [--diag FILE] [--explain] [deck.sp ...]
 // With no deck a built-in demo deck (the Fig. 11-style ECL gate) runs.
 // Several decks are executed as one batch through the job engine — N
 // worker threads (default: hardware concurrency), each deck's listing
@@ -15,6 +16,11 @@
 // touching the solver. `--lint` stops after the lint stage (exit 1 on
 // any error) and `--lint-json FILE` additionally writes the merged
 // "ahfic-lint-v1" report.
+//
+// Convergence forensics: `--diag FILE` enables per-iteration telemetry
+// and writes every convergence-failure report ("ahfic-diag-v1") to FILE;
+// `--explain` prints the same reports human-readably on stderr. Both
+// flags work for single decks and batches.
 
 #include <cstdlib>
 #include <cstring>
@@ -26,9 +32,13 @@
 #include "lint/netlist.h"
 #include "obs/cli.h"
 #include "runner/engine.h"
+#include "spice/forensics.h"
 #include "spice/rundeck.h"
+#include "util/json.h"
 
 namespace rn = ahfic::runner;
+namespace sp = ahfic::spice;
+namespace u = ahfic::util;
 
 namespace {
 
@@ -58,12 +68,27 @@ X1 inp inn outp outn vcc eclstage
 .END
 )";
 
+/// Writes the collected failure reports as one "ahfic-diag-v1" envelope.
+/// Returns false (after printing to stderr) when FILE cannot be written.
+bool writeDiagFile(const std::string& path,
+                   const std::vector<sp::DiagReport>& reports) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write '" << path << "'\n";
+    return false;
+  }
+  out << sp::diagEnvelope(reports).dump(2) << "\n";
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   int jobs = 0;
   bool lintOnly = false;
+  bool explain = false;
   std::string lintJsonPath;
+  std::string diagPath;
   ahfic::obs::CliOptions obsOpts;
   std::vector<std::string> deckPaths;
   for (int k = 1; k < argc; ++k) {
@@ -75,10 +100,15 @@ int main(int argc, char** argv) {
     else if (std::strcmp(argv[k], "--lint-json") == 0 && k + 1 < argc) {
       lintOnly = true;
       lintJsonPath = argv[++k];
-    } else {
+    } else if (std::strcmp(argv[k], "--diag") == 0 && k + 1 < argc)
+      diagPath = argv[++k];
+    else if (std::strcmp(argv[k], "--explain") == 0)
+      explain = true;
+    else {
       deckPaths.emplace_back(argv[k]);
     }
   }
+  const bool wantDiag = !diagPath.empty() || explain;
   obsOpts.begin();
 
   std::vector<std::pair<std::string, std::string>> decks;  // label, text
@@ -121,13 +151,29 @@ int main(int argc, char** argv) {
 
   if (decks.size() == 1) {
     // Single deck: stream directly, exactly the classic behaviour.
+    sp::RunDeckOptions rdOpts;
+    rdOpts.analysis.forensics = wantDiag;
     try {
-      auto deck = ahfic::spice::parseDeck(decks[0].second);
-      ahfic::spice::runDeck(deck, std::cout);
+      auto deck = sp::parseDeck(decks[0].second);
+      sp::runDeck(deck, std::cout, rdOpts);
+    } catch (const ahfic::ConvergenceError& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      std::vector<sp::DiagReport> reports;
+      if (e.diag() != nullptr) {
+        try {
+          reports.push_back(sp::DiagReport::fromJson(u::parseJson(*e.diag())));
+        } catch (const ahfic::Error&) {
+        }
+      }
+      if (explain)
+        for (const sp::DiagReport& r : reports) std::cerr << r.renderText();
+      if (!diagPath.empty() && !writeDiagFile(diagPath, reports)) return 2;
+      return 1;
     } catch (const std::exception& e) {
       std::cerr << "error: " << e.what() << "\n";
       return 1;
     }
+    if (!diagPath.empty() && !writeDiagFile(diagPath, {})) return 2;
     obsOpts.finish(std::cout);
     return 0;
   }
@@ -143,10 +189,14 @@ int main(int argc, char** argv) {
     job.preflight = [&decks, k] {
       return ahfic::lint::lintDeckText(decks[k].second);
     };
-    job.run = [&listings, &decks, k](rn::JobContext&) {
+    job.run = [&listings, &decks, k](rn::JobContext& ctx) {
       std::ostringstream out;
-      auto deck = ahfic::spice::parseDeck(decks[k].second);
-      ahfic::spice::runDeck(deck, out);
+      auto deck = sp::parseDeck(decks[k].second);
+      // The engine's retry ladder (and --diag forensics) arrive through
+      // the per-attempt analysis options.
+      sp::RunDeckOptions rdOpts;
+      rdOpts.analysis = ctx.options;
+      sp::runDeck(deck, out, rdOpts);
       listings[k] = out.str();
       return rn::JobResult{};
     };
@@ -160,6 +210,7 @@ int main(int argc, char** argv) {
   const auto batch = runner.run(batchJobs);
 
   int failures = 0;
+  std::vector<sp::DiagReport> reports;
   for (size_t k = 0; k < decks.size(); ++k) {
     std::cout << "===== " << decks[k].first << " =====\n";
     const auto& out = batch.outcomes[k];
@@ -176,8 +227,21 @@ int main(int argc, char** argv) {
       ++failures;
       std::cout << "error: " << out.record.error << "\n";
     }
+    // Collect the per-attempt diag attachments the engine recorded.
+    if (wantDiag && out.record.diags.isArray()) {
+      for (size_t d = 0; d < out.record.diags.size(); ++d) {
+        try {
+          reports.push_back(
+              sp::DiagReport::fromJson(out.record.diags.at(d).get("report")));
+        } catch (const ahfic::Error&) {
+        }
+      }
+    }
     std::cout << "\n";
   }
+  if (explain)
+    for (const sp::DiagReport& r : reports) std::cerr << r.renderText();
+  if (!diagPath.empty() && !writeDiagFile(diagPath, reports)) return 2;
   std::cout << "[runner] " << decks.size() << " deck(s) on "
             << batch.manifest.threads << " thread(s), " << failures
             << " failed\n";

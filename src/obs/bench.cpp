@@ -1,0 +1,49 @@
+#include "obs/bench.h"
+
+#include <ctime>
+#include <fstream>
+#include <utility>
+
+#include "util/error.h"
+
+namespace ahfic::obs {
+
+std::string buildGitRev() {
+#ifdef AHFIC_GIT_REV
+  return AHFIC_GIT_REV;
+#else
+  return "unknown";
+#endif
+}
+
+std::string benchTimestampUtc() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+util::JsonValue benchEnvelope(const std::string& name,
+                              util::JsonValue payload,
+                              const std::string& timestamp) {
+  util::JsonValue v = util::JsonValue::object();
+  v.set("schema", "ahfic-bench-v1");
+  v.set("name", name);
+  v.set("gitRev", buildGitRev());
+  v.set("timestamp", timestamp);
+  v.set("payload", std::move(payload));
+  return v;
+}
+
+void writeBenchFile(const std::string& path, const std::string& name,
+                    util::JsonValue payload, const std::string& timestamp) {
+  std::ofstream f(path);
+  if (!f) throw Error("writeBenchFile: cannot write '" + path + "'");
+  f << benchEnvelope(name, std::move(payload), timestamp).dump(2) << "\n";
+  if (!f.good())
+    throw Error("writeBenchFile: write to '" + path + "' failed");
+}
+
+}  // namespace ahfic::obs

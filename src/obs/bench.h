@@ -1,0 +1,42 @@
+#pragma once
+// Common "ahfic-bench-v1" envelope for every bench_* JSON artifact, so
+// the recorded perf trajectory is self-describing: which bench, which
+// git revision, when it ran. The bench-specific document goes under
+// "payload" with its own schema tag (e.g. "ahfic-bench-solver-v1"), so
+// existing per-bench consumers only have to descend one level.
+//
+//   {
+//     "schema": "ahfic-bench-v1",
+//     "name": "solver_ablation",
+//     "gitRev": "<12-hex or unknown>",
+//     "timestamp": "<caller-populated ISO-8601 UTC, or "">",
+//     "payload": { "schema": "ahfic-bench-solver-v1", ... }
+//   }
+
+#include <string>
+
+#include "util/json.h"
+
+namespace ahfic::obs {
+
+/// Git revision the binary was configured from, baked in at build time
+/// ("unknown" outside a git checkout).
+std::string buildGitRev();
+
+/// Current UTC wall time as "YYYY-MM-DDTHH:MM:SSZ". The envelope keeps
+/// the timestamp caller-populated so benches that must stay
+/// deterministic can pass "" instead.
+std::string benchTimestampUtc();
+
+/// Wraps `payload` in the envelope above.
+util::JsonValue benchEnvelope(const std::string& name,
+                              util::JsonValue payload,
+                              const std::string& timestamp = "");
+
+/// Writes the enveloped payload to `path` (pretty-printed, trailing
+/// newline). Throws ahfic::Error on I/O failure.
+void writeBenchFile(const std::string& path, const std::string& name,
+                    util::JsonValue payload,
+                    const std::string& timestamp = "");
+
+}  // namespace ahfic::obs

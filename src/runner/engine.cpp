@@ -17,9 +17,11 @@ namespace {
 struct EngineMetrics {
   obs::Counter jobsCompleted = obs::counter("runner.jobs_completed");
   obs::Counter jobsFailed = obs::counter("runner.jobs_failed");
+  obs::Counter jobsRejected = obs::counter("runner.jobs_rejected");
   obs::Counter cacheHits = obs::counter("runner.cache_hits");
   obs::Counter cacheMisses = obs::counter("runner.cache_misses");
   obs::Counter retries = obs::counter("runner.retries");
+  obs::Counter diagAttached = obs::counter("diag.attached");
   obs::Counter lintPreflights = obs::counter("lint.preflights");
   obs::Counter lintRejected = obs::counter("lint.rejected");
   obs::Gauge queueDepth = obs::gauge("runner.queue_depth");
@@ -96,6 +98,11 @@ JobOutcome BatchRunner::runOne(const Job& job, size_t index, int worker) {
       out.record.wallMs = msSince(tLint);
       out.result = JobResult{};
       em.lintRejected.add();
+      // Rejections get their own terminal counter — they are neither
+      // completions nor solver failures, and the batch-window metrics
+      // must let dashboards tell "statically doomed" (jobs_rejected)
+      // apart from "dynamically failed" (jobs_failed).
+      em.jobsRejected.add();
       span.note("rejected", 1.0);
       return out;
     }
@@ -118,6 +125,7 @@ JobOutcome BatchRunner::runOne(const Job& job, size_t index, int worker) {
   for (int rung = 0; rung < opts_.ladder.rungCount(); ++rung) {
     JobContext ctx;
     ctx.options = opts_.ladder.rung(rung).options;
+    if (opts_.diagnostics) ctx.options.forensics = true;
     ctx.seed = seed;
     ctx.rung = rung;
     ++out.record.attempts;
@@ -140,8 +148,23 @@ JobOutcome BatchRunner::runOne(const Job& job, size_t index, int worker) {
       span.note("rung", rung);
       return out;
     } catch (const ConvergenceError& e) {
-      // Escalate; remember the message in case every rung fails.
+      // Escalate; remember the message in case every rung fails, and
+      // attach the attempt's forensics report to the manifest record.
       out.record.error = e.what();
+      if (e.diag() != nullptr) {
+        try {
+          util::JsonValue entry = util::JsonValue::object();
+          entry.set("rung", rung);
+          entry.set("rungName", opts_.ladder.rung(rung).name);
+          entry.set("report", util::parseJson(*e.diag()));
+          if (!out.record.diags.isArray())
+            out.record.diags = util::JsonValue::array();
+          out.record.diags.push(std::move(entry));
+          em.diagAttached.add();
+        } catch (const Error&) {
+          // A malformed payload must never take the batch down.
+        }
+      }
     } catch (const std::exception& e) {
       // Not a convergence problem: retrying cannot help.
       out.record.status = JobStatus::kFailed;

@@ -46,6 +46,12 @@ struct RunnerOptions {
   /// Optional on-disk cache: loaded before the batch (if present) and
   /// rewritten after it. Empty = in-memory only.
   std::string cacheFile;
+  /// Convergence diagnostics: every solver attempt runs with forensics
+  /// recording (AnalysisOptions::forensics), and each failed attempt's
+  /// "ahfic-diag-v1" report is attached to the job's manifest record
+  /// (JobRecord::diags) with the rung that produced it — so a retried or
+  /// exhausted job tells you *what* broke, not just that it escalated.
+  bool diagnostics = true;
 };
 
 /// What the batch hands back for one job.

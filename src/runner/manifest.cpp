@@ -88,6 +88,7 @@ util::JsonValue RunManifest::toJson() const {
     e.set("rejectedSteps", j.rejectedSteps);
     e.set("worker", j.worker);
     if (!j.error.empty()) e.set("error", j.error);
+    if (j.diags.isArray() && j.diags.size() > 0) e.set("diags", j.diags);
     arr.push(std::move(e));
   }
   doc.set("jobs", std::move(arr));

@@ -45,6 +45,12 @@ struct JobRecord {
   long rejectedSteps = 0;
   int worker = 0;          ///< informational; varies run to run
   std::string error;       ///< failure message when status == kFailed
+  /// Per-attempt convergence-forensics attachments (JSON array of
+  /// {rung, rungName, report} with "ahfic-diag-v1" report objects),
+  /// populated by the engine when RunnerOptions::diagnostics is on and
+  /// an attempt threw a ConvergenceError carrying a report. Null (and
+  /// omitted from the manifest) otherwise.
+  util::JsonValue diags;
 };
 
 /// Whole-batch record.

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <memory>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "spice/forensics.h"
 #include "spice/sources.h"
 #include "util/error.h"
 
@@ -80,9 +82,13 @@ std::vector<double> linspace(double start, double stop, int points) {
   return out;
 }
 
+Analyzer::~Analyzer() = default;
+
 Analyzer::Analyzer(Circuit& ckt, AnalysisOptions opts)
     : ckt_(ckt), opts_(opts) {
   buildLayout();
+  if (opts_.forensics)
+    fx_ = std::make_unique<ForensicsRecorder>(opts_.forensicsDepth);
   solver_ = opts_.solver;
   if (solver_ == SolverKind::kAuto && opts_.useSparse)
     solver_ = SolverKind::kSparseLegacy;
@@ -199,6 +205,9 @@ bool Analyzer::sparseIterate(const Solution& x, const LoadContext& ctx,
   if (!lu_.analyzedFor(pat_.epoch())) lu_.analyze(pat_);
   switch (lu_.factor(vals_)) {
     case SparseLU<double>::FactorOutcome::kSingular:
+      lastSingularUnknown_ = lu_.lastSingularColumn() >= 0
+                                 ? lu_.lastSingularColumn() + 1
+                                 : 0;
       return false;
     case SparseLU<double>::FactorOutcome::kFullFactor:
       ++stats_.sparseFullFactors;
@@ -240,12 +249,37 @@ bool Analyzer::solveLinear(std::vector<double>& x) {
   ++stats_.matrixSolves;
   if (solver_ == SolverKind::kSparseLegacy) {
     std::vector<double> b = rhs_;
-    return as_.solveInPlace(b, x);
+    return as_.solveInPlace(b, x);  // no per-column attribution available
   }
   std::vector<int> perm;
-  if (!a_.luFactor(perm)) return false;
+  int singularCol = -1;
+  if (!a_.luFactor(perm, &singularCol)) {
+    lastSingularUnknown_ = singularCol >= 0 ? singularCol + 1 : 0;
+    return false;
+  }
   a_.luSolve(perm, rhs_, x);
   return true;
+}
+
+void Analyzer::resetStats() {
+  stats_ = AnalyzerStats{};
+  published_ = AnalyzerStats{};
+  lastSingularUnknown_ = 0;
+  if (fx_) fx_->reset();
+}
+
+void Analyzer::throwConvergence(const char* stage, double stageValue,
+                                const std::string& message) {
+  if (!fx_) throw ConvergenceError(message);
+  const DiagReport report =
+      buildDiagReport(ckt_, *fx_, analysisLabel_, stage, stageValue, message,
+                      unknownCount_, lastSingularUnknown_);
+  if (obs::metricsEnabled()) {
+    static const obs::Counter cReports = obs::counter("diag.reports");
+    cReports.add(1);
+  }
+  throw ConvergenceError(
+      message, std::make_shared<const std::string>(report.toJson().dump(2)));
 }
 
 void Analyzer::publishStats(const char* analysis) {
@@ -266,9 +300,9 @@ void Analyzer::publishStats(const char* analysis) {
       obs::counter("spice.newton_iterations");
   static const obs::Counter cSolves = obs::counter("spice.matrix_solves");
   static const obs::Counter cAccepted =
-      obs::counter("spice.tran_accepted_steps");
+      obs::counter("spice.transient.steps_accepted");
   static const obs::Counter cRejected =
-      obs::counter("spice.tran_rejected_steps");
+      obs::counter("spice.transient.steps_rejected");
   static const obs::Counter cGmin = obs::counter("spice.gmin_steps");
   static const obs::Counter cSource = obs::counter("spice.source_steps");
   static const obs::Counter cInserts =
@@ -305,7 +339,7 @@ Analyzer::NewtonOutcome Analyzer::newton(std::vector<double>& x,
   span.note("iters", out.iterations);
   span.note("converged", out.converged ? 1.0 : 0.0);
   static const obs::Histogram hIters =
-      obs::histogram("spice.newton_iters_per_solve");
+      obs::histogram("spice.newton.iterations");
   hIters.observe(out.iterations);
   return out;
 }
@@ -327,6 +361,10 @@ Analyzer::NewtonOutcome Analyzer::newtonInner(std::vector<double>& x,
 
     bool anyLimited = false;
     ctx.limited = &anyLimited;
+    if (fx_) {
+      fx_->limitScratch()->clear();
+      ctx.limitLog = fx_->limitScratch();
+    }
     Solution sx(&x);
     bool solved;
     if (solver_ == SolverKind::kSparse) {
@@ -350,23 +388,57 @@ Analyzer::NewtonOutcome Analyzer::newtonInner(std::vector<double>& x,
       solved = solveLinear(xNew);
     }
     ctx.limited = nullptr;
+    ctx.limitLog = nullptr;
 
-    if (!solved) return out;  // singular: not converged
+    if (!solved) {
+      // Singular system: record the failing pivot's unknown so the
+      // report can name the floating node, then give up on this solve.
+      if (fx_)
+        fx_->recordIteration(0.0, 0.0, lastSingularUnknown_, anyLimited,
+                             /*singular=*/true);
+      return out;
+    }
 
     // Convergence: every unknown moved less than its tolerance, and no
-    // device had to limit its junction voltage this iteration.
+    // device had to limit its junction voltage this iteration. The
+    // forensics path keeps scanning after the first failure so the
+    // worst-offender attribution covers every unknown; the regular path
+    // keeps its early exit.
     bool converged = !anyLimited;
-    for (int i = 0; i < n; ++i) {
-      const double oldV = x[static_cast<size_t>(i)];
-      const double newV = xNew[static_cast<size_t>(i)];
-      const bool isVoltage = (i + 1) < ckt_.nodeCount();
-      const double tol =
-          (isVoltage ? opts_.vntol : opts_.abstol) +
-          opts_.reltol * std::max(std::fabs(oldV), std::fabs(newV));
-      if (std::fabs(newV - oldV) > tol) {
-        converged = false;
-        break;
+    if (fx_ == nullptr) {
+      for (int i = 0; i < n; ++i) {
+        const double oldV = x[static_cast<size_t>(i)];
+        const double newV = xNew[static_cast<size_t>(i)];
+        const bool isVoltage = (i + 1) < ckt_.nodeCount();
+        const double tol =
+            (isVoltage ? opts_.vntol : opts_.abstol) +
+            opts_.reltol * std::max(std::fabs(oldV), std::fabs(newV));
+        if (std::fabs(newV - oldV) > tol) {
+          converged = false;
+          break;
+        }
       }
+    } else {
+      double maxDelta = 0.0, worstRatio = 0.0;
+      int worstUnknown = 0;
+      for (int i = 0; i < n; ++i) {
+        const double oldV = x[static_cast<size_t>(i)];
+        const double newV = xNew[static_cast<size_t>(i)];
+        const bool isVoltage = (i + 1) < ckt_.nodeCount();
+        const double tol =
+            (isVoltage ? opts_.vntol : opts_.abstol) +
+            opts_.reltol * std::max(std::fabs(oldV), std::fabs(newV));
+        const double delta = std::fabs(newV - oldV);
+        if (delta > tol) converged = false;
+        if (delta > maxDelta) maxDelta = delta;
+        const double ratio = delta / tol;
+        if (ratio > worstRatio) {
+          worstRatio = ratio;
+          worstUnknown = i + 1;
+        }
+      }
+      fx_->recordIteration(maxDelta, worstRatio, worstUnknown, anyLimited,
+                           /*singular=*/false);
     }
     x = xNew;
     if (converged && iter > 0) {
@@ -385,11 +457,20 @@ Analyzer::NewtonOutcome Analyzer::newtonInner(std::vector<double>& x,
 
 std::vector<double> Analyzer::opWithContext(LoadContext& ctx) {
   std::vector<double> x(static_cast<size_t>(unknownCount_), 0.0);
+  // The last continuation stage that failed, for the diag report.
+  const char* failStage = "newton";
+  double failValue = opts_.gmin;
 
   // 1. Plain Newton from zero.
   ctx.gmin = opts_.gmin;
   ctx.srcScale = 1.0;
-  if (newton(x, ctx).converged) return x;
+  {
+    const NewtonOutcome nw = newton(x, ctx);
+    if (fx_)
+      fx_->recordContinuation("newton", opts_.gmin, nw.converged,
+                              nw.iterations);
+    if (nw.converged) return x;
+  }
 
   // 2. Gmin stepping: solve with a large junction shunt, then relax it.
   {
@@ -398,13 +479,26 @@ std::vector<double> Analyzer::opWithContext(LoadContext& ctx) {
     for (double g = 1e-2; g >= opts_.gmin * 0.99; g /= 10.0) {
       ctx.gmin = g;
       ++stats_.gminSteps;
-      if (!newton(xg, ctx).converged) {
+      const NewtonOutcome nw = newton(xg, ctx);
+      if (fx_)
+        fx_->recordContinuation("gmin-step", g, nw.converged, nw.iterations);
+      if (!nw.converged) {
+        failStage = "gmin-step";
+        failValue = g;
         ok = false;
         break;
       }
     }
     ctx.gmin = opts_.gmin;
-    if (ok && newton(xg, ctx).converged) return xg;
+    if (ok) {
+      const NewtonOutcome nw = newton(xg, ctx);
+      if (fx_)
+        fx_->recordContinuation("gmin-step", opts_.gmin, nw.converged,
+                                nw.iterations);
+      if (nw.converged) return xg;
+      failStage = "gmin-step";
+      failValue = opts_.gmin;
+    }
   }
 
   // 3. Source stepping: ramp all independent sources from zero.
@@ -415,7 +509,13 @@ std::vector<double> Analyzer::opWithContext(LoadContext& ctx) {
     for (double scale : {0.01, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 0.9, 1.0}) {
       ctx.srcScale = scale;
       ++stats_.sourceSteps;
-      if (!newton(xs, ctx).converged) {
+      const NewtonOutcome nw = newton(xs, ctx);
+      if (fx_)
+        fx_->recordContinuation("source-step", scale, nw.converged,
+                                nw.iterations);
+      if (!nw.converged) {
+        failStage = "source-step";
+        failValue = scale;
         ok = false;
         break;
       }
@@ -424,12 +524,13 @@ std::vector<double> Analyzer::opWithContext(LoadContext& ctx) {
     if (ok) return xs;
   }
 
-  throw ConvergenceError("operating point did not converge");
+  throwConvergence(failStage, failValue, "operating point did not converge");
 }
 
 std::vector<double> Analyzer::op() {
   obs::ScopedSpan span("spice.op", "spice");
   resetStats();
+  analysisLabel_ = "op";
   LoadContext ctx;
   ctx.mode = AnalysisMode::kDcOp;
   ctx.c0 = 0.0;
@@ -468,6 +569,8 @@ DcSweepResult Analyzer::dcSweep(const std::string& sourceName, double start,
 
   obs::ScopedSpan span("spice.dc_sweep", "spice");
   resetStats();
+  analysisLabel_ = "dc_sweep";
+  if (fx_) fx_->setContext("sweepSource", sourceName);
   LoadContext ctx;
   ctx.mode = AnalysisMode::kDcOp;
   ctx.state = &state_;
@@ -485,6 +588,7 @@ DcSweepResult Analyzer::dcSweep(const std::string& sourceName, double start,
       vs->setWaveform(std::make_unique<DcWaveform>(v));
     else
       is->setWaveform(std::make_unique<DcWaveform>(v));
+    if (fx_) fx_->setContext("sweepValue", std::to_string(v));
 
     if (first) {
       x = opWithContext(ctx);
@@ -564,6 +668,7 @@ AcResult Analyzer::acLinear(const std::vector<double>& frequencies,
   obs::ScopedSpan span("spice.ac", "spice");
   span.note("points", static_cast<double>(frequencies.size()));
   if (freshWindow) resetStats();
+  analysisLabel_ = "ac";
   AcResult result;
   const int n = unknownCount_;
   Solution sop(&opSolution);
@@ -627,6 +732,7 @@ NoiseResult Analyzer::noise(const std::vector<double>& frequencies,
   obs::ScopedSpan span("spice.noise", "spice");
   span.note("points", static_cast<double>(frequencies.size()));
   resetStats();
+  analysisLabel_ = "noise";
 
   Solution sop(&opSolution);
   const double tempK = ckt_.temperatureC() + 273.15;
@@ -711,8 +817,10 @@ TranResult Analyzer::transient(double tstop, double maxStep,
 
   // Initial condition: DC operating point (records charge states). op()
   // resets the stats window, so the whole transient — OP included — is
-  // counted as one call.
+  // counted as one call. (It also labels the window "op": a failure
+  // during the initial OP genuinely is an OP failure.)
   std::vector<double> x = op();
+  analysisLabel_ = "transient";
 
   LoadContext ctx;
   ctx.mode = AnalysisMode::kTransient;
@@ -754,6 +862,7 @@ TranResult Analyzer::transient(double tstop, double maxStep,
 
       std::vector<double> xTry = x;  // predictor: previous value
       const NewtonOutcome nw = newton(xTry, ctx);
+      if (fx_) fx_->recordStep(tNew, h, nw.converged, nw.iterations);
       if (nw.converged) {
         accepted = true;
         ++stats_.acceptedSteps;
@@ -782,9 +891,10 @@ TranResult Analyzer::transient(double tstop, double maxStep,
         ++stats_.rejectedSteps;
         h *= 0.5;
         if (h < hMin || ++retries > opts_.maxStepRetries)
-          throw ConvergenceError(
+          throwConvergence(
+              "transient-step", t,
               "transient: step rejected below minimum step at t = " +
-              std::to_string(t));
+                  std::to_string(t));
       }
     }
   }

@@ -12,6 +12,7 @@
 
 #include <complex>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -22,6 +23,8 @@
 #include "spice/sparse_lu.h"
 
 namespace ahfic::spice {
+
+class ForensicsRecorder;
 
 /// Matrix backend for the MNA solves.
 enum class SolverKind {
@@ -58,6 +61,11 @@ struct AnalysisOptions {
   double trapDamping = 0.08;
   double tranInitialStepFraction = 1e-3;  ///< first step = fraction of maxStep
   int maxStepRetries = 12;  ///< transient step halvings before giving up
+  /// Convergence forensics (forensics.h): records per-iteration telemetry
+  /// and attaches an "ahfic-diag-v1" report to any ConvergenceError.
+  /// Off by default — the Newton hot path then carries only a null check.
+  bool forensics = false;
+  int forensicsDepth = 64;  ///< iteration-trail ring size when enabled
 };
 
 /// Transient waveform record: one solution vector per accepted time point.
@@ -150,6 +158,7 @@ struct AnalyzerStats {
 class Analyzer {
  public:
   explicit Analyzer(Circuit& ckt, AnalysisOptions opts = {});
+  ~Analyzer();  // out-of-line: ForensicsRecorder is incomplete here
 
   /// Total number of MNA unknowns (node voltages + branch currents).
   int unknownCount() const { return unknownCount_; }
@@ -190,6 +199,10 @@ class Analyzer {
   const AnalysisOptions& options() const { return opts_; }
   /// Backend actually in use (kAuto/useSparse resolved at construction).
   SolverKind solverKind() const { return solver_; }
+  /// The convergence-forensics recorder, or nullptr when
+  /// AnalysisOptions::forensics is off. Buffers cover the most recent
+  /// stats window (reset with it).
+  const ForensicsRecorder* forensics() const { return fx_.get(); }
 
  private:
   struct NewtonOutcome {
@@ -198,11 +211,9 @@ class Analyzer {
   };
 
   void buildLayout();
-  /// Starts a fresh per-call counter window (see AnalyzerStats).
-  void resetStats() {
-    stats_ = AnalyzerStats{};
-    published_ = AnalyzerStats{};
-  }
+  /// Starts a fresh per-call counter window (see AnalyzerStats) and
+  /// clears the forensics buffers.
+  void resetStats();
   /// Publishes the not-yet-published slice of stats_ to the global
   /// metrics registry as `spice.*` counters (no-op when metrics are
   /// disabled) and counts one `spice.analyses.<analysis>` invocation.
@@ -218,6 +229,10 @@ class Analyzer {
                     const std::vector<double>& opSolution, bool freshWindow);
   bool solveLinear(std::vector<double>& x);
   std::vector<double> opWithContext(LoadContext& ctx);
+  /// Builds the "ahfic-diag-v1" report from the forensics buffers (when
+  /// recording) and throws ConvergenceError carrying it.
+  [[noreturn]] void throwConvergence(const char* stage, double stageValue,
+                                     const std::string& message);
 
   // kSparse backend (structure-caching CSR core).
   /// Assemble + factor + solve for one Newton iteration; false on a
@@ -248,6 +263,14 @@ class Analyzer {
   /// nested entry points (transient's internal op()) publish each slice
   /// of work exactly once.
   AnalyzerStats published_;
+
+  // Convergence forensics (null unless opts_.forensics).
+  std::unique_ptr<ForensicsRecorder> fx_;
+  /// Entry point currently running, for the report's `analysis` field.
+  const char* analysisLabel_ = "op";
+  /// Unknown id whose pivot vanished in the most recent singular solve
+  /// (0 = none); resolved to a name by the report builder.
+  int lastSingularUnknown_ = 0;
 
   // Scratch for the real solves.
   DenseMatrix<double> a_;

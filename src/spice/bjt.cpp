@@ -239,8 +239,8 @@ void Bjt::load(Stamper& s, const Solution& x, const LoadContext& ctx) {
   const double vbcCand = pol_ * x.diff(bi_, ci_);
   const double vbe = pnjlim(vbeCand, vbeLimited_, m_.nf * vt_, vcritE_);
   const double vbc = pnjlim(vbcCand, vbcLimited_, m_.nr * vt_, vcritC_);
-  ctx.noteLimited(vbe, vbeCand);
-  ctx.noteLimited(vbc, vbcCand);
+  ctx.noteLimited(vbe, vbeCand, this);
+  ctx.noteLimited(vbc, vbcCand, this);
   vbeLimited_ = vbe;
   vbcLimited_ = vbc;
 

@@ -16,6 +16,7 @@
 namespace ahfic::spice {
 
 class Circuit;
+class Device;
 
 /// One equivalent noise current source between two unknowns, used by the
 /// noise analysis. `white` is the flat spectral density; `flicker`
@@ -67,10 +68,22 @@ struct LoadContext {
   /// evaluation point this iteration; the engine then refuses to declare
   /// convergence (the stamped linearisation is not at the candidate).
   bool* limited = nullptr;
+  /// When convergence forensics are recording, the engine points this at
+  /// a per-iteration log and limiting devices append themselves; null
+  /// (the default) on the regular hot path.
+  std::vector<const Device*>* limitLog = nullptr;
 
-  /// Devices call this after pnjlim to report active limiting.
+  /// Devices call this after pnjlim to report active limiting. The
+  /// three-argument form additionally attributes the event to `who` for
+  /// the forensics recorder.
   void noteLimited(double vLimited, double vCandidate) const {
     if (limited != nullptr && vLimited != vCandidate) *limited = true;
+  }
+  void noteLimited(double vLimited, double vCandidate,
+                   const Device* who) const {
+    if (vLimited == vCandidate) return;
+    if (limited != nullptr) *limited = true;
+    if (limitLog != nullptr) limitLog->push_back(who);
   }
 
   /// dq/dt under the active integration rule for state slot `idx` given the

@@ -49,7 +49,7 @@ void Diode::load(Stamper& s, const Solution& x, const LoadContext& ctx) {
   // SPICE-style limiting: evaluate at a damped junction voltage.
   const double vCand = x.diff(aInt_, c);
   const double v = pnjlim(vCand, vLimited_, vte_, vcrit_);
-  ctx.noteLimited(v, vCand);
+  ctx.noteLimited(v, vCand, this);
   vLimited_ = v;
 
   auto iv = junctionIV(v, model_.is * area_, vte_);

@@ -1,0 +1,559 @@
+#include "spice/forensics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "spice/circuit.h"
+#include "util/error.h"
+
+namespace ahfic::spice {
+
+namespace {
+
+constexpr const char* kSchema = "ahfic-diag-v1";
+/// Per-hit cap on the accumulated worst ratio so one absurd iteration
+/// (or a singular solve) cannot drown the ranking's history.
+constexpr double kRatioCapPerHit = 1e6;
+constexpr size_t kMaxSuspects = 5;
+constexpr size_t kMaxSuspectDevices = 6;
+
+std::string fmt(const char* format, double a, double b = 0.0) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, format, a, b);
+  return buf;
+}
+
+}  // namespace
+
+ForensicsRecorder::ForensicsRecorder(int trailDepth)
+    : trailDepth_(trailDepth < 1 ? 1 : trailDepth) {}
+
+void ForensicsRecorder::reset() {
+  totalIterations_ = 0;
+  trail_.clear();
+  trailNext_ = 0;
+  lastSample_ = IterationSample{};
+  steps_.clear();
+  stepNext_ = 0;
+  continuation_.clear();
+  unknownScores_.clear();
+  limitCounts_.clear();
+  limitScratch_.clear();
+  context_.clear();
+}
+
+void ForensicsRecorder::recordIteration(double maxDelta, double worstRatio,
+                                        int worstUnknown, bool limited,
+                                        bool singular) {
+  IterationSample s;
+  s.index = ++totalIterations_;
+  s.maxDelta = maxDelta;
+  s.worstRatio = worstRatio;
+  s.worstUnknown = worstUnknown;
+  s.limited = limited;
+  s.singular = singular;
+  if (!limitScratch_.empty()) {
+    s.limitedDevice = limitScratch_.front();
+    for (const Device* d : limitScratch_) ++limitCounts_[d];
+    limitScratch_.clear();
+  }
+  if (worstUnknown > 0) {
+    auto& score = unknownScores_[worstUnknown];
+    ++score.worstCount;
+    score.ratioSum +=
+        singular ? kRatioCapPerHit : std::min(worstRatio, kRatioCapPerHit);
+  }
+  lastSample_ = s;
+  if (trail_.size() < static_cast<size_t>(trailDepth_)) {
+    trail_.push_back(s);
+  } else {
+    trail_[trailNext_] = s;
+    trailNext_ = (trailNext_ + 1) % trail_.size();
+  }
+}
+
+void ForensicsRecorder::recordContinuation(const char* stage, double value,
+                                           bool converged, int iterations) {
+  if (continuation_.size() >= static_cast<size_t>(kContinuationCap)) return;
+  continuation_.push_back(
+      ContinuationEvent{stage, value, converged, iterations});
+}
+
+void ForensicsRecorder::recordStep(double time, double dt, bool accepted,
+                                   int iterations) {
+  StepEvent e;
+  e.time = time;
+  e.dt = dt;
+  e.accepted = accepted;
+  e.iterations = iterations;
+  e.maxDelta = lastSample_.maxDelta;
+  e.worstUnknown = lastSample_.worstUnknown;
+  if (steps_.size() < static_cast<size_t>(kStepDepth)) {
+    steps_.push_back(e);
+  } else {
+    steps_[stepNext_] = e;
+    stepNext_ = (stepNext_ + 1) % steps_.size();
+  }
+}
+
+void ForensicsRecorder::setContext(const std::string& key,
+                                   const std::string& value) {
+  for (auto& kv : context_) {
+    if (kv.first == key) {
+      kv.second = value;
+      return;
+    }
+  }
+  context_.emplace_back(key, value);
+}
+
+std::vector<IterationSample> ForensicsRecorder::trail() const {
+  std::vector<IterationSample> out;
+  out.reserve(trail_.size());
+  for (size_t k = 0; k < trail_.size(); ++k)
+    out.push_back(trail_[(trailNext_ + k) % trail_.size()]);
+  return out;
+}
+
+std::vector<StepEvent> ForensicsRecorder::steps() const {
+  std::vector<StepEvent> out;
+  out.reserve(steps_.size());
+  for (size_t k = 0; k < steps_.size(); ++k)
+    out.push_back(steps_[(stepNext_ + k) % steps_.size()]);
+  return out;
+}
+
+// ---------------------------------------------------------------------
+
+std::string unknownName(const Circuit& ckt, int id) {
+  if (id <= 0) return "";
+  if (id < ckt.nodeCount()) return "V(" + ckt.nodeName(id) + ")";
+  for (const auto& dev : ckt.devices()) {
+    if (dev->branchCount() <= 0) continue;
+    const int base = dev->branchId(0);
+    if (id >= base && id < base + dev->branchCount())
+      return "I(" + dev->name() + ")";
+  }
+  return "unknown#" + std::to_string(id);
+}
+
+namespace {
+
+/// Devices touching node `id` (likely culprits for a suspect node).
+std::vector<std::string> devicesOnNode(const Circuit& ckt, int id) {
+  std::vector<std::string> out;
+  for (const auto& dev : ckt.devices()) {
+    bool touches = false;
+    for (const int n : dev->nodes())
+      if (n == id) touches = true;
+    if (touches) {
+      out.push_back(dev->name());
+      if (out.size() >= kMaxSuspectDevices) break;
+    }
+  }
+  return out;
+}
+
+void appendSuspects(DiagReport& r, const Circuit& ckt,
+                    const ForensicsRecorder& fx, int singularUnknown) {
+  std::vector<std::pair<int, ForensicsRecorder::UnknownScore>> ranked(
+      fx.unknownScores().begin(), fx.unknownScores().end());
+  if (singularUnknown > 0 && fx.unknownScores().count(singularUnknown) == 0)
+    ranked.emplace_back(singularUnknown,
+                        ForensicsRecorder::UnknownScore{1, kRatioCapPerHit});
+  std::sort(ranked.begin(), ranked.end(), [](const auto& x, const auto& y) {
+    if (x.second.ratioSum != y.second.ratioSum)
+      return x.second.ratioSum > y.second.ratioSum;
+    if (x.second.worstCount != y.second.worstCount)
+      return x.second.worstCount > y.second.worstCount;
+    return x.first < y.first;
+  });
+  for (const auto& [id, score] : ranked) {
+    if (r.nodes.size() >= kMaxSuspects) break;
+    DiagSuspect s;
+    s.name = unknownName(ckt, id);
+    s.worstCount = score.worstCount;
+    s.score = score.ratioSum;
+    if (id > 0 && id < ckt.nodeCount()) s.devices = devicesOnNode(ckt, id);
+    r.nodes.push_back(std::move(s));
+  }
+
+  std::vector<std::pair<const Device*, long>> limiters(
+      fx.limitCounts().begin(), fx.limitCounts().end());
+  std::sort(limiters.begin(), limiters.end(),
+            [](const auto& x, const auto& y) {
+              if (x.second != y.second) return x.second > y.second;
+              return x.first->name() < y.first->name();
+            });
+  for (const auto& [dev, count] : limiters) {
+    if (r.devices.size() >= kMaxSuspects) break;
+    DiagDevice d;
+    d.name = dev->name();
+    d.limitCount = count;
+    d.line = ckt.deviceLine(dev->name());
+    r.devices.push_back(std::move(d));
+  }
+}
+
+/// True when the delta sequence alternates direction for at least half
+/// of its sample pairs (the classic limit-cycle signature).
+bool deltasOscillate(const std::vector<DiagIteration>& trail) {
+  if (trail.size() < 6) return false;
+  int flips = 0, pairs = 0;
+  for (size_t k = 2; k < trail.size(); ++k) {
+    const double d1 = trail[k - 1].maxDelta - trail[k - 2].maxDelta;
+    const double d2 = trail[k].maxDelta - trail[k - 1].maxDelta;
+    if (d1 == 0.0 || d2 == 0.0) continue;
+    ++pairs;
+    if ((d1 > 0.0) != (d2 > 0.0)) ++flips;
+  }
+  return pairs >= 4 && flips * 2 >= pairs;
+}
+
+/// True when the tail of the trail is monotonically shrinking (Newton
+/// was making progress when the budget ran out).
+bool deltasShrinking(const std::vector<DiagIteration>& trail) {
+  if (trail.size() < 4) return false;
+  for (size_t k = trail.size() - 3; k < trail.size(); ++k)
+    if (trail[k].maxDelta >= trail[k - 1].maxDelta) return false;
+  return true;
+}
+
+void appendHints(DiagReport& r, const Circuit& ckt, int singularUnknown) {
+  if (singularUnknown > 0) {
+    r.hints.push_back("floating-ish node " + unknownName(ckt, singularUnknown) +
+                      ": its matrix pivot vanished (no independent DC "
+                      "equation); check connectivity or raise gmin");
+  }
+  const bool oscillating = deltasOscillate(r.trail);
+  if (oscillating) {
+    std::string at;
+    if (!r.devices.empty())
+      at = "device " + r.devices.front().name;
+    else if (!r.nodes.empty())
+      at = r.nodes.front().name;
+    r.hints.push_back("oscillating residual" + (at.empty() ? "" : " at " + at) +
+                      ": Newton is limit-cycling; consider damping "
+                      "(trapDamping) or a better initial guess");
+  }
+  if (!oscillating && deltasShrinking(r.trail))
+    r.hints.push_back(
+        "deltas were still shrinking when the iteration budget ran out; "
+        "consider raising maxNewtonIters");
+  if (r.stage == "gmin-step")
+    r.hints.push_back(fmt("gmin continuation stalled at gmin = %.3g S; "
+                          "the circuit only solves with extra shunt "
+                          "conductance — look for high-impedance nodes",
+                          r.stageValue));
+  if (r.stage == "source-step")
+    r.hints.push_back(fmt("source stepping stalled at scale %.3g; the "
+                          "solution path is not continuable — check for "
+                          "bistable or unbiased stages",
+                          r.stageValue));
+  if (r.stage == "transient-step") {
+    std::string limiting;
+    for (auto it = r.steps.rbegin(); it != r.steps.rend(); ++it) {
+      if (!it->worstUnknown.empty()) {
+        limiting = it->worstUnknown;
+        break;
+      }
+    }
+    r.hints.push_back(fmt("timestep collapsed at t = %.4g s (dt = %.3g s)",
+                          r.stageValue,
+                          r.steps.empty() ? 0.0 : r.steps.back().dt) +
+                      (limiting.empty() ? std::string()
+                                        : "; limiting unknown " + limiting) +
+                      "; consider backward Euler or looser tolerances");
+  }
+  long limitEvents = 0;
+  for (const auto& d : r.devices) limitEvents += d.limitCount;
+  if (!r.devices.empty() && limitEvents > r.totalIterations)
+    r.hints.push_back("junction limiting active at " + r.devices.front().name +
+                      " in most iterations: the iterate is far from the "
+                      "device's operating region");
+}
+
+}  // namespace
+
+DiagReport buildDiagReport(const Circuit& ckt, const ForensicsRecorder& fx,
+                           const std::string& analysis,
+                           const std::string& stage, double stageValue,
+                           const std::string& message, int unknownCount,
+                           int singularUnknown) {
+  DiagReport r;
+  r.analysis = analysis;
+  r.stage = stage;
+  r.stageValue = stageValue;
+  r.message = message;
+  r.unknowns = unknownCount;
+  r.totalIterations = fx.totalIterations();
+  for (const IterationSample& s : fx.trail()) {
+    DiagIteration it;
+    it.index = s.index;
+    it.maxDelta = s.maxDelta;
+    it.worstRatio = s.worstRatio;
+    it.worstUnknown = unknownName(ckt, s.worstUnknown);
+    it.limited = s.limited;
+    it.singular = s.singular;
+    if (s.limitedDevice != nullptr) it.limitedDevice = s.limitedDevice->name();
+    r.trail.push_back(std::move(it));
+  }
+  for (const ContinuationEvent& e : fx.continuation())
+    r.continuation.push_back(
+        DiagContinuation{e.stage, e.value, e.converged, e.iterations});
+  for (const StepEvent& e : fx.steps()) {
+    DiagStep st;
+    st.time = e.time;
+    st.dt = e.dt;
+    st.accepted = e.accepted;
+    st.iterations = e.iterations;
+    st.maxDelta = e.maxDelta;
+    st.worstUnknown = unknownName(ckt, e.worstUnknown);
+    r.steps.push_back(std::move(st));
+  }
+  r.context = fx.context();
+  appendSuspects(r, ckt, fx, singularUnknown);
+  appendHints(r, ckt, singularUnknown);
+  return r;
+}
+
+// ---------------------------------------------------------------------
+
+util::JsonValue DiagReport::toJson() const {
+  using util::JsonValue;
+  JsonValue v = JsonValue::object();
+  v.set("schema", kSchema);
+  v.set("analysis", analysis);
+  v.set("stage", stage);
+  v.set("stageValue", stageValue);
+  v.set("message", message);
+  v.set("unknowns", unknowns);
+  v.set("totalIterations", totalIterations);
+  JsonValue jTrail = JsonValue::array();
+  for (const DiagIteration& it : trail) {
+    JsonValue o = JsonValue::object();
+    o.set("iter", it.index);
+    o.set("maxDelta", it.maxDelta);
+    o.set("worstRatio", it.worstRatio);
+    o.set("worstUnknown", it.worstUnknown);
+    o.set("limited", it.limited);
+    o.set("singular", it.singular);
+    o.set("limitedDevice", it.limitedDevice);
+    jTrail.push(std::move(o));
+  }
+  v.set("trail", std::move(jTrail));
+  JsonValue jCont = JsonValue::array();
+  for (const DiagContinuation& e : continuation) {
+    JsonValue o = JsonValue::object();
+    o.set("stage", e.stage);
+    o.set("value", e.value);
+    o.set("converged", e.converged);
+    o.set("iterations", e.iterations);
+    jCont.push(std::move(o));
+  }
+  v.set("continuation", std::move(jCont));
+  JsonValue jSteps = JsonValue::array();
+  for (const DiagStep& e : steps) {
+    JsonValue o = JsonValue::object();
+    o.set("time", e.time);
+    o.set("dt", e.dt);
+    o.set("accepted", e.accepted);
+    o.set("iterations", e.iterations);
+    o.set("maxDelta", e.maxDelta);
+    o.set("worstUnknown", e.worstUnknown);
+    jSteps.push(std::move(o));
+  }
+  v.set("steps", std::move(jSteps));
+  JsonValue jNodes = JsonValue::array();
+  for (const DiagSuspect& s : nodes) {
+    JsonValue o = JsonValue::object();
+    o.set("name", s.name);
+    o.set("worstCount", s.worstCount);
+    o.set("score", s.score);
+    JsonValue devs = JsonValue::array();
+    for (const std::string& d : s.devices) devs.push(d);
+    o.set("devices", std::move(devs));
+    jNodes.push(std::move(o));
+  }
+  v.set("nodes", std::move(jNodes));
+  JsonValue jDevs = JsonValue::array();
+  for (const DiagDevice& d : devices) {
+    JsonValue o = JsonValue::object();
+    o.set("name", d.name);
+    o.set("limitCount", d.limitCount);
+    o.set("line", d.line);
+    jDevs.push(std::move(o));
+  }
+  v.set("devices", std::move(jDevs));
+  JsonValue jCtx = JsonValue::object();
+  for (const auto& [key, value] : context) jCtx.set(key, value);
+  v.set("context", std::move(jCtx));
+  JsonValue jHints = JsonValue::array();
+  for (const std::string& h : hints) jHints.push(h);
+  v.set("hints", std::move(jHints));
+  return v;
+}
+
+DiagReport DiagReport::fromJson(const util::JsonValue& v) {
+  if (!v.isObject() ||
+      !(v.get("schema").isString() && v.get("schema").asString() == kSchema))
+    throw Error("DiagReport::fromJson: not an ahfic-diag-v1 report");
+  DiagReport r;
+  r.analysis = v.get("analysis").asString();
+  r.stage = v.get("stage").asString();
+  r.stageValue = v.get("stageValue").asNumber();
+  r.message = v.get("message").asString();
+  r.unknowns = static_cast<int>(v.get("unknowns").asNumber());
+  r.totalIterations = static_cast<long>(v.get("totalIterations").asNumber());
+  const util::JsonValue& jTrail = v.get("trail");
+  for (size_t k = 0; k < jTrail.size(); ++k) {
+    const util::JsonValue& o = jTrail.at(k);
+    DiagIteration it;
+    it.index = static_cast<long>(o.get("iter").asNumber());
+    it.maxDelta = o.get("maxDelta").asNumber();
+    it.worstRatio = o.get("worstRatio").asNumber();
+    it.worstUnknown = o.get("worstUnknown").asString();
+    it.limited = o.get("limited").asBool();
+    it.singular = o.get("singular").asBool();
+    it.limitedDevice = o.get("limitedDevice").asString();
+    r.trail.push_back(std::move(it));
+  }
+  const util::JsonValue& jCont = v.get("continuation");
+  for (size_t k = 0; k < jCont.size(); ++k) {
+    const util::JsonValue& o = jCont.at(k);
+    r.continuation.push_back(DiagContinuation{
+        o.get("stage").asString(), o.get("value").asNumber(),
+        o.get("converged").asBool(),
+        static_cast<int>(o.get("iterations").asNumber())});
+  }
+  const util::JsonValue& jSteps = v.get("steps");
+  for (size_t k = 0; k < jSteps.size(); ++k) {
+    const util::JsonValue& o = jSteps.at(k);
+    DiagStep st;
+    st.time = o.get("time").asNumber();
+    st.dt = o.get("dt").asNumber();
+    st.accepted = o.get("accepted").asBool();
+    st.iterations = static_cast<int>(o.get("iterations").asNumber());
+    st.maxDelta = o.get("maxDelta").asNumber();
+    st.worstUnknown = o.get("worstUnknown").asString();
+    r.steps.push_back(std::move(st));
+  }
+  const util::JsonValue& jNodes = v.get("nodes");
+  for (size_t k = 0; k < jNodes.size(); ++k) {
+    const util::JsonValue& o = jNodes.at(k);
+    DiagSuspect s;
+    s.name = o.get("name").asString();
+    s.worstCount = static_cast<long>(o.get("worstCount").asNumber());
+    s.score = o.get("score").asNumber();
+    const util::JsonValue& devs = o.get("devices");
+    for (size_t d = 0; d < devs.size(); ++d)
+      s.devices.push_back(devs.at(d).asString());
+    r.nodes.push_back(std::move(s));
+  }
+  const util::JsonValue& jDevs = v.get("devices");
+  for (size_t k = 0; k < jDevs.size(); ++k) {
+    const util::JsonValue& o = jDevs.at(k);
+    r.devices.push_back(
+        DiagDevice{o.get("name").asString(),
+                   static_cast<long>(o.get("limitCount").asNumber()),
+                   static_cast<int>(o.get("line").asNumber())});
+  }
+  const util::JsonValue& jCtx = v.get("context");
+  if (jCtx.isObject())
+    for (const std::string& key : jCtx.keys())
+      r.context.emplace_back(key, jCtx.get(key).asString());
+  const util::JsonValue& jHints = v.get("hints");
+  for (size_t k = 0; k < jHints.size(); ++k)
+    r.hints.push_back(jHints.at(k).asString());
+  return r;
+}
+
+std::string DiagReport::renderText() const {
+  std::ostringstream os;
+  os << "convergence failure: " << analysis << " (" << message << ")\n";
+  os << "  failing stage: " << stage;
+  if (stage != "newton") os << " at " << fmt("%.4g", stageValue);
+  os << " after " << totalIterations << " Newton iterations over "
+     << unknowns << " unknowns\n";
+  if (!context.empty()) {
+    os << "  context:";
+    for (const auto& [key, value] : context)
+      os << " " << key << "=" << value;
+    os << "\n";
+  }
+  if (!nodes.empty()) {
+    os << "  suspect unknowns:\n";
+    for (const DiagSuspect& s : nodes) {
+      os << "    " << s.name << "  worst in " << s.worstCount
+         << " iterations, score " << fmt("%.3g", s.score);
+      if (!s.devices.empty()) {
+        os << "  [";
+        for (size_t k = 0; k < s.devices.size(); ++k)
+          os << (k != 0 ? " " : "") << s.devices[k];
+        os << "]";
+      }
+      os << "\n";
+    }
+  }
+  if (!devices.empty()) {
+    os << "  limiting devices:\n";
+    for (const DiagDevice& d : devices) {
+      os << "    " << d.name << "  limited in " << d.limitCount
+         << " iterations";
+      if (d.line > 0) os << "  (deck line " << d.line << ")";
+      os << "\n";
+    }
+  }
+  if (!trail.empty()) {
+    os << "  last " << trail.size() << " iterations:\n";
+    for (const DiagIteration& it : trail) {
+      os << "    #" << it.index << "  |dx|max " << fmt("%.3g", it.maxDelta)
+         << "  ratio " << fmt("%.3g", it.worstRatio);
+      if (!it.worstUnknown.empty()) os << "  at " << it.worstUnknown;
+      if (it.limited) {
+        os << "  limited";
+        if (!it.limitedDevice.empty()) os << "(" << it.limitedDevice << ")";
+      }
+      if (it.singular) os << "  SINGULAR";
+      os << "\n";
+    }
+  }
+  if (!steps.empty()) {
+    size_t rejected = 0;
+    for (const DiagStep& st : steps)
+      if (!st.accepted) ++rejected;
+    os << "  timestep events: " << steps.size() << " recorded, " << rejected
+       << " rejected; last dt " << fmt("%.3g", steps.back().dt) << " at t "
+       << fmt("%.4g", steps.back().time) << "\n";
+  }
+  for (const std::string& h : hints) os << "  hint: " << h << "\n";
+  return os.str();
+}
+
+util::JsonValue diagEnvelope(const std::vector<DiagReport>& reports) {
+  util::JsonValue v = util::JsonValue::object();
+  v.set("schema", kSchema);
+  util::JsonValue arr = util::JsonValue::array();
+  for (const DiagReport& r : reports) arr.push(r.toJson());
+  v.set("reports", std::move(arr));
+  return v;
+}
+
+std::vector<DiagReport> diagReportsFromJson(const util::JsonValue& doc) {
+  std::vector<DiagReport> out;
+  if (doc.isObject() && doc.get("reports").isArray()) {
+    if (!(doc.get("schema").isString() &&
+          doc.get("schema").asString() == kSchema))
+      throw Error("diagReportsFromJson: not an ahfic-diag-v1 envelope");
+    const util::JsonValue& arr = doc.get("reports");
+    for (size_t k = 0; k < arr.size(); ++k)
+      out.push_back(DiagReport::fromJson(arr.at(k)));
+    return out;
+  }
+  out.push_back(DiagReport::fromJson(doc));
+  return out;
+}
+
+}  // namespace ahfic::spice

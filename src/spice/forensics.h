@@ -1,0 +1,229 @@
+#pragma once
+// Convergence forensics: opt-in per-Newton-iteration telemetry and
+// structured "ahfic-diag-v1" failure reports.
+//
+// The recorder is owned by spice::Analyzer and only exists when
+// AnalysisOptions::forensics is set, so the regular hot path carries a
+// single null-pointer check per iteration. On ConvergenceError the
+// analyzer turns the recorded trail into a DiagReport — the last-K
+// iteration samples, per-node / per-device suspect rankings with names
+// resolved from the netlist, the continuation stage that failed, and
+// heuristic hints ("floating-ish node N, consider gmin", "oscillating
+// residual at Q3, consider damping") — and attaches its serialized JSON
+// to the exception (util/error.h), where the runner's retry ladder and
+// the CLIs pick it up.
+//
+// Usage (report consumption):
+//   try { an.op(); }
+//   catch (const ConvergenceError& e) {
+//     if (e.diag()) {
+//       DiagReport r = DiagReport::fromJson(parseJson(*e.diag()));
+//       std::cerr << r.renderText();
+//     }
+//   }
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/json.h"
+
+namespace ahfic::spice {
+
+class Circuit;
+class Device;
+
+/// One Newton iteration's telemetry sample (ring-buffered; the last
+/// `trailDepth` samples survive to the report).
+struct IterationSample {
+  long index = 0;         ///< 1-based iteration index within the analysis
+  double maxDelta = 0.0;  ///< largest |x_new - x_old| over all unknowns
+  double worstRatio = 0.0;  ///< worst |dx| / tolerance over all unknowns
+  int worstUnknown = 0;     ///< unknown id (1-based) holding worstRatio
+  bool limited = false;     ///< a device limited its junction voltage
+  bool singular = false;    ///< the matrix factorization failed
+  /// First device that reported limiting this iteration (nullptr when
+  /// none; only valid while the source Circuit is alive).
+  const Device* limitedDevice = nullptr;
+};
+
+/// One homotopy event: a full Newton solve attempted at a continuation
+/// point (plain Newton, one gmin rung, one source-scale rung).
+struct ContinuationEvent {
+  std::string stage;  ///< "newton" / "gmin-step" / "source-step"
+  double value = 0.0;  ///< gmin [S] or source scale for the solve
+  bool converged = false;
+  int iterations = 0;
+};
+
+/// One transient timestep-controller decision.
+struct StepEvent {
+  double time = 0.0;  ///< target time of the attempted step
+  double dt = 0.0;
+  bool accepted = false;
+  int iterations = 0;       ///< Newton iterations the attempt took
+  double maxDelta = 0.0;    ///< from the attempt's last Newton iteration
+  int worstUnknown = 0;     ///< ditto
+};
+
+/// Telemetry sink the Analyzer feeds while forensics are enabled. All
+/// buffers are bounded: iteration samples and step events are rings,
+/// continuation events stop recording at a fixed cap (the count still
+/// advances through totalIterations()).
+class ForensicsRecorder {
+ public:
+  struct UnknownScore {
+    long worstCount = 0;   ///< iterations this unknown was the worst
+    double ratioSum = 0.0; ///< accumulated worst |dx|/tol (capped per hit)
+  };
+
+  explicit ForensicsRecorder(int trailDepth = 64);
+
+  /// Clears every buffer and counter (new stats window).
+  void reset();
+
+  /// Scratch vector the analyzer points LoadContext::limitLog at; the
+  /// next recordIteration() consumes and clears it.
+  std::vector<const Device*>* limitScratch() { return &limitScratch_; }
+
+  /// Records one Newton iteration. Pass worstUnknown = 0 when no scan
+  /// ran (singular systems). Consumes limitScratch().
+  void recordIteration(double maxDelta, double worstRatio, int worstUnknown,
+                       bool limited, bool singular);
+  void recordContinuation(const char* stage, double value, bool converged,
+                          int iterations);
+  /// Records a timestep attempt; maxDelta / worstUnknown are taken from
+  /// the most recent iteration sample.
+  void recordStep(double time, double dt, bool accepted, int iterations);
+  /// Attaches a key/value to the eventual report (e.g. the DC sweep's
+  /// source name and current point). Same key overwrites.
+  void setContext(const std::string& key, const std::string& value);
+
+  long totalIterations() const { return totalIterations_; }
+  int trailDepth() const { return trailDepth_; }
+  /// Ring contents, oldest first.
+  std::vector<IterationSample> trail() const;
+  std::vector<StepEvent> steps() const;
+  const std::vector<ContinuationEvent>& continuation() const {
+    return continuation_;
+  }
+  const std::map<int, UnknownScore>& unknownScores() const {
+    return unknownScores_;
+  }
+  const std::map<const Device*, long>& limitCounts() const {
+    return limitCounts_;
+  }
+  const std::vector<std::pair<std::string, std::string>>& context() const {
+    return context_;
+  }
+
+ private:
+  static constexpr int kStepDepth = 128;
+  static constexpr int kContinuationCap = 256;
+
+  int trailDepth_;
+  long totalIterations_ = 0;
+  std::vector<IterationSample> trail_;  // ring
+  size_t trailNext_ = 0;
+  IterationSample lastSample_;
+  std::vector<StepEvent> steps_;  // ring
+  size_t stepNext_ = 0;
+  std::vector<ContinuationEvent> continuation_;
+  std::map<int, UnknownScore> unknownScores_;
+  std::map<const Device*, long> limitCounts_;
+  std::vector<const Device*> limitScratch_;
+  std::vector<std::pair<std::string, std::string>> context_;
+};
+
+// ---------------------------------------------------------------------
+// The serializable report ("ahfic-diag-v1"). Everything below is plain
+// strings/numbers so reports survive the process that produced them.
+
+struct DiagIteration {
+  long index = 0;
+  double maxDelta = 0.0;
+  double worstRatio = 0.0;
+  std::string worstUnknown;  ///< "V(node)" / "I(dev)"; "" when unknown
+  bool limited = false;
+  bool singular = false;
+  std::string limitedDevice;  ///< "" when none
+};
+
+struct DiagContinuation {
+  std::string stage;
+  double value = 0.0;
+  bool converged = false;
+  int iterations = 0;
+};
+
+struct DiagStep {
+  double time = 0.0;
+  double dt = 0.0;
+  bool accepted = false;
+  int iterations = 0;
+  double maxDelta = 0.0;
+  std::string worstUnknown;
+};
+
+/// A suspect unknown, ranked by how often it was the convergence
+/// bottleneck. For node voltages `devices` lists the devices touching
+/// the node (the likely culprits).
+struct DiagSuspect {
+  std::string name;
+  long worstCount = 0;
+  double score = 0.0;
+  std::vector<std::string> devices;
+};
+
+/// A suspect device, ranked by junction-limiting activity.
+struct DiagDevice {
+  std::string name;
+  long limitCount = 0;
+  int line = -1;  ///< deck line, -1 when built programmatically
+};
+
+/// Structured convergence-failure report. `toJson` emits a
+/// self-describing object tagged "schema": "ahfic-diag-v1".
+struct DiagReport {
+  std::string analysis;  ///< "op" / "dc_sweep" / "transient" / ...
+  std::string stage;     ///< failing continuation stage
+  double stageValue = 0.0;  ///< gmin, source scale, or time at failure
+  std::string message;      ///< the ConvergenceError text
+  int unknowns = 0;
+  long totalIterations = 0;
+  std::vector<DiagIteration> trail;
+  std::vector<DiagContinuation> continuation;
+  std::vector<DiagStep> steps;
+  std::vector<DiagSuspect> nodes;
+  std::vector<DiagDevice> devices;
+  std::vector<std::pair<std::string, std::string>> context;
+  std::vector<std::string> hints;
+
+  util::JsonValue toJson() const;
+  /// Parses a report object; throws ahfic::Error on schema mismatch.
+  static DiagReport fromJson(const util::JsonValue& v);
+  /// Multi-line human rendering (the CLIs' --explain output).
+  std::string renderText() const;
+};
+
+/// Human-readable name of MNA unknown `id` resolved against the netlist:
+/// "V(node)" for node voltages, "I(dev)" for branch currents.
+std::string unknownName(const Circuit& ckt, int id);
+
+/// Builds the report from a recorder's buffers. `singularUnknown` is the
+/// unknown id whose pivot vanished in the most recent singular solve
+/// (0 = none); it is folded into the suspect ranking and hints.
+DiagReport buildDiagReport(const Circuit& ckt, const ForensicsRecorder& fx,
+                           const std::string& analysis,
+                           const std::string& stage, double stageValue,
+                           const std::string& message, int unknownCount,
+                           int singularUnknown);
+
+/// File-level container for one or more reports:
+/// {"schema": "ahfic-diag-v1", "reports": [...]}.
+util::JsonValue diagEnvelope(const std::vector<DiagReport>& reports);
+/// Parses either an envelope or a bare report object.
+std::vector<DiagReport> diagReportsFromJson(const util::JsonValue& doc);
+
+}  // namespace ahfic::spice

@@ -40,9 +40,13 @@ class DenseMatrix {
   void setZero() { std::fill(data_.begin(), data_.end(), T{}); }
 
   /// In-place LU factorisation with partial pivoting.
-  /// Returns false if the matrix is numerically singular.
-  bool luFactor(std::vector<int>& perm) {
+  /// Returns false if the matrix is numerically singular; when
+  /// `singularCol` is given it receives the column that lacked a usable
+  /// pivot (columns are never permuted, so this is the original unknown
+  /// index), or -1 on success.
+  bool luFactor(std::vector<int>& perm, int* singularCol = nullptr) {
     if (rows_ != cols_) throw Error("luFactor: matrix must be square");
+    if (singularCol != nullptr) *singularCol = -1;
     const int n = rows_;
     perm.resize(static_cast<size_t>(n));
     for (int i = 0; i < n; ++i) perm[static_cast<size_t>(i)] = i;
@@ -56,7 +60,10 @@ class DenseMatrix {
           p = i;
         }
       }
-      if (best < 1e-300) return false;
+      if (best < 1e-300) {
+        if (singularCol != nullptr) *singularCol = k;
+        return false;
+      }
       if (p != k) {
         for (int c = 0; c < n; ++c) std::swap(at(k, c), at(p, c));
         std::swap(perm[static_cast<size_t>(k)], perm[static_cast<size_t>(p)]);

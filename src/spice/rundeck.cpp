@@ -159,8 +159,9 @@ void runDeck(Deck& deck, std::ostream& os, const RunDeckOptions& options) {
     os << "* no analyses requested; nothing to do\n";
     return;
   }
-  AnalysisOptions anOpts;
-  anOpts.solver = solverFromDeck(deck.solverOption);
+  AnalysisOptions anOpts = options.analysis;
+  if (!deck.solverOption.empty())
+    anOpts.solver = solverFromDeck(deck.solverOption);
   for (const auto& request : deck.analyses) {
     Analyzer an(deck.circuit, anOpts);
     if (std::holds_alternative<OpRequest>(request)) {

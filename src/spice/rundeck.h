@@ -5,6 +5,7 @@
 
 #include <iosfwd>
 
+#include "spice/analysis.h"
 #include "spice/parser.h"
 
 namespace ahfic::spice {
@@ -14,6 +15,11 @@ struct RunDeckOptions {
   int maxColumns = 8;     ///< node-voltage columns per printed table
   int maxTranRows = 40;   ///< transient rows (decimated to this many)
   int maxSweepRows = 60;  ///< DC/AC rows
+  /// Base analysis options (tolerances, forensics, solver choice) for
+  /// every analysis in the deck. A `.OPTIONS SOLVER=` card in the deck
+  /// still overrides the backend; everything else passes through, which
+  /// is how the runner's retry ladder and --diag reach deck solves.
+  AnalysisOptions analysis;
 };
 
 /// Runs every analysis in the deck in order, printing each result to

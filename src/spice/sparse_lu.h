@@ -79,6 +79,7 @@ class SparseLU {
   /// full-vs-refactor behaviour.
   FactorOutcome factor(const std::vector<T>& vals) {
     if (epoch_ == 0) throw Error("SparseLU::factor before analyze");
+    lastSingularCol_ = -1;
     if (haveSymbolic_ && refactor(vals)) {
       ++stats_.refactors;
       return FactorOutcome::kRefactor;
@@ -123,6 +124,12 @@ class SparseLU {
   }
 
   const Stats& stats() const { return stats_; }
+
+  /// Original column index that lacked a usable pivot in the most recent
+  /// kSingular factor() outcome, or -1 when the last factor() succeeded.
+  /// The failing column names the unknown with no independent equation
+  /// (e.g. a floating node), which convergence forensics reports.
+  int lastSingularColumn() const { return lastSingularCol_; }
 
  private:
   // Pivoting thresholds. The diagonal is preferred while within
@@ -295,6 +302,7 @@ class SparseLU {
         }
       }
       if (maxRow < 0 || maxMag < kAbsTiny) {
+        lastSingularCol_ = j;
         clearWork(topo);
         return false;
       }
@@ -409,6 +417,7 @@ class SparseLU {
   int n_ = 0;
   std::uint64_t epoch_ = 0;
   bool haveSymbolic_ = false;
+  int lastSingularCol_ = -1;
   Stats stats_;
 
   // Pattern (CSR copy) and its column view. aCsrSlot_ maps each CSC

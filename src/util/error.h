@@ -5,8 +5,10 @@
 // failure conditions: malformed netlists, non-convergent analyses, bad
 // parameter values. Internal logic errors use assertions.
 
+#include <memory>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace ahfic {
 
@@ -34,9 +36,24 @@ class ParseError : public Error {
 
 /// Thrown when an iterative analysis (Newton, transient, homotopy) fails to
 /// converge within its iteration budget.
+///
+/// May carry a structured failure report ("ahfic-diag-v1" JSON text) when
+/// the analysis ran with convergence forensics enabled (see
+/// spice/forensics.h). The payload is a shared string so the exception
+/// stays cheap to copy and this header stays free of JSON types.
 class ConvergenceError : public Error {
  public:
   using Error::Error;
+  ConvergenceError(const std::string& what,
+                   std::shared_ptr<const std::string> diagJson)
+      : Error(what), diag_(std::move(diagJson)) {}
+
+  /// Serialized "ahfic-diag-v1" report, or nullptr when forensics were
+  /// not recording.
+  const std::shared_ptr<const std::string>& diag() const { return diag_; }
+
+ private:
+  std::shared_ptr<const std::string> diag_;
 };
 
 }  // namespace ahfic

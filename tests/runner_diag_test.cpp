@@ -1,0 +1,189 @@
+// Runner diagnostics integration: per-attempt "ahfic-diag-v1" report
+// attachments on retried/exhausted jobs, the diagnostics switch, and the
+// rejected-vs-failed terminal counters in batch-window metrics.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "lint/netlist.h"
+#include "obs/metrics.h"
+#include "runner/engine.h"
+#include "spice/analysis.h"
+#include "spice/bjt.h"
+#include "spice/circuit.h"
+#include "spice/forensics.h"
+#include "spice/passive.h"
+#include "spice/sources.h"
+#include "util/error.h"
+#include "util/json.h"
+
+namespace obs = ahfic::obs;
+namespace rn = ahfic::runner;
+namespace sp = ahfic::spice;
+namespace u = ahfic::util;
+
+namespace {
+
+/// A job whose op() genuinely fails at every rung: node "b" hangs off
+/// capacitors only, so the DC matrix is singular no matter the options.
+rn::Job floatingNodeJob(const std::string& key) {
+  rn::Job job;
+  job.key = key;
+  job.run = [](rn::JobContext& ctx) {
+    sp::Circuit ckt;
+    const int in = ckt.node("in"), a = ckt.node("a"), b = ckt.node("b");
+    ckt.add<sp::VSource>("V1", in, 0, 1.0);
+    ckt.add<sp::Resistor>("R1", in, a, 1e3);
+    ckt.add<sp::Capacitor>("C1", a, b, 1e-12);
+    ckt.add<sp::Capacitor>("C2", b, 0, 1e-12);
+    sp::Analyzer an(ckt, ctx.options);
+    an.op();
+    return rn::JobResult{};
+  };
+  return job;
+}
+
+/// Converges only with a full Newton budget (see runner_test.cpp): rung 0
+/// of the strangled ladder fails, rung 1 recovers.
+rn::Job hardOpJob(const std::string& key) {
+  rn::Job job;
+  job.key = key;
+  job.run = [](rn::JobContext& ctx) {
+    sp::Circuit ckt;
+    const int c = ckt.node("c"), b = ckt.node("b");
+    ckt.add<sp::VSource>("VB", b, 0, 0.85);
+    ckt.add<sp::VSource>("VC", c, 0, 2.0);
+    ckt.add<sp::Bjt>("Q1", ckt, c, b, 0, sp::BjtModel{});
+    sp::Analyzer an(ckt, ctx.options);
+    an.op();
+    return rn::JobResult{};
+  };
+  return job;
+}
+
+rn::RetryLadder twoRungLadder() {
+  sp::AnalysisOptions strangled;
+  strangled.maxNewtonIters = 1;
+  return rn::RetryLadder(
+      {{"strangled", strangled}, {"standard", sp::AnalysisOptions{}}});
+}
+
+}  // namespace
+
+TEST(RunnerDiag, ExhaustedJobCarriesOneReportPerAttempt) {
+  rn::RunnerOptions opts;
+  opts.threads = 1;
+  opts.useCache = false;
+  opts.ladder = twoRungLadder();
+  rn::BatchRunner runner(opts);
+  const auto batch = runner.run({floatingNodeJob("floating")});
+
+  const auto& rec = batch.outcomes[0].record;
+  EXPECT_EQ(rec.status, rn::JobStatus::kFailed);
+  EXPECT_EQ(rec.attempts, 2);
+  ASSERT_TRUE(rec.diags.isArray());
+  ASSERT_EQ(rec.diags.size(), 2u);
+  for (size_t k = 0; k < rec.diags.size(); ++k) {
+    const auto& entry = rec.diags.at(k);
+    EXPECT_EQ(entry.get("rung").asNumber(), static_cast<double>(k));
+    const auto reports = sp::diagReportsFromJson(entry.get("report"));
+    ASSERT_EQ(reports.size(), 1u);
+    EXPECT_EQ(reports[0].analysis, "op");
+    EXPECT_FALSE(reports[0].trail.empty());
+    ASSERT_FALSE(reports[0].nodes.empty());
+    EXPECT_EQ(reports[0].nodes[0].name, "V(b)");
+  }
+  EXPECT_EQ(rec.diags.at(0).get("rungName").asString(), "strangled");
+  EXPECT_EQ(rec.diags.at(1).get("rungName").asString(), "standard");
+
+  // The attachments survive the manifest's JSON round trip.
+  const auto doc = u::parseJson(batch.manifest.toJsonString());
+  const auto& j = doc.get("jobs").at(0);
+  ASSERT_TRUE(j.has("diags"));
+  EXPECT_EQ(j.get("diags").size(), 2u);
+  EXPECT_EQ(j.get("diags").at(0).get("report").get("schema").asString(),
+            "ahfic-diag-v1");
+}
+
+TEST(RunnerDiag, RecoveredJobKeepsItsFailedAttemptReport) {
+  rn::RunnerOptions opts;
+  opts.threads = 1;
+  opts.useCache = false;
+  opts.ladder = twoRungLadder();
+  rn::BatchRunner runner(opts);
+  const auto batch = runner.run({hardOpJob("hard-op")});
+
+  const auto& rec = batch.outcomes[0].record;
+  EXPECT_EQ(rec.status, rn::JobStatus::kRecovered);
+  ASSERT_TRUE(rec.diags.isArray());
+  ASSERT_EQ(rec.diags.size(), 1u);  // only the strangled attempt failed
+  EXPECT_EQ(rec.diags.at(0).get("rungName").asString(), "strangled");
+  const auto reports =
+      sp::diagReportsFromJson(rec.diags.at(0).get("report"));
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_GT(reports[0].totalIterations, 0);
+}
+
+TEST(RunnerDiag, DiagnosticsSwitchOffAttachesNothing) {
+  rn::RunnerOptions opts;
+  opts.threads = 1;
+  opts.useCache = false;
+  opts.diagnostics = false;
+  opts.ladder = twoRungLadder();
+  rn::BatchRunner runner(opts);
+  const auto batch = runner.run({floatingNodeJob("floating")});
+
+  const auto& rec = batch.outcomes[0].record;
+  EXPECT_EQ(rec.status, rn::JobStatus::kFailed);
+  EXPECT_FALSE(rec.diags.isArray());
+  EXPECT_FALSE(u::parseJson(batch.manifest.toJsonString())
+                   .get("jobs")
+                   .at(0)
+                   .has("diags"));
+}
+
+TEST(RunnerDiag, RejectedAndFailedAreDistinguishableInMetrics) {
+  obs::metrics().resetForTest();
+  obs::setMetricsEnabled(true);
+  const auto before = obs::metrics().snapshot();
+
+  // One statically-doomed job (lint pre-flight rejects it), one
+  // dynamically-failing job (every solver rung exhausts), one good job.
+  rn::Job doomed;
+  doomed.key = "doomed";
+  doomed.preflight = [] {
+    ahfic::lint::LintReport r;
+    r.error("TEST_REJECT", "statically broken by construction");
+    return r;
+  };
+  doomed.run = [](rn::JobContext&) -> rn::JobResult {
+    throw ahfic::Error("must never run");
+  };
+
+  rn::RunnerOptions opts;
+  opts.threads = 1;
+  opts.useCache = false;
+  opts.ladder = twoRungLadder();
+  rn::BatchRunner runner(opts);
+  const auto batch =
+      runner.run({doomed, floatingNodeJob("floating"), hardOpJob("hard")});
+
+  const auto delta = obs::metrics().snapshot().since(before);
+  obs::setMetricsEnabled(false);
+  obs::metrics().resetForTest();
+
+  EXPECT_EQ(batch.manifest.countWithStatus(rn::JobStatus::kRejected), 1);
+  EXPECT_EQ(batch.manifest.countWithStatus(rn::JobStatus::kFailed), 1);
+  EXPECT_EQ(batch.manifest.countWithStatus(rn::JobStatus::kRecovered), 1);
+  // Regression: a rejection must not masquerade as a solver failure in
+  // the batch-window counters (and vice versa).
+  EXPECT_EQ(delta.counterValue("runner.jobs_rejected"), 1);
+  EXPECT_EQ(delta.counterValue("runner.jobs_failed"), 1);
+  EXPECT_EQ(delta.counterValue("runner.jobs_completed"), 1);
+  // Each failed solver attempt with a report bumped diag.attached: two
+  // rungs for the floating job, one failed rung for the recovered job.
+  EXPECT_EQ(delta.counterValue("diag.attached"), 3);
+  EXPECT_EQ(delta.counterValue("diag.reports"), 3);
+}

@@ -1,0 +1,234 @@
+// Convergence forensics: telemetry recording, "ahfic-diag-v1" failure
+// reports (round trip, attribution, hints), transient step traces, and
+// the renamed solver metrics.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "spice/analysis.h"
+#include "spice/circuit.h"
+#include "spice/diode.h"
+#include "spice/forensics.h"
+#include "spice/passive.h"
+#include "spice/sources.h"
+#include "util/error.h"
+#include "util/json.h"
+
+namespace obs = ahfic::obs;
+namespace sp = ahfic::spice;
+namespace u = ahfic::util;
+
+namespace {
+
+/// Node "b" is reachable only through capacitors: the DC matrix is
+/// singular at every homotopy rung, so op() must fail deterministically.
+void buildFloatingNodeCircuit(sp::Circuit& ckt) {
+  const int in = ckt.node("in"), a = ckt.node("a"), b = ckt.node("b");
+  ckt.add<sp::VSource>("V1", in, 0, 1.0);
+  ckt.add<sp::Resistor>("R1", in, a, 1e3);
+  ckt.add<sp::Capacitor>("C1", a, b, 1e-12);
+  ckt.add<sp::Capacitor>("C2", b, 0, 1e-12);
+}
+
+/// Runs the floating-node op with forensics enabled and returns the
+/// parsed failure report.
+sp::DiagReport failingOpReport() {
+  sp::Circuit ckt;
+  buildFloatingNodeCircuit(ckt);
+  sp::AnalysisOptions opts;
+  opts.forensics = true;
+  sp::Analyzer an(ckt, opts);
+  try {
+    an.op();
+  } catch (const ahfic::ConvergenceError& e) {
+    if (e.diag() == nullptr) throw ahfic::Error("no diag attached");
+    return sp::DiagReport::fromJson(u::parseJson(*e.diag()));
+  }
+  throw ahfic::Error("floating-node op unexpectedly converged");
+}
+
+}  // namespace
+
+TEST(Forensics, DisabledByDefaultAndFailureCarriesNoDiag) {
+  sp::Circuit ckt;
+  buildFloatingNodeCircuit(ckt);
+  sp::Analyzer an(ckt);
+  EXPECT_EQ(an.forensics(), nullptr);
+  try {
+    an.op();
+    FAIL() << "floating-node op unexpectedly converged";
+  } catch (const ahfic::ConvergenceError& e) {
+    EXPECT_EQ(e.diag(), nullptr);  // opt-in only, no silent overhead
+  }
+}
+
+TEST(Forensics, FloatingNodeReportNamesWorstNodeAndDevices) {
+  const sp::DiagReport r = failingOpReport();
+  EXPECT_EQ(r.analysis, "op");
+  EXPECT_FALSE(r.stage.empty());
+  EXPECT_EQ(r.unknowns, 4);  // in, a, b, I(V1)
+  ASSERT_FALSE(r.trail.empty());
+  EXPECT_TRUE(r.trail.back().singular);
+  EXPECT_EQ(r.trail.back().worstUnknown, "V(b)");
+  ASSERT_FALSE(r.nodes.empty());
+  EXPECT_EQ(r.nodes[0].name, "V(b)");
+  // The devices touching the floating node are the likely culprits.
+  ASSERT_EQ(r.nodes[0].devices.size(), 2u);
+  EXPECT_EQ(r.nodes[0].devices[0], "C1");
+  EXPECT_EQ(r.nodes[0].devices[1], "C2");
+  // Every homotopy stage was attempted before giving up.
+  ASSERT_FALSE(r.continuation.empty());
+  EXPECT_EQ(r.continuation.front().stage, "newton");
+  EXPECT_FALSE(r.continuation.front().converged);
+  // A floating-node hint mentioning the node must be present.
+  bool hinted = false;
+  for (const std::string& h : r.hints)
+    if (h.find("floating") != std::string::npos &&
+        h.find("V(b)") != std::string::npos)
+      hinted = true;
+  EXPECT_TRUE(hinted);
+}
+
+TEST(Forensics, DiagJsonRoundTripIsLossless) {
+  const sp::DiagReport r = failingOpReport();
+  const u::JsonValue j1 = r.toJson();
+  EXPECT_EQ(j1.get("schema").asString(), "ahfic-diag-v1");
+  // report -> JSON -> report -> JSON must be byte-identical.
+  const sp::DiagReport back = sp::DiagReport::fromJson(u::parseJson(
+      j1.dump(2)));
+  EXPECT_EQ(back.toJson().dump(2), j1.dump(2));
+
+  // Envelope round trip, and bare-report parsing.
+  const auto fromEnvelope =
+      sp::diagReportsFromJson(sp::diagEnvelope({r, r}));
+  ASSERT_EQ(fromEnvelope.size(), 2u);
+  EXPECT_EQ(fromEnvelope[1].toJson().dump(), j1.dump());
+  const auto fromBare = sp::diagReportsFromJson(j1);
+  ASSERT_EQ(fromBare.size(), 1u);
+
+  // Schema mismatches are rejected, not misread.
+  u::JsonValue bogus = u::JsonValue::object();
+  bogus.set("schema", "something-else");
+  EXPECT_THROW(sp::DiagReport::fromJson(bogus), ahfic::Error);
+  EXPECT_THROW(sp::diagReportsFromJson(bogus), ahfic::Error);
+}
+
+TEST(Forensics, TransientStepRejectionTraceNamesFailingStage) {
+  // A diode hit by an instantaneous 5 V edge, with Newton strangled to
+  // two iterations and only two step retries: the DC point (everything
+  // at 0 V, so the first solve is exact) converges, but steps crossing
+  // the edge need several pnjlim iterations, so the controller rejects,
+  // halves dt, and exhausts its retry budget at the edge.
+  sp::Circuit ckt;
+  const int in = ckt.node("in"), a = ckt.node("a");
+  ckt.add<sp::VSource>(
+      "VP", in, 0,
+      std::make_unique<sp::PulseWaveform>(0.0, 5.0, 0.5e-9, 1e-15, 1e-15,
+                                          10e-9, 20e-9));
+  ckt.add<sp::Resistor>("R1", in, a, 100.0);
+  sp::DiodeModel dm;
+  ckt.add<sp::Diode>("D1", ckt, a, 0, dm);
+
+  sp::AnalysisOptions opts;
+  opts.forensics = true;
+  opts.maxNewtonIters = 2;
+  opts.maxStepRetries = 2;
+  sp::Analyzer an(ckt, opts);
+  try {
+    an.transient(2e-9, 0.1e-9);
+    FAIL() << "strangled transient unexpectedly completed";
+  } catch (const ahfic::ConvergenceError& e) {
+    ASSERT_NE(e.diag(), nullptr);
+    const sp::DiagReport r =
+        sp::DiagReport::fromJson(u::parseJson(*e.diag()));
+    EXPECT_EQ(r.analysis, "transient");
+    EXPECT_EQ(r.stage, "transient-step");
+    // Failure time: pinned just before the 0.5 ns edge.
+    EXPECT_LT(r.stageValue, 0.51e-9);
+    ASSERT_FALSE(r.steps.empty());
+    // The tail of the step trace is the rejection cascade: dt halves
+    // between consecutive rejected attempts.
+    const auto& steps = r.steps;
+    ASSERT_GE(steps.size(), 3u);
+    const auto& s1 = steps[steps.size() - 2];
+    const auto& s2 = steps[steps.size() - 1];
+    EXPECT_FALSE(s1.accepted);
+    EXPECT_FALSE(s2.accepted);
+    EXPECT_NEAR(s2.dt, 0.5 * s1.dt, 1e-6 * s1.dt);
+    // Earlier steps (before the edge) were accepted.
+    EXPECT_TRUE(steps.front().accepted);
+  }
+}
+
+TEST(Forensics, SuccessfulAnalysesKeepRecorderButThrowNothing) {
+  // Forensics on a healthy circuit: telemetry accumulates, nothing
+  // throws, and results match the forensics-off run exactly.
+  sp::Circuit ckt;
+  const int a = ckt.node("a");
+  sp::DiodeModel dm;
+  ckt.add<sp::ISource>("I1", 0, a, 1e-3);
+  ckt.add<sp::Diode>("D1", ckt, a, 0, dm);
+
+  sp::AnalysisOptions opts;
+  opts.forensics = true;
+  sp::Analyzer with(ckt, opts);
+  sp::Analyzer without(ckt);
+  const auto xa = with.op();
+  const auto xb = without.op();
+  ASSERT_EQ(xa.size(), xb.size());
+  for (size_t k = 0; k < xa.size(); ++k) EXPECT_EQ(xa[k], xb[k]);
+
+  ASSERT_NE(with.forensics(), nullptr);
+  EXPECT_GT(with.forensics()->totalIterations(), 0);
+  const auto trail = with.forensics()->trail();
+  ASSERT_FALSE(trail.empty());
+  EXPECT_FALSE(trail.back().singular);
+}
+
+TEST(Forensics, UnknownNamesResolveNodesAndBranches) {
+  sp::Circuit ckt;
+  buildFloatingNodeCircuit(ckt);
+  sp::Analyzer an(ckt);  // assigns the branch-current unknown ids
+  EXPECT_EQ(sp::unknownName(ckt, 1), "V(in)");
+  EXPECT_EQ(sp::unknownName(ckt, 2), "V(a)");
+  EXPECT_EQ(sp::unknownName(ckt, 3), "V(b)");
+  EXPECT_EQ(sp::unknownName(ckt, 4), "I(V1)");  // V1's branch current
+  EXPECT_EQ(sp::unknownName(ckt, 99), "unknown#99");
+}
+
+TEST(ForensicsMetrics, NewtonHistogramAndTransientStepCounters) {
+  obs::metrics().resetForTest();
+  obs::setMetricsEnabled(true);
+
+  sp::Circuit ckt;
+  const int in = ckt.node("in"), a = ckt.node("a");
+  ckt.add<sp::VSource>(
+      "VP", in, 0,
+      std::make_unique<sp::PulseWaveform>(0.0, 0.8, 0.5e-9, 0.2e-9,
+                                          0.2e-9, 10e-9, 20e-9));
+  ckt.add<sp::Resistor>("R1", in, a, 1e3);
+  sp::DiodeModel dm;
+  ckt.add<sp::Diode>("D1", ckt, a, 0, dm);
+  sp::Analyzer an(ckt);
+  const auto res = an.transient(2e-9, 0.1e-9);
+  ASSERT_GT(res.time.size(), 4u);
+
+  const auto snap = obs::metrics().snapshot();
+  obs::setMetricsEnabled(false);
+  obs::metrics().resetForTest();
+
+  // Satellite: per-solve iteration histogram under its unified name.
+  const auto* h = snap.findHistogram("spice.newton.iterations");
+  ASSERT_NE(h, nullptr);
+  EXPECT_GT(h->count, 0);
+  EXPECT_GT(h->sum, 0.0);
+  // Step counters under the spice.transient.* prefix.
+  EXPECT_EQ(snap.counterValue("spice.transient.steps_accepted"),
+            static_cast<long long>(an.stats().acceptedSteps));
+  EXPECT_EQ(snap.counterValue("spice.transient.steps_rejected"),
+            static_cast<long long>(an.stats().rejectedSteps));
+}
