@@ -1,0 +1,250 @@
+// ahfic_client — a minimal command-line client for ahficd, used by the
+// CI smoke job and handy for manual poking. POSIX sockets only, one
+// request per connection (matching the server's Connection: close).
+//
+// Usage:
+//   ./ahfic_client [--host H] [--port N] COMMAND ...
+//
+// Commands:
+//   health                      GET /healthz
+//   metrics                     GET /v1/metrics
+//   submit DECK.sp [--wait] [--no-preflight] [--label L]
+//                               POST /v1/jobs with the deck text; with
+//                               --wait, polls the job until done and
+//                               prints the final envelope
+//   workload NAME [--wait]      POST /v1/jobs {"workload": NAME}
+//   job ID                      GET /v1/jobs/ID
+//   get PATH                    GET arbitrary path (e.g. /celldb)
+//   post PATH FILE              POST FILE's bytes as application/json
+//
+// Exit codes: 0 on 2xx, 9 on 429 (backpressure — scriptable retry),
+// 4 on other 4xx, 5 on 5xx, 2 on usage/transport errors. The response
+// body always goes to stdout.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "util/error.h"
+#include "util/json.h"
+
+namespace u = ahfic::util;
+
+namespace {
+
+struct Reply {
+  int status = 0;  // 0 = transport failure
+  std::string body;
+};
+
+/// One HTTP exchange: connect, send, read to EOF, split off the body.
+Reply exchange(const std::string& host, int port, const std::string& method,
+               const std::string& path, const std::string& body) {
+  Reply reply;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return reply;
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    ::close(fd);
+    return reply;
+  }
+
+  std::ostringstream req;
+  req << method << " " << path << " HTTP/1.1\r\n"
+      << "Host: " << host << "\r\n"
+      << "Connection: close\r\n";
+  if (!body.empty())
+    req << "Content-Type: application/json\r\n"
+        << "Content-Length: " << body.size() << "\r\n";
+  req << "\r\n" << body;
+  const std::string wire = req.str();
+
+  size_t off = 0;
+  while (off < wire.size()) {
+    const ssize_t n = ::send(fd, wire.data() + off, wire.size() - off, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return reply;
+    }
+    off += static_cast<size_t>(n);
+  }
+
+  std::string raw;
+  char chunk[8192];
+  ssize_t n;
+  while ((n = ::recv(fd, chunk, sizeof chunk, 0)) > 0)
+    raw.append(chunk, static_cast<size_t>(n));
+  ::close(fd);
+
+  // "HTTP/1.1 200 OK\r\n...\r\n\r\nbody"
+  if (raw.size() < 12 || raw.compare(0, 5, "HTTP/") != 0) return reply;
+  reply.status = std::atoi(raw.c_str() + raw.find(' ') + 1);
+  const size_t split = raw.find("\r\n\r\n");
+  if (split != std::string::npos) reply.body = raw.substr(split + 4);
+  return reply;
+}
+
+int exitCode(const Reply& r) {
+  if (r.status == 0) {
+    std::cerr << "transport error (is ahficd running?)\n";
+    return 2;
+  }
+  if (r.status < 300) return 0;
+  if (r.status == 429) return 9;
+  if (r.status < 500) return 4;
+  return 5;
+}
+
+std::string readFile(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) {
+    std::cerr << "cannot open '" << path << "'\n";
+    std::exit(2);
+  }
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+/// Polls GET /v1/jobs/<id> until state == "done" (or too many errors).
+Reply waitForJob(const std::string& host, int port, const std::string& id) {
+  for (int attempt = 0; attempt < 600; ++attempt) {
+    Reply r = exchange(host, port, "GET", "/v1/jobs/" + id, "");
+    if (r.status != 200) return r;
+    try {
+      if (u::parseJson(r.body).get("state").asString() == "done") return r;
+    } catch (const ahfic::Error&) {
+      return r;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::cerr << "job '" << id << "' did not finish in time\n";
+  return Reply{};
+}
+
+int submitAndMaybeWait(const std::string& host, int port,
+                       const u::JsonValue& doc, bool wait) {
+  Reply r = exchange(host, port, "POST", "/v1/jobs", doc.dump());
+  if (r.status != 202 || !wait) {
+    std::cout << r.body;
+    return exitCode(r);
+  }
+  std::string id;
+  try {
+    id = u::parseJson(r.body).get("id").asString();
+  } catch (const ahfic::Error& e) {
+    std::cerr << "unparseable submission reply: " << e.what() << "\n";
+    return 2;
+  }
+  Reply done = waitForJob(host, port, id);
+  std::cout << done.body;
+  return exitCode(done);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 8078;
+  int k = 1;
+  for (; k < argc; ++k) {
+    if (std::strcmp(argv[k], "--host") == 0 && k + 1 < argc)
+      host = argv[++k];
+    else if (std::strcmp(argv[k], "--port") == 0 && k + 1 < argc)
+      port = std::atoi(argv[++k]);
+    else
+      break;
+  }
+  if (k >= argc) {
+    std::cerr << "usage: ahfic_client [--host H] [--port N] "
+                 "health|metrics|submit|workload|job|get|post ...\n";
+    return 2;
+  }
+  const std::string cmd = argv[k++];
+
+  if (cmd == "health" || cmd == "metrics") {
+    const std::string path = cmd == "health" ? "/healthz" : "/v1/metrics";
+    Reply r = exchange(host, port, "GET", path, "");
+    std::cout << r.body;
+    return exitCode(r);
+  }
+
+  if (cmd == "submit" || cmd == "workload") {
+    if (k >= argc) {
+      std::cerr << cmd << " needs an argument\n";
+      return 2;
+    }
+    const std::string arg = argv[k++];
+    bool wait = false;
+    bool preflight = true;
+    std::string label;
+    for (; k < argc; ++k) {
+      if (std::strcmp(argv[k], "--wait") == 0)
+        wait = true;
+      else if (std::strcmp(argv[k], "--no-preflight") == 0)
+        preflight = false;
+      else if (std::strcmp(argv[k], "--label") == 0 && k + 1 < argc)
+        label = argv[++k];
+      else {
+        std::cerr << "unknown flag '" << argv[k] << "'\n";
+        return 2;
+      }
+    }
+    u::JsonValue doc = u::JsonValue::object();
+    if (cmd == "submit")
+      doc.set("deck", readFile(arg));
+    else
+      doc.set("workload", arg);
+    if (!preflight) doc.set("preflight", false);
+    if (!label.empty()) doc.set("label", label);
+    return submitAndMaybeWait(host, port, doc, wait);
+  }
+
+  if (cmd == "job") {
+    if (k >= argc) {
+      std::cerr << "job needs an id\n";
+      return 2;
+    }
+    Reply r = exchange(host, port, "GET", std::string("/v1/jobs/") + argv[k],
+                       "");
+    std::cout << r.body;
+    return exitCode(r);
+  }
+
+  if (cmd == "get") {
+    if (k >= argc) {
+      std::cerr << "get needs a path\n";
+      return 2;
+    }
+    Reply r = exchange(host, port, "GET", argv[k], "");
+    std::cout << r.body;
+    return exitCode(r);
+  }
+
+  if (cmd == "post") {
+    if (k + 1 >= argc) {
+      std::cerr << "post needs a path and a file\n";
+      return 2;
+    }
+    Reply r = exchange(host, port, "POST", argv[k], readFile(argv[k + 1]));
+    std::cout << r.body;
+    return exitCode(r);
+  }
+
+  std::cerr << "unknown command '" << cmd << "'\n";
+  return 2;
+}

@@ -1,0 +1,182 @@
+// ahficd — the simulation-as-a-service daemon.
+//
+// Binds a dependency-free HTTP/1.1 server (src/serve) over a persistent
+// runner::Session and a live cell database, then waits for SIGINT /
+// SIGTERM. On a signal the job service drains (queued and running jobs
+// finish, bounded by --drain-timeout), the HTTP server stops, and the
+// process exits 0.
+//
+// Usage:
+//   ./ahficd [--port N] [--workers N] [--queue-depth N]
+//            [--connections N] [--celldb PATH] [--seed-celldb]
+//            [--metrics-interval SEC] [--drain-timeout SEC]
+//            [--trace FILE] [--metrics FILE]
+//
+//   --port N              listen port (default 8078; 0 = ephemeral)
+//   --workers N           job-execution threads (default 2)
+//   --queue-depth N       admission-queue bound; overflow -> 429
+//   --connections N       HTTP connection threads (default 4)
+//   --celldb PATH         load the cell database from PATH at startup
+//                         and save it back on clean shutdown
+//   --seed-celldb         pre-populate the example cell library
+//   --metrics-interval S  log a one-line metrics digest every S seconds
+//                         to stderr (0 = off, the default)
+//   --drain-timeout S     max seconds to wait for in-flight jobs on
+//                         shutdown (default 120)
+//
+// Endpoints and schemas: docs/serve.md. Quick check:
+//   curl -s localhost:8078/healthz
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "celldb/database.h"
+#include "celldb/seed.h"
+#include "obs/cli.h"
+#include "obs/metrics.h"
+#include "serve/api.h"
+#include "serve/server.h"
+#include "util/error.h"
+
+namespace sv = ahfic::serve;
+
+namespace {
+
+int intArg(int argc, char** argv, int& k, const char* flag) {
+  if (k + 1 >= argc) {
+    std::cerr << flag << " needs a value\n";
+    std::exit(2);
+  }
+  return std::atoi(argv[++k]);
+}
+
+/// One-line digest of the live registry for --metrics-interval logging.
+void logDigest() {
+  const auto snap = ahfic::obs::metrics().snapshot();
+  double requests = 0, submitted = 0, completed = 0, hits = 0, queued = 0;
+  for (const auto& [name, value] : snap.counters) {
+    const double v = static_cast<double>(value);
+    if (name == "serve.requests") requests = v;
+    if (name == "serve.jobs_submitted") submitted = v;
+    if (name == "serve.jobs_completed") completed = v;
+    if (name == "runner.cache_hits") hits = v;
+  }
+  for (const auto& [name, value] : snap.gauges)
+    if (name == "serve.queue_depth") queued = value;
+  std::cerr << "[ahficd] requests=" << requests << " submitted=" << submitted
+            << " completed=" << completed << " cache_hits=" << hits
+            << " queued=" << queued << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sv::ServerOptions serverOpts;
+  serverOpts.port = 8078;
+  sv::JobServiceOptions jobOpts;
+  std::string celldbPath;
+  bool seedCelldb = false;
+  int metricsInterval = 0;
+  int drainTimeoutSec = 120;
+  ahfic::obs::CliOptions obsOpts;
+
+  for (int k = 1; k < argc; ++k) {
+    if (obsOpts.consume(argc, argv, k)) continue;
+    if (std::strcmp(argv[k], "--port") == 0)
+      serverOpts.port = intArg(argc, argv, k, "--port");
+    else if (std::strcmp(argv[k], "--workers") == 0)
+      jobOpts.workers = intArg(argc, argv, k, "--workers");
+    else if (std::strcmp(argv[k], "--queue-depth") == 0)
+      jobOpts.queueDepth = intArg(argc, argv, k, "--queue-depth");
+    else if (std::strcmp(argv[k], "--connections") == 0)
+      serverOpts.connectionThreads = intArg(argc, argv, k, "--connections");
+    else if (std::strcmp(argv[k], "--celldb") == 0 && k + 1 < argc)
+      celldbPath = argv[++k];
+    else if (std::strcmp(argv[k], "--seed-celldb") == 0)
+      seedCelldb = true;
+    else if (std::strcmp(argv[k], "--metrics-interval") == 0)
+      metricsInterval = intArg(argc, argv, k, "--metrics-interval");
+    else if (std::strcmp(argv[k], "--drain-timeout") == 0)
+      drainTimeoutSec = intArg(argc, argv, k, "--drain-timeout");
+    else {
+      std::cerr << "unknown flag '" << argv[k] << "'\n";
+      return 2;
+    }
+  }
+
+  // The daemon always runs with live metrics: /v1/metrics is an endpoint.
+  ahfic::obs::setMetricsEnabled(true);
+  obsOpts.begin();
+
+  // Block the termination signals in every thread *before* any thread is
+  // spawned, so only the sigwait below ever sees them.
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGINT);
+  sigaddset(&sigs, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
+  try {
+    ahfic::celldb::CellDatabase db;
+    if (!celldbPath.empty()) db = ahfic::celldb::CellDatabase::load(celldbPath);
+    if (seedCelldb) ahfic::celldb::seedExampleLibrary(db);
+    std::mutex dbMutex;
+
+    ahfic::runner::Session session;
+    sv::JobService jobs(session, jobOpts);
+
+    sv::ApiContext ctx;
+    ctx.jobs = &jobs;
+    ctx.db = &db;
+    ctx.dbMutex = &dbMutex;
+
+    sv::HttpServer server(sv::buildApiRouter(ctx), serverOpts);
+    server.start();
+    std::cerr << "[ahficd] listening on " << serverOpts.bindAddress << ":"
+              << server.port() << " (" << jobOpts.workers << " job worker(s), "
+              << "queue depth " << jobOpts.queueDepth << ", " << db.size()
+              << " cell(s))\n";
+
+    std::thread digest;
+    std::atomic<bool> digestStop{false};
+    if (metricsInterval > 0)
+      digest = std::thread([metricsInterval, &digestStop] {
+        int elapsed = 0;
+        while (!digestStop.load()) {
+          std::this_thread::sleep_for(std::chrono::seconds(1));
+          if (++elapsed >= metricsInterval) {
+            logDigest();
+            elapsed = 0;
+          }
+        }
+      });
+
+    int sig = 0;
+    sigwait(&sigs, &sig);
+    std::cerr << "[ahficd] caught " << (sig == SIGTERM ? "SIGTERM" : "SIGINT")
+              << ", draining\n";
+
+    const bool drained =
+        jobs.stop(/*drain=*/true, std::chrono::seconds(drainTimeoutSec));
+    server.stop();
+    digestStop.store(true);
+    if (digest.joinable()) digest.join();
+    if (!drained)
+      std::cerr << "[ahficd] drain timed out; queued jobs were dropped\n";
+
+    if (!celldbPath.empty()) db.save(celldbPath);
+    obsOpts.finish(std::cout);
+    std::cerr << "[ahficd] bye\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "ahficd: " << e.what() << "\n";
+    return 1;
+  }
+}

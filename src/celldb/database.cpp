@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "ahdl/lang.h"
+#include "celldb/html.h"
 #include "spice/circuit.h"
 #include "spice/parser.h"
 #include "util/error.h"
@@ -42,19 +43,6 @@ void validateCell(const Cell& cell) {
                   "': behavioural view does not parse: " + e.what());
     }
   }
-}
-
-std::string escapeHtml(const std::string& s) {
-  std::string out;
-  for (char c : s) {
-    switch (c) {
-      case '<': out += "&lt;"; break;
-      case '>': out += "&gt;"; break;
-      case '&': out += "&amp;"; break;
-      default: out += c;
-    }
-  }
-  return out;
 }
 
 }  // namespace
@@ -303,33 +291,9 @@ CellDatabase CellDatabase::load(const std::string& path) {
 // ---- WWW view ----
 
 std::string CellDatabase::toHtml() const {
-  std::ostringstream os;
-  os << "<!DOCTYPE html>\n<html><head><title>Analog Cell Library"
-        "</title></head>\n<body>\n";
-  os << "<h1>Analog Cell Library</h1>\n";
-  const auto st = stats();
-  os << "<p>" << st.cellCount << " cells in " << st.libraryCount
-     << " libraries; " << st.totalCheckouts << " checkouts recorded.</p>\n";
-  for (const auto& lib : libraries()) {
-    os << "<h2>Library " << escapeHtml(lib) << "</h2>\n";
-    for (const auto& cat : categories(lib)) {
-      os << "<h3>" << escapeHtml(cat) << "</h3>\n<ul>\n";
-      for (const Cell* c : byCategory(lib, cat)) {
-        os << "<li><b>" << escapeHtml(c->name) << "</b>";
-        if (!c->category2.empty())
-          os << " <i>(" << escapeHtml(c->category2) << ")</i>";
-        if (!c->document.empty())
-          os << "<br/><pre>" << escapeHtml(c->document) << "</pre>";
-        if (!c->schematic.empty())
-          os << "<details><summary>schematic</summary><pre>"
-             << escapeHtml(c->schematic) << "</pre></details>";
-        os << "</li>\n";
-      }
-      os << "</ul>\n";
-    }
-  }
-  os << "</body></html>\n";
-  return os.str();
+  // Static flavour of the shared renderer (celldb/html.h); ahficd serves
+  // the same pages live with HtmlOptions::liveLinks.
+  return libraryIndexHtml(*this);
 }
 
 void instantiateCell(spice::Circuit& ckt, const Cell& cell,

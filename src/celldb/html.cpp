@@ -1,0 +1,151 @@
+#include "celldb/html.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "celldb/cell.h"
+#include "celldb/database.h"
+#include "util/strings.h"
+
+namespace ahfic::celldb {
+
+namespace util = ahfic::util;
+
+std::string escapeHtml(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '&': out += "&amp;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&#39;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Percent-encodes one path segment (RFC 3986 unreserved set passes).
+std::string encodePathSegment(const std::string& s) {
+  std::string out;
+  for (unsigned char c : s) {
+    const bool unreserved =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+        (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.' ||
+        c == '~';
+    if (unreserved) {
+      out += static_cast<char>(c);
+    } else {
+      char buf[4];
+      std::snprintf(buf, sizeof buf, "%%%02X", c);
+      out += buf;
+    }
+  }
+  return out;
+}
+
+std::string cellUrl(const HtmlOptions& opts, const Cell& cell) {
+  return opts.cellPathPrefix + encodePathSegment(cell.library) + "/" +
+         encodePathSegment(cell.name);
+}
+
+void emitDetails(std::ostream& os, const char* summary,
+                 const std::string& content) {
+  if (content.empty()) return;
+  os << "<details><summary>" << summary << "</summary><pre>"
+     << escapeHtml(content) << "</pre></details>";
+}
+
+/// Everything below the name line: document, views, search aids,
+/// provenance. Shared by index entries and standalone pages.
+void emitCellContent(std::ostream& os, const Cell& cell) {
+  if (!cell.document.empty())
+    os << "<br/><pre>" << escapeHtml(cell.document) << "</pre>";
+  emitDetails(os, "schematic", cell.schematic);
+  emitDetails(os, "behavioral", cell.behavioral);
+  if (!cell.ports.empty())
+    os << "<p>ports: <code>" << escapeHtml(util::join(cell.ports, " "))
+       << "</code></p>";
+  if (!cell.keywords.empty())
+    os << "<p>keywords: " << escapeHtml(util::join(cell.keywords, ", "))
+       << "</p>";
+  if (!cell.author.empty() || !cell.registeredOn.empty() ||
+      cell.reuseCount != 0) {
+    os << "<p><small>";
+    if (!cell.author.empty()) os << "author " << escapeHtml(cell.author);
+    if (!cell.registeredOn.empty())
+      os << (cell.author.empty() ? "" : ", ") << "registered "
+         << escapeHtml(cell.registeredOn);
+    if (cell.reuseCount != 0)
+      os << ", reused " << cell.reuseCount << "x";
+    os << "</small></p>";
+  }
+}
+
+void emitNameLine(std::ostream& os, const Cell& cell,
+                  const HtmlOptions& opts) {
+  if (opts.liveLinks)
+    os << "<a href=\"" << cellUrl(opts, cell) << "\"><b>"
+       << escapeHtml(cell.name) << "</b></a>";
+  else
+    os << "<b>" << escapeHtml(cell.name) << "</b>";
+  if (!cell.category2.empty())
+    os << " <i>(" << escapeHtml(cell.category2) << ")</i>";
+}
+
+}  // namespace
+
+std::string cellToHtml(const Cell& cell) {
+  std::ostringstream os;
+  emitNameLine(os, cell, HtmlOptions{});
+  emitCellContent(os, cell);
+  return os.str();
+}
+
+std::string cellPageHtml(const Cell& cell, const HtmlOptions& opts) {
+  std::ostringstream os;
+  os << "<!DOCTYPE html>\n<html><head><title>Cell "
+     << escapeHtml(cell.key()) << "</title></head>\n<body>\n";
+  os << "<h1>" << escapeHtml(cell.name) << "</h1>\n";
+  os << "<p>library " << escapeHtml(cell.library) << " &middot; "
+     << escapeHtml(cell.category1);
+  if (!cell.category2.empty())
+    os << " / " << escapeHtml(cell.category2);
+  os << "</p>\n";
+  emitCellContent(os, cell);
+  if (opts.liveLinks) os << "\n<p><a href=\"/celldb\">back to index</a></p>";
+  os << "\n</body></html>\n";
+  return os.str();
+}
+
+std::string libraryIndexHtml(const CellDatabase& db,
+                             const HtmlOptions& opts) {
+  std::ostringstream os;
+  os << "<!DOCTYPE html>\n<html><head><title>Analog Cell Library"
+        "</title></head>\n<body>\n";
+  os << "<h1>Analog Cell Library</h1>\n";
+  const auto st = db.stats();
+  os << "<p>" << st.cellCount << " cells in " << st.libraryCount
+     << " libraries; " << st.totalCheckouts << " checkouts recorded.</p>\n";
+  for (const auto& lib : db.libraries()) {
+    os << "<h2>Library " << escapeHtml(lib) << "</h2>\n";
+    for (const auto& cat : db.categories(lib)) {
+      os << "<h3>" << escapeHtml(cat) << "</h3>\n<ul>\n";
+      for (const Cell* c : db.byCategory(lib, cat)) {
+        os << "<li>";
+        emitNameLine(os, *c, opts);
+        emitCellContent(os, *c);
+        os << "</li>\n";
+      }
+      os << "</ul>\n";
+    }
+  }
+  os << "</body></html>\n";
+  return os.str();
+}
+
+}  // namespace ahfic::celldb

@@ -1,0 +1,45 @@
+#pragma once
+// HTML renderers for the cell database's WWW view (paper Sec. 3).
+//
+// One renderer, two front-ends: CellDatabase::toHtml() emits the static
+// report and ahficd serves the same pages live (GET /celldb,
+// GET /celldb/cell/<library>/<name>). Everything user-controlled — cell
+// names, documents, schematics — passes through escapeHtml, including
+// quotes, so cell content can never inject markup or break out of an
+// attribute.
+
+#include <string>
+
+namespace ahfic::celldb {
+
+struct Cell;
+class CellDatabase;
+
+/// Escapes `<`, `>`, `&`, `"` and `'` for safe embedding in HTML text
+/// and attribute values.
+std::string escapeHtml(const std::string& s);
+
+/// Rendering knobs shared by the static generator and the live server.
+struct HtmlOptions {
+  /// When true, cell names in the index link to their per-cell pages
+  /// under `cellPathPrefix` ("<prefix><library>/<name>").
+  bool liveLinks = false;
+  std::string cellPathPrefix = "/celldb/cell/";
+};
+
+/// One cell as an HTML fragment (the body of an index entry or a cell
+/// page): name, taxonomy, document, collapsible schematic/behavioural
+/// views, provenance. No surrounding <html>.
+std::string cellToHtml(const Cell& cell);
+
+/// One cell as a standalone page (<!DOCTYPE html> ... </html>), with a
+/// back link to the index when `opts.liveLinks` is set.
+std::string cellPageHtml(const Cell& cell, const HtmlOptions& opts = {});
+
+/// The browsable library index: stats banner, then
+/// library -> category -> cells. This is what toHtml() returns (static
+/// flavour) and what GET /celldb serves (liveLinks flavour).
+std::string libraryIndexHtml(const CellDatabase& db,
+                             const HtmlOptions& opts = {});
+
+}  // namespace ahfic::celldb

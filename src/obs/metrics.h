@@ -144,7 +144,9 @@ class Registry {
  public:
   /// Shard capacities; registration beyond these throws ahfic::Error.
   /// Fixed so per-thread shards never reallocate under concurrent writes.
-  static constexpr int kMaxCounters = 160;
+  /// Sized with headroom for the serve daemon's per-endpoint counter
+  /// families (serve.endpoint.<route>.<class> is 3 counters per route).
+  static constexpr int kMaxCounters = 224;
   static constexpr int kMaxGauges = 32;
   static constexpr int kMaxHistograms = 48;
 

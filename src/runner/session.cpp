@@ -1,0 +1,50 @@
+#include "runner/session.h"
+
+#include "obs/metrics.h"
+#include "util/error.h"
+
+namespace ahfic::runner {
+
+namespace {
+
+const obs::Counter& sessionBatchesCounter() {
+  static const obs::Counter c = obs::counter("runner.session_batches");
+  return c;
+}
+
+RunnerOptions validated(RunnerOptions opts) {
+  if (!opts.cacheFile.empty())
+    throw Error("runner::Session does not support on-disk cache files "
+                "(concurrent batches would race on the file)");
+  return opts;
+}
+
+}  // namespace
+
+Session::Session(RunnerOptions opts) : runner_(validated(std::move(opts))) {}
+
+BatchResult Session::run(const std::vector<Job>& jobs) {
+  BatchResult batch = runner_.run(jobs);
+  batches_.fetch_add(1);
+  sessionBatchesCounter().add();
+  return batch;
+}
+
+void Session::storeText(const std::string& key, std::string text) {
+  std::lock_guard<std::mutex> lock(textMu_);
+  texts_[key] = std::move(text);
+}
+
+std::optional<std::string> Session::fetchText(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(textMu_);
+  auto it = texts_.find(key);
+  if (it == texts_.end()) return std::nullopt;
+  return it->second;
+}
+
+size_t Session::textCount() const {
+  std::lock_guard<std::mutex> lock(textMu_);
+  return texts_.size();
+}
+
+}  // namespace ahfic::runner

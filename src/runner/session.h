@@ -1,0 +1,72 @@
+#pragma once
+// Session: a long-lived simulation engine for server-style callers.
+//
+// BatchRunner already keeps its in-memory ResultCache across run()
+// calls, but every CLI and bench constructs a fresh runner per
+// invocation, so in practice each batch starts cold. A Session makes
+// the warm-state contract explicit and concurrency-safe for daemons
+// (ahficd) that execute many small batches against one engine:
+//
+//  * one ResultCache for the whole session — a deck or workload solved
+//    once is served bit-identically from cache on every later batch;
+//  * a text side-store for artefacts that are not JobResult metrics
+//    (deck listings, rendered reports), keyed like the result cache so
+//    a cache hit can reproduce the full response;
+//  * run() is safe to call from several threads at once: jobs are
+//    independent, the cache locks internally, and each call executes on
+//    the calling thread(s). On-disk cache files are not supported here
+//    precisely because concurrent run() calls would race on the file.
+//
+// Usage:
+//   runner::Session session(opts);
+//   auto first = session.run(jobs);    // cold: solves and caches
+//   auto again = session.run(jobs);    // warm: all cache hits
+
+#include <atomic>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "runner/engine.h"
+
+namespace ahfic::runner {
+
+class Session {
+ public:
+  /// `opts.cacheFile` must be empty (throws ahfic::Error otherwise):
+  /// sessions are in-memory engines; persistence belongs to the caller.
+  explicit Session(RunnerOptions opts = {});
+
+  /// Executes one batch on the shared engine. Thread-safe; concurrent
+  /// batches interleave on the shared cache without blocking each other.
+  BatchResult run(const std::vector<Job>& jobs);
+
+  /// The session-wide result cache (shared with the engine).
+  ResultCache& cache() { return runner_.cache(); }
+  const RunnerOptions& options() const { return runner_.options(); }
+
+  /// Batches executed so far (monotonic; informational).
+  size_t batchesRun() const { return batches_.load(); }
+
+  // ---- warm text store ----
+  // Side-channel for per-key artefacts that cannot live in a JobResult
+  // (metric doubles only): listings, rendered pages. Keyed by the same
+  // job key as the result cache, so "result cache hit + text fetch"
+  // reconstructs a full prior response.
+
+  /// Inserts or overwrites the text artefact for `key`.
+  void storeText(const std::string& key, std::string text);
+  /// Returns the stored artefact, or nullopt.
+  std::optional<std::string> fetchText(const std::string& key) const;
+  size_t textCount() const;
+
+ private:
+  BatchRunner runner_;
+  std::atomic<size_t> batches_{0};
+  mutable std::mutex textMu_;
+  std::unordered_map<std::string, std::string> texts_;
+};
+
+}  // namespace ahfic::runner

@@ -1,0 +1,177 @@
+#include "serve/api.h"
+
+#include <utility>
+
+#include "celldb/html.h"
+#include "obs/metrics.h"
+#include "util/error.h"
+
+namespace ahfic::serve {
+
+namespace cd = ahfic::celldb;
+
+namespace {
+
+/// Parses the submission body; throws ahfic::Error with a client-facing
+/// message on schema problems (mapped to 400 by the caller).
+SubmitRequest parseSubmitBody(const std::string& body) {
+  const util::JsonValue doc = util::parseJson(body);  // ParseError -> 400
+  if (!doc.isObject())
+    throw Error("submission body must be a JSON object");
+  SubmitRequest req;
+  if (doc.has("deck")) req.deck = doc.get("deck").asString();
+  if (doc.has("workload")) req.workload = doc.get("workload").asString();
+  if (doc.has("params")) req.params = doc.get("params");
+  if (doc.has("label")) req.label = doc.get("label").asString();
+  if (doc.has("preflight")) req.preflight = doc.get("preflight").asBool();
+  return req;
+}
+
+/// Builds a celldb::Cell from the registration JSON.
+cd::Cell parseCellBody(const std::string& body) {
+  const util::JsonValue doc = util::parseJson(body);
+  if (!doc.isObject())
+    throw Error("cell registration body must be a JSON object");
+  cd::Cell cell;
+  auto str = [&doc](const char* key) {
+    return doc.has(key) ? doc.get(key).asString() : std::string();
+  };
+  cell.name = str("name");
+  cell.library = str("library");
+  cell.category1 = str("category1");
+  cell.category2 = str("category2");
+  cell.document = str("document");
+  cell.schematic = str("schematic");
+  cell.behavioral = str("behavioral");
+  cell.symbol = str("symbol");
+  cell.author = str("author");
+  cell.registeredOn = str("registered");
+  auto strings = [&doc](const char* key) {
+    std::vector<std::string> out;
+    if (!doc.has(key)) return out;
+    const util::JsonValue& arr = doc.get(key);
+    for (size_t i = 0; i < arr.size(); ++i)
+      out.push_back(arr.at(i).asString());
+    return out;
+  };
+  cell.ports = strings("ports");
+  cell.keywords = strings("keywords");
+  return cell;
+}
+
+HttpResponse cellPageResponse(const cd::Cell* cell) {
+  if (cell == nullptr) return HttpResponse::error(404, "no such cell");
+  cd::HtmlOptions opts;
+  opts.liveLinks = true;
+  return HttpResponse::html(200, cd::cellPageHtml(*cell, opts));
+}
+
+}  // namespace
+
+Router buildApiRouter(const ApiContext& ctx) {
+  Router router;
+
+  router.add("GET", "/healthz", "healthz",
+             [ctx](const HttpRequest&, const RouteParams&) {
+               util::JsonValue doc = util::JsonValue::object();
+               doc.set("status", "ok");
+               doc.set("accepting", ctx.jobs->accepting());
+               doc.set("queued", static_cast<double>(
+                                     ctx.jobs->queuedCount()));
+               doc.set("running", ctx.jobs->runningCount());
+               return HttpResponse::json(200, doc.dump() + "\n");
+             });
+
+  router.add("GET", "/v1/metrics", "metrics",
+             [](const HttpRequest&, const RouteParams&) {
+               return HttpResponse::json(
+                   200, obs::metrics().snapshot().toJsonString() + "\n");
+             });
+
+  router.add("POST", "/v1/jobs", "jobs_submit",
+             [ctx](const HttpRequest& req, const RouteParams&) {
+               SubmitRequest submit;
+               try {
+                 submit = parseSubmitBody(req.body);
+               } catch (const Error& e) {
+                 return HttpResponse::error(
+                     400, std::string("bad submission: ") + e.what());
+               }
+               const SubmitOutcome out = ctx.jobs->submit(submit);
+               return HttpResponse::json(out.status,
+                                         out.body.dump(2) + "\n");
+             });
+
+  router.add("GET", "/v1/jobs/<id>", "jobs_status",
+             [ctx](const HttpRequest&, const RouteParams& params) {
+               const auto out = ctx.jobs->status(params.get("id"));
+               if (!out.found)
+                 return HttpResponse::error(
+                     404, "no job '" + params.get("id") +
+                              "' (unknown id, or expired from retention)");
+               return HttpResponse::json(200, out.body.dump(2) + "\n");
+             });
+
+  router.add("GET", "/celldb", "celldb_index",
+             [ctx](const HttpRequest&, const RouteParams&) {
+               cd::HtmlOptions opts;
+               opts.liveLinks = true;
+               std::lock_guard<std::mutex> lock(*ctx.dbMutex);
+               return HttpResponse::html(
+                   200, cd::libraryIndexHtml(*ctx.db, opts));
+             });
+
+  router.add("GET", "/celldb/cell/<library>/<name>", "celldb_cell",
+             [ctx](const HttpRequest&, const RouteParams& params) {
+               std::lock_guard<std::mutex> lock(*ctx.dbMutex);
+               return cellPageResponse(ctx.db->find(params.get("library"),
+                                                    params.get("name")));
+             });
+
+  router.add("GET", "/celldb/cell/<name>", "celldb_cell",
+             [ctx](const HttpRequest&, const RouteParams& params) {
+               std::lock_guard<std::mutex> lock(*ctx.dbMutex);
+               const cd::Cell* found = nullptr;
+               for (const std::string& lib : ctx.db->libraries()) {
+                 const cd::Cell* c = ctx.db->find(lib, params.get("name"));
+                 if (c == nullptr) continue;
+                 if (found != nullptr)
+                   return HttpResponse::error(
+                       409, "cell name '" + params.get("name") +
+                                "' is ambiguous; use "
+                                "/celldb/cell/<library>/<name>");
+                 found = c;
+               }
+               return cellPageResponse(found);
+             });
+
+  router.add("POST", "/v1/celldb/cells", "celldb_register",
+             [ctx](const HttpRequest& req, const RouteParams&) {
+               cd::Cell cell;
+               try {
+                 cell = parseCellBody(req.body);
+               } catch (const Error& e) {
+                 return HttpResponse::error(
+                     400, std::string("bad cell document: ") + e.what());
+               }
+               std::lock_guard<std::mutex> lock(*ctx.dbMutex);
+               if (ctx.db->find(cell.library, cell.name) != nullptr)
+                 return HttpResponse::error(
+                     409, "cell '" + cell.key() + "' already registered");
+               try {
+                 // Full content validation: schematic must parse as
+                 // SPICE, behavioural view as AHDL.
+                 ctx.db->registerCell(std::move(cell));
+               } catch (const Error& e) {
+                 return HttpResponse::error(422, e.what());
+               }
+               util::JsonValue doc = util::JsonValue::object();
+               doc.set("registered", true);
+               doc.set("cells", static_cast<double>(ctx.db->size()));
+               return HttpResponse::json(201, doc.dump() + "\n");
+             });
+
+  return router;
+}
+
+}  // namespace ahfic::serve

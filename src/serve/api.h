@@ -1,0 +1,38 @@
+#pragma once
+// The ahficd JSON/HTML API, as one Router:
+//
+//   GET  /healthz                      liveness + queue/cache gauges
+//   GET  /v1/metrics                   live "ahfic-metrics-v1" snapshot
+//   POST /v1/jobs                      submit {"deck"|"workload", ...}
+//   GET  /v1/jobs/<id>                 "ahfic-job-v1" envelope
+//   GET  /celldb                       live library index (HTML)
+//   GET  /celldb/cell/<library>/<name> one cell page (HTML)
+//   GET  /celldb/cell/<name>           ditto when the name is unique
+//   POST /v1/celldb/cells              register a cell (JSON fields as
+//                                      in celldb::Cell; full content
+//                                      validation applies)
+//
+// The builder borrows everything it serves — the JobService, the
+// CellDatabase and its guarding mutex stay owned by the caller
+// (examples/ahficd.cpp, tests) and must outlive the Router.
+
+#include <mutex>
+
+#include "celldb/database.h"
+#include "serve/jobs.h"
+#include "serve/router.h"
+
+namespace ahfic::serve {
+
+struct ApiContext {
+  JobService* jobs = nullptr;
+  /// Live cell database; registration and page rendering serialize on
+  /// `dbMutex` (the database itself is not thread-safe).
+  celldb::CellDatabase* db = nullptr;
+  std::mutex* dbMutex = nullptr;
+};
+
+/// Builds the full route table over borrowed services.
+Router buildApiRouter(const ApiContext& ctx);
+
+}  // namespace ahfic::serve

@@ -1,0 +1,240 @@
+#include "serve/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+#include "util/json.h"
+
+namespace ahfic::serve {
+
+namespace {
+
+std::string toLower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+std::string trimCopy(const std::string& s) {
+  size_t b = 0, e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' ||
+                   s[e - 1] == '\r'))
+    --e;
+  return s.substr(b, e - b);
+}
+
+ParseResult fail(int status, std::string message) {
+  ParseResult r;
+  r.state = ParseState::kError;
+  r.errorStatus = status;
+  r.errorMessage = std::move(message);
+  return r;
+}
+
+int hexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::header(const std::string& nameLower) const {
+  for (const auto& [name, value] : headers)
+    if (name == nameLower) return &value;
+  return nullptr;
+}
+
+HttpResponse HttpResponse::json(int status, std::string body) {
+  HttpResponse r;
+  r.status = status;
+  r.contentType = "application/json";
+  r.body = std::move(body);
+  return r;
+}
+
+HttpResponse HttpResponse::html(int status, std::string body) {
+  HttpResponse r;
+  r.status = status;
+  r.contentType = "text/html; charset=utf-8";
+  r.body = std::move(body);
+  return r;
+}
+
+HttpResponse HttpResponse::error(int status, const std::string& message) {
+  return json(status, jsonErrorBody(status, message));
+}
+
+const char* statusReason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 202: return "Accepted";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 409: return "Conflict";
+    case 413: return "Payload Too Large";
+    case 422: return "Unprocessable Entity";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+std::string jsonErrorBody(int status, const std::string& message) {
+  util::JsonValue err = util::JsonValue::object();
+  err.set("status", status);
+  err.set("reason", statusReason(status));
+  err.set("message", message);
+  util::JsonValue doc = util::JsonValue::object();
+  doc.set("error", std::move(err));
+  return doc.dump() + "\n";
+}
+
+std::string percentDecode(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%' && i + 2 < s.size()) {
+      const int hi = hexDigit(s[i + 1]);
+      const int lo = hexDigit(s[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out += static_cast<char>(hi * 16 + lo);
+        i += 2;
+        continue;
+      }
+    }
+    out += s[i];
+  }
+  return out;
+}
+
+ParseResult parseRequest(const std::string& buffer, HttpRequest& out,
+                         const ParseLimits& limits) {
+  // Find the end of the header block: CRLFCRLF, tolerating bare LF.
+  size_t headerEnd = std::string::npos;  // index one past the blank line
+  for (size_t i = 0; i < buffer.size(); ++i) {
+    if (buffer[i] != '\n') continue;
+    // Line ending at i; blank line when the next line is empty.
+    size_t next = i + 1;
+    if (next < buffer.size() && buffer[next] == '\r') ++next;
+    if (next < buffer.size() && buffer[next] == '\n') {
+      headerEnd = next + 1;
+      break;
+    }
+  }
+  if (headerEnd == std::string::npos) {
+    if (buffer.size() > limits.maxHeaderBytes)
+      return fail(431, "header block exceeds " +
+                           std::to_string(limits.maxHeaderBytes) + " bytes");
+    return ParseResult{};  // incomplete
+  }
+  if (headerEnd > limits.maxHeaderBytes)
+    return fail(431, "header block exceeds " +
+                         std::to_string(limits.maxHeaderBytes) + " bytes");
+
+  // Split the header block into lines.
+  out = HttpRequest{};
+  std::vector<std::string> lines;
+  size_t lineStart = 0;
+  while (lineStart < headerEnd) {
+    size_t nl = buffer.find('\n', lineStart);
+    if (nl == std::string::npos || nl >= headerEnd) break;
+    std::string line = buffer.substr(lineStart, nl - lineStart);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    lines.push_back(std::move(line));
+    lineStart = nl + 1;
+  }
+  if (lines.empty() || lines[0].empty())
+    return fail(400, "missing request line");
+
+  // Request line: METHOD SP target SP HTTP/x.y
+  {
+    const std::string& rl = lines[0];
+    const size_t sp1 = rl.find(' ');
+    const size_t sp2 = rl.rfind(' ');
+    if (sp1 == std::string::npos || sp2 == sp1)
+      return fail(400, "malformed request line '" + rl + "'");
+    out.method = rl.substr(0, sp1);
+    out.target = trimCopy(rl.substr(sp1 + 1, sp2 - sp1 - 1));
+    out.version = rl.substr(sp2 + 1);
+    if (out.method.empty() || out.target.empty() || out.target[0] != '/')
+      return fail(400, "malformed request line '" + rl + "'");
+    for (char c : out.method)
+      if (!std::isupper(static_cast<unsigned char>(c)))
+        return fail(400, "malformed method '" + out.method + "'");
+    if (out.version.rfind("HTTP/1.", 0) != 0)
+      return fail(400, "unsupported protocol '" + out.version + "'");
+    // Path is kept raw (still percent-encoded): the router decodes each
+    // matched segment, so an encoded '/' inside a parameter cannot
+    // change the segmentation.
+    const size_t q = out.target.find('?');
+    out.path = out.target.substr(0, q);
+    out.query = q == std::string::npos ? "" : out.target.substr(q + 1);
+  }
+
+  // Header fields.
+  for (size_t i = 1; i < lines.size(); ++i) {
+    if (lines[i].empty()) continue;  // the blank terminator line
+    const size_t colon = lines[i].find(':');
+    if (colon == std::string::npos || colon == 0)
+      return fail(400, "malformed header line '" + lines[i] + "'");
+    out.headers.emplace_back(toLower(trimCopy(lines[i].substr(0, colon))),
+                             trimCopy(lines[i].substr(colon + 1)));
+    if (out.headers.size() > limits.maxHeaderCount)
+      return fail(431, "more than " +
+                           std::to_string(limits.maxHeaderCount) +
+                           " header fields");
+  }
+
+  // Body framing. Chunked (or any transfer-coding) is out of scope for
+  // a job-submission API; reject it cleanly instead of misparsing.
+  if (out.header("transfer-encoding") != nullptr)
+    return fail(501, "transfer-encoding is not supported; "
+                     "send Content-Length");
+
+  size_t bodyLen = 0;
+  if (const std::string* cl = out.header("content-length")) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(cl->c_str(), &end, 10);
+    if (cl->empty() || end == nullptr || *end != '\0')
+      return fail(400, "malformed Content-Length '" + *cl + "'");
+    if (v > limits.maxBodyBytes)
+      return fail(413, "body of " + *cl + " bytes exceeds limit of " +
+                           std::to_string(limits.maxBodyBytes));
+    bodyLen = static_cast<size_t>(v);
+  }
+
+  if (buffer.size() - headerEnd < bodyLen) return ParseResult{};  // more
+
+  out.body = buffer.substr(headerEnd, bodyLen);
+  ParseResult r;
+  r.state = ParseState::kDone;
+  r.consumed = headerEnd + bodyLen;
+  return r;
+}
+
+std::string serializeResponse(const HttpResponse& resp) {
+  std::string out;
+  out += "HTTP/1.1 " + std::to_string(resp.status) + " " +
+         statusReason(resp.status) + "\r\n";
+  out += "Content-Type: " + resp.contentType + "\r\n";
+  out += "Content-Length: " + std::to_string(resp.body.size()) + "\r\n";
+  out += "Connection: close\r\n";
+  for (const auto& [name, value] : resp.extraHeaders)
+    out += name + ": " + value + "\r\n";
+  out += "\r\n";
+  out += resp.body;
+  return out;
+}
+
+}  // namespace ahfic::serve

@@ -1,0 +1,98 @@
+#pragma once
+// Minimal dependency-free HTTP/1.1 message layer for ahficd.
+//
+// Parsing is pure — bytes in, struct out — so it unit-tests without a
+// socket; the server feeds the accumulated receive buffer back in after
+// every read until the parser reports kDone or kError. Deliberately
+// small surface:
+//
+//  * request line + headers + Content-Length body, CRLF or bare LF;
+//  * Transfer-Encoding (chunked) is rejected cleanly with 501 — job
+//    submissions are small JSON documents, never streamed;
+//  * oversized bodies are rejected with 413 *before* the body is read,
+//    from the declared Content-Length;
+//  * header block and header count are capped (431) so a hostile peer
+//    cannot balloon the buffer.
+//
+// Responses always carry Content-Length and Connection: close — one
+// request per connection keeps the connection-handling state machine
+// trivial, which is the right trade for a job-submission API whose
+// requests each cost milliseconds to seconds of solver time.
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ahfic::serve {
+
+struct HttpRequest {
+  std::string method;   ///< as sent, upper-case expected ("GET", "POST")
+  std::string target;   ///< the raw request target ("/v1/jobs?x=1")
+  std::string path;     ///< target up to '?' (raw; router decodes params)
+  std::string query;    ///< after '?' (raw; empty when absent)
+  std::string version;  ///< "HTTP/1.1"
+  /// Header names lower-cased, values trimmed, in arrival order.
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// First header with lower-case name `nameLower`, or nullptr.
+  const std::string* header(const std::string& nameLower) const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string contentType = "application/json";
+  std::string body;
+  /// Extra headers appended verbatim (e.g. {"Allow", "GET"}).
+  std::vector<std::pair<std::string, std::string>> extraHeaders;
+
+  static HttpResponse json(int status, std::string body);
+  static HttpResponse html(int status, std::string body);
+  /// {"error":{"status":...,"message":...}} with Content-Type json.
+  static HttpResponse error(int status, const std::string& message);
+};
+
+/// Reason phrase for the handful of status codes the server emits;
+/// "Unknown" otherwise.
+const char* statusReason(int status);
+
+/// The JSON error body used by every non-2xx machine response.
+std::string jsonErrorBody(int status, const std::string& message);
+
+enum class ParseState {
+  kIncomplete,  ///< need more bytes
+  kDone,        ///< one full request parsed
+  kError,       ///< protocol violation; answer errorStatus and close
+};
+
+struct ParseLimits {
+  size_t maxHeaderBytes = 16 * 1024;
+  size_t maxHeaderCount = 64;
+  size_t maxBodyBytes = 1024 * 1024;
+};
+
+struct ParseResult {
+  ParseState state = ParseState::kIncomplete;
+  int errorStatus = 0;       ///< HTTP status to answer with on kError
+  std::string errorMessage;  ///< human-readable reason on kError
+  size_t consumed = 0;       ///< bytes of `buffer` used on kDone
+};
+
+/// Attempts to parse one request from the front of `buffer`. On kDone,
+/// `out` is fully populated and `consumed` says how many bytes belonged
+/// to the request. On kIncomplete the caller should read more bytes and
+/// retry with the grown buffer. On kError the connection should answer
+/// `errorStatus` and close.
+ParseResult parseRequest(const std::string& buffer, HttpRequest& out,
+                         const ParseLimits& limits = {});
+
+/// Serializes status line, headers and body (Connection: close).
+std::string serializeResponse(const HttpResponse& resp);
+
+/// Decodes %XX escapes (and rejects malformed ones by returning the
+/// input unchanged for that escape). '+' is left alone: these are path
+/// segments, not form data.
+std::string percentDecode(const std::string& s);
+
+}  // namespace ahfic::serve

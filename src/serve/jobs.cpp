@@ -1,0 +1,393 @@
+#include "serve/jobs.h"
+
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+#include "bjtgen/montecarlo.h"
+#include "bjtgen/process.h"
+#include "lint/netlist.h"
+#include "obs/metrics.h"
+#include "runner/workloads.h"
+#include "serve/http.h"
+#include "spice/rundeck.h"
+#include "util/error.h"
+
+namespace ahfic::serve {
+
+namespace rn = ahfic::runner;
+namespace sp = ahfic::spice;
+namespace bg = ahfic::bjtgen;
+
+namespace {
+
+struct ServiceMetrics {
+  obs::Counter submitted = obs::counter("serve.jobs_submitted");
+  obs::Counter rejectedLint = obs::counter("serve.jobs_rejected_lint");
+  obs::Counter overflow = obs::counter("serve.jobs_overflow");
+  obs::Counter completed = obs::counter("serve.jobs_completed");
+  obs::Counter preflightSkipped =
+      obs::counter("serve.jobs_preflight_skipped");
+  obs::Gauge queueDepth = obs::gauge("serve.queue_depth");
+  /// The runner's own queue gauge doubles as the admission-queue depth:
+  /// serve jobs run as single-job batches, so the engine-side gauge
+  /// would otherwise sit at zero and dashboards built on it would go
+  /// blind to daemon backlog.
+  obs::Gauge runnerQueueDepth = obs::gauge("runner.queue_depth");
+  obs::Histogram queueWaitMs = obs::histogram("serve.queue_wait_ms");
+  obs::Histogram jobWallMs = obs::histogram("serve.job_wall_ms");
+};
+
+const ServiceMetrics& serviceMetrics() {
+  static const ServiceMetrics m;
+  return m;
+}
+
+double msSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+std::string hexHash(std::uint64_t h) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+util::JsonValue metricsToJson(const rn::JobResult& result) {
+  util::JsonValue m = util::JsonValue::object();
+  for (const auto& [name, value] : result.metrics) m.set(name, value);
+  return m;
+}
+
+/// Merges one runner outcome into a per-job JSON record.
+util::JsonValue outcomeToJson(const rn::JobOutcome& out) {
+  util::JsonValue j = util::JsonValue::object();
+  j.set("key", out.record.key);
+  j.set("status", rn::jobStatusName(out.record.status));
+  j.set("cacheHit", out.record.cacheHit);
+  j.set("rungName", out.record.rungName);
+  j.set("attempts", out.record.attempts);
+  if (!out.record.error.empty()) j.set("error", out.record.error);
+  if (out.record.diags.isArray()) j.set("diags", out.record.diags);
+  j.set("metrics", metricsToJson(out.result));
+  return j;
+}
+
+}  // namespace
+
+JobService::JobService(rn::Session& session, JobServiceOptions opts)
+    : session_(session), opts_(opts) {
+  if (opts_.workers < 0)
+    throw Error("JobService: workers must be >= 0");
+  if (opts_.queueDepth < 1)
+    throw Error("JobService: queueDepth must be >= 1");
+  workers_.reserve(static_cast<size_t>(opts_.workers));
+  for (int w = 0; w < opts_.workers; ++w)
+    workers_.emplace_back([this] { workerLoop(); });
+}
+
+JobService::~JobService() { stop(false); }
+
+void JobService::setQueueGauges(size_t depth) const {
+  const ServiceMetrics& m = serviceMetrics();
+  m.queueDepth.set(static_cast<double>(depth));
+  m.runnerQueueDepth.set(static_cast<double>(depth));
+}
+
+SubmitOutcome JobService::submit(const SubmitRequest& request) {
+  const ServiceMetrics& m = serviceMetrics();
+  SubmitOutcome out;
+
+  const bool isDeck = !request.deck.empty();
+  const bool isWorkload = !request.workload.empty();
+  if (isDeck == isWorkload) {
+    out.status = 400;
+    out.body = util::parseJson(jsonErrorBody(
+        400, "submission needs exactly one of \"deck\" or \"workload\""));
+    return out;
+  }
+  if (isWorkload && request.workload != "mc-ft" &&
+      request.workload != "corner-ft") {
+    out.status = 400;
+    out.body = util::parseJson(jsonErrorBody(
+        400, "unknown workload '" + request.workload +
+                 "' (known: mc-ft, corner-ft)"));
+    return out;
+  }
+
+  // Admission lint gate. Rejections answer with the structured
+  // "ahfic-lint-v1" report itself, so the client sees codes, lines and
+  // objects — not a prose digest.
+  if (isDeck && request.preflight) {
+    const lint::LintReport report = lint::lintDeckText(request.deck);
+    if (report.hasErrors()) {
+      m.rejectedLint.add();
+      out.status = 422;
+      out.body = report.toJson();
+      return out;
+    }
+  } else if (isDeck) {
+    m.preflightSkipped.add();
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!accepting_) {
+    out.status = 503;
+    out.body =
+        util::parseJson(jsonErrorBody(503, "daemon is shutting down"));
+    return out;
+  }
+  if (queue_.size() >= static_cast<size_t>(opts_.queueDepth)) {
+    m.overflow.add();
+    out.status = 429;
+    out.body = util::parseJson(jsonErrorBody(
+        429, "admission queue full (" + std::to_string(queue_.size()) +
+                 " queued); retry later"));
+    return out;
+  }
+
+  Entry e;
+  e.id = "job-" + std::to_string(nextId_++);
+  e.label = request.label;
+  e.kind = isDeck ? "deck" : "workload";
+  e.deck = request.deck;
+  e.workload = request.workload;
+  e.params = request.params;
+  e.submitted = std::chrono::steady_clock::now();
+  const std::string id = e.id;
+  entries_[id] = std::move(e);
+  queue_.push_back(id);
+  setQueueGauges(queue_.size());
+  m.submitted.add();
+  workCv_.notify_one();
+
+  out.status = 202;
+  out.body = envelope(entries_[id]);
+  return out;
+}
+
+JobService::StatusOutcome JobService::status(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  StatusOutcome out;
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return out;
+  out.found = true;
+  out.body = envelope(it->second);
+  return out;
+}
+
+util::JsonValue JobService::envelope(const Entry& e) const {
+  util::JsonValue doc = util::JsonValue::object();
+  doc.set("schema", "ahfic-job-v1");
+  doc.set("id", e.id);
+  if (!e.label.empty()) doc.set("label", e.label);
+  doc.set("kind", e.kind);
+  if (!e.workload.empty()) doc.set("workload", e.workload);
+  switch (e.state) {
+    case State::kQueued: doc.set("state", "queued"); break;
+    case State::kRunning: doc.set("state", "running"); break;
+    case State::kDone: doc.set("state", "done"); break;
+  }
+  if (e.state != State::kQueued) doc.set("queueMs", e.queueMs);
+  if (e.state == State::kDone) {
+    doc.set("wallMs", e.wallMs);
+    // The execution result: status/cacheHit/listing/metrics/... for
+    // decks, status/jobs for workloads.
+    for (const std::string& key : e.result.keys())
+      doc.set(key, e.result.get(key));
+  }
+  return doc;
+}
+
+void JobService::workerLoop() {
+  while (true) {
+    Entry snapshot;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      workCv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // stop(drain) only raises stopping_ once the queue is empty (or
+      // the drain timed out, abandoning what is left) — so exit trumps
+      // a non-empty queue here.
+      if (stopping_) return;
+      if (queue_.empty()) continue;
+      const std::string id = queue_.front();
+      queue_.pop_front();
+      setQueueGauges(queue_.size());
+      Entry& e = entries_[id];
+      e.state = State::kRunning;
+      e.queueMs = msSince(e.submitted);
+      serviceMetrics().queueWaitMs.observe(e.queueMs);
+      ++running_;
+      snapshot = e;  // copy; execution must not hold the lock
+    }
+
+    const std::string doneId = snapshot.id;
+    util::JsonValue result;
+    double wallMs = 0.0;
+    try {
+      execute(std::move(snapshot), result, wallMs);
+    } catch (const std::exception& ex) {
+      result = util::JsonValue::object();
+      result.set("status", "failed");
+      result.set("error", std::string("job execution failed: ") + ex.what());
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = entries_.find(doneId);
+      if (it != entries_.end()) {
+        it->second.state = State::kDone;
+        it->second.result = std::move(result);
+        it->second.wallMs = wallMs;
+        doneOrder_.push_back(it->first);
+        trimDoneLocked();
+      }
+      --running_;
+      serviceMetrics().completed.add();
+      serviceMetrics().jobWallMs.observe(wallMs);
+      drainCv_.notify_all();
+    }
+  }
+}
+
+void JobService::execute(Entry snapshot, util::JsonValue& result,
+                         double& wallMs) {
+  const auto t0 = std::chrono::steady_clock::now();
+  result = util::JsonValue::object();
+
+  std::vector<rn::Job> jobs;
+  if (snapshot.kind == "deck") {
+    const std::string deckText = snapshot.deck;
+    const std::string key = "deck/" + hexHash(rn::stableKeyHash(deckText));
+    rn::Session& session = session_;
+    rn::Job job;
+    job.key = key;
+    job.run = [deckText, key, &session](rn::JobContext& ctx) {
+      std::ostringstream listing;
+      auto deck = sp::parseDeck(deckText);
+      sp::RunDeckOptions rdOpts;
+      rdOpts.analysis = ctx.options;
+      sp::runDeck(deck, listing, rdOpts);
+      // The listing is text, not a metric: it lives in the session's
+      // warm text store under the same key, so a later cache hit can
+      // reproduce the full response bit-for-bit.
+      std::string text = listing.str();
+      rn::JobResult r;
+      r.set("listing_bytes", static_cast<double>(text.size()));
+      session.storeText(key, std::move(text));
+      return r;
+    };
+    jobs.push_back(std::move(job));
+  } else if (snapshot.workload == "mc-ft") {
+    const auto& p = snapshot.params;
+    const int dies =
+        p.has("dies") ? static_cast<int>(p.get("dies").asNumber()) : 16;
+    const std::string shape =
+        p.has("shape") ? p.get("shape").asString() : "N1.2-12D";
+    const double ic = p.has("ic") ? p.get("ic").asNumber() : 3e-3;
+    char prefix[96];
+    std::snprintf(prefix, sizeof prefix, "serve/mc-ft/%s@%g",
+                  shape.c_str(), ic);
+    jobs = rn::monteCarloFtJobs(bg::defaultTechnology(),
+                                bg::ProcessVariation{}, dies, shape, ic,
+                                prefix);
+  } else if (snapshot.workload == "corner-ft") {
+    const auto& p = snapshot.params;
+    const std::string shape =
+        p.has("shape") ? p.get("shape").asString() : "N1.2-12D";
+    const double ic = p.has("ic") ? p.get("ic").asNumber() : 3e-3;
+    char prefix[96];
+    std::snprintf(prefix, sizeof prefix, "serve/corner-ft/%s@%g",
+                  shape.c_str(), ic);
+    jobs = rn::cornerFtJobs(bg::defaultTechnology(), bg::ProcessVariation{},
+                            shape, ic, 3.0, prefix);
+  } else {
+    throw Error("unknown workload '" + snapshot.workload + "'");
+  }
+
+  const rn::BatchResult batch = session_.run(jobs);
+  wallMs = msSince(t0);
+
+  if (snapshot.kind == "deck") {
+    const rn::JobOutcome& out = batch.outcomes.at(0);
+    result.set("key", out.record.key);
+    result.set("status", rn::jobStatusName(out.record.status));
+    result.set("cacheHit", out.record.cacheHit);
+    result.set("rungName", out.record.rungName);
+    result.set("attempts", out.record.attempts);
+    if (!out.record.error.empty()) result.set("error", out.record.error);
+    if (out.record.diags.isArray()) result.set("diags", out.record.diags);
+    result.set("metrics", metricsToJson(out.result));
+    if (out.ok()) {
+      if (auto listing = session_.fetchText(out.record.key))
+        result.set("listing", *listing);
+    }
+  } else {
+    int okCount = 0, cacheHits = 0;
+    util::JsonValue arr = util::JsonValue::array();
+    for (const rn::JobOutcome& out : batch.outcomes) {
+      if (out.ok()) ++okCount;
+      if (out.record.cacheHit) ++cacheHits;
+      arr.push(outcomeToJson(out));
+    }
+    result.set("status", okCount == static_cast<int>(batch.outcomes.size())
+                             ? "ok"
+                             : "failed");
+    result.set("jobsOk", okCount);
+    result.set("cacheHits", cacheHits);
+    result.set("jobs", std::move(arr));
+  }
+}
+
+void JobService::trimDoneLocked() {
+  while (doneOrder_.size() > opts_.maxRetained) {
+    const std::string id = doneOrder_.front();
+    doneOrder_.pop_front();
+    auto it = entries_.find(id);
+    if (it != entries_.end() && it->second.state == State::kDone)
+      entries_.erase(it);
+  }
+}
+
+bool JobService::stop(bool drain, std::chrono::milliseconds timeout) {
+  bool drained = true;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stopped_) return true;
+    accepting_ = false;
+    if (drain && !workers_.empty()) {
+      drained = drainCv_.wait_for(lock, timeout, [this] {
+        return queue_.empty() && running_ == 0;
+      });
+    }
+    stopping_ = true;
+    workCv_.notify_all();
+  }
+  for (std::thread& t : workers_) t.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    workers_.clear();
+    stopped_ = true;
+  }
+  return drained;
+}
+
+size_t JobService::queuedCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+int JobService::runningCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+bool JobService::accepting() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return accepting_;
+}
+
+}  // namespace ahfic::serve

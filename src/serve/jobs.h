@@ -1,0 +1,143 @@
+#pragma once
+// Job service: the admission-gated bridge between the HTTP API and the
+// persistent runner::Session.
+//
+// Life of a submission (POST /v1/jobs):
+//   1. admission lint — deck submissions run the src/lint preflight
+//      synchronously; any error rejects with 422 and the structured
+//      "ahfic-lint-v1" report as the response body (the solver never
+//      runs). `preflight=false` in the request skips the gate — the
+//      escape hatch for decks whose *dynamic* failure is the point
+//      (convergence forensics).
+//   2. backpressure — the admission queue is bounded; a full queue
+//      rejects with 429 instead of letting latency grow without bound.
+//      Queue depth feeds the serve.queue_depth and runner.queue_depth
+//      gauges.
+//   3. execution — a small worker pool pops jobs and runs each as a
+//      batch on the shared Session, so the result cache, CSR symbolic
+//      factorizations and model-card caches stay warm across requests.
+//      An identical resubmission is served bit-identically from cache.
+//   4. retrieval — GET /v1/jobs/<id> returns the "ahfic-job-v1"
+//      envelope: state, runner status, cache/rung/diag details, the
+//      deck listing, and per-job metrics.
+//
+// Shutdown: stop(drain=true) refuses new work, lets the workers finish
+// everything queued (bounded by a timeout), then joins them — SIGTERM
+// drains in-flight jobs instead of dropping them.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runner/session.h"
+#include "util/json.h"
+
+namespace ahfic::serve {
+
+struct JobServiceOptions {
+  /// Execution threads. 0 is legal and means "admit but never execute"
+  /// — used by backpressure tests and drain tooling.
+  int workers = 2;
+  /// Admission-queue bound; submissions beyond it get 429.
+  int queueDepth = 32;
+  /// Completed-entry retention; the oldest done entries beyond this are
+  /// forgotten (their ids then answer 404).
+  size_t maxRetained = 512;
+};
+
+/// What POST /v1/jobs parsed to. Exactly one of `deck` / `workload` is
+/// non-empty (validated by the API layer).
+struct SubmitRequest {
+  std::string deck;      ///< full deck text
+  std::string workload;  ///< named workload ("mc-ft", "corner-ft")
+  util::JsonValue params;  ///< workload parameters (object or null)
+  std::string label;       ///< free-form client label, echoed back
+  bool preflight = true;   ///< run the lint admission gate (decks)
+};
+
+/// Outcome of a submission attempt: an HTTP status plus the response
+/// document (job envelope on 202, "ahfic-lint-v1" on 422, error
+/// object on 400/429).
+struct SubmitOutcome {
+  int status = 202;
+  util::JsonValue body;
+};
+
+class JobService {
+ public:
+  JobService(runner::Session& session, JobServiceOptions opts);
+  ~JobService();
+
+  JobService(const JobService&) = delete;
+  JobService& operator=(const JobService&) = delete;
+
+  /// Admission: lint gate, queue bound, enqueue. Never throws for bad
+  /// requests — the outcome carries the HTTP status.
+  SubmitOutcome submit(const SubmitRequest& request);
+
+  /// "ahfic-job-v1" envelope for `id`; found=false -> 404.
+  struct StatusOutcome {
+    bool found = false;
+    util::JsonValue body;
+  };
+  StatusOutcome status(const std::string& id) const;
+
+  /// Stops accepting; when `drain`, waits up to `timeout` for the queue
+  /// to empty and running jobs to finish; then joins the workers.
+  /// Idempotent. Returns false when the drain timed out (workers are
+  /// still joined; leftover queued jobs stay kQueued forever).
+  bool stop(bool drain,
+            std::chrono::milliseconds timeout = std::chrono::minutes(2));
+
+  size_t queuedCount() const;
+  int runningCount() const;
+  bool accepting() const;
+
+ private:
+  enum class State { kQueued, kRunning, kDone };
+
+  struct Entry {
+    std::string id;
+    std::string label;
+    std::string kind;      // "deck" | "workload"
+    std::string deck;      // deck text (kind == "deck")
+    std::string workload;  // workload name (kind == "workload")
+    util::JsonValue params;
+    State state = State::kQueued;
+    std::chrono::steady_clock::time_point submitted;
+    double queueMs = 0.0;
+    double wallMs = 0.0;
+    /// Execution results, valid once state == kDone.
+    util::JsonValue result;
+  };
+
+  void workerLoop();
+  void execute(Entry snapshot, util::JsonValue& result, double& wallMs);
+  util::JsonValue envelope(const Entry& e) const;  // callers hold mu_
+  void setQueueGauges(size_t depth) const;
+  void trimDoneLocked();
+
+  runner::Session& session_;
+  JobServiceOptions opts_;
+
+  mutable std::mutex mu_;
+  std::condition_variable workCv_;   // workers wait for queue items
+  std::condition_variable drainCv_;  // stop(drain) waits for idle
+  std::deque<std::string> queue_;
+  std::map<std::string, Entry> entries_;
+  std::deque<std::string> doneOrder_;  // retention ring of done ids
+  std::uint64_t nextId_ = 1;
+  int running_ = 0;
+  bool accepting_ = true;
+  bool stopping_ = false;
+  bool stopped_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ahfic::serve

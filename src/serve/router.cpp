@@ -1,0 +1,102 @@
+#include "serve/router.h"
+
+#include <algorithm>
+#include <set>
+
+namespace ahfic::serve {
+
+const std::string& RouteParams::get(const std::string& name) const {
+  static const std::string kEmpty;
+  auto it = values.find(name);
+  return it == values.end() ? kEmpty : it->second;
+}
+
+void Router::add(std::string method, std::string pattern, std::string name,
+                 Handler handler) {
+  Route r;
+  r.method = std::move(method);
+  r.segments = splitPath(pattern);
+  r.name = std::move(name);
+  r.handler = std::move(handler);
+  routes_.push_back(std::move(r));
+}
+
+std::vector<std::string> Router::splitPath(const std::string& path) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start < path.size()) {
+    if (path[start] == '/') {
+      ++start;
+      continue;
+    }
+    size_t end = path.find('/', start);
+    if (end == std::string::npos) end = path.size();
+    out.push_back(path.substr(start, end - start));
+    start = end;
+  }
+  return out;
+}
+
+bool Router::match(const Route& route,
+                   const std::vector<std::string>& segments,
+                   RouteParams& params) {
+  if (route.segments.size() != segments.size()) return false;
+  RouteParams captured;
+  for (size_t i = 0; i < segments.size(); ++i) {
+    const std::string& pat = route.segments[i];
+    if (pat.size() >= 2 && pat.front() == '<' && pat.back() == '>') {
+      captured.values[pat.substr(1, pat.size() - 2)] =
+          percentDecode(segments[i]);
+    } else if (pat != segments[i]) {
+      return false;
+    }
+  }
+  params = std::move(captured);
+  return true;
+}
+
+Router::Dispatched Router::dispatch(const HttpRequest& req) const {
+  const std::vector<std::string> segments = splitPath(req.path);
+
+  std::set<std::string> allowed;  // methods matching the path
+  for (const Route& route : routes_) {
+    RouteParams params;
+    if (!match(route, segments, params)) continue;
+    if (route.method != req.method) {
+      allowed.insert(route.method);
+      continue;
+    }
+    Dispatched d;
+    d.routeName = route.name;
+    try {
+      d.response = route.handler(req, params);
+    } catch (const std::exception& e) {
+      d.response = HttpResponse::error(
+          500, std::string("handler failed: ") + e.what());
+    } catch (...) {
+      d.response = HttpResponse::error(500, "handler failed");
+    }
+    return d;
+  }
+
+  Dispatched d;
+  if (!allowed.empty()) {
+    d.response = HttpResponse::error(
+        405, "method " + req.method + " not allowed for " + req.path);
+    std::string allow;
+    for (const std::string& m : allowed)
+      allow += (allow.empty() ? "" : ", ") + m;
+    d.response.extraHeaders.emplace_back("Allow", allow);
+  } else {
+    d.response = HttpResponse::error(404, "no route for " + req.path);
+  }
+  return d;
+}
+
+std::vector<std::string> Router::routeNames() const {
+  std::set<std::string> names{"other"};
+  for (const Route& r : routes_) names.insert(r.name);
+  return {names.begin(), names.end()};
+}
+
+}  // namespace ahfic::serve

@@ -1,0 +1,71 @@
+#pragma once
+// Route table: (method, path pattern) -> handler.
+//
+// Patterns are '/'-separated literals with `<name>` parameter segments:
+//   router.add("GET", "/v1/jobs/<id>", "jobs_status", handler);
+// A parameter matches exactly one segment and is percent-decoded before
+// the handler sees it. Dispatch picks the first route whose pattern
+// matches; a path that matches some route under a different method
+// yields 405 with an Allow header; anything else 404. Handler
+// exceptions become 500 responses — a buggy handler must never take the
+// daemon down.
+//
+// Every route carries a short `name` used as the metrics label
+// (serve.endpoint.<name>.<statusclass>), so the per-endpoint counter
+// set stays fixed-size no matter what clients request.
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "serve/http.h"
+
+namespace ahfic::serve {
+
+/// Decoded `<name>` captures of the matched pattern.
+struct RouteParams {
+  std::map<std::string, std::string> values;
+
+  /// Value for `name`, or the empty string.
+  const std::string& get(const std::string& name) const;
+};
+
+using Handler =
+    std::function<HttpResponse(const HttpRequest&, const RouteParams&)>;
+
+class Router {
+ public:
+  /// Registers a route. `name` labels the endpoint in metrics.
+  void add(std::string method, std::string pattern, std::string name,
+           Handler handler);
+
+  struct Dispatched {
+    HttpResponse response;
+    /// Metrics label of the matched route; "other" when nothing matched.
+    std::string routeName = "other";
+  };
+
+  /// Matches and runs the handler (exceptions -> 500).
+  Dispatched dispatch(const HttpRequest& req) const;
+
+  /// Distinct route names plus "other", for metric pre-registration.
+  std::vector<std::string> routeNames() const;
+
+ private:
+  struct Route {
+    std::string method;
+    std::vector<std::string> segments;  // literal or "<param>"
+    std::string name;
+    Handler handler;
+  };
+
+  static std::vector<std::string> splitPath(const std::string& path);
+  static bool match(const Route& route,
+                    const std::vector<std::string>& segments,
+                    RouteParams& params);
+
+  std::vector<Route> routes_;
+};
+
+}  // namespace ahfic::serve

@@ -1,0 +1,238 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "util/error.h"
+
+namespace ahfic::serve {
+
+namespace {
+
+double msSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+void setSocketTimeouts(int fd, int seconds) {
+  timeval tv{};
+  tv.tv_sec = seconds;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+}
+
+/// send() the whole buffer; false on error/timeout. MSG_NOSIGNAL so a
+/// peer that closed early yields EPIPE instead of killing the process.
+bool sendAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+void replyAndClose(int fd, const HttpResponse& resp) {
+  sendAll(fd, serializeResponse(resp));
+  ::close(fd);
+}
+
+}  // namespace
+
+HttpServer::HttpServer(Router router, ServerOptions opts)
+    : router_(std::move(router)),
+      opts_(std::move(opts)),
+      requests_(obs::counter("serve.requests")),
+      requestMs_(obs::histogram("serve.request_ms")) {
+  // Pre-register the fixed per-endpoint status-class counters so the
+  // request path never takes the registry's registration mutex.
+  for (const std::string& name : router_.routeNames()) {
+    statusCounters_.emplace(
+        name, std::array<obs::Counter, 3>{
+                  obs::counter("serve.endpoint." + name + ".2xx"),
+                  obs::counter("serve.endpoint." + name + ".4xx"),
+                  obs::counter("serve.endpoint." + name + ".5xx")});
+  }
+}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::start() {
+  if (running_.load()) throw Error("HttpServer::start: already running");
+
+  listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listenFd_ < 0)
+    throw Error(std::string("socket() failed: ") + std::strerror(errno));
+
+  const int one = 1;
+  ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(opts_.port));
+  if (::inet_pton(AF_INET, opts_.bindAddress.c_str(), &addr.sin_addr) != 1) {
+    ::close(listenFd_);
+    listenFd_ = -1;
+    throw Error("invalid bind address '" + opts_.bindAddress + "'");
+  }
+  if (::bind(listenFd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+      0) {
+    const std::string err = std::strerror(errno);
+    ::close(listenFd_);
+    listenFd_ = -1;
+    throw Error("bind(" + opts_.bindAddress + ":" +
+                std::to_string(opts_.port) + ") failed: " + err);
+  }
+  if (::listen(listenFd_, 128) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listenFd_);
+    listenFd_ = -1;
+    throw Error("listen() failed: " + err);
+  }
+
+  socklen_t len = sizeof addr;
+  ::getsockname(listenFd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  stopping_.store(false);
+  running_.store(true);
+  const int threads = opts_.connectionThreads < 1 ? 1
+                                                  : opts_.connectionThreads;
+  workers_.reserve(static_cast<size_t>(threads));
+  for (int w = 0; w < threads; ++w)
+    workers_.emplace_back([this] { workerLoop(); });
+  acceptor_ = std::thread([this] { acceptLoop(); });
+}
+
+void HttpServer::stop() {
+  if (!running_.load()) return;
+  stopping_.store(true);
+
+  // Unblock accept() by shutting the listening socket down.
+  if (listenFd_ >= 0) {
+    ::shutdown(listenFd_, SHUT_RDWR);
+    ::close(listenFd_);
+    listenFd_ = -1;
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+
+  connCv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+
+  // Whatever is still queued never reached a worker: tell the peers.
+  std::deque<int> leftovers;
+  {
+    std::lock_guard<std::mutex> lock(connMu_);
+    leftovers.swap(pendingFds_);
+  }
+  for (int fd : leftovers)
+    replyAndClose(fd, HttpResponse::error(503, "server shutting down"));
+
+  running_.store(false);
+}
+
+void HttpServer::acceptLoop() {
+  while (!stopping_.load()) {
+    const int fd = ::accept(listenFd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load()) return;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;  // listening socket is gone
+    }
+    setSocketTimeouts(fd, opts_.socketTimeoutSec);
+
+    std::unique_lock<std::mutex> lock(connMu_);
+    if (pendingFds_.size() >=
+        static_cast<size_t>(opts_.pendingConnections)) {
+      lock.unlock();
+      // Shed load at the door; a full pending queue means the workers
+      // are saturated and buffering more sockets only adds latency.
+      replyAndClose(fd, HttpResponse::error(503, "connection queue full"));
+      continue;
+    }
+    pendingFds_.push_back(fd);
+    lock.unlock();
+    connCv_.notify_one();
+  }
+}
+
+void HttpServer::workerLoop() {
+  while (true) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(connMu_);
+      connCv_.wait(lock, [this] {
+        return stopping_.load() || !pendingFds_.empty();
+      });
+      if (stopping_.load()) return;
+      fd = pendingFds_.front();
+      pendingFds_.pop_front();
+    }
+    handleConnection(fd);
+  }
+}
+
+void HttpServer::noteStatus(const std::string& routeName,
+                            int status) const {
+  auto it = statusCounters_.find(routeName);
+  if (it == statusCounters_.end()) it = statusCounters_.find("other");
+  if (it == statusCounters_.end()) return;
+  if (status < 400)
+    it->second[0].add();
+  else if (status < 500)
+    it->second[1].add();
+  else
+    it->second[2].add();
+}
+
+void HttpServer::handleConnection(int fd) {
+  const auto t0 = std::chrono::steady_clock::now();
+  requests_.add();
+
+  std::string buffer;
+  HttpRequest req;
+  char chunk[8192];
+
+  while (true) {
+    ParseResult parsed = parseRequest(buffer, req, opts_.limits);
+    if (parsed.state == ParseState::kError) {
+      noteStatus("other", parsed.errorStatus);
+      replyAndClose(fd, HttpResponse::error(parsed.errorStatus,
+                                            parsed.errorMessage));
+      requestMs_.observe(msSince(t0));
+      return;
+    }
+    if (parsed.state == ParseState::kDone) break;
+
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n <= 0) {
+      // Timeout (half-open peer), reset, or orderly close before a full
+      // request arrived. 408 is best-effort — the peer may be gone.
+      if (!buffer.empty())
+        sendAll(fd, serializeResponse(HttpResponse::error(
+                        408, "timed out waiting for a complete request")));
+      ::close(fd);
+      requestMs_.observe(msSince(t0));
+      return;
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+  }
+
+  Router::Dispatched d = router_.dispatch(req);
+  noteStatus(d.routeName, d.response.status);
+  replyAndClose(fd, d.response);
+  requestMs_.observe(msSince(t0));
+}
+
+}  // namespace ahfic::serve

@@ -1,0 +1,97 @@
+#pragma once
+// Blocking-accept HTTP server over POSIX sockets: one acceptor thread
+// feeding a bounded connection queue drained by a small pool of
+// connection workers. No third-party dependencies.
+//
+// Per-connection protocol: read until one full request is parsed (the
+// receive timeout bounds how long a half-open or trickling client can
+// pin a worker), dispatch through the Router, write the response,
+// close. One request per connection — see serve/http.h for why.
+//
+// Shutdown: stop() closes the listening socket (unblocking accept),
+// wakes the workers, answers 503 to connections still queued, and
+// joins everything. Callers drain the JobService first so in-flight
+// simulations finish before the process exits (see examples/ahficd).
+//
+// Observability: every request increments serve.requests, times into
+// serve.request_ms and counts into serve.endpoint.<route>.<class>
+// (class in 2xx/4xx/5xx) — handles pre-registered per route name, so
+// hot-path metric writes never touch the registry mutex.
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "serve/router.h"
+
+namespace ahfic::serve {
+
+struct ServerOptions {
+  std::string bindAddress = "127.0.0.1";
+  /// 0 = ephemeral; the bound port is available from port() after
+  /// start(), which is how tests avoid fixed-port collisions.
+  int port = 0;
+  int connectionThreads = 4;
+  /// SO_RCVTIMEO/SO_SNDTIMEO on accepted sockets, so half-open peers
+  /// time out instead of pinning a worker forever.
+  int socketTimeoutSec = 10;
+  /// Accepted connections waiting for a worker beyond this get 503.
+  int pendingConnections = 64;
+  ParseLimits limits;
+};
+
+class HttpServer {
+ public:
+  HttpServer(Router router, ServerOptions opts);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds, listens, spawns acceptor + workers. Throws ahfic::Error on
+  /// socket/bind failure (e.g. port already in use).
+  void start();
+
+  /// Stops accepting, drains the connection queue with 503s, joins all
+  /// threads. Idempotent; safe to call from a signal-wait thread.
+  void stop();
+
+  /// The actually-bound port (resolves port 0), valid after start().
+  int port() const { return port_; }
+  bool running() const { return running_.load(); }
+
+ private:
+  void acceptLoop();
+  void workerLoop();
+  void handleConnection(int fd);
+  void noteStatus(const std::string& routeName, int status) const;
+
+  Router router_;
+  ServerOptions opts_;
+
+  int listenFd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::mutex connMu_;
+  std::condition_variable connCv_;
+  std::deque<int> pendingFds_;
+
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+
+  // Pre-registered metric handles: route name -> {2xx, 4xx, 5xx}.
+  obs::Counter requests_;
+  obs::Histogram requestMs_;
+  std::map<std::string, std::array<obs::Counter, 3>> statusCounters_;
+};
+
+}  // namespace ahfic::serve

@@ -1,0 +1,89 @@
+// celldb HTML renderers: escaping of user-controlled content (the same
+// code path serves static reports and the live ahficd pages) and the
+// static/live renderer split.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "celldb/cell.h"
+#include "celldb/database.h"
+#include "celldb/html.h"
+
+namespace cd = ahfic::celldb;
+
+TEST(CelldbEscape, AngleBracketsAmpersandAndQuotes) {
+  EXPECT_EQ(cd::escapeHtml("<script>"), "&lt;script&gt;");
+  EXPECT_EQ(cd::escapeHtml("R1 & R2"), "R1 &amp; R2");
+  EXPECT_EQ(cd::escapeHtml("say \"hi\""), "say &quot;hi&quot;");
+  EXPECT_EQ(cd::escapeHtml("it's"), "it&#39;s");
+  EXPECT_EQ(cd::escapeHtml("plain text 1.2"), "plain text 1.2");
+  EXPECT_EQ(cd::escapeHtml("a<b>&\"'"), "a&lt;b&gt;&amp;&quot;&#39;");
+}
+
+namespace {
+
+cd::Cell hostileCell() {
+  cd::Cell cell;
+  cell.name = "<evil>&cell";
+  cell.library = "TV";
+  cell.category1 = "Croma\"";
+  cell.category2 = "x'y";
+  cell.document = "gain <b>must not</b> render & \"quotes\" stay text";
+  cell.schematic = "R1 in out 1k <tag>";
+  cell.keywords = {"agc", "<kw>"};
+  cell.author = "o'hara";
+  return cell;
+}
+
+}  // namespace
+
+TEST(CelldbHtml, CellFragmentEscapesEveryUserField) {
+  const std::string html = cd::cellToHtml(hostileCell());
+  // No raw user-controlled markup may survive.
+  EXPECT_EQ(html.find("<evil>"), std::string::npos);
+  EXPECT_EQ(html.find("<b>must"), std::string::npos);
+  EXPECT_EQ(html.find("<tag>"), std::string::npos);
+  EXPECT_EQ(html.find("<kw>"), std::string::npos);
+  // The escaped forms must.
+  EXPECT_NE(html.find("&lt;evil&gt;&amp;cell"), std::string::npos);
+  EXPECT_NE(html.find("&quot;quotes&quot;"), std::string::npos);
+  EXPECT_NE(html.find("o&#39;hara"), std::string::npos);
+}
+
+TEST(CelldbHtml, CellPageIsAStandaloneDocument) {
+  cd::HtmlOptions opts;
+  opts.liveLinks = true;
+  const std::string page = cd::cellPageHtml(hostileCell(), opts);
+  EXPECT_EQ(page.rfind("<!DOCTYPE html>", 0), 0u);
+  EXPECT_NE(page.find("</html>"), std::string::npos);
+  EXPECT_NE(page.find("href=\"/celldb\""), std::string::npos);  // back link
+  EXPECT_EQ(page.find("<evil>"), std::string::npos);
+
+  // Static flavour: no back link.
+  const std::string plain = cd::cellPageHtml(hostileCell());
+  EXPECT_EQ(plain.find("back to index"), std::string::npos);
+}
+
+TEST(CelldbHtml, IndexLiveLinksArePercentEncoded) {
+  cd::CellDatabase db;
+  cd::Cell cell;
+  cell.name = "ACC 1+";  // space and '+' must be encoded in the href
+  cell.library = "TV";
+  cell.category1 = "Croma";
+  cell.schematic = "R1 in out 1k";
+  db.registerCell(cell);
+
+  cd::HtmlOptions live;
+  live.liveLinks = true;
+  const std::string html = cd::libraryIndexHtml(db, live);
+  EXPECT_NE(html.find("href=\"/celldb/cell/TV/ACC%201%2B\""),
+            std::string::npos);
+  EXPECT_NE(html.find("<b>ACC 1+</b>"), std::string::npos);
+
+  // The static flavour renders the same entry without links — this is
+  // what CellDatabase::toHtml() returns.
+  const std::string statics = cd::libraryIndexHtml(db);
+  EXPECT_EQ(statics.find("href=\"/celldb/cell/"), std::string::npos);
+  EXPECT_EQ(statics, db.toHtml());
+}

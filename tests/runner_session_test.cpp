@@ -1,0 +1,112 @@
+// runner::Session: warm-state reuse across batches — the contract the
+// ahficd daemon is built on.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bjtgen/generator.h"
+#include "bjtgen/montecarlo.h"
+#include "obs/metrics.h"
+#include "runner/session.h"
+#include "runner/workloads.h"
+#include "util/error.h"
+
+namespace bg = ahfic::bjtgen;
+namespace obs = ahfic::obs;
+namespace rn = ahfic::runner;
+
+namespace {
+
+std::vector<rn::Job> mcJobs(int dies) {
+  return rn::monteCarloFtJobs(bg::defaultTechnology(),
+                              bg::ProcessVariation{}, dies, "N1.2-12D",
+                              3e-3);
+}
+
+/// Enables metrics for one test, restoring the disabled default after.
+struct MetricsGuard {
+  MetricsGuard() { obs::setMetricsEnabled(true); }
+  ~MetricsGuard() { obs::setMetricsEnabled(false); }
+};
+
+}  // namespace
+
+TEST(RunnerSession, RejectsOnDiskCacheFiles) {
+  rn::RunnerOptions opts;
+  opts.cacheFile = "/tmp/session_cache.json";
+  EXPECT_THROW(rn::Session{opts}, ahfic::Error);
+}
+
+TEST(RunnerSession, SecondIdenticalBatchIsServedEntirelyFromCache) {
+  MetricsGuard guard;
+  const auto before = obs::metrics().snapshot();
+
+  rn::RunnerOptions opts;
+  opts.threads = 2;
+  rn::Session session(opts);
+  const auto jobs = mcJobs(8);
+
+  const auto cold = session.run(jobs);
+  ASSERT_EQ(cold.outcomes.size(), 8u);
+  for (const auto& out : cold.outcomes) {
+    EXPECT_TRUE(out.ok());
+    EXPECT_FALSE(out.record.cacheHit);
+  }
+
+  const auto warm = session.run(jobs);
+  ASSERT_EQ(warm.outcomes.size(), 8u);
+  for (size_t k = 0; k < warm.outcomes.size(); ++k) {
+    SCOPED_TRACE(warm.outcomes[k].record.key);
+    EXPECT_TRUE(warm.outcomes[k].record.cacheHit);
+    // Bit-identical metrics, not approximately equal.
+    ASSERT_EQ(warm.outcomes[k].result.metrics.size(),
+              cold.outcomes[k].result.metrics.size());
+    for (size_t m = 0; m < warm.outcomes[k].result.metrics.size(); ++m) {
+      EXPECT_EQ(warm.outcomes[k].result.metrics[m].first,
+                cold.outcomes[k].result.metrics[m].first);
+      EXPECT_EQ(warm.outcomes[k].result.metrics[m].second,
+                cold.outcomes[k].result.metrics[m].second);
+    }
+  }
+
+  const auto delta = obs::metrics().snapshot().since(before);
+  EXPECT_GE(delta.counterValue("runner.cache_hits"), 8);
+  EXPECT_EQ(session.batchesRun(), 2u);
+}
+
+TEST(RunnerSession, ConcurrentBatchesShareTheCache) {
+  rn::RunnerOptions opts;
+  opts.threads = 1;
+  rn::Session session(opts);
+  const auto jobs = mcJobs(4);
+
+  // Warm the cache, then hammer it from several threads at once: every
+  // outcome must be a hit and nothing may crash or deadlock.
+  session.run(jobs);
+  std::vector<std::thread> threads;
+  std::vector<int> hits(4, 0);
+  for (int t = 0; t < 4; ++t)
+    threads.emplace_back([&session, &jobs, &hits, t] {
+      const auto batch = session.run(jobs);
+      for (const auto& out : batch.outcomes)
+        if (out.record.cacheHit) ++hits[static_cast<size_t>(t)];
+    });
+  for (auto& t : threads) t.join();
+  for (int t = 0; t < 4; ++t) EXPECT_EQ(hits[static_cast<size_t>(t)], 4);
+}
+
+TEST(RunnerSession, TextStoreRoundTripsArtefacts) {
+  rn::Session session;
+  EXPECT_FALSE(session.fetchText("deck/1").has_value());
+  session.storeText("deck/1", "listing one");
+  session.storeText("deck/2", "listing two");
+  ASSERT_TRUE(session.fetchText("deck/1").has_value());
+  EXPECT_EQ(*session.fetchText("deck/1"), "listing one");
+  EXPECT_EQ(session.textCount(), 2u);
+  session.storeText("deck/1", "rewritten");
+  EXPECT_EQ(*session.fetchText("deck/1"), "rewritten");
+  EXPECT_EQ(session.textCount(), 2u);
+}

@@ -1,0 +1,224 @@
+// HTTP message layer: pure-parser cases (no sockets) and router
+// dispatch semantics.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "serve/http.h"
+#include "serve/router.h"
+
+namespace sv = ahfic::serve;
+
+namespace {
+
+sv::ParseResult parse(const std::string& wire, sv::HttpRequest& out,
+                      const sv::ParseLimits& limits = {}) {
+  return sv::parseRequest(wire, out, limits);
+}
+
+}  // namespace
+
+TEST(ServeHttpParse, SimpleGet) {
+  sv::HttpRequest req;
+  const auto r = parse(
+      "GET /healthz HTTP/1.1\r\nHost: x\r\nAccept: */*\r\n\r\n", req);
+  ASSERT_EQ(r.state, sv::ParseState::kDone);
+  EXPECT_EQ(req.method, "GET");
+  EXPECT_EQ(req.path, "/healthz");
+  EXPECT_EQ(req.version, "HTTP/1.1");
+  ASSERT_NE(req.header("host"), nullptr);
+  EXPECT_EQ(*req.header("host"), "x");
+  EXPECT_TRUE(req.body.empty());
+}
+
+TEST(ServeHttpParse, PostWithBodyAndQuery) {
+  sv::HttpRequest req;
+  const std::string body = "{\"deck\":\"x\"}";
+  const auto r = parse("POST /v1/jobs?dry=1 HTTP/1.1\r\n"
+                       "Content-Type: application/json\r\n"
+                       "Content-Length: " +
+                           std::to_string(body.size()) + "\r\n\r\n" + body,
+                       req);
+  ASSERT_EQ(r.state, sv::ParseState::kDone);
+  EXPECT_EQ(req.method, "POST");
+  EXPECT_EQ(req.path, "/v1/jobs");
+  EXPECT_EQ(req.query, "dry=1");
+  EXPECT_EQ(req.body, body);
+}
+
+TEST(ServeHttpParse, BareLfLineEndingsAccepted) {
+  sv::HttpRequest req;
+  const auto r = parse("GET / HTTP/1.1\nHost: x\n\n", req);
+  ASSERT_EQ(r.state, sv::ParseState::kDone);
+  EXPECT_EQ(req.path, "/");
+}
+
+TEST(ServeHttpParse, IncrementalUntilComplete) {
+  const std::string wire =
+      "POST /v1/jobs HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd";
+  // Every prefix short of the full message must report kIncomplete.
+  for (size_t n = 0; n < wire.size(); ++n) {
+    sv::HttpRequest req;
+    const auto r = parse(wire.substr(0, n), req);
+    EXPECT_EQ(r.state, sv::ParseState::kIncomplete) << "prefix " << n;
+  }
+  sv::HttpRequest req;
+  const auto r = parse(wire, req);
+  ASSERT_EQ(r.state, sv::ParseState::kDone);
+  EXPECT_EQ(req.body, "abcd");
+  EXPECT_EQ(r.consumed, wire.size());
+}
+
+TEST(ServeHttpParse, ChunkedTransferEncodingRejected501) {
+  sv::HttpRequest req;
+  const auto r = parse("POST /v1/jobs HTTP/1.1\r\n"
+                       "Transfer-Encoding: chunked\r\n\r\n",
+                       req);
+  ASSERT_EQ(r.state, sv::ParseState::kError);
+  EXPECT_EQ(r.errorStatus, 501);
+}
+
+TEST(ServeHttpParse, OversizedDeclaredBodyRejected413BeforeBody) {
+  sv::ParseLimits limits;
+  limits.maxBodyBytes = 16;
+  sv::HttpRequest req;
+  // Note: no body bytes sent — the declared length alone must reject.
+  const auto r = parse("POST /v1/jobs HTTP/1.1\r\nContent-Length: 17\r\n\r\n",
+                       req, limits);
+  ASSERT_EQ(r.state, sv::ParseState::kError);
+  EXPECT_EQ(r.errorStatus, 413);
+}
+
+TEST(ServeHttpParse, MalformedRequestLineRejected400) {
+  sv::HttpRequest req;
+  EXPECT_EQ(parse("NONSENSE\r\n\r\n", req).errorStatus, 400);
+  EXPECT_EQ(parse("get / HTTP/1.1\r\n\r\n", req).errorStatus, 400);
+  EXPECT_EQ(parse("GET / SMTP/1.0\r\n\r\n", req).errorStatus, 400);
+  EXPECT_EQ(parse("GET  HTTP/1.1\r\n\r\n", req).errorStatus, 400);
+}
+
+TEST(ServeHttpParse, HeaderBlockCapRejected431) {
+  sv::ParseLimits limits;
+  limits.maxHeaderBytes = 64;
+  sv::HttpRequest req;
+  const std::string wire = "GET / HTTP/1.1\r\nX-Pad: " +
+                           std::string(128, 'a') + "\r\n\r\n";
+  const auto r = parse(wire, req, limits);
+  ASSERT_EQ(r.state, sv::ParseState::kError);
+  EXPECT_EQ(r.errorStatus, 431);
+}
+
+TEST(ServeHttpParse, HeaderCountCapRejected431) {
+  sv::ParseLimits limits;
+  limits.maxHeaderCount = 4;
+  std::string wire = "GET / HTTP/1.1\r\n";
+  for (int k = 0; k < 8; ++k)
+    wire += "X-H" + std::to_string(k) + ": v\r\n";
+  wire += "\r\n";
+  sv::HttpRequest req;
+  const auto r = parse(wire, req, limits);
+  ASSERT_EQ(r.state, sv::ParseState::kError);
+  EXPECT_EQ(r.errorStatus, 431);
+}
+
+TEST(ServeHttpParse, BadContentLengthRejected400) {
+  sv::HttpRequest req;
+  const auto r = parse(
+      "POST / HTTP/1.1\r\nContent-Length: banana\r\n\r\n", req);
+  ASSERT_EQ(r.state, sv::ParseState::kError);
+  EXPECT_EQ(r.errorStatus, 400);
+}
+
+TEST(ServeHttpSerialize, ResponseCarriesLengthAndClose) {
+  sv::HttpResponse resp = sv::HttpResponse::json(200, "{\"a\":1}");
+  const std::string wire = sv::serializeResponse(resp);
+  EXPECT_NE(wire.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 7\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Type: application/json"), std::string::npos);
+  EXPECT_EQ(wire.substr(wire.size() - 7), "{\"a\":1}");
+}
+
+TEST(ServeHttpSerialize, ErrorBodyIsStructuredJson) {
+  const sv::HttpResponse resp = sv::HttpResponse::error(429, "slow down");
+  EXPECT_EQ(resp.status, 429);
+  EXPECT_NE(resp.body.find("\"status\""), std::string::npos);
+  EXPECT_NE(resp.body.find("slow down"), std::string::npos);
+}
+
+TEST(ServeHttpPercent, DecodeAndRejectMalformed) {
+  EXPECT_EQ(sv::percentDecode("a%20b"), "a b");
+  EXPECT_EQ(sv::percentDecode("%41%2Fx"), "A/x");
+  EXPECT_EQ(sv::percentDecode("100%"), "100%");    // dangling escape
+  EXPECT_EQ(sv::percentDecode("%zz"), "%zz");      // bad hex
+  EXPECT_EQ(sv::percentDecode("a+b"), "a+b");      // '+' is literal
+}
+
+namespace {
+
+sv::Router demoRouter() {
+  sv::Router router;
+  router.add("GET", "/v1/jobs/<id>", "jobs_status",
+             [](const sv::HttpRequest&, const sv::RouteParams& p) {
+               return sv::HttpResponse::json(200, "id=" + p.get("id"));
+             });
+  router.add("POST", "/v1/jobs", "jobs_submit",
+             [](const sv::HttpRequest&, const sv::RouteParams&) {
+               return sv::HttpResponse::json(202, "{}");
+             });
+  router.add("GET", "/boom", "boom",
+             [](const sv::HttpRequest&, const sv::RouteParams&)
+                 -> sv::HttpResponse {
+               throw std::runtime_error("handler bug");
+             });
+  return router;
+}
+
+sv::HttpRequest get(const std::string& path) {
+  sv::HttpRequest req;
+  req.method = "GET";
+  req.path = path;
+  return req;
+}
+
+}  // namespace
+
+TEST(ServeRouter, MatchesParamsAndDecodesThem) {
+  const auto d = demoRouter().dispatch(get("/v1/jobs/job%2D7"));
+  EXPECT_EQ(d.response.status, 200);
+  EXPECT_EQ(d.response.body, "id=job-7");
+  EXPECT_EQ(d.routeName, "jobs_status");
+}
+
+TEST(ServeRouter, UnknownPathIs404WithRouteNameOther) {
+  const auto d = demoRouter().dispatch(get("/nope"));
+  EXPECT_EQ(d.response.status, 404);
+  EXPECT_EQ(d.routeName, "other");
+}
+
+TEST(ServeRouter, WrongMethodIs405WithAllowHeader) {
+  sv::HttpRequest req = get("/v1/jobs");
+  const auto d = demoRouter().dispatch(req);
+  EXPECT_EQ(d.response.status, 405);
+  bool sawAllow = false;
+  for (const auto& [k, v] : d.response.extraHeaders)
+    if (k == "Allow") {
+      sawAllow = true;
+      EXPECT_NE(v.find("POST"), std::string::npos);
+    }
+  EXPECT_TRUE(sawAllow);
+}
+
+TEST(ServeRouter, HandlerExceptionBecomes500) {
+  const auto d = demoRouter().dispatch(get("/boom"));
+  EXPECT_EQ(d.response.status, 500);
+  EXPECT_EQ(d.routeName, "boom");
+}
+
+TEST(ServeRouter, RouteNamesIncludeOtherForMetrics) {
+  const auto names = demoRouter().routeNames();
+  EXPECT_NE(std::find(names.begin(), names.end(), "other"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "jobs_submit"),
+            names.end());
+}
