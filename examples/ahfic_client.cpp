@@ -16,6 +16,10 @@
 //   job ID                      GET /v1/jobs/ID
 //   get PATH                    GET arbitrary path (e.g. /celldb)
 //   post PATH FILE              POST FILE's bytes as application/json
+//   watch [--interval S]        poll GET /v1/metrics/history and print a
+//                               one-line digest (queue depth, jobs/s,
+//                               cache hit rate) every S seconds (default
+//                               2) until Ctrl-C
 //
 // Exit codes: 0 on 2xx, 9 on 429 (backpressure — scriptable retry),
 // 4 on other 4xx, 5 on 5xx, 2 on usage/transport errors. The response
@@ -26,7 +30,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <csignal>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -34,6 +42,7 @@
 #include <sstream>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "util/error.h"
 #include "util/json.h"
@@ -136,6 +145,89 @@ Reply waitForJob(const std::string& host, int port, const std::string& id) {
   return Reply{};
 }
 
+volatile std::sig_atomic_t gWatchStop = 0;
+void onWatchSignal(int) { gWatchStop = 1; }
+
+/// Reconstructs a counter series from the delta-compressed wire form
+/// {"first": v0, "deltas": [...]} (docs/observability.md).
+std::vector<double> counterSeries(const u::JsonValue& wire) {
+  std::vector<double> out;
+  if (!wire.isObject() || !wire.has("first")) return out;
+  double v = wire.get("first").asNumber();
+  out.push_back(v);
+  const u::JsonValue& deltas = wire.get("deltas");
+  for (size_t i = 0; deltas.isArray() && i < deltas.size(); ++i) {
+    v += deltas.at(i).asNumber();
+    out.push_back(v);
+  }
+  return out;
+}
+
+/// `watch`: poll /v1/metrics/history and print one digest line per poll.
+int watchLoop(const std::string& host, int port, double intervalSec) {
+  std::signal(SIGINT, onWatchSignal);
+  std::signal(SIGTERM, onWatchSignal);
+  // Ask for a window just wide enough for a rate over the last few
+  // samples; the daemon trims server-side so the reply stays small.
+  const long windowSec =
+      std::lround(std::max(intervalSec, 1.0) * 10.0) + 30;
+  bool first = true;
+  while (!gWatchStop) {
+    Reply r = exchange(host, port, "GET",
+                       "/v1/metrics/history?window=" +
+                           std::to_string(windowSec), "");
+    if (r.status != 200) {
+      std::cerr << "watch: history request failed (status " << r.status
+                << (r.status == 503 ? "; daemon has no history sampler" : "")
+                << ")\n";
+      return exitCode(r);
+    }
+    try {
+      const u::JsonValue doc = u::parseJson(r.body);
+      const u::JsonValue& t = doc.get("t");
+      const size_t n = t.isArray() ? t.size() : 0;
+      const std::vector<double> completed =
+          counterSeries(doc.get("counters").get("serve.jobs_completed"));
+      const std::vector<double> hits =
+          counterSeries(doc.get("counters").get("runner.cache_hits"));
+      const std::vector<double> misses =
+          counterSeries(doc.get("counters").get("runner.cache_misses"));
+      double queued = 0.0;
+      const u::JsonValue& qd = doc.get("gauges").get("serve.queue_depth");
+      if (qd.isArray() && qd.size() > 0) queued = qd.at(qd.size() - 1).asNumber();
+
+      double jobsPerSec = 0.0;
+      if (n >= 2 && completed.size() == n) {
+        const double dt = t.at(n - 1).asNumber() - t.at(0).asNumber();
+        if (dt > 0) jobsPerSec = (completed.back() - completed.front()) / dt;
+      }
+      double hitPct = 0.0;
+      if (!hits.empty() && !misses.empty()) {
+        const double total = hits.back() + misses.back();
+        if (total > 0) hitPct = 100.0 * hits.back() / total;
+      }
+      if (first) {
+        std::printf("%8s %8s %10s %9s\n", "samples", "queued", "jobs/s",
+                    "cacheHit");
+        first = false;
+      }
+      std::printf("%8zu %8.0f %10.2f %8.1f%%\n", n, queued, jobsPerSec,
+                  hitPct);
+      std::fflush(stdout);
+    } catch (const ahfic::Error& e) {
+      std::cerr << "watch: unparseable history reply: " << e.what() << "\n";
+      return 2;
+    }
+    // Sleep in short slices so Ctrl-C lands promptly.
+    const auto until = std::chrono::steady_clock::now() +
+                       std::chrono::duration<double>(intervalSec);
+    while (!gWatchStop && std::chrono::steady_clock::now() < until)
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::cerr << "watch: stopped\n";
+  return 0;
+}
+
 int submitAndMaybeWait(const std::string& host, int port,
                        const u::JsonValue& doc, bool wait) {
   Reply r = exchange(host, port, "POST", "/v1/jobs", doc.dump());
@@ -171,7 +263,7 @@ int main(int argc, char** argv) {
   }
   if (k >= argc) {
     std::cerr << "usage: ahfic_client [--host H] [--port N] "
-                 "health|metrics|submit|workload|job|get|post ...\n";
+                 "health|metrics|submit|workload|job|get|post|watch ...\n";
     return 2;
   }
   const std::string cmd = argv[k++];
@@ -233,6 +325,20 @@ int main(int argc, char** argv) {
     Reply r = exchange(host, port, "GET", argv[k], "");
     std::cout << r.body;
     return exitCode(r);
+  }
+
+  if (cmd == "watch") {
+    double interval = 2.0;
+    for (; k < argc; ++k) {
+      if (std::strcmp(argv[k], "--interval") == 0 && k + 1 < argc)
+        interval = std::atof(argv[++k]);
+      else {
+        std::cerr << "unknown flag '" << argv[k] << "'\n";
+        return 2;
+      }
+    }
+    if (interval <= 0) interval = 2.0;
+    return watchLoop(host, port, interval);
   }
 
   if (cmd == "post") {

@@ -10,6 +10,8 @@
 //   ./ahficd [--port N] [--workers N] [--queue-depth N]
 //            [--connections N] [--celldb PATH] [--seed-celldb]
 //            [--metrics-interval SEC] [--drain-timeout SEC]
+//            [--log-level LEVEL] [--log-json FILE]
+//            [--history-interval SEC] [--history-capacity N]
 //            [--trace FILE] [--metrics FILE]
 //
 //   --port N              listen port (default 8078; 0 = ephemeral)
@@ -20,12 +22,24 @@
 //                         and save it back on clean shutdown
 //   --seed-celldb         pre-populate the example cell library
 //   --metrics-interval S  log a one-line metrics digest every S seconds
-//                         to stderr (0 = off, the default)
+//                         (0 = off, the default)
 //   --drain-timeout S     max seconds to wait for in-flight jobs on
 //                         shutdown (default 120)
+//   --log-level LEVEL     trace|debug|info|warn|error|off (default info);
+//                         text log lines go to stderr
+//   --log-json FILE       additionally write structured JSONL log lines
+//                         to FILE (one JSON object per line)
+//   --history-interval S  metrics time-series sampling period (default 5)
+//   --history-capacity N  ring size for /v1/metrics/history (default 720
+//                         samples = 1 h at the default interval)
 //
 // Endpoints and schemas: docs/serve.md. Quick check:
 //   curl -s localhost:8078/healthz
+// Live dashboard: http://localhost:8078/debug
+//
+// Every log line carries the originating request's correlation id when
+// one exists (docs/logging.md); grep the X-Ahfic-Request-Id a response
+// returned and the daemon's whole handling of that request lines up.
 
 #include <atomic>
 #include <chrono>
@@ -40,12 +54,15 @@
 #include "celldb/database.h"
 #include "celldb/seed.h"
 #include "obs/cli.h"
+#include "obs/history.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "serve/api.h"
 #include "serve/server.h"
 #include "util/error.h"
 
 namespace sv = ahfic::serve;
+namespace obs = ahfic::obs;
 
 namespace {
 
@@ -57,9 +74,20 @@ int intArg(int argc, char** argv, int& k, const char* flag) {
   return std::atoi(argv[++k]);
 }
 
+const char* strArg(int argc, char** argv, int& k, const char* flag) {
+  if (k + 1 >= argc) {
+    std::cerr << flag << " needs a value\n";
+    std::exit(2);
+  }
+  return argv[++k];
+}
+
 /// One-line digest of the live registry for --metrics-interval logging.
 void logDigest() {
-  const auto snap = ahfic::obs::metrics().snapshot();
+  static const obs::LogSite sDigest =
+      obs::logSite(obs::LogLevel::kInfo, "ahficd.digest");
+  if (!sDigest) return;
+  const auto snap = obs::metrics().snapshot();
   double requests = 0, submitted = 0, completed = 0, hits = 0, queued = 0;
   for (const auto& [name, value] : snap.counters) {
     const double v = static_cast<double>(value);
@@ -70,9 +98,12 @@ void logDigest() {
   }
   for (const auto& [name, value] : snap.gauges)
     if (name == "serve.queue_depth") queued = value;
-  std::cerr << "[ahficd] requests=" << requests << " submitted=" << submitted
-            << " completed=" << completed << " cache_hits=" << hits
-            << " queued=" << queued << "\n";
+  sDigest.log("periodic digest")
+      .num("requests", requests)
+      .num("submitted", submitted)
+      .num("completed", completed)
+      .num("cacheHits", hits)
+      .num("queued", queued);
 }
 
 }  // namespace
@@ -85,7 +116,11 @@ int main(int argc, char** argv) {
   bool seedCelldb = false;
   int metricsInterval = 0;
   int drainTimeoutSec = 120;
-  ahfic::obs::CliOptions obsOpts;
+  obs::LogLevel logLevel = obs::LogLevel::kInfo;
+  std::string logJsonPath;
+  double historyInterval = 5.0;
+  int historyCapacity = 720;
+  obs::CliOptions obsOpts;
 
   for (int k = 1; k < argc; ++k) {
     if (obsOpts.consume(argc, argv, k)) continue;
@@ -105,15 +140,41 @@ int main(int argc, char** argv) {
       metricsInterval = intArg(argc, argv, k, "--metrics-interval");
     else if (std::strcmp(argv[k], "--drain-timeout") == 0)
       drainTimeoutSec = intArg(argc, argv, k, "--drain-timeout");
+    else if (std::strcmp(argv[k], "--log-level") == 0) {
+      const char* name = strArg(argc, argv, k, "--log-level");
+      if (!obs::parseLogLevel(name, logLevel)) {
+        std::cerr << "unknown log level '" << name
+                  << "' (want trace|debug|info|warn|error|off)\n";
+        return 2;
+      }
+    } else if (std::strcmp(argv[k], "--log-json") == 0)
+      logJsonPath = strArg(argc, argv, k, "--log-json");
+    else if (std::strcmp(argv[k], "--history-interval") == 0)
+      historyInterval = std::atof(strArg(argc, argv, k, "--history-interval"));
+    else if (std::strcmp(argv[k], "--history-capacity") == 0)
+      historyCapacity = intArg(argc, argv, k, "--history-capacity");
     else {
       std::cerr << "unknown flag '" << argv[k] << "'\n";
       return 2;
     }
   }
+  if (historyInterval <= 0) historyInterval = 5.0;
+  if (historyCapacity < 2) historyCapacity = 2;
 
   // The daemon always runs with live metrics: /v1/metrics is an endpoint.
-  ahfic::obs::setMetricsEnabled(true);
+  obs::setMetricsEnabled(true);
+  obs::setLogLevel(logLevel);
+  if (!logJsonPath.empty()) obs::setJsonlLogSink(true, logJsonPath);
   obsOpts.begin();
+
+  static const obs::LogSite sUp = obs::logSite(obs::LogLevel::kInfo,
+                                               "ahficd.listening");
+  static const obs::LogSite sSignal = obs::logSite(obs::LogLevel::kInfo,
+                                                   "ahficd.signal");
+  static const obs::LogSite sDrainTimeout =
+      obs::logSite(obs::LogLevel::kWarn, "ahficd.drain_timeout");
+  static const obs::LogSite sBye = obs::logSite(obs::LogLevel::kInfo,
+                                                "ahficd.exit");
 
   // Block the termination signals in every thread *before* any thread is
   // spawned, so only the sigwait below ever sees them.
@@ -132,17 +193,25 @@ int main(int argc, char** argv) {
     ahfic::runner::Session session;
     sv::JobService jobs(session, jobOpts);
 
+    obs::MetricsHistory history(historyInterval,
+                                static_cast<size_t>(historyCapacity));
+
     sv::ApiContext ctx;
     ctx.jobs = &jobs;
     ctx.db = &db;
     ctx.dbMutex = &dbMutex;
+    ctx.history = &history;
 
     sv::HttpServer server(sv::buildApiRouter(ctx), serverOpts);
     server.start();
-    std::cerr << "[ahficd] listening on " << serverOpts.bindAddress << ":"
-              << server.port() << " (" << jobOpts.workers << " job worker(s), "
-              << "queue depth " << jobOpts.queueDepth << ", " << db.size()
-              << " cell(s))\n";
+    history.start();
+    if (sUp)
+      sUp.log("listening")
+          .str("address", serverOpts.bindAddress)
+          .num("port", server.port())
+          .num("workers", jobOpts.workers)
+          .num("queueDepth", jobOpts.queueDepth)
+          .num("cells", static_cast<double>(db.size()));
 
     std::thread digest;
     std::atomic<bool> digestStop{false};
@@ -160,20 +229,22 @@ int main(int argc, char** argv) {
 
     int sig = 0;
     sigwait(&sigs, &sig);
-    std::cerr << "[ahficd] caught " << (sig == SIGTERM ? "SIGTERM" : "SIGINT")
-              << ", draining\n";
+    if (sSignal)
+      sSignal.log("caught signal, draining")
+          .str("signal", sig == SIGTERM ? "SIGTERM" : "SIGINT");
 
     const bool drained =
         jobs.stop(/*drain=*/true, std::chrono::seconds(drainTimeoutSec));
+    history.stop();
     server.stop();
     digestStop.store(true);
     if (digest.joinable()) digest.join();
-    if (!drained)
-      std::cerr << "[ahficd] drain timed out; queued jobs were dropped\n";
+    if (!drained && sDrainTimeout)
+      sDrainTimeout.log("drain timed out; queued jobs were dropped");
 
     if (!celldbPath.empty()) db.save(celldbPath);
     obsOpts.finish(std::cout);
-    std::cerr << "[ahficd] bye\n";
+    if (sBye) sBye.log("bye");
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "ahficd: " << e.what() << "\n";

@@ -1,0 +1,162 @@
+#include "obs/history.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace ahfic::obs {
+
+namespace {
+
+double unixNowSec() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Monotonic series as {"first": v0, "deltas": [v1-v0, v2-v1, ...]}:
+/// counters grow slowly between samples, so deltas are small numbers.
+util::JsonValue deltaSeries(const std::vector<long long>& values) {
+  util::JsonValue out = util::JsonValue::object();
+  out.set("first", static_cast<double>(values.empty() ? 0 : values[0]));
+  util::JsonValue deltas = util::JsonValue::array();
+  for (size_t i = 1; i < values.size(); ++i)
+    deltas.push(static_cast<double>(values[i] - values[i - 1]));
+  out.set("deltas", std::move(deltas));
+  return out;
+}
+
+}  // namespace
+
+MetricsHistory::MetricsHistory(double intervalSec, size_t capacity)
+    : intervalSec_(intervalSec > 0.0 ? intervalSec : 1.0),
+      capacity_(capacity > 0 ? capacity : 1) {}
+
+MetricsHistory::~MetricsHistory() { stop(); }
+
+size_t MetricsHistory::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+void MetricsHistory::sampleNow() {
+  Sample s;
+  s.unixSec = unixNowSec();
+  s.snap = metrics().snapshot();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(s));
+  } else {
+    // Full: overwrite the oldest slot, advance the ring head.
+    ring_[head_] = std::move(s);
+    head_ = (head_ + 1) % capacity_;
+  }
+}
+
+void MetricsHistory::start() {
+  if (running_) return;
+  sampleNow();
+  stopping_ = false;
+  thread_ = std::thread([this] { samplerLoop(); });
+  running_ = true;
+}
+
+void MetricsHistory::stop() {
+  if (!running_) return;
+  {
+    std::lock_guard<std::mutex> lock(wakeMu_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  thread_.join();
+  running_ = false;
+}
+
+void MetricsHistory::samplerLoop() {
+  std::unique_lock<std::mutex> lock(wakeMu_);
+  const auto interval = std::chrono::duration<double>(intervalSec_);
+  while (!wake_.wait_for(lock, interval, [this] { return stopping_; }))
+    sampleNow();
+}
+
+std::vector<MetricsHistory::Sample> MetricsHistory::window(
+    double windowSec) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Sample> out;
+  out.reserve(ring_.size());
+  // Unroll the circular buffer oldest-first.
+  for (size_t i = 0; i < ring_.size(); ++i)
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  if (windowSec > 0.0 && !out.empty()) {
+    const double cutoff = out.back().unixSec - windowSec;
+    out.erase(out.begin(),
+              std::find_if(out.begin(), out.end(), [cutoff](const Sample& s) {
+                return s.unixSec >= cutoff;
+              }));
+  }
+  return out;
+}
+
+util::JsonValue MetricsHistory::toJson(double windowSec) const {
+  const std::vector<Sample> samples = window(windowSec);
+
+  util::JsonValue doc = util::JsonValue::object();
+  doc.set("schema", "ahfic-metrics-history-v1");
+  doc.set("intervalSec", intervalSec_);
+  doc.set("capacity", static_cast<double>(capacity_));
+  doc.set("samples", static_cast<double>(samples.size()));
+
+  util::JsonValue t = util::JsonValue::array();
+  for (const Sample& s : samples) t.push(s.unixSec);
+  doc.set("t", std::move(t));
+
+  util::JsonValue cs = util::JsonValue::object();
+  util::JsonValue gs = util::JsonValue::object();
+  util::JsonValue hs = util::JsonValue::object();
+  if (!samples.empty()) {
+    const MetricsSnapshot& latest = samples.back().snap;
+    for (const auto& [name, lastValue] : latest.counters) {
+      (void)lastValue;
+      std::vector<long long> series;
+      series.reserve(samples.size());
+      for (const Sample& s : samples)
+        series.push_back(s.snap.counterValue(name));
+      cs.set(name, deltaSeries(series));
+    }
+    for (const auto& [name, lastValue] : latest.gauges) {
+      (void)lastValue;
+      util::JsonValue arr = util::JsonValue::array();
+      for (const Sample& s : samples) {
+        double v = 0.0;
+        for (const auto& [gn, gv] : s.snap.gauges)
+          if (gn == name) v = gv;
+        arr.push(v);
+      }
+      gs.set(name, std::move(arr));
+    }
+    for (const HistogramSnapshot& hv : latest.histograms) {
+      std::vector<long long> counts;
+      util::JsonValue p50 = util::JsonValue::array();
+      util::JsonValue p95 = util::JsonValue::array();
+      util::JsonValue p99 = util::JsonValue::array();
+      for (const Sample& s : samples) {
+        const HistogramSnapshot* h = s.snap.findHistogram(hv.name);
+        counts.push_back(h != nullptr ? h->count : 0);
+        p50.push(h != nullptr ? h->quantileInterpolated(0.50) : 0.0);
+        p95.push(h != nullptr ? h->quantileInterpolated(0.95) : 0.0);
+        p99.push(h != nullptr ? h->quantileInterpolated(0.99) : 0.0);
+      }
+      util::JsonValue e = util::JsonValue::object();
+      e.set("count", deltaSeries(counts));
+      e.set("p50", std::move(p50));
+      e.set("p95", std::move(p95));
+      e.set("p99", std::move(p99));
+      hs.set(hv.name, std::move(e));
+    }
+  }
+  doc.set("counters", std::move(cs));
+  doc.set("gauges", std::move(gs));
+  doc.set("histograms", std::move(hs));
+  return doc;
+}
+
+}  // namespace ahfic::obs

@@ -1,0 +1,85 @@
+#pragma once
+// Metrics time-series: a background sampler that records registry
+// snapshots into a fixed-capacity ring, so the daemon can answer "what
+// happened over the last N seconds" instead of only "what is true now".
+//
+// The ring stores full MetricsSnapshots (capacity bounds memory; the
+// oldest sample is evicted when full — never unbounded growth). The
+// wire format is delta-compressed: monotonic series (counters,
+// histogram counts) ship as {"first": v0, "deltas": [...]}; gauges and
+// interpolated histogram quantiles ship as raw arrays. Served by the
+// daemon as "ahfic-metrics-history-v1" at GET /v1/metrics/history and
+// rendered by the /debug dashboard and `ahfic_client watch`.
+//
+// Usage (ahficd):
+//   obs::MetricsHistory history(/*intervalSec=*/5.0, /*capacity=*/720);
+//   history.start();             // background thread, one sample/interval
+//   ...
+//   history.stop();              // joined before the registry dies
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/json.h"
+
+namespace ahfic::obs {
+
+class MetricsHistory {
+ public:
+  /// One ring entry: wall-clock stamp plus the full merged snapshot.
+  struct Sample {
+    double unixSec = 0.0;
+    MetricsSnapshot snap;
+  };
+
+  MetricsHistory(double intervalSec, size_t capacity);
+  ~MetricsHistory();  ///< stops the sampler if still running
+
+  MetricsHistory(const MetricsHistory&) = delete;
+  MetricsHistory& operator=(const MetricsHistory&) = delete;
+
+  double intervalSec() const { return intervalSec_; }
+  size_t capacity() const { return capacity_; }
+  size_t size() const;
+
+  /// Takes one sample now (also what the background thread calls).
+  void sampleNow();
+
+  /// Starts/stops the background sampling thread. start() samples once
+  /// immediately so the ring is never empty while the daemon is up.
+  void start();
+  void stop();
+
+  /// Copies the samples newer than `windowSec` before the latest one
+  /// (0 = the whole ring), oldest first.
+  std::vector<Sample> window(double windowSec = 0.0) const;
+
+  /// "ahfic-metrics-history-v1" document over window(windowSec):
+  /// {schema, intervalSec, capacity, samples, t: [unix seconds],
+  ///  counters: {name: {first, deltas}}, gauges: {name: [...]},
+  ///  histograms: {name: {count: {first, deltas}, p50/p95/p99: [...]}}.
+  /// Series use the *latest* sample's metric names; a metric registered
+  /// mid-window reads 0 before it existed.
+  util::JsonValue toJson(double windowSec = 0.0) const;
+
+ private:
+  void samplerLoop();
+
+  const double intervalSec_;
+  const size_t capacity_;
+
+  mutable std::mutex mu_;
+  std::vector<Sample> ring_;  ///< circular, oldest at (head_) when full
+  size_t head_ = 0;           ///< next write position
+
+  std::mutex wakeMu_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+  std::thread thread_;
+  bool running_ = false;
+};
+
+}  // namespace ahfic::obs

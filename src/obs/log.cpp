@@ -1,0 +1,360 @@
+#include "obs/log.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <deque>
+#include <mutex>
+#include <string>
+
+#include "util/error.h"
+#include "util/json.h"
+
+namespace ahfic::obs {
+
+namespace detail {
+
+/// One registered instrumentation point. Rate-limiter state is per-site
+/// and lock-free: approximate counting under contention is fine — the
+/// limiter bounds the log volume, it is not an accounting ledger.
+struct LogSiteInfo {
+  std::string name;
+  LogLevel level = LogLevel::kInfo;
+  int maxPerSec = 0;
+  std::atomic<long long> windowSec{-1};
+  std::atomic<int> inWindow{0};
+  std::atomic<long long> suppressed{0};
+};
+
+}  // namespace detail
+
+namespace {
+
+std::atomic<int> gLogLevel{static_cast<int>(LogLevel::kOff)};
+std::atomic<long long> gEmitted{0};
+std::atomic<long long> gSuppressed{0};
+
+using detail::LogSiteInfo;
+
+/// Registry + sinks. Sites live in a deque — push_back never moves
+/// existing entries, so LogSite handles keep raw pointers that stay
+/// valid while other threads register concurrently (LogSiteInfo holds
+/// atomics and cannot move anyway).
+struct LogState {
+  std::mutex regMu;
+  std::deque<LogSiteInfo> sites;
+
+  std::mutex sinkMu;  // serializes whole-line writes: no torn lines
+  bool textEnabled = true;
+  FILE* textFile = nullptr;  // nullptr = stderr
+  bool jsonlEnabled = false;
+  FILE* jsonlFile = nullptr;  // nullptr = stderr
+};
+
+LogState& state() {
+  static LogState* s = new LogState;  // leaked: outlives everything
+  return *s;
+}
+
+thread_local TraceContext tTraceContext;
+
+long long steadySeconds() {
+  return std::chrono::duration_cast<std::chrono::seconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// "2026-08-08T12:34:56.789Z" — millisecond UTC wall time.
+std::string isoTimestamp() {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  char buf[80];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, static_cast<int>(ms));
+  return buf;
+}
+
+std::string formatNumber(double v) {
+  char buf[40];
+  // Integers print without a trailing ".000000": log fields are mostly
+  // counts, ids and millisecond timings.
+  if (v == static_cast<long long>(v) && v > -1e15 && v < 1e15)
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  else
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+/// key=value for the text sink; values with whitespace or '=' get
+/// quoted so the line stays splittable.
+void appendTextField(std::string& out, const char* key,
+                     const std::string& value) {
+  out += ' ';
+  out += key;
+  out += '=';
+  if (value.find_first_of(" \t\"=") != std::string::npos) {
+    out += '"';
+    for (char c : value) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += '"';
+  } else {
+    out += value;
+  }
+}
+
+void writeLine(FILE* target, const std::string& line) {
+  FILE* f = target != nullptr ? target : stderr;
+  std::fwrite(line.data(), 1, line.size(), f);
+  std::fflush(f);
+}
+
+void setSink(bool jsonl, bool enabled, const std::string& path) {
+  FILE* opened = nullptr;
+  if (enabled && !path.empty()) {
+    opened = std::fopen(path.c_str(), "w");
+    if (opened == nullptr)
+      throw Error("obs: cannot open log file '" + path + "'");
+  }
+  LogState& s = state();
+  std::lock_guard<std::mutex> lock(s.sinkMu);
+  FILE*& slot = jsonl ? s.jsonlFile : s.textFile;
+  bool& flag = jsonl ? s.jsonlEnabled : s.textEnabled;
+  if (slot != nullptr) std::fclose(slot);
+  slot = opened;
+  flag = enabled;
+}
+
+}  // namespace
+
+const char* logLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "trace";
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
+bool parseLogLevel(const std::string& name, LogLevel& out) {
+  for (LogLevel l : {LogLevel::kTrace, LogLevel::kDebug, LogLevel::kInfo,
+                     LogLevel::kWarn, LogLevel::kError, LogLevel::kOff}) {
+    if (name == logLevelName(l)) {
+      out = l;
+      return true;
+    }
+  }
+  return false;
+}
+
+void setLogLevel(LogLevel level) {
+  gLogLevel.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel logLevel() {
+  return static_cast<LogLevel>(gLogLevel.load(std::memory_order_relaxed));
+}
+
+void setTextLogSink(bool enabled, const std::string& path) {
+  setSink(/*jsonl=*/false, enabled, path);
+}
+
+void setJsonlLogSink(bool enabled, const std::string& path) {
+  setSink(/*jsonl=*/true, enabled, path);
+}
+
+void resetLoggingForTest() {
+  setSink(false, true, "");
+  setSink(true, false, "");
+  setLogLevel(LogLevel::kOff);
+}
+
+long long logLinesEmitted() {
+  return gEmitted.load(std::memory_order_relaxed);
+}
+
+long long logLinesSuppressed() {
+  return gSuppressed.load(std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Correlation context
+
+const TraceContext& currentTraceContext() { return tTraceContext; }
+
+ScopedTraceContext::ScopedTraceContext(std::string requestId,
+                                       std::string jobId)
+    : saved_(std::move(tTraceContext)) {
+  // An empty requestId inherits the enclosing scope's: nested scopes add
+  // a jobId without severing the request correlation.
+  tTraceContext.requestId =
+      requestId.empty() ? saved_.requestId : std::move(requestId);
+  tTraceContext.jobId = jobId.empty() ? saved_.jobId : std::move(jobId);
+}
+
+ScopedTraceContext::~ScopedTraceContext() {
+  tTraceContext = std::move(saved_);
+}
+
+// ---------------------------------------------------------------------------
+// Sites
+
+LogSite::operator bool() const {
+  return site_ != nullptr &&
+         static_cast<int>(level_) >=
+             gLogLevel.load(std::memory_order_relaxed);
+}
+
+LogSite logSite(LogLevel level, const std::string& name, int maxPerSec) {
+  LogState& s = state();
+  std::lock_guard<std::mutex> lock(s.regMu);
+  for (LogSiteInfo& site : s.sites)
+    if (site.name == name) return LogSite(&site, site.level);
+  s.sites.emplace_back();
+  LogSiteInfo& site = s.sites.back();
+  site.name = name;
+  site.level = level;
+  site.maxPerSec = maxPerSec;
+  return LogSite(&site, level);
+}
+
+LogLine LogSite::log(const char* message) const {
+  if (!*this) return LogLine();
+  return LogLine(site_, level_, message);
+}
+
+// ---------------------------------------------------------------------------
+// Lines
+
+LogLine::LogLine(LogSiteInfo* sitePtr, LogLevel level, const char* message)
+    : live_(true), site_(sitePtr), level_(level), message_(message) {
+  // The rate-limit decision happens at line start, not emission, so a
+  // suppressed call never pays for field collection either.
+  LogSiteInfo& site = *sitePtr;
+  if (site.maxPerSec > 0) {
+    const long long nowSec = steadySeconds();
+    long long w = site.windowSec.load(std::memory_order_relaxed);
+    if (w != nowSec &&
+        site.windowSec.compare_exchange_strong(w, nowSec,
+                                               std::memory_order_relaxed))
+      site.inWindow.store(0, std::memory_order_relaxed);
+    if (site.inWindow.fetch_add(1, std::memory_order_relaxed) >=
+        site.maxPerSec) {
+      site.suppressed.fetch_add(1, std::memory_order_relaxed);
+      gSuppressed.fetch_add(1, std::memory_order_relaxed);
+      live_ = false;
+      return;
+    }
+  }
+  // Report (and clear) the debt accumulated while the limiter was
+  // closed, so suppression is visible in the stream it thinned.
+  suppressed_ = site.suppressed.exchange(0, std::memory_order_relaxed);
+}
+
+LogLine::LogLine(LogLine&& other) noexcept
+    : live_(other.live_),
+      site_(other.site_),
+      level_(other.level_),
+      message_(other.message_),
+      suppressed_(other.suppressed_),
+      fieldCount_(other.fieldCount_) {
+  for (int i = 0; i < fieldCount_; ++i) fields_[i] = std::move(other.fields_[i]);
+  other.live_ = false;
+}
+
+LogLine& LogLine::str(const char* key, std::string value) {
+  if (live_ && fieldCount_ < kMaxFields)
+    fields_[fieldCount_++] = Field{key, false, std::move(value), 0.0};
+  return *this;
+}
+
+LogLine& LogLine::num(const char* key, double value) {
+  if (live_ && fieldCount_ < kMaxFields)
+    fields_[fieldCount_++] = Field{key, true, std::string(), value};
+  return *this;
+}
+
+LogLine::~LogLine() {
+  if (!live_) return;
+  LogState& s = state();
+  const std::string& siteName = site_->name;
+  const std::string ts = isoTimestamp();
+  const TraceContext& ctx = tTraceContext;
+
+  // Snapshot sink routing once; formatting happens outside the lock,
+  // only the two writes are serialized.
+  bool wantText, wantJsonl;
+  {
+    std::lock_guard<std::mutex> lock(s.sinkMu);
+    wantText = s.textEnabled;
+    wantJsonl = s.jsonlEnabled;
+  }
+  if (!wantText && !wantJsonl) return;
+
+  std::string textLine, jsonlLine;
+  if (wantText) {
+    textLine = ts;
+    textLine += ' ';
+    const char* lvl = logLevelName(level_);
+    textLine += lvl;
+    textLine.append(5 - std::strlen(lvl), ' ');
+    textLine += ' ';
+    textLine += siteName;
+    textLine += ": ";
+    textLine += message_;
+    if (!ctx.requestId.empty())
+      appendTextField(textLine, "request_id", ctx.requestId);
+    if (!ctx.jobId.empty()) appendTextField(textLine, "job_id", ctx.jobId);
+    for (int i = 0; i < fieldCount_; ++i) {
+      const Field& f = fields_[i];
+      appendTextField(textLine, f.key,
+                      f.isNumber ? formatNumber(f.num) : f.str);
+    }
+    if (suppressed_ > 0)
+      appendTextField(textLine, "suppressed", formatNumber(
+                                                  static_cast<double>(
+                                                      suppressed_)));
+    textLine += '\n';
+  }
+  if (wantJsonl) {
+    util::JsonValue doc = util::JsonValue::object();
+    doc.set("ts", ts);
+    doc.set("level", logLevelName(level_));
+    doc.set("site", siteName);
+    doc.set("msg", message_);
+    if (!ctx.requestId.empty()) doc.set("request_id", ctx.requestId);
+    if (!ctx.jobId.empty()) doc.set("job_id", ctx.jobId);
+    for (int i = 0; i < fieldCount_; ++i) {
+      const Field& f = fields_[i];
+      if (f.isNumber)
+        doc.set(f.key, f.num);
+      else
+        doc.set(f.key, f.str);
+    }
+    if (suppressed_ > 0)
+      doc.set("suppressed", static_cast<double>(suppressed_));
+    jsonlLine = doc.dump();
+    jsonlLine += '\n';
+  }
+
+  gEmitted.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(s.sinkMu);
+  if (s.textEnabled && !textLine.empty()) writeLine(s.textFile, textLine);
+  if (s.jsonlEnabled && !jsonlLine.empty())
+    writeLine(s.jsonlFile, jsonlLine);
+}
+
+}  // namespace ahfic::obs

@@ -1,0 +1,186 @@
+#pragma once
+// Structured, leveled logging — the third observability pillar next to
+// the metrics registry (metrics.h) and span tracing (trace.h).
+//
+// Logging is off by default (level kOff). Instrumentation points hold a
+// cheap LogSite handle obtained once (static local, matching the
+// Counter/ScopedSpan pattern); checking a site costs one relaxed atomic
+// load, so a disabled log site adds the same overhead as a disabled
+// Counter. Only when the site's level passes the global threshold does
+// the call build a LogLine, which formats and emits on destruction.
+//
+// Two sinks can be live at once:
+//  * a text sink — human-readable one-per-line records, stderr by
+//    default (what a developer watches while the daemon runs);
+//  * a JSONL sink — one JSON object per line, for machines ("--log-json"
+//    on ahficd; the CI smoke job parses it back).
+// A line is formatted into a single buffer and written with one locked
+// write per sink, so concurrent threads never interleave or tear lines.
+//
+// Correlation: every line is stamped with the calling thread's
+// TraceContext (request_id / job_id) when one is installed — see
+// ScopedTraceContext. The serve layer installs the per-HTTP-request id,
+// the runner installs it around each job, so one grep of the request id
+// crosses the whole stack (docs/observability.md).
+//
+// Per-site rate limiting: a site registered with maxPerSec > 0 emits at
+// most that many lines per wall-clock second; excess lines are counted
+// and reported as a "suppressed" field on the site's next emitted line,
+// so a pathological loop cannot turn the log into its own outage.
+//
+// Usage:
+//   static const obs::LogSite sDone =
+//       obs::logSite(obs::LogLevel::kInfo, "runner.job_done");
+//   if (sDone)
+//     sDone.log("job finished").str("key", job.key).num("wallMs", ms);
+
+#include <string>
+
+namespace ahfic::obs {
+
+namespace detail {
+struct LogSiteInfo;  // registry entry; stable address for the process
+}
+
+enum class LogLevel {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// "trace" / "debug" / "info" / "warn" / "error" / "off".
+const char* logLevelName(LogLevel level);
+/// Parses a level name (as accepted by ahficd --log-level). Returns
+/// false and leaves `out` untouched on an unknown name.
+bool parseLogLevel(const std::string& name, LogLevel& out);
+
+/// Global threshold: sites below it are disabled. kOff (the default)
+/// disables logging entirely. Relaxed atomic; safe to flip any time.
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+/// Text sink routing. Enabled with an empty path = stderr; with a path
+/// = append-truncate to that file (throws ahfic::Error when the file
+/// cannot be opened). The text sink starts enabled on stderr — but
+/// emits nothing until setLogLevel() opens the gate.
+void setTextLogSink(bool enabled, const std::string& path = "");
+
+/// JSONL sink routing, disabled by default. Empty path = stderr.
+void setJsonlLogSink(bool enabled, const std::string& path = "");
+
+/// Closes file sinks, re-enables the stderr text sink, disables the
+/// JSONL sink, resets the level to kOff. Test helper.
+void resetLoggingForTest();
+
+/// Lines emitted to any sink / suppressed by per-site rate limiting
+/// since process start (monotonic; independent of the metrics switch).
+long long logLinesEmitted();
+long long logLinesSuppressed();
+
+// ---------------------------------------------------------------------------
+// Correlation context
+
+/// The calling thread's correlation ids, stamped onto every log line
+/// (and picked up by ScopedSpan when tracing). Empty fields are omitted
+/// from the output.
+struct TraceContext {
+  std::string requestId;
+  std::string jobId;
+};
+
+/// The thread's current context (empty when none installed).
+const TraceContext& currentTraceContext();
+
+/// RAII install/restore of the thread's TraceContext. Passing an empty
+/// requestId keeps the enclosing context's requestId (so a nested scope
+/// can add a jobId without erasing the request correlation).
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(std::string requestId,
+                              std::string jobId = std::string());
+  ~ScopedTraceContext();
+
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext saved_;
+};
+
+// ---------------------------------------------------------------------------
+// Sites and lines
+
+class LogLine;
+
+/// Cheap copyable handle to one instrumentation point. Obtain once via
+/// obs::logSite(); the truthiness check is the hot-path cost.
+class LogSite {
+ public:
+  LogSite() = default;
+
+  /// True when a line from this site would pass the level gate. One
+  /// relaxed atomic load — rate limiting is applied later, in log(),
+  /// because a suppressed line must still be *counted*.
+  explicit operator bool() const;
+
+  /// Starts a structured line; it emits when the returned LogLine goes
+  /// out of scope (end of the full expression in the idiomatic one-line
+  /// form). Calling log() on a gated-off site yields an inert line.
+  LogLine log(const char* message) const;
+
+ private:
+  friend LogSite logSite(LogLevel, const std::string&, int);
+  LogSite(detail::LogSiteInfo* site, LogLevel level)
+      : site_(site), level_(level) {}
+  detail::LogSiteInfo* site_ = nullptr;
+  LogLevel level_ = LogLevel::kInfo;
+};
+
+/// Registers (or finds) a site by name — "subsystem.event", snake_case,
+/// mirroring the metric naming convention. `maxPerSec` > 0 bounds the
+/// site's emission rate. Re-registering an existing name returns the
+/// original site (level/rate of the first registration win).
+LogSite logSite(LogLevel level, const std::string& name, int maxPerSec = 0);
+
+/// One in-flight log line: collect fields, emit on destruction. Values
+/// are either strings or numbers (matching what JSON can carry without
+/// surprises); keys must outlive the line (string literals).
+class LogLine {
+ public:
+  ~LogLine();
+  LogLine(LogLine&& other) noexcept;
+  LogLine& operator=(LogLine&&) = delete;
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  LogLine& str(const char* key, std::string value);
+  LogLine& num(const char* key, double value);
+
+ private:
+  friend class LogSite;
+  LogLine() = default;  // inert
+  LogLine(detail::LogSiteInfo* site, LogLevel level, const char* message);
+
+  struct Field {
+    const char* key;
+    bool isNumber;
+    std::string str;
+    double num;
+  };
+
+  bool live_ = false;
+  detail::LogSiteInfo* site_ = nullptr;
+  LogLevel level_ = LogLevel::kInfo;
+  const char* message_ = "";
+  long long suppressed_ = 0;  ///< carried rate-limiter debt to report
+  // Small fixed inline field set: log lines carry a handful of fields;
+  // extras beyond the cap are dropped rather than allocated for.
+  static constexpr int kMaxFields = 8;
+  Field fields_[kMaxFields];
+  int fieldCount_ = 0;
+};
+
+}  // namespace ahfic::obs

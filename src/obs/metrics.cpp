@@ -11,6 +11,7 @@
 #include <memory>
 #include <mutex>
 
+#include "obs/log.h"
 #include "util/error.h"
 #include "util/table.h"
 
@@ -80,6 +81,15 @@ struct Registry::Impl {
   std::array<std::atomic<double>, kMaxGauges> gauges{};
   std::vector<std::unique_ptr<Shard>> shards;
   std::vector<Shard*> freeShards;
+  // Effective caps (== kMax* except under limitCapsForTest) and the
+  // once-per-kind saturation warning latches.
+  int counterCap = kMaxCounters;
+  int gaugeCap = kMaxGauges;
+  int histCap = kMaxHistograms;
+  bool warnedCounterCap = false;
+  bool warnedGaugeCap = false;
+  bool warnedHistCap = false;
+  int saturatedId = -1;  ///< "obs.registry_saturated", registered in ctor
 };
 
 /// RAII thread-local lease: acquires a shard on a thread's first write and
@@ -92,7 +102,13 @@ struct Registry::ShardLease {
   Shard* shard;
 };
 
-Registry::Registry() : impl_(new Impl) {}
+Registry::Registry() : impl_(new Impl) {
+  // Pre-register the saturation counter so reporting a full registry
+  // never itself needs a free slot.
+  impl_->counterNames.push_back("obs.registry_saturated");
+  impl_->counterIds["obs.registry_saturated"] = 0;
+  impl_->saturatedId = 0;
+}
 Registry::~Registry() { delete impl_; }
 
 Registry& metrics() {
@@ -123,15 +139,16 @@ Registry::Shard& Registry::localShard() {
 
 namespace {
 
+/// Returns the existing or new id, or -1 when the cap is hit (the
+/// caller reports saturation outside the registry lock — emitting the
+/// saturation counter here would re-enter acquireShard and deadlock).
 int registerName(std::map<std::string, int>& ids,
                  std::vector<std::string>& names, const std::string& name,
-                 int capacity, const char* kind) {
+                 int capacity) {
   if (name.empty()) throw Error("obs: empty metric name");
   auto it = ids.find(name);
   if (it != ids.end()) return it->second;
-  if (static_cast<int>(names.size()) >= capacity)
-    throw Error(std::string("obs: too many ") + kind + " metrics (cap " +
-                std::to_string(capacity) + ")");
+  if (static_cast<int>(names.size()) >= capacity) return -1;
   const int id = static_cast<int>(names.size());
   names.push_back(name);
   ids[name] = id;
@@ -140,22 +157,72 @@ int registerName(std::map<std::string, int>& ids,
 
 }  // namespace
 
+void Registry::noteSaturation(const char* kind, const std::string& name,
+                              bool firstForKind) {
+  // Count the drop unconditionally (bypassing the enabled gate: a full
+  // registry should be visible in the very snapshot that misses data).
+  counterAdd(impl_->saturatedId, 1);
+  if (!firstForKind) return;
+  static const LogSite sWarn =
+      logSite(LogLevel::kWarn, "obs.registry_saturated");
+  if (sWarn)
+    sWarn.log("metric registry cap hit; registrations now dropped")
+        .str("kind", kind)
+        .str("dropped", name);
+}
+
 Counter Registry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
-  return Counter(registerName(impl_->counterIds, impl_->counterNames, name,
-                              kMaxCounters, "counter"));
+  int id;
+  bool first = false;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    id = registerName(impl_->counterIds, impl_->counterNames, name,
+                      impl_->counterCap);
+    if (id < 0 && !impl_->warnedCounterCap)
+      impl_->warnedCounterCap = first = true;
+  }
+  if (id < 0) noteSaturation("counter", name, first);
+  return Counter(id);
 }
 
 Gauge Registry::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
-  return Gauge(registerName(impl_->gaugeIds, impl_->gaugeNames, name,
-                            kMaxGauges, "gauge"));
+  int id;
+  bool first = false;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    id = registerName(impl_->gaugeIds, impl_->gaugeNames, name,
+                      impl_->gaugeCap);
+    if (id < 0 && !impl_->warnedGaugeCap)
+      impl_->warnedGaugeCap = first = true;
+  }
+  if (id < 0) noteSaturation("gauge", name, first);
+  return Gauge(id);
 }
 
 Histogram Registry::histogram(const std::string& name) {
+  int id;
+  bool first = false;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    id = registerName(impl_->histIds, impl_->histNames, name,
+                      impl_->histCap);
+    if (id < 0 && !impl_->warnedHistCap)
+      impl_->warnedHistCap = first = true;
+  }
+  if (id < 0) noteSaturation("histogram", name, first);
+  return Histogram(id);
+}
+
+void Registry::limitCapsForTest(int counters, int gauges, int histograms) {
   std::lock_guard<std::mutex> lock(impl_->mu);
-  return Histogram(registerName(impl_->histIds, impl_->histNames, name,
-                                kMaxHistograms, "histogram"));
+  impl_->counterCap = counters < 0 ? kMaxCounters
+                                   : std::min(counters, kMaxCounters);
+  impl_->gaugeCap = gauges < 0 ? kMaxGauges : std::min(gauges, kMaxGauges);
+  impl_->histCap =
+      histograms < 0 ? kMaxHistograms : std::min(histograms, kMaxHistograms);
+  impl_->warnedCounterCap = false;
+  impl_->warnedGaugeCap = false;
+  impl_->warnedHistCap = false;
 }
 
 void Registry::counterAdd(int id, long long delta) {
@@ -257,6 +324,33 @@ double HistogramSnapshot::quantile(double q) const {
   return histogramBucketUpperBound(kHistogramBuckets - 1);
 }
 
+double HistogramSnapshot::quantileInterpolated(double q) const {
+  if (count <= 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  long long cum = 0;
+  for (int b = 0; b < kHistogramBuckets; ++b) {
+    const long long n = buckets[static_cast<size_t>(b)];
+    if (n == 0) continue;
+    if (static_cast<double>(cum + n) >= target) {
+      double frac = (target - static_cast<double>(cum)) /
+                    static_cast<double>(n);
+      frac = std::clamp(frac, 0.0, 1.0);
+      const double hi = histogramBucketUpperBound(b);
+      // Underflow bucket spans (0, 1e-3]: interpolate linearly from 0.
+      if (b == 0) return frac * hi;
+      const double lo = histogramBucketUpperBound(b - 1);
+      // Overflow bucket has no finite upper bound: report its floor —
+      // a finite lower bound on the true quantile beats +inf.
+      if (std::isinf(hi)) return lo;
+      // Log-scale buckets: geometric interpolation between the bounds.
+      return lo * std::pow(hi / lo, frac);
+    }
+    cum += n;
+  }
+  return histogramBucketUpperBound(kHistogramBuckets - 2);
+}
+
 MetricsSnapshot MetricsSnapshot::since(const MetricsSnapshot& earlier) const {
   MetricsSnapshot out = *this;
   for (auto& [name, value] : out.counters) value -= earlier.counterValue(name);
@@ -303,6 +397,9 @@ util::JsonValue MetricsSnapshot::toJson() const {
     e.set("count", static_cast<double>(h.count));
     e.set("sum", h.sum);
     e.set("mean", h.mean());
+    e.set("p50", h.quantileInterpolated(0.50));
+    e.set("p95", h.quantileInterpolated(0.95));
+    e.set("p99", h.quantileInterpolated(0.99));
     util::JsonValue bucketArr = util::JsonValue::array();
     for (int b = 0; b < kHistogramBuckets; ++b) {
       const long long n = h.buckets[static_cast<size_t>(b)];
@@ -345,6 +442,65 @@ std::string formatBound(double v) {
 
 }  // namespace
 
+namespace {
+
+/// "serve.http.requests" -> "ahfic_serve_http_requests"; any character
+/// outside [a-zA-Z0-9_] becomes '_'.
+std::string prometheusName(const std::string& name) {
+  std::string out = "ahfic_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9');
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string prometheusNumber(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[40];
+  if (v == static_cast<long long>(v) && v > -1e15 && v < 1e15)
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  else
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::toPrometheusText() const {
+  std::string out;
+  for (const auto& [name, value] : counters) {
+    const std::string pn = prometheusName(name);
+    out += "# TYPE " + pn + " counter\n";
+    out += pn + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    const std::string pn = prometheusName(name);
+    out += "# TYPE " + pn + " gauge\n";
+    out += pn + " " + prometheusNumber(value) + "\n";
+  }
+  for (const auto& h : histograms) {
+    const std::string pn = prometheusName(h.name);
+    out += "# TYPE " + pn + " histogram\n";
+    long long cum = 0;
+    for (int b = 0; b < kHistogramBuckets; ++b) {
+      cum += h.buckets[static_cast<size_t>(b)];
+      // Prometheus buckets are cumulative; emit only the populated edge
+      // of the fixed scheme plus the mandatory +Inf bucket.
+      if (h.buckets[static_cast<size_t>(b)] == 0 &&
+          b != kHistogramBuckets - 1)
+        continue;
+      out += pn + "_bucket{le=\"" +
+             prometheusNumber(histogramBucketUpperBound(b)) + "\"} " +
+             std::to_string(cum) + "\n";
+    }
+    out += pn + "_sum " + prometheusNumber(h.sum) + "\n";
+    out += pn + "_count " + std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
 std::string MetricsSnapshot::summary(size_t topN) const {
   std::string out;
 
@@ -376,11 +532,13 @@ std::string MetricsSnapshot::summary(size_t topN) const {
   for (const auto& h : histograms)
     if (h.count > 0) anyHist = true;
   if (anyHist) {
-    util::Table t({"histogram", "count", "mean", "p50", "p95"});
+    util::Table t({"histogram", "count", "mean", "p50", "p95", "p99"});
     for (const auto& h : histograms) {
       if (h.count == 0) continue;
       t.addRow({h.name, std::to_string(h.count), formatBound(h.mean()),
-                formatBound(h.quantile(0.5)), formatBound(h.quantile(0.95))});
+                formatBound(h.quantileInterpolated(0.5)),
+                formatBound(h.quantileInterpolated(0.95)),
+                formatBound(h.quantileInterpolated(0.99))});
     }
     if (!out.empty()) out += "\n";
     out += t.toString();

@@ -107,6 +107,13 @@ struct HistogramSnapshot {
   /// Returns 0 for an empty histogram; +infinity when it lands in the
   /// overflow bucket.
   double quantile(double q) const;
+  /// q-quantile with log-linear interpolation inside the landing bucket
+  /// (buckets are log-scale, so geometric interpolation between the
+  /// bucket bounds). Always finite: the overflow bucket reports its
+  /// lower bound, the underflow bucket interpolates linearly from 0.
+  /// This is what the summary tables and bench envelopes report as
+  /// p50/p95/p99.
+  double quantileInterpolated(double q) const;
 };
 
 /// Point-in-time merge of every shard. Counters and histograms are
@@ -127,25 +134,33 @@ struct MetricsSnapshot {
   const HistogramSnapshot* findHistogram(const std::string& name) const;
 
   /// "ahfic-metrics-v1" document: counters/gauges as name->value maps,
-  /// histograms with count/sum/mean and the non-empty buckets
-  /// ({"le": upperBound-or-null-for-overflow, "n": count}).
+  /// histograms with count/sum/mean/p50/p95/p99 and the non-empty
+  /// buckets ({"le": upperBound-or-null-for-overflow, "n": count}).
   util::JsonValue toJson() const;
+  /// Prometheus text exposition (version 0.0.4): names mangled
+  /// dots->underscores with an "ahfic_" prefix, histograms as
+  /// cumulative `_bucket{le="..."}` series plus `_sum`/`_count`.
+  std::string toPrometheusText() const;
   std::string toJsonString(int indent = 2) const;
   /// Writes toJsonString to a file; throws ahfic::Error on I/O failure.
   void writeJsonFile(const std::string& path) const;
 
   /// Text tables (util::Table) of the top `topN` counters by value plus
-  /// every histogram (count/mean/p50/p95). Empty string when nothing was
-  /// recorded.
+  /// every histogram (count/mean/p50/p95/p99, interpolated). Empty
+  /// string when nothing was recorded.
   std::string summary(size_t topN = 12) const;
 };
 
 class Registry {
  public:
-  /// Shard capacities; registration beyond these throws ahfic::Error.
-  /// Fixed so per-thread shards never reallocate under concurrent writes.
-  /// Sized with headroom for the serve daemon's per-endpoint counter
-  /// families (serve.endpoint.<route>.<class> is 3 counters per route).
+  /// Shard capacities. Fixed so per-thread shards never reallocate under
+  /// concurrent writes. Sized with headroom for the serve daemon's
+  /// per-endpoint counter families (serve.endpoint.<route>.<class> is 3
+  /// counters per route). Registration beyond a cap returns an inert
+  /// handle (writes are no-ops), bumps the pre-registered
+  /// `obs.registry_saturated` counter, and warn-logs once per kind — a
+  /// saturated registry degrades visibly instead of silently dropping
+  /// new metrics.
   static constexpr int kMaxCounters = 224;
   static constexpr int kMaxGauges = 32;
   static constexpr int kMaxHistograms = 48;
@@ -159,6 +174,11 @@ class Registry {
   /// Zeroes every slot in every shard. Test-only: callers must ensure no
   /// concurrent writers.
   void resetForTest();
+
+  /// Clamps the effective registration caps so saturation is testable
+  /// without burning the real capacity; pass -1 to restore a true cap.
+  /// Also re-arms the one-shot saturation warnings. Test-only.
+  void limitCapsForTest(int counters, int gauges, int histograms);
 
  private:
   friend class ::ahfic::obs::Counter;
@@ -175,6 +195,8 @@ class Registry {
   void counterAdd(int id, long long delta);
   void gaugeSet(int id, double value);
   void histogramObserve(int id, double value);
+  void noteSaturation(const char* kind, const std::string& name,
+                      bool firstForKind);
 
   Shard& localShard();
   Shard* acquireShard();

@@ -33,6 +33,8 @@ struct TraceEvent {
     double value;
   } notes[2];
   int noteCount;
+  const char* annKey = nullptr;  ///< optional string arg (correlation id)
+  std::string annValue;
 };
 
 /// One trace lane: owned by a single writer thread at a time, merged by
@@ -204,6 +206,12 @@ void ScopedSpan::note(const char* key, double value) {
   ++noteCount_;
 }
 
+void ScopedSpan::annotate(const char* key, std::string value) {
+  if (!live_ || annKey_ != nullptr || value.empty()) return;
+  annKey_ = key;
+  annValue_ = std::move(value);
+}
+
 ScopedSpan::~ScopedSpan() {
   if (!live_) return;
   Collector& c = collector();
@@ -221,6 +229,8 @@ ScopedSpan::~ScopedSpan() {
   ev.noteCount = noteCount_;
   for (int k = 0; k < noteCount_; ++k) ev.notes[k] = {notes_[k].key,
                                                       notes_[k].value};
+  ev.annKey = annKey_;
+  ev.annValue = std::move(annValue_);
   Lane& lane = localLane();
   std::lock_guard<std::mutex> lock(lane.mu);
   lane.events.push_back(std::move(ev));
@@ -308,13 +318,19 @@ std::string traceJson() {
       appendNumber(out, ev.tsUs);
       out += ",\"dur\":";
       appendNumber(out, ev.durUs);
-      if (ev.noteCount > 0) {
+      if (ev.noteCount > 0 || ev.annKey != nullptr) {
         out += ",\"args\":{";
         for (int k = 0; k < ev.noteCount; ++k) {
           if (k > 0) out += ',';
           appendEscaped(out, ev.notes[k].key);
           out += ':';
           appendNumber(out, ev.notes[k].value);
+        }
+        if (ev.annKey != nullptr) {
+          if (ev.noteCount > 0) out += ',';
+          appendEscaped(out, ev.annKey);
+          out += ':';
+          appendEscaped(out, ev.annValue);
         }
         out += '}';
       }

@@ -46,6 +46,11 @@ class ScopedSpan {
   /// outlive the span (use string literals).
   void note(const char* key, double value);
 
+  /// Attaches one string argument (the correlation id slot — e.g.
+  /// "request_id"). One per span; later calls are dropped. `key` must
+  /// outlive the span; the value is copied.
+  void annotate(const char* key, std::string value);
+
  private:
   bool live_ = false;
   const char* staticName_ = nullptr;  ///< literal-name fast path
@@ -57,6 +62,8 @@ class ScopedSpan {
     double value;
   } notes_[2];
   int noteCount_ = 0;
+  const char* annKey_ = nullptr;  ///< string annotation, nullptr = none
+  std::string annValue_;
 };
 
 /// Names the calling thread's trace lane (emitted as thread_name

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/error.h"
@@ -64,11 +65,25 @@ int BatchRunner::effectiveThreads(size_t jobCount) const {
 }
 
 JobOutcome BatchRunner::runOne(const Job& job, size_t index, int worker) {
+  static const obs::LogSite sCacheHit =
+      obs::logSite(obs::LogLevel::kDebug, "runner.cache_hit");
+  static const obs::LogSite sRetry =
+      obs::logSite(obs::LogLevel::kInfo, "runner.retry", 50);
+  static const obs::LogSite sJobDone =
+      obs::logSite(obs::LogLevel::kDebug, "runner.job_done", 200);
+  static const obs::LogSite sJobFailed =
+      obs::logSite(obs::LogLevel::kWarn, "runner.job_failed", 50);
+
   const EngineMetrics& em = engineMetrics();
+  // Engine workers are pool threads: re-install the job's correlation
+  // context here so logs and diag reports below carry the request id
+  // even though the submitting thread is long gone.
+  obs::ScopedTraceContext traceCtx(job.traceId, job.key);
   // Dynamic label only when tracing is live; the span renders one slice
   // per job on the worker's lane.
   obs::ScopedSpan span(
       obs::tracingEnabled() ? "job:" + job.key : std::string(), "runner");
+  span.annotate("request_id", job.traceId);
 
   JobOutcome out;
   out.record.key = job.key;
@@ -116,6 +131,7 @@ JobOutcome BatchRunner::runOne(const Job& job, size_t index, int worker) {
       out.record.rungName = "cache";
       em.cacheHits.add();
       em.jobsCompleted.add();
+      if (sCacheHit) sCacheHit.log("served from result cache");
       return out;
     }
     em.cacheMisses.add();
@@ -126,6 +142,7 @@ JobOutcome BatchRunner::runOne(const Job& job, size_t index, int worker) {
     JobContext ctx;
     ctx.options = opts_.ladder.rung(rung).options;
     if (opts_.diagnostics) ctx.options.forensics = true;
+    ctx.options.traceId = job.traceId;
     ctx.seed = seed;
     ctx.rung = rung;
     ++out.record.attempts;
@@ -146,11 +163,21 @@ JobOutcome BatchRunner::runOne(const Job& job, size_t index, int worker) {
       em.jobWallMs.observe(out.record.wallMs);
       em.retryRung.observe(rung);
       span.note("rung", rung);
+      if (sJobDone)
+        sJobDone.log("job completed")
+            .num("rung", rung)
+            .num("wallMs", out.record.wallMs)
+            .num("newtonIters",
+                 static_cast<double>(out.record.newtonIterations));
       return out;
     } catch (const ConvergenceError& e) {
       // Escalate; remember the message in case every rung fails, and
       // attach the attempt's forensics report to the manifest record.
       out.record.error = e.what();
+      if (sRetry)
+        sRetry.log("convergence failure; escalating retry ladder")
+            .num("rung", rung)
+            .str("error", e.what());
       if (e.diag() != nullptr) {
         try {
           util::JsonValue entry = util::JsonValue::object();
@@ -176,6 +203,9 @@ JobOutcome BatchRunner::runOne(const Job& job, size_t index, int worker) {
       em.jobsFailed.add();
       em.retries.add(out.record.retries());
       em.jobWallMs.observe(out.record.wallMs);
+      if (sJobFailed)
+        sJobFailed.log("job failed (non-convergence error)")
+            .str("error", e.what());
       return out;
     }
   }
@@ -187,6 +217,10 @@ JobOutcome BatchRunner::runOne(const Job& job, size_t index, int worker) {
     out.record.error = "convergence failure on every retry rung";
   out.record.wallMs = msSince(t0);
   out.result = JobResult{};
+  if (sJobFailed)
+    sJobFailed.log("job failed on every retry rung")
+        .num("rungs", opts_.ladder.rungCount())
+        .str("error", out.record.error);
   em.jobsFailed.add();
   em.retries.add(out.record.retries());
   em.jobWallMs.observe(out.record.wallMs);

@@ -68,6 +68,13 @@ struct Job {
   /// The engine then folds the batch base seed into the cache identity so
   /// runs with different seeds do not alias.
   bool usesSeed = false;
+  /// Correlation id of the request that spawned this job (empty when
+  /// the job was not born from the daemon). The engine installs it as
+  /// the worker thread's trace context and copies it into
+  /// AnalysisOptions::traceId, so log lines, spans and diag reports all
+  /// carry it. Not part of the cache identity: the same work is the
+  /// same result, whoever asked.
+  std::string traceId;
   /// The work itself. May throw ConvergenceError to request escalation.
   std::function<JobResult(JobContext&)> run;
   /// Optional static pre-flight. When set, the engine runs it before the

@@ -1,5 +1,8 @@
 #include "runner/session.h"
 
+#include <chrono>
+
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "util/error.h"
 
@@ -24,9 +27,23 @@ RunnerOptions validated(RunnerOptions opts) {
 Session::Session(RunnerOptions opts) : runner_(validated(std::move(opts))) {}
 
 BatchResult Session::run(const std::vector<Job>& jobs) {
+  static const obs::LogSite sBatch =
+      obs::logSite(obs::LogLevel::kDebug, "runner.session_batch");
+  const auto t0 = std::chrono::steady_clock::now();
   BatchResult batch = runner_.run(jobs);
   batches_.fetch_add(1);
   sessionBatchesCounter().add();
+  if (sBatch) {
+    int cacheHits = 0;
+    for (const JobOutcome& out : batch.outcomes)
+      if (out.record.cacheHit) ++cacheHits;
+    sBatch.log("session batch finished")
+        .num("jobs", static_cast<double>(jobs.size()))
+        .num("cacheHits", cacheHits)
+        .num("wallMs", std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count());
+  }
   return batch;
 }
 

@@ -4,6 +4,7 @@
 
 #include "celldb/html.h"
 #include "obs/metrics.h"
+#include "serve/debug.h"
 #include "util/error.h"
 
 namespace ahfic::serve {
@@ -11,6 +12,22 @@ namespace ahfic::serve {
 namespace cd = ahfic::celldb;
 
 namespace {
+
+/// Value of `key` in the raw query string ("a=1&b=2"), percent-decoded;
+/// empty when absent.
+std::string queryParam(const HttpRequest& req, const std::string& key) {
+  size_t pos = 0;
+  while (pos < req.query.size()) {
+    size_t end = req.query.find('&', pos);
+    if (end == std::string::npos) end = req.query.size();
+    const std::string pair = req.query.substr(pos, end - pos);
+    const size_t eq = pair.find('=');
+    if (eq != std::string::npos && pair.substr(0, eq) == key)
+      return percentDecode(pair.substr(eq + 1));
+    pos = end + 1;
+  }
+  return std::string();
+}
 
 /// Parses the submission body; throws ahfic::Error with a client-facing
 /// message on schema problems (mapped to 400 by the caller).
@@ -83,9 +100,61 @@ Router buildApiRouter(const ApiContext& ctx) {
              });
 
   router.add("GET", "/v1/metrics", "metrics",
-             [](const HttpRequest&, const RouteParams&) {
+             [](const HttpRequest& req, const RouteParams&) {
+               const std::string format = queryParam(req, "format");
+               if (format == "prometheus") {
+                 HttpResponse resp;
+                 resp.status = 200;
+                 resp.contentType = "text/plain; version=0.0.4";
+                 resp.body = obs::metrics().snapshot().toPrometheusText();
+                 return resp;
+               }
+               if (!format.empty() && format != "json")
+                 return HttpResponse::error(
+                     400, "unknown format '" + format +
+                              "' (known: json, prometheus)");
                return HttpResponse::json(
                    200, obs::metrics().snapshot().toJsonString() + "\n");
+             });
+
+  router.add("GET", "/v1/metrics/history", "metrics_history",
+             [ctx](const HttpRequest& req, const RouteParams&) {
+               if (ctx.history == nullptr)
+                 return HttpResponse::error(
+                     503, "metrics history is not enabled");
+               double windowSec = 0.0;
+               const std::string window = queryParam(req, "window");
+               if (!window.empty()) {
+                 try {
+                   windowSec = std::stod(window);
+                 } catch (const std::exception&) {
+                   return HttpResponse::error(
+                       400, "bad window '" + window + "' (want seconds)");
+                 }
+                 if (windowSec < 0.0)
+                   return HttpResponse::error(
+                       400, "window must be >= 0");
+               }
+               return HttpResponse::json(
+                   200, ctx.history->toJson(windowSec).dump(2) + "\n");
+             });
+
+  router.add("GET", "/debug", "debug",
+             [ctx](const HttpRequest& req, const RouteParams&) {
+               if (ctx.history == nullptr)
+                 return HttpResponse::error(
+                     503, "metrics history is not enabled");
+               double windowSec = 0.0;
+               const std::string window = queryParam(req, "window");
+               if (!window.empty()) {
+                 try {
+                   windowSec = std::stod(window);
+                 } catch (const std::exception&) {
+                   windowSec = 0.0;
+                 }
+               }
+               return HttpResponse::html(
+                   200, debugDashboardHtml(*ctx.history, windowSec));
              });
 
   router.add("POST", "/v1/jobs", "jobs_submit",
@@ -97,6 +166,7 @@ Router buildApiRouter(const ApiContext& ctx) {
                  return HttpResponse::error(
                      400, std::string("bad submission: ") + e.what());
                }
+               submit.requestId = req.requestId;
                const SubmitOutcome out = ctx.jobs->submit(submit);
                return HttpResponse::json(out.status,
                                          out.body.dump(2) + "\n");

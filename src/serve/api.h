@@ -3,6 +3,12 @@
 //
 //   GET  /healthz                      liveness + queue/cache gauges
 //   GET  /v1/metrics                   live "ahfic-metrics-v1" snapshot
+//                                      (?format=prometheus for text
+//                                      exposition)
+//   GET  /v1/metrics/history           "ahfic-metrics-history-v1" ring
+//                                      (?window=SECONDS to trim)
+//   GET  /debug                        live HTML dashboard (sparklines
+//                                      over the history ring)
 //   POST /v1/jobs                      submit {"deck"|"workload", ...}
 //   GET  /v1/jobs/<id>                 "ahfic-job-v1" envelope
 //   GET  /celldb                       live library index (HTML)
@@ -19,6 +25,7 @@
 #include <mutex>
 
 #include "celldb/database.h"
+#include "obs/history.h"
 #include "serve/jobs.h"
 #include "serve/router.h"
 
@@ -30,6 +37,9 @@ struct ApiContext {
   /// `dbMutex` (the database itself is not thread-safe).
   celldb::CellDatabase* db = nullptr;
   std::mutex* dbMutex = nullptr;
+  /// Metrics time-series ring (optional; /v1/metrics/history and /debug
+  /// answer 503 when absent).
+  obs::MetricsHistory* history = nullptr;
 };
 
 /// Builds the full route table over borrowed services.

@@ -1,0 +1,197 @@
+#include "serve/debug.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "celldb/html.h"
+
+namespace ahfic::serve {
+
+namespace {
+
+using obs::MetricsHistory;
+using obs::MetricsSnapshot;
+
+std::string fmt(double v) {
+  char buf[40];
+  if (std::abs(v) >= 1000.0 ||
+      (v == static_cast<long long>(v) && std::abs(v) < 1e15))
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  else
+    std::snprintf(buf, sizeof buf, "%.3g", v);
+  return buf;
+}
+
+/// One inline SVG sparkline: the series as a polyline over a fixed
+/// 260x48 viewport, min..max autoscaled (flat series render mid-height),
+/// with a dot on the latest point.
+std::string sparkline(const std::vector<double>& ys) {
+  const int w = 260, h = 48, pad = 3;
+  std::string svg = "<svg class=\"spark\" width=\"" + std::to_string(w) +
+                    "\" height=\"" + std::to_string(h) +
+                    "\" viewBox=\"0 0 " + std::to_string(w) + " " +
+                    std::to_string(h) + "\">";
+  if (ys.size() >= 2) {
+    double lo = ys[0], hi = ys[0];
+    for (double y : ys) {
+      lo = std::min(lo, y);
+      hi = std::max(hi, y);
+    }
+    const double span = hi - lo;
+    auto px = [&](size_t i) {
+      return pad + (w - 2.0 * pad) * static_cast<double>(i) /
+                       static_cast<double>(ys.size() - 1);
+    };
+    auto py = [&](double y) {
+      if (span <= 0.0) return h / 2.0;
+      return h - pad - (h - 2.0 * pad) * (y - lo) / span;
+    };
+    std::string points;
+    char buf[96];
+    for (size_t i = 0; i < ys.size(); ++i) {
+      std::snprintf(buf, sizeof buf, "%.1f,%.1f ", px(i), py(ys[i]));
+      points += buf;
+    }
+    svg += "<polyline fill=\"none\" stroke=\"#2b6cb0\" stroke-width=\"1.5\" "
+           "points=\"" + points + "\"/>";
+    std::snprintf(buf, sizeof buf,
+                  "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"2.5\" "
+                  "fill=\"#2b6cb0\"/>",
+                  px(ys.size() - 1), py(ys.back()));
+    svg += buf;
+  } else {
+    svg += "<text x=\"8\" y=\"28\" fill=\"#999\" font-size=\"11\">"
+           "collecting…</text>";
+  }
+  svg += "</svg>";
+  return svg;
+}
+
+/// One dashboard card: title, latest value, sparkline.
+void card(std::string& out, const std::string& title,
+          const std::vector<double>& ys, const std::string& unit) {
+  out += "<div class=\"card\"><div class=\"t\">";
+  out += celldb::escapeHtml(title);
+  out += "</div><div class=\"v\">";
+  out += ys.empty() ? std::string("&ndash;") : fmt(ys.back());
+  if (!unit.empty()) out += " <span class=\"u\">" + unit + "</span>";
+  out += "</div>";
+  out += sparkline(ys);
+  out += "</div>\n";
+}
+
+double gaugeValue(const MetricsSnapshot& snap, const std::string& name) {
+  for (const auto& [n, v] : snap.gauges)
+    if (n == name) return v;
+  return 0.0;
+}
+
+std::vector<double> gaugeSeries(
+    const std::vector<MetricsHistory::Sample>& samples,
+    const std::string& name) {
+  std::vector<double> ys;
+  ys.reserve(samples.size());
+  for (const auto& s : samples) ys.push_back(gaugeValue(s.snap, name));
+  return ys;
+}
+
+/// Counter increments per second between consecutive samples (one entry
+/// fewer than the sample count).
+std::vector<double> rateSeries(
+    const std::vector<MetricsHistory::Sample>& samples,
+    const std::string& name) {
+  std::vector<double> ys;
+  for (size_t i = 1; i < samples.size(); ++i) {
+    const double dt = samples[i].unixSec - samples[i - 1].unixSec;
+    const double dv = static_cast<double>(
+        samples[i].snap.counterValue(name) -
+        samples[i - 1].snap.counterValue(name));
+    ys.push_back(dt > 0.0 ? dv / dt : 0.0);
+  }
+  return ys;
+}
+
+/// Cache hit percentage over each inter-sample window; carries the
+/// previous value through windows with no cache traffic.
+std::vector<double> hitRateSeries(
+    const std::vector<MetricsHistory::Sample>& samples) {
+  std::vector<double> ys;
+  double last = 0.0;
+  for (size_t i = 1; i < samples.size(); ++i) {
+    const double hits = static_cast<double>(
+        samples[i].snap.counterValue("runner.cache_hits") -
+        samples[i - 1].snap.counterValue("runner.cache_hits"));
+    const double misses = static_cast<double>(
+        samples[i].snap.counterValue("runner.cache_misses") -
+        samples[i - 1].snap.counterValue("runner.cache_misses"));
+    if (hits + misses > 0.0) last = 100.0 * hits / (hits + misses);
+    ys.push_back(last);
+  }
+  return ys;
+}
+
+std::vector<double> quantileSeries(
+    const std::vector<MetricsHistory::Sample>& samples,
+    const std::string& name, double q) {
+  std::vector<double> ys;
+  ys.reserve(samples.size());
+  for (const auto& s : samples) {
+    const obs::HistogramSnapshot* h = s.snap.findHistogram(name);
+    ys.push_back(h != nullptr ? h->quantileInterpolated(q) : 0.0);
+  }
+  return ys;
+}
+
+}  // namespace
+
+std::string debugDashboardHtml(const MetricsHistory& history,
+                               double windowSec) {
+  const std::vector<MetricsHistory::Sample> samples =
+      history.window(windowSec);
+
+  std::string out;
+  out += "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n";
+  out += "<meta http-equiv=\"refresh\" content=\"5\">\n";
+  out += "<title>ahficd /debug</title>\n<style>\n"
+         "body{font-family:system-ui,sans-serif;margin:1.5em;"
+         "background:#fafafa;color:#222}\n"
+         "h1{font-size:1.3em} .meta{color:#666;font-size:0.85em}\n"
+         ".grid{display:flex;flex-wrap:wrap;gap:12px;margin-top:1em}\n"
+         ".card{background:#fff;border:1px solid #ddd;border-radius:6px;"
+         "padding:10px 12px;width:280px}\n"
+         ".card .t{font-size:0.8em;color:#555;text-transform:uppercase;"
+         "letter-spacing:0.04em}\n"
+         ".card .v{font-size:1.5em;margin:2px 0 4px}\n"
+         ".card .u{font-size:0.55em;color:#888}\n"
+         "</style></head><body>\n";
+  out += "<h1>ahficd live dashboard</h1>\n";
+  out += "<div class=\"meta\">" + std::to_string(samples.size()) +
+         " samples &middot; interval " + fmt(history.intervalSec()) +
+         " s &middot; capacity " + std::to_string(history.capacity()) +
+         " &middot; auto-refresh 5 s &middot; <a href=\"/v1/metrics\">"
+         "metrics</a> &middot; <a href=\"/v1/metrics/history\">history"
+         "</a> &middot; <a href=\"/celldb\">celldb</a></div>\n";
+
+  out += "<div class=\"grid\">\n";
+  card(out, "queue depth", gaugeSeries(samples, "serve.queue_depth"),
+       "jobs");
+  card(out, "job throughput", rateSeries(samples, "serve.jobs_completed"),
+       "jobs/s");
+  card(out, "cache hit rate", hitRateSeries(samples), "%");
+  card(out, "request rate", rateSeries(samples, "serve.requests"),
+       "req/s");
+  card(out, "request latency p95",
+       quantileSeries(samples, "serve.request_ms", 0.95), "ms");
+  card(out, "job wall p95",
+       quantileSeries(samples, "serve.job_wall_ms", 0.95), "ms");
+  card(out, "newton iters p50",
+       quantileSeries(samples, "spice.newton.iterations", 0.50), "iters");
+  card(out, "newton iters p99",
+       quantileSeries(samples, "spice.newton.iterations", 0.99), "iters");
+  out += "</div>\n</body></html>\n";
+  return out;
+}
+
+}  // namespace ahfic::serve

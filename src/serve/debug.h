@@ -1,0 +1,20 @@
+#pragma once
+// The /debug dashboard: a self-contained HTML page (no scripts, no
+// external assets) rendering the daemon's metrics history ring as
+// inline SVG sparklines — queue depth, job throughput, cache hit rate,
+// request latency and Newton-iteration percentiles at a glance. The
+// page meta-refreshes every few seconds, so a browser tab left open is
+// a live view.
+
+#include <string>
+
+#include "obs/history.h"
+
+namespace ahfic::serve {
+
+/// Renders the dashboard over history.window(windowSec) (0 = the whole
+/// ring). Always returns a complete page, even for an empty ring.
+std::string debugDashboardHtml(const obs::MetricsHistory& history,
+                               double windowSec = 0.0);
+
+}  // namespace ahfic::serve

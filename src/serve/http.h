@@ -35,6 +35,10 @@ struct HttpRequest {
   /// Header names lower-cased, values trimmed, in arrival order.
   std::vector<std::pair<std::string, std::string>> headers;
   std::string body;
+  /// Correlation id, filled by the server before dispatch: the client's
+  /// X-Ahfic-Request-Id when one was sent, else freshly generated. It is
+  /// echoed on the response and propagated through job/solver layers.
+  std::string requestId;
 
   /// First header with lower-case name `nameLower`, or nullptr.
   const std::string* header(const std::string& nameLower) const;

@@ -7,6 +7,7 @@
 #include "bjtgen/montecarlo.h"
 #include "bjtgen/process.h"
 #include "lint/netlist.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "runner/workloads.h"
 #include "serve/http.h"
@@ -118,6 +119,13 @@ SubmitOutcome JobService::submit(const SubmitRequest& request) {
     return out;
   }
 
+  static const obs::LogSite sRejected =
+      obs::logSite(obs::LogLevel::kInfo, "serve.job_rejected_lint");
+  static const obs::LogSite sOverflow =
+      obs::logSite(obs::LogLevel::kWarn, "serve.job_overflow", 10);
+  static const obs::LogSite sAdmitted =
+      obs::logSite(obs::LogLevel::kInfo, "serve.job_admitted");
+
   // Admission lint gate. Rejections answer with the structured
   // "ahfic-lint-v1" report itself, so the client sees codes, lines and
   // objects — not a prose digest.
@@ -125,6 +133,9 @@ SubmitOutcome JobService::submit(const SubmitRequest& request) {
     const lint::LintReport report = lint::lintDeckText(request.deck);
     if (report.hasErrors()) {
       m.rejectedLint.add();
+      if (sRejected)
+        sRejected.log("submission rejected by lint gate")
+            .num("deckBytes", static_cast<double>(request.deck.size()));
       out.status = 422;
       out.body = report.toJson();
       return out;
@@ -142,6 +153,9 @@ SubmitOutcome JobService::submit(const SubmitRequest& request) {
   }
   if (queue_.size() >= static_cast<size_t>(opts_.queueDepth)) {
     m.overflow.add();
+    if (sOverflow)
+      sOverflow.log("submission shed: admission queue full")
+          .num("queued", static_cast<double>(queue_.size()));
     out.status = 429;
     out.body = util::parseJson(jsonErrorBody(
         429, "admission queue full (" + std::to_string(queue_.size()) +
@@ -151,6 +165,7 @@ SubmitOutcome JobService::submit(const SubmitRequest& request) {
 
   Entry e;
   e.id = "job-" + std::to_string(nextId_++);
+  e.requestId = request.requestId;
   e.label = request.label;
   e.kind = isDeck ? "deck" : "workload";
   e.deck = request.deck;
@@ -163,6 +178,11 @@ SubmitOutcome JobService::submit(const SubmitRequest& request) {
   setQueueGauges(queue_.size());
   m.submitted.add();
   workCv_.notify_one();
+  if (sAdmitted)
+    sAdmitted.log("job admitted")
+        .str("job", id)
+        .str("kind", entries_[id].kind)
+        .num("queued", static_cast<double>(queue_.size()));
 
   out.status = 202;
   out.body = envelope(entries_[id]);
@@ -183,6 +203,7 @@ util::JsonValue JobService::envelope(const Entry& e) const {
   util::JsonValue doc = util::JsonValue::object();
   doc.set("schema", "ahfic-job-v1");
   doc.set("id", e.id);
+  if (!e.requestId.empty()) doc.set("requestId", e.requestId);
   if (!e.label.empty()) doc.set("label", e.label);
   doc.set("kind", e.kind);
   if (!e.workload.empty()) doc.set("workload", e.workload);
@@ -224,16 +245,41 @@ void JobService::workerLoop() {
       snapshot = e;  // copy; execution must not hold the lock
     }
 
+    static const obs::LogSite sStart =
+        obs::logSite(obs::LogLevel::kDebug, "serve.job_start");
+    static const obs::LogSite sDone =
+        obs::logSite(obs::LogLevel::kInfo, "serve.job_done");
+    static const obs::LogSite sFailed =
+        obs::logSite(obs::LogLevel::kError, "serve.job_failed");
+
+    // Re-establish the submitting request's correlation on this worker
+    // thread: every log line and span below carries both ids.
+    obs::ScopedTraceContext traceCtx(snapshot.requestId, snapshot.id);
+
     const std::string doneId = snapshot.id;
+    if (sStart)
+      sStart.log("job execution starting")
+          .str("kind", snapshot.kind)
+          .num("queueMs", snapshot.queueMs);
     util::JsonValue result;
     double wallMs = 0.0;
+    bool failed = false;
     try {
       execute(std::move(snapshot), result, wallMs);
     } catch (const std::exception& ex) {
+      failed = true;
+      if (sFailed)
+        sFailed.log("job execution failed").str("error", ex.what());
       result = util::JsonValue::object();
       result.set("status", "failed");
       result.set("error", std::string("job execution failed: ") + ex.what());
     }
+    if (!failed && sDone)
+      sDone.log("job done")
+          .str("status", result.has("status")
+                             ? result.get("status").asString()
+                             : std::string("ok"))
+          .num("wallMs", wallMs);
 
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -307,6 +353,11 @@ void JobService::execute(Entry snapshot, util::JsonValue& result,
   } else {
     throw Error("unknown workload '" + snapshot.workload + "'");
   }
+
+  // Propagate the request correlation id into the runner: it rides the
+  // Job into the engine's worker threads (thread-local context cannot
+  // cross that pool) and from there into AnalysisOptions.
+  for (rn::Job& j : jobs) j.traceId = snapshot.requestId;
 
   const rn::BatchResult batch = session_.run(jobs);
   wallMs = msSince(t0);

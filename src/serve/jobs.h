@@ -59,6 +59,10 @@ struct SubmitRequest {
   util::JsonValue params;  ///< workload parameters (object or null)
   std::string label;       ///< free-form client label, echoed back
   bool preflight = true;   ///< run the lint admission gate (decks)
+  /// Correlation id of the submitting HTTP request; echoed in the job
+  /// envelope and propagated down to the runner/analyzer as the job's
+  /// trace id.
+  std::string requestId;
 };
 
 /// Outcome of a submission attempt: an HTTP status plus the response
@@ -104,6 +108,7 @@ class JobService {
 
   struct Entry {
     std::string id;
+    std::string requestId;  // correlation id of the submitting request
     std::string label;
     std::string kind;      // "deck" | "workload"
     std::string deck;      // deck text (kind == "deck")

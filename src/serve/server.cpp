@@ -8,8 +8,12 @@
 
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
+#include <random>
 
+#include "obs/log.h"
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace ahfic::serve {
@@ -45,6 +49,21 @@ bool sendAll(int fd, const std::string& data) {
 void replyAndClose(int fd, const HttpResponse& resp) {
   sendAll(fd, serializeResponse(resp));
   ::close(fd);
+}
+
+/// "req-<8 hex process nonce>-<seq>": unique within and across daemon
+/// restarts (the nonce is drawn once per process), cheap to generate on
+/// the connection path, and greppable.
+std::string makeRequestId() {
+  static const unsigned long long nonce = [] {
+    std::random_device rd;
+    return (static_cast<unsigned long long>(rd()) << 32) ^ rd();
+  }();
+  static std::atomic<unsigned long long> seq{0};
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "req-%08llx-%llu",
+                nonce & 0xffffffffULL, seq.fetch_add(1) + 1);
+  return buf;
 }
 
 }  // namespace
@@ -197,6 +216,13 @@ void HttpServer::noteStatus(const std::string& routeName,
 }
 
 void HttpServer::handleConnection(int fd) {
+  static const obs::LogSite sParseError =
+      obs::logSite(obs::LogLevel::kWarn, "serve.parse_error", 10);
+  static const obs::LogSite sTimeout =
+      obs::logSite(obs::LogLevel::kWarn, "serve.recv_timeout", 10);
+  static const obs::LogSite sRequest =
+      obs::logSite(obs::LogLevel::kInfo, "serve.request");
+
   const auto t0 = std::chrono::steady_clock::now();
   requests_.add();
 
@@ -208,6 +234,10 @@ void HttpServer::handleConnection(int fd) {
     ParseResult parsed = parseRequest(buffer, req, opts_.limits);
     if (parsed.state == ParseState::kError) {
       noteStatus("other", parsed.errorStatus);
+      if (sParseError)
+        sParseError.log("rejected unparseable request")
+            .num("status", parsed.errorStatus)
+            .str("reason", parsed.errorMessage);
       replyAndClose(fd, HttpResponse::error(parsed.errorStatus,
                                             parsed.errorMessage));
       requestMs_.observe(msSince(t0));
@@ -219,6 +249,9 @@ void HttpServer::handleConnection(int fd) {
     if (n <= 0) {
       // Timeout (half-open peer), reset, or orderly close before a full
       // request arrived. 408 is best-effort — the peer may be gone.
+      if (sTimeout)
+        sTimeout.log("connection closed before a full request")
+            .num("bufferedBytes", static_cast<double>(buffer.size()));
       if (!buffer.empty())
         sendAll(fd, serializeResponse(HttpResponse::error(
                         408, "timed out waiting for a complete request")));
@@ -229,10 +262,32 @@ void HttpServer::handleConnection(int fd) {
     buffer.append(chunk, static_cast<size_t>(n));
   }
 
+  // Correlation: honor a client-supplied id, otherwise mint one. The
+  // thread context stamps every log line and span below this point; the
+  // response always echoes the id so the client can grep it.
+  const std::string* inbound = req.header("x-ahfic-request-id");
+  req.requestId = (inbound != nullptr && !inbound->empty())
+                      ? *inbound
+                      : makeRequestId();
+  obs::ScopedTraceContext traceCtx(req.requestId);
+
+  obs::ScopedSpan span("serve.request", "serve");
+  span.annotate("request_id", req.requestId);
+
   Router::Dispatched d = router_.dispatch(req);
+  d.response.extraHeaders.emplace_back("X-Ahfic-Request-Id",
+                                       req.requestId);
   noteStatus(d.routeName, d.response.status);
   replyAndClose(fd, d.response);
-  requestMs_.observe(msSince(t0));
+  const double ms = msSince(t0);
+  requestMs_.observe(ms);
+  if (sRequest)
+    sRequest.log("request served")
+        .str("method", req.method)
+        .str("path", req.path)
+        .str("route", d.routeName)
+        .num("status", d.response.status)
+        .num("ms", ms);
 }
 
 }  // namespace ahfic::serve

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <memory>
 
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "spice/forensics.h"
@@ -87,8 +88,11 @@ Analyzer::~Analyzer() = default;
 Analyzer::Analyzer(Circuit& ckt, AnalysisOptions opts)
     : ckt_(ckt), opts_(opts) {
   buildLayout();
-  if (opts_.forensics)
+  if (opts_.forensics) {
     fx_ = std::make_unique<ForensicsRecorder>(opts_.forensicsDepth);
+    // Any diag report born from this analyzer names its request.
+    if (!opts_.traceId.empty()) fx_->setContext("trace_id", opts_.traceId);
+  }
   solver_ = opts_.solver;
   if (solver_ == SolverKind::kAuto && opts_.useSparse)
     solver_ = SolverKind::kSparseLegacy;
@@ -270,6 +274,18 @@ void Analyzer::resetStats() {
 
 void Analyzer::throwConvergence(const char* stage, double stageValue,
                                 const std::string& message) {
+  // Single chokepoint for every convergence failure in the analyzer —
+  // one log line per failure, carrying the stage and the correlation id
+  // when the solve was daemon-born.
+  static const obs::LogSite sFail =
+      obs::logSite(obs::LogLevel::kWarn, "spice.convergence_failure", 50);
+  if (sFail) {
+    obs::LogLine line = sFail.log("analysis did not converge");
+    line.str("analysis", analysisLabel_)
+        .str("stage", stage)
+        .num("stageValue", stageValue);
+    if (!opts_.traceId.empty()) line.str("request_id", opts_.traceId);
+  }
   if (!fx_) throw ConvergenceError(message);
   const DiagReport report =
       buildDiagReport(ckt_, *fx_, analysisLabel_, stage, stageValue, message,
@@ -529,6 +545,7 @@ std::vector<double> Analyzer::opWithContext(LoadContext& ctx) {
 
 std::vector<double> Analyzer::op() {
   obs::ScopedSpan span("spice.op", "spice");
+  span.annotate("request_id", opts_.traceId);
   resetStats();
   analysisLabel_ = "op";
   LoadContext ctx;
@@ -568,6 +585,7 @@ DcSweepResult Analyzer::dcSweep(const std::string& sourceName, double start,
     throw Error("dcSweep: '" + sourceName + "' is not a V or I source");
 
   obs::ScopedSpan span("spice.dc_sweep", "spice");
+  span.annotate("request_id", opts_.traceId);
   resetStats();
   analysisLabel_ = "dc_sweep";
   if (fx_) fx_->setContext("sweepSource", sourceName);
@@ -666,6 +684,7 @@ AcResult Analyzer::acLinear(const std::vector<double>& frequencies,
                             const std::vector<double>& opSolution,
                             bool freshWindow) {
   obs::ScopedSpan span("spice.ac", "spice");
+  span.annotate("request_id", opts_.traceId);
   span.note("points", static_cast<double>(frequencies.size()));
   if (freshWindow) resetStats();
   analysisLabel_ = "ac";
@@ -730,6 +749,7 @@ NoiseResult Analyzer::noise(const std::vector<double>& frequencies,
   if (frequencies.empty()) throw Error("noise: empty frequency list");
 
   obs::ScopedSpan span("spice.noise", "spice");
+  span.annotate("request_id", opts_.traceId);
   span.note("points", static_cast<double>(frequencies.size()));
   resetStats();
   analysisLabel_ = "noise";
@@ -814,6 +834,7 @@ TranResult Analyzer::transient(double tstop, double maxStep,
   if (tstop <= 0.0 || maxStep <= 0.0)
     throw Error("transient: tstop and maxStep must be > 0");
   obs::ScopedSpan span("spice.transient", "spice");
+  span.annotate("request_id", opts_.traceId);
 
   // Initial condition: DC operating point (records charge states). op()
   // resets the stats window, so the whole transient — OP included — is

@@ -66,6 +66,10 @@ struct AnalysisOptions {
   /// Off by default — the Newton hot path then carries only a null check.
   bool forensics = false;
   int forensicsDepth = 64;  ///< iteration-trail ring size when enabled
+  /// Correlation id of the originating request (empty outside the
+  /// daemon). Stamped onto analysis spans, convergence log lines and
+  /// the "ahfic-diag-v1" report context; never affects the solve.
+  std::string traceId;
 };
 
 /// Transient waveform record: one solution vector per accepted time point.

@@ -1,0 +1,192 @@
+// Metrics time-series: ring eviction at capacity, window retention,
+// delta-compressed wire format correctness, and the Prometheus text
+// exposition of a snapshot.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/history.h"
+#include "obs/metrics.h"
+#include "util/json.h"
+
+namespace obs = ahfic::obs;
+namespace u = ahfic::util;
+
+namespace {
+
+struct ObsGuard {
+  ObsGuard() {
+    obs::metrics().resetForTest();
+    obs::setMetricsEnabled(true);
+  }
+  ~ObsGuard() {
+    obs::setMetricsEnabled(false);
+    obs::metrics().resetForTest();
+  }
+};
+
+/// Rebuilds the cumulative series from {"first", "deltas"}.
+std::vector<double> undelta(const u::JsonValue& wire) {
+  std::vector<double> out;
+  double v = wire.get("first").asNumber();
+  out.push_back(v);
+  const auto& deltas = wire.get("deltas");
+  for (size_t i = 0; i < deltas.size(); ++i) {
+    v += deltas.at(i).asNumber();
+    out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(ObsHistory, RingEvictsOldestAtCapacity) {
+  ObsGuard guard;
+  const obs::Counter c = obs::counter("test.hist_ring_counter");
+  obs::MetricsHistory history(/*intervalSec=*/3600.0, /*capacity=*/4);
+
+  for (int k = 1; k <= 10; ++k) {
+    c.add(1);
+    history.sampleNow();
+    EXPECT_LE(history.size(), 4u);
+  }
+  EXPECT_EQ(history.size(), 4u);
+
+  // The surviving four samples are the newest, oldest-first: counter
+  // values 7, 8, 9, 10.
+  const auto samples = history.window();
+  ASSERT_EQ(samples.size(), 4u);
+  for (size_t i = 0; i < samples.size(); ++i)
+    EXPECT_EQ(samples[i].snap.counterValue("test.hist_ring_counter"),
+              static_cast<long long>(7 + i))
+        << "sample " << i;
+}
+
+TEST(ObsHistory, WindowTrimsByAge) {
+  ObsGuard guard;
+  obs::MetricsHistory history(3600.0, 16);
+  history.sampleNow();
+  std::this_thread::sleep_for(std::chrono::milliseconds(1100));
+  history.sampleNow();
+  ASSERT_EQ(history.size(), 2u);
+
+  EXPECT_EQ(history.window(0.0).size(), 2u);       // 0 = everything
+  EXPECT_EQ(history.window(3600.0).size(), 2u);    // wide window: both
+  EXPECT_EQ(history.window(0.5).size(), 1u);       // narrow: latest only
+}
+
+TEST(ObsHistory, BackgroundSamplerCollectsAndStops) {
+  ObsGuard guard;
+  obs::MetricsHistory history(/*intervalSec=*/0.05, /*capacity=*/64);
+  history.start();
+  // start() samples immediately; the ring is never empty while running.
+  EXPECT_GE(history.size(), 1u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  history.stop();
+  const size_t n = history.size();
+  EXPECT_GE(n, 3u);
+  // Stopped means stopped: no further growth.
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  EXPECT_EQ(history.size(), n);
+}
+
+TEST(ObsHistory, JsonDeltaEncodingReconstructsSeries) {
+  ObsGuard guard;
+  const obs::Counter c = obs::counter("test.hist_json_counter");
+  const obs::Gauge g = obs::gauge("test.hist_json_gauge");
+  const obs::Histogram h = obs::histogram("test.hist_json_hist");
+  obs::MetricsHistory history(3600.0, 16);
+
+  const double expectGauge[] = {2.0, 5.0, 3.0};
+  const long long expectCounter[] = {10, 17, 17};
+  c.add(10); g.set(2.0); h.observe(1.0);
+  history.sampleNow();
+  c.add(7); g.set(5.0); h.observe(1.0);
+  history.sampleNow();
+  g.set(3.0);
+  history.sampleNow();
+
+  const auto doc = history.toJson();
+  EXPECT_EQ(doc.get("schema").asString(), "ahfic-metrics-history-v1");
+  EXPECT_EQ(doc.get("samples").asNumber(), 3.0);
+  ASSERT_EQ(doc.get("t").size(), 3u);
+
+  const auto counter =
+      undelta(doc.get("counters").get("test.hist_json_counter"));
+  ASSERT_EQ(counter.size(), 3u);
+  for (int i = 0; i < 3; ++i)
+    EXPECT_EQ(counter[i], static_cast<double>(expectCounter[i])) << i;
+
+  const auto& gauge = doc.get("gauges").get("test.hist_json_gauge");
+  ASSERT_EQ(gauge.size(), 3u);
+  for (size_t i = 0; i < 3; ++i)
+    EXPECT_EQ(gauge.at(i).asNumber(), expectGauge[i]) << i;
+
+  const auto& hist = doc.get("histograms").get("test.hist_json_hist");
+  const auto histCount = undelta(hist.get("count"));
+  ASSERT_EQ(histCount.size(), 3u);
+  EXPECT_EQ(histCount[0], 1.0);
+  EXPECT_EQ(histCount[2], 2.0);
+  ASSERT_EQ(hist.get("p50").size(), 3u);
+  EXPECT_GT(hist.get("p50").at(0).asNumber(), 0.0);
+}
+
+TEST(ObsHistory, EmptyHistorySerializesCleanly) {
+  ObsGuard guard;
+  obs::MetricsHistory history(3600.0, 8);
+  const auto doc = history.toJson();
+  EXPECT_EQ(doc.get("schema").asString(), "ahfic-metrics-history-v1");
+  EXPECT_EQ(doc.get("samples").asNumber(), 0.0);
+  EXPECT_EQ(doc.get("t").size(), 0u);
+  EXPECT_TRUE(doc.get("counters").isObject());
+}
+
+TEST(ObsPrometheus, TextExpositionCoversAllKindsAndMangling) {
+  ObsGuard guard;
+  obs::counter("test.prom_counter").add(5);
+  obs::gauge("test.prom_gauge").set(1.25);
+  const obs::Histogram h = obs::histogram("test.prom_hist_ms");
+  h.observe(0.5);
+  h.observe(0.5);
+  h.observe(50.0);
+
+  const std::string text = obs::metrics().snapshot().toPrometheusText();
+
+  // Dots mangle to underscores under the ahfic_ prefix.
+  EXPECT_NE(text.find("ahfic_test_prom_counter 5"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE ahfic_test_prom_counter counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("ahfic_test_prom_gauge 1.25"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE ahfic_test_prom_gauge gauge"),
+            std::string::npos);
+
+  // Histogram: cumulative buckets ending in +Inf, plus _sum and _count.
+  EXPECT_NE(text.find("# TYPE ahfic_test_prom_hist_ms histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("ahfic_test_prom_hist_ms_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("ahfic_test_prom_hist_ms_count 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("ahfic_test_prom_hist_ms_sum 51"),
+            std::string::npos);
+
+  // Cumulative monotonicity: the le-bucket counts never decrease.
+  size_t pos = 0;
+  long long prev = -1;
+  while ((pos = text.find("ahfic_test_prom_hist_ms_bucket{le=", pos)) !=
+         std::string::npos) {
+    const size_t close = text.find("} ", pos);
+    ASSERT_NE(close, std::string::npos);
+    const long long n = std::atoll(text.c_str() + close + 2);
+    EXPECT_GE(n, prev);
+    prev = n;
+    pos = close;
+  }
+  EXPECT_EQ(prev, 3);  // the +Inf bucket saw every observation
+}

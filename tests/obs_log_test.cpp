@@ -1,0 +1,242 @@
+// Structured logging: level gating, JSONL well-formedness under
+// concurrency (no torn lines), per-site rate limiting with suppressed
+// accounting, and the ScopedTraceContext inherit semantics that carry
+// request correlation across nested scopes.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/log.h"
+#include "util/error.h"
+#include "util/json.h"
+
+namespace obs = ahfic::obs;
+namespace u = ahfic::util;
+
+namespace {
+
+/// RAII guard: silences the default stderr text sink for the test and
+/// restores the reset state afterwards, so log tests neither spam the
+/// test output nor leak sink routing into other tests.
+struct LogGuard {
+  LogGuard() {
+    obs::resetLoggingForTest();
+    obs::setTextLogSink(false);
+  }
+  ~LogGuard() { obs::resetLoggingForTest(); }
+};
+
+std::vector<std::string> readLines(const std::string& path) {
+  std::ifstream f(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(f, line))
+    if (!line.empty()) lines.push_back(line);
+  return lines;
+}
+
+}  // namespace
+
+TEST(ObsLog, LevelParsingRoundTrips) {
+  for (const auto level :
+       {obs::LogLevel::kTrace, obs::LogLevel::kDebug, obs::LogLevel::kInfo,
+        obs::LogLevel::kWarn, obs::LogLevel::kError, obs::LogLevel::kOff}) {
+    obs::LogLevel parsed;
+    ASSERT_TRUE(obs::parseLogLevel(obs::logLevelName(level), parsed))
+        << obs::logLevelName(level);
+    EXPECT_EQ(parsed, level);
+  }
+  obs::LogLevel out = obs::LogLevel::kInfo;
+  EXPECT_FALSE(obs::parseLogLevel("verbose", out));
+  EXPECT_EQ(out, obs::LogLevel::kInfo);  // untouched on failure
+}
+
+TEST(ObsLog, LevelGateFiltersSites) {
+  LogGuard guard;
+  const obs::LogSite sDebug =
+      obs::logSite(obs::LogLevel::kDebug, "test.log_gate_debug");
+  const obs::LogSite sError =
+      obs::logSite(obs::LogLevel::kError, "test.log_gate_error");
+
+  // Default after reset is kOff: nothing passes.
+  EXPECT_FALSE(static_cast<bool>(sDebug));
+  EXPECT_FALSE(static_cast<bool>(sError));
+
+  obs::setLogLevel(obs::LogLevel::kWarn);
+  EXPECT_FALSE(static_cast<bool>(sDebug));
+  EXPECT_TRUE(static_cast<bool>(sError));
+
+  obs::setLogLevel(obs::LogLevel::kTrace);
+  EXPECT_TRUE(static_cast<bool>(sDebug));
+  EXPECT_TRUE(static_cast<bool>(sError));
+
+  // A gated-off site emits nothing even when log() is called directly.
+  obs::setLogLevel(obs::LogLevel::kOff);
+  const long long before = obs::logLinesEmitted();
+  sDebug.log("should not appear");
+  EXPECT_EQ(obs::logLinesEmitted(), before);
+}
+
+TEST(ObsLog, JsonlLinesRoundTripWithContextAndFields) {
+  LogGuard guard;
+  const std::string path = "obs_log_test_roundtrip.jsonl";
+  obs::setJsonlLogSink(true, path);
+  obs::setLogLevel(obs::LogLevel::kInfo);
+
+  {
+    obs::ScopedTraceContext ctx("req-deadbeef-1", "job/x");
+    const obs::LogSite site =
+        obs::logSite(obs::LogLevel::kInfo, "test.log_roundtrip");
+    ASSERT_TRUE(static_cast<bool>(site));
+    site.log("round trip")
+        .str("deck", "ce_stage.sp")
+        .num("wallMs", 12.5)
+        .num("rung", 2);
+  }
+  obs::setJsonlLogSink(false);
+
+  const auto lines = readLines(path);
+  std::remove(path.c_str());
+  ASSERT_EQ(lines.size(), 1u);
+  const auto doc = u::parseJson(lines[0]);
+  EXPECT_EQ(doc.get("level").asString(), "info");
+  EXPECT_EQ(doc.get("site").asString(), "test.log_roundtrip");
+  EXPECT_EQ(doc.get("msg").asString(), "round trip");
+  EXPECT_EQ(doc.get("request_id").asString(), "req-deadbeef-1");
+  EXPECT_EQ(doc.get("job_id").asString(), "job/x");
+  EXPECT_FALSE(doc.get("ts").asString().empty());
+  EXPECT_EQ(doc.get("deck").asString(), "ce_stage.sp");
+  EXPECT_EQ(doc.get("wallMs").asNumber(), 12.5);
+  EXPECT_EQ(doc.get("rung").asNumber(), 2.0);
+}
+
+TEST(ObsLog, ConcurrentWritersNeverTearJsonlLines) {
+  LogGuard guard;
+  const std::string path = "obs_log_test_concurrent.jsonl";
+  obs::setJsonlLogSink(true, path);
+  obs::setLogLevel(obs::LogLevel::kInfo);
+
+  constexpr int kThreads = 8;
+  constexpr int kLinesPerThread = 500;
+  const obs::LogSite site =
+      obs::logSite(obs::LogLevel::kInfo, "test.log_concurrent");
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t)
+    pool.emplace_back([&site, t] {
+      obs::ScopedTraceContext ctx("req-thread-" + std::to_string(t));
+      for (int k = 0; k < kLinesPerThread; ++k)
+        site.log("concurrent line")
+            .num("thread", t)
+            .num("k", k)
+            .str("payload", "x=\"quoted\" and strange\tchars");
+    });
+  for (auto& t : pool) t.join();
+  obs::setJsonlLogSink(false);
+
+  const auto lines = readLines(path);
+  std::remove(path.c_str());
+  ASSERT_EQ(lines.size(),
+            static_cast<size_t>(kThreads) * kLinesPerThread);
+  // Every single line must parse as a self-contained JSON object: a torn
+  // or interleaved write would break at least one.
+  std::vector<int> perThread(kThreads, 0);
+  for (const auto& line : lines) {
+    const auto doc = u::parseJson(line);  // throws on a torn line
+    ASSERT_TRUE(doc.isObject());
+    const int t = static_cast<int>(doc.get("thread").asNumber());
+    ASSERT_GE(t, 0);
+    ASSERT_LT(t, kThreads);
+    ++perThread[t];
+    EXPECT_EQ(doc.get("request_id").asString(),
+              "req-thread-" + std::to_string(t));
+  }
+  for (int t = 0; t < kThreads; ++t)
+    EXPECT_EQ(perThread[t], kLinesPerThread) << "thread " << t;
+}
+
+TEST(ObsLog, RateLimiterSuppressesAndReportsDebt) {
+  LogGuard guard;
+  const std::string path = "obs_log_test_ratelimit.jsonl";
+  obs::setJsonlLogSink(true, path);
+  obs::setLogLevel(obs::LogLevel::kInfo);
+
+  const obs::LogSite site =
+      obs::logSite(obs::LogLevel::kInfo, "test.log_ratelimited", 5);
+  const long long suppressedBefore = obs::logLinesSuppressed();
+  for (int k = 0; k < 100; ++k) site.log("burst").num("k", k);
+
+  // 100 lines in a tight loop spanning at most two 1 s windows: at most
+  // 10 may emit; at least 90 must be suppressed and counted.
+  EXPECT_GE(obs::logLinesSuppressed() - suppressedBefore, 90);
+
+  // The debt surfaces as a "suppressed" field on the next emitted line.
+  std::this_thread::sleep_for(std::chrono::milliseconds(1100));
+  site.log("after the burst");
+  obs::setJsonlLogSink(false);
+
+  const auto lines = readLines(path);
+  std::remove(path.c_str());
+  ASSERT_GE(lines.size(), 2u);
+  ASSERT_LE(lines.size(), 11u);
+  const auto last = u::parseJson(lines.back());
+  EXPECT_EQ(last.get("msg").asString(), "after the burst");
+  ASSERT_TRUE(last.has("suppressed"));
+  EXPECT_GE(last.get("suppressed").asNumber(), 90.0);
+}
+
+TEST(ObsLog, ScopedTraceContextNestsAndInherits) {
+  LogGuard guard;
+  EXPECT_TRUE(obs::currentTraceContext().requestId.empty());
+  {
+    obs::ScopedTraceContext outer("req-outer-7");
+    EXPECT_EQ(obs::currentTraceContext().requestId, "req-outer-7");
+    EXPECT_TRUE(obs::currentTraceContext().jobId.empty());
+    {
+      // Empty requestId inherits the enclosing request correlation while
+      // adding a jobId — the runner's per-job scope relies on this.
+      obs::ScopedTraceContext inner("", "mc/ft/042");
+      EXPECT_EQ(obs::currentTraceContext().requestId, "req-outer-7");
+      EXPECT_EQ(obs::currentTraceContext().jobId, "mc/ft/042");
+    }
+    EXPECT_EQ(obs::currentTraceContext().requestId, "req-outer-7");
+    EXPECT_TRUE(obs::currentTraceContext().jobId.empty());
+    {
+      // A non-empty requestId replaces wholesale.
+      obs::ScopedTraceContext replace("req-replacement-8");
+      EXPECT_EQ(obs::currentTraceContext().requestId, "req-replacement-8");
+    }
+  }
+  EXPECT_TRUE(obs::currentTraceContext().requestId.empty());
+}
+
+TEST(ObsLog, TextSinkWritesParseableRecords) {
+  LogGuard guard;
+  const std::string path = "obs_log_test_text.log";
+  obs::setTextLogSink(true, path);
+  obs::setLogLevel(obs::LogLevel::kInfo);
+  {
+    obs::ScopedTraceContext ctx("req-text-1");
+    obs::logSite(obs::LogLevel::kWarn, "test.log_text")
+        .log("something leaned over")
+        .str("what", "the queue")
+        .num("depth", 32);
+  }
+  obs::setTextLogSink(false);
+
+  const auto lines = readLines(path);
+  std::remove(path.c_str());
+  ASSERT_EQ(lines.size(), 1u);
+  // "ts warn  test.log_text: something leaned over request_id=... what=..."
+  EXPECT_NE(lines[0].find("warn"), std::string::npos);
+  EXPECT_NE(lines[0].find("test.log_text"), std::string::npos);
+  EXPECT_NE(lines[0].find("something leaned over"), std::string::npos);
+  EXPECT_NE(lines[0].find("request_id=req-text-1"), std::string::npos);
+  EXPECT_NE(lines[0].find("depth=32"), std::string::npos);
+}

@@ -111,6 +111,100 @@ TEST(ObsHistogram, ObservationsLandInTheRightBuckets) {
   EXPECT_LT(hs->quantile(0.5), 1.0);
 }
 
+TEST(ObsHistogram, InterpolatedQuantilesAreFiniteAndOrdered) {
+  ObsGuard guard;
+  const obs::Histogram h = obs::histogram("test.hist_quantiles");
+  // A two-decade spread: 90 fast observations, 10 slow ones.
+  for (int k = 0; k < 90; ++k) h.observe(1.0);
+  for (int k = 0; k < 10; ++k) h.observe(100.0);
+  const auto snap = obs::metrics().snapshot();
+  const auto* hs = snap.findHistogram("test.hist_quantiles");
+  ASSERT_NE(hs, nullptr);
+
+  const double p50 = hs->quantileInterpolated(0.50);
+  const double p95 = hs->quantileInterpolated(0.95);
+  const double p99 = hs->quantileInterpolated(0.99);
+  // Interpolated values stay inside the landing bucket: p50 near 1,
+  // p95/p99 near 100 — and the ordering is monotone and finite.
+  EXPECT_GT(p50, 0.5);
+  EXPECT_LT(p50, 2.0);
+  EXPECT_GT(p95, 50.0);
+  EXPECT_LT(p95, 200.0);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_TRUE(std::isfinite(p99));
+
+  // Unlike quantile(), the overflow bucket stays finite.
+  const obs::Histogram over = obs::histogram("test.hist_overflow_q");
+  const obs::Histogram empty = obs::histogram("test.hist_empty_q");
+  over.observe(1e300);
+  const auto snap2 = obs::metrics().snapshot();
+  const auto* os = snap2.findHistogram("test.hist_overflow_q");
+  ASSERT_NE(os, nullptr);
+  EXPECT_TRUE(std::isinf(os->quantile(0.5)));
+  EXPECT_TRUE(std::isfinite(os->quantileInterpolated(0.5)));
+
+  // Empty histogram: all quantiles are 0.
+  const auto* es = snap2.findHistogram("test.hist_empty_q");
+  ASSERT_NE(es, nullptr);
+  EXPECT_EQ(es->quantileInterpolated(0.99), 0.0);
+}
+
+TEST(ObsMetrics, SummaryAndJsonCarryInterpolatedQuantiles) {
+  ObsGuard guard;
+  const obs::Histogram h = obs::histogram("test.hist_summary_q");
+  for (int k = 0; k < 100; ++k) h.observe(10.0);
+  const auto snap = obs::metrics().snapshot();
+
+  const auto doc = u::parseJson(snap.toJsonString());
+  const auto& e = doc.get("histograms").get("test.hist_summary_q");
+  ASSERT_TRUE(e.has("p50"));
+  ASSERT_TRUE(e.has("p95"));
+  ASSERT_TRUE(e.has("p99"));
+  EXPECT_GT(e.get("p50").asNumber(), 5.0);
+  EXPECT_LT(e.get("p99").asNumber(), 20.0);
+
+  const std::string tables = snap.summary();
+  EXPECT_NE(tables.find("p95"), std::string::npos);
+  EXPECT_NE(tables.find("p99"), std::string::npos);
+}
+
+TEST(ObsMetrics, RegistrySaturationDegradesVisibly) {
+  ObsGuard guard;
+  // Clamp the effective caps so the very next registration of each kind
+  // saturates without burning real capacity (handles registered earlier
+  // stay valid). Counters clamp to 1 — the pre-registered
+  // obs.registry_saturated itself — and the value kinds to 0.
+  obs::metrics().limitCapsForTest(1, 0, 0);
+
+  const long long satBefore =
+      obs::metrics().snapshot().counterValue("obs.registry_saturated");
+
+  const obs::Counter c = obs::counter("test.sat_counter_overflow");
+  const obs::Gauge g = obs::gauge("test.sat_gauge_overflow");
+  const obs::Histogram h = obs::histogram("test.sat_hist_overflow");
+  // Inert handles: writes are dropped, not crashed.
+  c.add(5);
+  g.set(1.0);
+  h.observe(2.0);
+
+  const auto snap = obs::metrics().snapshot();
+  // The rejected registrations were counted on the pre-registered
+  // saturation counter (one per rejected registration)...
+  EXPECT_GE(snap.counterValue("obs.registry_saturated"), satBefore + 3);
+  // ...and the overflow metrics never appeared.
+  EXPECT_EQ(snap.counterValue("test.sat_counter_overflow"), 0);
+  EXPECT_EQ(snap.findHistogram("test.sat_hist_overflow"), nullptr);
+
+  obs::metrics().limitCapsForTest(-1, -1, -1);
+  // Restored caps accept registrations again.
+  const obs::Counter after = obs::counter("test.sat_counter_after");
+  after.add(2);
+  EXPECT_EQ(obs::metrics().snapshot().counterValue(
+                "test.sat_counter_after"),
+            2);
+}
+
 TEST(ObsMetrics, DisabledWritesAreDropped) {
   obs::metrics().resetForTest();
   ASSERT_FALSE(obs::metricsEnabled());

@@ -16,17 +16,32 @@
 #include <thread>
 #include <vector>
 
+#include <cstdio>
+#include <fstream>
+
 #include "celldb/database.h"
+#include "obs/history.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runner/session.h"
 #include "serve/api.h"
 #include "serve/jobs.h"
 #include "serve/server.h"
 #include "util/json.h"
 
+namespace obs = ahfic::obs;
 namespace sv = ahfic::serve;
 namespace u = ahfic::util;
 
 namespace {
+
+/// Flips the metrics master switch on for one test (without resetting
+/// the registry, which other tests' static handles rely on).
+struct MetricsOn {
+  MetricsOn() { obs::setMetricsEnabled(true); }
+  ~MetricsOn() { obs::setMetricsEnabled(false); }
+};
 
 constexpr const char* kGoodDeck = R"(serve test deck
 V1 in 0 DC 1
@@ -102,12 +117,17 @@ std::string deckSubmission(const std::string& deck) {
 /// A full daemon stack on an ephemeral port, torn down in order.
 struct TestDaemon {
   explicit TestDaemon(sv::JobServiceOptions jobOpts = {},
-                      sv::ServerOptions serverOpts = {}) {
+                      sv::ServerOptions serverOpts = {},
+                      bool withHistory = true) {
     jobs = std::make_unique<sv::JobService>(session, jobOpts);
+    if (withHistory)
+      history = std::make_unique<ahfic::obs::MetricsHistory>(
+          /*intervalSec=*/3600.0, /*capacity=*/8);
     sv::ApiContext ctx;
     ctx.jobs = jobs.get();
     ctx.db = &db;
     ctx.dbMutex = &dbMutex;
+    ctx.history = history.get();
     serverOpts.port = 0;  // always ephemeral in tests
     server = std::make_unique<sv::HttpServer>(sv::buildApiRouter(ctx),
                                               serverOpts);
@@ -138,8 +158,19 @@ struct TestDaemon {
   ahfic::celldb::CellDatabase db;
   std::mutex dbMutex;
   std::unique_ptr<sv::JobService> jobs;
+  std::unique_ptr<ahfic::obs::MetricsHistory> history;
   std::unique_ptr<sv::HttpServer> server;
 };
+
+/// Extracts a response header value from the raw reply (nullopt-style:
+/// empty when absent).
+std::string headerValue(const Reply& r, const std::string& name) {
+  const std::string needle = "\r\n" + name + ": ";
+  const size_t pos = r.raw.find(needle);
+  if (pos == std::string::npos) return "";
+  const size_t start = pos + needle.size();
+  return r.raw.substr(start, r.raw.find("\r\n", start) - start);
+}
 
 }  // namespace
 
@@ -418,4 +449,203 @@ TEST(ServeServer, UnknownJobIdGets404) {
   TestDaemon daemon;
   EXPECT_EQ(exchange(daemon.port(), getRequest("/v1/jobs/job-999")).status,
             404);
+}
+
+TEST(ServeServer, EveryResponseCarriesARequestId) {
+  TestDaemon daemon;
+  // No inbound id: the server mints one in its canonical req- form.
+  const Reply r = exchange(daemon.port(), getRequest("/healthz"));
+  ASSERT_EQ(r.status, 200);
+  const std::string minted = headerValue(r, "X-Ahfic-Request-Id");
+  ASSERT_FALSE(minted.empty());
+  EXPECT_EQ(minted.compare(0, 4, "req-"), 0) << minted;
+
+  // Distinct requests get distinct ids.
+  const Reply r2 = exchange(daemon.port(), getRequest("/healthz"));
+  EXPECT_NE(headerValue(r2, "X-Ahfic-Request-Id"), minted);
+
+  // A client-supplied id is honored and echoed verbatim.
+  const Reply echoed = exchange(
+      daemon.port(),
+      "GET /healthz HTTP/1.1\r\nHost: t\r\n"
+      "X-Ahfic-Request-Id: req-client-chosen-42\r\n\r\n");
+  EXPECT_EQ(headerValue(echoed, "X-Ahfic-Request-Id"),
+            "req-client-chosen-42");
+}
+
+TEST(ServeServer, JobEnvelopeCarriesTheSubmittingRequestId) {
+  TestDaemon daemon;
+  const Reply r = exchange(
+      daemon.port(),
+      "POST /v1/jobs HTTP/1.1\r\nHost: t\r\n"
+      "X-Ahfic-Request-Id: req-envelope-test-7\r\n"
+      "Content-Type: application/json\r\n"
+      "Content-Length: " +
+          std::to_string(deckSubmission(kGoodDeck).size()) + "\r\n\r\n" +
+          deckSubmission(kGoodDeck));
+  ASSERT_EQ(r.status, 202);
+  EXPECT_EQ(headerValue(r, "X-Ahfic-Request-Id"), "req-envelope-test-7");
+  const u::JsonValue accepted = u::parseJson(r.body);
+  EXPECT_EQ(accepted.get("requestId").asString(), "req-envelope-test-7");
+
+  // The id survives into the *final* envelope, polled much later by a
+  // different connection (with a different request id of its own).
+  const u::JsonValue done =
+      daemon.waitForJob(accepted.get("id").asString());
+  EXPECT_EQ(done.get("requestId").asString(), "req-envelope-test-7");
+  EXPECT_EQ(done.get("status").asString(), "ok");
+}
+
+TEST(ServeServer, RequestIdCorrelatesHeaderLogAndTrace) {
+  // The tentpole's end-to-end check: one submission's id must appear in
+  // (a) the response header, (b) the structured JSONL log lines of the
+  // serve AND runner layers, and (c) the trace span annotations.
+  const std::string jsonlPath = "serve_e2e_correlation.jsonl";
+  obs::resetLoggingForTest();
+  obs::setTextLogSink(false);
+  obs::setJsonlLogSink(true, jsonlPath);
+  obs::setLogLevel(obs::LogLevel::kDebug);
+  obs::clearTrace();
+  obs::setTracingEnabled(true);
+
+  const std::string id = "req-e2e-correlation-99";
+  {
+    TestDaemon daemon;
+    const std::string body = deckSubmission(kGoodDeck);
+    const Reply r = exchange(
+        daemon.port(),
+        "POST /v1/jobs HTTP/1.1\r\nHost: t\r\n"
+        "X-Ahfic-Request-Id: " + id + "\r\n"
+        "Content-Type: application/json\r\n"
+        "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n" +
+            body);
+    ASSERT_EQ(r.status, 202);
+    EXPECT_EQ(headerValue(r, "X-Ahfic-Request-Id"), id);  // (a)
+    daemon.waitForJob(u::parseJson(r.body).get("id").asString());
+  }
+
+  obs::setTracingEnabled(false);
+  obs::setJsonlLogSink(false);
+
+  // (b) JSONL: the id is stamped on serve-layer and runner-layer lines.
+  std::ifstream f(jsonlPath);
+  ASSERT_TRUE(f.good());
+  bool serveLine = false, runnerLine = false;
+  std::string line;
+  while (std::getline(f, line)) {
+    if (line.empty()) continue;
+    const u::JsonValue doc = u::parseJson(line);
+    if (!doc.has("request_id") ||
+        doc.get("request_id").asString() != id)
+      continue;
+    const std::string site = doc.get("site").asString();
+    if (site.compare(0, 6, "serve.") == 0) serveLine = true;
+    if (site.compare(0, 7, "runner.") == 0) runnerLine = true;
+  }
+  f.close();
+  std::remove(jsonlPath.c_str());
+  EXPECT_TRUE(serveLine) << "no serve.* log line carried " << id;
+  EXPECT_TRUE(runnerLine) << "no runner.* log line carried " << id;
+
+  // (c) Trace: both the HTTP span and the job span annotate the id.
+  const u::JsonValue trace = u::parseJson(obs::traceJson());
+  const u::JsonValue& evs = trace.get("traceEvents");
+  bool serveSpan = false, jobSpan = false;
+  for (size_t k = 0; k < evs.size(); ++k) {
+    const u::JsonValue& e = evs.at(k);
+    if (e.get("ph").asString() != "X" || !e.has("args")) continue;
+    const u::JsonValue& args = e.get("args");
+    if (!args.has("request_id") ||
+        args.get("request_id").asString() != id)
+      continue;
+    const std::string name = e.get("name").asString();
+    if (name == "serve.request") serveSpan = true;
+    if (name.compare(0, 4, "job:") == 0) jobSpan = true;
+  }
+  obs::clearTrace();
+  obs::resetLoggingForTest();
+  EXPECT_TRUE(serveSpan) << "serve.request span missing the id";
+  EXPECT_TRUE(jobSpan) << "runner job span missing the id";
+}
+
+TEST(ServeServer, MetricsHistoryEndpointServesDeltaEnvelope) {
+  MetricsOn metricsOn;
+  TestDaemon daemon;
+  // Generate some traffic, then take explicit samples (the test daemon
+  // does not run the background sampler — determinism over realism).
+  exchange(daemon.port(), getRequest("/healthz"));
+  daemon.history->sampleNow();
+  exchange(daemon.port(), getRequest("/healthz"));
+  exchange(daemon.port(), getRequest("/healthz"));
+  daemon.history->sampleNow();
+
+  const Reply r =
+      exchange(daemon.port(), getRequest("/v1/metrics/history"));
+  ASSERT_EQ(r.status, 200);
+  const u::JsonValue doc = u::parseJson(r.body);
+  EXPECT_EQ(doc.get("schema").asString(), "ahfic-metrics-history-v1");
+  EXPECT_GE(doc.get("samples").asNumber(), 2.0);
+  EXPECT_EQ(doc.get("t").size(),
+            static_cast<size_t>(doc.get("samples").asNumber()));
+  ASSERT_TRUE(doc.get("counters").has("serve.requests"));
+  // serve.requests grew between the two samples: some delta is positive.
+  const u::JsonValue& wire = doc.get("counters").get("serve.requests");
+  double total = 0;
+  for (size_t k = 0; k < wire.get("deltas").size(); ++k)
+    total += wire.get("deltas").at(k).asNumber();
+  EXPECT_GE(total, 2.0);
+
+  // window=N trims; a malformed window is a 400, not a crash.
+  EXPECT_EQ(exchange(daemon.port(),
+                     getRequest("/v1/metrics/history?window=3600"))
+                .status,
+            200);
+  EXPECT_EQ(exchange(daemon.port(),
+                     getRequest("/v1/metrics/history?window=banana"))
+                .status,
+            400);
+}
+
+TEST(ServeServer, MetricsEndpointSpeaksPrometheus) {
+  MetricsOn metricsOn;
+  TestDaemon daemon;
+  exchange(daemon.port(), getRequest("/healthz"));
+  const Reply r = exchange(
+      daemon.port(), getRequest("/v1/metrics?format=prometheus"));
+  ASSERT_EQ(r.status, 200);
+  EXPECT_NE(r.raw.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+  EXPECT_NE(r.body.find("# TYPE ahfic_serve_requests counter"),
+            std::string::npos);
+  EXPECT_NE(r.body.find("ahfic_serve_request_ms_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+
+  EXPECT_EQ(exchange(daemon.port(),
+                     getRequest("/v1/metrics?format=msgpack"))
+                .status,
+            400);
+}
+
+TEST(ServeServer, DebugDashboardServesLiveHtml) {
+  TestDaemon daemon;
+  exchange(daemon.port(), getRequest("/healthz"));
+  daemon.history->sampleNow();
+  daemon.history->sampleNow();
+
+  const Reply r = exchange(daemon.port(), getRequest("/debug"));
+  ASSERT_EQ(r.status, 200);
+  EXPECT_NE(r.raw.find("Content-Type: text/html"), std::string::npos);
+  EXPECT_NE(r.body.find("<svg"), std::string::npos);
+  for (const char* title : {"queue depth", "job throughput",
+                            "cache hit rate", "newton iters p99"})
+    EXPECT_NE(r.body.find(title), std::string::npos) << title;
+  EXPECT_NE(r.body.find("/v1/metrics/history"), std::string::npos);
+}
+
+TEST(ServeServer, HistoryEndpointsAnswer503WithoutASampler) {
+  TestDaemon daemon({}, {}, /*withHistory=*/false);
+  EXPECT_EQ(exchange(daemon.port(), getRequest("/v1/metrics/history"))
+                .status,
+            503);
+  EXPECT_EQ(exchange(daemon.port(), getRequest("/debug")).status, 503);
 }
