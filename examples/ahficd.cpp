@@ -47,7 +47,6 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
-#include <mutex>
 #include <string>
 #include <thread>
 
@@ -188,7 +187,7 @@ int main(int argc, char** argv) {
     ahfic::celldb::CellDatabase db;
     if (!celldbPath.empty()) db = ahfic::celldb::CellDatabase::load(celldbPath);
     if (seedCelldb) ahfic::celldb::seedExampleLibrary(db);
-    std::mutex dbMutex;
+    ahfic::util::Mutex dbMutex;
 
     ahfic::runner::Session session;
     sv::JobService jobs(session, jobOpts);

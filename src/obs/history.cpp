@@ -34,7 +34,7 @@ MetricsHistory::MetricsHistory(double intervalSec, size_t capacity)
 MetricsHistory::~MetricsHistory() { stop(); }
 
 size_t MetricsHistory::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return ring_.size();
 }
 
@@ -42,7 +42,7 @@ void MetricsHistory::sampleNow() {
   Sample s;
   s.unixSec = unixNowSec();
   s.snap = metrics().snapshot();
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(s));
   } else {
@@ -55,7 +55,10 @@ void MetricsHistory::sampleNow() {
 void MetricsHistory::start() {
   if (running_) return;
   sampleNow();
-  stopping_ = false;
+  {
+    util::MutexLock lock(&wakeMu_);
+    stopping_ = false;
+  }
   thread_ = std::thread([this] { samplerLoop(); });
   running_ = true;
 }
@@ -63,24 +66,33 @@ void MetricsHistory::start() {
 void MetricsHistory::stop() {
   if (!running_) return;
   {
-    std::lock_guard<std::mutex> lock(wakeMu_);
+    util::MutexLock lock(&wakeMu_);
     stopping_ = true;
   }
-  wake_.notify_all();
+  wake_.notifyAll();
   thread_.join();
   running_ = false;
 }
 
 void MetricsHistory::samplerLoop() {
-  std::unique_lock<std::mutex> lock(wakeMu_);
+  util::MutexLock lock(&wakeMu_);
   const auto interval = std::chrono::duration<double>(intervalSec_);
-  while (!wake_.wait_for(lock, interval, [this] { return stopping_; }))
+  while (!stopping_) {
+    // Sleep one interval, re-arming on spurious wakeups; a stop()
+    // notification ends the wait (and the loop) immediately.
+    const auto deadline = std::chrono::steady_clock::now() + interval;
+    bool timedOut = false;
+    while (!stopping_ && !timedOut)
+      timedOut = wake_.waitUntil(&wakeMu_, deadline) ==
+                 std::cv_status::timeout;
+    if (stopping_) return;
     sampleNow();
+  }
 }
 
 std::vector<MetricsHistory::Sample> MetricsHistory::window(
     double windowSec) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   std::vector<Sample> out;
   out.reserve(ring_.size());
   // Unroll the circular buffer oldest-first.

@@ -17,13 +17,12 @@
 //   ...
 //   history.stop();              // joined before the registry dies
 
-#include <condition_variable>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "obs/metrics.h"
 #include "util/json.h"
+#include "util/mutex.h"
 
 namespace ahfic::obs {
 
@@ -71,13 +70,19 @@ class MetricsHistory {
   const double intervalSec_;
   const size_t capacity_;
 
-  mutable std::mutex mu_;
-  std::vector<Sample> ring_;  ///< circular, oldest at (head_) when full
-  size_t head_ = 0;           ///< next write position
+  // Ring lock. The sampler thread takes mu_ (inside sampleNow) while
+  // holding wakeMu_, hence the declared order wakeMu_ -> mu_; readers
+  // (size/window) take mu_ alone.
+  mutable util::Mutex mu_;
+  std::vector<Sample> ring_ AHFIC_GUARDED_BY(mu_);  ///< circular; oldest at head_ when full
+  size_t head_ AHFIC_GUARDED_BY(mu_) = 0;           ///< next write position
 
-  std::mutex wakeMu_;
-  std::condition_variable wake_;
-  bool stopping_ = false;
+  util::Mutex wakeMu_ AHFIC_ACQUIRED_BEFORE(mu_);
+  util::CondVar wake_;
+  bool stopping_ AHFIC_GUARDED_BY(wakeMu_) = false;
+  // start()/stop() are externally serialized (single owner thread);
+  // thread_ must be joined without wakeMu_ held, so these two stay
+  // outside the capability system deliberately.
   std::thread thread_;
   bool running_ = false;
 };

@@ -6,11 +6,11 @@
 #include <cstring>
 #include <ctime>
 #include <deque>
-#include <mutex>
 #include <string>
 
 #include "util/error.h"
 #include "util/json.h"
+#include "util/mutex.h"
 
 namespace ahfic::obs {
 
@@ -43,14 +43,16 @@ using detail::LogSiteInfo;
 /// valid while other threads register concurrently (LogSiteInfo holds
 /// atomics and cannot move anyway).
 struct LogState {
-  std::mutex regMu;
-  std::deque<LogSiteInfo> sites;
+  util::Mutex regMu;
+  std::deque<LogSiteInfo> sites AHFIC_GUARDED_BY(regMu);
 
-  std::mutex sinkMu;  // serializes whole-line writes: no torn lines
-  bool textEnabled = true;
-  FILE* textFile = nullptr;  // nullptr = stderr
-  bool jsonlEnabled = false;
-  FILE* jsonlFile = nullptr;  // nullptr = stderr
+  // Serializes sink reconfiguration and whole-line writes: no torn
+  // lines. Never held together with regMu.
+  util::Mutex sinkMu;
+  bool textEnabled AHFIC_GUARDED_BY(sinkMu) = true;
+  FILE* textFile AHFIC_GUARDED_BY(sinkMu) = nullptr;   // nullptr = stderr
+  bool jsonlEnabled AHFIC_GUARDED_BY(sinkMu) = false;
+  FILE* jsonlFile AHFIC_GUARDED_BY(sinkMu) = nullptr;  // nullptr = stderr
 };
 
 LogState& state() {
@@ -127,7 +129,7 @@ void setSink(bool jsonl, bool enabled, const std::string& path) {
       throw Error("obs: cannot open log file '" + path + "'");
   }
   LogState& s = state();
-  std::lock_guard<std::mutex> lock(s.sinkMu);
+  util::MutexLock lock(&s.sinkMu);
   FILE*& slot = jsonl ? s.jsonlFile : s.textFile;
   bool& flag = jsonl ? s.jsonlEnabled : s.textEnabled;
   if (slot != nullptr) std::fclose(slot);
@@ -220,7 +222,7 @@ LogSite::operator bool() const {
 
 LogSite logSite(LogLevel level, const std::string& name, int maxPerSec) {
   LogState& s = state();
-  std::lock_guard<std::mutex> lock(s.regMu);
+  util::MutexLock lock(&s.regMu);
   for (LogSiteInfo& site : s.sites)
     if (site.name == name) return LogSite(&site, site.level);
   s.sites.emplace_back();
@@ -298,7 +300,7 @@ LogLine::~LogLine() {
   // only the two writes are serialized.
   bool wantText, wantJsonl;
   {
-    std::lock_guard<std::mutex> lock(s.sinkMu);
+    util::MutexLock lock(&s.sinkMu);
     wantText = s.textEnabled;
     wantJsonl = s.jsonlEnabled;
   }
@@ -351,7 +353,7 @@ LogLine::~LogLine() {
   }
 
   gEmitted.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(s.sinkMu);
+  util::MutexLock lock(&s.sinkMu);
   if (s.textEnabled && !textLine.empty()) writeLine(s.textFile, textLine);
   if (s.jsonlEnabled && !jsonlLine.empty())
     writeLine(s.jsonlFile, jsonlLine);

@@ -9,10 +9,10 @@
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
 
 #include "obs/log.h"
 #include "util/error.h"
+#include "util/mutex.h"
 #include "util/table.h"
 
 namespace ahfic::obs {
@@ -70,26 +70,32 @@ struct Registry::Shard {
 };
 
 struct Registry::Impl {
-  mutable std::mutex mu;  // registration, shard list, snapshot
-  std::vector<std::string> counterNames;
-  std::vector<std::string> gaugeNames;
-  std::vector<std::string> histNames;
-  std::map<std::string, int> counterIds;
-  std::map<std::string, int> gaugeIds;
-  std::map<std::string, int> histIds;
-  // Gauges are last-write-wins: one central slot, no sharding needed.
+  // Registration, shard list, snapshot. Leaf lock of the whole stack:
+  // nothing is called with it held, so every other subsystem may call
+  // into the registry while holding its own locks (docs/concurrency.md).
+  mutable util::Mutex mu;
+  std::vector<std::string> counterNames AHFIC_GUARDED_BY(mu);
+  std::vector<std::string> gaugeNames AHFIC_GUARDED_BY(mu);
+  std::vector<std::string> histNames AHFIC_GUARDED_BY(mu);
+  std::map<std::string, int> counterIds AHFIC_GUARDED_BY(mu);
+  std::map<std::string, int> gaugeIds AHFIC_GUARDED_BY(mu);
+  std::map<std::string, int> histIds AHFIC_GUARDED_BY(mu);
+  // Gauges are last-write-wins: one central slot of atomics, no
+  // sharding (and no guard) needed.
   std::array<std::atomic<double>, kMaxGauges> gauges{};
-  std::vector<std::unique_ptr<Shard>> shards;
-  std::vector<Shard*> freeShards;
+  std::vector<std::unique_ptr<Shard>> shards AHFIC_GUARDED_BY(mu);
+  std::vector<Shard*> freeShards AHFIC_GUARDED_BY(mu);
   // Effective caps (== kMax* except under limitCapsForTest) and the
   // once-per-kind saturation warning latches.
-  int counterCap = kMaxCounters;
-  int gaugeCap = kMaxGauges;
-  int histCap = kMaxHistograms;
-  bool warnedCounterCap = false;
-  bool warnedGaugeCap = false;
-  bool warnedHistCap = false;
-  int saturatedId = -1;  ///< "obs.registry_saturated", registered in ctor
+  int counterCap AHFIC_GUARDED_BY(mu) = kMaxCounters;
+  int gaugeCap AHFIC_GUARDED_BY(mu) = kMaxGauges;
+  int histCap AHFIC_GUARDED_BY(mu) = kMaxHistograms;
+  bool warnedCounterCap AHFIC_GUARDED_BY(mu) = false;
+  bool warnedGaugeCap AHFIC_GUARDED_BY(mu) = false;
+  bool warnedHistCap AHFIC_GUARDED_BY(mu) = false;
+  // "obs.registry_saturated", registered in the ctor before any other
+  // thread can see the registry; const thereafter, so unguarded.
+  int saturatedId = -1;
 };
 
 /// RAII thread-local lease: acquires a shard on a thread's first write and
@@ -117,7 +123,7 @@ Registry& metrics() {
 }
 
 Registry::Shard* Registry::acquireShard() {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  util::MutexLock lock(&impl_->mu);
   if (!impl_->freeShards.empty()) {
     Shard* s = impl_->freeShards.back();
     impl_->freeShards.pop_back();
@@ -128,7 +134,7 @@ Registry::Shard* Registry::acquireShard() {
 }
 
 void Registry::releaseShard(Shard* shard) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  util::MutexLock lock(&impl_->mu);
   impl_->freeShards.push_back(shard);
 }
 
@@ -175,7 +181,7 @@ Counter Registry::counter(const std::string& name) {
   int id;
   bool first = false;
   {
-    std::lock_guard<std::mutex> lock(impl_->mu);
+    util::MutexLock lock(&impl_->mu);
     id = registerName(impl_->counterIds, impl_->counterNames, name,
                       impl_->counterCap);
     if (id < 0 && !impl_->warnedCounterCap)
@@ -189,7 +195,7 @@ Gauge Registry::gauge(const std::string& name) {
   int id;
   bool first = false;
   {
-    std::lock_guard<std::mutex> lock(impl_->mu);
+    util::MutexLock lock(&impl_->mu);
     id = registerName(impl_->gaugeIds, impl_->gaugeNames, name,
                       impl_->gaugeCap);
     if (id < 0 && !impl_->warnedGaugeCap)
@@ -203,7 +209,7 @@ Histogram Registry::histogram(const std::string& name) {
   int id;
   bool first = false;
   {
-    std::lock_guard<std::mutex> lock(impl_->mu);
+    util::MutexLock lock(&impl_->mu);
     id = registerName(impl_->histIds, impl_->histNames, name,
                       impl_->histCap);
     if (id < 0 && !impl_->warnedHistCap)
@@ -214,7 +220,7 @@ Histogram Registry::histogram(const std::string& name) {
 }
 
 void Registry::limitCapsForTest(int counters, int gauges, int histograms) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  util::MutexLock lock(&impl_->mu);
   impl_->counterCap = counters < 0 ? kMaxCounters
                                    : std::min(counters, kMaxCounters);
   impl_->gaugeCap = gauges < 0 ? kMaxGauges : std::min(gauges, kMaxGauges);
@@ -244,7 +250,7 @@ void Registry::histogramObserve(int id, double value) {
 
 MetricsSnapshot Registry::snapshot() const {
   MetricsSnapshot snap;
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  util::MutexLock lock(&impl_->mu);
   snap.counters.reserve(impl_->counterNames.size());
   for (size_t c = 0; c < impl_->counterNames.size(); ++c) {
     long long total = 0;
@@ -273,7 +279,7 @@ MetricsSnapshot Registry::snapshot() const {
 }
 
 void Registry::resetForTest() {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  util::MutexLock lock(&impl_->mu);
   for (auto& s : impl_->shards) {
     for (auto& c : s->counters) c.store(0, std::memory_order_relaxed);
     for (auto& h : s->hists) {

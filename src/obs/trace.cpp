@@ -7,9 +7,9 @@
 #include <fstream>
 #include <map>
 #include <memory>
-#include <mutex>
 
 #include "util/error.h"
+#include "util/mutex.h"
 #include "util/table.h"
 
 namespace ahfic::obs {
@@ -41,23 +41,28 @@ struct TraceEvent {
 /// the serializer. The mutex is per-lane so writers never contend with
 /// each other, only (briefly) with a concurrent serialization.
 struct Lane {
+  // Written once under Collector::mu when the lane is created, const
+  // thereafter; readers (serializers) see it ordered by that same lock.
   int id = 0;
-  std::mutex mu;
-  std::string name;
-  std::vector<TraceEvent> events;
+  util::Mutex mu;
+  std::string name AHFIC_GUARDED_BY(mu);
+  std::vector<TraceEvent> events AHFIC_GUARDED_BY(mu);
 };
 
 struct Collector {
   std::chrono::steady_clock::time_point epoch =
       std::chrono::steady_clock::now();
-  std::mutex mu;  // lane list + free list
-  std::vector<std::unique_ptr<Lane>> lanes;
-  std::vector<Lane*> freeLanes;
+  // Lane list + free list. Lock order: Collector::mu before any
+  // Lane::mu (nameLane and the serializers hold the list lock while
+  // taking per-lane locks; nothing locks them the other way around).
+  util::Mutex mu;
+  std::vector<std::unique_ptr<Lane>> lanes AHFIC_GUARDED_BY(mu);
+  std::vector<Lane*> freeLanes AHFIC_GUARDED_BY(mu);
   std::atomic<long long> eventCount{0};
   std::atomic<long long> dropped{0};
 
   Lane* acquireLane() {
-    std::lock_guard<std::mutex> lock(mu);
+    util::MutexLock lock(&mu);
     if (!freeLanes.empty()) {
       Lane* l = freeLanes.back();
       freeLanes.pop_back();
@@ -69,7 +74,7 @@ struct Collector {
   }
 
   void releaseLane(Lane* lane) {
-    std::lock_guard<std::mutex> lock(mu);
+    util::MutexLock lock(&mu);
     freeLanes.push_back(lane);
   }
 
@@ -78,9 +83,9 @@ struct Collector {
   /// retroactively relabel them) — swaps to a lane this name can own:
   /// a free lane with the same name, a pristine free lane, or a new one.
   Lane* nameLane(Lane* cur, const std::string& name) {
-    std::lock_guard<std::mutex> lock(mu);
+    util::MutexLock lock(&mu);
     {
-      std::lock_guard<std::mutex> laneLock(cur->mu);
+      util::MutexLock laneLock(&cur->mu);
       if (cur->events.empty() || cur->name.empty() || cur->name == name) {
         cur->name = name;
         return cur;
@@ -88,7 +93,7 @@ struct Collector {
     }
     Lane* pick = nullptr;
     for (Lane* f : freeLanes) {
-      std::lock_guard<std::mutex> laneLock(f->mu);
+      util::MutexLock laneLock(&f->mu);
       if (f->name == name) {
         pick = f;
         break;
@@ -96,7 +101,7 @@ struct Collector {
     }
     if (pick == nullptr) {
       for (Lane* f : freeLanes) {
-        std::lock_guard<std::mutex> laneLock(f->mu);
+        util::MutexLock laneLock(&f->mu);
         if (f->name.empty() && f->events.empty()) {
           pick = f;
           break;
@@ -113,7 +118,7 @@ struct Collector {
       pick = lanes.back().get();
     }
     freeLanes.push_back(cur);
-    std::lock_guard<std::mutex> laneLock(pick->mu);
+    util::MutexLock laneLock(&pick->mu);
     pick->name = name;
     return pick;
   }
@@ -232,7 +237,7 @@ ScopedSpan::~ScopedSpan() {
   ev.annKey = annKey_;
   ev.annValue = std::move(annValue_);
   Lane& lane = localLane();
-  std::lock_guard<std::mutex> lock(lane.mu);
+  util::MutexLock lock(&lane.mu);
   lane.events.push_back(std::move(ev));
 }
 
@@ -245,9 +250,9 @@ void nameCurrentThreadLane(const std::string& name) {
 std::vector<SpanTotal> spanTotals() {
   Collector& c = collector();
   std::map<std::string, SpanTotal> agg;
-  std::lock_guard<std::mutex> listLock(c.mu);
+  util::MutexLock listLock(&c.mu);
   for (const auto& lane : c.lanes) {
-    std::lock_guard<std::mutex> lock(lane->mu);
+    util::MutexLock lock(&lane->mu);
     for (const TraceEvent& ev : lane->events) {
       SpanTotal& t = agg[ev.name];
       t.name = ev.name;
@@ -293,11 +298,11 @@ std::string traceJson() {
       "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
       "\"args\":{\"name\":\"ahfic\"}}";
 
-  std::lock_guard<std::mutex> listLock(c.mu);
+  util::MutexLock listLock(&c.mu);
   out.reserve(out.size() + 96 * static_cast<size_t>(std::min(
                                c.eventCount.load(), kMaxEvents)));
   for (const auto& lane : c.lanes) {
-    std::lock_guard<std::mutex> lock(lane->mu);
+    util::MutexLock lock(&lane->mu);
     comma();
     out += "{\"ph\":\"M\",\"pid\":1,\"tid\":";
     out += std::to_string(lane->id);
@@ -352,9 +357,9 @@ void writeTraceFile(const std::string& path) {
 
 void clearTrace() {
   Collector& c = collector();
-  std::lock_guard<std::mutex> listLock(c.mu);
+  util::MutexLock listLock(&c.mu);
   for (const auto& lane : c.lanes) {
-    std::lock_guard<std::mutex> lock(lane->mu);
+    util::MutexLock lock(&lane->mu);
     lane->events.clear();
   }
   c.eventCount.store(0, std::memory_order_relaxed);

@@ -15,24 +15,24 @@ namespace ahfic::runner {
 namespace js = ahfic::util;
 
 std::optional<JobResult> ResultCache::lookup(const std::string& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   const auto it = map_.find(key);
   if (it == map_.end()) return std::nullopt;
   return it->second;
 }
 
 void ResultCache::store(const std::string& key, const JobResult& result) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   map_[key] = result;
 }
 
 size_t ResultCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return map_.size();
 }
 
 void ResultCache::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   map_.clear();
 }
 
@@ -62,7 +62,7 @@ bool ResultCache::loadFile(const std::string& path) {
     throw Error("ResultCache: '" + path + "' is not a runner cache file");
 
   const js::JsonValue& entries = doc.get("entries");
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   for (size_t k = 0; k < entries.size(); ++k) {
     const js::JsonValue& e = entries.at(k);
     JobResult r;
@@ -86,7 +86,7 @@ void ResultCache::saveFile(const std::string& path) const {
   doc.set("schema", "ahfic-runner-cache-v1");
   js::JsonValue entries = js::JsonValue::array();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     // Sorted keys: byte-identical files for identical contents.
     std::vector<std::string> keys;
     keys.reserve(map_.size());

@@ -9,11 +9,11 @@
 
 #include <cstdint>
 #include <optional>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "runner/job.h"
+#include "util/mutex.h"
 
 namespace ahfic::runner {
 
@@ -37,8 +37,8 @@ class ResultCache {
   void saveFile(const std::string& path) const;
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, JobResult> map_;
+  mutable util::Mutex mu_;
+  std::unordered_map<std::string, JobResult> map_ AHFIC_GUARDED_BY(mu_);
 };
 
 }  // namespace ahfic::runner

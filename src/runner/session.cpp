@@ -48,19 +48,19 @@ BatchResult Session::run(const std::vector<Job>& jobs) {
 }
 
 void Session::storeText(const std::string& key, std::string text) {
-  std::lock_guard<std::mutex> lock(textMu_);
+  util::MutexLock lock(&textMu_);
   texts_[key] = std::move(text);
 }
 
 std::optional<std::string> Session::fetchText(const std::string& key) const {
-  std::lock_guard<std::mutex> lock(textMu_);
+  util::MutexLock lock(&textMu_);
   auto it = texts_.find(key);
   if (it == texts_.end()) return std::nullopt;
   return it->second;
 }
 
 size_t Session::textCount() const {
-  std::lock_guard<std::mutex> lock(textMu_);
+  util::MutexLock lock(&textMu_);
   return texts_.size();
 }
 

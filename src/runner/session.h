@@ -23,13 +23,13 @@
 //   auto again = session.run(jobs);    // warm: all cache hits
 
 #include <atomic>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "runner/engine.h"
+#include "util/mutex.h"
 
 namespace ahfic::runner {
 
@@ -65,8 +65,9 @@ class Session {
  private:
   BatchRunner runner_;
   std::atomic<size_t> batches_{0};
-  mutable std::mutex textMu_;
-  std::unordered_map<std::string, std::string> texts_;
+  mutable util::Mutex textMu_;
+  std::unordered_map<std::string, std::string> texts_
+      AHFIC_GUARDED_BY(textMu_);
 };
 
 }  // namespace ahfic::runner

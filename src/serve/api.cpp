@@ -186,21 +186,21 @@ Router buildApiRouter(const ApiContext& ctx) {
              [ctx](const HttpRequest&, const RouteParams&) {
                cd::HtmlOptions opts;
                opts.liveLinks = true;
-               std::lock_guard<std::mutex> lock(*ctx.dbMutex);
+               util::MutexLock lock(ctx.dbMutex);
                return HttpResponse::html(
                    200, cd::libraryIndexHtml(*ctx.db, opts));
              });
 
   router.add("GET", "/celldb/cell/<library>/<name>", "celldb_cell",
              [ctx](const HttpRequest&, const RouteParams& params) {
-               std::lock_guard<std::mutex> lock(*ctx.dbMutex);
+               util::MutexLock lock(ctx.dbMutex);
                return cellPageResponse(ctx.db->find(params.get("library"),
                                                     params.get("name")));
              });
 
   router.add("GET", "/celldb/cell/<name>", "celldb_cell",
              [ctx](const HttpRequest&, const RouteParams& params) {
-               std::lock_guard<std::mutex> lock(*ctx.dbMutex);
+               util::MutexLock lock(ctx.dbMutex);
                const cd::Cell* found = nullptr;
                for (const std::string& lib : ctx.db->libraries()) {
                  const cd::Cell* c = ctx.db->find(lib, params.get("name"));
@@ -224,7 +224,7 @@ Router buildApiRouter(const ApiContext& ctx) {
                  return HttpResponse::error(
                      400, std::string("bad cell document: ") + e.what());
                }
-               std::lock_guard<std::mutex> lock(*ctx.dbMutex);
+               util::MutexLock lock(ctx.dbMutex);
                if (ctx.db->find(cell.library, cell.name) != nullptr)
                  return HttpResponse::error(
                      409, "cell '" + cell.key() + "' already registered");

@@ -22,12 +22,11 @@
 // CellDatabase and its guarding mutex stay owned by the caller
 // (examples/ahficd.cpp, tests) and must outlive the Router.
 
-#include <mutex>
-
 #include "celldb/database.h"
 #include "obs/history.h"
 #include "serve/jobs.h"
 #include "serve/router.h"
+#include "util/mutex.h"
 
 namespace ahfic::serve {
 
@@ -35,8 +34,8 @@ struct ApiContext {
   JobService* jobs = nullptr;
   /// Live cell database; registration and page rendering serialize on
   /// `dbMutex` (the database itself is not thread-safe).
-  celldb::CellDatabase* db = nullptr;
-  std::mutex* dbMutex = nullptr;
+  celldb::CellDatabase* db AHFIC_PT_GUARDED_BY(dbMutex) = nullptr;
+  util::Mutex* dbMutex = nullptr;
   /// Metrics time-series ring (optional; /v1/metrics/history and /debug
   /// answer 503 when absent).
   obs::MetricsHistory* history = nullptr;

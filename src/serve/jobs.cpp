@@ -144,7 +144,7 @@ SubmitOutcome JobService::submit(const SubmitRequest& request) {
     m.preflightSkipped.add();
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   if (!accepting_) {
     out.status = 503;
     out.body =
@@ -177,7 +177,7 @@ SubmitOutcome JobService::submit(const SubmitRequest& request) {
   queue_.push_back(id);
   setQueueGauges(queue_.size());
   m.submitted.add();
-  workCv_.notify_one();
+  workCv_.notifyOne();
   if (sAdmitted)
     sAdmitted.log("job admitted")
         .str("job", id)
@@ -190,7 +190,7 @@ SubmitOutcome JobService::submit(const SubmitRequest& request) {
 }
 
 JobService::StatusOutcome JobService::status(const std::string& id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   StatusOutcome out;
   auto it = entries_.find(id);
   if (it == entries_.end()) return out;
@@ -227,8 +227,8 @@ void JobService::workerLoop() {
   while (true) {
     Entry snapshot;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      workCv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      util::MutexLock lock(&mu_);
+      while (!stopping_ && queue_.empty()) workCv_.wait(&mu_);
       // stop(drain) only raises stopping_ once the queue is empty (or
       // the drain timed out, abandoning what is left) — so exit trumps
       // a non-empty queue here.
@@ -282,7 +282,7 @@ void JobService::workerLoop() {
           .num("wallMs", wallMs);
 
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(&mu_);
       auto it = entries_.find(doneId);
       if (it != entries_.end()) {
         it->second.state = State::kDone;
@@ -294,7 +294,7 @@ void JobService::workerLoop() {
       --running_;
       serviceMetrics().completed.add();
       serviceMetrics().jobWallMs.observe(wallMs);
-      drainCv_.notify_all();
+      drainCv_.notifyAll();
     }
   }
 }
@@ -406,20 +406,23 @@ void JobService::trimDoneLocked() {
 bool JobService::stop(bool drain, std::chrono::milliseconds timeout) {
   bool drained = true;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     if (stopped_) return true;
     accepting_ = false;
     if (drain && !workers_.empty()) {
-      drained = drainCv_.wait_for(lock, timeout, [this] {
-        return queue_.empty() && running_ == 0;
-      });
+      const auto deadline = std::chrono::steady_clock::now() + timeout;
+      while (!(queue_.empty() && running_ == 0)) {
+        if (drainCv_.waitUntil(&mu_, deadline) == std::cv_status::timeout)
+          break;
+      }
+      drained = queue_.empty() && running_ == 0;
     }
     stopping_ = true;
-    workCv_.notify_all();
+    workCv_.notifyAll();
   }
   for (std::thread& t : workers_) t.join();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     workers_.clear();
     stopped_ = true;
   }
@@ -427,17 +430,17 @@ bool JobService::stop(bool drain, std::chrono::milliseconds timeout) {
 }
 
 size_t JobService::queuedCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return queue_.size();
 }
 
 int JobService::runningCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return running_;
 }
 
 bool JobService::accepting() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return accepting_;
 }
 

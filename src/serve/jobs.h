@@ -26,17 +26,16 @@
 // drains in-flight jobs instead of dropping them.
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "runner/session.h"
 #include "util/json.h"
+#include "util/mutex.h"
 
 namespace ahfic::serve {
 
@@ -124,24 +123,29 @@ class JobService {
 
   void workerLoop();
   void execute(Entry snapshot, util::JsonValue& result, double& wallMs);
-  util::JsonValue envelope(const Entry& e) const;  // callers hold mu_
+  util::JsonValue envelope(const Entry& e) const AHFIC_REQUIRES(mu_);
   void setQueueGauges(size_t depth) const;
-  void trimDoneLocked();
+  void trimDoneLocked() AHFIC_REQUIRES(mu_);
 
   runner::Session& session_;
   JobServiceOptions opts_;
 
-  mutable std::mutex mu_;
-  std::condition_variable workCv_;   // workers wait for queue items
-  std::condition_variable drainCv_;  // stop(drain) waits for idle
-  std::deque<std::string> queue_;
-  std::map<std::string, Entry> entries_;
-  std::deque<std::string> doneOrder_;  // retention ring of done ids
-  std::uint64_t nextId_ = 1;
-  int running_ = 0;
-  bool accepting_ = true;
-  bool stopping_ = false;
-  bool stopped_ = false;
+  mutable util::Mutex mu_;
+  util::CondVar workCv_;   // workers wait for queue items
+  util::CondVar drainCv_;  // stop(drain) waits for idle
+  std::deque<std::string> queue_ AHFIC_GUARDED_BY(mu_);
+  std::map<std::string, Entry> entries_ AHFIC_GUARDED_BY(mu_);
+  /// Retention ring of done ids.
+  std::deque<std::string> doneOrder_ AHFIC_GUARDED_BY(mu_);
+  std::uint64_t nextId_ AHFIC_GUARDED_BY(mu_) = 1;
+  int running_ AHFIC_GUARDED_BY(mu_) = 0;
+  bool accepting_ AHFIC_GUARDED_BY(mu_) = true;
+  bool stopping_ AHFIC_GUARDED_BY(mu_) = false;
+  bool stopped_ AHFIC_GUARDED_BY(mu_) = false;
+  /// Created in the ctor, joined in stop(). The join must run without
+  /// mu_ held (workers take mu_ to finish), so the vector stays outside
+  /// the capability system: stop() is externally serialized (dtor or
+  /// the signal-wait thread).
   std::vector<std::thread> workers_;
 };
 

@@ -9,8 +9,8 @@
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
-#include <cstring>
 #include <random>
+#include <system_error>
 
 #include "obs/log.h"
 #include "obs/trace.h"
@@ -91,7 +91,8 @@ void HttpServer::start() {
 
   listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listenFd_ < 0)
-    throw Error(std::string("socket() failed: ") + std::strerror(errno));
+    throw Error("socket() failed: " +
+                std::system_category().message(errno));
 
   const int one = 1;
   ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
@@ -106,14 +107,14 @@ void HttpServer::start() {
   }
   if (::bind(listenFd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
       0) {
-    const std::string err = std::strerror(errno);
+    const std::string err = std::system_category().message(errno);
     ::close(listenFd_);
     listenFd_ = -1;
     throw Error("bind(" + opts_.bindAddress + ":" +
                 std::to_string(opts_.port) + ") failed: " + err);
   }
   if (::listen(listenFd_, 128) < 0) {
-    const std::string err = std::strerror(errno);
+    const std::string err = std::system_category().message(errno);
     ::close(listenFd_);
     listenFd_ = -1;
     throw Error("listen() failed: " + err);
@@ -135,7 +136,13 @@ void HttpServer::start() {
 
 void HttpServer::stop() {
   if (!running_.load()) return;
-  stopping_.store(true);
+  {
+    // stopping_ is atomic, but a worker between its predicate check and
+    // the block on connCv_ would miss a notify sent after a bare store;
+    // setting the flag with connMu_ held closes that lost-wakeup window.
+    util::MutexLock lock(&connMu_);
+    stopping_.store(true);
+  }
 
   // Unblock accept() by shutting the listening socket down.
   if (listenFd_ >= 0) {
@@ -145,14 +152,14 @@ void HttpServer::stop() {
   }
   if (acceptor_.joinable()) acceptor_.join();
 
-  connCv_.notify_all();
+  connCv_.notifyAll();
   for (std::thread& t : workers_) t.join();
   workers_.clear();
 
   // Whatever is still queued never reached a worker: tell the peers.
   std::deque<int> leftovers;
   {
-    std::lock_guard<std::mutex> lock(connMu_);
+    util::MutexLock lock(&connMu_);
     leftovers.swap(pendingFds_);
   }
   for (int fd : leftovers)
@@ -171,18 +178,22 @@ void HttpServer::acceptLoop() {
     }
     setSocketTimeouts(fd, opts_.socketTimeoutSec);
 
-    std::unique_lock<std::mutex> lock(connMu_);
-    if (pendingFds_.size() >=
-        static_cast<size_t>(opts_.pendingConnections)) {
-      lock.unlock();
+    bool queued = false;
+    {
+      util::MutexLock lock(&connMu_);
+      if (pendingFds_.size() <
+          static_cast<size_t>(opts_.pendingConnections)) {
+        pendingFds_.push_back(fd);
+        queued = true;
+      }
+    }
+    if (!queued) {
       // Shed load at the door; a full pending queue means the workers
       // are saturated and buffering more sockets only adds latency.
       replyAndClose(fd, HttpResponse::error(503, "connection queue full"));
       continue;
     }
-    pendingFds_.push_back(fd);
-    lock.unlock();
-    connCv_.notify_one();
+    connCv_.notifyOne();
   }
 }
 
@@ -190,10 +201,9 @@ void HttpServer::workerLoop() {
   while (true) {
     int fd = -1;
     {
-      std::unique_lock<std::mutex> lock(connMu_);
-      connCv_.wait(lock, [this] {
-        return stopping_.load() || !pendingFds_.empty();
-      });
+      util::MutexLock lock(&connMu_);
+      while (!stopping_.load() && pendingFds_.empty())
+        connCv_.wait(&connMu_);
       if (stopping_.load()) return;
       fd = pendingFds_.front();
       pendingFds_.pop_front();

@@ -20,16 +20,15 @@
 
 #include <array>
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "obs/metrics.h"
 #include "serve/router.h"
+#include "util/mutex.h"
 
 namespace ahfic::serve {
 
@@ -81,9 +80,9 @@ class HttpServer {
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
 
-  std::mutex connMu_;
-  std::condition_variable connCv_;
-  std::deque<int> pendingFds_;
+  util::Mutex connMu_;
+  util::CondVar connCv_;
+  std::deque<int> pendingFds_ AHFIC_GUARDED_BY(connMu_);
 
   std::thread acceptor_;
   std::vector<std::thread> workers_;

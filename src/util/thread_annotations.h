@@ -1,0 +1,85 @@
+#pragma once
+// Clang Thread Safety Analysis annotation macros (AHFIC_ prefix).
+//
+// These wrap clang's capability attributes so the locking discipline of
+// the concurrent subsystems (src/obs, src/runner, src/serve) is checked
+// at *compile time*: a read of a AHFIC_GUARDED_BY member without its
+// mutex held, a call into a AHFIC_REQUIRES function without the lock,
+// or an acquisition order that contradicts AHFIC_ACQUIRED_BEFORE is a
+// warning under `-Wthread-safety -Wthread-safety-beta` — and an error in
+// the thread-safety CI job, which builds all of src/ with -Werror.
+//
+// On any compiler without the attributes (gcc, msvc) every macro
+// expands to nothing, so annotated code costs nothing anywhere: the
+// analysis is purely static and the wrappers in util/mutex.h compile
+// down to plain std::mutex operations.
+//
+// Conventions (see docs/concurrency.md for the full guide):
+//  * shared state gets AHFIC_GUARDED_BY(mu_) at the declaration;
+//  * private "...Locked()" helpers get AHFIC_REQUIRES(mu_);
+//  * self-locking public methods may add AHFIC_EXCLUDES(mu_) to reject
+//    re-entrant callers;
+//  * lock-order edges are declared with AHFIC_ACQUIRED_BEFORE /
+//    AHFIC_ACQUIRED_AFTER so an inversion fails to compile;
+//  * AHFIC_NO_THREAD_SAFETY_ANALYSIS is a last resort for code whose
+//    safety argument the analysis cannot express — every use needs a
+//    comment saying what that argument is.
+
+#if defined(__clang__) && (!defined(SWIG))
+#define AHFIC_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define AHFIC_THREAD_ANNOTATION_(x)  // no-op off clang
+#endif
+
+/// Marks a type as a capability ("mutex" in diagnostics).
+#define AHFIC_CAPABILITY(x) AHFIC_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor (util::MutexLock).
+#define AHFIC_SCOPED_CAPABILITY AHFIC_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data member readable/writable only with `x` held.
+#define AHFIC_GUARDED_BY(x) AHFIC_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by `x` (the pointer itself
+/// may be read freely).
+#define AHFIC_PT_GUARDED_BY(x) AHFIC_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Lock-order edges: acquiring this capability is legal only before /
+/// after the listed ones. Checked under -Wthread-safety-beta, which is
+/// why the CI job enables it: an inversion becomes a compile error.
+#define AHFIC_ACQUIRED_BEFORE(...) \
+  AHFIC_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define AHFIC_ACQUIRED_AFTER(...) \
+  AHFIC_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/// The function must be called with the listed capabilities held (and
+/// does not release them).
+#define AHFIC_REQUIRES(...) \
+  AHFIC_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define AHFIC_REQUIRES_SHARED(...) \
+  AHFIC_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires / releases the listed capabilities itself.
+#define AHFIC_ACQUIRE(...) \
+  AHFIC_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define AHFIC_RELEASE(...) \
+  AHFIC_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// The function acquires the capability only when returning `result`.
+#define AHFIC_TRY_ACQUIRE(result, ...) \
+  AHFIC_THREAD_ANNOTATION_(try_acquire_capability(result, __VA_ARGS__))
+
+/// The caller must NOT hold the listed capabilities (self-locking
+/// methods use this to reject re-entrant callers).
+#define AHFIC_EXCLUDES(...) \
+  AHFIC_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// The function returns a reference to the named capability.
+#define AHFIC_RETURN_CAPABILITY(x) \
+  AHFIC_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: the function body is not analyzed. Every use must
+/// carry a comment with the manual safety argument.
+#define AHFIC_NO_THREAD_SAFETY_ANALYSIS \
+  AHFIC_THREAD_ANNOTATION_(no_thread_safety_analysis)

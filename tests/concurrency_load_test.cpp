@@ -1,0 +1,218 @@
+// Concurrency regression tests for the annotated lock discipline
+// (docs/concurrency.md): shutdown-ordering races that a lost notify
+// would turn into hangs, and contended writer fan-in that a missing
+// lock would turn into corruption. Thread width comes from
+// AHFIC_LOAD_THREADS (default 8) so the TSan CI job can hammer the same
+// suites harder than a local run.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/history.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "runner/cache.h"
+#include "runner/session.h"
+#include "serve/jobs.h"
+
+namespace obs = ahfic::obs;
+namespace rn = ahfic::runner;
+namespace sv = ahfic::serve;
+
+namespace {
+
+int loadThreads() {
+  const char* env = std::getenv("AHFIC_LOAD_THREADS");
+  if (env != nullptr) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 8;
+}
+
+/// Enables metrics for one test, restoring the disabled default after.
+struct MetricsGuard {
+  MetricsGuard() {
+    obs::metrics().resetForTest();
+    obs::setMetricsEnabled(true);
+  }
+  ~MetricsGuard() {
+    obs::setMetricsEnabled(false);
+    obs::metrics().resetForTest();
+  }
+};
+
+/// One trivial self-contained job: no SPICE run, just a metric write,
+/// so batches exercise the session/cache locking without solver noise.
+rn::Job trivialJob(const std::string& key) {
+  rn::Job job;
+  job.key = key;
+  job.run = [](rn::JobContext&) {
+    rn::JobResult r;
+    r.set("answer", 42.0);
+    return r;
+  };
+  return job;
+}
+
+}  // namespace
+
+// A sampler stopped immediately after start must neither hang (lost
+// wakeup between the predicate check and the wait) nor sample again
+// after stop() returned. The long interval makes any post-stop sample
+// unambiguous: only start()'s immediate sample is legitimate.
+TEST(ConcurrencyLoad, HistoryStoppedRightAfterStartNeverHangsOrSamples) {
+  for (int round = 0; round < 25; ++round) {
+    obs::MetricsHistory history(/*intervalSec=*/60.0, /*capacity=*/16);
+    history.start();
+    history.stop();
+    EXPECT_EQ(history.size(), 1u) << "round " << round;
+  }
+  // One more round with a breather: a runaway sampler thread that
+  // survived stop() would land a second sample here.
+  obs::MetricsHistory history(/*intervalSec=*/0.005, /*capacity=*/16);
+  history.start();
+  history.stop();
+  const size_t atStop = history.size();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(history.size(), atStop);
+}
+
+// Same shutdown-ordering contract for the job service: stop(drain)
+// right after construction must return promptly and report drained.
+TEST(ConcurrencyLoad, JobServiceStoppedRightAfterStartDrainsPromptly) {
+  rn::RunnerOptions ropts;
+  ropts.threads = 1;
+  for (int round = 0; round < 25; ++round) {
+    rn::Session session(ropts);
+    sv::JobServiceOptions opts;
+    opts.workers = 4;
+    sv::JobService jobs(session, opts);
+    const auto t0 = std::chrono::steady_clock::now();
+    EXPECT_TRUE(jobs.stop(/*drain=*/true, std::chrono::seconds(10)))
+        << "round " << round;
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    EXPECT_LT(ms, 5000.0) << "stop took " << ms << " ms in round "
+                          << round;
+  }
+}
+
+// N writer threads on one counter must merge exactly: a torn shard
+// list or a racy registration would lose increments.
+TEST(ConcurrencyLoad, MetricShardsMergeExactlyUnderWriterFanIn) {
+  MetricsGuard guard;
+  const int threads = loadThreads();
+  constexpr int kPerThread = 20000;
+  const obs::Counter counter = obs::counter("test.load_counter");
+  const obs::Histogram hist = obs::histogram("test.load_hist");
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&counter, &hist] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter.add();
+        hist.observe(1e-2);
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+
+  const obs::MetricsSnapshot snap = obs::metrics().snapshot();
+  EXPECT_EQ(snap.counterValue("test.load_counter"),
+            static_cast<long long>(threads) * kPerThread);
+  const obs::HistogramSnapshot* h = snap.findHistogram("test.load_hist");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, static_cast<long long>(threads) * kPerThread);
+}
+
+// Concurrent registration of overlapping site names while other
+// threads log through the sites they already hold.
+TEST(ConcurrencyLoad, LogSiteRegistrationRacesStayConsistent) {
+  obs::setLogLevel(obs::LogLevel::kOff);  // suppress output, keep the
+                                          // registration path hot
+  const int threads = loadThreads();
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([t] {
+      for (int i = 0; i < 500; ++i) {
+        const obs::LogSite site = obs::logSite(
+            obs::LogLevel::kInfo,
+            "test.load_site_" + std::to_string((t + i) % 5));
+        if (site) site.log("load").num("i", i);
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+}
+
+// Parallel store/lookup on one ResultCache: lookups must only ever see
+// complete entries and the final size must be exact.
+TEST(ConcurrencyLoad, ResultCacheSurvivesParallelReadersAndWriters) {
+  rn::ResultCache cache;
+  const int threads = loadThreads();
+  constexpr int kKeys = 200;
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&cache, t] {
+      for (int i = 0; i < kKeys; ++i) {
+        const std::string key = "k" + std::to_string(i);
+        if (t % 2 == 0) {
+          rn::JobResult r;
+          r.set("value", static_cast<double>(i));
+          cache.store(key, r);
+        } else if (auto hit = cache.lookup(key)) {
+          EXPECT_EQ(hit->metrics.size(), 1u);
+          EXPECT_EQ(hit->metrics[0].second, static_cast<double>(i));
+        }
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  EXPECT_EQ(cache.size(), static_cast<size_t>(kKeys));
+}
+
+// Concurrent batches on one Session: distinct keys per thread plus one
+// shared key, so the cache sees both independent and contended inserts;
+// the shared text store is hammered from every thread.
+TEST(ConcurrencyLoad, SessionRunsConcurrentBatchesOnSharedCache) {
+  rn::RunnerOptions ropts;
+  ropts.threads = 2;
+  rn::Session session(ropts);
+  const int threads = loadThreads();
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&session, t] {
+      for (int round = 0; round < 10; ++round) {
+        std::vector<rn::Job> jobs;
+        jobs.push_back(trivialJob("shared"));
+        jobs.push_back(
+            trivialJob("t" + std::to_string(t) + "/" +
+                       std::to_string(round)));
+        const rn::BatchResult batch = session.run(jobs);
+        ASSERT_EQ(batch.outcomes.size(), 2u);
+        for (const rn::JobOutcome& out : batch.outcomes)
+          EXPECT_TRUE(out.ok()) << out.record.error;
+        session.storeText("t" + std::to_string(t), "text");
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+
+  // One shared key + threads*10 distinct keys.
+  EXPECT_EQ(session.cache().size(),
+            1u + static_cast<size_t>(threads) * 10u);
+  EXPECT_EQ(session.textCount(), static_cast<size_t>(threads));
+}

@@ -156,7 +156,7 @@ struct TestDaemon {
 
   ahfic::runner::Session session;
   ahfic::celldb::CellDatabase db;
-  std::mutex dbMutex;
+  ahfic::util::Mutex dbMutex;
   std::unique_ptr<sv::JobService> jobs;
   std::unique_ptr<ahfic::obs::MetricsHistory> history;
   std::unique_ptr<sv::HttpServer> server;

@@ -1,0 +1,81 @@
+# Negative-compile harness for the AHFIC_* thread-safety annotations
+# (ctest target: thread_safety_compile_test).
+#
+# Usage:
+#   cmake -DCXX=<compiler> -DCOMPILER_ID=<CMAKE_CXX_COMPILER_ID>
+#         -DINC=<repo src dir> -DCASE_DIR=<tests/thread_safety>
+#         -P check.cmake
+#
+# Under clang: positive_control.cpp must compile cleanly with
+# -Wthread-safety -Wthread-safety-beta -Werror, and every other case
+# must FAIL with a diagnostic mentioning "thread-safety" — a failure for
+# any other reason (syntax error, missing include) is a harness bug and
+# is reported as such, never as a pass.
+#
+# Under any other compiler the annotation macros are no-ops, so every
+# case must simply compile: that direction protects the gcc build from
+# a macro that stops expanding to nothing.
+
+foreach(var CXX COMPILER_ID INC CASE_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "check.cmake: -D${var}=... is required")
+  endif()
+endforeach()
+
+set(is_clang FALSE)
+if(COMPILER_ID MATCHES "Clang")
+  set(is_clang TRUE)
+endif()
+
+set(flags -std=c++20 -fsyntax-only -I${INC})
+if(is_clang)
+  list(APPEND flags -Wthread-safety -Wthread-safety-beta -Werror)
+endif()
+
+file(GLOB cases "${CASE_DIR}/*.cpp")
+list(SORT cases)
+list(LENGTH cases case_count)
+if(case_count LESS 6)
+  message(FATAL_ERROR
+          "check.cmake: expected >= 6 cases in ${CASE_DIR}, "
+          "found ${case_count}")
+endif()
+
+set(failures "")
+foreach(case IN LISTS cases)
+  get_filename_component(name "${case}" NAME_WE)
+  execute_process(
+    COMMAND ${CXX} ${flags} ${case}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  set(log "${out}${err}")
+
+  if(name STREQUAL "positive_control" OR NOT is_clang)
+    # Must compile.
+    if(rc EQUAL 0)
+      message(STATUS "PASS ${name} (compiles)")
+    else()
+      list(APPEND failures "${name}: expected to compile, got:\n${log}")
+    endif()
+  else()
+    # Must fail, and fail for the right reason.
+    if(NOT rc EQUAL 0 AND log MATCHES "thread-safety")
+      message(STATUS "PASS ${name} (rejected by -Wthread-safety)")
+    elseif(rc EQUAL 0)
+      list(APPEND failures
+           "${name}: compiled, but the annotations must reject it")
+    else()
+      list(APPEND failures
+           "${name}: failed for a reason other than thread safety "
+           "(harness bug?):\n${log}")
+    endif()
+  endif()
+endforeach()
+
+if(failures)
+  string(JOIN "\n" msg ${failures})
+  message(FATAL_ERROR "thread_safety_compile_test failed:\n${msg}")
+endif()
+message(STATUS "thread_safety_compile_test: all ${case_count} cases ok "
+               "(clang mode: ${is_clang})")

@@ -1,0 +1,33 @@
+// NEGATIVE CASE: acquiring mutexes against their declared
+// ACQUIRED_AFTER order — a deadlock waiting for the right interleaving.
+// Must FAIL under clang -Wthread-safety -Wthread-safety-beta -Werror
+// (ordering is a -beta check: "mutex 'first_' must be acquired before
+// 'second_'").
+
+#include "util/mutex.h"
+
+namespace u = ahfic::util;
+
+class Ordered {
+ public:
+  void forward() {
+    u::MutexLock a(&first_);
+    u::MutexLock b(&second_);
+  }
+
+  void inverted() {
+    u::MutexLock b(&second_);
+    u::MutexLock a(&first_);  // BAD: first_ must come before second_
+  }
+
+ private:
+  u::Mutex first_;
+  u::Mutex second_ AHFIC_ACQUIRED_AFTER(first_);
+};
+
+int main() {
+  Ordered o;
+  o.forward();
+  o.inverted();
+  return 0;
+}

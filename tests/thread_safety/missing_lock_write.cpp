@@ -1,0 +1,32 @@
+// NEGATIVE CASE: writing a GUARDED_BY member without its mutex — the
+// classic data race TSan only catches when the interleaving happens to
+// fire. Must FAIL under clang -Wthread-safety -Werror ("writing
+// variable 'depth_' requires holding mutex 'mu_' exclusively").
+
+#include <deque>
+
+#include "util/mutex.h"
+
+namespace u = ahfic::util;
+
+class Queue {
+ public:
+  void push(int v) {
+    {
+      u::MutexLock lock(&mu_);
+      items_.push_back(v);
+    }
+    depth_ = items_.size();  // BAD: both accesses are outside the lock
+  }
+
+ private:
+  u::Mutex mu_;
+  std::deque<int> items_ AHFIC_GUARDED_BY(mu_);
+  size_t depth_ AHFIC_GUARDED_BY(mu_) = 0;
+};
+
+int main() {
+  Queue q;
+  q.push(7);
+  return 0;
+}

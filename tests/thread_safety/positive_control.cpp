@@ -1,0 +1,83 @@
+// Positive control for the thread-safety compile harness: idiomatic use
+// of every annotation the codebase relies on. MUST compile cleanly on
+// every compiler, including clang with -Wthread-safety
+// -Wthread-safety-beta -Werror — if this file fails, the harness is
+// reporting toolchain breakage, not an annotation regression.
+
+#include <deque>
+
+#include "util/mutex.h"
+
+namespace u = ahfic::util;
+
+class BoundedQueue {
+ public:
+  void push(int v) {
+    bool queued = false;
+    {
+      u::MutexLock lock(&mu_);
+      if (items_.size() < 8) {
+        items_.push_back(v);
+        queued = true;
+      }
+    }
+    if (queued) cv_.notifyOne();
+  }
+
+  int pop() {
+    u::MutexLock lock(&mu_);
+    while (!stopping_ && items_.empty()) cv_.wait(&mu_);
+    if (stopping_ || items_.empty()) return -1;
+    const int v = items_.front();
+    items_.pop_front();
+    return v;
+  }
+
+  void stop() {
+    {
+      u::MutexLock lock(&mu_);
+      stopping_ = true;
+    }
+    cv_.notifyAll();
+  }
+
+  size_t size() const {
+    u::MutexLock lock(&mu_);
+    return sizeLocked();
+  }
+
+ private:
+  size_t sizeLocked() const AHFIC_REQUIRES(mu_) { return items_.size(); }
+
+  mutable u::Mutex mu_;
+  u::CondVar cv_;
+  std::deque<int> items_ AHFIC_GUARDED_BY(mu_);
+  bool stopping_ AHFIC_GUARDED_BY(mu_) = false;
+};
+
+// Declared lock order: first_ before second_ (checked under -beta).
+class Ordered {
+ public:
+  void both() {
+    u::MutexLock a(&first_);
+    u::MutexLock b(&second_);
+    ++x_;
+    ++y_;
+  }
+
+ private:
+  u::Mutex first_;
+  u::Mutex second_ AHFIC_ACQUIRED_AFTER(first_);
+  int x_ AHFIC_GUARDED_BY(first_) = 0;
+  int y_ AHFIC_GUARDED_BY(second_) = 0;
+};
+
+int main() {
+  BoundedQueue q;
+  q.push(1);
+  const int v = q.pop();
+  q.stop();
+  Ordered o;
+  o.both();
+  return v == 1 ? 0 : 1;
+}

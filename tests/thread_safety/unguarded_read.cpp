@@ -1,0 +1,31 @@
+// NEGATIVE CASE: reading a GUARDED_BY member without its mutex held.
+// Must FAIL to compile under clang -Wthread-safety -Werror with a
+// diagnostic naming mu_ ("reading variable 'value_' requires holding
+// mutex 'mu_'"). On non-clang compilers the annotations are no-ops and
+// this file must compile — the harness only asserts failure on clang.
+
+#include "util/mutex.h"
+
+namespace u = ahfic::util;
+
+class Counter {
+ public:
+  void increment() {
+    u::MutexLock lock(&mu_);
+    ++value_;
+  }
+
+  int value() const {
+    return value_;  // BAD: no lock held
+  }
+
+ private:
+  mutable u::Mutex mu_;
+  int value_ AHFIC_GUARDED_BY(mu_) = 0;
+};
+
+int main() {
+  Counter c;
+  c.increment();
+  return c.value();
+}

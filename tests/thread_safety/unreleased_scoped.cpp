@@ -1,0 +1,27 @@
+// NEGATIVE CASE: a capability acquired on one path and never released —
+// every later caller deadlocks. Must FAIL under clang -Wthread-safety
+// -Werror ("mutex 'mu_' is still held at the end of function").
+
+#include "util/mutex.h"
+
+namespace u = ahfic::util;
+
+class Leaky {
+ public:
+  void update(int v) {
+    mu_.lock();
+    value_ = v;
+    if (v < 0) return;  // BAD: early return with mu_ still held
+    mu_.unlock();
+  }
+
+ private:
+  u::Mutex mu_;
+  int value_ AHFIC_GUARDED_BY(mu_) = 0;
+};
+
+int main() {
+  Leaky l;
+  l.update(1);
+  return 0;
+}

@@ -1,0 +1,31 @@
+// NEGATIVE CASE: holding *a* mutex, just not the one that guards the
+// member — the bug GUARDED_BY exists to catch (a lock_guard in the
+// function body looks correct in review). Must FAIL under clang
+// -Wthread-safety -Werror ("requires holding mutex 'dataMu_'").
+
+#include <string>
+
+#include "util/mutex.h"
+
+namespace u = ahfic::util;
+
+class TwoLocks {
+ public:
+  void setLabel(const std::string& label) {
+    u::MutexLock lock(&labelMu_);
+    label_ = label;
+    data_ = 1;  // BAD: data_ is guarded by dataMu_, we hold labelMu_
+  }
+
+ private:
+  u::Mutex labelMu_;
+  u::Mutex dataMu_;
+  std::string label_ AHFIC_GUARDED_BY(labelMu_);
+  int data_ AHFIC_GUARDED_BY(dataMu_) = 0;
+};
+
+int main() {
+  TwoLocks t;
+  t.setLabel("x");
+  return 0;
+}
