@@ -29,7 +29,9 @@
 #include "spice/linalg.h"
 #include "spice/passive.h"
 #include "spice/sources.h"
+#include "spice/solution.h"
 #include "spice/sparse_lu.h"
+#include "spice/stamp.h"
 #include "util/fft.h"
 #include "util/json.h"
 #include "util/numeric.h"
@@ -332,6 +334,39 @@ CircuitBackendResult runCircuitBackend(int stages, sp::SolverKind kind,
   return r;
 }
 
+/// Per-Newton device-evaluation cost of the ladder: one full device-list
+/// load pass at the converged DC operating point, through a discarding
+/// stamper — the junction math, limiting checks and virtual dispatch the
+/// Newton loop pays every iteration before any matrix work. Reported
+/// separately because the engine's assemble timing folds this together
+/// with the value scatter and RHS assembly.
+double measureDeviceEvalNs(int stages) {
+  sp::Circuit ckt;
+  buildDiodeLadder(ckt, stages);
+  sp::AnalysisOptions opts;
+  opts.solver = sp::SolverKind::kSparse;
+  sp::Analyzer an(ckt, opts);
+  const std::vector<double> xOp = an.op();
+  const sp::Solution x(&xOp);
+
+  int stateCount = 0;
+  for (const auto& dev : ckt.devices()) stateCount += dev->stateCount();
+  std::vector<double> st(static_cast<size_t>(stateCount), 0.0);
+  std::vector<double> stPrev(static_cast<size_t>(stateCount), 0.0);
+  std::vector<double> dstPrev(static_cast<size_t>(stateCount), 0.0);
+  bool limited = false;
+  sp::LoadContext ctx;
+  ctx.state = &st;
+  ctx.prevState = &stPrev;
+  ctx.prevDstate = &dstPrev;
+  ctx.limited = &limited;
+  sp::StateOnlyStamper sink;
+  return timeOp([&] {
+    for (const auto& dev : ckt.devices()) dev->load(sink, x, ctx);
+    limited = false;
+  });
+}
+
 u::JsonValue backendJson(const CircuitBackendResult& r, bool sparse) {
   u::JsonValue v = u::JsonValue::object();
   v.set("wallNs", r.wallNs);
@@ -386,7 +421,7 @@ int runSolverAblation(const std::string& outPath) {
   std::cout << "\n";
 
   u::Table ct({"circuit", "unknowns", "backend", "wall [ms]", "iters",
-               "ns/iter", "max |dV| vs dense"});
+               "ns/iter", "dev-eval [ns/iter]", "max |dV| vs dense"});
   u::JsonValue circuits = u::JsonValue::array();
   for (int stages : {10, 60, 250}) {
     std::vector<double> refOp;
@@ -400,6 +435,7 @@ int runSolverAblation(const std::string& outPath) {
     // Solver-only comparison at this circuit's exact unknown count, so
     // the kernel-level speedup is attributable to the bench circuit.
     const auto solverOnly = solverKernel(unknowns);
+    const double deviceEvalNs = measureDeviceEvalNs(stages);
 
     const std::string name = "diode_rc_ladder_" + std::to_string(stages);
     struct Row {
@@ -412,12 +448,16 @@ int runSolverAblation(const std::string& outPath) {
                  u::fixed(row.r->wallNs * 1e-6, 2),
                  std::to_string(row.r->newtonIterations),
                  u::fixed(row.r->nsPerIteration(), 0),
+                 u::fixed(deviceEvalNs, 0),
                  u::formatEngineering(row.r->maxAbsDiffVsDense, 2)});
 
     u::JsonValue c = u::JsonValue::object();
     c.set("name", name);
     c.set("stages", static_cast<double>(stages));
     c.set("unknowns", static_cast<double>(unknowns));
+    // Backend-independent: the same device list is evaluated whichever
+    // solver consumes the stamps.
+    c.set("deviceEvalNs", deviceEvalNs);
     u::JsonValue backends = u::JsonValue::object();
     backends.set("dense", backendJson(dense, false));
     backends.set("legacy", backendJson(legacy, false));

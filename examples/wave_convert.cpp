@@ -1,0 +1,99 @@
+// wave_convert: ahfic-wave-v1 binary waveform <-> JSON converter, so the
+// compact payloads the runner's batched Monte-Carlo workloads cache on
+// disk stay accessible to plain-text tooling (jq, spreadsheets, diffing).
+//
+// The direction is picked from the input: a file starting with the
+// "ahficwv1" magic converts to JSON on stdout, anything else is parsed
+// as the waveToJson document and converted to binary (which then needs
+// --out, binary never goes to a terminal-bound stdout by default).
+//
+// Usage:
+//   wave_convert FILE            # binary -> JSON on stdout
+//   wave_convert FILE --out F    # either direction, into F
+//   wave_convert FILE --summary  # columns/rows only, no payload
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+#include "util/json.h"
+#include "util/wave.h"
+
+namespace u = ahfic::util;
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: wave_convert FILE [--out FILE] [--summary]\n"
+            << "  binary ahfic-wave-v1 input -> JSON; JSON input -> binary\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string inPath, outPath;
+  bool summary = false;
+  for (int k = 1; k < argc; ++k) {
+    if (std::strcmp(argv[k], "--out") == 0 && k + 1 < argc)
+      outPath = argv[++k];
+    else if (std::strcmp(argv[k], "--summary") == 0)
+      summary = true;
+    else if (argv[k][0] == '-')
+      return usage();
+    else if (inPath.empty())
+      inPath = argv[k];
+    else
+      return usage();
+  }
+  if (inPath.empty()) return usage();
+
+  try {
+    std::ifstream f(inPath, std::ios::binary);
+    if (!f) throw ahfic::Error("wave_convert: cannot open '" + inPath + "'");
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    const std::string raw = ss.str();
+
+    const bool binaryIn =
+        raw.size() >= 8 && raw.compare(0, 8, "ahficwv1") == 0;
+    const u::WaveTable table =
+        binaryIn
+            ? u::decodeWave(reinterpret_cast<const std::uint8_t*>(raw.data()),
+                            raw.size())
+            : u::waveFromJson(u::parseJson(raw));
+
+    if (summary) {
+      std::cout << inPath << ": " << (binaryIn ? "binary" : "json") << ", "
+                << table.columnCount() << " column(s) x "
+                << table.rowCount() << " row(s):";
+      for (const std::string& name : table.columns) std::cout << " " << name;
+      std::cout << "\n";
+      return 0;
+    }
+
+    if (binaryIn) {
+      const std::string text = u::waveToJson(table).dump(1) + "\n";
+      if (outPath.empty()) {
+        std::cout << text;
+      } else {
+        std::ofstream out(outPath);
+        if (!out || !(out << text).good())
+          throw ahfic::Error("wave_convert: cannot write '" + outPath + "'");
+      }
+    } else {
+      if (outPath.empty())
+        throw ahfic::Error(
+            "wave_convert: JSON -> binary requires --out FILE");
+      u::writeWaveFile(outPath, table);
+    }
+  } catch (const ahfic::Error& e) {
+    std::cerr << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -13,6 +13,14 @@ double factor(util::Rng& rng, double sigma) {
   return std::exp(sigma * rng.normal());
 }
 
+/// The reference shape every generator anchors on. Parsed once — the MC
+/// batch path calls dieGenerator once per replica, and re-parsing the
+/// shape string inside that loop is pure waste.
+const TransistorShape& referenceShape() {
+  static const TransistorShape shape = TransistorShape::fromName("N1.2-6S");
+  return shape;
+}
+
 }  // namespace
 
 Technology sampleTechnology(const Technology& nominal,
@@ -85,7 +93,7 @@ ModelGenerator dieGenerator(const Technology& nominal,
                             std::uint64_t dieSeed) {
   util::Rng rng(dieSeed);
   const Technology die = sampleTechnology(nominal, var, rng);
-  return ModelGenerator(die, TransistorShape::fromName("N1.2-6S"),
+  return ModelGenerator(die, referenceShape(),
                         referenceModelFor(die));
 }
 
@@ -101,7 +109,7 @@ spice::BjtModel withLocalMismatch(const spice::BjtModel& card,
 ModelGenerator cornerGenerator(Corner corner, double sigmas) {
   const Technology tech = cornerTechnology(
       defaultTechnology(), ProcessVariation{}, corner, sigmas);
-  return ModelGenerator(tech, TransistorShape::fromName("N1.2-6S"),
+  return ModelGenerator(tech, referenceShape(),
                         referenceModelFor(tech));
 }
 
@@ -112,7 +120,7 @@ MonteCarloGenerator::MonteCarloGenerator(Technology nominal,
 
 ModelGenerator MonteCarloGenerator::sampleDie() {
   const Technology die = sampleTechnology(nominal_, var_, rng_);
-  return ModelGenerator(die, TransistorShape::fromName("N1.2-6S"),
+  return ModelGenerator(die, referenceShape(),
                         referenceModelFor(die));
 }
 

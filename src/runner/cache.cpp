@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <vector>
 
 #include "util/error.h"
 #include "util/json.h"
+#include "util/wave.h"
 
 namespace ahfic::runner {
 
@@ -48,6 +51,16 @@ double parseHexFloat(const std::string& s) {
   return std::strtod(s.c_str(), nullptr);
 }
 
+/// Sidecar directory for binary wave payloads of the cache at `path`.
+std::string waveDir(const std::string& path) { return path + ".waves"; }
+
+std::string waveFileName(const std::string& key) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016llx.wave",
+                static_cast<unsigned long long>(stableKeyHash(key)));
+  return buf;
+}
+
 }  // namespace
 
 bool ResultCache::loadFile(const std::string& path) {
@@ -75,6 +88,18 @@ bool ResultCache::loadFile(const std::string& path) {
         r.metrics.emplace_back(name, parseHexFloat(m.get("hex").asString()));
       else
         r.metrics.emplace_back(name, m.asNumber());
+    }
+    if (e.has("wave")) {
+      // A cached result without its bulk payload is not that result:
+      // drop the entry (cache miss) rather than serve half of it.
+      const std::string wavePath =
+          waveDir(path) + "/" + e.get("wave").asString();
+      try {
+        r.wave = std::make_shared<util::WaveTable>(
+            util::readWaveFile(wavePath));
+      } catch (const Error&) {
+        continue;
+      }
     }
     map_[e.get("key").asString()] = std::move(r);
   }
@@ -104,6 +129,15 @@ void ResultCache::saveFile(const std::string& path) const {
         metrics.set(name, std::move(m));
       }
       e.set("metrics", std::move(metrics));
+      if (result.wave != nullptr) {
+        const std::string name = waveFileName(key);
+        std::error_code ec;
+        std::filesystem::create_directories(waveDir(path), ec);
+        if (ec)
+          throw Error("ResultCache: cannot create '" + waveDir(path) + "'");
+        util::writeWaveFile(waveDir(path) + "/" + name, *result.wave);
+        e.set("wave", name);
+      }
       entries.push(std::move(e));
     }
   }

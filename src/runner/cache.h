@@ -30,10 +30,15 @@ class ResultCache {
 
   /// Merges entries from a cache file written by saveFile. Returns false
   /// (leaving the cache unchanged) when the file does not exist; throws
-  /// on a malformed file.
+  /// on a malformed file. Entries referencing a wave sidecar load it
+  /// from `<path>.waves/`; an entry whose sidecar is missing or corrupt
+  /// is skipped (treated as a cache miss), never fatal.
   bool loadFile(const std::string& path);
 
-  /// Writes every entry as JSON. Throws on I/O failure.
+  /// Writes every entry as JSON. Results carrying a wave payload write
+  /// it as a binary "ahfic-wave-v1" sidecar `<path>.waves/<hash>.wave`
+  /// (hash = stableKeyHash of the job key) referenced from the JSON
+  /// entry — bulk columns never bloat the JSON. Throws on I/O failure.
   void saveFile(const std::string& path) const;
 
  private:

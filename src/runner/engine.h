@@ -52,6 +52,13 @@ struct RunnerOptions {
   /// (JobRecord::diags) with the rung that produced it — so a retried or
   /// exhausted job tells you *what* broke, not just that it escalated.
   bool diagnostics = true;
+  /// Replica-block size for Monte-Carlo workloads that have a batched
+  /// data plane (monteCarloFtBatchJobs / the daemon's "mc-ft-batch").
+  /// <= 1 selects the scalar one-job-per-die pipeline; larger values
+  /// solve up to this many dies per job through spice::ReplicaBatch.
+  /// Forensics is unsupported on the batched plane, so batched jobs run
+  /// with `diagnostics` ignored.
+  int mcBatchSize = 0;
 };
 
 /// What the batch hands back for one job.

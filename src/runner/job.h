@@ -14,12 +14,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "lint/diagnostics.h"
 #include "spice/analysis.h"
+#include "util/wave.h"
 
 namespace ahfic::runner {
 
@@ -28,6 +30,11 @@ namespace ahfic::runner {
 /// on-disk cache (hex float encoding) and stay comparable bit-for-bit.
 struct JobResult {
   std::vector<std::pair<std::string, double>> metrics;
+  /// Optional bulk payload (sweep columns, per-die tables): stored as a
+  /// binary "ahfic-wave-v1" sidecar next to the on-disk cache file, not
+  /// as inline JSON. Shared so cache copies stay cheap; treat the table
+  /// as immutable once published.
+  std::shared_ptr<const util::WaveTable> wave;
 
   /// Appends or overwrites a metric.
   void set(const std::string& name, double value);
@@ -36,7 +43,9 @@ struct JobResult {
   bool has(const std::string& name) const;
 
   bool operator==(const JobResult& other) const {
-    return metrics == other.metrics;
+    if (metrics != other.metrics) return false;
+    if ((wave == nullptr) != (other.wave == nullptr)) return false;
+    return wave == nullptr || wave->bitIdentical(*other.wave);
   }
 };
 

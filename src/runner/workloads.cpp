@@ -1,9 +1,13 @@
 #include "runner/workloads.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <memory>
 
+#include "bjtgen/batchft.h"
 #include "bjtgen/ft.h"
 #include "util/error.h"
+#include "util/wave.h"
 
 namespace ahfic::runner {
 
@@ -180,6 +184,76 @@ std::vector<Job> monteCarloFtJobs(const bg::Technology& nominal,
     job.run = [nominal, var, shapeName, ic](JobContext& ctx) {
       const auto gen = bg::dieGenerator(nominal, var, ctx.seed);
       return ftAtBiasResult(gen.generate(shapeName), ic, ctx);
+    };
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+std::vector<Job> monteCarloFtBatchJobs(const bg::Technology& nominal,
+                                       const bg::ProcessVariation& var,
+                                       int dies, const std::string& shapeName,
+                                       double ic, int batchSize,
+                                       std::uint64_t baseSeed,
+                                       const std::string& keyPrefix) {
+  if (dies < 1) throw Error("monteCarloFtBatchJobs: dies must be >= 1");
+  if (batchSize < 1)
+    throw Error("monteCarloFtBatchJobs: batchSize must be >= 1");
+  char seedTag[24];
+  std::snprintf(seedTag, sizeof seedTag, "%016llx",
+                static_cast<unsigned long long>(baseSeed));
+  std::vector<Job> jobs;
+  jobs.reserve(static_cast<size_t>((dies + batchSize - 1) / batchSize));
+  for (int d0 = 0; d0 < dies; d0 += batchSize) {
+    const int d1 = std::min(dies, d0 + batchSize);
+    Job job;
+    job.key = keyPrefix + "/batch/die" + std::to_string(d0) + ".." +
+              std::to_string(d1 - 1) + "/" + shapeName +
+              "/ic=" + numTag(ic) + "/seed=" + seedTag;
+    job.run = [nominal, var, shapeName, ic, d0, d1,
+               baseSeed](JobContext& ctx) {
+      // One card per die in the block, each drawn from the same seed the
+      // scalar pipeline's job at global index d would get.
+      std::vector<spice::BjtModel> cards;
+      cards.reserve(static_cast<size_t>(d1 - d0));
+      for (int d = d0; d < d1; ++d) {
+        const auto gen = bg::dieGenerator(
+            nominal, var, deriveJobSeed(baseSeed, static_cast<size_t>(d)));
+        cards.push_back(gen.generate(shapeName));
+      }
+      spice::AnalysisOptions opts = ctx.options;
+      opts.forensics = false;  // unsupported on the batched plane
+      bg::BatchFtExtractor bx(std::move(cards), 2.0, opts);
+      const auto block = bx.measureAnalyticAt(ic);
+      ctx.noteStats(bx.solverStats());
+
+      JobResult r;
+      r.set("dies", static_cast<double>(d1 - d0));
+      auto wave = std::make_shared<util::WaveTable>();
+      std::vector<double> wDie, wIc, wVbe, wFt;
+      int failed = 0;
+      for (int d = d0; d < d1; ++d) {
+        const auto& die = block[static_cast<size_t>(d - d0)];
+        const std::string tag = "die" + std::to_string(d);
+        if (!die.ok) {
+          ++failed;
+          r.set(tag + "/failed", 1.0);
+          continue;
+        }
+        r.set(tag + "/ft", die.point.ft);
+        r.set(tag + "/vbe", die.point.vbe);
+        wDie.push_back(static_cast<double>(d));
+        wIc.push_back(die.point.ic);
+        wVbe.push_back(die.point.vbe);
+        wFt.push_back(die.point.ft);
+      }
+      r.set("failed", static_cast<double>(failed));
+      wave->addColumn("die", std::move(wDie));
+      wave->addColumn("ic", std::move(wIc));
+      wave->addColumn("vbe", std::move(wVbe));
+      wave->addColumn("ft", std::move(wFt));
+      r.wave = std::move(wave);
+      return r;
     };
     jobs.push_back(std::move(job));
   }

@@ -67,6 +67,34 @@ std::vector<Job> monteCarloFtJobs(const bjtgen::Technology& nominal,
                                   double ic,
                                   const std::string& keyPrefix = "mc-ft");
 
+/// The batched data plane for monteCarloFtJobs: dies are grouped into
+/// blocks of `batchSize` (one Job per block, block-major: job b covers
+/// global dies [b*batchSize, min(dies, (b+1)*batchSize))) and each block
+/// is solved through one spice::ReplicaBatch — one pattern priming and
+/// symbolic analysis per block instead of per bisection evaluation.
+///
+/// Per-die results are bit-identical to the scalar pipeline run with
+/// `AnalysisOptions::solver = kSparse`: die d's card is drawn from
+/// deriveJobSeed(baseSeed, d), exactly the seed the scalar job at index
+/// d receives. `baseSeed` must therefore match RunnerOptions::baseSeed
+/// of the runner executing these jobs; it is baked into the job key
+/// (jobs set usesSeed = false because they consume many seeds, not
+/// JobContext::seed).
+///
+/// Metrics per block: "die<d>/ft" and "die<d>/vbe" with the GLOBAL die
+/// index, plus "dies" and "failed" counts; a die whose bias bracket
+/// rejects `ic` gets "die<d>/failed" = 1 instead of ft/vbe. The same
+/// columns ride along as a binary waveform payload (JobResult::wave,
+/// columns die/ic/vbe/ft) for bulk consumers. Convergence forensics is
+/// not supported on the batched plane, so these jobs strip
+/// AnalysisOptions::forensics.
+std::vector<Job> monteCarloFtBatchJobs(const bjtgen::Technology& nominal,
+                                       const bjtgen::ProcessVariation& var,
+                                       int dies, const std::string& shapeName,
+                                       double ic, int batchSize,
+                                       std::uint64_t baseSeed,
+                                       const std::string& keyPrefix = "mc-ft");
+
 /// Process-corner enumeration (kSlow/kTypical/kFast, in that order): fT
 /// of `shapeName` at `ic` on each corner. Metrics: "ft", "vbe".
 std::vector<Job> cornerFtJobs(const bjtgen::Technology& nominal,

@@ -111,11 +111,11 @@ SubmitOutcome JobService::submit(const SubmitRequest& request) {
     return out;
   }
   if (isWorkload && request.workload != "mc-ft" &&
-      request.workload != "corner-ft") {
+      request.workload != "mc-ft-batch" && request.workload != "corner-ft") {
     out.status = 400;
     out.body = util::parseJson(jsonErrorBody(
         400, "unknown workload '" + request.workload +
-                 "' (known: mc-ft, corner-ft)"));
+                 "' (known: mc-ft, mc-ft-batch, corner-ft)"));
     return out;
   }
 
@@ -340,6 +340,25 @@ void JobService::execute(Entry snapshot, util::JsonValue& result,
     jobs = rn::monteCarloFtJobs(bg::defaultTechnology(),
                                 bg::ProcessVariation{}, dies, shape, ic,
                                 prefix);
+  } else if (snapshot.workload == "mc-ft-batch") {
+    const auto& p = snapshot.params;
+    const int dies =
+        p.has("dies") ? static_cast<int>(p.get("dies").asNumber()) : 16;
+    const std::string shape =
+        p.has("shape") ? p.get("shape").asString() : "N1.2-12D";
+    const double ic = p.has("ic") ? p.get("ic").asNumber() : 3e-3;
+    // Block size: explicit "batch" param, else the session-wide knob,
+    // else a whole-request block.
+    int batch = p.has("batch") ? static_cast<int>(p.get("batch").asNumber())
+                               : session_.options().mcBatchSize;
+    if (batch <= 0) batch = dies;
+    char prefix[96];
+    std::snprintf(prefix, sizeof prefix, "serve/mc-ft-batch/%s@%g",
+                  shape.c_str(), ic);
+    jobs = rn::monteCarloFtBatchJobs(bg::defaultTechnology(),
+                                     bg::ProcessVariation{}, dies, shape, ic,
+                                     batch, session_.options().baseSeed,
+                                     prefix);
   } else if (snapshot.workload == "corner-ft") {
     const auto& p = snapshot.params;
     const std::string shape =

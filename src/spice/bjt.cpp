@@ -18,32 +18,6 @@ double BjtOpInfo::ft() const {
   return gm / (2.0 * kPi * ctot);
 }
 
-namespace {
-
-/// Applies the SPICE area factor to a model card: currents and
-/// capacitances scale up with area, resistances scale down. This is the
-/// *baseline* scaling the paper criticises; the bjtgen library generates a
-/// per-shape card instead.
-BjtModel applyAreaFactor(BjtModel m, double area) {
-  m.is *= area;
-  m.ise *= area;
-  m.isc *= area;
-  if (m.ikf > 0.0) m.ikf *= area;
-  if (m.ikr > 0.0) m.ikr *= area;
-  if (m.irb > 0.0) m.irb *= area;
-  if (m.itf > 0.0) m.itf *= area;
-  m.cje *= area;
-  m.cjc *= area;
-  m.cjs *= area;
-  if (m.rb > 0.0) m.rb /= area;
-  if (m.rbm > 0.0) m.rbm /= area;
-  if (m.re > 0.0) m.re /= area;
-  if (m.rc > 0.0) m.rc /= area;
-  return m;
-}
-
-}  // namespace
-
 Bjt::Bjt(std::string name, Circuit& ckt, int c, int b, int e,
          const BjtModel& model, double area, int substrate, double tempC)
     : Device(std::move(name), {c, b, e, substrate}),
@@ -55,170 +29,17 @@ Bjt::Bjt(std::string name, Circuit& ckt, int c, int b, int e,
       ei_(e),
       sub_(substrate) {
   if (area <= 0.0) throw Error("bjt " + this->name() + ": area must be > 0");
-  m_ = applyAreaFactor(model_, area_);
-  if (m_.rbm <= 0.0) m_.rbm = m_.rb;  // SPICE default: RBM = RB
-  vt_ = util::constants::thermalVoltage(tempC);
-
-  // Temperature adjustment (Tnom = 27 C):
-  //   IS(T) = IS * (T/Tnom)^XTI * exp(EG/Vt * (T/Tnom - 1))
-  //   BF(T) = BF * (T/Tnom)^XTB (same for BR); leakage saturation
-  //   currents scale as IS^(1/N) per SPICE.
-  constexpr double kTnomC = 27.0;
-  if (tempC != kTnomC) {
-    const double tr = (tempC + util::constants::kZeroCelsiusInKelvin) /
-                      (kTnomC + util::constants::kZeroCelsiusInKelvin);
-    const double isFactor =
-        std::pow(tr, m_.xti) * std::exp(m_.eg / vt_ * (tr - 1.0));
-    m_.is *= isFactor;
-    if (m_.ise > 0.0)
-      m_.ise *= std::pow(isFactor, 1.0 / m_.ne) / std::pow(tr, m_.xtb);
-    if (m_.isc > 0.0)
-      m_.isc *= std::pow(isFactor, 1.0 / m_.nc) / std::pow(tr, m_.xtb);
-    m_.bf *= std::pow(tr, m_.xtb);
-    m_.br *= std::pow(tr, m_.xtb);
-  }
-  vcritE_ = junctionVcrit(m_.is, m_.nf * vt_);
-  vcritC_ = junctionVcrit(m_.is, m_.nr * vt_);
+  // Area factor, RBM default, temperature adjustment and the pnjlim
+  // critical voltages all live in spice/gummel.h, shared with the batched
+  // replica engine.
+  const DerivedGummelPoon d = deriveGummelPoon(model_, area_, tempC);
+  m_ = d.m;
+  vt_ = d.vt;
+  vcritE_ = d.vcritE;
+  vcritC_ = d.vcritC;
   if (m_.rc > 0.0) ci_ = ckt.internalNode(this->name() + "#c");
   if (m_.rb > 0.0) bi_ = ckt.internalNode(this->name() + "#b");
   if (m_.re > 0.0) ei_ = ckt.internalNode(this->name() + "#e");
-}
-
-Bjt::Eval Bjt::evaluate(double vbe, double vbc, double gmin) const {
-  Eval r{};
-  const double vtf = m_.nf * vt_;
-  const double vtr = m_.nr * vt_;
-
-  // Ideal transport diodes.
-  {
-    auto [i, g] = junctionIV(vbe, m_.is, vtf);
-    r.ibe1 = i;
-    r.gbe1 = g;
-  }
-  {
-    auto [i, g] = junctionIV(vbc, m_.is, vtr);
-    r.ibc1 = i;
-    r.gbc1 = g;
-  }
-  // Leakage diodes.
-  if (m_.ise > 0.0) {
-    auto [i, g] = junctionIV(vbe, m_.ise, m_.ne * vt_);
-    r.ibe2 = i;
-    r.gbe2 = g;
-  }
-  if (m_.isc > 0.0) {
-    auto [i, g] = junctionIV(vbc, m_.isc, m_.nc * vt_);
-    r.ibc2 = i;
-    r.gbc2 = g;
-  }
-
-  // Base-charge modulation: Early effect (q1) and high injection (q2).
-  double q1 = 1.0;
-  double dq1Dvbe = 0.0, dq1Dvbc = 0.0;
-  {
-    double denom = 1.0;
-    if (m_.vaf > 0.0) denom -= vbc / m_.vaf;
-    if (m_.var > 0.0) denom -= vbe / m_.var;
-    denom = std::max(denom, 1e-3);
-    q1 = 1.0 / denom;
-    if (m_.vaf > 0.0) dq1Dvbc = q1 * q1 / m_.vaf;
-    if (m_.var > 0.0) dq1Dvbe = q1 * q1 / m_.var;
-  }
-  double q2 = 0.0, dq2Dvbe = 0.0, dq2Dvbc = 0.0;
-  if (m_.ikf > 0.0) {
-    q2 += r.ibe1 / m_.ikf;
-    dq2Dvbe += r.gbe1 / m_.ikf;
-  }
-  if (m_.ikr > 0.0) {
-    q2 += r.ibc1 / m_.ikr;
-    dq2Dvbc += r.gbc1 / m_.ikr;
-  }
-  const double sq = std::sqrt(1.0 + 4.0 * std::max(q2, -0.2499));
-  r.qb = q1 * (1.0 + sq) / 2.0;
-  r.qb = std::max(r.qb, 1e-4);
-  r.dqbDvbe = dq1Dvbe * (1.0 + sq) / 2.0 + q1 * dq2Dvbe / sq;
-  r.dqbDvbc = dq1Dvbc * (1.0 + sq) / 2.0 + q1 * dq2Dvbc / sq;
-
-  // Transport current and its derivatives.
-  r.icc = (r.ibe1 - r.ibc1) / r.qb;
-  r.gmf = (r.gbe1 - r.icc * r.dqbDvbe) / r.qb;
-  r.gmr = (-r.gbc1 - r.icc * r.dqbDvbc) / r.qb;
-
-  // Total base current (junction gmin leaks included by caller's stamps).
-  r.ibTotal = r.ibe1 / m_.bf + r.ibe2 + r.ibc1 / m_.br + r.ibc2 +
-              gmin * (vbe + vbc);
-
-  // Bias-dependent base resistance.
-  r.rbEff = m_.rb;
-  if (m_.rb > 0.0) {
-    if (m_.irb > 0.0) {
-      const double ib = std::max(std::fabs(r.ibTotal), 1e-15);
-      const double arg1 = ib / m_.irb;
-      const double z =
-          (-1.0 + std::sqrt(1.0 + 144.0 / (kPi * kPi) * arg1)) /
-          (24.0 / (kPi * kPi) * std::sqrt(arg1));
-      const double tz = std::tan(z);
-      r.rbEff = m_.rbm + 3.0 * (m_.rb - m_.rbm) * (tz - z) / (z * tz * tz);
-    } else {
-      r.rbEff = m_.rbm + (m_.rb - m_.rbm) / r.qb;
-    }
-    r.rbEff = std::max(r.rbEff, 1e-3);
-  }
-  return r;
-}
-
-Bjt::Charges Bjt::charges(double vbe, double vbc, double vcs,
-                          const Eval& e) const {
-  Charges c{};
-
-  // B-E: depletion + forward diffusion with XTF/VTF/ITF bias dependence.
-  {
-    const auto dep = depletionQC(vbe, m_.cje, m_.vje, m_.mje, m_.fc);
-    double qde = 0.0, cde = 0.0;
-    if (m_.tf > 0.0) {
-      double argtf = 0.0, arg2 = 0.0;
-      if (m_.xtf > 0.0) {
-        argtf = m_.xtf;
-        if (m_.vtf > 0.0)
-          argtf *= std::exp(std::min(vbc / (1.44 * m_.vtf), 40.0));
-        arg2 = argtf;
-        if (m_.itf > 0.0 && e.ibe1 > 0.0) {
-          const double temp = e.ibe1 / (e.ibe1 + m_.itf);
-          argtf *= temp * temp;
-          arg2 = argtf * (3.0 - 2.0 * temp);
-        }
-      }
-      qde = m_.tf * (1.0 + argtf) * e.ibe1 / e.qb;
-      cde = m_.tf *
-            (e.gbe1 * (1.0 + arg2) -
-             e.ibe1 * (1.0 + argtf) * e.dqbDvbe / e.qb) /
-            e.qb;
-      cde = std::max(cde, 0.0);
-    }
-    c.qbe = dep.q + qde;
-    c.cbe = dep.c + cde;
-  }
-
-  // B-C: XCJC fraction at the internal base, remainder at the external
-  // base; reverse diffusion charge TR * ibc1 on the internal part.
-  {
-    const auto depInt = depletionQC(vbc, m_.cjc * m_.xcjc, m_.vjc, m_.mjc,
-                                    m_.fc);
-    c.qbc = depInt.q + m_.tr * e.ibc1;
-    c.cbc = depInt.c + m_.tr * e.gbc1;
-    const auto depExt = depletionQC(vbc, m_.cjc * (1.0 - m_.xcjc), m_.vjc,
-                                    m_.mjc, m_.fc);
-    c.qbx = depExt.q;
-    c.cbx = depExt.c;
-  }
-
-  // Collector-substrate depletion (normally reverse biased).
-  {
-    const auto dep = depletionQC(vcs, m_.cjs, m_.vjs, m_.mjs, 0.0);
-    c.qcs = dep.q;
-    c.ccs = dep.c;
-  }
-  return c;
 }
 
 void Bjt::beginSolve(const Solution& x) {

@@ -10,6 +10,7 @@
 // elements the paper's Sec. 4 generator targets.
 
 #include "spice/device.h"
+#include "spice/gummel.h"
 #include "spice/models.h"
 
 namespace ahfic::spice {
@@ -67,31 +68,26 @@ class Bjt final : public Device {
   int internalCollector() const { return ci_; }
   int internalBase() const { return bi_; }
   int internalEmitter() const { return ei_; }
+  int substrateNode() const { return sub_; }
+
+  /// Derived constants used by the batched replica engine to mirror this
+  /// device's arithmetic exactly (see spice/batch.h).
+  double polarity() const { return pol_; }
+  double vt() const { return vt_; }
+  double vcritE() const { return vcritE_; }
+  double vcritC() const { return vcritC_; }
 
  private:
-  /// Large-signal evaluation at given junction voltages.
-  struct Eval {
-    double ibe1, gbe1;  ///< ideal B-E diode current / conductance
-    double ibe2, gbe2;  ///< leakage B-E
-    double ibc1, gbc1;  ///< ideal B-C
-    double ibc2, gbc2;  ///< leakage B-C
-    double qb;          ///< normalised base charge
-    double dqbDvbe, dqbDvbc;
-    double icc;         ///< transport current (collector -> emitter)
-    double gmf, gmr;    ///< d icc / d vbe, d icc / d vbc
-    double ibTotal;     ///< total base current
-    double rbEff;       ///< bias-dependent base resistance
-  };
-  Eval evaluate(double vbe, double vbc, double gmin) const;
-
-  /// Charges and small-signal capacitances at given junction voltages.
-  struct Charges {
-    double qbe, cbe;  ///< B-E: depletion + TF diffusion
-    double qbc, cbc;  ///< internal B-C (xcjc part + TR diffusion)
-    double qbx, cbx;  ///< external B-C ((1 - xcjc) part)
-    double qcs, ccs;  ///< collector-substrate depletion
-  };
-  Charges charges(double vbe, double vbc, double vcs, const Eval& e) const;
+  // The model equations live in spice/gummel.h so the batched replica
+  // engine evaluates the exact same inline functions.
+  using Eval = GummelPoonEval;
+  using Charges = GummelPoonCharges;
+  Eval evaluate(double vbe, double vbc, double gmin) const {
+    return gummelEvaluate(m_, vt_, vbe, vbc, gmin);
+  }
+  Charges charges(double vbe, double vbc, double vcs, const Eval& e) const {
+    return gummelCharges(m_, vbe, vbc, vcs, e);
+  }
 
   BjtModel model_;  ///< as given
   BjtModel m_;      ///< area-scaled copy used in evaluation

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "spice/circuit.h"
+#include "spice/gummel.h"
 #include "spice/junction.h"
 #include "util/units.h"
 
@@ -14,17 +15,12 @@ Diode::Diode(std::string name, Circuit& ckt, int anode, int cathode,
       model_(model),
       area_(area),
       aInt_(anode) {
-  const double vt = util::constants::thermalVoltage(tempC);
-  vte_ = model_.n * vt;
-  // IS(T), Tnom = 27 C.
-  constexpr double kTnomC = 27.0;
-  if (tempC != kTnomC) {
-    const double tr = (tempC + util::constants::kZeroCelsiusInKelvin) /
-                      (kTnomC + util::constants::kZeroCelsiusInKelvin);
-    model_.is *= std::pow(tr, model_.xti / model_.n) *
-                 std::exp(model_.eg / vte_ * (tr - 1.0));
-  }
-  vcrit_ = junctionVcrit(model_.is * area_, vte_);
+  // Temperature adjustment and the pnjlim critical voltage live in
+  // spice/gummel.h, shared with the batched replica engine.
+  const DerivedDiode d = deriveDiode(model, area_, tempC);
+  model_ = d.m;
+  vte_ = d.vte;
+  vcrit_ = d.vcrit;
   if (model_.rs > 0.0) aInt_ = ckt.internalNode(this->name() + "#a");
 }
 

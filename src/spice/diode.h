@@ -31,6 +31,14 @@ class Diode final : public Device {
   /// Diode current at solution `x` (through the junction).
   double current(const Solution& x) const;
 
+  /// Derived constants used by the batched replica engine to mirror this
+  /// device's arithmetic exactly (see spice/batch.h).
+  const DiodeModel& scaledModel() const { return model_; }
+  double area() const { return area_; }
+  double vte() const { return vte_; }
+  double vcrit() const { return vcrit_; }
+  int internalAnode() const { return aInt_; }
+
  private:
   DiodeModel model_;
   double area_;

@@ -74,6 +74,37 @@ class SparseLU {
     return epoch != 0 && epoch_ == epoch;
   }
 
+  /// Copies another solver's symbolic analysis (structure, column view
+  /// and fill-reducing order) without redoing the minimum-degree pass.
+  /// The ordering is a deterministic function of the pattern, so an
+  /// adopted analysis is bitwise identical to running analyze() on the
+  /// same pattern — this is how a replica batch shares one symbolic
+  /// analysis across many numerically distinct systems.
+  void adoptAnalysis(const SparseLU& other) {
+    if (other.epoch_ == 0) throw Error("SparseLU::adoptAnalysis: unanalyzed");
+    n_ = other.n_;
+    epoch_ = other.epoch_;
+    rowPtr_ = other.rowPtr_;
+    colIdx_ = other.colIdx_;
+    aColPtr_ = other.aColPtr_;
+    aRowIdx_ = other.aRowIdx_;
+    aCsrSlot_ = other.aCsrSlot_;
+    colOrder_ = other.colOrder_;
+    haveSymbolic_ = false;
+    lastSingularCol_ = -1;
+    stats_ = Stats{};
+  }
+
+  /// Forgets the recorded numeric factorization (keeps the symbolic
+  /// analysis): the next factor() runs a fresh pivoting factorization.
+  /// Used by the batch engine so every operating point opens with the
+  /// same full-factor/refactor sequence a fresh Analyzer would produce.
+  void resetNumeric() { haveSymbolic_ = false; }
+
+  /// True when a factorization has been recorded, i.e. the next factor()
+  /// will attempt the numeric-only replay first.
+  bool hasRecordedFactorization() const { return haveSymbolic_; }
+
   /// Numeric factorization of the slot-ordered value array `vals`
   /// (size == pattern nonzeros). See class comment for the
   /// full-vs-refactor behaviour.

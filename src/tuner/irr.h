@@ -12,6 +12,7 @@
 //    the experiment the paper ran in its AHDL simulator.
 
 #include <cstdint>
+#include <vector>
 
 #include "tuner/doublesuper.h"
 
@@ -48,9 +49,17 @@ struct IrrYieldResult {
   }
 };
 
+/// Reusable sample buffers for irrYield: callers looping over corners or
+/// chunks hand the same scratch back in so the per-call allocations
+/// disappear from the inner loop. Default-constructed scratch is valid.
+struct IrrYieldScratch {
+  std::vector<double> phi, gain, irr;
+};
+
 IrrYieldResult irrYield(double sigmaPhaseDeg, double sigmaGain,
                         double targetDb, int samples,
-                        std::uint64_t seed = 1);
+                        std::uint64_t seed = 1,
+                        IrrYieldScratch* scratch = nullptr);
 
 /// Combines two partial yield studies (sample-count weighted mean, min of
 /// worst cases, summed pass counts). Lets a large study be split into

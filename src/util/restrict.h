@@ -1,0 +1,16 @@
+#pragma once
+// AHFIC_RESTRICT: portable spelling of C99 `restrict` for C++.
+//
+// Annotates pointer parameters of the batch data plane's inner loops
+// (structure-of-arrays device evaluation, slot-ordered scatters) so the
+// compiler can prove the spans don't alias and autovectorize the
+// surrounding arithmetic. Expands to nothing on compilers without the
+// extension — the loops stay correct, just scalar.
+
+#if defined(__GNUC__) || defined(__clang__)
+#define AHFIC_RESTRICT __restrict__
+#elif defined(_MSC_VER)
+#define AHFIC_RESTRICT __restrict
+#else
+#define AHFIC_RESTRICT
+#endif

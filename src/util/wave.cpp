@@ -1,0 +1,190 @@
+#include "util/wave.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "util/error.h"
+
+namespace ahfic::util {
+
+namespace {
+
+constexpr char kMagic[8] = {'a', 'h', 'f', 'i', 'c', 'w', 'v', '1'};
+
+void putU32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((v >> 16) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((v >> 24) & 0xFF));
+}
+
+std::uint32_t getU32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t doubleBits(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  return bits;
+}
+
+double bitsDouble(std::uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+}  // namespace
+
+int WaveTable::findColumn(const std::string& name) const {
+  for (size_t c = 0; c < columns.size(); ++c)
+    if (columns[c] == name) return static_cast<int>(c);
+  return -1;
+}
+
+void WaveTable::addColumn(std::string name, std::vector<double> values) {
+  if (findColumn(name) >= 0)
+    throw Error("WaveTable: duplicate column '" + name + "'");
+  if (!data.empty() && values.size() != data.front().size())
+    throw Error("WaveTable: column '" + name + "' row count mismatch");
+  columns.push_back(std::move(name));
+  data.push_back(std::move(values));
+}
+
+bool WaveTable::bitIdentical(const WaveTable& other) const {
+  if (columns != other.columns) return false;
+  if (data.size() != other.data.size()) return false;
+  for (size_t c = 0; c < data.size(); ++c) {
+    if (data[c].size() != other.data[c].size()) return false;
+    for (size_t r = 0; r < data[c].size(); ++r)
+      if (doubleBits(data[c][r]) != doubleBits(other.data[c][r]))
+        return false;
+  }
+  return true;
+}
+
+std::vector<std::uint8_t> encodeWave(const WaveTable& table) {
+  const size_t cols = table.columnCount();
+  const size_t rows = table.rowCount();
+  for (const auto& col : table.data)
+    if (col.size() != rows) throw Error("encodeWave: ragged columns");
+
+  std::vector<std::uint8_t> out;
+  out.reserve(16 + 4 * cols + 8 * cols * rows);
+  for (const char ch : kMagic) out.push_back(static_cast<std::uint8_t>(ch));
+  putU32(out, static_cast<std::uint32_t>(cols));
+  putU32(out, static_cast<std::uint32_t>(rows));
+  for (const auto& name : table.columns)
+    putU32(out, static_cast<std::uint32_t>(name.size()));
+  for (const auto& name : table.columns)
+    for (const char ch : name) out.push_back(static_cast<std::uint8_t>(ch));
+  while (out.size() % 8 != 0) out.push_back(0);
+  for (const auto& col : table.data) {
+    for (const double v : col) {
+      const std::uint64_t bits = doubleBits(v);
+      for (int b = 0; b < 8; ++b)
+        out.push_back(static_cast<std::uint8_t>((bits >> (8 * b)) & 0xFF));
+    }
+  }
+  return out;
+}
+
+WaveTable decodeWave(const std::uint8_t* bytes, size_t size) {
+  if (size < 16 || std::memcmp(bytes, kMagic, sizeof kMagic) != 0)
+    throw ParseError("ahfic-wave-v1: bad magic or truncated header");
+  const std::uint32_t cols = getU32(bytes + 8);
+  const std::uint32_t rows = getU32(bytes + 12);
+  size_t off = 16;
+  if (size < off + 4ull * cols)
+    throw ParseError("ahfic-wave-v1: truncated name-length table");
+  std::vector<std::uint32_t> nameLens(cols);
+  for (std::uint32_t c = 0; c < cols; ++c, off += 4)
+    nameLens[c] = getU32(bytes + off);
+
+  WaveTable table;
+  table.columns.reserve(cols);
+  for (std::uint32_t c = 0; c < cols; ++c) {
+    if (size < off + nameLens[c])
+      throw ParseError("ahfic-wave-v1: truncated column name");
+    table.columns.emplace_back(reinterpret_cast<const char*>(bytes + off),
+                               nameLens[c]);
+    off += nameLens[c];
+  }
+  off = (off + 7) & ~size_t{7};
+  const size_t expect = off + 8ull * cols * rows;
+  if (size != expect)
+    throw ParseError("ahfic-wave-v1: file size disagrees with header");
+  table.data.resize(cols);
+  for (std::uint32_t c = 0; c < cols; ++c) {
+    auto& col = table.data[c];
+    col.resize(rows);
+    for (std::uint32_t r = 0; r < rows; ++r, off += 8) {
+      std::uint64_t bits = 0;
+      for (int b = 0; b < 8; ++b)
+        bits |= static_cast<std::uint64_t>(bytes[off + static_cast<size_t>(b)])
+                << (8 * b);
+      col[r] = bitsDouble(bits);
+    }
+  }
+  return table;
+}
+
+WaveTable decodeWave(const std::vector<std::uint8_t>& bytes) {
+  return decodeWave(bytes.data(), bytes.size());
+}
+
+void writeWaveFile(const std::string& path, const WaveTable& table) {
+  const std::vector<std::uint8_t> bytes = encodeWave(table);
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw Error("writeWaveFile: cannot open '" + path + "'");
+  os.write(reinterpret_cast<const char*>(bytes.data()),
+           static_cast<std::streamsize>(bytes.size()));
+  if (!os) throw Error("writeWaveFile: write failed for '" + path + "'");
+}
+
+WaveTable readWaveFile(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw Error("readWaveFile: cannot open '" + path + "'");
+  std::vector<std::uint8_t> bytes{std::istreambuf_iterator<char>(is),
+                                  std::istreambuf_iterator<char>()};
+  return decodeWave(bytes);
+}
+
+JsonValue waveToJson(const WaveTable& table) {
+  JsonValue v = JsonValue::object();
+  v.set("schema", "ahfic-wave-v1");
+  JsonValue names = JsonValue::array();
+  for (const auto& name : table.columns) names.push(name);
+  v.set("columns", std::move(names));
+  v.set("rows", static_cast<double>(table.rowCount()));
+  JsonValue data = JsonValue::object();
+  for (size_t c = 0; c < table.columnCount(); ++c) {
+    JsonValue col = JsonValue::array();
+    for (const double x : table.data[c]) col.push(x);
+    data.set(table.columns[c], std::move(col));
+  }
+  v.set("data", std::move(data));
+  return v;
+}
+
+WaveTable waveFromJson(const JsonValue& v) {
+  if (!v.isObject() || !v.has("schema") ||
+      v.get("schema").asString() != "ahfic-wave-v1")
+    throw Error("waveFromJson: not an ahfic-wave-v1 document");
+  WaveTable table;
+  const JsonValue& names = v.get("columns");
+  const JsonValue& data = v.get("data");
+  for (size_t c = 0; c < names.size(); ++c) {
+    const std::string& name = names.at(c).asString();
+    const JsonValue& col = data.get(name);
+    std::vector<double> values(col.size());
+    for (size_t r = 0; r < col.size(); ++r) values[r] = col.at(r).asNumber();
+    table.addColumn(name, std::move(values));
+  }
+  return table;
+}
+
+}  // namespace ahfic::util

@@ -1,0 +1,77 @@
+#pragma once
+// ahfic-wave-v1: compact binary waveform tables.
+//
+// The JSON manifests and result caches are fine for scalar metrics, but
+// transient/Monte-Carlo sweep payloads are long f64 columns — encoding
+// them as JSON arrays costs ~25 bytes and a strtod per sample. This
+// format stores the same table as a small header plus raw little-endian
+// IEEE-754 doubles, column-major, 8-byte aligned, so a reader can mmap
+// the file and point straight at the columns.
+//
+// Layout (all integers little-endian):
+//   offset  size  field
+//        0     8  magic "ahficwv1"
+//        8     4  u32 column count C
+//       12     4  u32 row count R
+//       16   C*4  u32 per-column name length
+//            ...  column names, UTF-8, back to back (no terminators)
+//            pad  zero bytes to the next multiple of 8
+//            ...  C columns of R f64 values each, column-major
+//
+// Readers must reject files whose declared sizes disagree with the file
+// length; writers produce exactly one valid encoding for a given table,
+// so byte-level comparison of two files is a bitwise comparison of the
+// payloads.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace ahfic::util {
+
+/// A named-column table of f64 samples: the in-memory form of one
+/// ahfic-wave-v1 file. All columns share the same row count.
+struct WaveTable {
+  std::vector<std::string> columns;
+  std::vector<std::vector<double>> data;  ///< data[c][row]
+
+  bool empty() const { return columns.empty(); }
+  size_t columnCount() const { return columns.size(); }
+  size_t rowCount() const { return data.empty() ? 0 : data.front().size(); }
+
+  /// Index of the named column, or -1 when absent.
+  int findColumn(const std::string& name) const;
+
+  /// Appends a column; throws when the row count disagrees with the
+  /// existing columns or the name is already taken.
+  void addColumn(std::string name, std::vector<double> values);
+
+  /// Bitwise equality (every sample compared by bit pattern, so +0/-0
+  /// and NaN payloads are distinguished — the equivalence suite and the
+  /// result cache depend on exact round-trips).
+  bool bitIdentical(const WaveTable& other) const;
+};
+
+/// Serializes to the ahfic-wave-v1 byte layout.
+std::vector<std::uint8_t> encodeWave(const WaveTable& table);
+
+/// Parses an ahfic-wave-v1 buffer. Throws ahfic::ParseError on a bad
+/// magic, truncated header or size mismatch.
+WaveTable decodeWave(const std::uint8_t* bytes, size_t size);
+WaveTable decodeWave(const std::vector<std::uint8_t>& bytes);
+
+/// File I/O convenience; throw ahfic::Error on I/O failure.
+void writeWaveFile(const std::string& path, const WaveTable& table);
+WaveTable readWaveFile(const std::string& path);
+
+/// JSON converter for existing tooling: {"schema": "ahfic-wave-v1",
+/// "columns": [...names], "rows": R, "data": {name: [values...]}}.
+/// Values are emitted as numbers; exact bit round-trips go through the
+/// binary format, the JSON form is the human/tooling view.
+JsonValue waveToJson(const WaveTable& table);
+/// Inverse of waveToJson. Throws ahfic::Error on schema mismatch.
+WaveTable waveFromJson(const JsonValue& v);
+
+}  // namespace ahfic::util

@@ -1,0 +1,190 @@
+// ahfic-wave-v1 binary waveform tables: exact round-trips, canonical
+// encoding, malformed-input rejection, the JSON converter, and the
+// result-cache sidecar integration.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runner/cache.h"
+#include "runner/job.h"
+#include "util/error.h"
+#include "util/json.h"
+#include "util/numeric.h"
+#include "util/wave.h"
+
+namespace u = ahfic::util;
+namespace rn = ahfic::runner;
+
+namespace {
+
+u::WaveTable sampleTable() {
+  u::WaveTable t;
+  t.addColumn("time", {0.0, 1e-9, 2e-9, 3e-9});
+  t.addColumn("v(out)", {-1.5, 0.25, 3.75, -0.0});
+  return t;
+}
+
+std::string tempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+}  // namespace
+
+TEST(WaveTableTest, AddColumnValidatesShape) {
+  u::WaveTable t;
+  t.addColumn("a", {1.0, 2.0});
+  EXPECT_THROW(t.addColumn("b", {1.0}), ahfic::Error);      // row mismatch
+  EXPECT_THROW(t.addColumn("a", {3.0, 4.0}), ahfic::Error); // duplicate name
+  EXPECT_EQ(t.findColumn("a"), 0);
+  EXPECT_EQ(t.findColumn("missing"), -1);
+}
+
+TEST(WaveTableTest, BitIdenticalDistinguishesSignedZeroAndNan) {
+  u::WaveTable a, b;
+  a.addColumn("x", {0.0});
+  b.addColumn("x", {-0.0});
+  EXPECT_FALSE(a.bitIdentical(b));  // 0.0 == -0.0 numerically, not bitwise
+
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  u::WaveTable c, d;
+  c.addColumn("x", {nan});
+  d.addColumn("x", {nan});
+  EXPECT_TRUE(c.bitIdentical(d));  // NaN != NaN numerically, equal bitwise
+}
+
+TEST(WaveEncodingTest, RoundTripIsBitExact) {
+  u::WaveTable t;
+  u::Rng rng(7);
+  std::vector<double> a, b;
+  for (int k = 0; k < 257; ++k) {  // odd size exercises the name padding
+    a.push_back(rng.normal() * std::pow(10.0, rng.uniform(-300, 300)));
+    b.push_back(rng.uniform(-1, 1));
+  }
+  t.addColumn("odd-name!", std::move(a));
+  t.addColumn("ft", std::move(b));
+
+  const std::vector<std::uint8_t> bytes = u::encodeWave(t);
+  const u::WaveTable back = u::decodeWave(bytes);
+  EXPECT_TRUE(back.bitIdentical(t));
+
+  // Canonical encoding: re-encoding the decoded table is byte-identical.
+  EXPECT_EQ(u::encodeWave(back), bytes);
+}
+
+TEST(WaveEncodingTest, HeaderLayoutIsStable) {
+  const std::vector<std::uint8_t> bytes = u::encodeWave(sampleTable());
+  ASSERT_GE(bytes.size(), 16u);
+  EXPECT_EQ(std::string(bytes.begin(), bytes.begin() + 8), "ahficwv1");
+  // u32 little-endian column count 2, row count 4.
+  EXPECT_EQ(bytes[8], 2u);
+  EXPECT_EQ(bytes[12], 4u);
+  // Column payload is 8-byte aligned and sized exactly C*R doubles.
+  EXPECT_EQ(bytes.size() % 8, 0u);
+  EXPECT_EQ(bytes.size(),
+            ((16 + 2 * 4 + 4 + 6 + 7) & ~size_t{7}) + 2 * 4 * 8);
+}
+
+TEST(WaveEncodingTest, RejectsMalformedBuffers) {
+  std::vector<std::uint8_t> bytes = u::encodeWave(sampleTable());
+
+  std::vector<std::uint8_t> badMagic = bytes;
+  badMagic[0] = 'x';
+  EXPECT_THROW(u::decodeWave(badMagic), ahfic::ParseError);
+
+  std::vector<std::uint8_t> truncated(bytes.begin(), bytes.begin() + 12);
+  EXPECT_THROW(u::decodeWave(truncated), ahfic::ParseError);
+
+  std::vector<std::uint8_t> shortPayload(bytes.begin(), bytes.end() - 8);
+  EXPECT_THROW(u::decodeWave(shortPayload), ahfic::ParseError);
+
+  std::vector<std::uint8_t> trailing = bytes;
+  trailing.push_back(0);
+  EXPECT_THROW(u::decodeWave(trailing), ahfic::ParseError);
+
+  EXPECT_THROW(u::decodeWave(nullptr, 0), ahfic::ParseError);
+}
+
+TEST(WaveFileTest, WriteReadRoundTrip) {
+  const std::string path = tempPath("ahfic_wave_test.wave");
+  const u::WaveTable t = sampleTable();
+  u::writeWaveFile(path, t);
+  const u::WaveTable back = u::readWaveFile(path);
+  EXPECT_TRUE(back.bitIdentical(t));
+  std::remove(path.c_str());
+  EXPECT_THROW(u::readWaveFile(path), ahfic::Error);  // now gone
+}
+
+TEST(WaveJsonTest, ConverterRoundTripsSchemaAndShape) {
+  const u::WaveTable t = sampleTable();
+  const u::JsonValue j = u::waveToJson(t);
+  EXPECT_EQ(j.get("schema").asString(), "ahfic-wave-v1");
+  EXPECT_EQ(static_cast<int>(j.get("rows").asNumber()), 4);
+  const u::WaveTable back = u::waveFromJson(j);
+  ASSERT_EQ(back.columnCount(), t.columnCount());
+  ASSERT_EQ(back.rowCount(), t.rowCount());
+  EXPECT_EQ(back.columns, t.columns);
+
+  u::JsonValue bad = u::JsonValue::object();
+  bad.set("schema", "something-else");
+  EXPECT_THROW(u::waveFromJson(bad), ahfic::Error);
+}
+
+TEST(ResultCacheWaveTest, SidecarRoundTripsBitExactly) {
+  const std::string path = tempPath("ahfic_wave_cache_test.json");
+  const std::string waves = path + ".waves";
+  std::filesystem::remove_all(waves);
+
+  rn::JobResult r;
+  r.set("ft", 1.25e9);
+  auto wave = std::make_shared<u::WaveTable>(sampleTable());
+  r.wave = wave;
+  rn::ResultCache cache;
+  cache.store("k/with-wave", r);
+  rn::JobResult plain;
+  plain.set("ft", 2.0e9);
+  cache.store("k/plain", plain);
+  cache.saveFile(path);
+
+  rn::ResultCache back;
+  ASSERT_TRUE(back.loadFile(path));
+  const auto hit = back.lookup("k/with-wave");
+  ASSERT_TRUE(hit.has_value());
+  ASSERT_NE(hit->wave, nullptr);
+  EXPECT_TRUE(hit->wave->bitIdentical(*wave));
+  EXPECT_TRUE(*hit == r);  // JobResult equality includes the wave payload
+  const auto plainHit = back.lookup("k/plain");
+  ASSERT_TRUE(plainHit.has_value());
+  EXPECT_EQ(plainHit->wave, nullptr);
+
+  // A missing sidecar drops only the entry that referenced it.
+  std::filesystem::remove_all(waves);
+  rn::ResultCache degraded;
+  ASSERT_TRUE(degraded.loadFile(path));
+  EXPECT_FALSE(degraded.lookup("k/with-wave").has_value());
+  EXPECT_TRUE(degraded.lookup("k/plain").has_value());
+
+  std::remove(path.c_str());
+}
+
+TEST(ResultCacheWaveTest, WaveChangesJobResultEquality) {
+  rn::JobResult a, b;
+  a.set("ft", 1.0);
+  b.set("ft", 1.0);
+  EXPECT_TRUE(a == b);
+  a.wave = std::make_shared<u::WaveTable>(sampleTable());
+  EXPECT_FALSE(a == b);
+  b.wave = std::make_shared<u::WaveTable>(sampleTable());
+  EXPECT_TRUE(a == b);
+  u::WaveTable other = sampleTable();
+  other.data[0][0] = 42.0;
+  b.wave = std::make_shared<u::WaveTable>(std::move(other));
+  EXPECT_FALSE(a == b);
+}
