@@ -1,0 +1,245 @@
+// bench_regress — the perf-regression gate over "ahfic-bench-v1"
+// artifacts (src/obs/regress.h holds the policy core; docs/profiling.md
+// the workflow).
+//
+//   bench_regress check ART.json...   compare against blessed baselines
+//   bench_regress bless ART.json...   fold artifacts into new baselines
+//
+// `check` groups the artifacts by bench name, folds each group best-of-K
+// (min for timings, max for speedups), and compares the folded candidate
+// against <baselines>/<bench>.json under the committed gate policy
+// (<baselines>/gates.json). Exit codes are CI-friendly:
+//   0  no gated metric regressed (or no baseline existed — see below)
+//   1  at least one gated, non-waived metric regressed
+//   2  usage / unreadable artifact / schema error
+//   3  a baseline was missing and --require-baseline was given
+//
+// Baselines are machine-specific (nanoseconds do not travel between
+// hosts), so a missing baseline is a *skip*, not a failure: the first
+// run on a fresh runner blesses, later runs gate.
+
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/bench.h"
+#include "obs/regress.h"
+#include "util/error.h"
+#include "util/json.h"
+
+namespace {
+
+namespace u = ahfic::util;
+namespace obs = ahfic::obs;
+
+int usage() {
+  std::cerr
+      << "usage: bench_regress check ARTIFACT.json... [options]\n"
+         "       bench_regress bless ARTIFACT.json... [options]\n"
+         "options:\n"
+         "  --baselines DIR     baseline directory "
+         "(default bench/baselines)\n"
+         "  --gates FILE        gate policy (default DIR/gates.json)\n"
+         "  --json FILE         write the ahfic-regress-v1 report(s) "
+         "(check only)\n"
+         "  --require-baseline  exit 3 instead of skipping when a bench "
+         "has no baseline\n";
+  return 2;
+}
+
+std::string readWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw ahfic::Error("cannot open '" + path + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+u::JsonValue loadJsonFile(const std::string& path) {
+  try {
+    return u::parseJson(readWholeFile(path));
+  } catch (const ahfic::Error& e) {
+    throw ahfic::Error(path + ": " + e.what());
+  }
+}
+
+/// Bench name out of an "ahfic-bench-v1" envelope; throws on anything
+/// that is not one.
+std::string envelopeName(const u::JsonValue& env, const std::string& path) {
+  if (!env.isObject() || !env.has("schema") ||
+      env.get("schema").asString() != "ahfic-bench-v1" ||
+      !env.has("name") || !env.has("payload"))
+    throw ahfic::Error(path + ": not an ahfic-bench-v1 envelope");
+  return env.get("name").asString();
+}
+
+struct Options {
+  std::string command;
+  std::vector<std::string> artifacts;
+  std::string baselinesDir = "bench/baselines";
+  std::string gatesFile;  // default: baselinesDir + "/gates.json"
+  std::string jsonOut;
+  bool requireBaseline = false;
+};
+
+bool parseArgs(int argc, char** argv, Options& opts) {
+  if (argc < 2) return false;
+  opts.command = argv[1];
+  if (opts.command != "check" && opts.command != "bless") return false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) {
+      if (i + 1 >= argc)
+        throw ahfic::Error(std::string(flag) + " needs a value");
+      return std::string(argv[++i]);
+    };
+    if (arg == "--baselines")
+      opts.baselinesDir = value("--baselines");
+    else if (arg == "--gates")
+      opts.gatesFile = value("--gates");
+    else if (arg == "--json")
+      opts.jsonOut = value("--json");
+    else if (arg == "--require-baseline")
+      opts.requireBaseline = true;
+    else if (!arg.empty() && arg[0] == '-')
+      throw ahfic::Error("unknown flag '" + arg + "'");
+    else
+      opts.artifacts.push_back(arg);
+  }
+  if (opts.gatesFile.empty())
+    opts.gatesFile = opts.baselinesDir + "/gates.json";
+  return !opts.artifacts.empty();
+}
+
+/// Artifacts grouped by bench name, in first-seen order.
+std::vector<std::pair<std::string, std::vector<u::JsonValue>>> groupByBench(
+    const std::vector<std::string>& paths) {
+  std::vector<std::pair<std::string, std::vector<u::JsonValue>>> groups;
+  for (const std::string& path : paths) {
+    u::JsonValue env = loadJsonFile(path);
+    const std::string name = envelopeName(env, path);
+    auto it = groups.begin();
+    for (; it != groups.end(); ++it)
+      if (it->first == name) break;
+    if (it == groups.end()) {
+      groups.emplace_back(name, std::vector<u::JsonValue>{});
+      it = groups.end() - 1;
+    }
+    it->second.push_back(std::move(env));
+  }
+  return groups;
+}
+
+void writeTextFile(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw ahfic::Error("cannot write '" + path + "'");
+  out << text;
+  if (!out) throw ahfic::Error("write to '" + path + "' failed");
+}
+
+int runBless(const Options& opts, const obs::GateConfig& gates) {
+  const auto groups = groupByBench(opts.artifacts);
+  for (const auto& [bench, envelopes] : groups) {
+    const obs::BenchGates* g = gates.find(bench);
+    if (g == nullptr) {
+      std::cout << "bless: bench '" << bench
+                << "' has no gate policy in " << opts.gatesFile
+                << "; skipped\n";
+      continue;
+    }
+    const obs::BaselineDoc doc = obs::reduceArtifacts(envelopes, *g);
+    const std::string path = opts.baselinesDir + "/" + bench + ".json";
+    writeTextFile(path, doc.toJson().dump(2) + "\n");
+    std::cout << "blessed " << path << " (" << doc.repeats
+              << " artifact" << (doc.repeats == 1 ? "" : "s") << ", "
+              << doc.metrics.size() << " metrics)\n";
+  }
+  return 0;
+}
+
+int runCheck(const Options& opts, const obs::GateConfig& gates) {
+  const auto groups = groupByBench(opts.artifacts);
+  bool regressed = false;
+  bool missingBaseline = false;
+  u::JsonValue reports = u::JsonValue::array();
+
+  for (const auto& [bench, envelopes] : groups) {
+    const obs::BenchGates* g = gates.find(bench);
+    if (g == nullptr) {
+      std::cout << "check: bench '" << bench
+                << "' has no gate policy; skipped\n";
+      continue;
+    }
+    const obs::BaselineDoc current = obs::reduceArtifacts(envelopes, *g);
+
+    const std::string basePath =
+        opts.baselinesDir + "/" + bench + ".json";
+    obs::BaselineDoc baseline;
+    try {
+      baseline = obs::BaselineDoc::fromJson(loadJsonFile(basePath));
+    } catch (const ahfic::Error& e) {
+      // Distinguish "no baseline yet" (skip) from "corrupt baseline"
+      // (hard error): only an unopenable file is a skip.
+      std::ifstream probe(basePath);
+      if (probe) throw ahfic::Error(std::string("bad baseline: ") +
+                                    e.what());
+      std::cout << "check: no baseline for '" << bench << "' ("
+                << basePath << " absent); "
+                << (opts.requireBaseline ? "required" : "skipped")
+                << " — bless one with: bench_regress bless ...\n";
+      missingBaseline = true;
+      continue;
+    }
+    if (baseline.bench != bench)
+      throw ahfic::Error("baseline " + basePath + " is for bench '" +
+                         baseline.bench + "'");
+
+    const obs::RegressReport report =
+        obs::compareToBaseline(baseline, current, *g);
+    std::cout << "== " << bench << " (baseline " << baseline.gitRev
+              << " @ " << baseline.timestamp << ", best of "
+              << baseline.repeats << ") ==\n"
+              << report.summary();
+    reports.push(report.toJson());
+    if (report.anyRegression()) regressed = true;
+  }
+
+  if (!opts.jsonOut.empty()) {
+    u::JsonValue doc = u::JsonValue::object();
+    doc.set("schema", "ahfic-regress-set-v1");
+    doc.set("gitRev", obs::buildGitRev());
+    doc.set("reports", std::move(reports));
+    writeTextFile(opts.jsonOut, doc.dump(2) + "\n");
+    std::cout << "wrote " << opts.jsonOut << "\n";
+  }
+
+  if (regressed) {
+    std::cout << "RESULT: REGRESSED\n";
+    return 1;
+  }
+  if (missingBaseline && opts.requireBaseline) {
+    std::cout << "RESULT: MISSING BASELINE\n";
+    return 3;
+  }
+  std::cout << "RESULT: OK\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  try {
+    if (!parseArgs(argc, argv, opts)) return usage();
+    const obs::GateConfig gates =
+        obs::GateConfig::fromJson(loadJsonFile(opts.gatesFile));
+    return opts.command == "bless" ? runBless(opts, gates)
+                                   : runCheck(opts, gates);
+  } catch (const std::exception& e) {
+    std::cerr << "bench_regress: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -16,10 +16,12 @@
 //   job ID                      GET /v1/jobs/ID
 //   get PATH                    GET arbitrary path (e.g. /celldb)
 //   post PATH FILE              POST FILE's bytes as application/json
-//   watch [--interval S]        poll GET /v1/metrics/history and print a
-//                               one-line digest (queue depth, jobs/s,
-//                               cache hit rate) every S seconds (default
-//                               2) until Ctrl-C
+//   watch [--interval S]        poll GET /v1/metrics/history and
+//                               GET /v1/metrics, printing a one-line
+//                               digest (queue depth, jobs/s, cache hit
+//                               rate, Newton iters p99, device-eval
+//                               share of Newton wall time) every S
+//                               seconds (default 2) until Ctrl-C
 //
 // Exit codes: 0 on 2xx, 9 on 429 (backpressure — scriptable retry),
 // 4 on other 4xx, 5 on 5xx, 2 on usage/transport errors. The response
@@ -163,6 +165,19 @@ std::vector<double> counterSeries(const u::JsonValue& wire) {
   return out;
 }
 
+/// Field of a named histogram in an "ahfic-metrics-v1" snapshot
+/// ({"histograms": {"<name>": {"p99": ..., "sum": ...}}}); 0 when the
+/// histogram has not been registered yet.
+double histField(const u::JsonValue& snap, const std::string& name,
+                 const char* field) {
+  if (!snap.isObject() || !snap.has("histograms")) return 0.0;
+  const u::JsonValue& hs = snap.get("histograms");
+  if (!hs.isObject() || !hs.has(name)) return 0.0;
+  const u::JsonValue& h = hs.get(name);
+  if (!h.isObject() || !h.has(field)) return 0.0;
+  return h.get(field).asNumber();
+}
+
 /// `watch`: poll /v1/metrics/history and print one digest line per poll.
 int watchLoop(const std::string& host, int port, double intervalSec) {
   std::signal(SIGINT, onWatchSignal);
@@ -172,6 +187,10 @@ int watchLoop(const std::string& host, int port, double intervalSec) {
   const long windowSec =
       std::lround(std::max(intervalSec, 1.0) * 10.0) + 30;
   bool first = true;
+  // Previous poll's histogram sums, for the device-eval share over the
+  // *last interval* (cumulative shares go stale on a long-lived daemon).
+  double prevDevNs = 0.0, prevWallNs = 0.0, lastSharePct = 0.0;
+  bool havePrev = false;
   while (!gWatchStop) {
     Reply r = exchange(host, port, "GET",
                        "/v1/metrics/history?window=" +
@@ -206,13 +225,34 @@ int watchLoop(const std::string& host, int port, double intervalSec) {
         const double total = hits.back() + misses.back();
         if (total > 0) hitPct = 100.0 * hits.back() / total;
       }
+
+      // Solver health straight from the live snapshot: the Newton
+      // iteration tail and how much of the Newton wall time went into
+      // device-model evaluation over the last poll interval.
+      double newtonP99 = 0.0;
+      Reply m = exchange(host, port, "GET", "/v1/metrics", "");
+      if (m.status == 200) {
+        const u::JsonValue snap = u::parseJson(m.body);
+        newtonP99 = histField(snap, "spice.newton.iterations", "p99");
+        const double devNs =
+            histField(snap, "spice.newton.device_eval_ns", "sum");
+        const double wallNs =
+            histField(snap, "spice.newton.wall_ns", "sum");
+        if (havePrev && wallNs - prevWallNs > 0.0)
+          lastSharePct = 100.0 * (devNs - prevDevNs) / (wallNs - prevWallNs);
+        else if (!havePrev && wallNs > 0.0)
+          lastSharePct = 100.0 * devNs / wallNs;
+        prevDevNs = devNs;
+        prevWallNs = wallNs;
+        havePrev = true;
+      }
       if (first) {
-        std::printf("%8s %8s %10s %9s\n", "samples", "queued", "jobs/s",
-                    "cacheHit");
+        std::printf("%8s %8s %10s %9s %10s %8s\n", "samples", "queued",
+                    "jobs/s", "cacheHit", "newtonP99", "devEval");
         first = false;
       }
-      std::printf("%8zu %8.0f %10.2f %8.1f%%\n", n, queued, jobsPerSec,
-                  hitPct);
+      std::printf("%8zu %8.0f %10.2f %8.1f%% %10.1f %7.1f%%\n", n, queued,
+                  jobsPerSec, hitPct, newtonP99, lastSharePct);
       std::fflush(stdout);
     } catch (const ahfic::Error& e) {
       std::cerr << "watch: unparseable history reply: " << e.what() << "\n";

@@ -33,7 +33,11 @@
 //   --history-capacity N  ring size for /v1/metrics/history (default 720
 //                         samples = 1 h at the default interval)
 //
-// Endpoints and schemas: docs/serve.md. Quick check:
+// Endpoints and schemas: docs/serve.md. On-demand profiling
+// (docs/profiling.md): GET /v1/profile?seconds=N samples the live
+// process and returns an ahfic-profile-v1 document (409 while another
+// capture runs); GET /v1/profile/latest replays the last capture.
+// Quick check:
 //   curl -s localhost:8078/healthz
 // Live dashboard: http://localhost:8078/debug
 //

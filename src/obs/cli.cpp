@@ -4,6 +4,7 @@
 #include <ostream>
 
 #include "obs/metrics.h"
+#include "obs/prof.h"
 #include "obs/trace.h"
 #include "util/error.h"
 
@@ -16,6 +17,8 @@ bool CliOptions::consume(int argc, char** argv, int& k) {
     target = &tracePath;
   else if (std::strcmp(arg, "--metrics") == 0)
     target = &metricsPath;
+  else if (std::strcmp(arg, "--profile") == 0)
+    target = &profilePath;
   else
     return false;
   if (k + 1 >= argc)
@@ -30,9 +33,22 @@ void CliOptions::begin() const {
     setTracingEnabled(true);
     nameCurrentThreadLane("main");
   }
+  if (!profilePath.empty()) {
+    profileSetThreadName("main");
+    if (!startProfiling())
+      throw Error("obs: --profile: a capture is already running");
+  }
 }
 
 void CliOptions::finish(std::ostream& os) const {
+  if (!profilePath.empty() && profilingActive()) {
+    const ProfileReport report = stopProfiling();
+    writeProfileFiles(report, profilePath);
+    os << "[obs] wrote profile to " << profilePath << " (+.folded): "
+       << report.samples << " samples";
+    if (report.dropped > 0) os << ", " << report.dropped << " dropped";
+    os << "\n";
+  }
   if (!metricsPath.empty()) {
     metrics().snapshot().writeJsonFile(metricsPath);
     os << "[obs] wrote metrics to " << metricsPath << "\n";

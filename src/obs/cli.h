@@ -4,6 +4,9 @@
 //
 //   --trace FILE     enable span tracing, write Chrome trace JSON to FILE
 //   --metrics FILE   enable the metrics registry, write a snapshot to FILE
+//   --profile FILE   sample the run with the CPU-clock profiler, write
+//                    the ahfic-profile-v1 document to FILE and the
+//                    flamegraph.pl collapsed stacks to FILE.folded
 //
 // via this helper, so the flags parse and behave identically everywhere.
 //
@@ -25,14 +28,16 @@ namespace ahfic::obs {
 struct CliOptions {
   std::string tracePath;    ///< empty = tracing stays disabled
   std::string metricsPath;  ///< empty = metrics stay disabled
+  std::string profilePath;  ///< empty = no profile capture
 
   /// Consumes argv[k] (and its value argument) when it is an obs flag;
   /// returns true and advances `k` past the value in that case. Throws
   /// ahfic::Error when a flag is missing its FILE argument.
   bool consume(int argc, char** argv, int& k);
 
-  /// Enables the requested subsystems and names the calling thread's
-  /// trace lane "main". Call once, before the workload.
+  /// Enables the requested subsystems, names the calling thread "main"
+  /// for tracing and profiling, and starts the profile capture when
+  /// requested. Call once, before the workload.
   void begin() const;
 
   /// Writes the requested files and prints summary() to `os` when
@@ -40,11 +45,14 @@ struct CliOptions {
   void finish(std::ostream& os) const;
 
   bool anyEnabled() const {
-    return !tracePath.empty() || !metricsPath.empty();
+    return !tracePath.empty() || !metricsPath.empty() ||
+           !profilePath.empty();
   }
 
   /// Usage-string fragment for tools that print their own help.
-  static const char* usage() { return "[--trace FILE] [--metrics FILE]"; }
+  static const char* usage() {
+    return "[--trace FILE] [--metrics FILE] [--profile FILE]";
+  }
 };
 
 /// Prints the observability summary — top spans by cumulative time and

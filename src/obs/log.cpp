@@ -7,6 +7,8 @@
 #include <ctime>
 #include <deque>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "util/error.h"
 #include "util/json.h"
@@ -122,6 +124,18 @@ void writeLine(FILE* target, const std::string& line) {
 }
 
 void setSink(bool jsonl, bool enabled, const std::string& path) {
+  // Reconfiguring an enabled sink is the last chance for carried
+  // rate-limiter debt to surface in it — flush before touching the
+  // routing, so final-window suppression is not dropped with the sink.
+  {
+    LogState& s = state();
+    bool live;
+    {
+      util::MutexLock lock(&s.sinkMu);
+      live = jsonl ? s.jsonlEnabled : s.textEnabled;
+    }
+    if (live) flushSuppressedLogDebt();
+  }
   FILE* opened = nullptr;
   if (enabled && !path.empty()) {
     opened = std::fopen(path.c_str(), "w");
@@ -176,6 +190,47 @@ void setTextLogSink(bool enabled, const std::string& path) {
 
 void setJsonlLogSink(bool enabled, const std::string& path) {
   setSink(/*jsonl=*/true, enabled, path);
+}
+
+void flushSuppressedLogDebt() {
+  LogState& s = state();
+  {
+    util::MutexLock lock(&s.sinkMu);
+    if (!s.textEnabled && !s.jsonlEnabled) return;
+  }
+  // Collect under regMu, format unlocked, write under sinkMu — the two
+  // mutexes are never held together (see LogState).
+  std::vector<std::pair<std::string, long long>> debts;
+  {
+    util::MutexLock lock(&s.regMu);
+    for (LogSiteInfo& site : s.sites) {
+      const long long n =
+          site.suppressed.exchange(0, std::memory_order_relaxed);
+      if (n > 0) debts.emplace_back(site.name, n);
+    }
+  }
+  if (debts.empty()) return;
+  for (const auto& [siteName, n] : debts) {
+    const std::string ts = isoTimestamp();
+    std::string textLine = ts;
+    textLine += " warn  ";
+    textLine += siteName;
+    textLine += ": rate limiter dropped lines";
+    appendTextField(textLine, "suppressed",
+                    formatNumber(static_cast<double>(n)));
+    textLine += '\n';
+    util::JsonValue doc = util::JsonValue::object();
+    doc.set("ts", ts);
+    doc.set("level", "warn");
+    doc.set("site", siteName);
+    doc.set("msg", "rate limiter dropped lines");
+    doc.set("suppressed", static_cast<double>(n));
+    const std::string jsonlLine = doc.dump() + "\n";
+    gEmitted.fetch_add(1, std::memory_order_relaxed);
+    util::MutexLock lock(&s.sinkMu);
+    if (s.textEnabled) writeLine(s.textFile, textLine);
+    if (s.jsonlEnabled) writeLine(s.jsonlFile, jsonlLine);
+  }
 }
 
 void resetLoggingForTest() {

@@ -71,6 +71,14 @@ void setTextLogSink(bool enabled, const std::string& path = "");
 /// JSONL sink routing, disabled by default. Empty path = stderr.
 void setJsonlLogSink(bool enabled, const std::string& path = "");
 
+/// Emits one warn-level bookkeeping line per site carrying rate-limiter
+/// `suppressed` debt (clearing it), so suppression accrued in a site's
+/// final window surfaces instead of waiting for a next emitted line
+/// that may never come. Runs automatically before an enabled sink is
+/// reconfigured or shut down; callable directly at process shutdown.
+/// No-op while no sink is enabled — the debt keeps waiting.
+void flushSuppressedLogDebt();
+
 /// Closes file sinks, re-enables the stderr text sink, disables the
 /// JSONL sink, resets the level to kOff. Test helper.
 void resetLoggingForTest();

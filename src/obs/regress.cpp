@@ -1,0 +1,295 @@
+#include "obs/regress.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.h"
+
+namespace ahfic::obs {
+
+namespace {
+
+/// One parsed path segment: key, optionally with an [sel=value] array
+/// selector.
+struct PathSegment {
+  std::string key;
+  std::string selKey;    // empty = plain object lookup
+  std::string selValue;
+};
+
+std::vector<PathSegment> parsePath(const std::string& path) {
+  std::vector<PathSegment> segments;
+  size_t pos = 0;
+  while (pos <= path.size()) {
+    size_t end = path.find('.', pos);
+    if (end == std::string::npos) end = path.size();
+    std::string raw = path.substr(pos, end - pos);
+    if (raw.empty())
+      throw Error("regress: empty segment in path '" + path + "'");
+    PathSegment seg;
+    const size_t open = raw.find('[');
+    if (open == std::string::npos) {
+      seg.key = raw;
+    } else {
+      if (raw.back() != ']')
+        throw Error("regress: unterminated selector in path '" + path +
+                    "'");
+      seg.key = raw.substr(0, open);
+      const std::string sel = raw.substr(open + 1,
+                                         raw.size() - open - 2);
+      const size_t eq = sel.find('=');
+      if (eq == std::string::npos)
+        throw Error("regress: selector '" + sel +
+                    "' wants key=value in path '" + path + "'");
+      seg.selKey = sel.substr(0, eq);
+      seg.selValue = sel.substr(eq + 1);
+    }
+    segments.push_back(std::move(seg));
+    if (end == path.size()) break;
+    pos = end + 1;
+  }
+  return segments;
+}
+
+/// Stringifies a JSON scalar the way selector values are written.
+std::string selectorText(const util::JsonValue& v) {
+  if (v.isString()) return v.asString();
+  if (v.isNumber()) {
+    char buf[40];
+    const double n = v.asNumber();
+    if (n == static_cast<long long>(n))
+      std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(n));
+    else
+      std::snprintf(buf, sizeof buf, "%g", n);
+    return buf;
+  }
+  if (v.isBool()) return v.asBool() ? "true" : "false";
+  return std::string();
+}
+
+}  // namespace
+
+bool BenchGates::isWaived(const std::string& path) const {
+  return std::find(waived.begin(), waived.end(), path) != waived.end();
+}
+
+GateConfig GateConfig::fromJson(const util::JsonValue& doc) {
+  if (!doc.isObject() || !doc.has("schema") ||
+      doc.get("schema").asString() != "ahfic-gates-v1")
+    throw Error("regress: gates document is not ahfic-gates-v1");
+  GateConfig config;
+  const util::JsonValue& benches = doc.get("benches");
+  if (!benches.isObject())
+    throw Error("regress: gates 'benches' must be an object");
+  for (const std::string& name : benches.keys()) {
+    const util::JsonValue& b = benches.get(name);
+    BenchGates gates;
+    const util::JsonValue& metrics = b.get("metrics");
+    for (size_t i = 0; i < metrics.size(); ++i) {
+      const util::JsonValue& m = metrics.at(i);
+      GateMetric gm;
+      gm.path = m.get("path").asString();
+      if (m.has("maxRegress")) gm.maxRegress = m.get("maxRegress").asNumber();
+      if (gm.maxRegress <= 0.0)
+        throw Error("regress: maxRegress must be > 0 for '" + gm.path +
+                    "'");
+      if (m.has("higherIsBetter"))
+        gm.higherIsBetter = m.get("higherIsBetter").asBool();
+      gates.metrics.push_back(std::move(gm));
+    }
+    if (b.has("waived")) {
+      const util::JsonValue& waive = b.get("waived");
+      for (size_t i = 0; i < waive.size(); ++i) {
+        const std::string path = waive.at(i).asString();
+        const bool known = std::any_of(
+            gates.metrics.begin(), gates.metrics.end(),
+            [&path](const GateMetric& m) { return m.path == path; });
+        if (!known)
+          throw Error("regress: waived path '" + path +
+                      "' is not a gated metric of bench '" + name + "'");
+        gates.waived.push_back(path);
+      }
+    }
+    if (gates.metrics.empty())
+      throw Error("regress: bench '" + name + "' gates no metrics");
+    config.benches.emplace(name, std::move(gates));
+  }
+  return config;
+}
+
+const BenchGates* GateConfig::find(const std::string& bench) const {
+  const auto it = benches.find(bench);
+  return it == benches.end() ? nullptr : &it->second;
+}
+
+double extractMetric(const util::JsonValue& payload,
+                     const std::string& path) {
+  const util::JsonValue* node = &payload;
+  for (const PathSegment& seg : parsePath(path)) {
+    if (!node->isObject() || !node->has(seg.key))
+      throw Error("regress: path '" + path + "' has no key '" + seg.key +
+                  "'");
+    node = &node->get(seg.key);
+    if (seg.selKey.empty()) continue;
+    if (!node->isArray())
+      throw Error("regress: path '" + path + "': '" + seg.key +
+                  "' is not an array");
+    const util::JsonValue* match = nullptr;
+    for (size_t i = 0; i < node->size(); ++i) {
+      const util::JsonValue& elem = node->at(i);
+      if (elem.isObject() && elem.has(seg.selKey) &&
+          selectorText(elem.get(seg.selKey)) == seg.selValue) {
+        match = &elem;
+        break;
+      }
+    }
+    if (match == nullptr)
+      throw Error("regress: path '" + path + "': no element with " +
+                  seg.selKey + "=" + seg.selValue);
+    node = match;
+  }
+  if (!node->isNumber())
+    throw Error("regress: path '" + path + "' is not a number");
+  return node->asNumber();
+}
+
+util::JsonValue BaselineDoc::toJson() const {
+  util::JsonValue doc = util::JsonValue::object();
+  doc.set("schema", "ahfic-bench-baseline-v1");
+  doc.set("bench", bench);
+  doc.set("gitRev", gitRev);
+  doc.set("timestamp", timestamp);
+  doc.set("repeats", static_cast<double>(repeats));
+  util::JsonValue vals = util::JsonValue::object();
+  for (const auto& [path, value] : metrics) vals.set(path, value);
+  doc.set("metrics", std::move(vals));
+  return doc;
+}
+
+BaselineDoc BaselineDoc::fromJson(const util::JsonValue& doc) {
+  if (!doc.isObject() || !doc.has("schema") ||
+      doc.get("schema").asString() != "ahfic-bench-baseline-v1")
+    throw Error("regress: not an ahfic-bench-baseline-v1 document");
+  BaselineDoc out;
+  out.bench = doc.get("bench").asString();
+  if (doc.has("gitRev")) out.gitRev = doc.get("gitRev").asString();
+  if (doc.has("timestamp")) out.timestamp = doc.get("timestamp").asString();
+  if (doc.has("repeats"))
+    out.repeats = static_cast<int>(doc.get("repeats").asNumber());
+  const util::JsonValue& vals = doc.get("metrics");
+  for (const std::string& path : vals.keys())
+    out.metrics.emplace(path, vals.get(path).asNumber());
+  return out;
+}
+
+BaselineDoc reduceArtifacts(const std::vector<util::JsonValue>& envelopes,
+                            const BenchGates& gates) {
+  if (envelopes.empty())
+    throw Error("regress: reduceArtifacts wants at least one artifact");
+  BaselineDoc out;
+  for (const util::JsonValue& env : envelopes) {
+    if (!env.isObject() || !env.has("schema") ||
+        env.get("schema").asString() != "ahfic-bench-v1")
+      throw Error("regress: artifact is not an ahfic-bench-v1 envelope");
+    const std::string name = env.get("name").asString();
+    if (out.bench.empty()) {
+      out.bench = name;
+      out.gitRev =
+          env.has("gitRev") ? env.get("gitRev").asString() : "unknown";
+      out.timestamp =
+          env.has("timestamp") ? env.get("timestamp").asString() : "";
+    } else if (name != out.bench) {
+      throw Error("regress: mixed artifacts ('" + out.bench + "' vs '" +
+                  name + "')");
+    }
+    const util::JsonValue& payload = env.get("payload");
+    for (const GateMetric& gm : gates.metrics) {
+      const double v = extractMetric(payload, gm.path);
+      const auto it = out.metrics.find(gm.path);
+      if (it == out.metrics.end())
+        out.metrics.emplace(gm.path, v);
+      else
+        // Best-of-K per direction: the one-sided noise model.
+        it->second = gm.higherIsBetter ? std::max(it->second, v)
+                                       : std::min(it->second, v);
+    }
+    ++out.repeats;
+  }
+  return out;
+}
+
+bool RegressReport::anyRegression() const {
+  return std::any_of(metrics.begin(), metrics.end(),
+                     [](const MetricComparison& m) { return m.regressed; });
+}
+
+util::JsonValue RegressReport::toJson() const {
+  util::JsonValue doc = util::JsonValue::object();
+  doc.set("schema", "ahfic-regress-v1");
+  doc.set("bench", bench);
+  doc.set("regressed", anyRegression());
+  util::JsonValue arr = util::JsonValue::array();
+  for (const MetricComparison& m : metrics) {
+    util::JsonValue entry = util::JsonValue::object();
+    entry.set("path", m.path);
+    entry.set("baseline", m.baseline);
+    entry.set("current", m.current);
+    entry.set("change", m.change);
+    entry.set("allowed", m.allowed);
+    entry.set("higherIsBetter", m.higherIsBetter);
+    entry.set("waived", m.waived);
+    entry.set("regressed", m.regressed);
+    arr.push(std::move(entry));
+  }
+  doc.set("metrics", std::move(arr));
+  return doc;
+}
+
+std::string RegressReport::summary() const {
+  std::string out = "bench '" + bench + "'\n";
+  char buf[160];
+  for (const MetricComparison& m : metrics) {
+    const char* verdict = m.regressed ? "REGRESSED"
+                          : m.waived  ? "waived"
+                                      : "ok";
+    std::snprintf(buf, sizeof buf,
+                  "  %-9s %+7.1f%% (allowed %+.0f%%%s)  %s\n", verdict,
+                  m.change * 100.0, m.allowed * 100.0,
+                  m.higherIsBetter ? ", higher is better" : "",
+                  m.path.c_str());
+    out += buf;
+  }
+  return out;
+}
+
+RegressReport compareToBaseline(const BaselineDoc& baseline,
+                                const BaselineDoc& current,
+                                const BenchGates& gates) {
+  RegressReport report;
+  report.bench = current.bench.empty() ? baseline.bench : current.bench;
+  for (const GateMetric& gm : gates.metrics) {
+    MetricComparison cmp;
+    cmp.path = gm.path;
+    cmp.allowed = gm.maxRegress;
+    cmp.higherIsBetter = gm.higherIsBetter;
+    cmp.waived = gates.isWaived(gm.path);
+    const auto b = baseline.metrics.find(gm.path);
+    const auto c = current.metrics.find(gm.path);
+    if (b != baseline.metrics.end()) cmp.baseline = b->second;
+    if (c != current.metrics.end()) cmp.current = c->second;
+    // A metric absent from either side, or a non-positive baseline, has
+    // no meaningful relative change — report it, never gate on it.
+    if (b != baseline.metrics.end() && c != current.metrics.end() &&
+        cmp.baseline > 0.0 && std::isfinite(cmp.current)) {
+      cmp.change = gm.higherIsBetter
+                       ? 1.0 - cmp.current / cmp.baseline
+                       : cmp.current / cmp.baseline - 1.0;
+      cmp.regressed = !cmp.waived && cmp.change > gm.maxRegress;
+    }
+    report.metrics.push_back(std::move(cmp));
+  }
+  return report;
+}
+
+}  // namespace ahfic::obs

@@ -1,0 +1,128 @@
+#pragma once
+// Perf-regression gating over "ahfic-bench-v1" artifacts — the policy
+// core behind the bench_regress tool and the perf-regress CI job
+// (docs/profiling.md covers the workflow).
+//
+// The problem with gating on wall-clock benchmarks is noise: a shared
+// runner can easily smear a measurement by 20%. Three mechanisms keep
+// the gate trustworthy:
+//  * min-of-K folding — a baseline (and a candidate) is reduced from K
+//    repeated artifacts by taking, per metric, the *best* observation
+//    (min for lower-is-better, max for higher-is-better). The best of K
+//    runs approaches the machine's true capability; the noise is
+//    one-sided;
+//  * per-metric relative thresholds — each gated metric declares how
+//    much regression it tolerates (maxRegress, e.g. 0.5 = +50%), sized
+//    to the metric's observed jitter;
+//  * an explicit waive list — known-noisy metrics stay *reported* in
+//    every comparison but never fail the gate, so waiving is a visible
+//    policy decision in gates.json, not a deleted check.
+//
+// Baselines are machine-specific (nanoseconds do not travel between
+// hosts), so bench/baselines/ commits the *gate policy* (gates.json)
+// while baseline value documents are blessed per machine / per CI
+// runner and carried as artifacts. A missing baseline therefore skips
+// with a note instead of failing — unless the caller demands one.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace ahfic::obs {
+
+/// One gated metric of a bench payload.
+struct GateMetric {
+  /// Extraction path inside the payload: dot-separated segments, each a
+  /// plain key or key[sel=value] selecting the array element whose
+  /// `sel` field stringifies to `value` — e.g.
+  /// "circuits[name=diode_rc_ladder_250].backends.sparse.nsPerIteration".
+  std::string path;
+  /// Allowed relative regression (0.5 = the metric may move 50% in the
+  /// bad direction before the gate fails).
+  double maxRegress = 0.25;
+  /// false: smaller is better (timings). true: larger is better
+  /// (speedups, throughput).
+  bool higherIsBetter = false;
+};
+
+/// Gate policy for one bench name.
+struct BenchGates {
+  std::vector<GateMetric> metrics;
+  /// Paths (must also appear in `metrics`) that are reported but never
+  /// fail the gate.
+  std::vector<std::string> waived;
+
+  bool isWaived(const std::string& path) const;
+};
+
+/// The committed policy document ("ahfic-gates-v1"): bench name -> gates.
+struct GateConfig {
+  std::map<std::string, BenchGates> benches;
+
+  /// Parses gates.json; throws ahfic::Error on schema problems.
+  static GateConfig fromJson(const util::JsonValue& doc);
+  /// nullptr when the bench has no gate policy.
+  const BenchGates* find(const std::string& bench) const;
+};
+
+/// Extracts the number at `path` (GateMetric::path syntax) from a bench
+/// payload. Throws ahfic::Error naming the failing segment when the
+/// path does not resolve to a number.
+double extractMetric(const util::JsonValue& payload,
+                     const std::string& path);
+
+/// A reduced set of measurements: one value per gated metric, folded
+/// min-of-K (or max-of-K) across repeat artifacts.
+struct BaselineDoc {
+  std::string bench;
+  std::string gitRev;
+  std::string timestamp;
+  int repeats = 0;
+  std::map<std::string, double> metrics;  ///< path -> folded value
+
+  /// "ahfic-bench-baseline-v1" document.
+  util::JsonValue toJson() const;
+  static BaselineDoc fromJson(const util::JsonValue& doc);
+};
+
+/// Folds K parsed "ahfic-bench-v1" envelopes (same bench name; throws
+/// when names disagree or a gated path is missing) into one BaselineDoc.
+BaselineDoc reduceArtifacts(const std::vector<util::JsonValue>& envelopes,
+                            const BenchGates& gates);
+
+/// One metric's verdict in a comparison.
+struct MetricComparison {
+  std::string path;
+  double baseline = 0.0;
+  double current = 0.0;
+  /// Relative movement in the *bad* direction (positive = worse), i.e.
+  /// current/baseline - 1 for lower-is-better metrics.
+  double change = 0.0;
+  double allowed = 0.0;
+  bool higherIsBetter = false;
+  bool waived = false;
+  bool regressed = false;
+};
+
+/// Full comparison of a candidate against a baseline.
+struct RegressReport {
+  std::string bench;
+  std::vector<MetricComparison> metrics;
+
+  bool anyRegression() const;
+  /// "ahfic-regress-v1" document (for the CI artifact).
+  util::JsonValue toJson() const;
+  /// Human-readable verdict table.
+  std::string summary() const;
+};
+
+/// Compares `current` against `baseline` under `gates`. Metrics absent
+/// from either document, and baselines <= 0 (no meaningful relative
+/// change), are reported with change 0 and never regress.
+RegressReport compareToBaseline(const BaselineDoc& baseline,
+                                const BaselineDoc& current,
+                                const BenchGates& gates);
+
+}  // namespace ahfic::obs

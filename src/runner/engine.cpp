@@ -7,6 +7,7 @@
 
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/prof.h"
 #include "obs/trace.h"
 #include "util/error.h"
 
@@ -264,8 +265,11 @@ BatchResult BatchRunner::run(const std::vector<Job>& jobs) {
     for (int w = 0; w < threads; ++w)
       pool.emplace_back([&workerLoop, w] {
         // One trace lane per worker, so a batch renders as a flame chart
-        // with per-worker rows.
-        obs::nameCurrentThreadLane("worker-" + std::to_string(w));
+        // with per-worker rows — and the same name for profile samples,
+        // so folded stacks attribute to worker threads too.
+        const std::string name = "worker-" + std::to_string(w);
+        obs::nameCurrentThreadLane(name);
+        obs::profileSetThreadName(name.c_str());
         workerLoop(w);
       });
     for (auto& t : pool) t.join();

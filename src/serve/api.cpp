@@ -1,9 +1,15 @@
 #include "serve/api.h"
 
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <thread>
 #include <utility>
 
 #include "celldb/html.h"
+#include "obs/bench.h"
 #include "obs/metrics.h"
+#include "obs/prof.h"
 #include "serve/debug.h"
 #include "util/error.h"
 
@@ -28,6 +34,24 @@ std::string queryParam(const HttpRequest& req, const std::string& key) {
   }
   return std::string();
 }
+
+/// Strict seconds parse for query params: the whole string must be one
+/// finite non-negative number. Rejects what std::stod would silently
+/// coerce — trailing garbage ("5abc"), "inf", "nan" — and negatives.
+bool parseSecondsParam(const std::string& s, double& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) return false;
+  if (!std::isfinite(v) || v < 0.0) return false;
+  out = v;
+  return true;
+}
+
+/// Upper bound for on-demand profile captures: long enough for a real
+/// investigation, short enough that a worker thread blocking for the
+/// capture cannot be weaponized.
+constexpr double kMaxProfileSeconds = 30.0;
 
 /// Parses the submission body; throws ahfic::Error with a client-facing
 /// message on schema problems (mapped to 400 by the caller).
@@ -124,17 +148,11 @@ Router buildApiRouter(const ApiContext& ctx) {
                      503, "metrics history is not enabled");
                double windowSec = 0.0;
                const std::string window = queryParam(req, "window");
-               if (!window.empty()) {
-                 try {
-                   windowSec = std::stod(window);
-                 } catch (const std::exception&) {
-                   return HttpResponse::error(
-                       400, "bad window '" + window + "' (want seconds)");
-                 }
-                 if (windowSec < 0.0)
-                   return HttpResponse::error(
-                       400, "window must be >= 0");
-               }
+               if (!window.empty() &&
+                   !parseSecondsParam(window, windowSec))
+                 return HttpResponse::error(
+                     400, "bad window '" + window +
+                              "' (want non-negative seconds)");
                return HttpResponse::json(
                    200, ctx.history->toJson(windowSec).dump(2) + "\n");
              });
@@ -146,15 +164,64 @@ Router buildApiRouter(const ApiContext& ctx) {
                      503, "metrics history is not enabled");
                double windowSec = 0.0;
                const std::string window = queryParam(req, "window");
-               if (!window.empty()) {
-                 try {
-                   windowSec = std::stod(window);
-                 } catch (const std::exception&) {
-                   windowSec = 0.0;
-                 }
-               }
+               if (!window.empty() &&
+                   !parseSecondsParam(window, windowSec))
+                 return HttpResponse::error(
+                     400, "bad window '" + window +
+                              "' (want non-negative seconds)");
                return HttpResponse::html(
                    200, debugDashboardHtml(*ctx.history, windowSec));
+             });
+
+  router.add("GET", "/v1/profile", "profile",
+             [](const HttpRequest& req, const RouteParams&) {
+               double seconds = 2.0;
+               const std::string raw = queryParam(req, "seconds");
+               if (!raw.empty() && !parseSecondsParam(raw, seconds))
+                 return HttpResponse::error(
+                     400, "bad seconds '" + raw + "' (want seconds)");
+               if (seconds <= 0.0 || seconds > kMaxProfileSeconds)
+                 return HttpResponse::error(
+                     400, "seconds must be in (0, 30]");
+               const std::string format = queryParam(req, "format");
+               if (!format.empty() && format != "json" &&
+                   format != "collapsed")
+                 return HttpResponse::error(
+                     400, "unknown format '" + format +
+                              "' (known: json, collapsed)");
+               // One capture at a time process-wide: a second request
+               // (or a --profile flag) holds the slot -> 409, without
+               // disturbing the running capture.
+               if (!obs::startProfiling())
+                 return HttpResponse::error(
+                     409, "a profile capture is already running");
+               // Bounded block on this worker thread; the capture
+               // samples the whole process, including the other workers
+               // actually doing the interesting work.
+               std::this_thread::sleep_for(
+                   std::chrono::duration<double>(seconds));
+               const obs::ProfileReport report = obs::stopProfiling();
+               if (format == "collapsed") {
+                 HttpResponse resp;
+                 resp.status = 200;
+                 resp.contentType = "text/plain; charset=utf-8";
+                 resp.body = report.collapsed();
+                 return resp;
+               }
+               return HttpResponse::json(
+                   200, obs::benchEnvelope("profile", report.toJson(),
+                                           obs::benchTimestampUtc())
+                                .dump(2) +
+                            "\n");
+             });
+
+  router.add("GET", "/v1/profile/latest", "profile_latest",
+             [](const HttpRequest&, const RouteParams&) {
+               const std::string doc = obs::latestProfileJson();
+               if (doc.empty())
+                 return HttpResponse::error(
+                     404, "no profile captured yet (GET /v1/profile)");
+               return HttpResponse::json(200, doc);
              });
 
   router.add("POST", "/v1/jobs", "jobs_submit",

@@ -9,6 +9,14 @@
 //                                      (?window=SECONDS to trim)
 //   GET  /debug                        live HTML dashboard (sparklines
 //                                      over the history ring)
+//   GET  /v1/profile                   sample the live process for
+//                                      ?seconds=N (default 2, max 30)
+//                                      and return the ahfic-profile-v1
+//                                      capture (?format=collapsed for
+//                                      flamegraph.pl text); 409 while
+//                                      another capture runs
+//   GET  /v1/profile/latest            most recent capture (404 when
+//                                      none yet)
 //   POST /v1/jobs                      submit {"deck"|"workload", ...}
 //   GET  /v1/jobs/<id>                 "ahfic-job-v1" envelope
 //   GET  /celldb                       live library index (HTML)

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "celldb/html.h"
+#include "obs/prof.h"
 
 namespace ahfic::serve {
 
@@ -132,6 +133,29 @@ std::vector<double> hitRateSeries(
   return ys;
 }
 
+/// Share of Newton solve wall time spent evaluating device models, per
+/// inter-sample window (histogram *sum* deltas); carries the previous
+/// value through idle windows.
+std::vector<double> deviceEvalShareSeries(
+    const std::vector<MetricsHistory::Sample>& samples) {
+  std::vector<double> ys;
+  double last = 0.0;
+  auto sum = [](const MetricsSnapshot& snap, const char* name) {
+    const obs::HistogramSnapshot* h = snap.findHistogram(name);
+    return h != nullptr ? h->sum : 0.0;
+  };
+  for (size_t i = 1; i < samples.size(); ++i) {
+    const double dDev =
+        sum(samples[i].snap, "spice.newton.device_eval_ns") -
+        sum(samples[i - 1].snap, "spice.newton.device_eval_ns");
+    const double dWall = sum(samples[i].snap, "spice.newton.wall_ns") -
+                         sum(samples[i - 1].snap, "spice.newton.wall_ns");
+    if (dWall > 0.0) last = 100.0 * dDev / dWall;
+    ys.push_back(last);
+  }
+  return ys;
+}
+
 std::vector<double> quantileSeries(
     const std::vector<MetricsHistory::Sample>& samples,
     const std::string& name, double q) {
@@ -172,7 +196,15 @@ std::string debugDashboardHtml(const MetricsHistory& history,
          " s &middot; capacity " + std::to_string(history.capacity()) +
          " &middot; auto-refresh 5 s &middot; <a href=\"/v1/metrics\">"
          "metrics</a> &middot; <a href=\"/v1/metrics/history\">history"
-         "</a> &middot; <a href=\"/celldb\">celldb</a></div>\n";
+         "</a> &middot; <a href=\"/celldb\">celldb</a> &middot; "
+         "<a href=\"/v1/profile?seconds=5\">profile 5 s</a>";
+  const obs::LatestProfileInfo prof = obs::latestProfileInfo();
+  if (prof.present) {
+    out += " &middot; <a href=\"/v1/profile/latest\">latest profile</a> (" +
+           celldb::escapeHtml(prof.timestamp) + ", " +
+           std::to_string(prof.samples) + " samples)";
+  }
+  out += "</div>\n";
 
   out += "<div class=\"grid\">\n";
   card(out, "queue depth", gaugeSeries(samples, "serve.queue_depth"),
@@ -190,6 +222,7 @@ std::string debugDashboardHtml(const MetricsHistory& history,
        quantileSeries(samples, "spice.newton.iterations", 0.50), "iters");
   card(out, "newton iters p99",
        quantileSeries(samples, "spice.newton.iterations", 0.99), "iters");
+  card(out, "device eval share", deviceEvalShareSeries(samples), "%");
   out += "</div>\n</body></html>\n";
   return out;
 }

@@ -9,6 +9,7 @@
 #include "lint/netlist.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/prof.h"
 #include "runner/workloads.h"
 #include "serve/http.h"
 #include "spice/rundeck.h"
@@ -87,7 +88,10 @@ JobService::JobService(rn::Session& session, JobServiceOptions opts)
     throw Error("JobService: queueDepth must be >= 1");
   workers_.reserve(static_cast<size_t>(opts_.workers));
   for (int w = 0; w < opts_.workers; ++w)
-    workers_.emplace_back([this] { workerLoop(); });
+    workers_.emplace_back([this, w] {
+      obs::profileSetThreadName(("jobsvc-" + std::to_string(w)).c_str());
+      workerLoop();
+    });
 }
 
 JobService::~JobService() { stop(false); }

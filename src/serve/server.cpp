@@ -13,6 +13,7 @@
 #include <system_error>
 
 #include "obs/log.h"
+#include "obs/prof.h"
 #include "obs/trace.h"
 #include "util/error.h"
 
@@ -130,8 +131,14 @@ void HttpServer::start() {
                                                   : opts_.connectionThreads;
   workers_.reserve(static_cast<size_t>(threads));
   for (int w = 0; w < threads; ++w)
-    workers_.emplace_back([this] { workerLoop(); });
-  acceptor_ = std::thread([this] { acceptLoop(); });
+    workers_.emplace_back([this, w] {
+      obs::profileSetThreadName(("http-" + std::to_string(w)).c_str());
+      workerLoop();
+    });
+  acceptor_ = std::thread([this] {
+    obs::profileSetThreadName("http-accept");
+    acceptLoop();
+  });
 }
 
 void HttpServer::stop() {

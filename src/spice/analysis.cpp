@@ -190,6 +190,7 @@ bool Analyzer::sparseIterate(const Solution& x, const LoadContext& ctx,
   ++stats_.matrixSolves;
   const bool timed = obs::metricsEnabled();
   const double tAssemble = timed ? nowNs() : 0.0;
+  double deviceNs = 0.0;
   for (;;) {
     // Static baseline (linear-device matrix stamps) lands via memcpy;
     // linear devices then contribute only their candidate-dependent RHS
@@ -198,10 +199,12 @@ bool Analyzer::sparseIterate(const Solution& x, const LoadContext& ctx,
     prepareSparseStatic(x, ctx);
     vals_ = staticVals_;
     rhs_.assign(static_cast<size_t>(unknownCount_), 0.0);
+    const double tDevice = timed ? nowNs() : 0.0;
     RhsOnlyStamper rhsOnly(rhs_);
     for (Device* dev : linearDevs_) dev->load(rhsOnly, x, ctx);
     CsrStamper cs(pat_, vals_, rhs_, &pending_);
     for (Device* dev : nonlinearDevs_) dev->load(cs, x, ctx);
+    if (timed) deviceNs += nowNs() - tDevice;
     if (pending_.empty()) break;
     growSparsePattern(pat_, pending_);
   }
@@ -229,10 +232,13 @@ bool Analyzer::sparseIterate(const Solution& x, const LoadContext& ctx,
         obs::histogram("spice.sparse.factor_ns");
     static const obs::Histogram hSolve =
         obs::histogram("spice.sparse.solve_ns");
+    static const obs::Histogram hDevice =
+        obs::histogram("spice.newton.device_eval_ns");
     const double tEnd = nowNs();
     hAssemble.observe(tFactor - tAssemble);
     hFactor.observe(tSolve - tFactor);
     hSolve.observe(tEnd - tSolve);
+    hDevice.observe(deviceNs);
   }
   return true;
 }
@@ -351,12 +357,21 @@ Analyzer::NewtonOutcome Analyzer::newton(std::vector<double>& x,
   if (!obs::tracingEnabled() && !obs::metricsEnabled())
     return newtonInner(x, ctx);
   obs::ScopedSpan span("spice.newton", "spice");
+  const bool timed = obs::metricsEnabled();
+  const double tStart = timed ? nowNs() : 0.0;
   const NewtonOutcome out = newtonInner(x, ctx);
   span.note("iters", out.iterations);
   span.note("converged", out.converged ? 1.0 : 0.0);
   static const obs::Histogram hIters =
       obs::histogram("spice.newton.iterations");
   hIters.observe(out.iterations);
+  if (timed) {
+    // Whole-solve wall time: the denominator that makes the
+    // device_eval_ns histogram a *share* (ahfic_client watch, /debug).
+    static const obs::Histogram hWall =
+        obs::histogram("spice.newton.wall_ns");
+    hWall.observe(nowNs() - tStart);
+  }
   return out;
 }
 
@@ -394,12 +409,22 @@ Analyzer::NewtonOutcome Analyzer::newtonInner(std::vector<double>& x,
         a_.setZero();
       }
       rhs_.assign(static_cast<size_t>(n), 0.0);
+      // Device-eval attribution on the dense/legacy backends: assemble
+      // here *is* the device loads (the sparse backend times its loads
+      // inside sparseIterate, excluding the memcpy of the static part).
+      const bool timed = obs::metricsEnabled();
+      const double tDevice = timed ? nowNs() : 0.0;
       if (solver_ == SolverKind::kSparseLegacy) {
         SparseStamper st(as_, rhs_);
         assemble(st, sx, ctx);
       } else {
         DenseStamper st(a_, rhs_);
         assemble(st, sx, ctx);
+      }
+      if (timed) {
+        static const obs::Histogram hDevice =
+            obs::histogram("spice.newton.device_eval_ns");
+        hDevice.observe(nowNs() - tDevice);
       }
       solved = solveLinear(xNew);
     }

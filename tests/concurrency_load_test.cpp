@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <string>
@@ -16,6 +17,7 @@
 #include "obs/history.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/prof.h"
 #include "runner/cache.h"
 #include "runner/session.h"
 #include "serve/jobs.h"
@@ -180,6 +182,49 @@ TEST(ConcurrencyLoad, ResultCacheSurvivesParallelReadersAndWriters) {
   }
   for (std::thread& t : pool) t.join();
   EXPECT_EQ(cache.size(), static_cast<size_t>(kKeys));
+}
+
+// Profiler start/stop cycles while worker threads burn CPU and write
+// metrics: signals land mid-increment, rings are claimed and recycled
+// across sessions, and a concurrent start during a running capture must
+// be refused without disturbing it. Everything here runs under TSan in
+// CI — the handler/collector/stop ordering is exactly the kind of bug
+// it exists to catch.
+TEST(ConcurrencyLoad, ProfilerStartStopUnderLoad) {
+  MetricsGuard guard;
+  const int threads = loadThreads();
+  std::atomic<bool> stop{false};
+  const obs::Counter counter = obs::counter("test.prof_load");
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&stop, &counter, t] {
+      obs::profileSetThreadName(
+          ("prof-load-" + std::to_string(t)).c_str());
+      volatile double acc = 1.0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        for (int i = 0; i < 2000; ++i) acc = acc * 1.0000001 + 1e-9;
+        counter.add();
+      }
+    });
+  }
+
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    ASSERT_TRUE(obs::startProfiling()) << "cycle " << cycle;
+    // A second start during the capture is refused, capture untouched.
+    EXPECT_FALSE(obs::startProfiling());
+    EXPECT_TRUE(obs::profilingActive());
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    const obs::ProfileReport report = obs::stopProfiling();
+    EXPECT_FALSE(obs::profilingActive());
+    EXPECT_EQ(report.clock, "cpu");
+    EXPECT_GE(report.samples + report.dropped, 0) << "cycle " << cycle;
+  }
+
+  stop.store(true);
+  for (std::thread& t : pool) t.join();
+  EXPECT_FALSE(obs::profilingActive());
 }
 
 // Concurrent batches on one Session: distinct keys per thread plus one

@@ -191,6 +191,49 @@ TEST(ObsLog, RateLimiterSuppressesAndReportsDebt) {
   EXPECT_GE(last.get("suppressed").asNumber(), 90.0);
 }
 
+TEST(ObsLog, RemovingSinkFlushesCarriedSuppressedDebt) {
+  LogGuard guard;
+  const std::string path = "obs_log_test_debt_flush.jsonl";
+  obs::setJsonlLogSink(true, path);
+  obs::setLogLevel(obs::LogLevel::kInfo);
+
+  const obs::LogSite site =
+      obs::logSite(obs::LogLevel::kInfo, "test.log_debt_flush", 5);
+  for (int k = 0; k < 100; ++k) site.log("burst").num("k", k);
+  // The burst leaves carried rate-limiter debt; removing the sink is
+  // the last chance for that debt to surface *in this sink* — without
+  // the flush it would vanish with the file handle.
+  obs::setJsonlLogSink(false);
+
+  const auto lines = readLines(path);
+  std::remove(path.c_str());
+
+  // Conservation: every one of the 100 calls is accounted for — either
+  // as an emitted "burst" line or inside a "suppressed" count (carried
+  // on later burst lines or on the shutdown debt-flush line).
+  long long emitted = 0;
+  double suppressedTotal = 0.0;
+  bool sawFlushLine = false;
+  for (const auto& line : lines) {
+    const auto doc = u::parseJson(line);
+    ASSERT_EQ(doc.get("site").asString(), "test.log_debt_flush");
+    if (doc.get("msg").asString() == "burst") ++emitted;
+    if (doc.has("suppressed"))
+      suppressedTotal += doc.get("suppressed").asNumber();
+    if (doc.get("msg").asString() == "rate limiter dropped lines") {
+      sawFlushLine = true;
+      EXPECT_EQ(doc.get("level").asString(), "warn");
+      EXPECT_GE(doc.get("suppressed").asNumber(), 1.0);
+    }
+  }
+  EXPECT_EQ(emitted + static_cast<long long>(suppressedTotal), 100);
+  // At 5 lines/s the sub-millisecond burst suppresses >= 90 calls, and
+  // (barring a window rollover on the very last call) that debt reaches
+  // the file only via the shutdown flush.
+  EXPECT_GE(suppressedTotal, 90.0);
+  EXPECT_TRUE(sawFlushLine);
+}
+
 TEST(ObsLog, ScopedTraceContextNestsAndInherits) {
   LogGuard guard;
   EXPECT_TRUE(obs::currentTraceContext().requestId.empty());

@@ -23,6 +23,7 @@
 #include "obs/history.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/prof.h"
 #include "obs/trace.h"
 #include "runner/session.h"
 #include "serve/api.h"
@@ -640,6 +641,95 @@ TEST(ServeServer, DebugDashboardServesLiveHtml) {
                             "cache hit rate", "newton iters p99"})
     EXPECT_NE(r.body.find(title), std::string::npos) << title;
   EXPECT_NE(r.body.find("/v1/metrics/history"), std::string::npos);
+}
+
+TEST(ServeServer, WindowParamIsValidatedNotCoerced) {
+  MetricsOn metricsOn;
+  TestDaemon daemon;
+  daemon.history->sampleNow();
+
+  // Values std::stod would have silently coerced (trailing garbage),
+  // plus plain junk and negatives: all 400 with a structured error body.
+  for (const char* bad : {"abc", "5x", "-1", "1e", "inf", "nan"}) {
+    for (const char* route : {"/v1/metrics/history", "/debug"}) {
+      const Reply r = exchange(
+          daemon.port(),
+          getRequest(std::string(route) + "?window=" + bad));
+      EXPECT_EQ(r.status, 400) << route << "?window=" << bad;
+      const u::JsonValue doc = u::parseJson(r.body);
+      ASSERT_TRUE(doc.has("error")) << r.body;
+      EXPECT_EQ(doc.get("error").get("status").asNumber(), 400.0);
+      EXPECT_NE(doc.get("error").get("message").asString().find(bad),
+                std::string::npos);
+    }
+  }
+  // Well-formed values (including fractions and 0 = everything) pass.
+  for (const char* good : {"0", "2.5", "3600"})
+    EXPECT_EQ(exchange(daemon.port(),
+                       getRequest(std::string("/v1/metrics/history?window=") +
+                                  good))
+                  .status,
+              200)
+        << good;
+}
+
+TEST(ServeServer, ProfileEndpointCapturesOnDemand) {
+  TestDaemon daemon;
+
+  // Parameter validation before any capture starts.
+  EXPECT_EQ(exchange(daemon.port(),
+                     getRequest("/v1/profile?seconds=abc")).status,
+            400);
+  EXPECT_EQ(exchange(daemon.port(),
+                     getRequest("/v1/profile?seconds=35")).status,
+            400);
+  EXPECT_EQ(exchange(daemon.port(),
+                     getRequest("/v1/profile?seconds=0")).status,
+            400);
+  EXPECT_EQ(exchange(daemon.port(),
+                     getRequest("/v1/profile?format=pprof")).status,
+            400);
+
+  // A short capture returns the enveloped ahfic-profile-v1 document.
+  const Reply r = exchange(
+      daemon.port(), getRequest("/v1/profile?seconds=0.3"));
+  ASSERT_EQ(r.status, 200);
+  const u::JsonValue env = u::parseJson(r.body);
+  EXPECT_EQ(env.get("schema").asString(), "ahfic-bench-v1");
+  EXPECT_EQ(env.get("name").asString(), "profile");
+  const u::JsonValue& payload = env.get("payload");
+  EXPECT_EQ(payload.get("schema").asString(), "ahfic-profile-v1");
+  EXPECT_EQ(payload.get("clock").asString(), "cpu");
+  EXPECT_GE(payload.get("durationSec").asNumber(), 0.25);
+  EXPECT_TRUE(payload.has("samples"));
+  EXPECT_TRUE(payload.has("dropped"));
+  EXPECT_TRUE(payload.has("stacks"));
+
+  // The capture is replayable without re-profiling.
+  const Reply latest =
+      exchange(daemon.port(), getRequest("/v1/profile/latest"));
+  ASSERT_EQ(latest.status, 200);
+  EXPECT_EQ(u::parseJson(latest.body).get("name").asString(), "profile");
+
+  // Collapsed format answers as plain text.
+  const Reply collapsed = exchange(
+      daemon.port(),
+      getRequest("/v1/profile?seconds=0.2&format=collapsed"));
+  EXPECT_EQ(collapsed.status, 200);
+  EXPECT_NE(collapsed.raw.find("Content-Type: text/plain"),
+            std::string::npos);
+}
+
+TEST(ServeServer, ProfileEndpointRefusesConcurrentCapture) {
+  TestDaemon daemon;
+  // Hold the process-wide capture slot the way a --profile flag would.
+  ASSERT_TRUE(obs::startProfiling());
+  const Reply r =
+      exchange(daemon.port(), getRequest("/v1/profile?seconds=0.1"));
+  obs::stopProfiling();
+  ASSERT_EQ(r.status, 409);
+  const u::JsonValue doc = u::parseJson(r.body);
+  EXPECT_EQ(doc.get("error").get("status").asNumber(), 409.0);
 }
 
 TEST(ServeServer, HistoryEndpointsAnswer503WithoutASampler) {
